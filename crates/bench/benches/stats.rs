@@ -1,0 +1,79 @@
+//! Benchmarks for the statistics kernels behind Figs. 5, 11, 12.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use govhost_stats::cluster::Dendrogram;
+use govhost_stats::hhi::hhi_from_counts;
+use govhost_stats::linalg::Matrix;
+use govhost_stats::ols::{OlsFit, Vif};
+use std::hint::black_box;
+
+/// Signature matrix the size of the paper's: 61 countries × 4 categories.
+fn signature_matrix() -> Vec<Vec<f64>> {
+    (0..61)
+        .map(|i| {
+            let x = i as f64;
+            let mut v = vec![
+                (x * 0.37).sin().abs(),
+                (x * 0.61).cos().abs(),
+                (x * 0.17).sin().abs(),
+                0.05,
+            ];
+            let total: f64 = v.iter().sum();
+            v.iter_mut().for_each(|s| *s /= total);
+            v
+        })
+        .collect()
+}
+
+fn hca(c: &mut Criterion) {
+    let data = signature_matrix();
+    c.bench_function("stats/ward_hca_61x4", |b| {
+        b.iter(|| Dendrogram::ward(black_box(&data)))
+    });
+    let d = Dendrogram::ward(&data);
+    c.bench_function("stats/dendrogram_cut3", |b| b.iter(|| d.cut(3)));
+}
+
+fn hhi(c: &mut Criterion) {
+    let counts: Vec<u64> = (1..200).map(|i| (i * i % 997) as u64 + 1).collect();
+    c.bench_function("stats/hhi_200_networks", |b| {
+        b.iter(|| hhi_from_counts(black_box(&counts)))
+    });
+}
+
+fn ols(c: &mut Criterion) {
+    // The App. E design: 61 observations, intercept + 6 features.
+    let n = 61;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let x = i as f64;
+            vec![
+                1.0,
+                (x * 0.3).sin(),
+                (x * 0.7).cos(),
+                (x * 0.11).sin(),
+                (x * 0.13).cos(),
+                (x * 0.23).sin(),
+                x / n as f64,
+            ]
+        })
+        .collect();
+    let design = Matrix::from_rows(&rows);
+    let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin() + i as f64 * 0.01).collect();
+    c.bench_function("stats/ols_61x7_with_inference", |b| {
+        b.iter(|| OlsFit::fit(black_box(&design), black_box(&y)).unwrap())
+    });
+    let features = Matrix::from_rows(
+        &rows.iter().map(|r| r[1..].to_vec()).collect::<Vec<_>>(),
+    );
+    c.bench_function("stats/vif_6_features", |b| {
+        b.iter(|| Vif::compute(black_box(&features)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = hca, hhi, ols
+}
+criterion_main!(benches);

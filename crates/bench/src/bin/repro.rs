@@ -1,0 +1,105 @@
+//! The reproduction harness: regenerate every table and figure.
+//!
+//! ```text
+//! repro [--scale S] [--seed N] [--exp ID]... [--list]
+//! ```
+//!
+//! With no `--exp`, all artifacts are rendered in paper order. `--scale`
+//! trades fidelity for time (1.0 = the paper's full ~1M-URL dataset;
+//! default 0.1).
+
+use govhost_bench::{Context, ALL_EXPERIMENTS};
+use govhost_worldgen::GenParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = GenParams::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                params.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                params.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--exp" => {
+                i += 1;
+                selected.push(
+                    args.get(i).cloned().unwrap_or_else(|| die("--exp needs an id")),
+                );
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(std::path::PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| die("--out needs a directory")),
+                ));
+            }
+            "--list" => {
+                for exp in ALL_EXPERIMENTS {
+                    println!("{:>4}  {}", exp.id, exp.title);
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--scale S] [--seed N] [--exp ID]... [--out DIR] [--list]");
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    for id in &selected {
+        if !ALL_EXPERIMENTS.iter().any(|e| e.id == id) {
+            die(&format!("unknown experiment id {id} (try --list)"));
+        }
+    }
+
+    eprintln!(
+        "generating world (seed {}, scale {}) and running the full pipeline...",
+        params.seed, params.scale
+    );
+    let start = std::time::Instant::now();
+    let ctx = Context::new(&params);
+    eprintln!("pipeline done in {:.1?}\n", start.elapsed());
+
+    let ids: Vec<&str> = if selected.is_empty() {
+        ALL_EXPERIMENTS.iter().map(|e| e.id).collect()
+    } else {
+        selected.iter().map(String::as_str).collect()
+    };
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&e.to_string()));
+    }
+    for id in &ids {
+        let rendered = ctx.render(id).expect("validated id");
+        println!("{rendered}");
+        println!("{}", "=".repeat(78));
+        if let Some(dir) = &out_dir {
+            std::fs::write(dir.join(format!("{id}.txt")), &rendered)
+                .unwrap_or_else(|e| die(&e.to_string()));
+        }
+    }
+    if let Some(dir) = &out_dir {
+        for (name, content) in ctx.csv_artifacts() {
+            std::fs::write(dir.join(&name), content).unwrap_or_else(|e| die(&e.to_string()));
+        }
+        eprintln!("artifacts written to {}", dir.display());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,822 @@
+//! Every table and figure of the paper, regenerated.
+
+use govhost_core::prelude::*;
+use govhost_core::similarity::SignatureKind;
+use govhost_report::{boxplot_row, histogram, render_dendrogram, stacked_bar, Csv, Table};
+use govhost_types::{CountryCode, ProviderCategory, Region, TopsiteCategory};
+use govhost_worldgen::countries::COUNTRIES;
+use govhost_worldgen::{GenParams, World};
+
+/// Identifier of one reproducible artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Experiment {
+    /// Short id (`t3`, `f2`, ...).
+    pub id: &'static str,
+    /// Human description.
+    pub title: &'static str,
+}
+
+/// All artifacts, in paper order.
+pub const ALL_EXPERIMENTS: &[Experiment] = &[
+    Experiment { id: "t3", title: "Table 3 — dataset overview" },
+    Experiment { id: "t4", title: "Table 4 — geolocation validation fractions" },
+    Experiment { id: "t5", title: "Table 5 — cross-border dependencies staying in-region" },
+    Experiment { id: "t7", title: "Table 7 — variance inflation factors" },
+    Experiment { id: "t8", title: "Table 8 — per-country dataset statistics" },
+    Experiment { id: "t9", title: "Table 9 — country selection and indices" },
+    Experiment { id: "f1", title: "Fig 1 — majority hosting source per country" },
+    Experiment { id: "f2", title: "Fig 2 — global URL/byte share per category" },
+    Experiment { id: "f3", title: "Fig 3 — governments vs topsites category shares" },
+    Experiment { id: "f4", title: "Fig 4 — regional URL/byte shares per category" },
+    Experiment { id: "f5", title: "Fig 5 — hosting-strategy dendrograms" },
+    Experiment { id: "f6", title: "Fig 6 — domestic vs international (global)" },
+    Experiment { id: "f7", title: "Fig 7 — governments vs topsites domestic hosting" },
+    Experiment { id: "f8", title: "Fig 8 — domestic vs international per region" },
+    Experiment { id: "f9", title: "Fig 9 — cross-border dependency flows" },
+    Experiment { id: "f10", title: "Fig 10 — global-provider concentration" },
+    Experiment { id: "f11", title: "Fig 11 — HHI diversification boxplots" },
+    Experiment { id: "f12", title: "Fig 12 — OLS explanatory coefficients" },
+    Experiment { id: "claims", title: "§1 headline claims, checked programmatically" },
+    Experiment { id: "afford", title: "Affordability extension (Habib et al. lens)" },
+];
+
+/// Shared computation context: world + dataset + all analyses.
+pub struct Context {
+    /// The generated world.
+    pub world: World,
+    /// The pipeline's dataset.
+    pub dataset: GovDataset,
+    /// §5 hosting shares.
+    pub hosting: HostingAnalysis,
+    /// §6 registration/location.
+    pub location: LocationAnalysis,
+    /// §6.3 flows.
+    pub crossborder: CrossBorderAnalysis,
+    /// §7.1 providers.
+    pub providers: ProviderAnalysis,
+    /// §7.2 diversification.
+    pub diversification: DiversificationAnalysis,
+    /// App. D comparison.
+    pub topsites: TopsiteAnalysis,
+    /// App. E model (None if too few countries located URLs).
+    pub explain: Option<ExplanatoryModel>,
+}
+
+impl Context {
+    /// Run everything once.
+    pub fn new(params: &GenParams) -> Context {
+        let world = World::generate(params);
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        let hosting = HostingAnalysis::compute(&dataset);
+        let location = LocationAnalysis::compute(&dataset);
+        let crossborder = CrossBorderAnalysis::compute(&dataset);
+        let providers = ProviderAnalysis::compute(&dataset);
+        let diversification = DiversificationAnalysis::compute(&dataset, &hosting);
+        let topsites = TopsiteAnalysis::compute(&world, &dataset);
+        let explain = ExplanatoryModel::fit(&location);
+        Context {
+            world,
+            dataset,
+            hosting,
+            location,
+            crossborder,
+            providers,
+            diversification,
+            topsites,
+            explain,
+        }
+    }
+
+    /// Render one experiment by id; `None` for unknown ids.
+    pub fn render(&self, id: &str) -> Option<String> {
+        Some(match id {
+            "t3" => self.t3(),
+            "t4" => self.t4(),
+            "t5" => self.t5(),
+            "t7" => self.t7(),
+            "t8" => self.t8(),
+            "t9" => self.t9(),
+            "f1" => self.f1(),
+            "f2" => self.f2(),
+            "f3" => self.f3(),
+            "f4" => self.f4(),
+            "f5" => self.f5(),
+            "f6" => self.f6(),
+            "f7" => self.f7(),
+            "f8" => self.f8(),
+            "f9" => self.f9(),
+            "f10" => self.f10(),
+            "f11" => self.f11(),
+            "f12" => self.f12(),
+            "claims" => self.claims(),
+            "afford" => self.afford(),
+            _ => return None,
+        })
+    }
+
+    // ---- tables -----------------------------------------------------------
+
+    fn t3(&self) -> String {
+        let s = self.dataset.summary();
+        let mut t = Table::new(vec!["Element", "Measured", "Paper (scale 1.0)"]);
+        let scale = self.world.params.scale;
+        let row = |t: &mut Table, name: &str, got: usize, paper: &str| {
+            t.row(vec![name.into(), got.to_string(), paper.into()]);
+        };
+        row(&mut t, "Landing URLs", s.landing_urls, "15,878");
+        row(&mut t, "Internal URLs", s.internal_urls, "1,017,865");
+        row(&mut t, "Total unique URLs", s.unique_urls, "1,033,743");
+        row(&mut t, "Unique hostnames", s.unique_hostnames, "13,483");
+        row(&mut t, "ASes", s.ases, "950");
+        row(&mut t, "Govt ASes", s.govt_ases, "347");
+        row(&mut t, "Unique IP addresses", s.unique_ips, "4,286");
+        row(&mut t, "Anycast addresses", s.anycast_ips, "433");
+        row(&mut t, "Countries with servers", s.server_countries, "68");
+        format!("[t3] Table 3 (generated at scale {scale}):\n{}", t.render())
+    }
+
+    fn t4(&self) -> String {
+        let v = &self.dataset.validation;
+        let u = v.unicast_fractions();
+        let a = v.anycast_fractions();
+        let mut t = Table::new(vec!["Type", "AP", "MG", "UR", "Paper (AP/MG/UR)"]);
+        t.row(vec![
+            "Unicast".into(),
+            format!("{:.2}", u[0]),
+            format!("{:.2}", u[1]),
+            format!("{:.2}", u[2]),
+            "0.41 / 0.57 / 0.02".into(),
+        ]);
+        t.row(vec![
+            "Anycast".into(),
+            format!("{:.2}", a[0]),
+            format!("{:.2}", a[1]),
+            format!("{:.2}", a[2]),
+            "0.83 / 0.00 / 0.17".into(),
+        ]);
+        format!(
+            "[t4] Table 4 — confirmation rate {:.1}% (paper ~97.8% unicast):\n{}",
+            v.confirmation_rate() * 100.0,
+            t.render()
+        )
+    }
+
+    fn t5(&self) -> String {
+        let measured = self.crossborder.location.in_region_percent();
+        let paper: &[(Region, f64)] = &[
+            (Region::EuropeCentralAsia, 94.87),
+            (Region::EastAsiaPacific, 80.79),
+            (Region::NorthAmerica, 59.89),
+            (Region::LatinAmericaCaribbean, 3.41),
+            (Region::SubSaharanAfrica, 2.95),
+            (Region::MiddleEastNorthAfrica, 0.00),
+            (Region::SouthAsia, 0.00),
+        ];
+        let mut t = Table::new(vec!["Region", "Measured %", "Paper %"]);
+        for (region, p) in paper {
+            let m = measured.get(region).copied().unwrap_or(f64::NAN);
+            t.row(vec![region.code().into(), format!("{m:.2}"), format!("{p:.2}")]);
+        }
+        format!("[t5] Table 5 — cross-border URLs staying in-region:\n{}", t.render())
+    }
+
+    fn t7(&self) -> String {
+        let Some(model) = &self.explain else {
+            return "[t7] explanatory model not fitted (too few located countries)".into();
+        };
+        let paper = [
+            ("internet_users", 2.06),
+            ("HDI", 8.61),
+            ("IDI", 4.11),
+            ("NRI", 9.09),
+            ("GDP", 5.00),
+            ("econ_freedom", 3.71),
+        ];
+        let mut t = Table::new(vec!["Feature", "Measured VIF", "Paper VIF"]);
+        for (name, p) in paper {
+            let m = model
+                .coefficient(name)
+                .map(|c| format!("{:.2}", c.vif))
+                .unwrap_or_else(|| "-".into());
+            t.row(vec![name.into(), m, format!("{p:.2}")]);
+        }
+        let verdict = if model.multicollinearity_acceptable() { "all < 10 ✓" } else { "⚠ ≥ 10" };
+        format!("[t7] Table 7 — VIFs ({verdict}):\n{}", t.render())
+    }
+
+    fn t8(&self) -> String {
+        let mut t = Table::new(vec![
+            "Country",
+            "Landing (got/paper·scale)",
+            "Gov URLs (got/paper·scale)",
+            "Hostnames (got/paper·scale)",
+        ]);
+        let scale = self.world.params.scale;
+        for row in COUNTRIES {
+            let stats = self.dataset.per_country.get(&row.cc()).copied().unwrap_or_default();
+            t.row(vec![
+                row.code.into(),
+                format!("{} / {:.0}", stats.landing, row.landing as f64 * scale),
+                format!("{} / {:.0}", stats.urls, row.internal as f64 * scale),
+                format!("{} / {:.0}", stats.hostnames, row.hostnames as f64 * scale),
+            ]);
+        }
+        format!("[t8] Table 8 — per-country dataset statistics (scale {scale}):\n{}", t.render())
+    }
+
+    fn t9(&self) -> String {
+        let mut t = Table::new(vec!["Country", "Region", "EGDI", "HDI", "IUI", "Pop %", "VPN"]);
+        for row in COUNTRIES {
+            t.row(vec![
+                row.code.into(),
+                row.region.code().into(),
+                format!("{:.3}", row.egdi),
+                format!("{:.3}", row.hdi),
+                format!("{:.0}", row.iui),
+                format!("{:.3}", row.pop_share),
+                row.vpn.to_string(),
+            ]);
+        }
+        let pop: f64 = COUNTRIES.iter().map(|c| c.pop_share).sum();
+        format!(
+            "[t9] Table 9 — 61 countries covering {pop:.2}% of the Internet population (paper: 82.70%):\n{}",
+            t.render()
+        )
+    }
+
+    // ---- figures ----------------------------------------------------------
+
+    fn f1(&self) -> String {
+        let map = self.hosting.majority_third_party();
+        let mut third: Vec<&str> = Vec::new();
+        let mut state: Vec<&str> = Vec::new();
+        for row in COUNTRIES {
+            match map.get(&row.cc()) {
+                Some(true) => third.push(row.code),
+                Some(false) => state.push(row.code),
+                None => {}
+            }
+        }
+        format!(
+            "[f1] Fig 1 — majority source by bytes:\n  3P-majority ({}): {}\n  Govt&SOE-majority ({}): {}\n",
+            third.len(),
+            third.join(" "),
+            state.len(),
+            state.join(" ")
+        )
+    }
+
+    fn f2(&self) -> String {
+        let mean = self.hosting.global_country_mean();
+        let pooled = &self.hosting.global;
+        let labels = ProviderCategory::ALL.map(|c| c.label());
+        let row = |shares: &[f64; 4]| -> Vec<(&str, f64)> {
+            labels.iter().zip(shares.iter()).map(|(l, v)| (*l, *v)).collect()
+        };
+        format!(
+            "[f2] Fig 2 — global share per category (country-averaged, as the paper's figure)\n{}{}  paper URLs : Govt&SOE 0.39, 3P Local 0.34, 3P Global 0.25, 3P Regional 0.03\n  paper bytes: Govt&SOE 0.47, 3P Local 0.28, 3P Global 0.23, 3P Regional 0.02\n  measured 3P total: URLs {:.2} (paper 0.62), bytes {:.2} (paper 0.53)\n  URL-pooled alternative (Belgium/Hungary-dominated): URLs [{:.2} {:.2} {:.2} {:.2}]\n",
+            stacked_bar("URLs", &row(&mean.urls), 50),
+            stacked_bar("Bytes", &row(&mean.bytes), 50),
+            mean.third_party_urls(),
+            mean.third_party_bytes(),
+            pooled.urls[0], pooled.urls[1], pooled.urls[2], pooled.urls[3],
+        )
+    }
+
+    fn f3(&self) -> String {
+        let labels = TopsiteCategory::ALL.map(|c| c.label());
+        let row = |shares: &[f64; 4]| -> Vec<(&str, f64)> {
+            labels.iter().zip(shares.iter()).map(|(l, v)| (*l, *v)).collect()
+        };
+        format!(
+            "[f3] Fig 3 — governments vs topsites (14 countries)\nGovernment:\n{}{}Topsites:\n{}{}  paper gov URLs: self 0.46, global 0.32, local 0.20, regional 0.01\n  paper top URLs: self 0.18, global 0.78, local 0.03, regional 0.01\n",
+            stacked_bar("URLs", &row(&self.topsites.government.urls), 50),
+            stacked_bar("Bytes", &row(&self.topsites.government.bytes), 50),
+            stacked_bar("URLs", &row(&self.topsites.topsites.urls), 50),
+            stacked_bar("Bytes", &row(&self.topsites.topsites.bytes), 50),
+        )
+    }
+
+    fn f4(&self) -> String {
+        let mut out = String::from("[f4] Fig 4 — regional shares per category\n");
+        let paper_urls: &[(&str, [f64; 4])] = &[
+            ("SSA", [0.01, 0.46, 0.39, 0.14]),
+            ("ECA", [0.24, 0.46, 0.28, 0.02]),
+            ("NA", [0.25, 0.17, 0.58, 0.00]),
+            ("LAC", [0.41, 0.25, 0.30, 0.03]),
+            ("MENA", [0.43, 0.10, 0.47, 0.00]),
+            ("EAP", [0.48, 0.35, 0.14, 0.02]),
+            ("SA", [0.80, 0.09, 0.11, 0.01]),
+        ];
+        for (code, paper) in paper_urls {
+            let region: Region = code.parse().expect("static region code");
+            let Some(shares) = self.hosting.per_region.get(&region) else { continue };
+            out.push_str(&format!(
+                "  {code:>4} URLs measured [G&S {:.2} L {:.2} G {:.2} R {:.2}] paper [G&S {:.2} L {:.2} G {:.2} R {:.2}]\n",
+                shares.urls[0], shares.urls[1], shares.urls[2], shares.urls[3],
+                paper[0], paper[1], paper[2], paper[3],
+            ));
+            out.push_str(&format!(
+                "  {code:>4} byte measured [G&S {:.2} L {:.2} G {:.2} R {:.2}]\n",
+                shares.bytes[0], shares.bytes[1], shares.bytes[2], shares.bytes[3],
+            ));
+        }
+        out
+    }
+
+    fn f5(&self) -> String {
+        let mut out = String::from("[f5] Fig 5 — hosting-strategy dendrograms (3-branch cut)\n");
+        for (kind, name) in
+            [(SignatureKind::Urls, "URLs"), (SignatureKind::Bytes, "Bytes")]
+        {
+            let sim = SimilarityAnalysis::compute(&self.hosting, kind);
+            let labels: Vec<String> =
+                sim.countries.iter().map(|c| c.as_str().to_string()).collect();
+            out.push_str(&format!("{name}:\n"));
+            out.push_str(&render_dendrogram(&sim.dendrogram, &labels, 3));
+        }
+        out.push_str("paper: three branches led by Govt&SOE (19), 3P Local, 3P Global (25)\n");
+        out
+    }
+
+    fn f6(&self) -> String {
+        format!(
+            "[f6] Fig 6 — domestic vs international (all 61 countries)\n{}{}  paper: WHOIS 0.77 domestic / 0.23 intl; Geolocation 0.87 / 0.13\n",
+            stacked_bar(
+                "WHOIS",
+                &[
+                    ("Domestic", self.location.registration.domestic_fraction()),
+                    ("International", self.location.registration.international_fraction()),
+                ],
+                50
+            ),
+            stacked_bar(
+                "Geoloc",
+                &[
+                    ("Domestic", self.location.geolocation.domestic_fraction()),
+                    ("International", self.location.geolocation.international_fraction()),
+                ],
+                50
+            ),
+        )
+    }
+
+    fn f7(&self) -> String {
+        let (gov_whois, gov_geo) = self.topsites.government_domestic;
+        let (top_whois, top_geo) = self.topsites.topsites_domestic;
+        format!(
+            "[f7] Fig 7 — domestic hosting, governments vs topsites (14 countries)\n  Government: WHOIS {:.2} (paper 0.78), Geo {:.2} (paper 0.89)\n  Topsites  : WHOIS {:.2} (paper 0.11), Geo {:.2} (paper 0.49)\n",
+            gov_whois.domestic_fraction(),
+            gov_geo.domestic_fraction(),
+            top_whois.domestic_fraction(),
+            top_geo.domestic_fraction(),
+        )
+    }
+
+    fn f8(&self) -> String {
+        let paper_reg: &[(&str, f64)] = &[
+            ("SSA", 0.45),
+            ("MENA", 0.52),
+            ("LAC", 0.66),
+            ("ECA", 0.71),
+            ("EAP", 0.87),
+            ("SA", 0.88),
+            ("NA", 0.91),
+        ];
+        let paper_loc: &[(&str, f64)] = &[
+            ("SSA", 0.52),
+            ("MENA", 0.74),
+            ("LAC", 0.80),
+            ("ECA", 0.85),
+            ("SA", 0.94),
+            ("EAP", 0.96),
+            ("NA", 0.98),
+        ];
+        let mut t = Table::new(vec![
+            "Region",
+            "WHOIS dom (got)",
+            "WHOIS dom (paper)",
+            "Geo dom (got)",
+            "Geo dom (paper)",
+        ]);
+        for ((code, reg_p), (_, loc_p)) in paper_reg.iter().zip(paper_loc) {
+            let region: Region = code.parse().expect("static region");
+            let reg = self
+                .location
+                .registration_by_region
+                .get(&region)
+                .map(|s| format!("{:.2}", s.domestic_fraction()))
+                .unwrap_or_else(|| "-".into());
+            let loc = self
+                .location
+                .geolocation_by_region
+                .get(&region)
+                .map(|s| format!("{:.2}", s.domestic_fraction()))
+                .unwrap_or_else(|| "-".into());
+            t.row(vec![
+                (*code).into(),
+                reg,
+                format!("{reg_p:.2}"),
+                loc,
+                format!("{loc_p:.2}"),
+            ]);
+        }
+        format!("[f8] Fig 8 — domestic fractions per region:\n{}", t.render())
+    }
+
+    fn f9(&self) -> String {
+        let mut out = String::from("[f9] Fig 9 — cross-border flows (top 15 by URL count)\n");
+        for (lens, matrix) in [
+            ("registration", &self.crossborder.registration),
+            ("server location", &self.crossborder.location),
+        ] {
+            let mut flows: Vec<((CountryCode, CountryCode), u64)> =
+                matrix.flows.iter().map(|(k, v)| (*k, *v)).collect();
+            flows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            out.push_str(&format!("  by {lens}:\n"));
+            for ((src, dst), n) in flows.into_iter().take(15) {
+                out.push_str(&format!("    {src} -> {dst}: {n} URLs\n"));
+            }
+        }
+        out.push_str(&format!(
+            "  bilateral checks (measured / paper):\n    MX->US {:.1}% / 79.2%\n    CN->JP {:.1}% / 26.4%\n    NZ->AU {:.1}% / 40.0%\n    FR->NC {:.1}% / 18.0%\n    MA->FR {:.1}% / 29.8%\n    BR->US {:.1}% / 1.8%\n  GDPR compliance {:.1}% (paper 98.3%)\n  NA+W.Europe share of cross-border {:.0}% (paper 57%)\n",
+            self.crossborder.percent_served_from(cc("MX"), cc("US")),
+            self.crossborder.percent_served_from(cc("CN"), cc("JP")),
+            self.crossborder.percent_served_from(cc("NZ"), cc("AU")),
+            self.crossborder.percent_served_from(cc("FR"), cc("NC")),
+            self.crossborder.percent_served_from(cc("MA"), cc("FR")),
+            self.crossborder.percent_served_from(cc("BR"), cc("US")),
+            self.crossborder.gdpr_compliance() * 100.0,
+            self.crossborder.na_weu_share() * 100.0,
+        ));
+        out
+    }
+
+    fn f10(&self) -> String {
+        let items: Vec<(String, f64)> = self
+            .providers
+            .histogram()
+            .into_iter()
+            .take(28)
+            .map(|(asn, n)| {
+                let name = govhost_worldgen::providers::provider_by_asn(asn.value())
+                    .map(|p| p.name.to_string())
+                    .unwrap_or_else(|| asn.to_string());
+                (format!("{name} ({asn})"), n as f64)
+            })
+            .collect();
+        let peaks: String = self
+            .providers
+            .providers
+            .iter()
+            .take(4)
+            .filter_map(|p| {
+                p.peak_share().map(|(country, share)| {
+                    format!("    {} peaks at {:.0}% of {}'s bytes\n", p.org, share * 100.0, country)
+                })
+            })
+            .collect();
+        format!(
+            "[f10] Fig 10 — governments per global provider\n{}\n  paper: Cloudflare 49, Amazon 31, Microsoft 28; Amazon 97% of an East Asian country's bytes,\n         Cloudflare 72%/58%/56% peaks, Hetzner 57% of a Scandinavian country\n  measured peaks:\n{peaks}",
+            histogram(&items, 49),
+        )
+    }
+
+    fn f11(&self) -> String {
+        let mut out = String::from("[f11] Fig 11 — HHI per dominant category\n");
+        for (category, urls, bytes) in self.diversification.boxplots() {
+            out.push_str(&boxplot_row(
+                category.label(),
+                urls.whisker_low,
+                urls.q1,
+                urls.median,
+                urls.q3,
+                urls.whisker_high,
+                51,
+            ));
+            out.push_str(&boxplot_row(
+                "(bytes)",
+                bytes.whisker_low,
+                bytes.q1,
+                bytes.median,
+                bytes.q3,
+                bytes.whisker_high,
+                51,
+            ));
+        }
+        out.push_str(&format!(
+            "  single-network byte majority: Govt&SOE {:.0}% (paper 63%), 3P Global {:.0}% (paper 32%)\n",
+            self.diversification.single_network_majority_rate(ProviderCategory::GovtSoe) * 100.0,
+            self.diversification
+                .single_network_majority_rate(ProviderCategory::ThirdPartyGlobal)
+                * 100.0,
+        ));
+        out
+    }
+
+    fn f12(&self) -> String {
+        let Some(model) = &self.explain else {
+            return "[f12] explanatory model not fitted".into();
+        };
+        let mut t = Table::new(vec!["Feature", "β", "95% CI", "p", "Paper β [CI]"]);
+        let paper: &[(&str, &str)] = &[
+            ("internet_users", "+0.845 [0.476, 1.214]"),
+            ("NRI", "-0.660 [-1.225, -0.095]"),
+            ("GDP", "-0.239 [-0.399, -0.079]"),
+            ("IDI", "n.s."),
+            ("HDI", "n.s."),
+            ("econ_freedom", "n.s."),
+        ];
+        for (name, paper_desc) in paper {
+            let Some(c) = model.coefficient(name) else { continue };
+            t.row(vec![
+                (*name).into(),
+                format!("{:+.3}", c.coefficient.estimate),
+                format!("[{:+.3}, {:+.3}]", c.coefficient.ci_low, c.coefficient.ci_high),
+                format!("{:.3}", c.coefficient.p_value),
+                (*paper_desc).into(),
+            ]);
+        }
+        format!(
+            "[f12] Fig 12 — OLS on offshore-hosting %, R² = {:.2} ({} countries):\n{}",
+            model.r_squared,
+            model.countries.len(),
+            t.render()
+        )
+    }
+}
+
+impl Context {
+    /// Machine-readable artifacts: `(filename, CSV content)` pairs for
+    /// the figure data series (flows, histogram, shares, per-country
+    /// table) plus the world calibration report.
+    pub fn csv_artifacts(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+
+        // Fig. 2 / Fig. 4 shares.
+        let mut shares = Csv::new();
+        shares.row(["level", "name", "lens", "govt_soe", "3p_local", "3p_global", "3p_regional"]);
+        let mean = self.hosting.global_country_mean();
+        let push = |csv: &mut Csv, level: &str, name: &str, lens: &str, v: &[f64; 4]| {
+            csv.row([
+                level.to_string(),
+                name.to_string(),
+                lens.to_string(),
+                format!("{:.4}", v[0]),
+                format!("{:.4}", v[1]),
+                format!("{:.4}", v[2]),
+                format!("{:.4}", v[3]),
+            ]);
+        };
+        push(&mut shares, "global", "country-mean", "urls", &mean.urls);
+        push(&mut shares, "global", "country-mean", "bytes", &mean.bytes);
+        for (region, s) in &self.hosting.per_region {
+            push(&mut shares, "region", region.code(), "urls", &s.urls);
+            push(&mut shares, "region", region.code(), "bytes", &s.bytes);
+        }
+        let mut countries: Vec<_> = self.hosting.per_country.iter().collect();
+        countries.sort_by_key(|(c, _)| **c);
+        for (country, s) in countries {
+            push(&mut shares, "country", country.as_str(), "urls", &s.urls);
+            push(&mut shares, "country", country.as_str(), "bytes", &s.bytes);
+        }
+        out.push(("shares.csv".to_string(), shares.finish()));
+
+        // Fig. 9 flows (both lenses).
+        let mut flows = Csv::new();
+        flows.row(["lens", "source", "destination", "urls"]);
+        for (lens, matrix) in [
+            ("registration", &self.crossborder.registration),
+            ("location", &self.crossborder.location),
+        ] {
+            let mut rows: Vec<_> = matrix.flows.iter().collect();
+            rows.sort_by_key(|((s, d), _)| (*s, *d));
+            for ((src, dst), n) in rows {
+                flows.row([
+                    lens.to_string(),
+                    src.to_string(),
+                    dst.to_string(),
+                    n.to_string(),
+                ]);
+            }
+        }
+        out.push(("flows.csv".to_string(), flows.finish()));
+
+        // Fig. 10 histogram + byte peaks.
+        let mut providers = Csv::new();
+        providers.row(["asn", "org", "countries", "peak_country", "peak_byte_share"]);
+        for p in &self.providers.providers {
+            let (peak_c, peak_s) = p
+                .peak_share()
+                .map(|(c, s)| (c.to_string(), format!("{s:.4}")))
+                .unwrap_or_default();
+            providers.row([
+                p.asn.value().to_string(),
+                p.org.clone(),
+                p.countries.len().to_string(),
+                peak_c,
+                peak_s,
+            ]);
+        }
+        out.push(("providers.csv".to_string(), providers.finish()));
+
+        // Table 8 recomputed.
+        let mut t8 = Csv::new();
+        t8.row(["country", "landing", "urls", "hostnames", "bytes"]);
+        for row in COUNTRIES {
+            let stats = self.dataset.per_country.get(&row.cc()).copied().unwrap_or_default();
+            t8.row([
+                row.code.to_string(),
+                stats.landing.to_string(),
+                stats.urls.to_string(),
+                stats.hostnames.to_string(),
+                stats.bytes.to_string(),
+            ]);
+        }
+        out.push(("table8.csv".to_string(), t8.finish()));
+
+        // Calibration report.
+        let calibration = govhost_worldgen::CalibrationReport::check(&self.world);
+        out.push(("calibration.txt".to_string(), calibration.render()));
+        out
+    }
+
+    /// Affordability extension: median page weight, visit cost and income
+    /// burden per country (the related-work lens of Habib et al.).
+    fn afford(&self) -> String {
+        let analysis = govhost_core::affordability::AffordabilityAnalysis::compute(&self.dataset);
+        let mut t = Table::new(vec![
+            "Country",
+            "Median site weight (MB)",
+            "Visit cost (USD)",
+            "Share of daily income",
+        ]);
+        for (code, m) in analysis.worst(12) {
+            t.row(vec![
+                code.to_string(),
+                format!("{:.2}", m.median_landing_bytes / 1e6),
+                format!("{:.4}", m.visit_cost_usd),
+                format!("{:.4}%", m.share_of_daily_income * 100.0),
+            ]);
+        }
+        format!(
+            "[afford] Affordability extension — worst-burdened countries
+{}  Spearman(GDP, burden) = {:.2} (Habib et al.'s double penalty: negative)
+",
+            t.render(),
+            analysis.burden_income_correlation(),
+        )
+    }
+
+    /// The §1 bullet list, each claim evaluated against the measured
+    /// dataset with an explicit pass band.
+    fn claims(&self) -> String {
+        let mean = self.hosting.global_country_mean();
+        let mut out = String::from("[claims] §1 headline claims
+");
+        let mut check = |name: &str, value: f64, lo: f64, hi: f64, paper: &str| {
+            let ok = (lo..=hi).contains(&value);
+            out.push_str(&format!(
+                "  [{}] {name}: measured {value:.3} (paper {paper}, accept {lo}..{hi})
+",
+                if ok { "PASS" } else { "MISS" }
+            ));
+        };
+        check("3P URL share", mean.third_party_urls(), 0.50, 0.75, "0.62");
+        check("3P byte share", mean.third_party_bytes(), 0.40, 0.68, "0.53");
+        check(
+            "domestic serving",
+            self.location.geolocation.domestic_fraction(),
+            0.78,
+            0.95,
+            "0.87",
+        );
+        check(
+            "domestic registration",
+            self.location.registration.domestic_fraction(),
+            0.60,
+            0.88,
+            "0.77",
+        );
+        check(
+            "GDPR compliance",
+            self.crossborder.gdpr_compliance(),
+            0.93,
+            1.0,
+            "0.983",
+        );
+        check(
+            "NA+W.Europe cross-border share",
+            self.crossborder.na_weu_share(),
+            0.45,
+            1.0,
+            "0.57",
+        );
+        check(
+            "Mexico served from US (%)",
+            self.crossborder.percent_served_from(cc("MX"), cc("US")),
+            60.0,
+            95.0,
+            "79.2",
+        );
+        check(
+            "China served from Japan (%)",
+            self.crossborder.percent_served_from(cc("CN"), cc("JP")),
+            15.0,
+            40.0,
+            "26.4",
+        );
+        check(
+            "New Zealand served from Australia (%)",
+            self.crossborder.percent_served_from(cc("NZ"), cc("AU")),
+            22.0,
+            60.0,
+            "40.0",
+        );
+        check(
+            "France served from New Caledonia (%)",
+            self.crossborder.percent_served_from(cc("FR"), cc("NC")),
+            8.0,
+            35.0,
+            "18.0",
+        );
+        check(
+            "Govt&SOE single-network majority rate",
+            self.diversification
+                .single_network_majority_rate(govhost_types::ProviderCategory::GovtSoe),
+            0.45,
+            0.85,
+            "0.63",
+        );
+        check(
+            "3P Global single-network majority rate",
+            self.diversification
+                .single_network_majority_rate(govhost_types::ProviderCategory::ThirdPartyGlobal),
+            0.10,
+            0.50,
+            "0.32",
+        );
+        let leader = self.providers.leader().map(|p| p.countries.len()).unwrap_or(0);
+        let second =
+            self.providers.providers.get(1).map(|p| p.countries.len()).unwrap_or(0);
+        out.push_str(&format!(
+            "  [{}] a single provider leads adoption: leader {leader} vs runner-up {second} (paper: Cloudflare 49 vs Amazon 31)
+",
+            if leader > second { "PASS" } else { "MISS" }
+        ));
+        let misses = out.matches("[MISS]").count();
+        out.push_str(&format!("  => {misses} misses of 13 claims
+"));
+        out
+    }
+}
+
+fn cc(code: &str) -> CountryCode {
+    code.parse().expect("static code")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn context() -> Context {
+        Context::new(&GenParams::tiny())
+    }
+
+    #[test]
+    fn claims_mostly_pass_even_tiny() {
+        let ctx = context();
+        let out = ctx.render("claims").unwrap();
+        let misses = out.matches("[MISS]").count();
+        assert!(misses <= 4, "too many claim misses at tiny scale:\n{out}");
+    }
+
+    #[test]
+    fn all_experiments_render() {
+        let ctx = context();
+        for exp in ALL_EXPERIMENTS {
+            let out = ctx.render(exp.id).expect("known id renders");
+            assert!(out.contains(&format!("[{}]", exp.id)), "{}: {out}", exp.id);
+            assert!(out.len() > 40, "{} output suspiciously short", exp.id);
+        }
+        assert!(ctx.render("nope").is_none());
+    }
+
+    #[test]
+    fn f2_reports_both_rows() {
+        let ctx = context();
+        let out = ctx.render("f2").unwrap();
+        assert!(out.contains("URLs"));
+        assert!(out.contains("Bytes"));
+        assert!(out.contains("paper URLs"));
+    }
+
+    #[test]
+    fn t8_covers_every_country() {
+        let ctx = context();
+        let out = ctx.render("t8").unwrap();
+        for row in COUNTRIES {
+            assert!(out.contains(row.code), "{} missing from t8", row.code);
+        }
+    }
+}

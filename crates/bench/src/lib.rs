@@ -1,0 +1,11 @@
+//! # govhost-bench
+//!
+//! The experiment harness: [`Context`] runs the full pipeline once, and
+//! one renderer per paper artifact regenerates that table or figure with
+//! the paper's reference values printed alongside the measured ones. The
+//! `repro` binary drives these; the Criterion benches reuse the same
+//! pieces.
+
+pub mod experiments;
+
+pub use experiments::{Context, Experiment, ALL_EXPERIMENTS};

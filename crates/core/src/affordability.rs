@@ -1,0 +1,199 @@
+//! Affordability of government websites — the extension angle of the
+//! paper's related work (Habib et al., WWW 2023: "A First Look at Public
+//! Service Websites from the Affordability Lens"), which the paper cites
+//! as motivation for caring about page weight.
+//!
+//! For each country: the median landing-page weight, the mobile-data cost
+//! of one visit, and the share of per-capita daily income that visit
+//! costs — the affordability metric. Heavier government pages in
+//! lower-income countries are the double penalty Habib et al. document.
+
+use crate::dataset::GovDataset;
+use govhost_stats::descriptive::median;
+use govhost_types::CountryCode;
+use govhost_worldgen::countries::COUNTRIES;
+use std::collections::HashMap;
+
+/// Approximate mobile-data price, USD per GB (1 GB averages, public
+/// price-comparison figures; used only for the affordability extension).
+fn usd_per_gb(code: &str) -> f64 {
+    match code {
+        // Cheap-data markets.
+        "IN" => 0.17,
+        "IL" => 0.11,
+        "IT" => 0.43,
+        "FR" => 0.51,
+        "BD" => 0.32,
+        "PK" => 0.36,
+        "VN" => 0.46,
+        "ID" => 0.64,
+        "RU" => 0.45,
+        "CN" => 0.52,
+        "BR" => 0.85,
+        "TR" => 0.95,
+        "PL" => 0.79,
+        "ES" => 0.62,
+        "GB" => 0.79,
+        "DE" => 2.67,
+        "US" => 5.62,
+        "CA" => 5.94,
+        "CH" => 4.08,
+        "KR" => 5.75,
+        "JP" => 3.85,
+        "AE" => 4.37,
+        "MX" => 2.03,
+        "AR" => 0.72,
+        "CL" => 0.52,
+        "UY" => 1.75,
+        "BO" => 2.36,
+        "PY" => 1.14,
+        "CR" => 2.73,
+        "NG" => 0.88,
+        "ZA" => 2.04,
+        "EG" => 0.53,
+        "DZ" => 0.76,
+        "MA" => 1.17,
+        "AU" => 0.66,
+        "NZ" => 2.32,
+        "SG" => 0.58,
+        "MY" => 0.43,
+        "TH" => 0.59,
+        "TW" => 0.76,
+        "HK" => 1.39,
+        _ => 1.5, // remaining ECA members cluster near this
+    }
+}
+
+/// Affordability metrics for one country.
+#[derive(Debug, Clone, Copy)]
+pub struct CountryAffordability {
+    /// Median landing-page transfer size, bytes.
+    pub median_landing_bytes: f64,
+    /// USD cost of one landing-page visit on mobile data.
+    pub visit_cost_usd: f64,
+    /// That cost as a fraction of per-capita *daily* income.
+    pub share_of_daily_income: f64,
+}
+
+/// The affordability analysis.
+#[derive(Debug, Clone, Default)]
+pub struct AffordabilityAnalysis {
+    /// Per-country metrics.
+    pub per_country: HashMap<CountryCode, CountryAffordability>,
+}
+
+impl AffordabilityAnalysis {
+    /// Compute from the dataset: landing-page weight is the total bytes a
+    /// crawl captured at each landing hostname's root document plus its
+    /// same-page resources. We approximate per-site weight by grouping
+    /// URLs by hostname (the HAR already collapsed pages to URLs).
+    pub fn compute(dataset: &GovDataset) -> AffordabilityAnalysis {
+        // bytes per hostname, then median per country.
+        let mut host_bytes: HashMap<u32, f64> = HashMap::new();
+        for url in &dataset.urls {
+            *host_bytes.entry(url.host).or_default() += url.bytes as f64;
+        }
+        let mut per_country_sizes: HashMap<CountryCode, Vec<f64>> = HashMap::new();
+        for (idx, bytes) in &host_bytes {
+            let host = &dataset.hosts[*idx as usize];
+            per_country_sizes.entry(host.country).or_default().push(*bytes);
+        }
+        let mut per_country = HashMap::new();
+        for row in COUNTRIES {
+            let code = row.cc();
+            let Some(sizes) = per_country_sizes.get(&code) else { continue };
+            let median_landing_bytes = median(sizes);
+            let gb = median_landing_bytes / 1e9;
+            let visit_cost_usd = gb * usd_per_gb(row.code);
+            let daily_income = row.gdp_k * 1_000.0 / 365.0;
+            per_country.insert(
+                code,
+                CountryAffordability {
+                    median_landing_bytes,
+                    visit_cost_usd,
+                    share_of_daily_income: if daily_income > 0.0 {
+                        visit_cost_usd / daily_income
+                    } else {
+                        f64::NAN
+                    },
+                },
+            );
+        }
+        AffordabilityAnalysis { per_country }
+    }
+
+    /// Countries ranked by affordability burden, worst first.
+    pub fn worst(&self, n: usize) -> Vec<(CountryCode, CountryAffordability)> {
+        let mut all: Vec<(CountryCode, CountryAffordability)> =
+            self.per_country.iter().map(|(c, a)| (*c, *a)).collect();
+        all.sort_by(|a, b| {
+            b.1.share_of_daily_income
+                .partial_cmp(&a.1.share_of_daily_income)
+                .expect("finite burdens")
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// Habib et al.'s double-penalty check: is the affordability burden
+    /// anti-correlated with income (poorer countries pay a larger share)?
+    pub fn burden_income_correlation(&self) -> f64 {
+        let mut gdp = Vec::new();
+        let mut burden = Vec::new();
+        for row in COUNTRIES {
+            if let Some(a) = self.per_country.get(&row.cc()) {
+                if a.share_of_daily_income.is_finite() {
+                    gdp.push(row.gdp_k);
+                    burden.push(a.share_of_daily_income);
+                }
+            }
+        }
+        govhost_stats::correlation::spearman(&gdp, &burden)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::BuildOptions;
+    use govhost_worldgen::{GenParams, World};
+
+    fn analysis() -> AffordabilityAnalysis {
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        AffordabilityAnalysis::compute(&dataset)
+    }
+
+    #[test]
+    fn covers_most_countries() {
+        let a = analysis();
+        assert!(a.per_country.len() >= 55, "countries: {}", a.per_country.len());
+        for (c, m) in &a.per_country {
+            assert!(m.median_landing_bytes > 0.0, "{c}");
+            assert!(m.visit_cost_usd >= 0.0, "{c}");
+        }
+    }
+
+    #[test]
+    fn burden_is_anticorrelated_with_income() {
+        // The double penalty: page weights are broadly similar, so the
+        // burden (cost / daily income) must fall with GDP.
+        let a = analysis();
+        let r = a.burden_income_correlation();
+        assert!(r < -0.4, "Spearman(GDP, burden) = {r}");
+    }
+
+    #[test]
+    fn worst_list_is_sorted_and_low_income() {
+        let a = analysis();
+        let worst = a.worst(5);
+        assert_eq!(worst.len(), 5);
+        for w in worst.windows(2) {
+            assert!(w[0].1.share_of_daily_income >= w[1].1.share_of_daily_income);
+        }
+        // The worst-burdened country is a low-GDP one.
+        let code = worst[0].0;
+        let row = govhost_worldgen::countries::country(code).unwrap();
+        assert!(row.gdp_k < 20.0, "worst burden in a low-income country, got {code}");
+    }
+}

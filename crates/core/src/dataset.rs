@@ -1,0 +1,497 @@
+//! End-to-end dataset construction (§3 applied to all 61 countries).
+//!
+//! For each country: crawl every landing page seven levels deep from the
+//! in-country VPN vantage (§3.2), filter the captured URLs down to
+//! government URLs (§3.3), resolve each government hostname and identify
+//! its serving infrastructure (§3.4), then validate every server address
+//! through the multistage geolocation pipeline (§3.5). The result is the
+//! paper's dataset: URL records joined to per-hostname infrastructure
+//! records, plus the aggregate statistics of Tables 3, 4, and 8.
+
+use crate::classify::{ClassificationMethod, Classifier};
+use crate::infra::InfraIdentifier;
+use govhost_geoloc::pipeline::{GeoTask, GeolocationPipeline, PipelineConfig, ValidationStats};
+use govhost_types::{Asn, CountryCode, Hostname, ProviderCategory, Region, Url};
+use govhost_web::crawler::{crawl_sites_parallel, Crawler};
+use govhost_worldgen::World;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Options for [`GovDataset::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Crawl configuration (depth 7, as in the paper, by default).
+    pub crawler: Crawler,
+    /// Worker threads for the per-country crawl fan-out.
+    pub threads: usize,
+    /// Geolocation-pipeline knobs (stage toggles for ablations).
+    pub geo: PipelineConfig,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self { crawler: Crawler::default(), threads: 4, geo: PipelineConfig::default() }
+    }
+}
+
+/// Infrastructure record for one government hostname.
+#[derive(Debug, Clone)]
+pub struct HostRecord {
+    /// The hostname.
+    pub hostname: Hostname,
+    /// The government (country) whose crawl surfaced it.
+    pub country: CountryCode,
+    /// Which §3.3 heuristic identified it.
+    pub method: ClassificationMethod,
+    /// Resolved address (from the domestic vantage), if resolution
+    /// succeeded.
+    pub ip: Option<Ipv4Addr>,
+    /// Origin AS.
+    pub asn: Option<Asn>,
+    /// WHOIS organization name.
+    pub org: Option<String>,
+    /// WHOIS registration country.
+    pub registration: Option<CountryCode>,
+    /// Whether §3.4 classified the operator as government/state-owned.
+    pub state_operated: bool,
+    /// Final §5.1 category (requires the cross-country footprint pass).
+    pub category: Option<ProviderCategory>,
+    /// Validated server location; `None` when geolocation excluded the
+    /// address (§3.5's conservative policy).
+    pub server_country: Option<CountryCode>,
+    /// Whether the address is anycast (per the MAnycast2 snapshot).
+    pub anycast: bool,
+    /// Whether §3.5 excluded the address.
+    pub geo_excluded: bool,
+}
+
+/// One captured government URL.
+#[derive(Debug, Clone)]
+pub struct UrlRecord {
+    /// The URL.
+    pub url: Url,
+    /// Index into [`GovDataset::hosts`].
+    pub host: u32,
+    /// Transfer size.
+    pub bytes: u64,
+}
+
+/// Per-country collection statistics (Table 8 recomputed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountryStats {
+    /// Landing URLs crawled.
+    pub landing: u32,
+    /// Government URLs captured.
+    pub urls: u64,
+    /// Distinct government hostnames.
+    pub hostnames: u32,
+    /// Total government bytes.
+    pub bytes: u64,
+}
+
+/// Dataset-wide summary (Table 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DatasetSummary {
+    /// Landing URLs crawled.
+    pub landing_urls: usize,
+    /// Government URLs (beyond landing pages).
+    pub internal_urls: usize,
+    /// Unique government URLs in total.
+    pub unique_urls: usize,
+    /// Unique government hostnames.
+    pub unique_hostnames: usize,
+    /// Distinct ASes serving them.
+    pub ases: usize,
+    /// Distinct ASes classified as government-operated.
+    pub govt_ases: usize,
+    /// Unique server addresses.
+    pub unique_ips: usize,
+    /// Addresses flagged anycast.
+    pub anycast_ips: usize,
+    /// Countries where (validated) servers were located.
+    pub server_countries: usize,
+}
+
+/// The assembled dataset.
+#[derive(Debug, Clone)]
+pub struct GovDataset {
+    /// Per-hostname infrastructure records.
+    pub hosts: Vec<HostRecord>,
+    /// Every captured government URL.
+    pub urls: Vec<UrlRecord>,
+    /// Hostname → index into `hosts`.
+    pub host_index: HashMap<Hostname, u32>,
+    /// Geolocation validation statistics (Table 4).
+    pub validation: ValidationStats,
+    /// URL counts per §3.3 method `[GovTld, DomainMatch, San]` (§4.2).
+    pub method_counts: [u64; 3],
+    /// Failed page fetches (geo-blocks seen from the wrong vantage, dead
+    /// links).
+    pub crawl_failures: u32,
+    /// Per-country statistics (Table 8).
+    pub per_country: HashMap<CountryCode, CountryStats>,
+}
+
+impl GovDataset {
+    /// Run the full §3 methodology against a world.
+    pub fn build(world: &World, options: &BuildOptions) -> GovDataset {
+        let mut hosts: Vec<HostRecord> = Vec::new();
+        let mut host_index: HashMap<Hostname, u32> = HashMap::new();
+        let mut urls: Vec<UrlRecord> = Vec::new();
+        let mut method_counts = [0u64; 3];
+        let mut crawl_failures = 0u32;
+        let mut per_country: HashMap<CountryCode, CountryStats> = HashMap::new();
+        let mut identifier = InfraIdentifier::new(
+            &world.resolver,
+            &world.registry,
+            &world.peeringdb,
+            &world.search,
+        );
+
+        for row in world.studied_countries() {
+            let code = row.cc();
+            let landing = world.landing(code);
+            if landing.is_empty() {
+                continue; // Korea's empty row
+            }
+            let vantage = world.vantage(code);
+            let jobs: Vec<(Url, Option<CountryCode>)> =
+                landing.iter().map(|u| (u.clone(), Some(vantage.country))).collect();
+            let outcomes =
+                crawl_sites_parallel(&world.corpus, &options.crawler, &jobs, options.threads);
+
+            // §3.3 classifier for this country.
+            let seed_hosts: Vec<Hostname> =
+                landing.iter().map(|u| u.hostname().clone()).collect();
+            let landing_certs: Vec<&govhost_web::cert::TlsCert> = seed_hosts
+                .iter()
+                .filter_map(|h| world.corpus.certificate(h))
+                .collect();
+            let mut classifier =
+                Classifier::new(seed_hosts.clone(), landing_certs, &world.search);
+
+            let stats = per_country.entry(code).or_default();
+            stats.landing = landing.len() as u32;
+            let mut seen_urls: HashSet<Url> = HashSet::new();
+            let mut country_hosts: HashSet<Hostname> = HashSet::new();
+
+            for outcome in &outcomes {
+                crawl_failures += outcome.log.failures;
+                for entry in &outcome.log.entries {
+                    if !seen_urls.insert(entry.url.clone()) {
+                        continue;
+                    }
+                    let host = entry.url.hostname();
+                    let Some(method) = classifier.classify(host) else {
+                        continue; // non-government URL, discarded
+                    };
+                    let idx = match host_index.get(host) {
+                        Some(i) => *i,
+                        None => {
+                            let i = hosts.len() as u32;
+                            host_index.insert(host.clone(), i);
+                            let mut record = HostRecord {
+                                hostname: host.clone(),
+                                country: code,
+                                method,
+                                ip: None,
+                                asn: None,
+                                org: None,
+                                registration: None,
+                                state_operated: false,
+                                category: None,
+                                server_country: None,
+                                anycast: false,
+                                geo_excluded: false,
+                            };
+                            // §3.4: resolve + WHOIS from the domestic
+                            // vantage.
+                            if let Ok(Some(infra)) =
+                                identifier.identify(host, vantage.country)
+                            {
+                                record.ip = Some(infra.ip);
+                                record.asn = Some(infra.asn);
+                                record.org = Some(infra.org);
+                                record.registration = Some(infra.registration);
+                                record.state_operated = infra.state_operated.is_some();
+                            }
+                            hosts.push(record);
+                            i
+                        }
+                    };
+                    country_hosts.insert(host.clone());
+                    let midx = match method {
+                        ClassificationMethod::GovTld => 0,
+                        ClassificationMethod::DomainMatch => 1,
+                        ClassificationMethod::San => 2,
+                    };
+                    method_counts[midx] += 1;
+                    stats.urls += 1;
+                    stats.bytes += entry.bytes;
+                    urls.push(UrlRecord { url: entry.url.clone(), host: idx, bytes: entry.bytes });
+                }
+            }
+            stats.hostnames = country_hosts.len() as u32;
+        }
+
+        // Cross-country pass: provider footprints → §5.1 categories.
+        assign_categories(&mut hosts);
+
+        // §3.5: validate every (address, serving country) pair.
+        let validation = geolocate(world, &mut hosts, options);
+
+        GovDataset {
+            hosts,
+            urls,
+            host_index,
+            validation,
+            method_counts,
+            crawl_failures,
+            per_country,
+        }
+    }
+
+    /// Table 3 summary.
+    pub fn summary(&self) -> DatasetSummary {
+        let landing_urls: usize =
+            self.per_country.values().map(|s| s.landing as usize).sum();
+        let unique_urls = self.urls.len();
+        let ases: HashSet<Asn> = self.hosts.iter().filter_map(|h| h.asn).collect();
+        let govt_ases: HashSet<Asn> = self
+            .hosts
+            .iter()
+            .filter(|h| h.state_operated)
+            .filter_map(|h| h.asn)
+            .collect();
+        let ips: HashSet<Ipv4Addr> = self.hosts.iter().filter_map(|h| h.ip).collect();
+        let anycast_ips: HashSet<Ipv4Addr> =
+            self.hosts.iter().filter(|h| h.anycast).filter_map(|h| h.ip).collect();
+        let server_countries: HashSet<CountryCode> =
+            self.hosts.iter().filter_map(|h| h.server_country).collect();
+        DatasetSummary {
+            landing_urls,
+            internal_urls: unique_urls.saturating_sub(landing_urls),
+            unique_urls,
+            unique_hostnames: self.hosts.len(),
+            ases: ases.len(),
+            govt_ases: govt_ases.len(),
+            unique_ips: ips.len(),
+            anycast_ips: anycast_ips.len(),
+            server_countries: server_countries.len(),
+        }
+    }
+
+    /// Iterate URLs joined with their host records.
+    pub fn url_views(&self) -> impl Iterator<Item = (&UrlRecord, &HostRecord)> {
+        self.urls.iter().map(move |u| (u, &self.hosts[u.host as usize]))
+    }
+
+    /// URLs of one country, joined.
+    pub fn country_urls(
+        &self,
+        country: CountryCode,
+    ) -> impl Iterator<Item = (&UrlRecord, &HostRecord)> {
+        self.url_views().filter(move |(_, h)| h.country == country)
+    }
+
+    /// All countries present in the dataset, sorted.
+    pub fn countries(&self) -> Vec<CountryCode> {
+        let mut cs: Vec<CountryCode> = self.per_country.keys().copied().collect();
+        cs.sort();
+        cs
+    }
+}
+
+/// §5.1 category assignment. Needs the whole dataset because "3P Global"
+/// is defined by a network's *observed* multi-continent government
+/// footprint.
+fn assign_categories(hosts: &mut [HostRecord]) {
+    // Footprint: regions of the governments each AS serves.
+    let mut as_regions: HashMap<Asn, HashSet<Region>> = HashMap::new();
+    for h in hosts.iter() {
+        if let (Some(asn), Some(region)) = (h.asn, region_of(h.country)) {
+            as_regions.entry(asn).or_default().insert(region);
+        }
+    }
+    for h in hosts.iter_mut() {
+        let Some(asn) = h.asn else { continue };
+        let category = if h.state_operated {
+            ProviderCategory::GovtSoe
+        } else if as_regions.get(&asn).map_or(0, HashSet::len) > 1 {
+            ProviderCategory::ThirdPartyGlobal
+        } else if h.registration == Some(h.country) {
+            ProviderCategory::ThirdPartyLocal
+        } else {
+            ProviderCategory::ThirdPartyRegional
+        };
+        h.category = Some(category);
+    }
+}
+
+fn region_of(country: CountryCode) -> Option<Region> {
+    govhost_worldgen::countries::any_country(country).map(|row| row.region)
+}
+
+/// §3.5 validation over every unique (address, serving-country) pair.
+fn geolocate(
+    world: &World,
+    hosts: &mut [HostRecord],
+    options: &BuildOptions,
+) -> ValidationStats {
+    let pipeline = GeolocationPipeline {
+        registry: &world.registry,
+        geodb: &world.geodb,
+        anycast: &world.manycast,
+        fleet: &world.fleet,
+        model: &world.latency,
+        thresholds: &world.thresholds,
+        hoiho: &world.hoiho,
+        ipmap: &world.ipmap,
+        resolver: &world.resolver,
+        config: options.geo,
+    };
+    let mut tasks: Vec<GeoTask> = hosts
+        .iter()
+        .filter_map(|h| h.ip.map(|ip| GeoTask { ip, serving_country: h.country }))
+        .collect();
+    tasks.sort_by_key(|t| (t.ip, t.serving_country));
+    tasks.dedup();
+    let (verdicts, stats) = pipeline.locate_all(&tasks);
+    let verdict_map: HashMap<(Ipv4Addr, CountryCode), _> = tasks
+        .iter()
+        .zip(&verdicts)
+        .map(|(t, v)| ((t.ip, t.serving_country), *v))
+        .collect();
+    for h in hosts.iter_mut() {
+        let Some(ip) = h.ip else { continue };
+        let Some(v) = verdict_map.get(&(ip, h.country)) else { continue };
+        h.anycast = v.anycast;
+        h.geo_excluded = v.excluded;
+        h.server_country = if v.excluded { None } else { v.location };
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_worldgen::GenParams;
+
+    fn dataset() -> GovDataset {
+        let world = World::generate(&GenParams::tiny());
+        GovDataset::build(&world, &BuildOptions::default())
+    }
+
+    #[test]
+    fn builds_nonempty_dataset() {
+        let ds = dataset();
+        assert!(ds.hosts.len() > 150, "hosts: {}", ds.hosts.len());
+        assert!(ds.urls.len() > 5_000, "urls: {}", ds.urls.len());
+        let summary = ds.summary();
+        assert!(summary.ases > 100);
+        assert!(summary.govt_ases > 30);
+        assert!(summary.unique_ips > 100);
+    }
+
+    #[test]
+    fn every_url_points_at_valid_host() {
+        let ds = dataset();
+        for u in &ds.urls {
+            assert!((u.host as usize) < ds.hosts.len());
+            let h = &ds.hosts[u.host as usize];
+            assert_eq!(u.url.hostname(), &h.hostname);
+        }
+    }
+
+    #[test]
+    fn trackers_are_filtered_out() {
+        let ds = dataset();
+        assert!(
+            !ds.hosts.iter().any(|h| h.hostname.as_str().contains("webtrack")),
+            "non-government trackers must be discarded by §3.3"
+        );
+    }
+
+    #[test]
+    fn hosts_have_infrastructure() {
+        let ds = dataset();
+        let resolved = ds.hosts.iter().filter(|h| h.ip.is_some()).count();
+        assert!(
+            resolved as f64 / ds.hosts.len() as f64 > 0.95,
+            "nearly all hostnames must resolve ({resolved}/{})",
+            ds.hosts.len()
+        );
+        let categorized = ds.hosts.iter().filter(|h| h.category.is_some()).count();
+        assert_eq!(categorized, resolved, "every resolved host gets a category");
+    }
+
+    #[test]
+    fn method_split_is_dominated_by_tld_and_domain() {
+        let ds = dataset();
+        let total: u64 = ds.method_counts.iter().sum();
+        assert!(total > 0);
+        let san_frac = ds.method_counts[2] as f64 / total as f64;
+        assert!(san_frac < 0.05, "SAN identifications are a small tail, got {san_frac}");
+        assert!(ds.method_counts[0] > 0, "some URLs identified by gov TLDs");
+        assert!(ds.method_counts[1] > 0, "some URLs identified by domain matching");
+    }
+
+    #[test]
+    fn validation_stats_cover_both_kinds() {
+        let ds = dataset();
+        let unicast_total: usize = ds.validation.unicast.iter().sum();
+        assert!(unicast_total > 50);
+        let conf = ds.validation.confirmation_rate();
+        assert!(conf > 0.6, "most addresses must validate, got {conf}");
+    }
+
+    #[test]
+    fn per_country_stats_match_url_records() {
+        let ds = dataset();
+        for (code, stats) in &ds.per_country {
+            let counted = ds.country_urls(*code).count() as u64;
+            assert_eq!(counted, stats.urls, "{code}");
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let world = World::generate(&GenParams::tiny());
+        let a = GovDataset::build(&world, &BuildOptions::default());
+        let b = GovDataset::build(&world, &BuildOptions::default());
+        assert_eq!(a.urls.len(), b.urls.len());
+        assert_eq!(a.hosts.len(), b.hosts.len());
+        assert_eq!(a.method_counts, b.method_counts);
+        assert_eq!(a.validation, b.validation);
+    }
+
+    #[test]
+    fn single_threaded_build_matches_parallel() {
+        let world = World::generate(&GenParams::tiny());
+        let seq =
+            GovDataset::build(&world, &BuildOptions { threads: 1, ..BuildOptions::default() });
+        let par =
+            GovDataset::build(&world, &BuildOptions { threads: 8, ..BuildOptions::default() });
+        assert_eq!(seq.urls.len(), par.urls.len());
+        assert_eq!(seq.method_counts, par.method_counts);
+    }
+
+    #[test]
+    fn categories_recover_ground_truth_mostly() {
+        let world = World::generate(&GenParams::tiny());
+        let ds = GovDataset::build(&world, &BuildOptions::default());
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for h in &ds.hosts {
+            let Some(truth) = world.truth.host(&h.hostname) else { continue };
+            let Some(got) = h.category else { continue };
+            total += 1;
+            if got == truth.category {
+                agree += 1;
+            }
+        }
+        assert!(total > 100);
+        let rate = agree as f64 / total as f64;
+        assert!(rate > 0.8, "category recovery rate {rate} ({agree}/{total})");
+    }
+}

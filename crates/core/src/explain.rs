@@ -1,0 +1,201 @@
+//! App. E: explanatory factors for offshore hosting (Fig. 12, Table 7).
+//!
+//! An OLS regression of each country's percentage of foreign-served URLs
+//! on six standardized development indicators, with VIF multicollinearity
+//! diagnostics. The paper's significant coefficients: Internet users
+//! (+0.845), Network Readiness (−0.660), GDP (−0.239).
+
+use crate::location::LocationAnalysis;
+use govhost_stats::descriptive::standardize;
+use govhost_stats::linalg::Matrix;
+use govhost_stats::ols::{Coefficient, OlsFit, Vif};
+use govhost_types::{CountryCode, CountryIndices};
+use govhost_worldgen::countries::COUNTRIES;
+
+/// A named, fitted coefficient.
+#[derive(Debug, Clone)]
+pub struct NamedCoefficient {
+    /// Feature name (App. E order: IDI, econ_freedom, GDP, HDI, NRI,
+    /// internet_users).
+    pub name: &'static str,
+    /// The OLS inference artifacts.
+    pub coefficient: Coefficient,
+    /// The feature's VIF (Table 7).
+    pub vif: f64,
+}
+
+/// The fitted App. E model.
+#[derive(Debug, Clone)]
+pub struct ExplanatoryModel {
+    /// One entry per feature, App. E order.
+    pub coefficients: Vec<NamedCoefficient>,
+    /// Intercept term.
+    pub intercept: Coefficient,
+    /// Model R².
+    pub r_squared: f64,
+    /// Countries that entered the regression.
+    pub countries: Vec<CountryCode>,
+}
+
+impl ExplanatoryModel {
+    /// Fit the model: outcome = standardized offshore-URL percentage;
+    /// features = standardized `(IDI, EFI, GDP, HDI, NRI, users)`.
+    ///
+    /// Countries without located URLs (e.g. Korea's empty dataset) are
+    /// dropped. Returns `None` if fewer than 10 countries remain or the
+    /// design is singular.
+    pub fn fit(location: &LocationAnalysis) -> Option<ExplanatoryModel> {
+        let mut countries = Vec::new();
+        let mut outcome = Vec::new();
+        let mut features: Vec<[f64; 6]> = Vec::new();
+        for row in COUNTRIES {
+            let code = row.cc();
+            let Some(offshore) = location.offshore_percent(code) else { continue };
+            let indices = CountryIndices {
+                egdi: row.egdi,
+                hdi: row.hdi,
+                iui: row.iui,
+                internet_pop_share: row.pop_share,
+                idi: row.idi,
+                econ_freedom: row.efi,
+                gdp_per_capita: row.gdp_k * 1_000.0,
+                nri: row.nri,
+                internet_users: row.internet_users_m() * 1.0e6,
+            };
+            countries.push(code);
+            outcome.push(offshore);
+            features.push(indices.feature_vector());
+        }
+        if countries.len() < 10 {
+            return None;
+        }
+        let y = standardize(&outcome);
+        // Standardize each feature column.
+        let n = features.len();
+        let mut cols: Vec<Vec<f64>> = Vec::with_capacity(6);
+        for j in 0..6 {
+            let col: Vec<f64> = features.iter().map(|f| f[j]).collect();
+            cols.push(standardize(&col));
+        }
+        // Design: intercept + features.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut row = Vec::with_capacity(7);
+                row.push(1.0);
+                for col in &cols {
+                    row.push(col[i]);
+                }
+                row
+            })
+            .collect();
+        let design = Matrix::from_rows(&rows);
+        let fit = OlsFit::fit(&design, &y)?;
+
+        // VIFs over the (standardized) feature matrix, without intercept.
+        let feature_rows: Vec<Vec<f64>> =
+            (0..n).map(|i| cols.iter().map(|c| c[i]).collect()).collect();
+        let vif = Vif::compute(&Matrix::from_rows(&feature_rows));
+
+        let coefficients = CountryIndices::FEATURE_NAMES
+            .iter()
+            .enumerate()
+            .map(|(j, name)| NamedCoefficient {
+                name,
+                coefficient: fit.coefficients[j + 1],
+                vif: vif.factors[j],
+            })
+            .collect();
+        Some(ExplanatoryModel {
+            coefficients,
+            intercept: fit.coefficients[0],
+            r_squared: fit.r_squared,
+            countries,
+        })
+    }
+
+    /// Look up a coefficient by feature name.
+    pub fn coefficient(&self, name: &str) -> Option<&NamedCoefficient> {
+        self.coefficients.iter().find(|c| c.name == name)
+    }
+
+    /// Table 7: `(name, VIF)` pairs.
+    pub fn vif_table(&self) -> Vec<(&'static str, f64)> {
+        self.coefficients.iter().map(|c| (c.name, c.vif)).collect()
+    }
+
+    /// Whether all VIFs are under the paper's threshold of 10.
+    pub fn multicollinearity_acceptable(&self) -> bool {
+        self.coefficients.iter().all(|c| c.vif < 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::DomesticSplit;
+    use std::collections::HashMap;
+
+    /// A synthetic location analysis where offshore% is a planted linear
+    /// function of the features (users up, NRI down), to verify the model
+    /// recovers the signs.
+    fn planted_location() -> LocationAnalysis {
+        let mut geolocation_by_country: HashMap<CountryCode, DomesticSplit> = HashMap::new();
+        // Find the ranges for normalization.
+        let users: Vec<f64> = COUNTRIES.iter().map(|r| r.internet_users_m()).collect();
+        let nris: Vec<f64> = COUNTRIES.iter().map(|r| r.nri).collect();
+        let max_u = users.iter().cloned().fold(0.0, f64::max);
+        let max_n = nris.iter().cloned().fold(0.0, f64::max);
+        for row in COUNTRIES {
+            let u = row.internet_users_m() / max_u;
+            let n = row.nri / max_n;
+            // Offshore fraction rises with users, falls with NRI.
+            let offshore = (0.25 + 0.5 * u - 0.3 * n).clamp(0.01, 0.95);
+            let total = 1_000u64;
+            let domestic = ((1.0 - offshore) * total as f64) as u64;
+            geolocation_by_country.insert(row.cc(), DomesticSplit { total, domestic });
+        }
+        LocationAnalysis { geolocation_by_country, ..Default::default() }
+    }
+
+    #[test]
+    fn recovers_planted_signs() {
+        let model = ExplanatoryModel::fit(&planted_location()).expect("fits");
+        let users = model.coefficient("internet_users").unwrap();
+        let nri = model.coefficient("NRI").unwrap();
+        assert!(users.coefficient.estimate > 0.0, "users coefficient positive");
+        assert!(nri.coefficient.estimate < 0.0, "NRI coefficient negative");
+        assert!(users.coefficient.significant_at(0.05));
+        assert!(model.r_squared > 0.5, "R² {}", model.r_squared);
+    }
+
+    #[test]
+    fn vif_table_has_six_features() {
+        let model = ExplanatoryModel::fit(&planted_location()).expect("fits");
+        let table = model.vif_table();
+        assert_eq!(table.len(), 6);
+        for (name, vif) in &table {
+            assert!(*vif >= 1.0, "{name}: VIF {vif} must be >= 1");
+        }
+        // Real-world development indices are correlated but under the
+        // paper's threshold.
+        assert!(model.multicollinearity_acceptable(), "{table:?}");
+    }
+
+    #[test]
+    fn too_few_countries_is_none() {
+        let mut loc = LocationAnalysis::default();
+        loc.geolocation_by_country
+            .insert("US".parse().unwrap(), DomesticSplit { total: 10, domestic: 5 });
+        assert!(ExplanatoryModel::fit(&loc).is_none());
+    }
+
+    #[test]
+    fn countries_without_location_data_are_dropped() {
+        let model = ExplanatoryModel::fit(&planted_location()).expect("fits");
+        assert_eq!(model.countries.len(), COUNTRIES.len());
+        let mut partial = planted_location();
+        partial.geolocation_by_country.remove(&"US".parse().unwrap());
+        let model2 = ExplanatoryModel::fit(&partial).expect("fits");
+        assert_eq!(model2.countries.len(), COUNTRIES.len() - 1);
+    }
+}

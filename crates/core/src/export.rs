@@ -1,0 +1,340 @@
+//! Dataset export and import.
+//!
+//! The paper "makes our dataset available upon request" — this module is
+//! that artifact for the reproduction: the full [`GovDataset`] as two CSV
+//! documents (per-hostname infrastructure records and per-URL records),
+//! plus a loader that reconstructs a dataset from them so the analyses can
+//! run without regenerating the world.
+
+use crate::classify::ClassificationMethod;
+use crate::dataset::{GovDataset, HostRecord, UrlRecord};
+use govhost_report::Csv;
+use govhost_types::{Asn, CountryCode, Hostname, ProviderCategory, Url};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A dataset rendered as CSV documents.
+#[derive(Debug, Clone)]
+pub struct DatasetCsv {
+    /// One row per government hostname with its infrastructure record.
+    pub hosts: String,
+    /// One row per captured URL.
+    pub urls: String,
+}
+
+const HOST_HEADER: [&str; 11] = [
+    "hostname",
+    "country",
+    "method",
+    "ip",
+    "asn",
+    "org",
+    "registration",
+    "state_operated",
+    "category",
+    "server_country",
+    "anycast",
+];
+
+fn method_str(m: ClassificationMethod) -> &'static str {
+    match m {
+        ClassificationMethod::GovTld => "gov_tld",
+        ClassificationMethod::DomainMatch => "domain_match",
+        ClassificationMethod::San => "san",
+    }
+}
+
+fn method_parse(s: &str) -> Option<ClassificationMethod> {
+    Some(match s {
+        "gov_tld" => ClassificationMethod::GovTld,
+        "domain_match" => ClassificationMethod::DomainMatch,
+        "san" => ClassificationMethod::San,
+        _ => return None,
+    })
+}
+
+fn category_str(c: ProviderCategory) -> &'static str {
+    match c {
+        ProviderCategory::GovtSoe => "govt_soe",
+        ProviderCategory::ThirdPartyLocal => "3p_local",
+        ProviderCategory::ThirdPartyRegional => "3p_regional",
+        ProviderCategory::ThirdPartyGlobal => "3p_global",
+    }
+}
+
+fn category_parse(s: &str) -> Option<ProviderCategory> {
+    Some(match s {
+        "govt_soe" => ProviderCategory::GovtSoe,
+        "3p_local" => ProviderCategory::ThirdPartyLocal,
+        "3p_regional" => ProviderCategory::ThirdPartyRegional,
+        "3p_global" => ProviderCategory::ThirdPartyGlobal,
+        _ => return None,
+    })
+}
+
+/// Export a dataset to CSV.
+pub fn export_csv(dataset: &GovDataset) -> DatasetCsv {
+    let mut hosts = Csv::new();
+    hosts.row(HOST_HEADER);
+    for h in &dataset.hosts {
+        hosts.row([
+            h.hostname.to_string(),
+            h.country.to_string(),
+            method_str(h.method).to_string(),
+            h.ip.map(|ip| ip.to_string()).unwrap_or_default(),
+            h.asn.map(|a| a.value().to_string()).unwrap_or_default(),
+            h.org.clone().unwrap_or_default(),
+            h.registration.map(|c| c.to_string()).unwrap_or_default(),
+            h.state_operated.to_string(),
+            h.category.map(|c| category_str(c).to_string()).unwrap_or_default(),
+            h.server_country.map(|c| c.to_string()).unwrap_or_default(),
+            h.anycast.to_string(),
+        ]);
+    }
+    let mut urls = Csv::new();
+    urls.row(["url", "hostname", "bytes"]);
+    for u in &dataset.urls {
+        urls.row([
+            u.url.to_string(),
+            dataset.hosts[u.host as usize].hostname.to_string(),
+            u.bytes.to_string(),
+        ]);
+    }
+    DatasetCsv { hosts: hosts.finish(), urls: urls.finish() }
+}
+
+/// Errors loading a CSV dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportError {
+    /// 1-based row number within the offending document.
+    pub row: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dataset import, row {}: {}", self.row, self.message)
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn import_err(row: usize, message: impl Into<String>) -> ImportError {
+    ImportError { row, message: message.into() }
+}
+
+/// Split one CSV line honoring RFC 4180 quoting.
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match (c, in_quotes) {
+            ('"', false) => in_quotes = true,
+            ('"', true) => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            (',', false) => fields.push(std::mem::take(&mut field)),
+            (c, _) => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Reconstruct a dataset from the CSV documents produced by
+/// [`export_csv`]. Validation statistics and per-country aggregates are
+/// recomputed from the rows; the geolocation verdicts (anycast flags,
+/// exclusions) are carried in the host rows.
+pub fn import_csv(csv: &DatasetCsv) -> Result<GovDataset, ImportError> {
+    let mut hosts: Vec<HostRecord> = Vec::new();
+    let mut host_index: HashMap<Hostname, u32> = HashMap::new();
+    let mut lines = csv.hosts.lines().enumerate();
+    let header = lines.next().map(|(_, l)| l).unwrap_or_default();
+    if split_csv_line(header) != HOST_HEADER {
+        return Err(import_err(1, "unexpected hosts header"));
+    }
+    for (idx, line) in lines {
+        let row = idx + 1;
+        let f = split_csv_line(line);
+        if f.len() != HOST_HEADER.len() {
+            return Err(import_err(row, format!("expected {} fields", HOST_HEADER.len())));
+        }
+        let hostname: Hostname =
+            f[0].parse().map_err(|_| import_err(row, format!("bad hostname {:?}", f[0])))?;
+        let country: CountryCode =
+            f[1].parse().map_err(|_| import_err(row, format!("bad country {:?}", f[1])))?;
+        let method =
+            method_parse(&f[2]).ok_or_else(|| import_err(row, format!("bad method {:?}", f[2])))?;
+        let parse_opt_cc = |s: &str| -> Result<Option<CountryCode>, ImportError> {
+            if s.is_empty() {
+                Ok(None)
+            } else {
+                s.parse().map(Some).map_err(|_| import_err(row, format!("bad country {s:?}")))
+            }
+        };
+        let ip: Option<Ipv4Addr> = if f[3].is_empty() {
+            None
+        } else {
+            Some(f[3].parse().map_err(|_| import_err(row, format!("bad ip {:?}", f[3])))?)
+        };
+        let record = HostRecord {
+            hostname: hostname.clone(),
+            country,
+            method,
+            ip,
+            asn: if f[4].is_empty() {
+                None
+            } else {
+                Some(Asn(f[4]
+                    .parse()
+                    .map_err(|_| import_err(row, format!("bad asn {:?}", f[4])))?))
+            },
+            org: if f[5].is_empty() { None } else { Some(f[5].clone()) },
+            registration: parse_opt_cc(&f[6])?,
+            state_operated: f[7] == "true",
+            category: if f[8].is_empty() {
+                None
+            } else {
+                Some(
+                    category_parse(&f[8])
+                        .ok_or_else(|| import_err(row, format!("bad category {:?}", f[8])))?,
+                )
+            },
+            server_country: parse_opt_cc(&f[9])?,
+            anycast: f[10] == "true",
+            geo_excluded: f[9].is_empty() && !f[3].is_empty(),
+        };
+        host_index.insert(hostname, hosts.len() as u32);
+        hosts.push(record);
+    }
+
+    let mut urls: Vec<UrlRecord> = Vec::new();
+    let mut method_counts = [0u64; 3];
+    let mut per_country: HashMap<CountryCode, crate::dataset::CountryStats> = HashMap::new();
+    let mut lines = csv.urls.lines().enumerate();
+    lines.next(); // header
+    for (idx, line) in lines {
+        let row = idx + 1;
+        let f = split_csv_line(line);
+        if f.len() != 3 {
+            return Err(import_err(row, "expected 3 fields"));
+        }
+        let url: Url =
+            f[0].parse().map_err(|_| import_err(row, format!("bad url {:?}", f[0])))?;
+        let hostname: Hostname =
+            f[1].parse().map_err(|_| import_err(row, format!("bad hostname {:?}", f[1])))?;
+        let bytes: u64 =
+            f[2].parse().map_err(|_| import_err(row, format!("bad bytes {:?}", f[2])))?;
+        let host = *host_index
+            .get(&hostname)
+            .ok_or_else(|| import_err(row, format!("unknown hostname {hostname}")))?;
+        let record = &hosts[host as usize];
+        let midx = match record.method {
+            ClassificationMethod::GovTld => 0,
+            ClassificationMethod::DomainMatch => 1,
+            ClassificationMethod::San => 2,
+        };
+        method_counts[midx] += 1;
+        let stats = per_country.entry(record.country).or_default();
+        stats.urls += 1;
+        stats.bytes += bytes;
+        urls.push(UrlRecord { url, host, bytes });
+    }
+    // Hostname counts per country.
+    for h in &hosts {
+        per_country.entry(h.country).or_default().hostnames += 1;
+    }
+
+    Ok(GovDataset {
+        hosts,
+        urls,
+        host_index,
+        validation: Default::default(), // not serialized; recompute from a world if needed
+        method_counts,
+        crawl_failures: 0,
+        per_country,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::BuildOptions;
+    use crate::hosting::HostingAnalysis;
+    use govhost_worldgen::{GenParams, World};
+
+    fn dataset() -> GovDataset {
+        let world = World::generate(&GenParams::tiny());
+        GovDataset::build(&world, &BuildOptions::default())
+    }
+
+    #[test]
+    fn export_import_round_trips_records() {
+        let original = dataset();
+        let csv = export_csv(&original);
+        let loaded = import_csv(&csv).expect("own export imports");
+        assert_eq!(loaded.hosts.len(), original.hosts.len());
+        assert_eq!(loaded.urls.len(), original.urls.len());
+        assert_eq!(loaded.method_counts, original.method_counts);
+        for (a, b) in original.hosts.iter().zip(&loaded.hosts) {
+            assert_eq!(a.hostname, b.hostname);
+            assert_eq!(a.country, b.country);
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.registration, b.registration);
+            assert_eq!(a.server_country, b.server_country);
+            assert_eq!(a.state_operated, b.state_operated);
+        }
+    }
+
+    #[test]
+    fn analyses_agree_on_imported_dataset() {
+        let original = dataset();
+        let loaded = import_csv(&export_csv(&original)).expect("imports");
+        let a = HostingAnalysis::compute(&original);
+        let b = HostingAnalysis::compute(&loaded);
+        assert_eq!(a.global, b.global, "hosting analysis identical after round trip");
+        let la = crate::location::LocationAnalysis::compute(&original);
+        let lb = crate::location::LocationAnalysis::compute(&loaded);
+        assert_eq!(la.registration, lb.registration);
+        assert_eq!(la.geolocation, lb.geolocation);
+    }
+
+    #[test]
+    fn org_names_with_commas_survive() {
+        let mut ds = dataset();
+        ds.hosts[0].org = Some("Cloudflare, Inc. \"CDN\"".to_string());
+        let loaded = import_csv(&export_csv(&ds)).expect("imports");
+        assert_eq!(loaded.hosts[0].org.as_deref(), Some("Cloudflare, Inc. \"CDN\""));
+    }
+
+    #[test]
+    fn corrupted_input_reports_row() {
+        let csv = export_csv(&dataset());
+        let broken = DatasetCsv {
+            hosts: csv.hosts.replace("true", "true,extra-field"),
+            urls: csv.urls.clone(),
+        };
+        let e = import_csv(&broken).unwrap_err();
+        assert!(e.row > 1);
+
+        let bad_header =
+            DatasetCsv { hosts: "nope\n".to_string(), urls: csv.urls.clone() };
+        assert!(import_csv(&bad_header).is_err());
+    }
+
+    #[test]
+    fn csv_line_splitting_handles_quotes() {
+        assert_eq!(split_csv_line("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_csv_line("\"a,b\",c"), vec!["a,b", "c"]);
+        assert_eq!(split_csv_line("\"say \"\"hi\"\"\",x"), vec!["say \"hi\"", "x"]);
+        assert_eq!(split_csv_line(""), vec![""]);
+    }
+}

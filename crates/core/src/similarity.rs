@@ -1,0 +1,146 @@
+//! §5.3: similarities in governments' serving strategies (Fig. 5).
+//!
+//! Each country's "signature" is its 4-dimensional category-share vector
+//! (for URLs or bytes). Ward-linkage hierarchical clustering over the
+//! signatures yields the paper's three-branch dendrograms, whose branches
+//! correspond to the dominant hosting source.
+
+use crate::hosting::HostingAnalysis;
+use govhost_stats::cluster::Dendrogram;
+use govhost_types::CountryCode;
+
+/// Which signature to cluster on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureKind {
+    /// URL shares (Fig. 5 top).
+    Urls,
+    /// Byte shares (Fig. 5 bottom).
+    Bytes,
+}
+
+/// The clustering output.
+#[derive(Debug, Clone)]
+pub struct SimilarityAnalysis {
+    /// Countries in signature-matrix row order.
+    pub countries: Vec<CountryCode>,
+    /// The signature matrix (one row per country).
+    pub signatures: Vec<Vec<f64>>,
+    /// The Ward dendrogram.
+    pub dendrogram: Dendrogram,
+}
+
+impl SimilarityAnalysis {
+    /// Cluster countries by hosting signature.
+    pub fn compute(hosting: &HostingAnalysis, kind: SignatureKind) -> SimilarityAnalysis {
+        let mut countries: Vec<CountryCode> = hosting.per_country.keys().copied().collect();
+        countries.sort();
+        let signatures: Vec<Vec<f64>> = countries
+            .iter()
+            .map(|c| {
+                let shares = &hosting.per_country[c];
+                match kind {
+                    SignatureKind::Urls => shares.urls.to_vec(),
+                    SignatureKind::Bytes => shares.bytes.to_vec(),
+                }
+            })
+            .collect();
+        let dendrogram = Dendrogram::ward(&signatures);
+        SimilarityAnalysis { countries, signatures, dendrogram }
+    }
+
+    /// Cut into `k` clusters; returns (country, label) pairs.
+    pub fn clusters(&self, k: usize) -> Vec<(CountryCode, usize)> {
+        self.dendrogram
+            .cut(k)
+            .into_iter()
+            .zip(&self.countries)
+            .map(|(label, c)| (*c, label))
+            .collect()
+    }
+
+    /// Countries in dendrogram display order (the Fig. 5 x-axis).
+    pub fn display_order(&self) -> Vec<CountryCode> {
+        self.dendrogram.leaf_order().into_iter().map(|i| self.countries[i]).collect()
+    }
+
+    /// Whether two countries end up in the same cluster at a `k`-cut.
+    pub fn same_cluster(&self, a: CountryCode, b: CountryCode, k: usize) -> bool {
+        let labels = self.clusters(k);
+        let find = |c: CountryCode| labels.iter().find(|(cc, _)| *cc == c).map(|(_, l)| *l);
+        match (find(a), find(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosting::CategoryShares;
+    use govhost_types::cc;
+    use std::collections::HashMap;
+
+    fn hosting_with(countries: &[(CountryCode, [f64; 4])]) -> HostingAnalysis {
+        let per_country: HashMap<CountryCode, CategoryShares> = countries
+            .iter()
+            .map(|(c, shares)| (*c, CategoryShares { urls: *shares, bytes: *shares }))
+            .collect();
+        HostingAnalysis {
+            global: CategoryShares::default(),
+            per_region: HashMap::new(),
+            per_country,
+        }
+    }
+
+    #[test]
+    fn three_archetypes_separate() {
+        // Two govt-heavy, two local-heavy, two global-heavy countries.
+        let hosting = hosting_with(&[
+            (cc!("UY"), [0.95, 0.03, 0.02, 0.0]),
+            (cc!("IN"), [0.90, 0.05, 0.05, 0.0]),
+            (cc!("IT"), [0.05, 0.90, 0.05, 0.0]),
+            (cc!("CL"), [0.10, 0.85, 0.05, 0.0]),
+            (cc!("AR"), [0.05, 0.05, 0.90, 0.0]),
+            (cc!("CA"), [0.10, 0.10, 0.80, 0.0]),
+        ]);
+        let sim = SimilarityAnalysis::compute(&hosting, SignatureKind::Urls);
+        assert!(sim.same_cluster(cc!("UY"), cc!("IN"), 3));
+        assert!(sim.same_cluster(cc!("IT"), cc!("CL"), 3));
+        assert!(sim.same_cluster(cc!("AR"), cc!("CA"), 3));
+        assert!(!sim.same_cluster(cc!("UY"), cc!("AR"), 3));
+        assert!(!sim.same_cluster(cc!("IT"), cc!("AR"), 3));
+    }
+
+    #[test]
+    fn display_order_groups_similar_countries() {
+        let hosting = hosting_with(&[
+            (cc!("UY"), [0.95, 0.03, 0.02, 0.0]),
+            (cc!("AR"), [0.05, 0.05, 0.90, 0.0]),
+            (cc!("IN"), [0.90, 0.05, 0.05, 0.0]),
+            (cc!("CA"), [0.10, 0.10, 0.80, 0.0]),
+        ]);
+        let sim = SimilarityAnalysis::compute(&hosting, SignatureKind::Urls);
+        let order = sim.display_order();
+        let pos = |c: CountryCode| order.iter().position(|x| *x == c).unwrap();
+        assert_eq!(pos(cc!("UY")).abs_diff(pos(cc!("IN"))), 1, "similar countries adjacent");
+        assert_eq!(pos(cc!("AR")).abs_diff(pos(cc!("CA"))), 1);
+    }
+
+    #[test]
+    fn url_and_byte_signatures_can_differ() {
+        let mut hosting = hosting_with(&[(cc!("UY"), [0.5, 0.5, 0.0, 0.0])]);
+        hosting.per_country.get_mut(&cc!("UY")).unwrap().bytes = [0.9, 0.1, 0.0, 0.0];
+        let by_urls = SimilarityAnalysis::compute(&hosting, SignatureKind::Urls);
+        let by_bytes = SimilarityAnalysis::compute(&hosting, SignatureKind::Bytes);
+        assert_ne!(by_urls.signatures, by_bytes.signatures);
+    }
+
+    #[test]
+    fn single_country_is_trivial() {
+        let hosting = hosting_with(&[(cc!("UY"), [1.0, 0.0, 0.0, 0.0])]);
+        let sim = SimilarityAnalysis::compute(&hosting, SignatureKind::Urls);
+        assert_eq!(sim.clusters(1), vec![(cc!("UY"), 0)]);
+        assert_eq!(sim.display_order(), vec![cc!("UY")]);
+    }
+}

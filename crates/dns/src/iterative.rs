@@ -1,0 +1,314 @@
+//! A referral-following iterative resolver.
+//!
+//! [`crate::resolver::Resolver`] matches names against a zone catalog —
+//! the stub-resolver shortcut the measurement pipeline uses at scale.
+//! This module implements the real thing: starting from a root server,
+//! follow NS referrals (with glue) down the delegation tree until an
+//! authoritative answer arrives, exactly as an iterative resolver walks
+//! `.` → `br.` → `gov.br.` → the zone's nameserver. Every hop is a wire
+//! round-trip.
+
+use crate::name::DnsName;
+use crate::resolver::{ResolutionError, ResolvedAnswer};
+use crate::rr::{RData, RecordType};
+use crate::wire::{Message, Rcode};
+use crate::zone::{Zone, ZoneAnswer};
+use govhost_types::CountryCode;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A delegation-aware authoritative server: answers from its zone, or
+/// refers the querier to a child zone's nameservers (authority section +
+/// glue), as real servers do for names below a delegation point.
+#[derive(Debug, Clone)]
+pub struct DelegatingServer {
+    zone: Zone,
+    /// Child delegations: zone apex → (nameserver name, glue address).
+    delegations: Vec<(DnsName, DnsName, Ipv4Addr)>,
+}
+
+impl DelegatingServer {
+    /// Wrap a zone with no delegations.
+    pub fn new(zone: Zone) -> Self {
+        Self { zone, delegations: Vec::new() }
+    }
+
+    /// Register a child delegation: queries for names under `child` are
+    /// answered with a referral to `ns` at `glue`.
+    pub fn delegate(&mut self, child: DnsName, ns: DnsName, glue: Ipv4Addr) {
+        self.delegations.push((child, ns, glue));
+    }
+
+    /// The served zone's apex.
+    pub fn origin(&self) -> &DnsName {
+        self.zone.origin()
+    }
+
+    /// Answer a query: authoritative data, a referral, or NXDOMAIN.
+    pub fn handle(&self, query: &Message, vantage: Option<CountryCode>) -> Message {
+        let Some(q) = query.questions.first() else {
+            return Message::response_to(query, Rcode::FormErr);
+        };
+        // Delegation check first: names under a child zone are referred,
+        // never answered from our (parent) data.
+        let best_delegation = self
+            .delegations
+            .iter()
+            .filter(|(child, _, _)| q.name.is_under(child))
+            .max_by_key(|(child, _, _)| child.label_count());
+        if let Some((child, ns, glue)) = best_delegation {
+            let mut resp = Message::response_to(query, Rcode::NoError);
+            resp.authoritative = false;
+            resp.authorities.push(crate::rr::Record::new(
+                child.clone(),
+                86_400,
+                RData::Ns(ns.clone()),
+            ));
+            resp.additionals.push(crate::rr::Record::new(ns.clone(), 86_400, RData::A(*glue)));
+            return resp;
+        }
+        // Otherwise answer from the zone.
+        let mut resp = Message::response_to(query, Rcode::NoError);
+        match self.zone.lookup(&q.name, q.qtype, vantage) {
+            ZoneAnswer::Records(rs) => resp.answers.extend(rs),
+            ZoneAnswer::Cname(rec, _) => resp.answers.push(rec),
+            ZoneAnswer::NoData => {}
+            ZoneAnswer::NxDomain => resp.rcode = Rcode::NxDomain,
+            ZoneAnswer::NotInZone => resp.rcode = Rcode::Refused,
+        }
+        resp
+    }
+
+    /// Wire-level entry point.
+    pub fn handle_bytes(
+        &self,
+        query: &[u8],
+        vantage: Option<CountryCode>,
+    ) -> Result<Vec<u8>, crate::wire::WireError> {
+        let msg = Message::decode(query)?;
+        Ok(self.handle(&msg, vantage).encode())
+    }
+}
+
+/// The iterative resolver: a root address plus the server fleet addressed
+/// by IP (as the real Internet is).
+#[derive(Debug, Default)]
+pub struct IterativeResolver {
+    servers: HashMap<Ipv4Addr, DelegatingServer>,
+    root: Option<Ipv4Addr>,
+}
+
+impl IterativeResolver {
+    /// Empty resolver; add servers then set the root.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a server at an address. The first server registered for
+    /// the root zone (`.`) becomes the root hint.
+    pub fn add_server(&mut self, addr: Ipv4Addr, server: DelegatingServer) {
+        if server.origin().is_root() && self.root.is_none() {
+            self.root = Some(addr);
+        }
+        self.servers.insert(addr, server);
+    }
+
+    /// Explicitly set the root hint.
+    pub fn set_root(&mut self, addr: Ipv4Addr) {
+        self.root = Some(addr);
+    }
+
+    /// Iteratively resolve `name` to A records, following referrals and
+    /// restarting at the root for out-of-zone CNAME targets.
+    pub fn resolve(
+        &self,
+        name: &DnsName,
+        vantage: Option<CountryCode>,
+    ) -> Result<ResolvedAnswer, ResolutionError> {
+        let root = self.root.ok_or_else(|| ResolutionError::NoZone(name.clone()))?;
+        let mut chain = vec![name.clone()];
+        let mut current = name.clone();
+        for _restart in 0..8 {
+            let mut at = root;
+            // Referral walk for `current`.
+            for _hop in 0..16 {
+                let server = self
+                    .servers
+                    .get(&at)
+                    .ok_or_else(|| ResolutionError::Wire(format!("no server at {at}")))?;
+                let query = Message::query(1, current.clone(), RecordType::A);
+                let resp_bytes = server
+                    .handle_bytes(&query.encode(), vantage)
+                    .map_err(|e| ResolutionError::Wire(e.to_string()))?;
+                let resp = Message::decode(&resp_bytes)
+                    .map_err(|e| ResolutionError::Wire(e.to_string()))?;
+                match resp.rcode {
+                    Rcode::NoError => {}
+                    Rcode::NxDomain => return Err(ResolutionError::NxDomain(current)),
+                    other => return Err(ResolutionError::ServerError(other)),
+                }
+                // Referral?
+                if !resp.authorities.is_empty() && resp.answers.is_empty() {
+                    let glue = resp.additionals.iter().find_map(|r| match &r.rdata {
+                        RData::A(ip) => Some(*ip),
+                        _ => None,
+                    });
+                    match glue {
+                        Some(ip) => {
+                            at = ip;
+                            continue;
+                        }
+                        None => return Err(ResolutionError::NoZone(current)),
+                    }
+                }
+                // Authoritative answer: A records or a CNAME hop.
+                let addresses: Vec<Ipv4Addr> = resp
+                    .answers
+                    .iter()
+                    .filter_map(|r| match &r.rdata {
+                        RData::A(ip) => Some(*ip),
+                        _ => None,
+                    })
+                    .collect();
+                if !addresses.is_empty() {
+                    return Ok(ResolvedAnswer { chain, addresses });
+                }
+                if let Some(target) = resp.answers.iter().find_map(|r| match &r.rdata {
+                    RData::Cname(t) => Some(t.clone()),
+                    _ => None,
+                }) {
+                    chain.push(target.clone());
+                    current = target;
+                    break; // restart from the root for the new name
+                }
+                return Err(ResolutionError::NoAddresses(current));
+            }
+        }
+        Err(ResolutionError::ChainTooLong)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// A three-level hierarchy: root → br. → gov.br., plus a sibling
+    /// net. → cdn.net. for cross-zone CNAME chasing.
+    fn hierarchy() -> IterativeResolver {
+        let mut resolver = IterativeResolver::new();
+
+        let mut root = DelegatingServer::new(Zone::new(DnsName::root()));
+        root.delegate(n("br"), n("a.dns.br"), ip("10.0.0.2"));
+        root.delegate(n("net"), n("a.gtld-servers.net"), ip("10.0.0.3"));
+        resolver.add_server(ip("10.0.0.1"), root);
+
+        let mut br = DelegatingServer::new(Zone::new(n("br")));
+        br.delegate(n("gov.br"), n("ns1.gov.br"), ip("10.0.0.4"));
+        resolver.add_server(ip("10.0.0.2"), br);
+
+        let mut net_zone = Zone::new(n("net"));
+        net_zone.add(n("edge.cdn.net"), RData::A(ip("203.0.113.50")));
+        resolver.add_server(ip("10.0.0.3"), DelegatingServer::new(net_zone));
+
+        let mut gov_zone = Zone::new(n("gov.br"));
+        gov_zone.add(n("www.gov.br"), RData::A(ip("198.51.100.80")));
+        gov_zone.add(n("cdn.gov.br"), RData::Cname(n("edge.cdn.net")));
+        resolver.add_server(ip("10.0.0.4"), DelegatingServer::new(gov_zone));
+
+        resolver
+    }
+
+    #[test]
+    fn walks_referrals_to_authoritative_answer() {
+        let r = hierarchy();
+        let ans = r.resolve(&n("www.gov.br"), None).unwrap();
+        assert_eq!(ans.addresses, vec![ip("198.51.100.80")]);
+        assert_eq!(ans.chain, vec![n("www.gov.br")]);
+    }
+
+    #[test]
+    fn cross_zone_cname_restarts_at_root() {
+        let r = hierarchy();
+        let ans = r.resolve(&n("cdn.gov.br"), None).unwrap();
+        assert_eq!(ans.addresses, vec![ip("203.0.113.50")]);
+        assert_eq!(ans.chain, vec![n("cdn.gov.br"), n("edge.cdn.net")]);
+    }
+
+    #[test]
+    fn nxdomain_from_the_authoritative_server() {
+        let r = hierarchy();
+        match r.resolve(&n("missing.gov.br"), None) {
+            Err(ResolutionError::NxDomain(name)) => assert_eq!(name, n("missing.gov.br")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undelegated_tld_is_nxdomain_at_root() {
+        let r = hierarchy();
+        // The root has no delegation for .xyz and no data: NXDOMAIN.
+        match r.resolve(&n("www.example.xyz"), None) {
+            Err(ResolutionError::NxDomain(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_glue_is_an_error_not_a_hang() {
+        let mut resolver = IterativeResolver::new();
+        let mut root = DelegatingServer::new(Zone::new(DnsName::root()));
+        root.delegate(n("br"), n("a.dns.br"), ip("10.0.0.2"));
+        resolver.add_server(ip("10.0.0.1"), root);
+        // No server registered at 10.0.0.2.
+        match resolver.resolve(&n("www.gov.br"), None) {
+            Err(ResolutionError::Wire(msg)) => assert!(msg.contains("10.0.0.2")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deepest_delegation_wins() {
+        let mut resolver = IterativeResolver::new();
+        let mut root = DelegatingServer::new(Zone::new(DnsName::root()));
+        root.delegate(n("br"), n("a.dns.br"), ip("10.0.0.2"));
+        // The root also (wrongly but legally) knows a deeper cut.
+        root.delegate(n("gov.br"), n("ns1.gov.br"), ip("10.0.0.4"));
+        resolver.add_server(ip("10.0.0.1"), root);
+        let mut gov_zone = Zone::new(n("gov.br"));
+        gov_zone.add(n("www.gov.br"), RData::A(ip("198.51.100.80")));
+        resolver.add_server(ip("10.0.0.4"), DelegatingServer::new(gov_zone));
+        // Resolution must take the gov.br cut directly, skipping br.
+        let ans = resolver.resolve(&n("www.gov.br"), None).unwrap();
+        assert_eq!(ans.addresses, vec![ip("198.51.100.80")]);
+    }
+
+    #[test]
+    fn cname_loop_terminates() {
+        let mut resolver = IterativeResolver::new();
+        let mut root_zone = Zone::new(DnsName::root());
+        root_zone.add(n("a.test"), RData::Cname(n("b.test")));
+        root_zone.add(n("b.test"), RData::Cname(n("a.test")));
+        resolver.add_server(ip("10.0.0.1"), DelegatingServer::new(root_zone));
+        match resolver.resolve(&n("a.test"), None) {
+            Err(ResolutionError::ChainTooLong) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_root_configured() {
+        let resolver = IterativeResolver::new();
+        assert!(matches!(
+            resolver.resolve(&n("x.test"), None),
+            Err(ResolutionError::NoZone(_))
+        ));
+    }
+}

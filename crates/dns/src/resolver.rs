@@ -1,0 +1,339 @@
+//! The iterative resolver.
+//!
+//! Holds a catalog of authoritative servers (one per zone) and resolves a
+//! name by repeatedly querying the server whose zone most specifically
+//! covers the current name, chasing CNAME targets across zones. Every
+//! query round-trips through wire encoding.
+//!
+//! The resolver reports the full alias chain: the topsites self-hosting
+//! heuristic (paper App. D) classifies sites by comparing the 2LD of the
+//! first CNAME target with the site's own 2LD.
+
+use crate::name::DnsName;
+use crate::rr::{RData, RecordType};
+use crate::server::AuthoritativeServer;
+use crate::wire::{Message, Rcode};
+use govhost_types::{CountryCode, Hostname};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Why a resolution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolutionError {
+    /// No configured zone covers the name.
+    NoZone(DnsName),
+    /// The authoritative server answered NXDOMAIN.
+    NxDomain(DnsName),
+    /// The name exists but carries no A records.
+    NoAddresses(DnsName),
+    /// Alias chain exceeded the hop limit.
+    ChainTooLong,
+    /// The server returned an error rcode.
+    ServerError(Rcode),
+    /// A wire-level failure (should not happen between our own endpoints).
+    Wire(String),
+}
+
+impl fmt::Display for ResolutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolutionError::NoZone(n) => write!(f, "no zone serves {n}"),
+            ResolutionError::NxDomain(n) => write!(f, "NXDOMAIN for {n}"),
+            ResolutionError::NoAddresses(n) => write!(f, "no A records for {n}"),
+            ResolutionError::ChainTooLong => write!(f, "CNAME chain too long"),
+            ResolutionError::ServerError(r) => write!(f, "server error rcode {}", r.code()),
+            ResolutionError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolutionError {}
+
+/// A successful resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedAnswer {
+    /// The names traversed, starting with the queried name; length > 1
+    /// means aliases (CNAMEs) were followed.
+    pub chain: Vec<DnsName>,
+    /// The terminal A records.
+    pub addresses: Vec<Ipv4Addr>,
+}
+
+impl ResolvedAnswer {
+    /// The first alias target, if the queried name was a CNAME.
+    pub fn first_cname(&self) -> Option<&DnsName> {
+        self.chain.get(1)
+    }
+
+    /// The canonical (final) name.
+    pub fn canonical(&self) -> &DnsName {
+        self.chain.last().expect("chain starts with the query name")
+    }
+}
+
+/// The resolver's catalog of authoritative servers.
+#[derive(Debug, Default, Clone)]
+pub struct Resolver {
+    zones: HashMap<DnsName, AuthoritativeServer>,
+}
+
+impl Resolver {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an authoritative server under its zone apex.
+    pub fn add_server(&mut self, server: AuthoritativeServer) {
+        self.zones.insert(server.zone().origin().clone(), server);
+    }
+
+    /// Number of registered zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// The most specific registered zone covering `name`.
+    fn server_for(&self, name: &DnsName) -> Option<&AuthoritativeServer> {
+        let mut candidate = Some(name.clone());
+        while let Some(n) = candidate {
+            if let Some(s) = self.zones.get(&n) {
+                return Some(s);
+            }
+            candidate = n.parent();
+        }
+        None
+    }
+
+    /// Resolve `name` to addresses as seen from `vantage`, following CNAME
+    /// chains across zones (bounded at 8 hops).
+    pub fn resolve(
+        &self,
+        name: &DnsName,
+        vantage: Option<CountryCode>,
+    ) -> Result<ResolvedAnswer, ResolutionError> {
+        self.resolve_rtype(name, RecordType::A, vantage).and_then(|(chain, rdatas)| {
+            let addresses: Vec<Ipv4Addr> = rdatas
+                .into_iter()
+                .filter_map(|rd| match rd {
+                    RData::A(ip) => Some(ip),
+                    _ => None,
+                })
+                .collect();
+            if addresses.is_empty() {
+                Err(ResolutionError::NoAddresses(chain.last().expect("nonempty").clone()))
+            } else {
+                Ok(ResolvedAnswer { chain, addresses })
+            }
+        })
+    }
+
+    /// Resolve a hostname (convenience wrapper).
+    pub fn resolve_host(
+        &self,
+        host: &Hostname,
+        vantage: Option<CountryCode>,
+    ) -> Result<ResolvedAnswer, ResolutionError> {
+        self.resolve(&DnsName::from(host), vantage)
+    }
+
+    /// Look up the PTR name for an address, if a reverse zone is loaded.
+    pub fn resolve_ptr(&self, ip: Ipv4Addr) -> Result<DnsName, ResolutionError> {
+        let name = crate::reverse::reverse_name(ip);
+        let (_, rdatas) = self.resolve_rtype(&name, RecordType::Ptr, None)?;
+        rdatas
+            .into_iter()
+            .find_map(|rd| match rd {
+                RData::Ptr(target) => Some(target),
+                _ => None,
+            })
+            .ok_or(ResolutionError::NoAddresses(name))
+    }
+
+    /// Shared machinery: returns the alias chain and the terminal records.
+    fn resolve_rtype(
+        &self,
+        name: &DnsName,
+        rtype: RecordType,
+        vantage: Option<CountryCode>,
+    ) -> Result<(Vec<DnsName>, Vec<RData>), ResolutionError> {
+        let mut chain = vec![name.clone()];
+        let mut current = name.clone();
+        for hop in 0..8u16 {
+            let server = self
+                .server_for(&current)
+                .ok_or_else(|| ResolutionError::NoZone(current.clone()))?;
+            let query = Message::query(hop + 1, current.clone(), rtype);
+            let resp_bytes = server
+                .handle_bytes(&query.encode(), vantage)
+                .map_err(|e| ResolutionError::Wire(e.to_string()))?;
+            let resp =
+                Message::decode(&resp_bytes).map_err(|e| ResolutionError::Wire(e.to_string()))?;
+            match resp.rcode {
+                Rcode::NoError => {}
+                Rcode::NxDomain => return Err(ResolutionError::NxDomain(current)),
+                other => return Err(ResolutionError::ServerError(other)),
+            }
+            // Walk the answer section: collect terminal records, follow
+            // aliases.
+            let mut terminal = Vec::new();
+            let mut next: Option<DnsName> = None;
+            for record in &resp.answers {
+                match &record.rdata {
+                    RData::Cname(target) if rtype != RecordType::Cname => {
+                        chain.push(target.clone());
+                        next = Some(target.clone());
+                    }
+                    rd if rd.record_type() == rtype => terminal.push(rd.clone()),
+                    _ => {}
+                }
+            }
+            if !terminal.is_empty() {
+                return Ok((chain, terminal));
+            }
+            match next {
+                Some(target) => current = target,
+                None => return Err(ResolutionError::NoAddresses(current)),
+            }
+        }
+        Err(ResolutionError::ChainTooLong)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::Zone;
+    use govhost_types::cc;
+    use std::collections::HashMap as Map;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn resolver() -> Resolver {
+        let mut gov = Zone::new(n("ministerio.gob.ar"));
+        gov.add(n("www.ministerio.gob.ar"), RData::Cname(n("www.ministerio.gob.ar.cdn.gphost.net")));
+        gov.add(n("static.ministerio.gob.ar"), RData::A(ip("190.210.1.5")));
+
+        let mut cdn = Zone::new(n("cdn.gphost.net"));
+        let mut by_country = Map::new();
+        by_country.insert(cc!("AR"), vec![ip("203.0.113.50")]);
+        cdn.add_geo_a(
+            n("www.ministerio.gob.ar.cdn.gphost.net"),
+            vec![ip("203.0.113.99")],
+            by_country,
+        );
+
+        let mut r = Resolver::new();
+        r.add_server(AuthoritativeServer::new(gov));
+        r.add_server(AuthoritativeServer::new(cdn));
+        r
+    }
+
+    #[test]
+    fn direct_a_resolution() {
+        let r = resolver();
+        let ans = r.resolve(&n("static.ministerio.gob.ar"), None).unwrap();
+        assert_eq!(ans.addresses, vec![ip("190.210.1.5")]);
+        assert_eq!(ans.chain.len(), 1);
+        assert!(ans.first_cname().is_none());
+    }
+
+    #[test]
+    fn cross_zone_cname_chase_with_geo() {
+        let r = resolver();
+        let ans = r.resolve(&n("www.ministerio.gob.ar"), Some(cc!("AR"))).unwrap();
+        assert_eq!(ans.addresses, vec![ip("203.0.113.50")]);
+        assert_eq!(ans.chain.len(), 2);
+        assert_eq!(ans.first_cname().unwrap(), &n("www.ministerio.gob.ar.cdn.gphost.net"));
+        assert_eq!(ans.canonical(), &n("www.ministerio.gob.ar.cdn.gphost.net"));
+
+        // From elsewhere, the CDN's default PoP answers.
+        let ans_de = r.resolve(&n("www.ministerio.gob.ar"), Some(cc!("DE"))).unwrap();
+        assert_eq!(ans_de.addresses, vec![ip("203.0.113.99")]);
+    }
+
+    #[test]
+    fn missing_zone_reports_no_zone() {
+        let r = resolver();
+        match r.resolve(&n("www.unknown.org"), None) {
+            Err(ResolutionError::NoZone(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nxdomain_propagates() {
+        let r = resolver();
+        match r.resolve(&n("missing.ministerio.gob.ar"), None) {
+            Err(ResolutionError::NxDomain(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_cname_is_no_zone() {
+        let mut z = Zone::new(n("dangling.example"));
+        z.add(n("www.dangling.example"), RData::Cname(n("target.nowhere.test")));
+        let mut r = Resolver::new();
+        r.add_server(AuthoritativeServer::new(z));
+        match r.resolve(&n("www.dangling.example"), None) {
+            Err(ResolutionError::NoZone(name)) => assert_eq!(name, n("target.nowhere.test")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_zone_cname_loop_is_bounded() {
+        let mut za = Zone::new(n("a.test"));
+        za.add(n("x.a.test"), RData::Cname(n("x.b.test")));
+        let mut zb = Zone::new(n("b.test"));
+        zb.add(n("x.b.test"), RData::Cname(n("x.a.test")));
+        let mut r = Resolver::new();
+        r.add_server(AuthoritativeServer::new(za));
+        r.add_server(AuthoritativeServer::new(zb));
+        match r.resolve(&n("x.a.test"), None) {
+            Err(ResolutionError::ChainTooLong) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn most_specific_zone_wins() {
+        let mut parent = Zone::new(n("example"));
+        parent.add(n("www.sub.example"), RData::A(ip("10.0.0.1")));
+        let mut child = Zone::new(n("sub.example"));
+        child.add(n("www.sub.example"), RData::A(ip("10.0.0.2")));
+        let mut r = Resolver::new();
+        r.add_server(AuthoritativeServer::new(parent));
+        r.add_server(AuthoritativeServer::new(child));
+        let ans = r.resolve(&n("www.sub.example"), None).unwrap();
+        assert_eq!(ans.addresses, vec![ip("10.0.0.2")]);
+    }
+
+    #[test]
+    fn ptr_resolution() {
+        let mut rev = Zone::new(n("in-addr.arpa"));
+        rev.add(
+            n("5.1.210.190.in-addr.arpa"),
+            RData::Ptr(n("srv1.buenosaires.ministerio.gob.ar")),
+        );
+        let mut r = Resolver::new();
+        r.add_server(AuthoritativeServer::new(rev));
+        let ptr = r.resolve_ptr(ip("190.210.1.5")).unwrap();
+        assert_eq!(ptr, n("srv1.buenosaires.ministerio.gob.ar"));
+    }
+
+    #[test]
+    fn resolve_host_wrapper() {
+        let r = resolver();
+        let h: Hostname = "static.ministerio.gob.ar".parse().unwrap();
+        assert!(r.resolve_host(&h, None).is_ok());
+    }
+}

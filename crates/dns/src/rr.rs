@@ -1,0 +1,176 @@
+//! Resource records.
+
+use crate::name::DnsName;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Record types supported by the simulator, with their IANA numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecordType {
+    /// IPv4 address.
+    A,
+    /// Name server.
+    Ns,
+    /// Canonical name (alias).
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Reverse pointer.
+    Ptr,
+    /// Free text.
+    Txt,
+    /// IPv6 address (carried opaquely; the simulated Internet is v4-only
+    /// but the wire format supports the type).
+    Aaaa,
+}
+
+impl RecordType {
+    /// IANA type number.
+    pub fn code(&self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+        }
+    }
+
+    /// Parse an IANA type number.
+    pub fn from_code(code: u16) -> Option<RecordType> {
+        Some(match code {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecordType::A => "A",
+            RecordType::Ns => "NS",
+            RecordType::Cname => "CNAME",
+            RecordType::Soa => "SOA",
+            RecordType::Ptr => "PTR",
+            RecordType::Txt => "TXT",
+            RecordType::Aaaa => "AAAA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Record data, one variant per supported type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// Delegation to a name server.
+    Ns(DnsName),
+    /// Alias target.
+    Cname(DnsName),
+    /// Start of authority (mname, rname, serial).
+    Soa {
+        /// Primary name server.
+        mname: DnsName,
+        /// Responsible mailbox (encoded as a name).
+        rname: DnsName,
+        /// Zone serial.
+        serial: u32,
+    },
+    /// Reverse pointer target.
+    Ptr(DnsName),
+    /// Text payload (single string, up to 255 bytes on the wire per chunk;
+    /// longer strings are chunked by the encoder).
+    Txt(String),
+    /// IPv6 address bytes (opaque).
+    Aaaa([u8; 16]),
+}
+
+impl RData {
+    /// The record type of this data.
+    pub fn record_type(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::Ns(_) => RecordType::Ns,
+            RData::Cname(_) => RecordType::Cname,
+            RData::Soa { .. } => RecordType::Soa,
+            RData::Ptr(_) => RecordType::Ptr,
+            RData::Txt(_) => RecordType::Txt,
+            RData::Aaaa(_) => RecordType::Aaaa,
+        }
+    }
+}
+
+/// A complete resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// Owner name.
+    pub name: DnsName,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Typed data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(name: DnsName, ttl: u32, rdata: RData) -> Self {
+        Self { name, ttl, rdata }
+    }
+
+    /// The record's type.
+    pub fn record_type(&self) -> RecordType {
+        self.rdata.record_type()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_round_trip() {
+        for t in [
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Cname,
+            RecordType::Soa,
+            RecordType::Ptr,
+            RecordType::Txt,
+            RecordType::Aaaa,
+        ] {
+            assert_eq!(RecordType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(RecordType::from_code(999), None);
+    }
+
+    #[test]
+    fn rdata_reports_type() {
+        let name: DnsName = "ns1.example.com".parse().unwrap();
+        assert_eq!(RData::A("1.2.3.4".parse().unwrap()).record_type(), RecordType::A);
+        assert_eq!(RData::Ns(name.clone()).record_type(), RecordType::Ns);
+        assert_eq!(RData::Cname(name.clone()).record_type(), RecordType::Cname);
+        assert_eq!(RData::Ptr(name).record_type(), RecordType::Ptr);
+        assert_eq!(RData::Txt("x".into()).record_type(), RecordType::Txt);
+    }
+
+    #[test]
+    fn record_constructor() {
+        let r = Record::new(
+            "www.example.com".parse().unwrap(),
+            300,
+            RData::A("203.0.113.9".parse().unwrap()),
+        );
+        assert_eq!(r.record_type(), RecordType::A);
+        assert_eq!(r.ttl, 300);
+    }
+}

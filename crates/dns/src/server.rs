@@ -1,0 +1,187 @@
+//! The authoritative server: wire bytes in, wire bytes out.
+
+use crate::name::DnsName;
+use crate::rr::RecordType;
+use crate::wire::{Message, Rcode, WireError};
+use crate::zone::{Zone, ZoneAnswer};
+use govhost_types::CountryCode;
+
+/// An authoritative name server for a single zone.
+///
+/// The server operates on encoded messages — the resolver talks to it in
+/// wire format, so every resolution in the end-to-end pipeline exercises
+/// the codec. In-zone CNAME chains are followed and all hops are included
+/// in the answer section, as real authoritative servers do.
+#[derive(Debug, Clone)]
+pub struct AuthoritativeServer {
+    zone: Zone,
+}
+
+impl AuthoritativeServer {
+    /// Wrap a zone.
+    pub fn new(zone: Zone) -> Self {
+        Self { zone }
+    }
+
+    /// The served zone.
+    pub fn zone(&self) -> &Zone {
+        &self.zone
+    }
+
+    /// Handle an encoded query observed from `vantage`; returns the
+    /// encoded response. Malformed queries yield a FORMERR response when a
+    /// header could be salvaged, or `Err` when not even that.
+    pub fn handle_bytes(
+        &self,
+        query: &[u8],
+        vantage: Option<CountryCode>,
+    ) -> Result<Vec<u8>, WireError> {
+        let msg = match Message::decode(query) {
+            Ok(m) => m,
+            Err(_) if query.len() >= 2 => {
+                let id = u16::from_be_bytes([query[0], query[1]]);
+                let mut resp = Message::query(id, DnsName::root(), RecordType::A);
+                resp.questions.clear();
+                resp.is_response = true;
+                resp.rcode = Rcode::FormErr;
+                return Ok(resp.encode());
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(self.handle(&msg, vantage).encode())
+    }
+
+    /// Handle a decoded query.
+    pub fn handle(&self, query: &Message, vantage: Option<CountryCode>) -> Message {
+        let Some(q) = query.questions.first() else {
+            return Message::response_to(query, Rcode::FormErr);
+        };
+        let mut response = Message::response_to(query, Rcode::NoError);
+        let mut current = q.name.clone();
+        // Follow in-zone CNAME chains, bounded to forestall loops.
+        for _hop in 0..16 {
+            match self.zone.lookup(&current, q.qtype, vantage) {
+                ZoneAnswer::Records(rs) => {
+                    response.answers.extend(rs);
+                    return response;
+                }
+                ZoneAnswer::Cname(rec, target) => {
+                    response.answers.push(rec);
+                    if !target.is_under(self.zone.origin()) {
+                        // Out-of-zone target: the resolver takes over.
+                        return response;
+                    }
+                    current = target;
+                }
+                ZoneAnswer::NoData => return response,
+                ZoneAnswer::NxDomain => {
+                    // If we already emitted CNAME hops, report what we have.
+                    if response.answers.is_empty() {
+                        response.rcode = Rcode::NxDomain;
+                    }
+                    return response;
+                }
+                ZoneAnswer::NotInZone => {
+                    response.rcode = Rcode::Refused;
+                    return response;
+                }
+            }
+        }
+        // CNAME loop inside the zone.
+        Message::response_to(query, Rcode::ServFail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr::RData;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    fn server() -> AuthoritativeServer {
+        let mut z = Zone::new(n("example.gov"));
+        z.add(n("www.example.gov"), RData::A("192.0.2.80".parse().unwrap()));
+        z.add(n("alias.example.gov"), RData::Cname(n("www.example.gov")));
+        z.add(n("external.example.gov"), RData::Cname(n("cdn.provider.net")));
+        z.add(n("loop-a.example.gov"), RData::Cname(n("loop-b.example.gov")));
+        z.add(n("loop-b.example.gov"), RData::Cname(n("loop-a.example.gov")));
+        AuthoritativeServer::new(z)
+    }
+
+    #[test]
+    fn answers_direct_query_over_wire() {
+        let s = server();
+        let q = Message::query(77, n("www.example.gov"), RecordType::A);
+        let resp_bytes = s.handle_bytes(&q.encode(), None).unwrap();
+        let resp = Message::decode(&resp_bytes).unwrap();
+        assert_eq!(resp.id, 77);
+        assert!(resp.is_response && resp.authoritative);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(resp.answers.len(), 1);
+    }
+
+    #[test]
+    fn follows_in_zone_cname() {
+        let s = server();
+        let q = Message::query(1, n("alias.example.gov"), RecordType::A);
+        let resp = s.handle(&q, None);
+        assert_eq!(resp.answers.len(), 2, "CNAME hop + A record");
+        assert_eq!(resp.answers[0].record_type(), RecordType::Cname);
+        assert_eq!(resp.answers[1].record_type(), RecordType::A);
+    }
+
+    #[test]
+    fn stops_at_out_of_zone_cname() {
+        let s = server();
+        let q = Message::query(1, n("external.example.gov"), RecordType::A);
+        let resp = s.handle(&q, None);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        match &resp.answers[0].rdata {
+            RData::Cname(t) => assert_eq!(*t, n("cdn.provider.net")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_loop_is_servfail() {
+        let s = server();
+        let q = Message::query(1, n("loop-a.example.gov"), RecordType::A);
+        let resp = s.handle(&q, None);
+        assert_eq!(resp.rcode, Rcode::ServFail);
+    }
+
+    #[test]
+    fn nxdomain_for_unknown_name() {
+        let s = server();
+        let q = Message::query(1, n("ghost.example.gov"), RecordType::A);
+        assert_eq!(s.handle(&q, None).rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn refused_outside_bailiwick() {
+        let s = server();
+        let q = Message::query(1, n("www.other.org"), RecordType::A);
+        assert_eq!(s.handle(&q, None).rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn garbage_bytes_get_formerr() {
+        let s = server();
+        let resp_bytes = s.handle_bytes(&[0xAB, 0xCD, 0xFF], None).unwrap();
+        let resp = Message::decode(&resp_bytes).unwrap();
+        assert_eq!(resp.id, 0xABCD);
+        assert_eq!(resp.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn empty_question_is_formerr() {
+        let s = server();
+        let mut q = Message::query(5, n("x.example.gov"), RecordType::A);
+        q.questions.clear();
+        assert_eq!(s.handle(&q, None).rcode, Rcode::FormErr);
+    }
+}

@@ -1,0 +1,622 @@
+//! RFC 1035 wire format: message encoding and decoding with name
+//! compression.
+//!
+//! The encoder compresses every name it writes (including names inside
+//! RDATA of NS/CNAME/PTR/SOA records, as RFC 1035 permits); the decoder
+//! follows compression pointers with strict loop protection (pointers must
+//! point strictly backwards).
+
+use crate::name::DnsName;
+use crate::rr::{RData, Record, RecordType};
+use bytes::{Buf, BufMut};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Query refused.
+    Refused,
+}
+
+impl Rcode {
+    /// Wire value.
+    pub fn code(&self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+        }
+    }
+
+    /// Parse a wire value.
+    pub fn from_code(code: u8) -> Option<Rcode> {
+        Some(match code {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            _ => return None,
+        })
+    }
+}
+
+/// A question section entry (class is always IN in this simulator).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// Queried name.
+    pub name: DnsName,
+    /// Queried type.
+    pub qtype: RecordType,
+}
+
+/// A DNS message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Transaction id.
+    pub id: u16,
+    /// QR flag: response (true) or query (false).
+    pub is_response: bool,
+    /// AA flag.
+    pub authoritative: bool,
+    /// RD flag.
+    pub recursion_desired: bool,
+    /// RA flag.
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section.
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// A fresh query for `name`/`qtype` with recursion desired.
+    pub fn query(id: u16, name: DnsName, qtype: RecordType) -> Self {
+        Message {
+            id,
+            is_response: false,
+            authoritative: false,
+            recursion_desired: true,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+            questions: vec![Question { name, qtype }],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// An empty response skeleton mirroring a query's id and question.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Self {
+        Message {
+            id: query.id,
+            is_response: true,
+            authoritative: true,
+            recursion_desired: query.recursion_desired,
+            recursion_available: false,
+            rcode,
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.buf.put_u16(self.id);
+        let mut flags: u16 = 0;
+        if self.is_response {
+            flags |= 1 << 15;
+        }
+        if self.authoritative {
+            flags |= 1 << 10;
+        }
+        if self.recursion_desired {
+            flags |= 1 << 8;
+        }
+        if self.recursion_available {
+            flags |= 1 << 7;
+        }
+        flags |= u16::from(self.rcode.code());
+        enc.buf.put_u16(flags);
+        enc.buf.put_u16(self.questions.len() as u16);
+        enc.buf.put_u16(self.answers.len() as u16);
+        enc.buf.put_u16(self.authorities.len() as u16);
+        enc.buf.put_u16(self.additionals.len() as u16);
+        for q in &self.questions {
+            enc.put_name(&q.name);
+            enc.buf.put_u16(q.qtype.code());
+            enc.buf.put_u16(1); // class IN
+        }
+        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            enc.put_record(r);
+        }
+        enc.buf
+    }
+
+    /// Decode from wire bytes. Strict: trailing garbage is an error.
+    pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+        let mut dec = Decoder { bytes, pos: 0 };
+        let id = dec.u16()?;
+        let flags = dec.u16()?;
+        let rcode = Rcode::from_code((flags & 0x0F) as u8)
+            .ok_or(WireError::UnsupportedRcode((flags & 0x0F) as u8))?;
+        let qd = dec.u16()? as usize;
+        let an = dec.u16()? as usize;
+        let ns = dec.u16()? as usize;
+        let ar = dec.u16()? as usize;
+        let mut questions = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            let name = dec.name()?;
+            let qtype_raw = dec.u16()?;
+            let qtype =
+                RecordType::from_code(qtype_raw).ok_or(WireError::UnsupportedType(qtype_raw))?;
+            let class = dec.u16()?;
+            if class != 1 {
+                return Err(WireError::UnsupportedClass(class));
+            }
+            questions.push(Question { name, qtype });
+        }
+        let mut sections = [Vec::with_capacity(an), Vec::with_capacity(ns), Vec::with_capacity(ar)];
+        for (count, section) in [an, ns, ar].into_iter().zip(sections.iter_mut()) {
+            for _ in 0..count {
+                section.push(dec.record()?);
+            }
+        }
+        if dec.pos != bytes.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        let [answers, authorities, additionals] = sections;
+        Ok(Message {
+            id,
+            is_response: flags & (1 << 15) != 0,
+            authoritative: flags & (1 << 10) != 0,
+            recursion_desired: flags & (1 << 8) != 0,
+            recursion_available: flags & (1 << 7) != 0,
+            rcode,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+}
+
+/// Errors decoding a wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Message ended before a field was complete.
+    Truncated,
+    /// A compression pointer pointed forwards or at itself.
+    BadPointer,
+    /// A label exceeded 63 bytes (reserved length bits set).
+    BadLabel,
+    /// Reassembled name exceeded limits.
+    NameTooLong,
+    /// Unknown record type on the wire.
+    UnsupportedType(u16),
+    /// Non-IN class.
+    UnsupportedClass(u16),
+    /// Unknown response code.
+    UnsupportedRcode(u8),
+    /// Bytes remained after the counted sections.
+    TrailingBytes,
+    /// RDATA length did not match its contents.
+    BadRdataLength,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadPointer => write!(f, "invalid compression pointer"),
+            WireError::BadLabel => write!(f, "invalid label length"),
+            WireError::NameTooLong => write!(f, "name exceeds 255 bytes"),
+            WireError::UnsupportedType(t) => write!(f, "unsupported record type {t}"),
+            WireError::UnsupportedClass(c) => write!(f, "unsupported class {c}"),
+            WireError::UnsupportedRcode(r) => write!(f, "unsupported rcode {r}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::BadRdataLength => write!(f, "rdata length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+struct Encoder {
+    buf: Vec<u8>,
+    // Maps a name suffix (as its label list) to the offset where it was
+    // first written, for compression pointers.
+    offsets: HashMap<Vec<Vec<u8>>, u16>,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Self { buf: Vec::with_capacity(512), offsets: HashMap::new() }
+    }
+
+    fn put_name(&mut self, name: &DnsName) {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix: Vec<Vec<u8>> = labels[i..].to_vec();
+            if let Some(&off) = self.offsets.get(&suffix) {
+                self.buf.put_u16(0xC000 | off);
+                return;
+            }
+            let here = self.buf.len();
+            if here < 0x3FFF {
+                self.offsets.insert(suffix, here as u16);
+            }
+            let label = &labels[i];
+            self.buf.put_u8(label.len() as u8);
+            self.buf.extend_from_slice(label);
+        }
+        self.buf.put_u8(0); // root
+    }
+
+    fn put_record(&mut self, r: &Record) {
+        self.put_name(&r.name);
+        self.buf.put_u16(r.record_type().code());
+        self.buf.put_u16(1); // class IN
+        self.buf.put_u32(r.ttl);
+        let len_pos = self.buf.len();
+        self.buf.put_u16(0); // rdlength placeholder
+        let start = self.buf.len();
+        match &r.rdata {
+            RData::A(ip) => self.buf.extend_from_slice(&ip.octets()),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => self.put_name(n),
+            RData::Soa { mname, rname, serial } => {
+                self.put_name(mname);
+                self.put_name(rname);
+                self.buf.put_u32(*serial);
+                // refresh, retry, expire, minimum — fixed zeros in the sim.
+                self.buf.put_u32(0);
+                self.buf.put_u32(0);
+                self.buf.put_u32(0);
+                self.buf.put_u32(0);
+            }
+            RData::Txt(s) => {
+                for chunk in s.as_bytes().chunks(255) {
+                    self.buf.put_u8(chunk.len() as u8);
+                    self.buf.extend_from_slice(chunk);
+                }
+                if s.is_empty() {
+                    self.buf.put_u8(0);
+                }
+            }
+            RData::Aaaa(b) => self.buf.extend_from_slice(b),
+        }
+        let rdlen = (self.buf.len() - start) as u16;
+        self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+    }
+}
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        if self.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        let v = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        if self.remaining() < 2 {
+            return Err(WireError::Truncated);
+        }
+        let mut s = &self.bytes[self.pos..];
+        self.pos += 2;
+        Ok(s.get_u16())
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        if self.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let mut s = &self.bytes[self.pos..];
+        self.pos += 4;
+        Ok(s.get_u32())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a (possibly compressed) name starting at the current position.
+    fn name(&mut self) -> Result<DnsName, WireError> {
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut pos = self.pos;
+        let mut end_pos = None; // where parsing resumes after the name
+        let mut total = 1usize;
+        loop {
+            if pos >= self.bytes.len() {
+                return Err(WireError::Truncated);
+            }
+            let len = self.bytes[pos];
+            match len {
+                0 => {
+                    if end_pos.is_none() {
+                        end_pos = Some(pos + 1);
+                    }
+                    break;
+                }
+                l if l & 0xC0 == 0xC0 => {
+                    if pos + 1 >= self.bytes.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    let target =
+                        ((u16::from(l & 0x3F)) << 8 | u16::from(self.bytes[pos + 1])) as usize;
+                    // Pointers must go strictly backwards: no loops.
+                    if target >= pos {
+                        return Err(WireError::BadPointer);
+                    }
+                    if end_pos.is_none() {
+                        end_pos = Some(pos + 2);
+                    }
+                    pos = target;
+                }
+                l if l & 0xC0 != 0 => return Err(WireError::BadLabel),
+                l => {
+                    let l = l as usize;
+                    if pos + 1 + l > self.bytes.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    total += l + 1;
+                    if total > 255 {
+                        return Err(WireError::NameTooLong);
+                    }
+                    labels.push(self.bytes[pos + 1..pos + 1 + l].to_vec());
+                    pos += 1 + l;
+                }
+            }
+        }
+        self.pos = end_pos.expect("loop sets end_pos before breaking");
+        DnsName::from_labels(labels).map_err(|_| WireError::NameTooLong)
+    }
+
+    fn record(&mut self) -> Result<Record, WireError> {
+        let name = self.name()?;
+        let type_raw = self.u16()?;
+        let rtype = RecordType::from_code(type_raw).ok_or(WireError::UnsupportedType(type_raw))?;
+        let class = self.u16()?;
+        if class != 1 {
+            return Err(WireError::UnsupportedClass(class));
+        }
+        let ttl = self.u32()?;
+        let rdlen = self.u16()? as usize;
+        let rdata_end = self
+            .pos
+            .checked_add(rdlen)
+            .filter(|e| *e <= self.bytes.len())
+            .ok_or(WireError::Truncated)?;
+        let rdata = match rtype {
+            RecordType::A => {
+                let b = self.take(4)?;
+                RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+            }
+            RecordType::Ns => RData::Ns(self.name()?),
+            RecordType::Cname => RData::Cname(self.name()?),
+            RecordType::Ptr => RData::Ptr(self.name()?),
+            RecordType::Soa => {
+                let mname = self.name()?;
+                let rname = self.name()?;
+                let serial = self.u32()?;
+                // Skip refresh/retry/expire/minimum.
+                self.take(16)?;
+                RData::Soa { mname, rname, serial }
+            }
+            RecordType::Txt => {
+                let mut text = Vec::new();
+                while self.pos < rdata_end {
+                    let l = self.u8()? as usize;
+                    text.extend_from_slice(self.take(l)?);
+                }
+                RData::Txt(String::from_utf8_lossy(&text).into_owned())
+            }
+            RecordType::Aaaa => {
+                let b = self.take(16)?;
+                let mut arr = [0u8; 16];
+                arr.copy_from_slice(b);
+                RData::Aaaa(arr)
+            }
+        };
+        if self.pos != rdata_end {
+            return Err(WireError::BadRdataLength);
+        }
+        Ok(Record { name, ttl, rdata })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    fn round_trip(msg: &Message) -> Message {
+        let bytes = msg.encode();
+        Message::decode(&bytes).expect("decode what we encoded")
+    }
+
+    #[test]
+    fn query_round_trips() {
+        let q = Message::query(0x1234, n("www.gub.uy"), RecordType::A);
+        assert_eq!(round_trip(&q), q);
+    }
+
+    #[test]
+    fn response_with_all_rdata_types_round_trips() {
+        let mut m = Message::response_to(
+            &Message::query(7, n("example.gov.br"), RecordType::A),
+            Rcode::NoError,
+        );
+        m.answers = vec![
+            Record::new(n("example.gov.br"), 60, RData::A("203.0.113.5".parse().unwrap())),
+            Record::new(n("example.gov.br"), 60, RData::Aaaa([1; 16])),
+            Record::new(n("alias.gov.br"), 120, RData::Cname(n("example.gov.br"))),
+            Record::new(n("5.113.0.203.in-addr.arpa"), 60, RData::Ptr(n("srv1.example.gov.br"))),
+            Record::new(n("example.gov.br"), 60, RData::Txt("v=spf1 -all".into())),
+        ];
+        m.authorities = vec![
+            Record::new(n("gov.br"), 3600, RData::Ns(n("ns1.gov.br"))),
+            Record::new(
+                n("gov.br"),
+                3600,
+                RData::Soa { mname: n("ns1.gov.br"), rname: n("hostmaster.gov.br"), serial: 42 },
+            ),
+        ];
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_suffixes() {
+        let mut m =
+            Message::response_to(&Message::query(1, n("a.example.org"), RecordType::A), Rcode::NoError);
+        for i in 0..10 {
+            m.answers.push(Record::new(
+                format!("host{i}.example.org").parse().unwrap(),
+                60,
+                RData::A("198.51.100.1".parse().unwrap()),
+            ));
+        }
+        let bytes = m.encode();
+        // Uncompressed, "example.org" alone would cost 13 bytes x 11 names.
+        let naive: usize = 12
+            + (m.questions[0].name.wire_len() + 4)
+            + m.answers.iter().map(|r| r.name.wire_len() + 10 + 4).sum::<usize>();
+        assert!(bytes.len() < naive, "compressed {} !< naive {naive}", bytes.len());
+        assert_eq!(Message::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn truncated_messages_error() {
+        let m = Message::query(9, n("x.example.com"), RecordType::A);
+        let bytes = m.encode();
+        for cut in [0, 5, 11, bytes.len() - 1] {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let m = Message::query(9, n("x.example.com"), RecordType::A);
+        let mut bytes = m.encode();
+        bytes.push(0);
+        assert_eq!(Message::decode(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // Hand-craft a message whose question name is a pointer to itself.
+        let mut bytes = vec![
+            0x00, 0x01, // id
+            0x00, 0x00, // flags
+            0x00, 0x01, // qdcount
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // other counts
+        ];
+        bytes.extend_from_slice(&[0xC0, 12]); // pointer to offset 12 = itself
+        bytes.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]); // qtype/qclass
+        assert_eq!(Message::decode(&bytes), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let m = Message::query(3, n("x.y"), RecordType::A);
+        let mut bytes = m.encode();
+        // qtype lives at the 2 bytes after the name; patch it to 255 (ANY).
+        let qtype_pos = bytes.len() - 4;
+        bytes[qtype_pos] = 0;
+        bytes[qtype_pos + 1] = 255;
+        assert_eq!(Message::decode(&bytes), Err(WireError::UnsupportedType(255)));
+    }
+
+    #[test]
+    fn long_txt_chunks_round_trip() {
+        let long = "x".repeat(700);
+        let mut m = Message::response_to(&Message::query(2, n("t.example"), RecordType::Txt), Rcode::NoError);
+        m.answers.push(Record::new(n("t.example"), 60, RData::Txt(long.clone())));
+        let rt = round_trip(&m);
+        match &rt.answers[0].rdata {
+            RData::Txt(s) => assert_eq!(*s, long),
+            other => panic!("wrong rdata {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        let mut m = Message::query(0xFFFF, n("f.example"), RecordType::Ns);
+        m.is_response = true;
+        m.authoritative = true;
+        m.recursion_available = true;
+        m.rcode = Rcode::NxDomain;
+        let rt = round_trip(&m);
+        assert!(rt.is_response && rt.authoritative && rt.recursion_available);
+        assert_eq!(rt.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn empty_message_round_trips() {
+        let m = Message {
+            id: 0,
+            is_response: true,
+            authoritative: false,
+            recursion_desired: false,
+            recursion_available: false,
+            rcode: Rcode::ServFail,
+            questions: vec![],
+            answers: vec![],
+            authorities: vec![],
+            additionals: vec![],
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn rcode_codes_round_trip() {
+        for r in [Rcode::NoError, Rcode::FormErr, Rcode::ServFail, Rcode::NxDomain, Rcode::NotImp, Rcode::Refused] {
+            assert_eq!(Rcode::from_code(r.code()), Some(r));
+        }
+        assert_eq!(Rcode::from_code(15), None);
+    }
+}

@@ -1,0 +1,274 @@
+//! Authoritative zone data.
+//!
+//! A zone maps names to record sets. A record set is either static or
+//! *geo-routed*: the CDN-style behaviour where the authoritative answer
+//! depends on where the query comes from. Geo-routing is how the simulated
+//! world expresses "this provider maps Argentinian users to its São Paulo
+//! PoP" — the reason the paper insists on resolving every hostname from a
+//! VPN inside the studied country (§3.2, §3.4).
+
+use crate::name::DnsName;
+use crate::rr::{RData, Record, RecordType};
+use govhost_types::CountryCode;
+use std::collections::HashMap;
+
+/// A set of records for one (name, type), possibly vantage-dependent.
+#[derive(Debug, Clone)]
+pub enum RecordSet {
+    /// The same records for every querier.
+    Static(Vec<RData>),
+    /// Vantage-dependent records with a default for unlisted countries.
+    Geo {
+        /// Answer for countries without an override.
+        default: Vec<RData>,
+        /// Per-country overrides.
+        by_country: HashMap<CountryCode, Vec<RData>>,
+    },
+}
+
+impl RecordSet {
+    /// The records visible from `vantage`.
+    pub fn view(&self, vantage: Option<CountryCode>) -> &[RData] {
+        match self {
+            RecordSet::Static(rs) => rs,
+            RecordSet::Geo { default, by_country } => vantage
+                .and_then(|c| by_country.get(&c))
+                .map_or(default.as_slice(), Vec::as_slice),
+        }
+    }
+}
+
+/// Result of a zone lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneAnswer {
+    /// Records found for the requested type.
+    Records(Vec<Record>),
+    /// The name is an alias; the CNAME record is returned for the chain.
+    Cname(Record, DnsName),
+    /// The name exists but has no records of the requested type.
+    NoData,
+    /// The name does not exist in the zone.
+    NxDomain,
+    /// The name is not within this zone's bailiwick.
+    NotInZone,
+}
+
+/// One authoritative zone.
+///
+/// ```
+/// use govhost_dns::{Zone, RData, RecordType, zone::ZoneAnswer};
+/// let mut zone = Zone::new("gub.uy".parse().unwrap());
+/// zone.add("www.gub.uy".parse().unwrap(), RData::A("179.27.169.201".parse().unwrap()));
+/// match zone.lookup(&"www.gub.uy".parse().unwrap(), RecordType::A, None) {
+///     ZoneAnswer::Records(rs) => assert_eq!(rs.len(), 1),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zone {
+    origin: DnsName,
+    ttl: u32,
+    entries: HashMap<DnsName, HashMap<u16, RecordSet>>,
+}
+
+impl Zone {
+    /// Create an empty zone rooted at `origin` with a default TTL.
+    pub fn new(origin: DnsName) -> Self {
+        Self { origin, ttl: 300, entries: HashMap::new() }
+    }
+
+    /// The zone apex.
+    pub fn origin(&self) -> &DnsName {
+        &self.origin
+    }
+
+    /// Number of names with records.
+    pub fn name_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Append a static record. CNAMEs must be the only record at a name;
+    /// this is asserted in debug builds.
+    pub fn add(&mut self, name: DnsName, rdata: RData) {
+        debug_assert!(name.is_under(&self.origin), "{name} outside zone {}", self.origin);
+        let types = self.entries.entry(name).or_default();
+        debug_assert!(
+            !types.contains_key(&RecordType::Cname.code())
+                || rdata.record_type() == RecordType::Cname,
+            "cannot add records next to a CNAME"
+        );
+        match types.entry(rdata.record_type().code()).or_insert_with(|| RecordSet::Static(Vec::new()))
+        {
+            RecordSet::Static(rs) => rs.push(rdata),
+            RecordSet::Geo { default, .. } => default.push(rdata),
+        }
+    }
+
+    /// Install a geo-routed A record set.
+    pub fn add_geo_a(
+        &mut self,
+        name: DnsName,
+        default: Vec<std::net::Ipv4Addr>,
+        by_country: HashMap<CountryCode, Vec<std::net::Ipv4Addr>>,
+    ) {
+        debug_assert!(name.is_under(&self.origin));
+        let to_rdata = |ips: Vec<std::net::Ipv4Addr>| ips.into_iter().map(RData::A).collect();
+        let set = RecordSet::Geo {
+            default: to_rdata(default),
+            by_country: by_country.into_iter().map(|(c, ips)| (c, to_rdata(ips))).collect(),
+        };
+        self.entries.entry(name).or_default().insert(RecordType::A.code(), set);
+    }
+
+    /// Export view for serialization: every (name, type) with its
+    /// default-vantage records and whether the set is geo-routed.
+    pub fn entries_for_export(&self) -> Vec<(DnsName, RecordType, bool, Vec<RData>)> {
+        let mut out = Vec::new();
+        for (name, types) in &self.entries {
+            for (code, set) in types {
+                let Some(rtype) = RecordType::from_code(*code) else { continue };
+                let geo = matches!(set, RecordSet::Geo { .. });
+                out.push((name.clone(), rtype, geo, set.view(None).to_vec()));
+            }
+        }
+        out
+    }
+
+    /// Look up `name`/`rtype` as seen from `vantage`.
+    pub fn lookup(
+        &self,
+        name: &DnsName,
+        rtype: RecordType,
+        vantage: Option<CountryCode>,
+    ) -> ZoneAnswer {
+        if !name.is_under(&self.origin) {
+            return ZoneAnswer::NotInZone;
+        }
+        let Some(types) = self.entries.get(name) else {
+            return ZoneAnswer::NxDomain;
+        };
+        if let Some(set) = types.get(&rtype.code()) {
+            let records = set
+                .view(vantage)
+                .iter()
+                .map(|rd| Record::new(name.clone(), self.ttl, rd.clone()))
+                .collect::<Vec<_>>();
+            if records.is_empty() {
+                return ZoneAnswer::NoData;
+            }
+            return ZoneAnswer::Records(records);
+        }
+        // CNAME fallback for any other requested type.
+        if rtype != RecordType::Cname {
+            if let Some(set) = types.get(&RecordType::Cname.code()) {
+                if let Some(RData::Cname(target)) = set.view(vantage).first() {
+                    let rec =
+                        Record::new(name.clone(), self.ttl, RData::Cname(target.clone()));
+                    return ZoneAnswer::Cname(rec, target.clone());
+                }
+            }
+        }
+        ZoneAnswer::NoData
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_types::cc;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn static_lookup() {
+        let mut z = Zone::new(n("gub.uy"));
+        z.add(n("www.gub.uy"), RData::A(ip("179.27.169.201")));
+        match z.lookup(&n("www.gub.uy"), RecordType::A, None) {
+            ZoneAnswer::Records(rs) => {
+                assert_eq!(rs.len(), 1);
+                assert_eq!(rs[0].rdata, RData::A(ip("179.27.169.201")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nxdomain_vs_nodata() {
+        let mut z = Zone::new(n("gub.uy"));
+        z.add(n("www.gub.uy"), RData::A(ip("179.27.169.201")));
+        assert_eq!(z.lookup(&n("nope.gub.uy"), RecordType::A, None), ZoneAnswer::NxDomain);
+        assert_eq!(z.lookup(&n("www.gub.uy"), RecordType::Txt, None), ZoneAnswer::NoData);
+        assert_eq!(z.lookup(&n("example.com"), RecordType::A, None), ZoneAnswer::NotInZone);
+    }
+
+    #[test]
+    fn cname_fallback() {
+        let mut z = Zone::new(n("example.com"));
+        z.add(n("www.example.com"), RData::Cname(n("cdn.example.com")));
+        match z.lookup(&n("www.example.com"), RecordType::A, None) {
+            ZoneAnswer::Cname(rec, target) => {
+                assert_eq!(target, n("cdn.example.com"));
+                assert_eq!(rec.record_type(), RecordType::Cname);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Asking for the CNAME itself returns the record, not a chain hop.
+        match z.lookup(&n("www.example.com"), RecordType::Cname, None) {
+            ZoneAnswer::Records(rs) => assert_eq!(rs.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn geo_routing_by_vantage() {
+        let mut z = Zone::new(n("cdn.example"));
+        let mut by_country = HashMap::new();
+        by_country.insert(cc!("AR"), vec![ip("203.0.113.10")]);
+        by_country.insert(cc!("JP"), vec![ip("203.0.113.20")]);
+        z.add_geo_a(n("edge.cdn.example"), vec![ip("203.0.113.1")], by_country);
+
+        let view = |c: Option<CountryCode>| match z.lookup(&n("edge.cdn.example"), RecordType::A, c)
+        {
+            ZoneAnswer::Records(rs) => match &rs[0].rdata {
+                RData::A(a) => *a,
+                _ => unreachable!(),
+            },
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(view(Some(cc!("AR"))), ip("203.0.113.10"));
+        assert_eq!(view(Some(cc!("JP"))), ip("203.0.113.20"));
+        assert_eq!(view(Some(cc!("DE"))), ip("203.0.113.1"));
+        assert_eq!(view(None), ip("203.0.113.1"));
+    }
+
+    #[test]
+    fn multiple_a_records() {
+        let mut z = Zone::new(n("multi.example"));
+        z.add(n("lb.multi.example"), RData::A(ip("198.51.100.1")));
+        z.add(n("lb.multi.example"), RData::A(ip("198.51.100.2")));
+        match z.lookup(&n("lb.multi.example"), RecordType::A, None) {
+            ZoneAnswer::Records(rs) => assert_eq!(rs.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apex_records() {
+        let mut z = Zone::new(n("gov.br"));
+        z.add(n("gov.br"), RData::Soa {
+            mname: n("ns1.gov.br"),
+            rname: n("hostmaster.gov.br"),
+            serial: 1,
+        });
+        z.add(n("gov.br"), RData::Ns(n("ns1.gov.br")));
+        assert!(matches!(z.lookup(&n("gov.br"), RecordType::Soa, None), ZoneAnswer::Records(_)));
+        assert!(matches!(z.lookup(&n("gov.br"), RecordType::Ns, None), ZoneAnswer::Records(_)));
+    }
+}

@@ -1,0 +1,342 @@
+//! RFC 1035 master-file (zone file) parsing and serialization.
+//!
+//! Supports the subset real zone files use for the record types this
+//! simulator serves: `$ORIGIN`/`$TTL` directives, relative and absolute
+//! names, `@` for the apex, comments, quoted TXT strings, and per-record
+//! TTL/class fields in either order. Geo-routed record sets (a simulator
+//! extension) serialize as comment-annotated A records and are not
+//! round-tripped — zone files are a plain-DNS interchange format.
+
+use crate::name::DnsName;
+use crate::rr::{RData, RecordType};
+use crate::zone::Zone;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A zone-file parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneFileError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ZoneFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zone file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ZoneFileError {}
+
+fn err(line: usize, message: impl Into<String>) -> ZoneFileError {
+    ZoneFileError { line, message: message.into() }
+}
+
+/// Parse a master file into a [`Zone`]. The origin comes from `$ORIGIN`
+/// or, if absent, must be supplied by `default_origin`.
+pub fn parse_zone_file(
+    text: &str,
+    default_origin: Option<&DnsName>,
+) -> Result<Zone, ZoneFileError> {
+    let mut origin: Option<DnsName> = default_origin.cloned();
+    let mut zone: Option<Zone> = None;
+    let mut last_owner: Option<DnsName> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Directives.
+        if let Some(rest) = line.trim().strip_prefix("$ORIGIN") {
+            let name = rest.trim();
+            let parsed: DnsName = name
+                .parse()
+                .map_err(|_| err(lineno, format!("bad $ORIGIN name {name:?}")))?;
+            origin = Some(parsed);
+            continue;
+        }
+        if line.trim().starts_with("$TTL") {
+            // The simulator's zones use a uniform TTL; the directive is
+            // accepted and ignored.
+            continue;
+        }
+        let origin_name =
+            origin.clone().ok_or_else(|| err(lineno, "record before any $ORIGIN"))?;
+        let zone = zone.get_or_insert_with(|| Zone::new(origin_name.clone()));
+
+        // Owner name: starts in column 1, or blank to repeat the last.
+        let (owner, rest) = if raw_line.starts_with(char::is_whitespace) {
+            let owner = last_owner
+                .clone()
+                .ok_or_else(|| err(lineno, "blank owner with no previous record"))?;
+            (owner, line.trim())
+        } else {
+            let mut parts = line.trim().splitn(2, char::is_whitespace);
+            let owner_tok = parts.next().expect("nonempty line");
+            let rest = parts.next().unwrap_or("").trim();
+            (resolve_name(owner_tok, &origin_name, lineno)?, rest)
+        };
+        last_owner = Some(owner.clone());
+
+        // Optional TTL and class tokens, then TYPE, then RDATA.
+        let mut tokens = rest.split_whitespace().peekable();
+        loop {
+            match tokens.peek() {
+                Some(tok) if tok.chars().all(|c| c.is_ascii_digit()) => {
+                    tokens.next(); // TTL, ignored (uniform-TTL zones)
+                }
+                Some(&"IN") | Some(&"in") => {
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let type_tok = tokens.next().ok_or_else(|| err(lineno, "missing record type"))?;
+        let rdata_rest: Vec<&str> = tokens.collect();
+        let rdata = parse_rdata(type_tok, &rdata_rest, &origin_name, rest, lineno)?;
+        if !owner.is_under(zone.origin()) {
+            return Err(err(lineno, format!("{owner} is outside zone {}", zone.origin())));
+        }
+        zone.add(owner, rdata);
+    }
+    zone.ok_or_else(|| err(0, "empty zone file"))
+}
+
+fn strip_comment(line: &str) -> String {
+    // Semicolons inside quoted strings do not start comments.
+    let mut out = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                out.push(c);
+            }
+            ';' if !in_quotes => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn resolve_name(token: &str, origin: &DnsName, lineno: usize) -> Result<DnsName, ZoneFileError> {
+    if token == "@" {
+        return Ok(origin.clone());
+    }
+    if let Some(absolute) = token.strip_suffix('.') {
+        return absolute.parse().map_err(|_| err(lineno, format!("bad name {token:?}")));
+    }
+    // Relative: append the origin.
+    let joined = format!("{token}.{origin}");
+    joined.parse().map_err(|_| err(lineno, format!("bad relative name {token:?}")))
+}
+
+fn parse_rdata(
+    type_tok: &str,
+    tokens: &[&str],
+    origin: &DnsName,
+    raw_rest: &str,
+    lineno: usize,
+) -> Result<RData, ZoneFileError> {
+    let need = |n: usize| -> Result<(), ZoneFileError> {
+        if tokens.len() < n {
+            Err(err(lineno, format!("{type_tok} needs {n} field(s)")))
+        } else {
+            Ok(())
+        }
+    };
+    match type_tok.to_ascii_uppercase().as_str() {
+        "A" => {
+            need(1)?;
+            let ip: Ipv4Addr = tokens[0]
+                .parse()
+                .map_err(|_| err(lineno, format!("bad A address {:?}", tokens[0])))?;
+            Ok(RData::A(ip))
+        }
+        "NS" => {
+            need(1)?;
+            Ok(RData::Ns(resolve_name(tokens[0], origin, lineno)?))
+        }
+        "CNAME" => {
+            need(1)?;
+            Ok(RData::Cname(resolve_name(tokens[0], origin, lineno)?))
+        }
+        "PTR" => {
+            need(1)?;
+            Ok(RData::Ptr(resolve_name(tokens[0], origin, lineno)?))
+        }
+        "SOA" => {
+            need(3)?;
+            Ok(RData::Soa {
+                mname: resolve_name(tokens[0], origin, lineno)?,
+                rname: resolve_name(tokens[1], origin, lineno)?,
+                serial: tokens[2]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad SOA serial {:?}", tokens[2])))?,
+            })
+        }
+        "TXT" => {
+            // Take the quoted remainder from the raw text to preserve
+            // inner whitespace and semicolons.
+            let start = raw_rest
+                .find('"')
+                .ok_or_else(|| err(lineno, "TXT needs a quoted string"))?;
+            let rest = &raw_rest[start + 1..];
+            let end = rest.rfind('"').ok_or_else(|| err(lineno, "unterminated TXT string"))?;
+            Ok(RData::Txt(rest[..end].to_string()))
+        }
+        "AAAA" => {
+            need(1)?;
+            let v6: std::net::Ipv6Addr = tokens[0]
+                .parse()
+                .map_err(|_| err(lineno, format!("bad AAAA address {:?}", tokens[0])))?;
+            Ok(RData::Aaaa(v6.octets()))
+        }
+        other => Err(err(lineno, format!("unsupported record type {other:?}"))),
+    }
+}
+
+/// Serialize a zone's static records as a master file. Names are written
+/// absolute; the apex is `@`. Geo-routed sets emit their default answer
+/// with an annotation comment.
+pub fn to_zone_file(zone: &Zone, ttl: u32) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("$ORIGIN {}.\n$TTL {ttl}\n", zone.origin()));
+    let mut entries: Vec<(DnsName, RecordType, bool, Vec<RData>)> = zone.entries_for_export();
+    entries.sort_by_key(|e| (e.0.to_string(), e.1.code()));
+    for (name, _rtype, geo, rdatas) in entries {
+        let owner = if &name == zone.origin() {
+            "@".to_string()
+        } else {
+            format!("{name}.")
+        };
+        if geo {
+            out.push_str("; geo-routed set, default answer follows\n");
+        }
+        for rd in rdatas {
+            let line = match rd {
+                RData::A(ip) => format!("{owner}\t{ttl}\tIN\tA\t{ip}"),
+                RData::Ns(n) => format!("{owner}\t{ttl}\tIN\tNS\t{n}."),
+                RData::Cname(n) => format!("{owner}\t{ttl}\tIN\tCNAME\t{n}."),
+                RData::Ptr(n) => format!("{owner}\t{ttl}\tIN\tPTR\t{n}."),
+                RData::Soa { mname, rname, serial } => {
+                    format!("{owner}\t{ttl}\tIN\tSOA\t{mname}. {rname}. {serial}")
+                }
+                RData::Txt(s) => format!("{owner}\t{ttl}\tIN\tTXT\t\"{s}\""),
+                RData::Aaaa(b) => {
+                    format!("{owner}\t{ttl}\tIN\tAAAA\t{}", std::net::Ipv6Addr::from(b))
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::ZoneAnswer;
+
+    const SAMPLE: &str = r#"
+$ORIGIN tramites.gob.mx.
+$TTL 300
+@           IN  SOA   ns1 hostmaster 2024110401
+@           IN  NS    ns1
+ns1         IN  A     11.7.0.53
+www         300 IN  CNAME edge.cdnsim.net.
+static      IN  A     11.7.0.10
+            IN  A     11.7.0.11          ; same owner, second address
+info        IN  TXT   "contact; ministry of digital affairs"
+v6          IN  AAAA  2001:db8::7
+"#;
+
+    #[test]
+    fn parses_a_realistic_zone() {
+        let zone = parse_zone_file(SAMPLE, None).expect("parses");
+        assert_eq!(zone.origin().to_string(), "tramites.gob.mx");
+        let n = |s: &str| -> DnsName { s.parse().unwrap() };
+        // Relative names were joined with the origin.
+        match zone.lookup(&n("static.tramites.gob.mx"), RecordType::A, None) {
+            ZoneAnswer::Records(rs) => assert_eq!(rs.len(), 2, "blank-owner continuation"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Absolute CNAME target stayed absolute.
+        match zone.lookup(&n("www.tramites.gob.mx"), RecordType::A, None) {
+            ZoneAnswer::Cname(_, target) => assert_eq!(target, n("edge.cdnsim.net")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // TXT kept its inner semicolon.
+        match zone.lookup(&n("info.tramites.gob.mx"), RecordType::Txt, None) {
+            ZoneAnswer::Records(rs) => {
+                assert_eq!(rs[0].rdata, RData::Txt("contact; ministry of digital affairs".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Apex records.
+        assert!(matches!(
+            zone.lookup(&n("tramites.gob.mx"), RecordType::Soa, None),
+            ZoneAnswer::Records(_)
+        ));
+    }
+
+    #[test]
+    fn round_trips_through_serialization() {
+        let zone = parse_zone_file(SAMPLE, None).expect("parses");
+        let text = to_zone_file(&zone, 300);
+        let again = parse_zone_file(&text, None).expect("reparses own output");
+        assert_eq!(again.origin(), zone.origin());
+        assert_eq!(again.name_count(), zone.name_count());
+        let n = |s: &str| -> DnsName { s.parse().unwrap() };
+        for (name, rtype) in [
+            ("static.tramites.gob.mx", RecordType::A),
+            ("www.tramites.gob.mx", RecordType::Cname),
+            ("info.tramites.gob.mx", RecordType::Txt),
+            ("v6.tramites.gob.mx", RecordType::Aaaa),
+        ] {
+            let a = zone.lookup(&n(name), rtype, None);
+            let b = again.lookup(&n(name), rtype, None);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "{name}");
+        }
+    }
+
+    #[test]
+    fn default_origin_allows_directive_free_files() {
+        let origin: DnsName = "example.gov".parse().unwrap();
+        let zone =
+            parse_zone_file("www IN A 192.0.2.1\n", Some(&origin)).expect("parses");
+        assert_eq!(zone.origin(), &origin);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_zone_file("$ORIGIN x.test.\nwww IN A not-an-ip\n", None).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bad A address"));
+
+        let e = parse_zone_file("www IN A 1.2.3.4\n", None).unwrap_err();
+        assert!(e.message.contains("before any $ORIGIN"));
+
+        let e = parse_zone_file("$ORIGIN x.test.\nwww IN WKS whatever\n", None).unwrap_err();
+        assert!(e.message.contains("unsupported record type"));
+    }
+
+    #[test]
+    fn out_of_zone_owner_rejected() {
+        let e = parse_zone_file("$ORIGIN x.test.\nwww.other.test. IN A 1.2.3.4\n", None)
+            .unwrap_err();
+        assert!(e.message.contains("outside zone"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "; leading comment\n$ORIGIN c.test.\n\n@ IN A 1.2.3.4 ; trailing\n";
+        let zone = parse_zone_file(text, None).expect("parses");
+        assert_eq!(zone.name_count(), 1);
+    }
+}

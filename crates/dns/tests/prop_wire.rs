@@ -1,0 +1,117 @@
+//! Property tests for the DNS wire format: whatever we can construct must
+//! encode and decode losslessly, and the decoder must never panic on
+//! arbitrary bytes.
+
+use govhost_dns::{DnsName, Message, RData, Rcode, Record, RecordType};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = DnsName> {
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| labels.join(".").parse().expect("generated names are valid"))
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        (arb_name(), arb_name(), any::<u32>())
+            .prop_map(|(mname, rname, serial)| RData::Soa { mname, rname, serial }),
+        proptest::string::string_regex("[ -~]{0,300}")
+            .expect("valid regex")
+            .prop_map(RData::Txt),
+        any::<[u8; 16]>().prop_map(RData::Aaaa),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record {
+        name,
+        ttl,
+        rdata,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::sample::select(vec![
+            Rcode::NoError,
+            Rcode::FormErr,
+            Rcode::ServFail,
+            Rcode::NxDomain,
+            Rcode::Refused,
+        ]),
+        proptest::collection::vec(arb_name(), 0..3),
+        proptest::collection::vec(arb_record(), 0..6),
+        proptest::collection::vec(arb_record(), 0..3),
+    )
+        .prop_map(|(id, aa, rd, rcode, qnames, answers, authorities)| Message {
+            id,
+            is_response: true,
+            authoritative: aa,
+            recursion_desired: rd,
+            recursion_available: false,
+            rcode,
+            questions: qnames
+                .into_iter()
+                .map(|name| govhost_dns::Question { name, qtype: RecordType::A })
+                .collect(),
+            answers,
+            authorities,
+            additionals: Vec::new(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_encode_decode_round_trips(msg in arb_message()) {
+        let bytes = msg.encode();
+        let decoded = Message::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        // Any outcome is fine — panics are not.
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics(msg in arb_message(), cut in 0usize..1000) {
+        let bytes = msg.encode();
+        let cut = cut.min(bytes.len());
+        let _ = Message::decode(&bytes[..cut]);
+    }
+
+    #[test]
+    fn bitflip_never_panics(msg in arb_message(), idx in any::<usize>(), bit in 0u8..8) {
+        let mut bytes = msg.encode();
+        if !bytes.is_empty() {
+            let i = idx % bytes.len();
+            bytes[i] ^= 1 << bit;
+            let _ = Message::decode(&bytes);
+        }
+    }
+
+    #[test]
+    fn names_round_trip_through_display(name in arb_name()) {
+        let s = name.to_string();
+        let back: DnsName = s.parse().expect("display output parses");
+        prop_assert_eq!(back, name);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(msg in arb_message()) {
+        prop_assert_eq!(msg.encode(), msg.encode());
+    }
+}

@@ -1,0 +1,276 @@
+//! Anycast identification.
+//!
+//! The paper consumes a MAnycast2 snapshot (Sommese et al.); this module
+//! *implements* anycast detection rather than reading ground truth, using
+//! the latency-based Great-Circle Violation test that anycast censuses
+//! use to confirm candidates: if probes at two distant sites both measure
+//! RTTs too small for any single server location to explain —
+//! `d(probe_a, probe_b) > (rtt_a + rtt_b)/2 × signal speed` — no unicast
+//! location is physically possible, so the address must be anycast.
+//!
+//! Detection inherits real-world blind spots: ICMP-dead targets are
+//! undetectable, and deployments whose sites all sit near one another
+//! never trigger a violation. An extra `miss_rate` models measurement
+//! budget limits (the remaining false negatives of the real system).
+
+use govhost_netsim::asdb::AsRegistry;
+use govhost_netsim::det;
+use govhost_netsim::latency::LatencyModel;
+use govhost_netsim::probes::{Probe, ProbeFleet};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// A point-in-time snapshot of detected anycast addresses.
+#[derive(Debug, Default, Clone)]
+pub struct MAnycastSnapshot {
+    detected: HashSet<Ipv4Addr>,
+}
+
+impl MAnycastSnapshot {
+    /// Empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Oracle-based snapshot from registry ground truth, missing each
+    /// anycast address with probability `false_negative_rate`
+    /// (deterministic in `seed`). Used by tests that need exact control;
+    /// the measured variant is [`Self::detect`].
+    pub fn capture(registry: &AsRegistry, false_negative_rate: f64, seed: u64) -> Self {
+        let mut detected = HashSet::new();
+        for server in registry.servers() {
+            if !server.anycast {
+                continue;
+            }
+            let key = u64::from(u32::from(server.ip));
+            if det::unit(seed, &[key, 0xAC]) >= false_negative_rate {
+                detected.insert(server.ip);
+            }
+        }
+        Self { detected }
+    }
+
+    /// Measured snapshot: probe every server from a globally-spread probe
+    /// subset and flag addresses whose RTT pattern violates the great
+    /// circle. `miss_rate` drops a fraction of detections (budget model).
+    pub fn detect(
+        registry: &AsRegistry,
+        fleet: &ProbeFleet,
+        model: &LatencyModel,
+        miss_rate: f64,
+        seed: u64,
+    ) -> Self {
+        let vantages = spread_probes(fleet, 12);
+        let mut detected = HashSet::new();
+        for server in registry.servers() {
+            if !server.icmp_responsive {
+                continue; // undetectable, as in reality
+            }
+            let rtts: Vec<(&Probe, f64)> = vantages
+                .iter()
+                .filter_map(|p| fleet.ping(p, server, model, 3).map(|r| (*p, r)))
+                .collect();
+            if great_circle_violation(&rtts, model) {
+                let key = u64::from(u32::from(server.ip));
+                if det::unit(seed, &[key, 0xAD]) >= miss_rate {
+                    detected.insert(server.ip);
+                }
+            }
+        }
+        Self { detected }
+    }
+
+    /// Mark an address as detected (test/bench hook).
+    pub fn mark(&mut self, ip: Ipv4Addr) {
+        self.detected.insert(ip);
+    }
+
+    /// Whether the snapshot flags `ip` as anycast.
+    pub fn is_anycast(&self, ip: Ipv4Addr) -> bool {
+        self.detected.contains(&ip)
+    }
+
+    /// Number of detected anycast addresses.
+    pub fn len(&self) -> usize {
+        self.detected.len()
+    }
+
+    /// Whether nothing was detected.
+    pub fn is_empty(&self) -> bool {
+        self.detected.is_empty()
+    }
+}
+
+/// Pick up to `n` probes in distinct countries, deterministically, spread
+/// by taking the first probe of each country in country order.
+fn spread_probes(fleet: &ProbeFleet, n: usize) -> Vec<&Probe> {
+    let mut seen = HashSet::new();
+    let mut picked: Vec<&Probe> = Vec::new();
+    let mut all: Vec<&Probe> = fleet.all().collect();
+    all.sort_by_key(|p| (p.country, p.id));
+    for p in all {
+        if seen.insert(p.country) {
+            picked.push(p);
+            if picked.len() == n {
+                break;
+            }
+        }
+    }
+    picked
+}
+
+/// The GCV test over all probe pairs: true when some pair's RTTs are
+/// jointly impossible for one server location. Uses the raw in-fibre
+/// signal speed (no path-inflation credit), which makes the test strictly
+/// conservative: real paths are longer than great circles, so a
+/// violation under this bound is a violation under any real path.
+fn great_circle_violation(rtts: &[(&Probe, f64)], model: &LatencyModel) -> bool {
+    for (i, (pa, ra)) in rtts.iter().enumerate() {
+        for (pb, rb) in rtts.iter().skip(i + 1) {
+            let max_reachable_km = (ra + rb) / 2.0 * model.fibre_km_per_ms;
+            let d = pa.location.distance_km(&pb.location);
+            if d > max_reachable_km {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_netsim::asdb::Server;
+    use govhost_netsim::coords::City;
+    use govhost_types::{cc, Asn};
+
+    fn global_fleet() -> ProbeFleet {
+        let mut f = ProbeFleet::new();
+        f.deploy(&City::new("Ashburn", cc!("US"), 39.0, -77.5));
+        f.deploy(&City::new("Frankfurt", cc!("DE"), 50.1, 8.7));
+        f.deploy(&City::new("Singapore", cc!("SG"), 1.35, 103.8));
+        f.deploy(&City::new("Sao Paulo", cc!("BR"), -23.5, -46.6));
+        f.deploy(&City::new("Sydney", cc!("AU"), -33.9, 151.2));
+        f
+    }
+
+    fn registry_with(servers: Vec<Server>) -> AsRegistry {
+        let mut reg = AsRegistry::new();
+        for s in servers {
+            reg.add_server(s);
+        }
+        reg
+    }
+
+    fn anycast_server(responsive: bool) -> Server {
+        Server {
+            ip: "198.51.100.1".parse().unwrap(),
+            asn: Asn(13335),
+            sites: vec![
+                City::new("Ashburn", cc!("US"), 39.0, -77.5),
+                City::new("Frankfurt", cc!("DE"), 50.1, 8.7),
+                City::new("Singapore", cc!("SG"), 1.35, 103.8),
+            ],
+            anycast: true,
+            icmp_responsive: responsive,
+            ptr: None,
+        }
+    }
+
+    fn unicast_server() -> Server {
+        Server {
+            ip: "198.51.100.2".parse().unwrap(),
+            asn: Asn(64500),
+            sites: vec![City::new("Paris", cc!("FR"), 48.86, 2.35)],
+            anycast: false,
+            icmp_responsive: true,
+            ptr: None,
+        }
+    }
+
+    #[test]
+    fn gcv_detects_spread_anycast() {
+        let reg = registry_with(vec![anycast_server(true), unicast_server()]);
+        let fleet = global_fleet();
+        let snap = MAnycastSnapshot::detect(&reg, &fleet, &LatencyModel::default(), 0.0, 1);
+        assert!(snap.is_anycast("198.51.100.1".parse().unwrap()), "anycast detected");
+        assert!(!snap.is_anycast("198.51.100.2".parse().unwrap()), "unicast never flagged");
+    }
+
+    #[test]
+    fn gcv_never_false_positives_on_unicast() {
+        // Unicast servers scattered worldwide: the inflation margin keeps
+        // every pair physically consistent.
+        let mut servers = Vec::new();
+        for (i, (lat, lon)) in
+            [(35.68, 139.69), (-33.9, 18.4), (64.1, -21.9), (19.4, -99.1)].iter().enumerate()
+        {
+            servers.push(Server {
+                ip: format!("198.51.100.{}", 10 + i).parse().unwrap(),
+                asn: Asn(64500),
+                sites: vec![City::new("X", cc!("FR"), *lat, *lon)],
+                anycast: false,
+                icmp_responsive: true,
+                ptr: None,
+            });
+        }
+        let reg = registry_with(servers);
+        let snap =
+            MAnycastSnapshot::detect(&reg, &global_fleet(), &LatencyModel::default(), 0.0, 1);
+        assert!(snap.is_empty(), "no unicast server may violate the great circle");
+    }
+
+    #[test]
+    fn icmp_dead_anycast_is_a_natural_false_negative() {
+        let reg = registry_with(vec![anycast_server(false)]);
+        let snap =
+            MAnycastSnapshot::detect(&reg, &global_fleet(), &LatencyModel::default(), 0.0, 1);
+        assert!(snap.is_empty(), "unresponsive targets cannot be measured");
+    }
+
+    #[test]
+    fn single_region_anycast_can_hide() {
+        // An anycast deployment with two nearby European sites: no probe
+        // pair violates the great circle, so detection misses it — the
+        // detector's honest blind spot.
+        let server = Server {
+            ip: "198.51.100.9".parse().unwrap(),
+            asn: Asn(13335),
+            sites: vec![
+                City::new("Frankfurt", cc!("DE"), 50.1, 8.7),
+                City::new("Amsterdam", cc!("NL"), 52.37, 4.9),
+            ],
+            anycast: true,
+            icmp_responsive: true,
+            ptr: None,
+        };
+        let reg = registry_with(vec![server]);
+        let snap =
+            MAnycastSnapshot::detect(&reg, &global_fleet(), &LatencyModel::default(), 0.0, 1);
+        assert!(snap.is_empty(), "regionally-confined anycast evades GCV");
+    }
+
+    #[test]
+    fn miss_rate_one_detects_nothing() {
+        let reg = registry_with(vec![anycast_server(true)]);
+        let snap =
+            MAnycastSnapshot::detect(&reg, &global_fleet(), &LatencyModel::default(), 1.0, 1);
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn oracle_capture_still_available() {
+        let reg = registry_with(vec![anycast_server(true), unicast_server()]);
+        let snap = MAnycastSnapshot::capture(&reg, 0.0, 1);
+        assert_eq!(snap.len(), 1);
+    }
+
+    #[test]
+    fn detection_is_deterministic() {
+        let reg = registry_with(vec![anycast_server(true), unicast_server()]);
+        let fleet = global_fleet();
+        let a = MAnycastSnapshot::detect(&reg, &fleet, &LatencyModel::default(), 0.3, 5);
+        let b = MAnycastSnapshot::detect(&reg, &fleet, &LatencyModel::default(), 0.3, 5);
+        assert_eq!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,148 @@
+//! The commercial geolocation database (IPInfo stand-in).
+//!
+//! Darwich et al. report 89% of IPInfo targets locate within 40 km; the
+//! remaining tail includes wrong-country answers — precisely the errors
+//! the paper's verification stages exist to catch. The store itself is a
+//! plain map; error injection is a separate, explicitly-seeded step so
+//! tests can control it.
+
+use govhost_netsim::coords::GeoPoint;
+use govhost_netsim::det;
+use govhost_types::CountryCode;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One database row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoEntry {
+    /// Claimed country.
+    pub country: CountryCode,
+    /// Claimed coordinates.
+    pub location: GeoPoint,
+}
+
+/// The queryable database.
+#[derive(Debug, Default, Clone)]
+pub struct GeoDb {
+    entries: HashMap<Ipv4Addr, GeoEntry>,
+}
+
+impl GeoDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a row.
+    pub fn insert(&mut self, ip: Ipv4Addr, entry: GeoEntry) {
+        self.entries.insert(ip, entry);
+    }
+
+    /// Look up an address.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<GeoEntry> {
+        self.entries.get(&ip).copied()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Corrupt a fraction of rows: with probability `error_rate` an entry
+    /// is replaced by a decoy location drawn from `decoys`. Deterministic
+    /// in `seed`. Returns how many rows were corrupted.
+    pub fn inject_errors(
+        &mut self,
+        error_rate: f64,
+        seed: u64,
+        decoys: &[(CountryCode, GeoPoint)],
+    ) -> usize {
+        if decoys.is_empty() || error_rate <= 0.0 {
+            return 0;
+        }
+        let mut corrupted = 0;
+        // Sort keys so iteration (and thus corruption) is deterministic.
+        let mut ips: Vec<Ipv4Addr> = self.entries.keys().copied().collect();
+        ips.sort();
+        for ip in ips {
+            let key = u64::from(u32::from(ip));
+            if det::unit(seed, &[key, 0xEE]) < error_rate {
+                let pick = (det::mix(seed, &[key, 0xDD]) as usize) % decoys.len();
+                let (country, location) = decoys[pick];
+                let entry = self.entries.get_mut(&ip).expect("key from map");
+                if entry.country != country {
+                    *entry = GeoEntry { country, location };
+                    corrupted += 1;
+                }
+            }
+        }
+        corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_types::cc;
+
+    fn db_with(n: u32) -> GeoDb {
+        let mut db = GeoDb::new();
+        for i in 0..n {
+            db.insert(
+                Ipv4Addr::from(0x0A00_0000 + i),
+                GeoEntry { country: cc!("AR"), location: GeoPoint::new(-34.6, -58.4) },
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn insert_lookup() {
+        let db = db_with(3);
+        assert_eq!(db.len(), 3);
+        let e = db.lookup("10.0.0.1".parse().unwrap()).unwrap();
+        assert_eq!(e.country, cc!("AR"));
+        assert!(db.lookup("192.0.2.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn error_injection_is_deterministic_and_bounded() {
+        let decoys = [(cc!("US"), GeoPoint::new(39.0, -77.0))];
+        let mut db1 = db_with(1000);
+        let mut db2 = db_with(1000);
+        let c1 = db1.inject_errors(0.1, 7, &decoys);
+        let c2 = db2.inject_errors(0.1, 7, &decoys);
+        assert_eq!(c1, c2, "same seed, same corruption");
+        assert!(c1 > 50 && c1 < 160, "~10% corrupted, got {c1}");
+        // Every row still resolves.
+        assert_eq!(db1.len(), 1000);
+    }
+
+    #[test]
+    fn zero_rate_or_no_decoys_is_noop() {
+        let mut db = db_with(100);
+        assert_eq!(db.inject_errors(0.0, 1, &[(cc!("US"), GeoPoint::new(0.0, 0.0))]), 0);
+        assert_eq!(db.inject_errors(0.5, 1, &[]), 0);
+    }
+
+    #[test]
+    fn different_seeds_corrupt_differently() {
+        let decoys = [(cc!("US"), GeoPoint::new(39.0, -77.0))];
+        let mut db1 = db_with(500);
+        let mut db2 = db_with(500);
+        db1.inject_errors(0.1, 1, &decoys);
+        db2.inject_errors(0.1, 2, &decoys);
+        let diff = (0..500)
+            .filter(|i| {
+                let ip = Ipv4Addr::from(0x0A00_0000 + i);
+                db1.lookup(ip) != db2.lookup(ip)
+            })
+            .count();
+        assert!(diff > 0, "different seeds must corrupt different rows");
+    }
+}

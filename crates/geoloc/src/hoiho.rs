@@ -1,0 +1,130 @@
+//! HOIHO-style geolocation hints from PTR hostnames (§3.5 step #4).
+//!
+//! CAIDA's HOIHO learns regexes that extract airport/city codes from
+//! router hostnames. The simulator's PTR names embed city slugs the way
+//! operators do (`srv3.buenosaires.example.net`, `ae-1.fra2.carrier.com`);
+//! this module holds the learned dictionary (city/IATA token → country)
+//! and applies the extraction rules.
+
+use govhost_types::CountryCode;
+use std::collections::HashMap;
+
+/// The hint dictionary plus extraction logic.
+#[derive(Debug, Default, Clone)]
+pub struct Hoiho {
+    /// Known location tokens (lowercase) → country.
+    tokens: HashMap<String, CountryCode>,
+}
+
+impl Hoiho {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Learn a token (city slug or IATA-style code).
+    pub fn learn(&mut self, token: impl Into<String>, country: CountryCode) {
+        self.tokens.insert(token.into().to_lowercase(), country);
+    }
+
+    /// Number of learned tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Infer a country from a PTR hostname.
+    ///
+    /// Rules, mirroring HOIHO's common patterns:
+    /// 1. any dot-separated label that exactly matches a learned token;
+    /// 2. labels like `fra2` / `gru10-ntt` — a learned token followed by
+    ///    digits and optional suffix;
+    /// 3. hyphen-separated fragments within labels.
+    pub fn infer(&self, ptr_name: &str) -> Option<CountryCode> {
+        let lower = ptr_name.to_lowercase();
+        for label in lower.split('.') {
+            // Rule 1: exact label.
+            if let Some(c) = self.tokens.get(label) {
+                return Some(*c);
+            }
+            // Rule 3: hyphen fragments.
+            for frag in label.split('-') {
+                if let Some(c) = self.tokens.get(frag) {
+                    return Some(*c);
+                }
+                // Rule 2: token + trailing digits (e.g. "fra2").
+                let stripped = frag.trim_end_matches(|ch: char| ch.is_ascii_digit());
+                if stripped.len() >= 3 && stripped != frag {
+                    if let Some(c) = self.tokens.get(stripped) {
+                        return Some(*c);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_types::cc;
+
+    fn dict() -> Hoiho {
+        let mut h = Hoiho::new();
+        h.learn("buenosaires", cc!("AR"));
+        h.learn("fra", cc!("DE"));
+        h.learn("gru", cc!("BR"));
+        h.learn("noumea", cc!("NC"));
+        h
+    }
+
+    #[test]
+    fn exact_label_match() {
+        let h = dict();
+        assert_eq!(h.infer("srv3.buenosaires.example.net"), Some(cc!("AR")));
+        assert_eq!(h.infer("edge.noumea.opt.nc"), Some(cc!("NC")));
+    }
+
+    #[test]
+    fn token_with_digits() {
+        let h = dict();
+        assert_eq!(h.infer("ae-1.fra2.carrier.com"), Some(cc!("DE")));
+        assert_eq!(h.infer("gru10.cdn.example"), Some(cc!("BR")));
+    }
+
+    #[test]
+    fn hyphenated_fragment() {
+        let h = dict();
+        assert_eq!(h.infer("core1-fra-lo0.transit.net"), Some(cc!("DE")));
+    }
+
+    #[test]
+    fn no_hint_is_none() {
+        let h = dict();
+        assert_eq!(h.infer("server1.example.com"), None);
+        assert_eq!(h.infer(""), None);
+    }
+
+    #[test]
+    fn short_prefixes_do_not_false_match() {
+        let mut h = Hoiho::new();
+        h.learn("fr", cc!("FR"));
+        // "fr" inside "frank" must not match; only exact labels/fragments
+        // or token+digits with length >= 3.
+        assert_eq!(h.infer("frank.example.com"), None);
+        assert_eq!(h.infer("fr.example.com"), Some(cc!("FR")));
+        // "fr2" strips to "fr" (len 2 < 3): rejected by the length guard.
+        assert_eq!(h.infer("fr2.example.com"), None);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let h = dict();
+        assert_eq!(h.infer("SRV1.BuenosAires.Example.NET"), Some(cc!("AR")));
+    }
+}

@@ -1,0 +1,55 @@
+//! RIPE-IPmap-style cached geolocations (§3.5 step #4: "we consult the
+//! cached results from RIPE's IPmap"). Coverage is partial — the cache
+//! only knows addresses somebody already measured.
+
+use govhost_types::CountryCode;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// The cache of previously-measured locations.
+#[derive(Debug, Default, Clone)]
+pub struct IpMapCache {
+    entries: HashMap<Ipv4Addr, CountryCode>,
+}
+
+impl IpMapCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a measured location.
+    pub fn insert(&mut self, ip: Ipv4Addr, country: CountryCode) {
+        self.entries.insert(ip, country);
+    }
+
+    /// Cached country for `ip`, if anyone measured it.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<CountryCode> {
+        self.entries.get(&ip).copied()
+    }
+
+    /// Number of cached addresses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_types::cc;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut cache = IpMapCache::new();
+        cache.insert("203.0.113.5".parse().unwrap(), cc!("JP"));
+        assert_eq!(cache.lookup("203.0.113.5".parse().unwrap()), Some(cc!("JP")));
+        assert_eq!(cache.lookup("203.0.113.6".parse().unwrap()), None);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,493 @@
+//! The full §3.5 geolocation flow, combining all stages, plus the
+//! aggregate validation statistics reported in Table 4.
+
+use crate::anycast::MAnycastSnapshot;
+use crate::geodb::GeoDb;
+use crate::hoiho::Hoiho;
+use crate::ipmap::IpMapCache;
+use crate::probing::ActiveProber;
+use crate::single_radius::single_radius;
+use crate::thresholds::CountryThresholds;
+use govhost_dns::Resolver;
+use govhost_netsim::asdb::AsRegistry;
+use govhost_netsim::latency::LatencyModel;
+use govhost_netsim::probes::ProbeFleet;
+use govhost_types::CountryCode;
+use std::net::Ipv4Addr;
+
+/// One address to geolocate, tagged with the country whose government it
+/// serves (the vantage for in-country verification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeoTask {
+    /// The server address.
+    pub ip: Ipv4Addr,
+    /// The country whose government URLs resolve to this address.
+    pub serving_country: CountryCode,
+}
+
+/// Which stage settled the verdict (the columns of Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GeoMethod {
+    /// Confirmed by active probing against the country threshold.
+    ActiveProbing,
+    /// Confirmed by the multistage fallback (HOIHO → IPmap →
+    /// single-radius).
+    Multistage,
+    /// Could not be confirmed; excluded from analysis.
+    Unresolved,
+}
+
+/// The per-address outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeoVerdict {
+    /// The address.
+    pub ip: Ipv4Addr,
+    /// Whether the MAnycast2 snapshot flagged it anycast.
+    pub anycast: bool,
+    /// The commercial database's claim, if it had a row.
+    pub claimed: Option<CountryCode>,
+    /// The accepted location (country level), when confirmed.
+    pub location: Option<CountryCode>,
+    /// The confirming stage.
+    pub method: GeoMethod,
+    /// Whether multistage evidence *contradicted* the database claim
+    /// (the 84 excluded instances in §4.2).
+    pub conflict: bool,
+    /// Whether the address is excluded from downstream analysis.
+    pub excluded: bool,
+}
+
+/// Aggregate confirmation statistics (Table 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ValidationStats {
+    /// Unicast counts: confirmed by AP, by MG, unresolved.
+    pub unicast: [usize; 3],
+    /// Anycast counts: confirmed by AP, by MG, unresolved.
+    pub anycast: [usize; 3],
+}
+
+impl ValidationStats {
+    fn bump(&mut self, verdict: &GeoVerdict) {
+        let idx = match verdict.method {
+            GeoMethod::ActiveProbing => 0,
+            GeoMethod::Multistage => 1,
+            GeoMethod::Unresolved => 2,
+        };
+        if verdict.anycast {
+            self.anycast[idx] += 1;
+        } else {
+            self.unicast[idx] += 1;
+        }
+    }
+
+    /// Fractions per method for unicast addresses `(AP, MG, UR)`.
+    pub fn unicast_fractions(&self) -> [f64; 3] {
+        Self::fractions(&self.unicast)
+    }
+
+    /// Fractions per method for anycast addresses `(AP, MG, UR)`.
+    pub fn anycast_fractions(&self) -> [f64; 3] {
+        Self::fractions(&self.anycast)
+    }
+
+    fn fractions(counts: &[usize; 3]) -> [f64; 3] {
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return [f64::NAN; 3];
+        }
+        [0, 1, 2].map(|i| counts[i] as f64 / total as f64)
+    }
+
+    /// Overall confirmation rate (all addresses, both kinds).
+    pub fn confirmation_rate(&self) -> f64 {
+        let confirmed = self.unicast[0] + self.unicast[1] + self.anycast[0] + self.anycast[1];
+        let total: usize = self.unicast.iter().chain(&self.anycast).sum();
+        if total == 0 {
+            f64::NAN
+        } else {
+            confirmed as f64 / total as f64
+        }
+    }
+}
+
+/// Configuration for the stages that take scalar knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// RTT bound for single-radius attribution, ms.
+    pub single_radius_ms: f64,
+    /// Stage toggles for the ablation benchmarks: disable HOIHO.
+    pub use_hoiho: bool,
+    /// Disable the IPmap cache.
+    pub use_ipmap: bool,
+    /// Disable single-radius.
+    pub use_single_radius: bool,
+    /// Disable active probing entirely (forces everything through MG).
+    pub use_active_probing: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            single_radius_ms: 18.0,
+            use_hoiho: true,
+            use_ipmap: true,
+            use_single_radius: true,
+            use_active_probing: true,
+        }
+    }
+}
+
+/// The assembled pipeline, borrowing every substrate surface it needs.
+pub struct GeolocationPipeline<'a> {
+    /// The AS/server registry (to find the server behind an IP).
+    pub registry: &'a AsRegistry,
+    /// The commercial geolocation database.
+    pub geodb: &'a GeoDb,
+    /// The anycast snapshot.
+    pub anycast: &'a MAnycastSnapshot,
+    /// The probe fleet.
+    pub fleet: &'a ProbeFleet,
+    /// The latency model.
+    pub model: &'a LatencyModel,
+    /// Per-country thresholds.
+    pub thresholds: &'a CountryThresholds,
+    /// HOIHO dictionary.
+    pub hoiho: &'a Hoiho,
+    /// IPmap cache.
+    pub ipmap: &'a IpMapCache,
+    /// Resolver for PTR lookups.
+    pub resolver: &'a Resolver,
+    /// Scalar knobs and ablation toggles.
+    pub config: PipelineConfig,
+}
+
+impl<'a> GeolocationPipeline<'a> {
+    /// Geolocate one address.
+    pub fn locate(&self, task: GeoTask) -> GeoVerdict {
+        let claimed = self.geodb.lookup(task.ip).map(|e| e.country);
+        let is_anycast = self.anycast.is_anycast(task.ip);
+        let server = self.registry.server_by_ip(task.ip);
+        let prober = ActiveProber::new(self.fleet, self.model, self.thresholds);
+
+        let mut verdict = GeoVerdict {
+            ip: task.ip,
+            anycast: is_anycast,
+            claimed,
+            location: None,
+            method: GeoMethod::Unresolved,
+            conflict: false,
+            excluded: true,
+        };
+        let Some(server) = server else {
+            return verdict; // nothing to measure
+        };
+
+        if is_anycast {
+            // Anycast: the only question the paper answers is "does this
+            // address have a site inside the serving country?".
+            if self.config.use_active_probing
+                && prober.verify_in_country(task.serving_country, server) == Some(true)
+            {
+                verdict.location = Some(task.serving_country);
+                verdict.method = GeoMethod::ActiveProbing;
+                verdict.excluded = false;
+            }
+            return verdict;
+        }
+
+        // Unicast, stage #3: verify the database claim by probing from the
+        // claimed country.
+        if self.config.use_active_probing {
+            if let Some(c) = claimed {
+                if prober.verify_in_country(c, server) == Some(true) {
+                    verdict.location = Some(c);
+                    verdict.method = GeoMethod::ActiveProbing;
+                    verdict.excluded = false;
+                    return verdict;
+                }
+            }
+        }
+
+        // Stage #4: multistage fallback.
+        let mg = self.multistage(server);
+        match (mg, claimed) {
+            (Some(found), Some(c)) if found == c => {
+                verdict.location = Some(c);
+                verdict.method = GeoMethod::Multistage;
+                verdict.excluded = false;
+            }
+            (Some(found), Some(_)) => {
+                // Evidence contradicts the database: conservative exclude.
+                // Table 4 counts these under "Unresolved" (the 84 excluded
+                // conflicting instances of §4.2).
+                verdict.conflict = true;
+                verdict.location = Some(found);
+                verdict.method = GeoMethod::Unresolved;
+                verdict.excluded = true;
+            }
+            (Some(found), None) => {
+                verdict.location = Some(found);
+                verdict.method = GeoMethod::Multistage;
+                verdict.excluded = false;
+            }
+            (None, _) => {}
+        }
+        verdict
+    }
+
+    fn multistage(&self, server: &govhost_netsim::asdb::Server) -> Option<CountryCode> {
+        if self.config.use_hoiho {
+            if let Ok(ptr) = self.resolver.resolve_ptr(server.ip) {
+                if let Some(c) = self.hoiho.infer(&ptr.to_string()) {
+                    return Some(c);
+                }
+            }
+        }
+        if self.config.use_ipmap {
+            if let Some(c) = self.ipmap.lookup(server.ip) {
+                return Some(c);
+            }
+        }
+        if self.config.use_single_radius {
+            if let Some(c) =
+                single_radius(self.fleet, server, self.model, self.config.single_radius_ms, 3)
+            {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Geolocate a batch and accumulate Table 4 statistics.
+    pub fn locate_all(&self, tasks: &[GeoTask]) -> (Vec<GeoVerdict>, ValidationStats) {
+        let mut stats = ValidationStats::default();
+        let verdicts: Vec<GeoVerdict> = tasks
+            .iter()
+            .map(|t| {
+                let v = self.locate(*t);
+                stats.bump(&v);
+                v
+            })
+            .collect();
+        (verdicts, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geodb::GeoEntry;
+    use govhost_dns::{reverse, AuthoritativeServer};
+    use govhost_netsim::asdb::Server;
+    use govhost_netsim::coords::{City, GeoPoint};
+    use govhost_types::{cc, Asn};
+
+    struct Fixture {
+        registry: AsRegistry,
+        geodb: GeoDb,
+        anycast: MAnycastSnapshot,
+        fleet: ProbeFleet,
+        model: LatencyModel,
+        thresholds: CountryThresholds,
+        hoiho: Hoiho,
+        ipmap: IpMapCache,
+        resolver: Resolver,
+    }
+
+    impl Fixture {
+        fn pipeline(&self) -> GeolocationPipeline<'_> {
+            GeolocationPipeline {
+                registry: &self.registry,
+                geodb: &self.geodb,
+                anycast: &self.anycast,
+                fleet: &self.fleet,
+                model: &self.model,
+                thresholds: &self.thresholds,
+                hoiho: &self.hoiho,
+                ipmap: &self.ipmap,
+                resolver: &self.resolver,
+                config: PipelineConfig::default(),
+            }
+        }
+    }
+
+    /// World: AR has probes. Servers:
+    ///  .1 unicast in AR, responsive, db says AR          -> AP confirm
+    ///  .2 unicast in AR, ICMP-dead, PTR hints AR         -> MG confirm
+    ///  .3 unicast in DE, db wrongly says AR, PTR says DE -> conflict
+    ///  .4 unicast in AR, ICMP-dead, no PTR/ipmap         -> unresolved
+    ///  .5 anycast with AR site                           -> AP confirm
+    ///  .6 anycast without AR site                        -> unresolved
+    fn fixture() -> Fixture {
+        let mut registry = AsRegistry::new();
+        let ar_city = || City::new("BuenosAires", cc!("AR"), -34.6, -58.4);
+        let de_city = || City::new("Frankfurt", cc!("DE"), 50.1, 8.7);
+        let mk = |last: u8, sites: Vec<City>, anycast: bool, responsive: bool, ptr: Option<&str>| {
+            Server {
+                ip: Ipv4Addr::new(198, 51, 100, last),
+                asn: Asn(64500),
+                sites,
+                anycast,
+                icmp_responsive: responsive,
+                ptr: ptr.map(str::to_string),
+            }
+        };
+        registry.add_server(mk(1, vec![ar_city()], false, true, None));
+        registry.add_server(mk(2, vec![ar_city()], false, false, Some("srv.buenosaires.host.ar")));
+        registry.add_server(mk(3, vec![de_city()], false, false, Some("core1.fra2.transit.de")));
+        registry.add_server(mk(4, vec![ar_city()], false, false, None));
+        registry.add_server(mk(5, vec![ar_city(), de_city()], true, true, None));
+        registry.add_server(mk(6, vec![de_city()], true, true, None));
+
+        let mut geodb = GeoDb::new();
+        let ar = GeoEntry { country: cc!("AR"), location: GeoPoint::new(-34.6, -58.4) };
+        for last in [1, 2, 4] {
+            geodb.insert(Ipv4Addr::new(198, 51, 100, last), ar);
+        }
+        // .3's row wrongly claims AR.
+        geodb.insert(Ipv4Addr::new(198, 51, 100, 3), ar);
+
+        let mut anycast = MAnycastSnapshot::new();
+        anycast.mark(Ipv4Addr::new(198, 51, 100, 5));
+        anycast.mark(Ipv4Addr::new(198, 51, 100, 6));
+
+        let mut fleet = ProbeFleet::new();
+        for (name, lat, lon) in [
+            ("BuenosAires", -34.6, -58.4),
+            ("Cordoba", -31.4, -64.2),
+            ("Rosario", -32.9, -60.7),
+            ("Mendoza", -32.9, -68.8),
+            ("Salta", -24.8, -65.4),
+        ] {
+            fleet.deploy(&City::new(name, cc!("AR"), lat, lon));
+        }
+
+        let mut hoiho = Hoiho::new();
+        hoiho.learn("buenosaires", cc!("AR"));
+        hoiho.learn("fra", cc!("DE"));
+
+        let ptr_zone = reverse::build_reverse_zone(
+            registry
+                .servers()
+                .iter()
+                .filter_map(|s| s.ptr.as_deref().map(|p| (s.ip, p))),
+        );
+        let mut resolver = Resolver::new();
+        resolver.add_server(AuthoritativeServer::new(ptr_zone));
+
+        Fixture {
+            registry,
+            geodb,
+            anycast,
+            fleet,
+            model: LatencyModel::default(),
+            thresholds: CountryThresholds::from_intercity_distances([(cc!("AR"), 3100.0)]),
+            hoiho,
+            ipmap: IpMapCache::new(),
+            resolver,
+        }
+    }
+
+    fn task(last: u8) -> GeoTask {
+        GeoTask { ip: Ipv4Addr::new(198, 51, 100, last), serving_country: cc!("AR") }
+    }
+
+    #[test]
+    fn active_probing_confirms_responsive_domestic_unicast() {
+        let f = fixture();
+        let v = f.pipeline().locate(task(1));
+        assert_eq!(v.method, GeoMethod::ActiveProbing);
+        assert_eq!(v.location, Some(cc!("AR")));
+        assert!(!v.excluded && !v.conflict && !v.anycast);
+    }
+
+    #[test]
+    fn multistage_confirms_via_ptr_hint() {
+        let f = fixture();
+        let v = f.pipeline().locate(task(2));
+        assert_eq!(v.method, GeoMethod::Multistage);
+        assert_eq!(v.location, Some(cc!("AR")));
+        assert!(!v.excluded);
+    }
+
+    #[test]
+    fn conflict_excludes_address() {
+        let f = fixture();
+        let v = f.pipeline().locate(task(3));
+        assert!(v.conflict);
+        assert!(v.excluded);
+        assert_eq!(v.method, GeoMethod::Unresolved, "conflicts count as UR in Table 4");
+        assert_eq!(v.location, Some(cc!("DE")), "evidence found the true location");
+    }
+
+    #[test]
+    fn unmeasurable_is_unresolved() {
+        let f = fixture();
+        let v = f.pipeline().locate(task(4));
+        assert_eq!(v.method, GeoMethod::Unresolved);
+        assert!(v.excluded);
+    }
+
+    #[test]
+    fn anycast_with_domestic_site_confirms() {
+        let f = fixture();
+        let v = f.pipeline().locate(task(5));
+        assert!(v.anycast);
+        assert_eq!(v.method, GeoMethod::ActiveProbing);
+        assert_eq!(v.location, Some(cc!("AR")));
+        assert!(!v.excluded);
+    }
+
+    #[test]
+    fn anycast_without_domestic_site_excluded() {
+        let f = fixture();
+        let v = f.pipeline().locate(task(6));
+        assert!(v.anycast);
+        assert_eq!(v.method, GeoMethod::Unresolved);
+        assert!(v.excluded);
+    }
+
+    #[test]
+    fn ipmap_cache_fallback_works() {
+        let mut f = fixture();
+        // .4 is otherwise unresolvable; seed the cache.
+        f.ipmap.insert(Ipv4Addr::new(198, 51, 100, 4), cc!("AR"));
+        let v = f.pipeline().locate(task(4));
+        assert_eq!(v.method, GeoMethod::Multistage);
+        assert!(!v.excluded);
+    }
+
+    #[test]
+    fn batch_stats_match_verdicts() {
+        let f = fixture();
+        let tasks: Vec<GeoTask> = (1..=6).map(task).collect();
+        let (verdicts, stats) = f.pipeline().locate_all(&tasks);
+        assert_eq!(verdicts.len(), 6);
+        assert_eq!(stats.unicast, [1, 1, 2]); // AP, MG(conflict counts as MG? no...), UR
+        assert_eq!(stats.anycast, [1, 0, 1]);
+        let conf = stats.confirmation_rate();
+        assert!((conf - 3.0 / 6.0).abs() < 1e-12, "3 confirmed of 6, got {conf}");
+    }
+
+    #[test]
+    fn disabling_active_probing_forces_multistage() {
+        let f = fixture();
+        let mut p = f.pipeline();
+        p.config.use_active_probing = false;
+        let v = p.locate(task(1));
+        // .1 has no PTR/ipmap and is near the BA probe -> single-radius.
+        assert_eq!(v.method, GeoMethod::Multistage);
+        assert_eq!(v.location, Some(cc!("AR")));
+    }
+
+    #[test]
+    fn disabling_all_fallbacks_unresolves_everything_unprobed() {
+        let f = fixture();
+        let mut p = f.pipeline();
+        p.config.use_hoiho = false;
+        p.config.use_ipmap = false;
+        p.config.use_single_radius = false;
+        let v = p.locate(task(2));
+        assert_eq!(v.method, GeoMethod::Unresolved);
+    }
+}

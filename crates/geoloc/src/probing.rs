@@ -1,0 +1,138 @@
+//! Active probing against per-country thresholds (§3.5 step #3).
+
+use crate::thresholds::CountryThresholds;
+use govhost_netsim::asdb::Server;
+use govhost_netsim::latency::LatencyModel;
+use govhost_netsim::probes::ProbeFleet;
+use govhost_types::CountryCode;
+
+/// The active-probing verifier: five probes, three pings each, minimum
+/// latency compared to the country's road-distance threshold.
+#[derive(Debug, Clone)]
+pub struct ActiveProber<'a> {
+    fleet: &'a ProbeFleet,
+    model: &'a LatencyModel,
+    thresholds: &'a CountryThresholds,
+    /// Probes used per country (paper: 5).
+    pub probes_per_country: usize,
+    /// Pings per probe (paper: 3).
+    pub pings: u64,
+}
+
+impl<'a> ActiveProber<'a> {
+    /// Assemble a prober over the shared substrate pieces.
+    pub fn new(
+        fleet: &'a ProbeFleet,
+        model: &'a LatencyModel,
+        thresholds: &'a CountryThresholds,
+    ) -> Self {
+        Self { fleet, model, thresholds, probes_per_country: 5, pings: 3 }
+    }
+
+    /// Minimum observed RTT to `server` from probes in `country`, or
+    /// `None` when no measurement is possible (no probes there, or the
+    /// server drops ICMP).
+    pub fn min_rtt(&self, country: CountryCode, server: &Server) -> Option<f64> {
+        self.fleet.min_rtt_from_country(
+            country,
+            server,
+            self.model,
+            self.probes_per_country,
+            self.pings,
+        )
+    }
+
+    /// Verify whether `server` has presence inside `country`:
+    /// `Some(true)` — latency under the country threshold, so yes;
+    /// `Some(false)` — measured but over threshold;
+    /// `None` — unmeasurable.
+    pub fn verify_in_country(&self, country: CountryCode, server: &Server) -> Option<bool> {
+        let rtt = self.min_rtt(country, server)?;
+        Some(rtt <= self.thresholds.threshold_ms(country, self.model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_netsim::coords::City;
+    use govhost_types::{cc, Asn};
+
+    fn substrate() -> (ProbeFleet, LatencyModel, CountryThresholds) {
+        let mut fleet = ProbeFleet::new();
+        for (name, lat, lon) in [
+            ("BuenosAires", -34.6, -58.4),
+            ("Cordoba", -31.4, -64.2),
+            ("Mendoza", -32.9, -68.8),
+            ("Rosario", -32.9, -60.7),
+            ("Salta", -24.8, -65.4),
+        ] {
+            fleet.deploy(&City::new(name, cc!("AR"), lat, lon));
+        }
+        let model = LatencyModel::default();
+        let thresholds =
+            CountryThresholds::from_intercity_distances([(cc!("AR"), 3100.0), (cc!("UY"), 500.0)]);
+        (fleet, model, thresholds)
+    }
+
+    fn server_in(city: City, responsive: bool) -> Server {
+        Server {
+            ip: "198.51.100.77".parse().unwrap(),
+            asn: Asn(64500),
+            sites: vec![city],
+            anycast: false,
+            icmp_responsive: responsive,
+            ptr: None,
+        }
+    }
+
+    #[test]
+    fn domestic_server_verifies() {
+        let (fleet, model, thresholds) = substrate();
+        let prober = ActiveProber::new(&fleet, &model, &thresholds);
+        let s = server_in(City::new("Ushuaia", cc!("AR"), -54.8, -68.3), true);
+        assert_eq!(prober.verify_in_country(cc!("AR"), &s), Some(true));
+    }
+
+    #[test]
+    fn overseas_server_fails_verification() {
+        let (fleet, model, thresholds) = substrate();
+        let prober = ActiveProber::new(&fleet, &model, &thresholds);
+        let s = server_in(City::new("Frankfurt", cc!("DE"), 50.1, 8.7), true);
+        assert_eq!(prober.verify_in_country(cc!("AR"), &s), Some(false));
+    }
+
+    #[test]
+    fn unresponsive_server_unmeasurable() {
+        let (fleet, model, thresholds) = substrate();
+        let prober = ActiveProber::new(&fleet, &model, &thresholds);
+        let s = server_in(City::new("BuenosAires", cc!("AR"), -34.6, -58.4), false);
+        assert_eq!(prober.verify_in_country(cc!("AR"), &s), None);
+    }
+
+    #[test]
+    fn country_without_probes_unmeasurable() {
+        let (fleet, model, thresholds) = substrate();
+        let prober = ActiveProber::new(&fleet, &model, &thresholds);
+        let s = server_in(City::new("Montevideo", cc!("UY"), -34.9, -56.2), true);
+        assert_eq!(prober.verify_in_country(cc!("UY"), &s), None);
+    }
+
+    #[test]
+    fn anycast_server_with_domestic_site_verifies() {
+        let (fleet, model, thresholds) = substrate();
+        let prober = ActiveProber::new(&fleet, &model, &thresholds);
+        let s = Server {
+            ip: "198.51.100.80".parse().unwrap(),
+            asn: Asn(13335),
+            sites: vec![
+                City::new("BuenosAires", cc!("AR"), -34.6, -58.4),
+                City::new("Miami", cc!("US"), 25.8, -80.2),
+            ],
+            anycast: true,
+            icmp_responsive: true,
+            ptr: None,
+        };
+        assert_eq!(prober.verify_in_country(cc!("AR"), &s), Some(true));
+    }
+}

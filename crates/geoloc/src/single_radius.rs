@@ -1,0 +1,101 @@
+//! Single-radius geolocation (§3.5 step #4, last resort).
+//!
+//! Ping the target from the whole fleet; if the single smallest RTT is
+//! tight enough, the target must sit near that probe, so it inherits the
+//! probe's country. RIPE IPmap's "single-radius" engine works this way.
+
+use govhost_netsim::asdb::Server;
+use govhost_netsim::latency::LatencyModel;
+use govhost_netsim::probes::ProbeFleet;
+use govhost_types::CountryCode;
+
+/// Locate `server` by the nearest-probe heuristic. Returns the country of
+/// the minimum-RTT probe when that RTT is below `radius_ms`, else `None`.
+/// Unresponsive servers return `None`.
+pub fn single_radius(
+    fleet: &ProbeFleet,
+    server: &Server,
+    model: &LatencyModel,
+    radius_ms: f64,
+    pings: u64,
+) -> Option<CountryCode> {
+    let mut best: Option<(f64, CountryCode)> = None;
+    for probe in fleet.all() {
+        let Some(rtt) = fleet.ping(probe, server, model, pings) else {
+            return None; // ICMP-unresponsive: no probe will do better
+        };
+        if best.is_none_or(|(b, _)| rtt < b) {
+            best = Some((rtt, probe.country));
+        }
+    }
+    best.and_then(|(rtt, country)| (rtt <= radius_ms).then_some(country))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_netsim::coords::City;
+    use govhost_types::{cc, Asn};
+
+    fn fleet() -> ProbeFleet {
+        let mut f = ProbeFleet::new();
+        f.deploy(&City::new("BuenosAires", cc!("AR"), -34.6, -58.4));
+        f.deploy(&City::new("Frankfurt", cc!("DE"), 50.1, 8.7));
+        f.deploy(&City::new("Tokyo", cc!("JP"), 35.68, 139.69));
+        f
+    }
+
+    fn server_at(lat: f64, lon: f64, responsive: bool) -> Server {
+        Server {
+            ip: "198.51.100.9".parse().unwrap(),
+            asn: Asn(64500),
+            sites: vec![City::new("S", cc!("AR"), lat, lon)],
+            anycast: false,
+            icmp_responsive: responsive,
+            ptr: None,
+        }
+    }
+
+    #[test]
+    fn near_probe_wins() {
+        let f = fleet();
+        let model = LatencyModel::default();
+        // Server in Montevideo: Buenos Aires probe is ~200 km away.
+        let s = server_at(-34.9, -56.2, true);
+        assert_eq!(single_radius(&f, &s, &model, 10.0, 3), Some(cc!("AR")));
+    }
+
+    #[test]
+    fn far_from_every_probe_is_none() {
+        let f = fleet();
+        let model = LatencyModel::default();
+        // Server in Cape Town: thousands of km from every probe.
+        let s = server_at(-33.9, 18.4, true);
+        assert_eq!(single_radius(&f, &s, &model, 10.0, 3), None);
+    }
+
+    #[test]
+    fn unresponsive_is_none() {
+        let f = fleet();
+        let model = LatencyModel::default();
+        let s = server_at(-34.9, -56.2, false);
+        assert_eq!(single_radius(&f, &s, &model, 10.0, 3), None);
+    }
+
+    #[test]
+    fn generous_radius_attributes_to_nearest() {
+        let f = fleet();
+        let model = LatencyModel::default();
+        // Server near Frankfurt.
+        let s = server_at(50.0, 8.5, true);
+        assert_eq!(single_radius(&f, &s, &model, 15.0, 3), Some(cc!("DE")));
+    }
+
+    #[test]
+    fn empty_fleet_is_none() {
+        let f = ProbeFleet::new();
+        let model = LatencyModel::default();
+        let s = server_at(0.0, 0.0, true);
+        assert_eq!(single_radius(&f, &s, &model, 100.0, 3), None);
+    }
+}

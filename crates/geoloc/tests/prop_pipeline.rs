@@ -1,0 +1,223 @@
+//! Property tests for the geolocation pipeline's invariants, over
+//! randomly-configured worlds of servers.
+
+use govhost_dns::Resolver;
+use govhost_geoloc::pipeline::{GeoMethod, GeoTask, GeolocationPipeline, PipelineConfig};
+use govhost_geoloc::{CountryThresholds, GeoDb, Hoiho, IpMapCache, MAnycastSnapshot};
+use govhost_geoloc::geodb::GeoEntry;
+use govhost_netsim::asdb::{AsRegistry, Server};
+use govhost_netsim::coords::{City, GeoPoint};
+use govhost_netsim::latency::LatencyModel;
+use govhost_netsim::probes::ProbeFleet;
+use govhost_types::{Asn, CountryCode};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const SPOTS: &[(&str, f64, f64)] = &[
+    ("AR", -34.6, -58.4),
+    ("DE", 50.1, 8.7),
+    ("SG", 1.35, 103.8),
+    ("US", 39.0, -77.5),
+    ("BR", -23.5, -46.6),
+];
+
+fn cc(s: &str) -> CountryCode {
+    s.parse().unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct ServerSpec {
+    country_idx: usize,
+    responsive: bool,
+    anycast: bool,
+    has_ptr: bool,
+    db_correct: bool,
+}
+
+fn arb_server() -> impl Strategy<Value = ServerSpec> {
+    (0usize..SPOTS.len(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(country_idx, responsive, anycast, has_ptr, db_correct)| ServerSpec {
+            country_idx,
+            responsive,
+            anycast,
+            has_ptr,
+            db_correct,
+        },
+    )
+}
+
+struct Fixture {
+    registry: AsRegistry,
+    geodb: GeoDb,
+    snapshot: MAnycastSnapshot,
+    fleet: ProbeFleet,
+    model: LatencyModel,
+    thresholds: CountryThresholds,
+    hoiho: Hoiho,
+    ipmap: IpMapCache,
+    resolver: Resolver,
+    tasks: Vec<GeoTask>,
+}
+
+fn build(specs: &[ServerSpec]) -> Fixture {
+    let mut registry = AsRegistry::new();
+    let mut geodb = GeoDb::new();
+    let mut snapshot = MAnycastSnapshot::new();
+    let mut fleet = ProbeFleet::new();
+    let mut hoiho = Hoiho::new();
+    let mut tasks = Vec::new();
+
+    for (code, lat, lon) in SPOTS {
+        let city = City::new(format!("{code}city"), cc(code), *lat, *lon);
+        // Two probes per country so in-country verification is possible.
+        fleet.deploy(&city);
+        fleet.deploy(&City::new(format!("{code}alt"), cc(code), lat + 1.0, lon + 1.0));
+        hoiho.learn(format!("{}city", code.to_lowercase()), cc(code));
+    }
+
+    let mut ptr_entries = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let (code, lat, lon) = SPOTS[spec.country_idx];
+        let ip = Ipv4Addr::new(198, 51, (i / 250) as u8, (i % 250) as u8);
+        let home = City::new(format!("{code}city"), cc(code), lat, lon);
+        let mut sites = vec![home];
+        if spec.anycast {
+            sites.push(City::new("UScity", cc("US"), 39.0, -77.5));
+            sites.push(City::new("SGcity", cc("SG"), 1.35, 103.8));
+        }
+        registry.add_server(Server {
+            ip,
+            asn: Asn(64500),
+            sites,
+            anycast: spec.anycast,
+            icmp_responsive: spec.responsive,
+            ptr: spec.has_ptr.then(|| format!("srv{i}.{}city.example.net", code.to_lowercase())),
+        });
+        if spec.has_ptr {
+            ptr_entries
+                .push((ip, format!("srv{i}.{}city.example.net", code.to_lowercase())));
+        }
+        if spec.anycast {
+            snapshot.mark(ip);
+        }
+        let claimed = if spec.db_correct {
+            cc(code)
+        } else {
+            cc(SPOTS[(spec.country_idx + 1) % SPOTS.len()].0)
+        };
+        let (_, clat, clon) = SPOTS.iter().find(|(c, _, _)| cc(c) == claimed).unwrap();
+        geodb.insert(ip, GeoEntry { country: claimed, location: GeoPoint::new(*clat, *clon) });
+        tasks.push(GeoTask { ip, serving_country: cc(code) });
+    }
+
+    let ptr_zone = govhost_dns::reverse::build_reverse_zone(
+        ptr_entries.iter().map(|(ip, p)| (*ip, p.as_str())),
+    );
+    let mut resolver = Resolver::new();
+    resolver.add_server(govhost_dns::AuthoritativeServer::new(ptr_zone));
+
+    Fixture {
+        registry,
+        geodb,
+        snapshot,
+        fleet,
+        model: LatencyModel::default(),
+        thresholds: CountryThresholds::from_intercity_distances(
+            SPOTS.iter().map(|(c, _, _)| (cc(c), 800.0)),
+        ),
+        hoiho,
+        ipmap: IpMapCache::new(),
+        resolver,
+        tasks,
+    }
+}
+
+impl Fixture {
+    fn pipeline(&self) -> GeolocationPipeline<'_> {
+        GeolocationPipeline {
+            registry: &self.registry,
+            geodb: &self.geodb,
+            anycast: &self.snapshot,
+            fleet: &self.fleet,
+            model: &self.model,
+            thresholds: &self.thresholds,
+            hoiho: &self.hoiho,
+            ipmap: &self.ipmap,
+            resolver: &self.resolver,
+            config: PipelineConfig::default(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipeline_invariants_hold(specs in proptest::collection::vec(arb_server(), 1..40)) {
+        let f = build(&specs);
+        let (verdicts, stats) = f.pipeline().locate_all(&f.tasks);
+        prop_assert_eq!(verdicts.len(), f.tasks.len());
+
+        let mut confirmed = 0usize;
+        for (v, spec) in verdicts.iter().zip(&specs) {
+            // Invariant: non-excluded verdicts always carry a location.
+            if !v.excluded {
+                prop_assert!(v.location.is_some());
+                confirmed += 1;
+            }
+            // Invariant: unresolved method ⇔ excluded.
+            if v.method == GeoMethod::Unresolved {
+                prop_assert!(v.excluded);
+            } else {
+                prop_assert!(!v.excluded);
+            }
+            // Invariant: anycast never confirms via multistage (Table 4).
+            if v.anycast {
+                prop_assert!(v.method != GeoMethod::Multistage);
+            }
+            // Soundness: a confirmed location is the true one (the DB may
+            // lie, but confirmation only ever lands on physical truth).
+            if let (false, Some(loc)) = (v.excluded, v.location) {
+                let truth = cc(SPOTS[spec.country_idx].0);
+                prop_assert_eq!(loc, truth, "confirmed location must be the truth");
+            }
+        }
+        // Stats agree with the verdicts.
+        let stat_confirmed =
+            stats.unicast[0] + stats.unicast[1] + stats.anycast[0] + stats.anycast[1];
+        prop_assert_eq!(stat_confirmed, confirmed);
+        let total: usize = stats.unicast.iter().chain(stats.anycast.iter()).sum();
+        prop_assert_eq!(total, f.tasks.len());
+    }
+
+    #[test]
+    fn responsive_truthful_unicast_always_confirms(
+        country_idx in 0usize..SPOTS.len(),
+    ) {
+        let spec = ServerSpec {
+            country_idx,
+            responsive: true,
+            anycast: false,
+            has_ptr: true,
+            db_correct: true,
+        };
+        let f = build(&[spec]);
+        let v = f.pipeline().locate(f.tasks[0]);
+        prop_assert!(!v.excluded, "responsive + truthful DB must confirm: {v:?}");
+        prop_assert_eq!(v.method, GeoMethod::ActiveProbing);
+    }
+
+    #[test]
+    fn dead_ptrless_server_with_wrong_db_is_excluded(country_idx in 0usize..SPOTS.len()) {
+        let spec = ServerSpec {
+            country_idx,
+            responsive: false,
+            anycast: false,
+            has_ptr: false,
+            db_correct: false,
+        };
+        let f = build(&[spec]);
+        let v = f.pipeline().locate(f.tasks[0]);
+        prop_assert!(v.excluded, "nothing can validate this address: {v:?}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Geographic coordinates and great-circle distances.
+
+use govhost_types::CountryCode;
+
+/// A point on the globe (degrees).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point; values are taken as-is (callers embed real
+    /// coordinates).
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        Self { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine, mean
+    /// Earth radius 6371 km).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        const R: f64 = 6371.0;
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * R * a.sqrt().asin()
+    }
+}
+
+/// A city hosting infrastructure (servers, probes, or both).
+#[derive(Debug, Clone, PartialEq)]
+pub struct City {
+    /// City name, for PTR records and display.
+    pub name: String,
+    /// Country the city is in — the geolocation ground truth for servers
+    /// located here.
+    pub country: CountryCode,
+    /// Coordinates.
+    pub location: GeoPoint,
+}
+
+impl City {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, country: CountryCode, lat: f64, lon: f64) -> Self {
+        Self { name: name.into(), country, location: GeoPoint::new(lat, lon) }
+    }
+
+    /// A lowercase ASCII slug of the city name usable inside hostnames
+    /// (e.g. `"Buenos Aires"` → `"buenosaires"`).
+    pub fn slug(&self) -> String {
+        self.name.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_lowercase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_types::cc;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(-34.6, -58.4);
+        assert!(p.distance_km(&p) < 1e-9);
+    }
+
+    #[test]
+    fn known_distance_buenos_aires_montevideo() {
+        // ~200 km apart.
+        let ba = GeoPoint::new(-34.603, -58.381);
+        let mv = GeoPoint::new(-34.901, -56.164);
+        let d = ba.distance_km(&mv);
+        assert!((d - 205.0).abs() < 15.0, "distance {d}");
+    }
+
+    #[test]
+    fn known_distance_new_york_london() {
+        // ~5570 km.
+        let ny = GeoPoint::new(40.71, -74.01);
+        let ldn = GeoPoint::new(51.51, -0.13);
+        let d = ny.distance_km(&ldn);
+        assert!((d - 5570.0).abs() < 60.0, "distance {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(35.68, 139.69); // Tokyo
+        let b = GeoPoint::new(-36.85, 174.76); // Auckland
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        assert!((d - std::f64::consts::PI * 6371.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn city_slug_strips_non_alphanumerics() {
+        let c = City::new("Buenos Aires", cc!("AR"), -34.6, -58.4);
+        assert_eq!(c.slug(), "buenosaires");
+        let c2 = City::new("Nouméa", cc!("NC"), -22.27, 166.44);
+        assert_eq!(c2.slug(), "nouma"); // non-ASCII dropped
+    }
+}

@@ -1,0 +1,90 @@
+//! Deterministic hashing helpers.
+//!
+//! The latency model and failure-injection knobs need *stable* per-entity
+//! noise: the same (probe, server) pair must see the same jitter in every
+//! run and regardless of evaluation order, or the pipeline would not be
+//! reproducible. We derive such noise from a splitmix64 hash of the inputs
+//! rather than from a shared RNG whose state depends on call order.
+
+/// One round of splitmix64.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mix an arbitrary list of parts into one 64-bit value.
+pub fn mix(seed: u64, parts: &[u64]) -> u64 {
+    let mut acc = splitmix64(seed ^ 0x6a09_e667_f3bc_c909);
+    for &p in parts {
+        acc = splitmix64(acc ^ p);
+    }
+    acc
+}
+
+/// Map a hash to a uniform `f64` in `[0, 1)`.
+pub fn unit_f64(hash: u64) -> f64 {
+    // 53 top bits -> [0,1).
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic uniform `[0,1)` from seed and parts.
+pub fn unit(seed: u64, parts: &[u64]) -> f64 {
+    unit_f64(mix(seed, parts))
+}
+
+/// Hash a string deterministically (FNV-1a, then splitmix finalization).
+pub fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        assert_eq!(mix(1, &[2, 3]), mix(1, &[2, 3]));
+        assert_ne!(mix(1, &[2, 3]), mix(1, &[3, 2]));
+        assert_ne!(mix(1, &[2, 3]), mix(2, &[2, 3]));
+    }
+
+    #[test]
+    fn unit_is_in_range_and_spread() {
+        let mut lo = false;
+        let mut hi = false;
+        for i in 0..1000 {
+            let u = unit(42, &[i]);
+            assert!((0.0..1.0).contains(&u));
+            if u < 0.25 {
+                lo = true;
+            }
+            if u > 0.75 {
+                hi = true;
+            }
+        }
+        assert!(lo && hi, "values should cover the unit interval");
+    }
+
+    #[test]
+    fn string_hash_distinguishes() {
+        assert_eq!(hash_str("cloudflare"), hash_str("cloudflare"));
+        assert_ne!(hash_str("cloudflare"), hash_str("cloudflarf"));
+        assert_ne!(hash_str(""), hash_str(" "));
+    }
+
+    #[test]
+    fn unit_mean_is_near_half() {
+        let n = 4000;
+        let sum: f64 = (0..n).map(|i| unit(7, &[i])).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,160 @@
+//! The geographic latency model.
+//!
+//! RTT between two points is modelled as speed-of-light-in-fibre
+//! propagation along a path inflated by a routing detour factor, plus a
+//! small processing floor and deterministic per-pair jitter. These are the
+//! standard assumptions behind latency-based geolocation (the paper's
+//! §3.5 converts road distances into latency thresholds the same way).
+
+use crate::coords::GeoPoint;
+use crate::det;
+
+/// Parameters of the latency model.
+///
+/// ```
+/// use govhost_netsim::{GeoPoint, LatencyModel};
+/// let model = LatencyModel::default();
+/// let nyc = GeoPoint::new(40.71, -74.01);
+/// let london = GeoPoint::new(51.51, -0.13);
+/// let rtt = model.min_rtt_ms(&nyc, &london);
+/// assert!(rtt > 60.0 && rtt < 100.0, "transatlantic best case, got {rtt}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Two-thirds of c in km/ms — signal speed in fibre (~199.86 km/ms;
+    /// we use 200).
+    pub fibre_km_per_ms: f64,
+    /// Multiplier accounting for fibre paths not following great circles.
+    pub path_inflation: f64,
+    /// Fixed processing/serialization floor added to every RTT, ms.
+    pub base_ms: f64,
+    /// Maximum uniform jitter added per measurement, ms.
+    pub jitter_ms: f64,
+    /// Seed scoping the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            fibre_km_per_ms: 200.0,
+            path_inflation: 1.25,
+            base_ms: 0.4,
+            jitter_ms: 1.5,
+            seed: 0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Minimum possible RTT between two points under this model (no
+    /// jitter): `2 · inflated_distance / fibre_speed + base`.
+    pub fn min_rtt_ms(&self, a: &GeoPoint, b: &GeoPoint) -> f64 {
+        let d = a.distance_km(b) * self.path_inflation;
+        2.0 * d / self.fibre_km_per_ms + self.base_ms
+    }
+
+    /// One RTT sample for measurement number `attempt` between two points.
+    /// Deterministic in `(seed, a, b, attempt)`.
+    pub fn rtt_ms(&self, a: &GeoPoint, b: &GeoPoint, attempt: u64) -> f64 {
+        let key = [
+            (a.lat * 1e6) as i64 as u64,
+            (a.lon * 1e6) as i64 as u64,
+            (b.lat * 1e6) as i64 as u64,
+            (b.lon * 1e6) as i64 as u64,
+            attempt,
+        ];
+        let jitter = det::unit(self.seed, &key) * self.jitter_ms;
+        self.min_rtt_ms(a, b) + jitter
+    }
+
+    /// Minimum of `n` RTT samples — the "send three pings, take the
+    /// minimum" primitive the paper uses (§3.5 step #3).
+    pub fn min_of_pings(&self, a: &GeoPoint, b: &GeoPoint, n: u64) -> f64 {
+        (0..n)
+            .map(|i| self.rtt_ms(a, b, i))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Convert a surface distance (e.g. road km) into the RTT threshold a
+    /// server inside that radius could exhibit. Used to derive per-country
+    /// thresholds from the intercity road distance between the two
+    /// furthest cities.
+    pub fn distance_to_threshold_ms(&self, distance_km: f64) -> f64 {
+        2.0 * distance_km / self.fibre_km_per_ms + self.base_ms + self.jitter_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BA: GeoPoint = GeoPoint::new(-34.603, -58.381); // Buenos Aires
+    const MAD: GeoPoint = GeoPoint::new(40.4168, -3.7038); // Madrid
+
+    #[test]
+    fn rtt_grows_with_distance() {
+        let m = LatencyModel::default();
+        let nearby = GeoPoint::new(-34.9, -56.2); // Montevideo
+        assert!(m.min_rtt_ms(&BA, &nearby) < m.min_rtt_ms(&BA, &MAD));
+    }
+
+    #[test]
+    fn transatlantic_rtt_plausible() {
+        let m = LatencyModel::default();
+        let rtt = m.min_rtt_ms(&BA, &MAD);
+        // ~10000 km great circle -> ~125 ms best-case with inflation.
+        assert!(rtt > 100.0 && rtt < 180.0, "rtt {rtt}");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let m = LatencyModel::default();
+        let floor = m.min_rtt_ms(&BA, &MAD);
+        for attempt in 0..50 {
+            let r1 = m.rtt_ms(&BA, &MAD, attempt);
+            let r2 = m.rtt_ms(&BA, &MAD, attempt);
+            assert_eq!(r1, r2, "same attempt must give same sample");
+            assert!(r1 >= floor && r1 <= floor + m.jitter_ms);
+        }
+    }
+
+    #[test]
+    fn different_attempts_differ() {
+        let m = LatencyModel::default();
+        let a = m.rtt_ms(&BA, &MAD, 0);
+        let b = m.rtt_ms(&BA, &MAD, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn min_of_pings_at_most_single_ping() {
+        let m = LatencyModel::default();
+        let single = m.rtt_ms(&BA, &MAD, 0);
+        let min3 = m.min_of_pings(&BA, &MAD, 3);
+        assert!(min3 <= single);
+        assert!(min3 >= m.min_rtt_ms(&BA, &MAD));
+    }
+
+    #[test]
+    fn threshold_admits_in_radius_server() {
+        // A server at distance d must always measure under
+        // distance_to_threshold_ms(d') for any road distance d' >= d.
+        let m = LatencyModel::default();
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 5.0); // ~556 km
+        let d = a.distance_km(&b);
+        let threshold = m.distance_to_threshold_ms(d * m.path_inflation);
+        for attempt in 0..20 {
+            assert!(m.rtt_ms(&a, &b, attempt) <= threshold);
+        }
+    }
+
+    #[test]
+    fn seed_changes_jitter_not_floor() {
+        let m1 = LatencyModel { seed: 1, ..LatencyModel::default() };
+        let m2 = LatencyModel { seed: 2, ..LatencyModel::default() };
+        assert_eq!(m1.min_rtt_ms(&BA, &MAD), m2.min_rtt_ms(&BA, &MAD));
+        assert_ne!(m1.rtt_ms(&BA, &MAD, 0), m2.rtt_ms(&BA, &MAD, 0));
+    }
+}

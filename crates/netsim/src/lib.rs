@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # govhost-netsim
+//!
+//! The simulated Internet substrate underneath the measurement pipeline:
+//!
+//! - a registry of autonomous systems with organization metadata and ground
+//!   truth about who operates them ([`asdb`]),
+//! - IPv4 prefix allocations and servers, unicast and anycast ([`asdb`]),
+//! - a WHOIS service that renders and parses RPSL-style text ([`whois`]),
+//! - PeeringDB-style records ([`peeringdb`]),
+//! - a deterministic "web search" index used as the classifier's fallback
+//!   evidence source ([`search`]),
+//! - a geographic latency model (great-circle distance → RTT with
+//!   deterministic jitter) ([`latency`], [`coords`]),
+//! - a RIPE-Atlas-style probe fleet for active measurements ([`probes`]).
+//!
+//! Ground truth lives here (e.g. [`types::OrgKind`] per AS); the pipeline in
+//! `govhost-core` must *recover* it from the observable surfaces (WHOIS
+//! text, PeeringDB records, search snippets, latencies), exactly as the
+//! paper does against the real Internet.
+//!
+//! [`types::OrgKind`]: govhost_types::OrgKind
+
+pub mod asdb;
+pub mod coords;
+pub mod det;
+pub mod latency;
+pub mod peeringdb;
+pub mod probes;
+pub mod search;
+pub mod trie;
+pub mod whois;
+
+pub use asdb::{AsRecord, AsRegistry, Server, ServerId};
+pub use coords::{City, GeoPoint};
+pub use latency::LatencyModel;
+pub use peeringdb::{PeeringDb, PeeringDbRecord};
+pub use probes::{Probe, ProbeFleet};
+pub use search::{SearchIndex, SearchResult};
+pub use trie::PrefixTrie;
+pub use whois::{WhoisRecord, WhoisService};

@@ -1,0 +1,111 @@
+//! PeeringDB-style records.
+//!
+//! §3.4: the pipeline first checks PeeringDB for indications of government
+//! ownership — in the network name, the associated organization, the notes
+//! field, or the advertised website. PeeringDB's coverage is famously
+//! partial, so the store may simply lack an entry for an AS (the classifier
+//! must then fall back to WHOIS and search evidence).
+
+use govhost_types::Asn;
+use std::collections::HashMap;
+
+/// One PeeringDB network entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeeringDbRecord {
+    /// The AS number.
+    pub asn: Asn,
+    /// Network display name.
+    pub name: String,
+    /// Organization the network belongs to.
+    pub org: String,
+    /// Advertised website, if any.
+    pub website: Option<String>,
+    /// Free-text notes.
+    pub notes: String,
+}
+
+impl PeeringDbRecord {
+    /// All searchable text of the record, lowercased, for evidence scans.
+    pub fn searchable_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&self.name);
+        s.push(' ');
+        s.push_str(&self.org);
+        if let Some(w) = &self.website {
+            s.push(' ');
+            s.push_str(w);
+        }
+        s.push(' ');
+        s.push_str(&self.notes);
+        s.to_lowercase()
+    }
+}
+
+/// The PeeringDB snapshot: partial coverage by design.
+#[derive(Debug, Default, Clone)]
+pub struct PeeringDb {
+    records: HashMap<Asn, PeeringDbRecord>,
+}
+
+impl PeeringDb {
+    /// Empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a record.
+    pub fn insert(&mut self, record: PeeringDbRecord) {
+        self.records.insert(record.asn, record);
+    }
+
+    /// Look up a network by ASN.
+    pub fn get(&self, asn: Asn) -> Option<&PeeringDbRecord> {
+        self.records.get(&asn)
+    }
+
+    /// Number of covered networks.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_partial_coverage() {
+        let mut db = PeeringDb::new();
+        db.insert(PeeringDbRecord {
+            asn: Asn(26810),
+            name: "HHS".into(),
+            org: "U.S. Dept. of Health and Human Services".into(),
+            website: Some("https://www.hhs.gov".into()),
+            notes: String::new(),
+        });
+        assert_eq!(db.len(), 1);
+        assert!(db.get(Asn(26810)).is_some());
+        assert!(db.get(Asn(13335)).is_none(), "uncovered AS must be absent");
+    }
+
+    #[test]
+    fn searchable_text_contains_all_fields() {
+        let rec = PeeringDbRecord {
+            asn: Asn(1),
+            name: "StateNet".into(),
+            org: "Ministry of Interior".into(),
+            website: Some("https://interior.example.gov".into()),
+            notes: "Government backbone".into(),
+        };
+        let text = rec.searchable_text();
+        assert!(text.contains("statenet"));
+        assert!(text.contains("ministry of interior"));
+        assert!(text.contains("interior.example.gov"));
+        assert!(text.contains("government backbone"));
+    }
+}

@@ -1,0 +1,191 @@
+//! A RIPE-Atlas-style probe fleet.
+//!
+//! §3.5 uses five Atlas probes per country, sending three pings to each
+//! candidate address and taking the minimum. Probes here are pinned to
+//! cities; pinging a server routes to its nearest site (anycast) and fails
+//! when the server does not answer ICMP.
+
+use crate::asdb::Server;
+use crate::coords::{City, GeoPoint};
+use crate::latency::LatencyModel;
+use govhost_types::CountryCode;
+use std::collections::HashMap;
+
+/// One measurement probe.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// Stable probe identifier.
+    pub id: u32,
+    /// The country the probe reports itself in.
+    pub country: CountryCode,
+    /// Probe location.
+    pub location: GeoPoint,
+}
+
+/// The fleet of probes, grouped by country.
+#[derive(Debug, Default, Clone)]
+pub struct ProbeFleet {
+    by_country: HashMap<CountryCode, Vec<Probe>>,
+    next_id: u32,
+}
+
+impl ProbeFleet {
+    /// Empty fleet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploy a probe in `city`; returns its id.
+    pub fn deploy(&mut self, city: &City) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.by_country.entry(city.country).or_default().push(Probe {
+            id,
+            country: city.country,
+            location: city.location,
+        });
+        id
+    }
+
+    /// Probes in a country (possibly empty — not every country hosts
+    /// probes, a real Atlas limitation the paper works around).
+    pub fn in_country(&self, country: CountryCode) -> &[Probe] {
+        self.by_country.get(&country).map_or(&[], Vec::as_slice)
+    }
+
+    /// Up to `n` probes in a country, deterministic order.
+    pub fn select(&self, country: CountryCode, n: usize) -> Vec<&Probe> {
+        self.in_country(country).iter().take(n).collect()
+    }
+
+    /// All probes in the fleet.
+    pub fn all(&self) -> impl Iterator<Item = &Probe> {
+        self.by_country.values().flatten()
+    }
+
+    /// Total number of probes.
+    pub fn len(&self) -> usize {
+        self.by_country.values().map(Vec::len).sum()
+    }
+
+    /// Whether no probes are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ping `server` from `probe`: minimum of `pings` RTT samples, or
+    /// `None` if the server is ICMP-unresponsive. Anycast servers answer
+    /// from the site nearest to the probe.
+    pub fn ping(
+        &self,
+        probe: &Probe,
+        server: &Server,
+        model: &LatencyModel,
+        pings: u64,
+    ) -> Option<f64> {
+        if !server.icmp_responsive {
+            return None;
+        }
+        let site = server.nearest_site(&probe.location);
+        Some(model.min_of_pings(&probe.location, &site.location, pings))
+    }
+
+    /// The minimum RTT to `server` across up to `max_probes` probes in
+    /// `country` with `pings` samples each — the paper's exact probing
+    /// recipe (5 probes × 3 pings, min). `None` when the country has no
+    /// probes or the server is unresponsive.
+    pub fn min_rtt_from_country(
+        &self,
+        country: CountryCode,
+        server: &Server,
+        model: &LatencyModel,
+        max_probes: usize,
+        pings: u64,
+    ) -> Option<f64> {
+        self.select(country, max_probes)
+            .iter()
+            .filter_map(|p| self.ping(p, server, model, pings))
+            .fold(None, |acc, rtt| Some(acc.map_or(rtt, |a: f64| a.min(rtt))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_types::{cc, Asn};
+
+    fn server_at(city: City, responsive: bool) -> Server {
+        Server {
+            ip: "192.0.2.10".parse().unwrap(),
+            asn: Asn(64501),
+            sites: vec![city],
+            anycast: false,
+            icmp_responsive: responsive,
+            ptr: None,
+        }
+    }
+
+    #[test]
+    fn deploy_and_select() {
+        let mut fleet = ProbeFleet::new();
+        for i in 0..7 {
+            fleet.deploy(&City::new(format!("City{i}"), cc!("DE"), 50.0 + i as f64, 8.0));
+        }
+        fleet.deploy(&City::new("Paris", cc!("FR"), 48.86, 2.35));
+        assert_eq!(fleet.len(), 8);
+        assert_eq!(fleet.select(cc!("DE"), 5).len(), 5);
+        assert_eq!(fleet.select(cc!("FR"), 5).len(), 1);
+        assert!(fleet.select(cc!("JP"), 5).is_empty());
+    }
+
+    #[test]
+    fn ping_unresponsive_is_none() {
+        let mut fleet = ProbeFleet::new();
+        fleet.deploy(&City::new("Berlin", cc!("DE"), 52.52, 13.40));
+        let probe = &fleet.in_country(cc!("DE"))[0];
+        let s = server_at(City::new("Frankfurt", cc!("DE"), 50.1, 8.7), false);
+        assert!(fleet.ping(probe, &s, &LatencyModel::default(), 3).is_none());
+    }
+
+    #[test]
+    fn nearby_server_has_low_rtt() {
+        let mut fleet = ProbeFleet::new();
+        fleet.deploy(&City::new("Berlin", cc!("DE"), 52.52, 13.40));
+        let model = LatencyModel::default();
+        let near = server_at(City::new("Frankfurt", cc!("DE"), 50.1, 8.7), true);
+        let far = server_at(City::new("Singapore", cc!("SG"), 1.35, 103.8), true);
+        let rtt_near = fleet.min_rtt_from_country(cc!("DE"), &near, &model, 5, 3).unwrap();
+        let rtt_far = fleet.min_rtt_from_country(cc!("DE"), &far, &model, 5, 3).unwrap();
+        assert!(rtt_near < 12.0, "rtt_near {rtt_near}");
+        assert!(rtt_far > 100.0, "rtt_far {rtt_far}");
+    }
+
+    #[test]
+    fn anycast_answers_from_nearest_site() {
+        let mut fleet = ProbeFleet::new();
+        fleet.deploy(&City::new("Berlin", cc!("DE"), 52.52, 13.40));
+        let model = LatencyModel::default();
+        let s = Server {
+            ip: "198.51.100.7".parse().unwrap(),
+            asn: Asn(13335),
+            sites: vec![
+                City::new("Frankfurt", cc!("DE"), 50.1, 8.7),
+                City::new("Tokyo", cc!("JP"), 35.68, 139.69),
+            ],
+            anycast: true,
+            icmp_responsive: true,
+            ptr: None,
+        };
+        let rtt = fleet.min_rtt_from_country(cc!("DE"), &s, &model, 5, 3).unwrap();
+        assert!(rtt < 12.0, "anycast must answer from Frankfurt, rtt {rtt}");
+    }
+
+    #[test]
+    fn no_probes_in_country_is_none() {
+        let fleet = ProbeFleet::new();
+        let s = server_at(City::new("Lagos", cc!("NG"), 6.5, 3.4), true);
+        assert!(fleet
+            .min_rtt_from_country(cc!("NG"), &s, &LatencyModel::default(), 5, 3)
+            .is_none());
+    }
+}

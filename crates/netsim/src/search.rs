@@ -1,0 +1,130 @@
+//! A deterministic "web search" index.
+//!
+//! The paper's last-resort evidence for classifying an AS as
+//! government-owned is a manual web search on the organization name
+//! extracted from WHOIS (§3.4), which is how SOEs such as YPF (AS27655 —
+//! Yacimientos Petrolíferos Fiscales) get identified. We model that as a
+//! keyed snippet store the world generator populates from ground truth,
+//! optionally withholding entries to emulate organizations with no web
+//! presence.
+
+use std::collections::HashMap;
+
+/// One search result snippet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The matched organization's website domain.
+    pub domain: String,
+    /// A short snippet describing the organization.
+    pub snippet: String,
+}
+
+impl SearchResult {
+    /// Whether the snippet text reveals state ownership (the signal the
+    /// paper's manual process looks for).
+    pub fn indicates_government(&self) -> bool {
+        let s = self.snippet.to_lowercase();
+        [
+            "state-owned",
+            "government",
+            "ministry",
+            "federal agency",
+            "national administration",
+            "public enterprise",
+            "armed forces",
+            "parliament",
+        ]
+        .iter()
+        .any(|kw| s.contains(kw))
+    }
+}
+
+/// The search index: normalized query → results.
+#[derive(Debug, Default, Clone)]
+pub struct SearchIndex {
+    entries: HashMap<String, Vec<SearchResult>>,
+}
+
+/// Normalize a query the way the index does: lowercase, alphanumeric words
+/// joined by single spaces.
+pub fn normalize_query(q: &str) -> String {
+    q.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl SearchIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index `results` under `query` (normalized).
+    pub fn insert(&mut self, query: &str, result: SearchResult) {
+        self.entries.entry(normalize_query(query)).or_default().push(result);
+    }
+
+    /// Search; returns an empty slice for unknown queries.
+    pub fn search(&self, query: &str) -> &[SearchResult] {
+        self.entries.get(&normalize_query(query)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct indexed queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_folds_case_and_punctuation() {
+        assert_eq!(
+            normalize_query("Yacimientos Petrolíferos Fiscales, S.A."),
+            normalize_query("yacimientos petrolíferos fiscales s a"),
+        );
+    }
+
+    #[test]
+    fn insert_and_search() {
+        let mut idx = SearchIndex::new();
+        idx.insert(
+            "Yacimientos Petroliferos Fiscales",
+            SearchResult {
+                domain: "ypf.com".into(),
+                snippet: "YPF is Argentina's state-owned energy company.".into(),
+            },
+        );
+        let hits = idx.search("yacimientos petroliferos fiscales");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].indicates_government());
+        assert!(idx.search("unknown org").is_empty());
+    }
+
+    #[test]
+    fn non_government_snippet() {
+        let r = SearchResult {
+            domain: "examplehosting.com".into(),
+            snippet: "Example Hosting offers cloud servers and domains.".into(),
+        };
+        assert!(!r.indicates_government());
+    }
+
+    #[test]
+    fn ministry_keyword_detected() {
+        let r = SearchResult {
+            domain: "interior.gob.example".into(),
+            snippet: "Official site of the Ministry of the Interior.".into(),
+        };
+        assert!(r.indicates_government());
+    }
+}

@@ -1,0 +1,190 @@
+//! A binary (Patricia-style, path-compressed by laziness) prefix trie for
+//! longest-prefix matching — the data structure behind real routing
+//! tables and WHOIS inetnum lookups.
+//!
+//! The linear scan in [`crate::asdb::AsRegistry`] is fine for hundreds of
+//! prefixes; the full-scale world allocates thousands and queries them
+//! hundreds of thousands of times, where the trie's O(32) lookups matter
+//! (see the `substrates` benchmark).
+
+use govhost_types::IpPrefix;
+use std::net::Ipv4Addr;
+
+/// A node: two children and an optional value for prefixes ending here.
+#[derive(Debug, Clone)]
+struct Node<T> {
+    children: [Option<Box<Node<T>>>; 2],
+    value: Option<T>,
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Self { children: [None, None], value: None }
+    }
+}
+
+/// A longest-prefix-match trie over IPv4 prefixes.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self { root: Node::default(), len: 0 }
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or replace) the value for `prefix`. Returns the previous
+    /// value when replacing.
+    pub fn insert(&mut self, prefix: IpPrefix, value: T) -> Option<T> {
+        let bits = u32::from(prefix.network());
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// The value of the *longest* stored prefix containing `addr`.
+    pub fn longest_match(&self, addr: Ipv4Addr) -> Option<&T> {
+        let bits = u32::from(addr);
+        let mut node = &self.root;
+        let mut best = self.root.value.as_ref();
+        for i in 0..32 {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            match &node.children[bit] {
+                Some(child) => {
+                    node = child;
+                    if node.value.is_some() {
+                        best = node.value.as_ref();
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact-match lookup for a stored prefix.
+    pub fn get(&self, prefix: IpPrefix) -> Option<&T> {
+        let bits = u32::from(prefix.network());
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[bit].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_match_prefers_more_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.0.0/16"), "sixteen");
+        t.insert(p("10.1.2.0/24"), "twentyfour");
+        assert_eq!(t.longest_match(ip("10.1.2.3")), Some(&"twentyfour"));
+        assert_eq!(t.longest_match(ip("10.1.9.9")), Some(&"sixteen"));
+        assert_eq!(t.longest_match(ip("10.9.9.9")), Some(&"eight"));
+        assert_eq!(t.longest_match(ip("11.0.0.1")), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("192.0.2.0/24"), 1), None);
+        assert_eq!(t.insert(p("192.0.2.0/24"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("192.0.2.0/24")), Some(&2));
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        t.insert(p("198.51.100.0/24"), "specific");
+        assert_eq!(t.longest_match(ip("1.2.3.4")), Some(&"default"));
+        assert_eq!(t.longest_match(ip("198.51.100.77")), Some(&"specific"));
+    }
+
+    #[test]
+    fn host_routes_work() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("203.0.113.7/32"), "host");
+        t.insert(p("203.0.113.0/24"), "net");
+        assert_eq!(t.longest_match(ip("203.0.113.7")), Some(&"host"));
+        assert_eq!(t.longest_match(ip("203.0.113.8")), Some(&"net"));
+    }
+
+    #[test]
+    fn exact_get_does_not_fall_back() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&"eight"));
+        assert_eq!(t.get(p("10.0.0.0/16")), None);
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_on_many_prefixes() {
+        // Deterministic pseudo-random prefixes; compare against the naive
+        // longest-match over the same set.
+        let mut t = PrefixTrie::new();
+        let mut list: Vec<(IpPrefix, u32)> = Vec::new();
+        let mut x: u64 = 0x1234_5678;
+        for i in 0..500u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let base = (x >> 16) as u32;
+            let len = 8 + ((x >> 3) % 17) as u8; // /8../24
+            let prefix = IpPrefix::new(Ipv4Addr::from(base), len).unwrap();
+            t.insert(prefix, i);
+            list.retain(|(q, _)| *q != prefix);
+            list.push((prefix, i));
+        }
+        for j in 0..2000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(j);
+            let addr = Ipv4Addr::from((x >> 13) as u32);
+            let naive = list
+                .iter()
+                .filter(|(q, _)| q.contains(addr))
+                .max_by_key(|(q, _)| q.len())
+                .map(|(_, v)| v);
+            assert_eq!(t.longest_match(addr), naive, "addr {addr}");
+        }
+    }
+}

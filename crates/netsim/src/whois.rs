@@ -1,0 +1,199 @@
+//! A WHOIS service over the AS registry.
+//!
+//! The pipeline queries WHOIS for every discovered server address (§3.4) to
+//! learn the origin AS, organization name, and country of registration, and
+//! inspects the abuse contact for government evidence. To keep the
+//! measurement realistic, queries go through *rendered RPSL text* which the
+//! pipeline must parse back — the same lossy interface the paper works
+//! with — rather than through direct struct access.
+
+use crate::asdb::AsRegistry;
+use govhost_types::{Asn, CountryCode};
+use std::net::Ipv4Addr;
+
+/// Parsed fields of a WHOIS response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhoisRecord {
+    /// Network name (`netname:`).
+    pub netname: String,
+    /// Organization legal name (`org-name:`).
+    pub org_name: String,
+    /// Country of registration (`country:`).
+    pub country: CountryCode,
+    /// Origin AS (`origin:`).
+    pub origin: Asn,
+    /// Abuse mailbox (`abuse-mailbox:`).
+    pub abuse_mailbox: String,
+}
+
+impl WhoisRecord {
+    /// The domain part of the abuse mailbox, lowercased (government
+    /// evidence if it ends in a gov TLD pattern).
+    pub fn abuse_domain(&self) -> Option<&str> {
+        self.abuse_mailbox.split_once('@').map(|(_, d)| d)
+    }
+}
+
+/// The WHOIS query service.
+pub struct WhoisService<'a> {
+    registry: &'a AsRegistry,
+}
+
+impl<'a> WhoisService<'a> {
+    /// Wrap a registry.
+    pub fn new(registry: &'a AsRegistry) -> Self {
+        Self { registry }
+    }
+
+    /// Render the RPSL-style response for an IP query, or `None` if the
+    /// address is unallocated.
+    pub fn query_text(&self, ip: Ipv4Addr) -> Option<String> {
+        let asn = self.registry.asn_of_ref(ip)?;
+        let rec = self.registry.as_record(asn)?;
+        let country = self.registry.registration_of(ip).unwrap_or(rec.registered_in);
+        let netname = rec.name.to_uppercase().replace(' ', "-");
+        Some(format!(
+            "% Information related to '{ip}'\n\
+             netname:        {netname}\n\
+             org-name:       {org}\n\
+             country:        {country}\n\
+             origin:         AS{asn}\n\
+             abuse-mailbox:  {abuse}\n",
+            ip = ip,
+            netname = netname,
+            org = rec.org,
+            country = country,
+            asn = rec.asn.value(),
+            abuse = rec.abuse_email,
+        ))
+    }
+
+    /// Query and parse in one step — the path pipeline code uses.
+    pub fn query(&self, ip: Ipv4Addr) -> Option<WhoisRecord> {
+        parse_whois(&self.query_text(ip)?)
+    }
+}
+
+/// Parse RPSL-style WHOIS text into a [`WhoisRecord`].
+///
+/// Tolerates comment lines (`%`), arbitrary ordering, and extra fields;
+/// returns `None` if any required field is missing or malformed.
+pub fn parse_whois(text: &str) -> Option<WhoisRecord> {
+    let mut netname = None;
+    let mut org_name = None;
+    let mut country = None;
+    let mut origin = None;
+    let mut abuse = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        match key.trim() {
+            "netname" => netname = Some(value.to_string()),
+            "org-name" | "org name" | "descr" if org_name.is_none() => {
+                org_name = Some(value.to_string());
+            }
+            "country" => country = value.parse::<CountryCode>().ok(),
+            "origin" => origin = value.parse::<Asn>().ok(),
+            "abuse-mailbox" | "abuse-c" => abuse = Some(value.to_string()),
+            _ => {}
+        }
+    }
+    Some(WhoisRecord {
+        netname: netname?,
+        org_name: org_name?,
+        country: country?,
+        origin: origin?,
+        abuse_mailbox: abuse?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asdb::AsRecord;
+    use govhost_types::{cc, OrgKind};
+
+    fn registry_with_antel() -> AsRegistry {
+        let mut reg = AsRegistry::new();
+        reg.insert_as(AsRecord {
+            asn: Asn(6057),
+            name: "Antel Uruguay".into(),
+            org: "Administracion Nacional de Telecomunicaciones".into(),
+            kind: OrgKind::StateOwnedEnterprise,
+            registered_in: cc!("UY"),
+            website: Some("https://www.antel.com.uy".into()),
+            abuse_email: "abuse@antel.com.uy".into(),
+            footprint: vec![cc!("UY")],
+        });
+        reg.allocate("179.27.0.0/16".parse().unwrap(), Asn(6057));
+        reg
+    }
+
+    #[test]
+    fn render_then_parse_round_trips() {
+        let reg = registry_with_antel();
+        let whois = WhoisService::new(&reg);
+        let rec = whois.query("179.27.169.201".parse().unwrap()).unwrap();
+        assert_eq!(rec.origin, Asn(6057));
+        assert_eq!(rec.country, cc!("UY"));
+        assert_eq!(rec.org_name, "Administracion Nacional de Telecomunicaciones");
+        assert_eq!(rec.netname, "ANTEL-URUGUAY");
+        assert_eq!(rec.abuse_domain(), Some("antel.com.uy"));
+    }
+
+    #[test]
+    fn unallocated_ip_yields_none() {
+        let reg = registry_with_antel();
+        let whois = WhoisService::new(&reg);
+        assert!(whois.query("8.8.8.8".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn parser_tolerates_comments_and_reordering() {
+        let text = "% RIPE note\n\
+                    country:  FR\n\
+                    origin: AS3215\n\
+                    # another comment\n\
+                    abuse-mailbox: abuse@orange.fr\n\
+                    org-name: Orange S.A.\n\
+                    netname: FT-BACKBONE\n";
+        let rec = parse_whois(text).unwrap();
+        assert_eq!(rec.country, cc!("FR"));
+        assert_eq!(rec.origin, Asn(3215));
+    }
+
+    #[test]
+    fn parser_rejects_missing_fields() {
+        assert!(parse_whois("netname: X\ncountry: FR\n").is_none());
+        assert!(parse_whois("").is_none());
+    }
+
+    #[test]
+    fn parser_rejects_bad_country() {
+        let text = "netname: X\norg-name: Y\ncountry: FRA\norigin: AS1\nabuse-mailbox: a@b.c\n";
+        assert!(parse_whois(text).is_none());
+    }
+
+    #[test]
+    fn gov_abuse_domain_visible() {
+        let mut reg = AsRegistry::new();
+        reg.insert_as(AsRecord {
+            asn: Asn(26810),
+            name: "HHS-NET".into(),
+            org: "U.S. Dept. of Health and Human Services".into(),
+            kind: OrgKind::Government,
+            registered_in: cc!("US"),
+            website: None,
+            abuse_email: "security@hhs.gov".into(),
+            footprint: vec![cc!("US")],
+        });
+        reg.allocate("158.74.0.0/16".parse().unwrap(), Asn(26810));
+        let whois = WhoisService::new(&reg);
+        let rec = whois.query("158.74.1.1".parse().unwrap()).unwrap();
+        assert_eq!(rec.abuse_domain(), Some("hhs.gov"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Bar-style renderings: stacked shares, histograms, boxplot rows.
+
+/// Render one stacked horizontal bar of labelled shares, e.g. the Fig. 2
+/// rows. Shares should sum to ~1; each segment is drawn proportionally
+/// with a distinct fill character and annotated with its value.
+///
+/// ```
+/// use govhost_report::stacked_bar;
+/// let s = stacked_bar("URLs", &[("Govt&SOE", 0.39), ("3P", 0.61)], 40);
+/// assert!(s.contains("0.39"));
+/// ```
+pub fn stacked_bar(label: &str, shares: &[(&str, f64)], width: usize) -> String {
+    const FILLS: [char; 6] = ['█', '▓', '▒', '░', '▚', '·'];
+    let mut bar = String::new();
+    let mut legend = String::new();
+    for (i, (name, share)) in shares.iter().enumerate() {
+        let fill = FILLS[i % FILLS.len()];
+        let cells = (share.max(0.0) * width as f64).round() as usize;
+        bar.extend(std::iter::repeat_n(fill, cells));
+        if i > 0 {
+            legend.push_str("  ");
+        }
+        legend.push_str(&format!("{fill} {name}={share:.2}"));
+    }
+    format!("{label:>10} |{bar}|\n{:>10}  {legend}\n", "")
+}
+
+/// Render a histogram (Fig. 10 shape): one line per item with a
+/// proportional bar and the value.
+pub fn histogram(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let cells = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:>label_w$} |{} {value}\n",
+            "#".repeat(cells),
+            label_w = label_w
+        ));
+    }
+    out
+}
+
+/// Render one boxplot row on a `[0,1]` axis (Fig. 11 shape):
+/// whiskers `|---[  med  ]---|` positioned proportionally.
+pub fn boxplot_row(
+    label: &str,
+    whisker_low: f64,
+    q1: f64,
+    median: f64,
+    q3: f64,
+    whisker_high: f64,
+    width: usize,
+) -> String {
+    let pos = |v: f64| ((v.clamp(0.0, 1.0)) * (width - 1) as f64).round() as usize;
+    let mut cells: Vec<char> = vec![' '; width];
+    let (lo, a, m, b, hi) =
+        (pos(whisker_low), pos(q1), pos(median), pos(q3), pos(whisker_high));
+    for c in cells.iter_mut().take(a).skip(lo) {
+        *c = '-';
+    }
+    for c in cells.iter_mut().take(hi + 1).skip(b) {
+        *c = '-';
+    }
+    for c in cells.iter_mut().take(b + 1).skip(a) {
+        *c = '=';
+    }
+    cells[lo] = '|';
+    cells[hi] = '|';
+    cells[a] = '[';
+    cells[b.max(a)] = ']';
+    cells[m] = 'M';
+    format!(
+        "{label:>10} {} (med {median:.2}, IQR {q1:.2}-{q3:.2})\n",
+        cells.into_iter().collect::<String>()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacked_bar_widths_proportional() {
+        let s = stacked_bar("Bytes", &[("A", 0.5), ("B", 0.5)], 20);
+        let bar_line = s.lines().next().unwrap();
+        let full: usize = bar_line.chars().filter(|c| *c == '█').count();
+        let half: usize = bar_line.chars().filter(|c| *c == '▓').count();
+        assert_eq!(full, 10);
+        assert_eq!(half, 10);
+        assert!(s.contains("A=0.50"));
+    }
+
+    #[test]
+    fn histogram_scales_to_max() {
+        let items = vec![("cloudflare".to_string(), 49.0), ("amazon".to_string(), 31.0)];
+        let h = histogram(&items, 49);
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 49);
+        assert_eq!(lines[1].matches('#').count(), 31);
+        assert!(lines[0].contains("49"));
+    }
+
+    #[test]
+    fn histogram_handles_empty_and_zero() {
+        assert_eq!(histogram(&[], 10), "");
+        let h = histogram(&[("x".into(), 0.0)], 10);
+        assert!(h.contains('x'));
+    }
+
+    #[test]
+    fn boxplot_row_orders_markers() {
+        let s = boxplot_row("Govt&SOE", 0.1, 0.3, 0.5, 0.7, 0.9, 41);
+        let line = s.lines().next().unwrap();
+        let lo = line.find('|').unwrap();
+        let a = line.find('[').unwrap();
+        let m = line.find('M').unwrap();
+        let b = line.find(']').unwrap();
+        let hi = line.rfind('|').unwrap();
+        assert!(lo < a && a < m && m < b && b < hi);
+    }
+
+    #[test]
+    fn boxplot_degenerate_point() {
+        // All five numbers equal must not panic.
+        let s = boxplot_row("x", 0.5, 0.5, 0.5, 0.5, 0.5, 21);
+        assert!(s.contains("med 0.50"));
+    }
+}

@@ -1,0 +1,77 @@
+//! A minimal CSV writer (RFC 4180 quoting), enough for the experiment
+//! outputs without pulling a serialization stack.
+
+/// CSV builder.
+#[derive(Debug, Default, Clone)]
+pub struct Csv {
+    out: String,
+}
+
+impl Csv {
+    /// Start an empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one row, quoting fields that need it.
+    pub fn row<I, S>(&mut self, fields: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut first = true;
+        for field in fields {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            self.out.push_str(&escape(field.as_ref()));
+        }
+        self.out.push('\n');
+        self
+    }
+
+    /// The document so far.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Peek at the document.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+}
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_unquoted() {
+        let mut c = Csv::new();
+        c.row(["a", "b", "c"]);
+        assert_eq!(c.finish(), "a,b,c\n");
+    }
+
+    #[test]
+    fn quoting_rules() {
+        let mut c = Csv::new();
+        c.row(["with,comma", "with\"quote", "with\nnewline", "plain"]);
+        assert_eq!(c.finish(), "\"with,comma\",\"with\"\"quote\",\"with\nnewline\",plain\n");
+    }
+
+    #[test]
+    fn multiple_rows() {
+        let mut c = Csv::new();
+        c.row(["h1", "h2"]).row(["1", "2"]);
+        assert_eq!(c.as_str().lines().count(), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! ASCII dendrogram rendering (Fig. 5).
+//!
+//! Renders the leaf order with cluster separators at a chosen cut depth:
+//! the countries appear left-to-right exactly as on the figure's x-axis,
+//! and `‖` marks boundaries between the top-level branches.
+
+use govhost_stats::cluster::Dendrogram;
+
+/// Render `labels` (one per leaf) in dendrogram display order, split into
+/// `k` top-level clusters, followed by a per-cluster membership list.
+///
+/// # Panics
+/// Panics if `labels.len()` differs from the dendrogram's leaf count.
+pub fn render_dendrogram(dendrogram: &Dendrogram, labels: &[String], k: usize) -> String {
+    assert_eq!(labels.len(), dendrogram.n_leaves(), "one label per leaf");
+    let order = dendrogram.leaf_order();
+    let cut = dendrogram.cut(k.min(dendrogram.n_leaves()));
+    let mut out = String::new();
+    let mut prev_cluster: Option<usize> = None;
+    for leaf in &order {
+        let cluster = cut[*leaf];
+        if let Some(p) = prev_cluster {
+            out.push_str(if p == cluster { " " } else { " ‖ " });
+        }
+        out.push_str(&labels[*leaf]);
+        prev_cluster = Some(cluster);
+    }
+    out.push('\n');
+    // Membership list per cluster.
+    let k_actual = cut.iter().max().map_or(0, |m| m + 1);
+    for c in 0..k_actual {
+        let members: Vec<&str> = order
+            .iter()
+            .filter(|leaf| cut[**leaf] == c)
+            .map(|leaf| labels[*leaf].as_str())
+            .collect();
+        out.push_str(&format!("branch {}: {} countries: {}\n", c + 1, members.len(), members.join(" ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_clusters_with_separators() {
+        let data = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![10.0, 0.0],
+            vec![10.1, 0.0],
+        ];
+        let d = Dendrogram::ward(&data);
+        let labels: Vec<String> = ["AA", "AB", "BA", "BB"].iter().map(|s| s.to_string()).collect();
+        let s = render_dendrogram(&d, &labels, 2);
+        assert!(s.contains('‖'), "cluster separator present: {s}");
+        assert!(s.contains("branch 1"));
+        assert!(s.contains("branch 2"));
+        // Similar leaves are on the same side of the separator.
+        let first_line = s.lines().next().unwrap();
+        let sep = first_line.find('‖').unwrap();
+        let aa = first_line.find("AA").unwrap();
+        let ab = first_line.find("AB").unwrap();
+        let ba = first_line.find("BA").unwrap();
+        assert!((aa < sep) == (ab < sep));
+        assert!((aa < sep) != (ba < sep));
+    }
+
+    #[test]
+    #[should_panic]
+    fn label_count_must_match() {
+        let d = Dendrogram::ward(&[vec![0.0], vec![1.0]]);
+        let _ = render_dendrogram(&d, &["only-one".to_string()], 1);
+    }
+
+    #[test]
+    fn single_leaf() {
+        let d = Dendrogram::ward(&[vec![0.0]]);
+        let s = render_dendrogram(&d, &["X".to_string()], 1);
+        assert!(s.starts_with('X'));
+    }
+}

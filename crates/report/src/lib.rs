@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! # govhost-report
+//!
+//! Rendering for the reproduction harness: aligned ASCII tables, stacked
+//! horizontal bar charts (the shape of the paper's Figs. 2–4 and 6–8),
+//! histograms (Fig. 10), boxplot rows (Fig. 11), dendrograms (Fig. 5),
+//! and a minimal CSV emitter for machine-readable outputs.
+//!
+//! Everything renders to `String` — callers decide where bytes go.
+
+pub mod bars;
+pub mod csv;
+pub mod dendro;
+pub mod table;
+
+pub use bars::{boxplot_row, histogram, stacked_bar};
+pub use csv::Csv;
+pub use dendro::render_dendrogram;
+pub use table::Table;

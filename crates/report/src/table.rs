@@ -1,0 +1,112 @@
+//! Aligned ASCII tables.
+
+/// A simple column-aligned table builder.
+///
+/// ```
+/// use govhost_report::Table;
+/// let mut t = Table::new(vec!["Country", "URLs"]);
+/// t.row(vec!["UY".into(), "4322".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Country"));
+/// assert!(s.contains("UY"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with headers.
+    pub fn new(headers: Vec<impl Into<String>>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row. Short rows are padded; long rows are truncated to the
+    /// header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with a header underline, columns padded to the widest cell.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().take(cols).enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().take(cols).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                if i + 1 < cols {
+                    line.push_str(&" ".repeat(widths[i] - cell.len()));
+                }
+            }
+            line
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["A", "BBBB"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The second column starts at the same offset on every line.
+        let col_b = lines[0].find("BBBB").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col_b);
+        assert_eq!(lines[3].find("22").unwrap(), col_b);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(vec!["A", "B", "C"]);
+        t.row(vec!["only".into()]);
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn empty_table_has_header_only() {
+        let t = Table::new(vec!["H"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

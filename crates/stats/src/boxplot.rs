@@ -1,0 +1,110 @@
+//! Five-number summaries for boxplots (Fig. 11 shows HHI distributions per
+//! hosting category as boxplots).
+
+use crate::descriptive::quantile;
+
+/// Minimum, quartiles, and maximum of a sample, plus Tukey whiskers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumberSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Lower whisker: smallest observation within 1.5·IQR of Q1.
+    pub whisker_low: f64,
+    /// Upper whisker: largest observation within 1.5·IQR of Q3.
+    pub whisker_high: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl FiveNumberSummary {
+    /// Summarize a non-empty sample. Returns `None` for an empty slice.
+    pub fn of(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let q1 = quantile(xs, 0.25);
+        let q3 = quantile(xs, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // Whiskers reach the most extreme points inside the Tukey fences,
+        // clamped to the box edges: with sparse data the smallest in-fence
+        // point can exceed the interpolated Q1, in which case the whisker
+        // degenerates onto the box (matplotlib's behaviour).
+        let whisker_low = xs
+            .iter()
+            .copied()
+            .filter(|x| *x >= lo_fence)
+            .fold(f64::INFINITY, f64::min)
+            .min(q1);
+        let whisker_high = xs
+            .iter()
+            .copied()
+            .filter(|x| *x <= hi_fence)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(q3);
+        Some(Self {
+            min,
+            q1,
+            median: quantile(xs, 0.5),
+            q3,
+            max,
+            whisker_low,
+            whisker_high,
+            n: xs.len(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_uniform_grid() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let s = FiveNumberSummary::of(&xs).unwrap();
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 1.0);
+        assert!((s.median - 0.5).abs() < 1e-12);
+        assert!((s.q1 - 0.25).abs() < 1e-12);
+        assert!((s.q3 - 0.75).abs() < 1e-12);
+        assert!((s.iqr() - 0.5).abs() < 1e-12);
+        assert_eq!(s.n, 101);
+    }
+
+    #[test]
+    fn whiskers_exclude_outliers() {
+        let mut xs: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        xs.push(50.0); // gross outlier
+        let s = FiveNumberSummary::of(&xs).unwrap();
+        assert_eq!(s.max, 50.0);
+        assert!(s.whisker_high < 2.0, "whisker must not chase the outlier");
+    }
+
+    #[test]
+    fn empty_is_none_singleton_is_degenerate() {
+        assert!(FiveNumberSummary::of(&[]).is_none());
+        let s = FiveNumberSummary::of(&[0.7]).unwrap();
+        assert_eq!(s.min, 0.7);
+        assert_eq!(s.median, 0.7);
+        assert_eq!(s.max, 0.7);
+        assert_eq!(s.whisker_low, 0.7);
+        assert_eq!(s.whisker_high, 0.7);
+    }
+}

@@ -1,0 +1,319 @@
+//! Hierarchical agglomerative clustering with Ward linkage.
+//!
+//! §5.3 of the paper clusters the 61 countries by their 4-dimensional
+//! hosting "signature" (share of URLs or bytes in each provider category)
+//! using HCA with the Ward distance, yielding the three-branch dendrograms
+//! of Fig. 5. This module implements the classic O(n³) agglomerative
+//! algorithm with the Lance–Williams update for Ward linkage — more than
+//! fast enough for the 61×4 matrix, and exact.
+
+/// One merge step in the dendrogram, using SciPy-style indexing: leaves are
+/// `0..n`, and the cluster created by merge step `s` has id `n + s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Merge height (Ward distance, in the units of the input space).
+    pub height: f64,
+    /// Number of leaves in the newly-formed cluster.
+    pub size: usize,
+}
+
+/// The full merge tree produced by [`Dendrogram::ward`].
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Run Ward-linkage agglomerative clustering on `data` (one observation
+    /// per row). Distances between merged clusters follow the
+    /// Lance–Williams recurrence on squared Euclidean distances; reported
+    /// heights are the square roots (the scale SciPy reports).
+    ///
+    /// ```
+    /// use govhost_stats::cluster::Dendrogram;
+    /// let data = vec![vec![0.0], vec![0.1], vec![9.0], vec![9.1]];
+    /// let d = Dendrogram::ward(&data);
+    /// let labels = d.cut(2);
+    /// assert_eq!(labels[0], labels[1]);
+    /// assert_ne!(labels[0], labels[2]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if rows have unequal lengths or `data` is empty.
+    pub fn ward(data: &[Vec<f64>]) -> Self {
+        let n = data.len();
+        assert!(n > 0, "cannot cluster zero observations");
+        let dim = data[0].len();
+        assert!(data.iter().all(|r| r.len() == dim), "ragged observation matrix");
+
+        if n == 1 {
+            return Self { n_leaves: 1, merges: Vec::new() };
+        }
+
+        // Active cluster bookkeeping. `dist[i][j]` holds the *squared* Ward
+        // distance between active clusters i and j (by current id slot).
+        let mut active: Vec<usize> = (0..n).collect(); // cluster ids
+        let mut sizes: Vec<usize> = vec![1; n];
+        let mut dist = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d2: f64 =
+                    data[i].iter().zip(&data[j]).map(|(a, b)| (a - b) * (a - b)).sum();
+                // Ward's initial distance between singletons is d²/2 * 2 = d²;
+                // the convention matching SciPy is d(i,j)² = ||xi - xj||².
+                dist[i][j] = d2;
+                dist[j][i] = d2;
+            }
+        }
+
+        let mut merges = Vec::with_capacity(n - 1);
+        // `slot_of[k]` maps a slot index (0..n) to the id of the cluster it
+        // currently holds; merged-away slots are tombstoned.
+        let mut alive: Vec<bool> = vec![true; n];
+
+        for step in 0..(n - 1) {
+            // Find the closest active pair.
+            let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+            for i in 0..n {
+                if !alive[i] {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if !alive[j] {
+                        continue;
+                    }
+                    if dist[i][j] < best.2 {
+                        best = (i, j, dist[i][j]);
+                    }
+                }
+            }
+            let (i, j, d2) = best;
+            debug_assert!(i < n && j < n);
+
+            let new_id = n + step;
+            merges.push(Merge {
+                a: active[i].min(active[j]),
+                b: active[i].max(active[j]),
+                height: d2.max(0.0).sqrt(),
+                size: sizes[i] + sizes[j],
+            });
+
+            // Lance–Williams Ward update into slot i; kill slot j.
+            let (ni, nj) = (sizes[i] as f64, sizes[j] as f64);
+            for k in 0..n {
+                if !alive[k] || k == i || k == j {
+                    continue;
+                }
+                let nk = sizes[k] as f64;
+                let updated = ((ni + nk) * dist[i][k] + (nj + nk) * dist[j][k]
+                    - nk * dist[i][j])
+                    / (ni + nj + nk);
+                dist[i][k] = updated;
+                dist[k][i] = updated;
+            }
+            sizes[i] += sizes[j];
+            active[i] = new_id;
+            alive[j] = false;
+        }
+
+        Self { n_leaves: n, merges }
+    }
+
+    /// Number of original observations.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merge steps, in execution order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cut the tree into exactly `k` clusters; returns a label in `0..k`
+    /// for each leaf. Labels are assigned in order of first appearance.
+    ///
+    /// # Panics
+    /// Panics if `k` is 0 or greater than the number of leaves.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1 && k <= self.n_leaves, "cut size out of range");
+        // Apply the first n-k merges with a union-find.
+        let total = self.n_leaves + self.merges.len();
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, m) in self.merges.iter().take(self.n_leaves - k).enumerate() {
+            let new_id = self.n_leaves + step;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+        }
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n_leaves);
+        for leaf in 0..self.n_leaves {
+            let root = find(&mut parent, leaf);
+            let next = label_of_root.len();
+            let label = *label_of_root.entry(root).or_insert(next);
+            labels.push(label);
+        }
+        labels
+    }
+
+    /// Leaf ordering for display: a left-to-right traversal of the final
+    /// tree, so that nearby leaves are similar (the x-axis of Fig. 5).
+    pub fn leaf_order(&self) -> Vec<usize> {
+        if self.merges.is_empty() {
+            return (0..self.n_leaves).collect();
+        }
+        // children[id] for internal nodes.
+        let mut children = std::collections::HashMap::new();
+        for (step, m) in self.merges.iter().enumerate() {
+            children.insert(self.n_leaves + step, (m.a, m.b));
+        }
+        let root = self.n_leaves + self.merges.len() - 1;
+        let mut order = Vec::with_capacity(self.n_leaves);
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            match children.get(&id) {
+                Some(&(a, b)) => {
+                    // Push right first so left is visited first.
+                    stack.push(b);
+                    stack.push(a);
+                }
+                None => order.push(id),
+            }
+        }
+        order
+    }
+
+    /// Heights of all merges, in execution order. For Ward linkage on a
+    /// correctly-implemented algorithm this sequence is non-decreasing.
+    pub fn heights(&self) -> Vec<f64> {
+        self.merges.iter().map(|m| m.height).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight groups far apart must be separated by the 2-cut.
+    #[test]
+    fn separates_two_obvious_groups() {
+        let data = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ];
+        let d = Dendrogram::ward(&data);
+        let labels = d.cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn heights_are_monotone_nondecreasing() {
+        let data: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i as f64 * 0.7).sin(), (i as f64 * 1.3).cos(), i as f64 * 0.01])
+            .collect();
+        let d = Dendrogram::ward(&data);
+        let h = d.heights();
+        for w in h.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "Ward heights must be monotone: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn merge_count_and_sizes() {
+        let data = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]];
+        let d = Dendrogram::ward(&data);
+        assert_eq!(d.merges().len(), 3);
+        assert_eq!(d.merges().last().unwrap().size, 4);
+    }
+
+    #[test]
+    fn first_merge_is_closest_pair() {
+        let data = vec![vec![0.0], vec![5.0], vec![5.2], vec![9.0]];
+        let d = Dendrogram::ward(&data);
+        let first = d.merges()[0];
+        assert_eq!((first.a, first.b), (1, 2));
+        assert!((first.height - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let data = vec![vec![0.0], vec![1.0], vec![5.0]];
+        let d = Dendrogram::ward(&data);
+        assert_eq!(d.cut(1), vec![0, 0, 0]);
+        let all = d.cut(3);
+        assert_eq!(all.len(), 3);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn leaf_order_is_a_permutation() {
+        let data: Vec<Vec<f64>> =
+            (0..9).map(|i| vec![(i as f64).sin(), (i as f64).cos()]).collect();
+        let d = Dendrogram::ward(&data);
+        let mut order = d.leaf_order();
+        assert_eq!(order.len(), 9);
+        order.sort_unstable();
+        assert_eq!(order, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn leaf_order_keeps_groups_contiguous() {
+        let data = vec![
+            vec![0.0, 0.0],
+            vec![100.0, 0.0],
+            vec![0.2, 0.0],
+            vec![100.4, 0.0],
+            vec![0.4, 0.0],
+        ];
+        let d = Dendrogram::ward(&data);
+        let order = d.leaf_order();
+        // The two members of the far group (1 and 3) must be adjacent.
+        let p1 = order.iter().position(|&x| x == 1).unwrap();
+        let p3 = order.iter().position(|&x| x == 3).unwrap();
+        assert_eq!(p1.abs_diff(p3), 1);
+    }
+
+    #[test]
+    fn single_observation() {
+        let d = Dendrogram::ward(&[vec![1.0, 2.0]]);
+        assert_eq!(d.n_leaves(), 1);
+        assert!(d.merges().is_empty());
+        assert_eq!(d.cut(1), vec![0]);
+        assert_eq!(d.leaf_order(), vec![0]);
+    }
+
+    #[test]
+    fn identical_points_merge_at_zero_height() {
+        let data = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![9.0, 9.0]];
+        let d = Dendrogram::ward(&data);
+        assert!(d.merges()[0].height.abs() < 1e-12);
+    }
+}

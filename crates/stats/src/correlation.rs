@@ -1,0 +1,102 @@
+//! Correlation measures used by the trend and explanatory analyses.
+
+use crate::descriptive::{mean, std_dev};
+
+/// Pearson product-moment correlation. Returns `NaN` for inputs shorter
+/// than 2 or with zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must be the same length");
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let (sx, sy) = (std_dev(xs), std_dev(ys));
+    if sx == 0.0 || sy == 0.0 || !sx.is_finite() || !sy.is_finite() {
+        return f64::NAN;
+    }
+    let cov: f64 =
+        xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / (xs.len() - 1) as f64;
+    cov / (sx * sy)
+}
+
+/// Ranks with average tie handling (the Spearman convention).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Average rank for the tie block [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson over ranks, average-tie rule).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must be the same length");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_checked_pearson() {
+        // Classic small example.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.0, 5.0, 4.0, 5.0];
+        let r = pearson(&xs, &ys);
+        assert!((r - 0.7746).abs() < 1e-3, "r = {r}");
+    }
+
+    #[test]
+    fn spearman_is_monotonicity_not_linearity() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        // Exponential is nonlinear: Pearson < 1, Spearman = 1.
+        assert!(pearson(&xs, &ys) < 0.95);
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_nan() {
+        assert!(pearson(&[1.0], &[2.0]).is_nan());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_nan(), "zero variance");
+        assert!(spearman(&[1.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn correlation_is_symmetric_and_bounded() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let ys = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0, 8.0];
+        let a = pearson(&xs, &ys);
+        let b = pearson(&ys, &xs);
+        assert!((a - b).abs() < 1e-12);
+        assert!((-1.0..=1.0).contains(&a));
+    }
+}

@@ -1,0 +1,118 @@
+//! Descriptive statistics and standardization.
+
+/// Arithmetic mean. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (Bessel-corrected, divisor `n-1`).
+///
+/// Returns `NaN` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolated quantile, `q` in `[0, 1]` (type-7, the R/NumPy
+/// default). Returns `NaN` for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Standardize to zero mean and unit (sample) standard deviation, as App. E
+/// does before fitting the explanatory regression.
+///
+/// A constant column (zero variance) is mapped to all-zeros rather than
+/// NaNs, so degenerate features stay harmless.
+pub fn standardize(xs: &[f64]) -> Vec<f64> {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if !s.is_finite() || s == 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - m) / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_hand_checked() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sum of squared deviations = 32; sample variance = 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_yield_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(median(&xs), 5.0);
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_sd() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let z = standardize(&xs);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_constant_column_is_zeros() {
+        let z = standardize(&[3.0, 3.0, 3.0]);
+        assert_eq!(z, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn quantile_out_of_range_is_nan() {
+        assert!(quantile(&[1.0, 2.0], 1.5).is_nan());
+        assert!(quantile(&[1.0, 2.0], -0.1).is_nan());
+    }
+}

@@ -1,0 +1,90 @@
+//! The Herfindahl–Hirschman Index (HHI), the market-concentration measure
+//! the paper uses to quantify diversification of hosting networks (§7.2,
+//! Fig. 11): sum of squared market shares, 0 (perfectly diversified) to 1
+//! (a single network serves everything).
+
+/// HHI from market *shares* (fractions summing to ~1).
+///
+/// ```
+/// use govhost_stats::hhi::hhi;
+/// assert!((hhi(&[0.5, 0.3, 0.2]) - 0.38).abs() < 1e-12);
+/// ```
+///
+/// Shares are renormalized defensively so rounding in the caller cannot
+/// push the index above 1. Returns `NaN` for an empty or all-zero input.
+pub fn hhi(shares: &[f64]) -> f64 {
+    let total: f64 = shares.iter().sum();
+    if shares.is_empty() || total <= 0.0 {
+        return f64::NAN;
+    }
+    shares.iter().map(|s| (s / total) * (s / total)).sum()
+}
+
+/// HHI from raw counts (e.g. URLs or bytes per network).
+pub fn hhi_from_counts(counts: &[u64]) -> f64 {
+    let shares: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    hhi(&shares)
+}
+
+/// Normalized HHI mapping the `[1/n, 1]` range onto `[0, 1]`, useful when
+/// comparing markets with different numbers of participants. For a single
+/// participant the index is defined as 1.
+pub fn normalized_hhi(shares: &[f64]) -> f64 {
+    let n = shares.iter().filter(|s| **s > 0.0).count();
+    if n <= 1 {
+        return if n == 1 { 1.0 } else { f64::NAN };
+    }
+    let h = hhi(shares);
+    let n = n as f64;
+    (h - 1.0 / n) / (1.0 - 1.0 / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monopoly_is_one() {
+        assert!((hhi(&[1.0]) - 1.0).abs() < 1e-12);
+        assert!((hhi_from_counts(&[42]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_market_is_one_over_n() {
+        let shares = vec![0.25; 4];
+        assert!((hhi(&shares) - 0.25).abs() < 1e-12);
+        assert!((hhi_from_counts(&[10, 10, 10, 10]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_checked_value() {
+        // Shares 0.5, 0.3, 0.2 -> 0.25 + 0.09 + 0.04 = 0.38.
+        assert!((hhi(&[0.5, 0.3, 0.2]) - 0.38).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renormalizes_unnormalized_shares() {
+        assert!((hhi(&[5.0, 3.0, 2.0]) - 0.38).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(hhi(&[]).is_nan());
+        assert!(hhi(&[0.0, 0.0]).is_nan());
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert!((normalized_hhi(&[1.0]) - 1.0).abs() < 1e-12);
+        assert!(normalized_hhi(&[0.5, 0.5]).abs() < 1e-12);
+        let h = normalized_hhi(&[0.7, 0.2, 0.1]);
+        assert!(h > 0.0 && h < 1.0);
+    }
+
+    #[test]
+    fn zero_shares_ignored_in_normalization() {
+        // Zeros do not count as participants.
+        assert!(normalized_hhi(&[1.0, 0.0, 0.0]).is_finite());
+        assert!((normalized_hhi(&[1.0, 0.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+}

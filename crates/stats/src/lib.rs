@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # govhost-stats
+//!
+//! Statistics needed by the paper's analyses, implemented from scratch:
+//!
+//! - descriptive statistics and z-score standardization (App. E),
+//! - the Herfindahl–Hirschman Index (§7.2, Fig. 11),
+//! - hierarchical agglomerative clustering with Ward linkage (§5.3, Fig. 5),
+//! - ordinary least squares with t-based confidence intervals, p-values and
+//!   Variance Inflation Factors (App. E, Fig. 12, Table 7),
+//! - the special functions (ln-gamma, regularized incomplete beta) backing
+//!   the Student-t distribution used for inference.
+//!
+//! Everything is pure and deterministic.
+
+pub mod boxplot;
+pub mod cluster;
+pub mod correlation;
+pub mod descriptive;
+pub mod hhi;
+pub mod linalg;
+pub mod ols;
+pub mod special;
+
+pub use boxplot::FiveNumberSummary;
+pub use cluster::{Dendrogram, Merge};
+pub use correlation::{pearson, spearman};
+pub use descriptive::{mean, median, quantile, standardize, std_dev, variance};
+pub use hhi::{hhi, hhi_from_counts, normalized_hhi};
+pub use linalg::Matrix;
+pub use ols::{OlsFit, Vif};

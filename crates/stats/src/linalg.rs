@@ -1,0 +1,250 @@
+//! Small dense-matrix linear algebra: just enough for OLS (normal
+//! equations solved by Gaussian elimination with partial pivoting).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from nested rows.
+    ///
+    /// # Panics
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Self { rows: r, cols: c, data: rows.iter().flatten().copied().collect() }
+    }
+
+    /// Build a single-column matrix from a slice.
+    pub fn column(values: &[f64]) -> Self {
+        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A column copied into a vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += a * other[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Solve `self * x = b` for square `self` via Gaussian elimination with
+    /// partial pivoting. Returns `None` if the system is singular (pivot
+    /// below `1e-12` after scaling).
+    pub fn solve(&self, b: &Matrix) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.rows, self.rows, "rhs row mismatch");
+        let n = self.rows;
+        let m = b.cols;
+        // Augmented working copy.
+        let mut a = self.clone();
+        let mut x = b.clone();
+        for col in 0..n {
+            // Partial pivot.
+            let pivot_row = (col..n)
+                .max_by(|&i, &j| {
+                    a[(i, col)].abs().partial_cmp(&a[(j, col)].abs()).expect("finite pivots")
+                })
+                .expect("nonempty range");
+            if a[(pivot_row, col)].abs() < 1e-12 {
+                return None;
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    let tmp = a[(col, c)];
+                    a[(col, c)] = a[(pivot_row, c)];
+                    a[(pivot_row, c)] = tmp;
+                }
+                for c in 0..m {
+                    let tmp = x[(col, c)];
+                    x[(col, c)] = x[(pivot_row, c)];
+                    x[(pivot_row, c)] = tmp;
+                }
+            }
+            let pivot = a[(col, col)];
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a[(r, col)] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[(r, c)] -= factor * a[(col, c)];
+                }
+                for c in 0..m {
+                    x[(r, c)] -= factor * x[(col, c)];
+                }
+            }
+        }
+        for r in 0..n {
+            let pivot = a[(r, r)];
+            for c in 0..m {
+                x[(r, c)] /= pivot;
+            }
+        }
+        Some(x)
+    }
+
+    /// Matrix inverse via [`Self::solve`] against the identity.
+    pub fn inverse(&self) -> Option<Matrix> {
+        self.solve(&Matrix::identity(self.rows))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_and_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let at = a.transpose();
+        assert_eq!(at.rows(), 2);
+        assert_eq!(at.cols(), 3);
+        let ata = at.matmul(&a);
+        assert_eq!(ata[(0, 0)], 35.0);
+        assert_eq!(ata[(0, 1)], 44.0);
+        assert_eq!(ata[(1, 1)], 56.0);
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, -1.0]]);
+        let b = Matrix::column(&[5.0, 1.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the leading position forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let b = Matrix::column(&[3.0, 7.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[(0, 0)] - 7.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(a.solve(&Matrix::column(&[1.0, 2.0])).is_none());
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let a = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]);
+        let inv = a.inverse().unwrap();
+        let id = a.matmul(&inv);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((id[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

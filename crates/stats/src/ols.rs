@@ -1,0 +1,291 @@
+//! Ordinary least squares with classical inference, plus Variance Inflation
+//! Factors — everything App. E needs for the explanatory model of offshore
+//! hosting (Fig. 12, Table 7).
+
+use crate::linalg::Matrix;
+use crate::special::{student_t_quantile, student_t_two_sided_p};
+
+/// One fitted coefficient with its inference artifacts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coefficient {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Standard error.
+    pub std_error: f64,
+    /// t statistic (`estimate / std_error`).
+    pub t_value: f64,
+    /// Two-sided p-value under `t(n - p)`.
+    pub p_value: f64,
+    /// Lower bound of the confidence interval.
+    pub ci_low: f64,
+    /// Upper bound of the confidence interval.
+    pub ci_high: f64,
+}
+
+impl Coefficient {
+    /// Whether the coefficient is significant at the given level (its
+    /// p-value is below `alpha`).
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// A fitted OLS model `y = X·β + ε`.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    /// Per-column coefficient results (same order as the design matrix).
+    pub coefficients: Vec<Coefficient>,
+    /// Residuals `y - X·β̂`.
+    pub residuals: Vec<f64>,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Adjusted R².
+    pub adj_r_squared: f64,
+    /// Residual degrees of freedom (`n - p`).
+    pub df_resid: usize,
+}
+
+impl OlsFit {
+    /// Fit OLS of `y` on the columns of `x` (pass an explicit intercept
+    /// column if one is wanted), with `(1 - alpha)` confidence intervals.
+    ///
+    /// ```
+    /// use govhost_stats::{Matrix, OlsFit};
+    /// // y = 1 + 2x, exactly.
+    /// let x = Matrix::from_rows(&(0..10).map(|i| vec![1.0, i as f64]).collect::<Vec<_>>());
+    /// let y: Vec<f64> = (0..10).map(|i| 1.0 + 2.0 * i as f64).collect();
+    /// let fit = OlsFit::fit(&x, &y).unwrap();
+    /// assert!((fit.coefficients[1].estimate - 2.0).abs() < 1e-9);
+    /// ```
+    ///
+    /// Returns `None` when `X'X` is singular (collinear design) or there
+    /// are no residual degrees of freedom.
+    pub fn fit_with_alpha(x: &Matrix, y: &[f64], alpha: f64) -> Option<OlsFit> {
+        let n = x.rows();
+        let p = x.cols();
+        if n != y.len() || n <= p {
+            return None;
+        }
+        let xt = x.transpose();
+        let xtx = xt.matmul(x);
+        let xty = xt.matmul(&Matrix::column(y));
+        let beta = xtx.solve(&xty)?;
+        let xtx_inv = xtx.inverse()?;
+
+        // Residuals and error variance.
+        let fitted = x.matmul(&beta);
+        let residuals: Vec<f64> = (0..n).map(|i| y[i] - fitted[(i, 0)]).collect();
+        let rss: f64 = residuals.iter().map(|r| r * r).sum();
+        let df = n - p;
+        let sigma2 = rss / df as f64;
+
+        let y_mean = crate::descriptive::mean(y);
+        let tss: f64 = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum();
+        let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { f64::NAN };
+        let adj_r_squared = if tss > 0.0 {
+            1.0 - (1.0 - r_squared) * (n as f64 - 1.0) / df as f64
+        } else {
+            f64::NAN
+        };
+
+        let t_crit = student_t_quantile(1.0 - alpha / 2.0, df as f64);
+        let coefficients = (0..p)
+            .map(|j| {
+                let estimate = beta[(j, 0)];
+                let std_error = (sigma2 * xtx_inv[(j, j)]).max(0.0).sqrt();
+                let t_value = if std_error > 0.0 { estimate / std_error } else { f64::INFINITY };
+                Coefficient {
+                    estimate,
+                    std_error,
+                    t_value,
+                    p_value: student_t_two_sided_p(t_value, df as f64),
+                    ci_low: estimate - t_crit * std_error,
+                    ci_high: estimate + t_crit * std_error,
+                }
+            })
+            .collect();
+
+        Some(OlsFit { coefficients, residuals, r_squared, adj_r_squared, df_resid: df })
+    }
+
+    /// Fit with the conventional 95% confidence intervals (App. E reports
+    /// 95% CIs in Fig. 12).
+    pub fn fit(x: &Matrix, y: &[f64]) -> Option<OlsFit> {
+        Self::fit_with_alpha(x, y, 0.05)
+    }
+}
+
+/// Variance Inflation Factors for a design matrix.
+#[derive(Debug, Clone)]
+pub struct Vif {
+    /// One VIF per column of the design matrix handed to [`Vif::compute`].
+    pub factors: Vec<f64>,
+}
+
+impl Vif {
+    /// Compute the VIF of each column of `x` by regressing it on all other
+    /// columns (with an intercept): `VIF_j = 1 / (1 - R²_j)`.
+    ///
+    /// Columns that are perfectly collinear get `f64::INFINITY`.
+    pub fn compute(x: &Matrix) -> Vif {
+        let n = x.rows();
+        let p = x.cols();
+        let mut factors = Vec::with_capacity(p);
+        for j in 0..p {
+            let target = x.col(j);
+            // Design: intercept + every other column.
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|r| {
+                    let mut row = Vec::with_capacity(p);
+                    row.push(1.0);
+                    for c in 0..p {
+                        if c != j {
+                            row.push(x[(r, c)]);
+                        }
+                    }
+                    row
+                })
+                .collect();
+            let design = Matrix::from_rows(&rows);
+            match OlsFit::fit(&design, &target) {
+                Some(fit) if fit.r_squared.is_finite() && fit.r_squared < 1.0 - 1e-12 => {
+                    factors.push(1.0 / (1.0 - fit.r_squared));
+                }
+                Some(_) => factors.push(f64::INFINITY),
+                None => factors.push(f64::INFINITY),
+            }
+        }
+        Vif { factors }
+    }
+
+    /// The conventional "multicollinearity is a concern" threshold check
+    /// the paper applies (all VIFs under 10 — Table 7 discussion).
+    pub fn all_below(&self, threshold: f64) -> bool {
+        self.factors.iter().all(|f| *f < threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design_with_intercept(cols: &[&[f64]]) -> Matrix {
+        let n = cols[0].len();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut row = vec![1.0];
+                row.extend(cols.iter().map(|c| c[i]));
+                row
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 2 + 3x, no noise.
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 + 3.0 * v).collect();
+        let fit = OlsFit::fit(&design_with_intercept(&[&x]), &y).unwrap();
+        assert!((fit.coefficients[0].estimate - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[1].estimate - 3.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+        assert!(fit.residuals.iter().all(|r| r.abs() < 1e-9));
+    }
+
+    #[test]
+    fn two_predictors_hand_checked() {
+        // y = 1 + 2a - 0.5b exactly.
+        let a: Vec<f64> = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 1.5, 2.5];
+        let b: Vec<f64> = vec![1.0, 0.0, 3.0, 1.0, 2.0, 5.0, 2.0, 0.5];
+        let y: Vec<f64> =
+            a.iter().zip(&b).map(|(ai, bi)| 1.0 + 2.0 * ai - 0.5 * bi).collect();
+        let fit = OlsFit::fit(&design_with_intercept(&[&a, &b]), &y).unwrap();
+        assert!((fit.coefficients[0].estimate - 1.0).abs() < 1e-9);
+        assert!((fit.coefficients[1].estimate - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[2].estimate + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_ci_covers_truth() {
+        // Deterministic pseudo-noise; slope 1.5, intercept 4.
+        let x: Vec<f64> = (0..60).map(|i| i as f64 / 3.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 4.0 + 1.5 * v + ((i as f64 * 2.39).sin()) * 0.6)
+            .collect();
+        let fit = OlsFit::fit(&design_with_intercept(&[&x]), &y).unwrap();
+        let slope = fit.coefficients[1];
+        assert!(slope.ci_low < 1.5 && 1.5 < slope.ci_high);
+        assert!(slope.significant_at(0.001));
+        assert!(fit.r_squared > 0.98);
+    }
+
+    #[test]
+    fn irrelevant_predictor_is_insignificant() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        // Noise-like second predictor, unrelated to y.
+        let z: Vec<f64> = (0..40).map(|i| ((i * 37 % 17) as f64) - 8.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 1.0 + 0.8 * v + ((i as f64 * 1.7).cos()) * 0.5)
+            .collect();
+        let fit = OlsFit::fit(&design_with_intercept(&[&x, &z]), &y).unwrap();
+        assert!(!fit.coefficients[2].significant_at(0.05));
+        assert!(fit.coefficients[1].significant_at(0.001));
+    }
+
+    #[test]
+    fn singular_design_returns_none() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let x2 = x.clone(); // perfectly collinear with x
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(OlsFit::fit(&design_with_intercept(&[&x, &x2]), &y).is_none());
+    }
+
+    #[test]
+    fn underdetermined_returns_none() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![1.0, 3.0]]);
+        assert!(OlsFit::fit(&x, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn vif_orthogonal_predictors_near_one() {
+        // Two orthogonal-ish columns.
+        let n = 32;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i as f64 * 0.5).sin(), (i as f64 * 0.5).cos()])
+            .collect();
+        let vif = Vif::compute(&Matrix::from_rows(&rows));
+        assert!(vif.factors.iter().all(|f| *f < 1.3), "{:?}", vif.factors);
+        assert!(vif.all_below(10.0));
+    }
+
+    #[test]
+    fn vif_detects_collinearity() {
+        let n = 24;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let a = i as f64;
+                let b = 2.0 * a + 0.01 * ((i as f64 * 3.3).sin()); // nearly collinear
+                let c = (i as f64 * 1.1).cos();
+                vec![a, b, c]
+            })
+            .collect();
+        let vif = Vif::compute(&Matrix::from_rows(&rows));
+        assert!(vif.factors[0] > 100.0);
+        assert!(vif.factors[1] > 100.0);
+        assert!(vif.factors[2] < 10.0);
+        assert!(!vif.all_below(10.0));
+    }
+
+    #[test]
+    fn vif_perfect_collinearity_is_infinite() {
+        let rows: Vec<Vec<f64>> =
+            (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let vif = Vif::compute(&Matrix::from_rows(&rows));
+        assert!(vif.factors.iter().all(|f| f.is_infinite()));
+    }
+}

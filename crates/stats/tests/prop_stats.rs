@@ -1,0 +1,137 @@
+//! Property tests for the statistics kernels.
+
+use govhost_stats::boxplot::FiveNumberSummary;
+use govhost_stats::cluster::Dendrogram;
+use govhost_stats::descriptive::{mean, quantile, standardize, std_dev};
+use govhost_stats::hhi::{hhi, hhi_from_counts};
+use govhost_stats::linalg::Matrix;
+use govhost_stats::ols::OlsFit;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn hhi_is_bounded(shares in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let h = hhi(&shares);
+        if h.is_nan() {
+            // All-zero input.
+            prop_assert!(shares.iter().sum::<f64>() == 0.0);
+        } else {
+            let n = shares.iter().filter(|s| **s > 0.0).count() as f64;
+            prop_assert!(h <= 1.0 + 1e-9);
+            prop_assert!(h >= 1.0 / n - 1e-9, "HHI {h} below 1/n {}", 1.0 / n);
+        }
+    }
+
+    #[test]
+    fn hhi_is_scale_invariant(counts in proptest::collection::vec(1u64..10_000, 1..30), k in 2u64..10) {
+        let scaled: Vec<u64> = counts.iter().map(|c| c * k).collect();
+        let a = hhi_from_counts(&counts);
+        let b = hhi_from_counts(&scaled);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ward_heights_monotone_and_cut_consistent(
+        data in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 3),
+            2..25,
+        )
+    ) {
+        let d = Dendrogram::ward(&data);
+        let heights = d.heights();
+        for w in heights.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-6, "heights must be monotone: {heights:?}");
+        }
+        // Cutting into n clusters separates everything; into 1, nothing.
+        let n = data.len();
+        prop_assert_eq!(d.cut(1), vec![0; n]);
+        let all = d.cut(n);
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        prop_assert_eq!(distinct.len(), n);
+        // Every cut returns exactly k distinct labels.
+        for k in 1..=n {
+            let labels = d.cut(k);
+            let distinct: std::collections::HashSet<_> = labels.iter().collect();
+            prop_assert_eq!(distinct.len(), k);
+        }
+    }
+
+    #[test]
+    fn leaf_order_is_always_a_permutation(
+        data in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..5.0, 2),
+            1..20,
+        )
+    ) {
+        let d = Dendrogram::ward(&data);
+        let mut order = d.leaf_order();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..data.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ols_recovers_planted_coefficients(
+        intercept in -5.0f64..5.0,
+        slope1 in -5.0f64..5.0,
+        slope2 in -5.0f64..5.0,
+        xs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 10..60),
+    ) {
+        // Noise-free linear data must be recovered exactly (when the
+        // design is well-conditioned).
+        let rows: Vec<Vec<f64>> =
+            xs.iter().map(|(a, b)| vec![1.0, *a, *b]).collect();
+        let y: Vec<f64> = xs
+            .iter()
+            .map(|(a, b)| intercept + slope1 * a + slope2 * b)
+            .collect();
+        let design = Matrix::from_rows(&rows);
+        if let Some(fit) = OlsFit::fit(&design, &y) {
+            prop_assert!((fit.coefficients[0].estimate - intercept).abs() < 1e-6);
+            prop_assert!((fit.coefficients[1].estimate - slope1).abs() < 1e-6);
+            prop_assert!((fit.coefficients[2].estimate - slope2).abs() < 1e-6);
+            prop_assert!(fit.residuals.iter().all(|r| r.abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn standardize_properties(xs in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+        let z = standardize(&xs);
+        prop_assert_eq!(z.len(), xs.len());
+        let m = mean(&z);
+        prop_assert!(m.abs() < 1e-6, "mean {m}");
+        let s = std_dev(&z);
+        prop_assert!(s == 0.0 || (s - 1.0).abs() < 1e-6, "sd {s}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_within_range(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..80),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..6),
+    ) {
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = f64::NEG_INFINITY;
+        for q in qs {
+            let v = quantile(&xs, q);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            prop_assert!(v >= prev - 1e-9, "quantiles must be monotone");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn five_number_summary_is_ordered(xs in proptest::collection::vec(0.0f64..1.0, 1..100)) {
+        let s = FiveNumberSummary::of(&xs).expect("nonempty");
+        prop_assert!(s.min <= s.whisker_low + 1e-12);
+        prop_assert!(s.whisker_low <= s.q1 + 1e-12);
+        prop_assert!(s.q1 <= s.median + 1e-12);
+        prop_assert!(s.median <= s.q3 + 1e-12);
+        prop_assert!(s.q3 <= s.whisker_high + 1e-12);
+        prop_assert!(s.whisker_high <= s.max + 1e-12);
+        prop_assert_eq!(s.n, xs.len());
+    }
+}

@@ -1,0 +1,166 @@
+//! Hosting categories used by the paper's analyses.
+
+use std::fmt;
+
+/// The kind of organization operating a network (an AS) in the simulated
+/// world. This is *ground truth* in the substrate; the measurement pipeline
+/// must recover it from WHOIS/PeeringDB/search evidence (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OrgKind {
+    /// A network used exclusively by government institutions (ministries,
+    /// agencies, national data centers).
+    Government,
+    /// A state-owned enterprise's network (>50% federal ownership, per the
+    /// IMF guideline the paper follows).
+    StateOwnedEnterprise,
+    /// A privately-held hosting provider or ISP operating in one country.
+    LocalProvider,
+    /// A provider registered outside the country it serves, but whose
+    /// footprint stays within one continent.
+    RegionalProvider,
+    /// A provider serving governments across multiple continents
+    /// (Cloudflare, AWS, Azure, ...).
+    GlobalProvider,
+}
+
+impl OrgKind {
+    /// Whether the operator is the state itself (government or SOE).
+    pub fn is_state(&self) -> bool {
+        matches!(self, OrgKind::Government | OrgKind::StateOwnedEnterprise)
+    }
+}
+
+/// The paper's four hosting categories (§5.1, Fig. 2): who serves a
+/// government URL, as seen from the government's own country.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProviderCategory {
+    /// Government or state-owned enterprise infrastructure ("on-premises").
+    GovtSoe,
+    /// Third-party provider registered in the same country it serves.
+    ThirdPartyLocal,
+    /// Third-party provider registered abroad with a single-continent
+    /// footprint.
+    ThirdPartyRegional,
+    /// Third-party provider with a multi-continent footprint.
+    ThirdPartyGlobal,
+}
+
+impl ProviderCategory {
+    /// All categories in the paper's display order (Fig. 2).
+    pub const ALL: [ProviderCategory; 4] = [
+        ProviderCategory::GovtSoe,
+        ProviderCategory::ThirdPartyLocal,
+        ProviderCategory::ThirdPartyGlobal,
+        ProviderCategory::ThirdPartyRegional,
+    ];
+
+    /// Short label as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProviderCategory::GovtSoe => "Govt&SOE",
+            ProviderCategory::ThirdPartyLocal => "3P Local",
+            ProviderCategory::ThirdPartyRegional => "3P Regional",
+            ProviderCategory::ThirdPartyGlobal => "3P Global",
+        }
+    }
+
+    /// Whether this is any third-party category.
+    pub fn is_third_party(&self) -> bool {
+        !matches!(self, ProviderCategory::GovtSoe)
+    }
+
+    /// Stable index (0..4) for fixed-size share arrays, following [`Self::ALL`].
+    pub fn index(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("category is in ALL")
+    }
+}
+
+impl fmt::Display for ProviderCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Hosting categories for *non-government* popular sites (App. D), where
+/// "on-premises" becomes "self-hosting" and a foreign single-country
+/// provider is "foreign" rather than "regional".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TopsiteCategory {
+    /// The site serves its own content (CNAME 2LD matches site 2LD, or the
+    /// CNAME 2LD appears in the site's certificate SANs).
+    SelfHosting,
+    /// Multi-continent third-party provider.
+    Global,
+    /// Provider registered in the site's own country.
+    Local,
+    /// Provider registered abroad.
+    Foreign,
+}
+
+impl TopsiteCategory {
+    /// All categories in the paper's display order (Fig. 3).
+    pub const ALL: [TopsiteCategory; 4] = [
+        TopsiteCategory::SelfHosting,
+        TopsiteCategory::Global,
+        TopsiteCategory::Local,
+        TopsiteCategory::Foreign,
+    ];
+
+    /// Short label as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopsiteCategory::SelfHosting => "Self-Hosting",
+            TopsiteCategory::Global => "3P Global",
+            TopsiteCategory::Local => "3P Local",
+            TopsiteCategory::Foreign => "3P Regional",
+        }
+    }
+
+    /// Stable index (0..4) following [`Self::ALL`].
+    pub fn index(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("category is in ALL")
+    }
+}
+
+impl fmt::Display for TopsiteCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_kinds() {
+        assert!(OrgKind::Government.is_state());
+        assert!(OrgKind::StateOwnedEnterprise.is_state());
+        assert!(!OrgKind::LocalProvider.is_state());
+        assert!(!OrgKind::GlobalProvider.is_state());
+    }
+
+    #[test]
+    fn category_indices_match_all_order() {
+        for (i, c) in ProviderCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, c) in TopsiteCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn third_party_split() {
+        assert!(!ProviderCategory::GovtSoe.is_third_party());
+        assert!(ProviderCategory::ThirdPartyLocal.is_third_party());
+        assert!(ProviderCategory::ThirdPartyRegional.is_third_party());
+        assert!(ProviderCategory::ThirdPartyGlobal.is_third_party());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ProviderCategory::GovtSoe.label(), "Govt&SOE");
+        assert_eq!(TopsiteCategory::SelfHosting.label(), "Self-Hosting");
+    }
+}

@@ -1,0 +1,63 @@
+//! Parse errors for the vocabulary types.
+
+use std::fmt;
+
+/// Error returned when parsing one of the vocabulary types from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    kind: &'static str,
+    input: String,
+    reason: &'static str,
+}
+
+impl ParseError {
+    /// Create a parse error for a value of type `kind` (e.g. `"CountryCode"`).
+    pub fn new(kind: &'static str, input: impl Into<String>, reason: &'static str) -> Self {
+        Self { kind, input: input.into(), reason }
+    }
+
+    /// The type that failed to parse.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// The offending input (possibly truncated by the caller).
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// Human-readable reason for the failure.
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {:?}: {}", self.kind, self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_kind_input_and_reason() {
+        let e = ParseError::new("CountryCode", "usa", "must be two letters");
+        let s = e.to_string();
+        assert!(s.contains("CountryCode"));
+        assert!(s.contains("usa"));
+        assert!(s.contains("two letters"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = ParseError::new("Url", "::", "missing scheme");
+        assert_eq!(e.kind(), "Url");
+        assert_eq!(e.input(), "::");
+        assert_eq!(e.reason(), "missing scheme");
+    }
+}

@@ -1,0 +1,233 @@
+//! Hostnames with label access and registrable-domain ("2LD") extraction.
+//!
+//! The paper's methodology repeatedly needs the *registrable domain* of a
+//! hostname: the domain-matching classification step (§3.3) compares
+//! hostnames of internal pages against seed sites, and the topsites
+//! self-hosting heuristic (App. D) compares the 2LD of a CNAME target with
+//! the site's own 2LD. Real-world 2LD extraction needs a public-suffix
+//! list; we embed the subset of multi-label suffixes that occur in the
+//! simulated world.
+
+use crate::error::ParseError;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// Multi-label public suffixes known to the simulator. A hostname ending in
+/// one of these keeps one extra label in its registrable domain (e.g. the
+/// registrable domain of `www.energia-argentina.com.ar` is
+/// `energia-argentina.com.ar`).
+///
+/// This intentionally covers the government and commercial suffixes used by
+/// the 61-country world rather than the full Mozilla PSL.
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    // Commercial / generic second-level registrations.
+    "com.ar", "com.br", "com.mx", "com.bo", "com.py", "com.uy", "com.co", "com.au", "com.nz",
+    "com.sg", "com.my", "com.hk", "com.tw", "com.cn", "com.vn", "com.eg", "com.tr", "com.ua",
+    "co.uk", "org.uk", "co.nz", "co.za", "co.jp", "co.kr", "co.id", "co.in", "co.th", "co.il",
+    "net.au", "org.au", "org.br", "org.ar", "net.nz", "or.jp", "ne.jp", "ac.uk",
+    // Government second-level registrations (Table 1 variants under ccTLDs).
+    "gov.ar", "gov.br", "gov.uk", "gov.au", "gov.nz", "gov.za", "gov.in", "gov.bd", "gov.pk",
+    "gov.cn", "gov.vn", "gov.my", "gov.sg", "gov.hk", "gov.tw", "gov.tr", "gov.ua", "gov.kz",
+    "gov.rs", "gov.gr", "gov.il", "gov.eg", "gov.ng", "gov.py", "gov.co", "gov.it", "gov.pt",
+    "gov.pl", "gov.hu", "gov.cz", "gov.ro", "gov.bg", "gov.md", "gov.ge", "gov.al", "gov.ba",
+    "gov.lv", "gov.ee", "gov.ma", "gov.dz", "gov.ae", "gov.th", "gov.id",
+    "gob.mx", "gob.ar", "gob.cl", "gob.bo", "gob.pe", "gob.es", "gob.cr",
+    "gub.uy", "gouv.fr", "gouv.nc", "gouv.ma", "gouv.dz",
+    "go.jp", "go.kr", "go.id", "go.th", "go.tz", "go.cr",
+    "govt.nz", "gv.at", "guv.ro",
+    "mil.ar", "mil.br", "mil.uk",
+    "admin.ch", "fed.us",
+    "nic.in", "ac.in", "edu.au", "edu.ar",
+];
+
+/// A fully-qualified hostname, stored lowercase without a trailing dot.
+///
+/// ```
+/// use govhost_types::Hostname;
+/// let h: Hostname = "CDN.Prodecon.GOB.MX".parse().unwrap();
+/// assert_eq!(h.as_str(), "cdn.prodecon.gob.mx");
+/// assert_eq!(h.registrable_domain().as_str(), "prodecon.gob.mx");
+/// ```
+/// Internally reference-counted: cloning a `Hostname` is a refcount bump,
+/// which matters because every captured URL carries one.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Hostname(Arc<str>);
+
+impl Hostname {
+    /// The hostname as a lowercase string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Labels from leftmost to rightmost (`www.gov.br` → `["www","gov","br"]`).
+    pub fn labels(&self) -> impl DoubleEndedIterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// The top-level domain (rightmost label).
+    pub fn tld(&self) -> &str {
+        self.labels().next_back().expect("hostname has at least one label")
+    }
+
+    /// The public suffix under which this name is registered: either a known
+    /// multi-label suffix (`gob.mx`) or the bare TLD (`nl`).
+    pub fn public_suffix(&self) -> &str {
+        for suffix in MULTI_LABEL_SUFFIXES {
+            if self.ends_with_suffix(suffix) {
+                return suffix;
+            }
+        }
+        self.tld()
+    }
+
+    /// The registrable domain: one label more than the public suffix.
+    ///
+    /// A hostname that *is* a public suffix (or a bare TLD) is returned
+    /// unchanged.
+    pub fn registrable_domain(&self) -> Hostname {
+        let suffix = self.public_suffix();
+        if self.0.len() == suffix.len() {
+            return self.clone();
+        }
+        let head = &self.0[..self.0.len() - suffix.len() - 1];
+        let owner = head.rsplit('.').next().expect("split always yields one item");
+        Hostname(format!("{owner}.{suffix}").into())
+    }
+
+    /// Whether `self` equals `other` or is a subdomain of it.
+    pub fn is_subdomain_of(&self, other: &Hostname) -> bool {
+        self == other || self.ends_with_suffix(other.as_str())
+    }
+
+    fn ends_with_suffix(&self, suffix: &str) -> bool {
+        self.0.len() > suffix.len()
+            && self.0.ends_with(suffix)
+            && self.0.as_bytes()[self.0.len() - suffix.len() - 1] == b'.'
+    }
+}
+
+impl FromStr for Hostname {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Err(ParseError::new("Hostname", s, "empty"));
+        }
+        if s.len() > 253 {
+            // Truncate the error context at a char boundary — slicing at a
+            // fixed byte offset panics on multi-byte UTF-8.
+            let cut = (0..=32).rev().find(|i| s.is_char_boundary(*i)).unwrap_or(0);
+            return Err(ParseError::new("Hostname", &s[..cut], "longer than 253 bytes"));
+        }
+        for label in s.split('.') {
+            if label.is_empty() {
+                return Err(ParseError::new("Hostname", s, "empty label"));
+            }
+            if label.len() > 63 {
+                return Err(ParseError::new("Hostname", s, "label longer than 63 bytes"));
+            }
+            let bytes = label.as_bytes();
+            if !bytes.iter().all(|b| b.is_ascii_alphanumeric() || *b == b'-' || *b == b'_') {
+                return Err(ParseError::new("Hostname", s, "label has invalid character"));
+            }
+            if bytes[0] == b'-' || bytes[bytes.len() - 1] == b'-' {
+                return Err(ParseError::new("Hostname", s, "label starts or ends with hyphen"));
+            }
+        }
+        Ok(Hostname(s.to_ascii_lowercase().into()))
+    }
+}
+
+impl fmt::Display for Hostname {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Hostname {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hostname({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(s: &str) -> Hostname {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn lowercases_and_strips_trailing_dot() {
+        assert_eq!(h("WWW.Example.COM.").as_str(), "www.example.com");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("".parse::<Hostname>().is_err());
+        assert!("a..b".parse::<Hostname>().is_err());
+        assert!("-bad.com".parse::<Hostname>().is_err());
+        assert!("bad-.com".parse::<Hostname>().is_err());
+        assert!("sp ace.com".parse::<Hostname>().is_err());
+        let long = "a".repeat(64) + ".com";
+        assert!(long.parse::<Hostname>().is_err());
+    }
+
+    #[test]
+    fn registrable_domain_simple_tld() {
+        assert_eq!(h("www.defensie.nl").registrable_domain(), h("defensie.nl"));
+        assert_eq!(h("a.b.c.orniss.ro").registrable_domain(), h("orniss.ro"));
+    }
+
+    #[test]
+    fn registrable_domain_multi_label_suffix() {
+        assert_eq!(h("www.prodecon.gob.mx").registrable_domain(), h("prodecon.gob.mx"));
+        assert_eq!(
+            h("cdn.energia-argentina.com.ar").registrable_domain(),
+            h("energia-argentina.com.ar")
+        );
+        assert_eq!(h("www.gov.br").registrable_domain(), h("www.gov.br"));
+    }
+
+    #[test]
+    fn registrable_domain_of_suffix_itself_is_identity() {
+        assert_eq!(h("gob.mx").registrable_domain(), h("gob.mx"));
+        assert_eq!(h("uk").registrable_domain(), h("uk"));
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        assert!(h("a.social.gov.ma").is_subdomain_of(&h("social.gov.ma")));
+        assert!(h("social.gov.ma").is_subdomain_of(&h("social.gov.ma")));
+        assert!(!h("notsocial.gov.ma").is_subdomain_of(&h("social.gov.ma")));
+        assert!(!h("gov.ma").is_subdomain_of(&h("social.gov.ma")));
+    }
+
+    #[test]
+    fn tld_and_labels() {
+        let n = h("www.gub.uy");
+        assert_eq!(n.tld(), "uy");
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(n.labels().collect::<Vec<_>>(), vec!["www", "gub", "uy"]);
+    }
+
+    #[test]
+    fn public_suffix_picks_longest_known() {
+        assert_eq!(h("x.gouv.nc").public_suffix(), "gouv.nc");
+        assert_eq!(h("x.example.de").public_suffix(), "de");
+    }
+
+    #[test]
+    fn underscore_labels_allowed() {
+        // Seen in the wild for service records / internal names.
+        assert!("_dmarc.example.com".parse::<Hostname>().is_ok());
+    }
+}

@@ -1,0 +1,73 @@
+//! Development indices attached to each country (Table 9 and App. E).
+
+/// Country-level development indicators.
+///
+/// The first three (`egdi`, `hdi`, `iui`) drive the paper's country
+/// *selection* (Table 9); the rest feed the App. E explanatory OLS model
+/// (Fig. 12, Table 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountryIndices {
+    /// UN E-Government Development Index, 0..=1.
+    pub egdi: f64,
+    /// UN Human Development Index, 0..=1.
+    pub hdi: f64,
+    /// Internet-penetration rate (ITU "Internet Users Index"), percent 0..=100.
+    pub iui: f64,
+    /// Share of the world's Internet population, percent.
+    pub internet_pop_share: f64,
+    /// ICT Development Index (IDI), roughly 0..=10.
+    pub idi: f64,
+    /// Heritage Economic Freedom Index, 0..=100.
+    pub econ_freedom: f64,
+    /// GDP per capita, USD.
+    pub gdp_per_capita: f64,
+    /// Network Readiness Index, 0..=100.
+    pub nri: f64,
+    /// Absolute number of Internet users.
+    pub internet_users: f64,
+}
+
+impl CountryIndices {
+    /// The App. E feature vector, in the order `(IDI, EFI, GDP, HDI, NRI,
+    /// users)` used by the explanatory regression.
+    pub fn feature_vector(&self) -> [f64; 6] {
+        [
+            self.idi,
+            self.econ_freedom,
+            self.gdp_per_capita,
+            self.hdi,
+            self.nri,
+            self.internet_users,
+        ]
+    }
+
+    /// Feature names matching [`Self::feature_vector`].
+    pub const FEATURE_NAMES: [&'static str; 6] =
+        ["IDI", "econ_freedom", "GDP", "HDI", "NRI", "internet_users"];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_vector_order_matches_names() {
+        let idx = CountryIndices {
+            egdi: 0.9,
+            hdi: 0.8,
+            iui: 92.0,
+            internet_pop_share: 5.0,
+            idi: 8.0,
+            econ_freedom: 70.0,
+            gdp_per_capita: 50_000.0,
+            nri: 75.0,
+            internet_users: 3.0e8,
+        };
+        let v = idx.feature_vector();
+        assert_eq!(v[0], 8.0); // IDI
+        assert_eq!(v[2], 50_000.0); // GDP
+        assert_eq!(v[3], 0.8); // HDI
+        assert_eq!(v[5], 3.0e8); // users
+        assert_eq!(CountryIndices::FEATURE_NAMES.len(), v.len());
+    }
+}

@@ -1,0 +1,214 @@
+//! Autonomous-system numbers and IPv4 prefixes.
+
+use crate::error::ParseError;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An Autonomous System Number.
+///
+/// ```
+/// use govhost_types::Asn;
+/// assert_eq!(Asn(13335).to_string(), "AS13335");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The raw numeric value.
+    pub fn value(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| ParseError::new("Asn", s, "expected AS<number> or a number"))
+    }
+}
+
+/// An IPv4 prefix in CIDR notation (e.g. `203.0.113.0/24`).
+///
+/// The base address is stored masked, so two textual spellings of the same
+/// prefix compare equal:
+///
+/// ```
+/// use govhost_types::IpPrefix;
+/// let a: IpPrefix = "10.1.2.3/16".parse().unwrap();
+/// let b: IpPrefix = "10.1.0.0/16".parse().unwrap();
+/// assert_eq!(a, b);
+/// ```
+// A prefix length is not a container length; `is_empty` would be
+// meaningless here.
+#[allow(clippy::len_without_is_empty)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IpPrefix {
+    base: u32,
+    len: u8,
+}
+
+impl IpPrefix {
+    /// Create a prefix from a base address and length, masking host bits.
+    ///
+    /// Returns an error if `len > 32`.
+    pub fn new(base: Ipv4Addr, len: u8) -> Result<Self, ParseError> {
+        if len > 32 {
+            return Err(ParseError::new("IpPrefix", format!("{base}/{len}"), "length exceeds 32"));
+        }
+        let raw = u32::from(base);
+        Ok(Self { base: raw & Self::mask(len), len })
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        }
+    }
+
+    /// The (masked) network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.base)
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length (default) prefix.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of addresses covered (saturating at `u32::MAX` for /0).
+    pub fn size(&self) -> u32 {
+        if self.len == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - u32::from(self.len))
+        }
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & Self::mask(self.len)) == self.base
+    }
+
+    /// The `i`-th address in the prefix, if in range.
+    pub fn nth(&self, i: u32) -> Option<Ipv4Addr> {
+        if self.len == 0 || i < self.size() {
+            self.base.checked_add(i).map(Ipv4Addr::from)
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over all host addresses in the prefix (bounded; intended for
+    /// prefixes of /20 or longer in the simulator).
+    pub fn addresses(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        let size = self.size();
+        (0..size).map_while(move |i| self.nth(i))
+    }
+}
+
+impl fmt::Display for IpPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for IpPrefix {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| ParseError::new("IpPrefix", s, "missing '/'"))?;
+        let base: Ipv4Addr =
+            addr.parse().map_err(|_| ParseError::new("IpPrefix", s, "invalid base address"))?;
+        let len: u8 =
+            len.parse().map_err(|_| ParseError::new("IpPrefix", s, "invalid prefix length"))?;
+        Self::new(base, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_parse_and_display() {
+        assert_eq!("AS16509".parse::<Asn>().unwrap(), Asn(16509));
+        assert_eq!("16509".parse::<Asn>().unwrap(), Asn(16509));
+        assert_eq!(Asn(8075).to_string(), "AS8075");
+        assert!("ASxyz".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p: IpPrefix = "192.0.2.77/24".parse().unwrap();
+        assert_eq!(p.network(), Ipv4Addr::new(192, 0, 2, 0));
+        assert_eq!(p.to_string(), "192.0.2.0/24");
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p: IpPrefix = "10.0.0.0/8".parse().unwrap();
+        assert!(p.contains(Ipv4Addr::new(10, 255, 1, 2)));
+        assert!(!p.contains(Ipv4Addr::new(11, 0, 0, 1)));
+    }
+
+    #[test]
+    fn prefix_size_and_nth() {
+        let p: IpPrefix = "198.51.100.0/30".parse().unwrap();
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.nth(0).unwrap(), Ipv4Addr::new(198, 51, 100, 0));
+        assert_eq!(p.nth(3).unwrap(), Ipv4Addr::new(198, 51, 100, 3));
+        assert!(p.nth(4).is_none());
+    }
+
+    #[test]
+    fn prefix_iterates_all_addresses() {
+        let p: IpPrefix = "203.0.113.0/29".parse().unwrap();
+        let addrs: Vec<_> = p.addresses().collect();
+        assert_eq!(addrs.len(), 8);
+        assert!(addrs.iter().all(|a| p.contains(*a)));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!("10.0.0.0".parse::<IpPrefix>().is_err());
+        assert!("10.0.0.0/33".parse::<IpPrefix>().is_err());
+        assert!("999.0.0.0/8".parse::<IpPrefix>().is_err());
+    }
+
+    #[test]
+    fn default_prefix_contains_everything() {
+        let p = IpPrefix::new(Ipv4Addr::new(0, 0, 0, 0), 0).unwrap();
+        assert!(p.is_default());
+        assert!(p.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert!(p.contains(Ipv4Addr::new(0, 0, 0, 0)));
+    }
+
+    #[test]
+    fn slash_32_is_single_address() {
+        let p: IpPrefix = "198.51.100.7/32".parse().unwrap();
+        assert_eq!(p.size(), 1);
+        assert!(p.contains(Ipv4Addr::new(198, 51, 100, 7)));
+        assert!(!p.contains(Ipv4Addr::new(198, 51, 100, 8)));
+    }
+}

@@ -1,0 +1,129 @@
+//! The World Bank's seven-region division of the world, used throughout the
+//! paper for regional aggregation (§4.1).
+
+use crate::error::ParseError;
+use std::fmt;
+use std::str::FromStr;
+
+/// A World Bank region.
+///
+/// The paper groups its 61 countries into these seven regions and reports
+/// every regional figure (Figs. 4, 8, 9; Table 5) against them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// North America.
+    NorthAmerica,
+    /// Latin America and the Caribbean.
+    LatinAmericaCaribbean,
+    /// Europe and Central Asia.
+    EuropeCentralAsia,
+    /// Middle East and North Africa.
+    MiddleEastNorthAfrica,
+    /// Sub-Saharan Africa.
+    SubSaharanAfrica,
+    /// South Asia.
+    SouthAsia,
+    /// East Asia and Pacific.
+    EastAsiaPacific,
+}
+
+impl Region {
+    /// All seven regions, in a stable order used for iteration and display.
+    pub const ALL: [Region; 7] = [
+        Region::NorthAmerica,
+        Region::LatinAmericaCaribbean,
+        Region::EuropeCentralAsia,
+        Region::MiddleEastNorthAfrica,
+        Region::SubSaharanAfrica,
+        Region::SouthAsia,
+        Region::EastAsiaPacific,
+    ];
+
+    /// The short code the paper uses (NA, LAC, ECA, MENA, SSA, SA, EAP).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Region::NorthAmerica => "NA",
+            Region::LatinAmericaCaribbean => "LAC",
+            Region::EuropeCentralAsia => "ECA",
+            Region::MiddleEastNorthAfrica => "MENA",
+            Region::SubSaharanAfrica => "SSA",
+            Region::SouthAsia => "SA",
+            Region::EastAsiaPacific => "EAP",
+        }
+    }
+
+    /// The full World Bank region name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::NorthAmerica => "North America",
+            Region::LatinAmericaCaribbean => "Latin America and the Caribbean",
+            Region::EuropeCentralAsia => "Europe and Central Asia",
+            Region::MiddleEastNorthAfrica => "Middle East and North Africa",
+            Region::SubSaharanAfrica => "Sub-Saharan Africa",
+            Region::SouthAsia => "South Asia",
+            Region::EastAsiaPacific => "East Asia and Pacific",
+        }
+    }
+
+    /// Stable small index (0..7) for use in fixed-size arrays.
+    pub fn index(&self) -> usize {
+        Region::ALL.iter().position(|r| r == self).expect("region is in ALL")
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl FromStr for Region {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Region::ALL
+            .iter()
+            .copied()
+            .find(|r| r.code().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseError::new("Region", s, "unknown World Bank region code"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for r in Region::ALL {
+            assert_eq!(r.code().parse::<Region>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("mena".parse::<Region>().unwrap(), Region::MiddleEastNorthAfrica);
+    }
+
+    #[test]
+    fn unknown_code_errors() {
+        assert!("XX".parse::<Region>().is_err());
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let mut seen = [false; 7];
+        for r in Region::ALL {
+            assert!(!seen[r.index()]);
+            seen[r.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn names_are_nonempty() {
+        for r in Region::ALL {
+            assert!(!r.name().is_empty());
+        }
+    }
+}

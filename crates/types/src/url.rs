@@ -1,0 +1,161 @@
+//! Minimal URL type: scheme, hostname, path.
+//!
+//! The crawler and the analyses only ever need the scheme (http/https), the
+//! hostname (for classification and resolution), and the path (for URL
+//! uniqueness and link structure), so this type deliberately omits query
+//! strings, fragments, ports, and userinfo.
+
+use crate::error::ParseError;
+use crate::host::Hostname;
+use std::fmt;
+use std::str::FromStr;
+
+/// URL scheme; the simulated web serves only HTTP and HTTPS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scheme {
+    /// Plain HTTP.
+    Http,
+    /// HTTP over TLS.
+    Https,
+}
+
+impl Scheme {
+    /// The scheme as it appears in a URL.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+        }
+    }
+}
+
+/// A parsed URL.
+///
+/// ```
+/// use govhost_types::Url;
+/// let u: Url = "https://www.gub.uy/tramites/start".parse().unwrap();
+/// assert_eq!(u.hostname().as_str(), "www.gub.uy");
+/// assert_eq!(u.path(), "/tramites/start");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Url {
+    scheme: Scheme,
+    hostname: Hostname,
+    path: String,
+}
+
+impl Url {
+    /// Build a URL from parts; the path is normalized to start with `/`.
+    pub fn new(scheme: Scheme, hostname: Hostname, path: impl Into<String>) -> Self {
+        let mut path = path.into();
+        if path.is_empty() {
+            path.push('/');
+        } else if !path.starts_with('/') {
+            path.insert(0, '/');
+        }
+        Self { scheme, hostname, path }
+    }
+
+    /// Shorthand for an HTTPS URL.
+    pub fn https(hostname: Hostname, path: impl Into<String>) -> Self {
+        Self::new(Scheme::Https, hostname, path)
+    }
+
+    /// The scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The hostname.
+    pub fn hostname(&self) -> &Hostname {
+        &self.hostname
+    }
+
+    /// The path, always starting with `/`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// A new URL on the same host and scheme with a different path.
+    pub fn with_path(&self, path: impl Into<String>) -> Self {
+        Self::new(self.scheme, self.hostname.clone(), path)
+    }
+}
+
+impl FromStr for Url {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (scheme, rest) = if let Some(rest) = s.strip_prefix("https://") {
+            (Scheme::Https, rest)
+        } else if let Some(rest) = s.strip_prefix("http://") {
+            (Scheme::Http, rest)
+        } else {
+            return Err(ParseError::new("Url", s, "missing http:// or https:// scheme"));
+        };
+        let (host, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        let hostname: Hostname = host.parse()?;
+        Ok(Url::new(scheme, hostname, path))
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}{}", self.scheme.as_str(), self.hostname, self.path)
+    }
+}
+
+impl fmt::Debug for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Url({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        let u: Url = "https://www.gov.br/abin/pt-br".parse().unwrap();
+        assert_eq!(u.to_string(), "https://www.gov.br/abin/pt-br");
+        assert_eq!(u.scheme(), Scheme::Https);
+    }
+
+    #[test]
+    fn bare_host_gets_root_path() {
+        let u: Url = "http://example.go.jp".parse().unwrap();
+        assert_eq!(u.path(), "/");
+        assert_eq!(u.to_string(), "http://example.go.jp/");
+    }
+
+    #[test]
+    fn rejects_unknown_scheme() {
+        assert!("ftp://example.com/".parse::<Url>().is_err());
+        assert!("example.com/".parse::<Url>().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_hostname() {
+        assert!("https:///path".parse::<Url>().is_err());
+        assert!("https://bad host/".parse::<Url>().is_err());
+    }
+
+    #[test]
+    fn with_path_keeps_host_and_scheme() {
+        let u: Url = "https://www.gub.uy/a".parse().unwrap();
+        let v = u.with_path("b/c");
+        assert_eq!(v.to_string(), "https://www.gub.uy/b/c");
+    }
+
+    #[test]
+    fn same_host_different_paths_are_distinct_urls() {
+        let a: Url = "https://www.gov.br/secretariageral/pt-br".parse().unwrap();
+        let b: Url = "https://www.gov.br/abin/pt-br".parse().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.hostname(), b.hostname());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the vocabulary types.
+
+use govhost_types::{CountryCode, Hostname, IpPrefix, Url};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_hostname() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?").expect("regex"),
+        1..5,
+    )
+    .prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hostname_parse_display_round_trips(s in arb_hostname()) {
+        let h: Hostname = s.parse().expect("generated hostnames are valid");
+        prop_assert_eq!(h.to_string(), s.to_lowercase());
+        let again: Hostname = h.to_string().parse().expect("round trip");
+        prop_assert_eq!(again, h);
+    }
+
+    #[test]
+    fn hostname_parser_never_panics(s in "\\PC{0,300}") {
+        let _ = s.parse::<Hostname>();
+    }
+
+    #[test]
+    fn registrable_domain_is_idempotent_and_suffix(s in arb_hostname()) {
+        let h: Hostname = s.parse().expect("valid");
+        let rd = h.registrable_domain();
+        prop_assert!(h.is_subdomain_of(&rd), "{h} must be under {rd}");
+        prop_assert_eq!(rd.registrable_domain(), rd.clone());
+    }
+
+    #[test]
+    fn subdomain_relation_is_reflexive_and_antisymmetric(a in arb_hostname(), b in arb_hostname()) {
+        let ha: Hostname = a.parse().expect("valid");
+        let hb: Hostname = b.parse().expect("valid");
+        prop_assert!(ha.is_subdomain_of(&ha));
+        if ha != hb && ha.is_subdomain_of(&hb) {
+            prop_assert!(!hb.is_subdomain_of(&ha));
+        }
+    }
+
+    #[test]
+    fn url_round_trips(host in arb_hostname(), path in "(/[a-z0-9._~-]{0,12}){0,4}") {
+        let url_str = format!("https://{host}{path}");
+        let url: Url = url_str.parse().expect("generated URLs are valid");
+        let again: Url = url.to_string().parse().expect("round trip");
+        prop_assert_eq!(again, url);
+    }
+
+    #[test]
+    fn url_parser_never_panics(s in "\\PC{0,200}") {
+        let _ = s.parse::<Url>();
+    }
+
+    #[test]
+    fn prefix_contains_its_own_addresses(base in any::<u32>(), len in 20u8..=32) {
+        let prefix = IpPrefix::new(Ipv4Addr::from(base), len).expect("len valid");
+        prop_assert!(prefix.contains(prefix.network()));
+        for i in [0u32, 1, prefix.size().saturating_sub(1)] {
+            if let Some(addr) = prefix.nth(i) {
+                prop_assert!(prefix.contains(addr));
+            }
+        }
+        // One past the end is outside (when it doesn't overflow).
+        if let Some(past) = u32::from(prefix.network()).checked_add(prefix.size()) {
+            prop_assert!(!prefix.contains(Ipv4Addr::from(past)));
+        }
+    }
+
+    #[test]
+    fn prefix_round_trips_text(base in any::<u32>(), len in 0u8..=32) {
+        let p = IpPrefix::new(Ipv4Addr::from(base), len).expect("valid");
+        let q: IpPrefix = p.to_string().parse().expect("round trip");
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn country_code_round_trips(s in "[A-Z]{2}") {
+        let c: CountryCode = s.parse().expect("two letters");
+        prop_assert_eq!(c.to_string(), s);
+    }
+}

@@ -1,0 +1,78 @@
+//! TLS certificates (the parts the methodology reads).
+//!
+//! §3.3's third classification step inspects the Subject Alternative Names
+//! of landing-page certificates: a hostname listed in a government site's
+//! SAN list is government-affiliated even when its domain looks unrelated
+//! (the paper's examples: `orniss.ro`, `energia-argentina.com.ar`).
+
+use govhost_types::Hostname;
+
+/// A simulated TLS certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TlsCert {
+    /// Subject common name.
+    pub subject: Hostname,
+    /// Subject Alternative Names.
+    pub sans: Vec<Hostname>,
+    /// Issuing CA display name.
+    pub issuer: String,
+    /// Whether the certificate is self-signed (common on small government
+    /// sites; Singanamalla et al. found most government HTTPS broken).
+    pub self_signed: bool,
+}
+
+impl TlsCert {
+    /// A certificate covering exactly its subject.
+    pub fn for_host(subject: Hostname, issuer: impl Into<String>) -> Self {
+        Self { sans: vec![subject.clone()], subject, issuer: issuer.into(), self_signed: false }
+    }
+
+    /// Whether `host` is covered: equal to the subject, listed in the
+    /// SANs, or matched by a wildcard-like parent SAN (a SAN `example.org`
+    /// covers `www.example.org` in this simplified model).
+    pub fn covers(&self, host: &Hostname) -> bool {
+        if *host == self.subject {
+            return true;
+        }
+        self.sans.iter().any(|san| host == san || host.is_subdomain_of(san))
+    }
+
+    /// Whether `host` is explicitly listed (subject or exact SAN) — the
+    /// strict check the SAN classification step uses.
+    pub fn lists(&self, host: &Hostname) -> bool {
+        *host == self.subject || self.sans.contains(host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(s: &str) -> Hostname {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn for_host_covers_subject() {
+        let c = TlsCert::for_host(h("www.gub.uy"), "AGESIC CA");
+        assert!(c.covers(&h("www.gub.uy")));
+        assert!(c.lists(&h("www.gub.uy")));
+        assert!(!c.covers(&h("other.uy")));
+    }
+
+    #[test]
+    fn san_listing_and_subdomain_cover() {
+        let mut c = TlsCert::for_host(h("www.presidency.ro"), "GovSign");
+        c.sans.push(h("orniss.ro"));
+        assert!(c.lists(&h("orniss.ro")));
+        assert!(!c.lists(&h("www.orniss.ro")));
+        assert!(c.covers(&h("www.orniss.ro")), "subdomain covered but not listed");
+    }
+
+    #[test]
+    fn unrelated_host_not_covered() {
+        let c = TlsCert::for_host(h("a.example"), "CA");
+        assert!(!c.covers(&h("b.example")));
+        assert!(!c.covers(&h("aa.example")));
+    }
+}

@@ -1,0 +1,297 @@
+//! The breadth-first crawler.
+//!
+//! Reproduces the paper's collection recipe (§3.2): starting from a landing
+//! page, render each page (capturing every subresource into the HAR log)
+//! and follow links up to seven levels deep. Links may leave the
+//! government domain — deliberately so; filtering non-government URLs back
+//! out is the classification step's job (§3.3), not the crawler's.
+//!
+//! [`crawl_sites_parallel`] fans a batch of landing pages out over worker
+//! threads (crossbeam scoped threads + channels); results are returned in
+//! input order, so parallel and sequential runs produce identical output.
+
+use crate::corpus::WebCorpus;
+use crate::har::{HarEntry, HarLog};
+use crate::resource::ContentType;
+use govhost_types::{CountryCode, Url};
+use std::collections::{HashSet, VecDeque};
+
+/// Crawl configuration.
+///
+/// ```
+/// use govhost_web::{crawler::Crawler, site::Website, corpus::WebCorpus};
+/// let mut corpus = WebCorpus::new();
+/// corpus.insert(Website::new("https://agency.gov/".parse().unwrap()));
+/// let out = Crawler::default().crawl(&corpus, &"https://agency.gov/".parse().unwrap(), None);
+/// assert_eq!(out.pages_visited, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crawler {
+    /// Maximum link depth below the landing page (the paper uses 7).
+    pub max_depth: u32,
+    /// Safety cap on pages visited per site.
+    pub max_pages: usize,
+}
+
+impl Default for Crawler {
+    fn default() -> Self {
+        Self { max_depth: 7, max_pages: 50_000 }
+    }
+}
+
+/// The result of crawling one landing page.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlOutcome {
+    /// Everything captured.
+    pub log: HarLog,
+    /// Number of pages successfully rendered.
+    pub pages_visited: usize,
+    /// Whether the page cap stopped the crawl early.
+    pub truncated: bool,
+}
+
+impl Crawler {
+    /// A crawler bounded at `max_depth` with the default page cap.
+    pub fn with_depth(max_depth: u32) -> Self {
+        Self { max_depth, ..Self::default() }
+    }
+
+    /// Breadth-first crawl of `landing` as seen from `vantage`.
+    pub fn crawl(
+        &self,
+        corpus: &WebCorpus,
+        landing: &Url,
+        vantage: Option<CountryCode>,
+    ) -> CrawlOutcome {
+        let mut outcome = CrawlOutcome::default();
+        let mut visited: HashSet<Url> = HashSet::new();
+        let mut queue: VecDeque<(Url, u32)> = VecDeque::new();
+        queue.push_back((landing.clone(), 0));
+        visited.insert(landing.clone());
+
+        while let Some((url, depth)) = queue.pop_front() {
+            if outcome.pages_visited >= self.max_pages {
+                outcome.truncated = true;
+                break;
+            }
+            let page = match corpus.fetch(&url, vantage) {
+                Ok(p) => p,
+                Err(_) => {
+                    outcome.log.record_failure();
+                    continue;
+                }
+            };
+            outcome.pages_visited += 1;
+            outcome.log.push(HarEntry {
+                url: url.clone(),
+                bytes: page.html_bytes,
+                content_type: ContentType::Html,
+                depth,
+            });
+            for res in &page.resources {
+                outcome.log.push(HarEntry {
+                    url: res.url.clone(),
+                    bytes: res.bytes,
+                    content_type: res.content_type,
+                    depth,
+                });
+            }
+            if depth < self.max_depth {
+                for link in &page.links {
+                    if visited.insert(link.clone()) {
+                        queue.push_back((link.clone(), depth + 1));
+                    }
+                }
+            }
+        }
+        outcome
+    }
+}
+
+/// Crawl many landing pages in parallel. `jobs` pairs each landing URL
+/// with the vantage to crawl it from. Results come back in input order,
+/// independent of `threads`.
+pub fn crawl_sites_parallel(
+    corpus: &WebCorpus,
+    crawler: &Crawler,
+    jobs: &[(Url, Option<CountryCode>)],
+    threads: usize,
+) -> Vec<CrawlOutcome> {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads == 1 || jobs.len() <= 1 {
+        return jobs.iter().map(|(u, v)| crawler.crawl(corpus, u, *v)).collect();
+    }
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, CrawlOutcome)>();
+    for i in 0..jobs.len() {
+        job_tx.send(i).expect("channel open");
+    }
+    drop(job_tx);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok(i) = job_rx.recv() {
+                    let (url, vantage) = &jobs[i];
+                    let outcome = crawler.crawl(corpus, url, *vantage);
+                    res_tx.send((i, outcome)).expect("result channel open");
+                }
+            });
+        }
+        drop(res_tx);
+        let mut results: Vec<Option<CrawlOutcome>> = vec![None; jobs.len()];
+        while let Ok((i, outcome)) = res_rx.recv() {
+            results[i] = Some(outcome);
+        }
+        results.into_iter().map(|r| r.expect("every job completed")).collect()
+    })
+    .expect("no worker panics")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::Page;
+    use crate::resource::Resource;
+    use crate::site::Website;
+    use govhost_types::cc;
+
+    /// Corpus: a.gov with a chain of pages a.gov/p0 -> p1 -> ... -> p9,
+    /// each page loading one CDN resource; plus a geo-blocked site.
+    fn chain_corpus() -> WebCorpus {
+        let mut corpus = WebCorpus::new();
+        let mut site = Website::new("https://a.gov/p0".parse().unwrap());
+        for i in 0..10 {
+            let mut page = Page::empty(format!("https://a.gov/p{i}").parse().unwrap(), 1_000);
+            page.resources.push(Resource::new(
+                format!("https://cdn.example.net/asset{i}.js").parse().unwrap(),
+                500,
+                ContentType::Script,
+            ));
+            if i < 9 {
+                page.links.push(format!("https://a.gov/p{}", i + 1).parse().unwrap());
+            }
+            site.insert_page(page);
+        }
+        corpus.insert(site);
+
+        let mut blocked = Website::new("https://blocked.gob.mx/".parse().unwrap());
+        blocked.geo_restricted_to = Some(cc!("MX"));
+        corpus.insert(blocked);
+        corpus
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let corpus = chain_corpus();
+        let crawler = Crawler::with_depth(3);
+        let out = crawler.crawl(&corpus, &"https://a.gov/p0".parse().unwrap(), None);
+        // Depths 0..=3 -> pages p0..p3.
+        assert_eq!(out.pages_visited, 4);
+        assert!(out.log.entries.iter().all(|e| e.depth <= 3));
+        // Each page contributes the doc + one resource.
+        assert_eq!(out.log.entries.len(), 8);
+    }
+
+    #[test]
+    fn full_depth_seven_reaches_eight_pages() {
+        let corpus = chain_corpus();
+        let out = Crawler::default().crawl(&corpus, &"https://a.gov/p0".parse().unwrap(), None);
+        assert_eq!(out.pages_visited, 8, "landing + 7 levels");
+    }
+
+    #[test]
+    fn page_cap_truncates() {
+        let corpus = chain_corpus();
+        let crawler = Crawler { max_depth: 7, max_pages: 3 };
+        let out = crawler.crawl(&corpus, &"https://a.gov/p0".parse().unwrap(), None);
+        assert!(out.truncated);
+        assert_eq!(out.pages_visited, 3);
+    }
+
+    #[test]
+    fn geo_blocked_fetch_is_a_failure() {
+        let corpus = chain_corpus();
+        let out = Crawler::default().crawl(
+            &corpus,
+            &"https://blocked.gob.mx/".parse().unwrap(),
+            Some(cc!("US")),
+        );
+        assert_eq!(out.pages_visited, 0);
+        assert_eq!(out.log.failures, 1);
+        // From inside Mexico, the same crawl works.
+        let ok = Crawler::default().crawl(
+            &corpus,
+            &"https://blocked.gob.mx/".parse().unwrap(),
+            Some(cc!("MX")),
+        );
+        assert_eq!(ok.pages_visited, 1);
+    }
+
+    #[test]
+    fn cycles_do_not_loop() {
+        let mut corpus = WebCorpus::new();
+        let mut site = Website::new("https://loop.gov/a".parse().unwrap());
+        let mut a = Page::empty("https://loop.gov/a".parse().unwrap(), 10);
+        a.links.push("https://loop.gov/b".parse().unwrap());
+        let mut b = Page::empty("https://loop.gov/b".parse().unwrap(), 10);
+        b.links.push("https://loop.gov/a".parse().unwrap());
+        site.insert_page(a);
+        site.insert_page(b);
+        corpus.insert(site);
+        let out = Crawler::default().crawl(&corpus, &"https://loop.gov/a".parse().unwrap(), None);
+        assert_eq!(out.pages_visited, 2);
+    }
+
+    #[test]
+    fn external_links_are_followed() {
+        let mut corpus = chain_corpus();
+        let mut contractor = Website::new("https://contractor.example/".parse().unwrap());
+        contractor.insert_page(Page::empty("https://contractor.example/".parse().unwrap(), 77));
+        corpus.insert(contractor);
+        let host: govhost_types::Hostname = "a.gov".parse().unwrap();
+        corpus
+            .site_mut(&host)
+            .unwrap()
+            .page_mut("/p0")
+            .unwrap()
+            .links
+            .push("https://contractor.example/".parse().unwrap());
+        let out = Crawler::default().crawl(&corpus, &"https://a.gov/p0".parse().unwrap(), None);
+        assert!(out
+            .log
+            .entries
+            .iter()
+            .any(|e| e.url.hostname().as_str() == "contractor.example"));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let corpus = chain_corpus();
+        let crawler = Crawler::default();
+        let jobs: Vec<(Url, Option<CountryCode>)> = vec![
+            ("https://a.gov/p0".parse().unwrap(), None),
+            ("https://blocked.gob.mx/".parse().unwrap(), Some(cc!("MX"))),
+            ("https://a.gov/p5".parse().unwrap(), None),
+        ];
+        let seq = crawl_sites_parallel(&corpus, &crawler, &jobs, 1);
+        let par = crawl_sites_parallel(&corpus, &crawler, &jobs, 4);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.pages_visited, p.pages_visited);
+            assert_eq!(s.log.entries, p.log.entries);
+            assert_eq!(s.log.failures, p.log.failures);
+        }
+    }
+
+    #[test]
+    fn zero_thread_request_is_clamped() {
+        let corpus = chain_corpus();
+        let crawler = Crawler::default();
+        let jobs = vec![("https://a.gov/p0".parse::<Url>().unwrap(), None)];
+        let out = crawl_sites_parallel(&corpus, &crawler, &jobs, 0);
+        assert_eq!(out.len(), 1);
+    }
+}

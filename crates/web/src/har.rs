@@ -1,0 +1,130 @@
+//! HAR-style capture of a crawl.
+//!
+//! Selenium in the paper consolidates each rendered page into an HTTP
+//! Archive; the analysis then works URL-by-URL with transfer sizes. This
+//! module is that artifact: a flat log of (URL, bytes, depth) entries plus
+//! failure bookkeeping.
+
+use crate::resource::ContentType;
+use govhost_types::{Hostname, Url};
+use std::collections::HashSet;
+
+/// One captured request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarEntry {
+    /// The fetched URL (page document or subresource).
+    pub url: Url,
+    /// Transfer size.
+    pub bytes: u64,
+    /// Content type.
+    pub content_type: ContentType,
+    /// Crawl depth of the page that triggered the request (0 = landing).
+    pub depth: u32,
+}
+
+/// The log of one site crawl.
+#[derive(Debug, Clone, Default)]
+pub struct HarLog {
+    /// Captured entries, in fetch order.
+    pub entries: Vec<HarEntry>,
+    /// Pages that could not be fetched (geo-blocks, dead links).
+    pub failures: u32,
+}
+
+impl HarLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a successful fetch.
+    pub fn push(&mut self, entry: HarEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Record a failed fetch.
+    pub fn record_failure(&mut self) {
+        self.failures += 1;
+    }
+
+    /// Total bytes across all entries.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Unique URLs captured.
+    pub fn unique_urls(&self) -> usize {
+        self.entries.iter().map(|e| &e.url).collect::<HashSet<_>>().len()
+    }
+
+    /// Unique hostnames captured.
+    pub fn unique_hostnames(&self) -> HashSet<&Hostname> {
+        self.entries.iter().map(|e| e.url.hostname()).collect()
+    }
+
+    /// Fraction of entries captured at or below `depth`.
+    pub fn fraction_within_depth(&self, depth: u32) -> f64 {
+        if self.entries.is_empty() {
+            return f64::NAN;
+        }
+        let within = self.entries.iter().filter(|e| e.depth <= depth).count();
+        within as f64 / self.entries.len() as f64
+    }
+
+    /// Merge another log into this one.
+    pub fn merge(&mut self, other: HarLog) {
+        self.entries.extend(other.entries);
+        self.failures += other.failures;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(url: &str, bytes: u64, depth: u32) -> HarEntry {
+        HarEntry { url: url.parse().unwrap(), bytes, content_type: ContentType::Html, depth }
+    }
+
+    #[test]
+    fn accounting() {
+        let mut log = HarLog::new();
+        log.push(entry("https://a.gov/", 100, 0));
+        log.push(entry("https://a.gov/x", 200, 1));
+        log.push(entry("https://a.gov/x", 200, 1)); // duplicate URL
+        log.push(entry("https://cdn.b.net/app.js", 300, 0));
+        log.record_failure();
+        assert_eq!(log.total_bytes(), 800);
+        assert_eq!(log.unique_urls(), 3);
+        assert_eq!(log.unique_hostnames().len(), 2);
+        assert_eq!(log.failures, 1);
+    }
+
+    #[test]
+    fn depth_fractions() {
+        let mut log = HarLog::new();
+        for d in [0, 0, 0, 1, 2] {
+            log.push(entry(&format!("https://a.gov/p{d}"), 1, d));
+        }
+        assert!((log.fraction_within_depth(0) - 0.6).abs() < 1e-12);
+        assert!((log.fraction_within_depth(1) - 0.8).abs() < 1e-12);
+        assert!((log.fraction_within_depth(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = HarLog::new();
+        a.push(entry("https://a.gov/", 1, 0));
+        let mut b = HarLog::new();
+        b.push(entry("https://b.gov/", 2, 0));
+        b.record_failure();
+        a.merge(b);
+        assert_eq!(a.entries.len(), 2);
+        assert_eq!(a.failures, 1);
+    }
+
+    #[test]
+    fn empty_log_depth_fraction_is_nan() {
+        assert!(HarLog::new().fraction_within_depth(3).is_nan());
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # govhost-web
+//!
+//! The simulated web and the measurement crawler:
+//!
+//! - websites as page trees with linked subresources and TLS certificates
+//!   carrying Subject Alternative Names ([`site`], [`cert`], [`page`],
+//!   [`resource`]),
+//! - a corpus of sites addressable by hostname, with geo-restricted sites
+//!   that only answer to domestic vantage points ([`corpus`]) — the reason
+//!   the paper crawls through in-country VPNs (§3.2),
+//! - HAR-style capture of everything a crawl fetched ([`har`]),
+//! - VPN vantage points ([`vantage`]),
+//! - a breadth-first crawler bounded at the paper's seven levels
+//!   ([`crawler`]), plus a crossbeam-parallel executor for whole-country
+//!   crawls.
+
+pub mod cert;
+pub mod corpus;
+pub mod crawler;
+pub mod har;
+pub mod harjson;
+pub mod page;
+pub mod resource;
+pub mod site;
+pub mod vantage;
+
+pub use cert::TlsCert;
+pub use corpus::{FetchError, WebCorpus};
+pub use crawler::{crawl_sites_parallel, CrawlOutcome, Crawler};
+pub use har::{HarEntry, HarLog};
+pub use harjson::{read_har_entries, to_har_json};
+pub use page::Page;
+pub use resource::{ContentType, Resource};
+pub use site::Website;
+pub use vantage::{VantagePoint, VpnProvider};

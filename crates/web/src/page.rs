@@ -1,0 +1,71 @@
+//! Pages: documents with subresources and navigable links.
+
+use crate::resource::Resource;
+use govhost_types::Url;
+
+/// One renderable page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page {
+    /// The page's own URL.
+    pub url: Url,
+    /// Transfer size of the HTML document itself.
+    pub html_bytes: u64,
+    /// Subresources the page loads when rendered (scripts, images, ...).
+    pub resources: Vec<Resource>,
+    /// Links a crawler can navigate to (internal and external).
+    pub links: Vec<Url>,
+}
+
+impl Page {
+    /// A page with no resources or links.
+    pub fn empty(url: Url, html_bytes: u64) -> Self {
+        Self { url, html_bytes, resources: Vec::new(), links: Vec::new() }
+    }
+
+    /// Total bytes transferred rendering this page (document +
+    /// subresources).
+    pub fn total_bytes(&self) -> u64 {
+        self.html_bytes + self.resources.iter().map(|r| r.bytes).sum::<u64>()
+    }
+
+    /// Links that stay on the same hostname.
+    pub fn internal_links(&self) -> impl Iterator<Item = &Url> {
+        self.links.iter().filter(move |l| l.hostname() == self.url.hostname())
+    }
+
+    /// Links that leave the hostname.
+    pub fn external_links(&self) -> impl Iterator<Item = &Url> {
+        self.links.iter().filter(move |l| l.hostname() != self.url.hostname())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{ContentType, Resource};
+
+    #[test]
+    fn byte_accounting() {
+        let mut p = Page::empty("https://x.gov/a".parse().unwrap(), 10_000);
+        p.resources.push(Resource::new(
+            "https://x.gov/app.js".parse().unwrap(),
+            5_000,
+            ContentType::Script,
+        ));
+        p.resources.push(Resource::new(
+            "https://cdn.y.net/logo.png".parse().unwrap(),
+            7_000,
+            ContentType::Image,
+        ));
+        assert_eq!(p.total_bytes(), 22_000);
+    }
+
+    #[test]
+    fn link_partitioning() {
+        let mut p = Page::empty("https://x.gov/".parse().unwrap(), 1);
+        p.links.push("https://x.gov/services".parse().unwrap());
+        p.links.push("https://other.org/about".parse().unwrap());
+        assert_eq!(p.internal_links().count(), 1);
+        assert_eq!(p.external_links().count(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Page subresources.
+
+use govhost_types::Url;
+use std::fmt;
+
+/// Coarse content types, enough to make byte-weight distributions
+/// realistic (images and scripts dominate page weight).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentType {
+    /// HTML documents.
+    Html,
+    /// JavaScript.
+    Script,
+    /// CSS.
+    Style,
+    /// Raster/vector images.
+    Image,
+    /// Web fonts.
+    Font,
+    /// JSON / API payloads.
+    Json,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for ContentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ContentType::Html => "text/html",
+            ContentType::Script => "application/javascript",
+            ContentType::Style => "text/css",
+            ContentType::Image => "image/*",
+            ContentType::Font => "font/*",
+            ContentType::Json => "application/json",
+            ContentType::Other => "application/octet-stream",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One subresource a page loads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resource {
+    /// The resource URL (may live on a different hostname than the page —
+    /// that is exactly what the hosting analysis measures).
+    pub url: Url,
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Content type.
+    pub content_type: ContentType,
+}
+
+impl Resource {
+    /// Convenience constructor.
+    pub fn new(url: Url, bytes: u64, content_type: ContentType) -> Self {
+        Self { url, bytes, content_type }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_content_types() {
+        assert_eq!(ContentType::Script.to_string(), "application/javascript");
+        assert_eq!(ContentType::Html.to_string(), "text/html");
+    }
+
+    #[test]
+    fn resource_carries_cross_host_urls() {
+        let r = Resource::new(
+            "https://cdn.thirdparty.net/app.js".parse().unwrap(),
+            120_000,
+            ContentType::Script,
+        );
+        assert_eq!(r.url.hostname().as_str(), "cdn.thirdparty.net");
+        assert_eq!(r.bytes, 120_000);
+    }
+}

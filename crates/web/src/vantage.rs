@@ -1,0 +1,68 @@
+//! VPN vantage points.
+//!
+//! The study accesses every government site through a commercial VPN exit
+//! inside the target country (§3.2, Table 9 lists which provider serves
+//! which country). A vantage point here is simply "a client that appears
+//! to be in country X via provider P"; the provider matters for the
+//! dataset bookkeeping (Table 9) and for modelling countries where no
+//! verifiable VPN exists (the sampling limitation of §4.1).
+
+use govhost_types::CountryCode;
+use std::fmt;
+
+/// The commercial VPN services the study used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VpnProvider {
+    /// NordVPN (49 of the 61 countries).
+    Nord,
+    /// Surfshark (10 countries).
+    Surfshark,
+    /// Hotspot Shield (2 countries).
+    HotspotShield,
+}
+
+impl fmt::Display for VpnProvider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VpnProvider::Nord => "NordVPN",
+            VpnProvider::Surfshark => "Surfshark",
+            VpnProvider::HotspotShield => "Hotspot Shield",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A measurement client exiting in a specific country.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VantagePoint {
+    /// Exit country.
+    pub country: CountryCode,
+    /// VPN service used to reach it.
+    pub provider: VpnProvider,
+}
+
+impl VantagePoint {
+    /// Convenience constructor.
+    pub fn new(country: CountryCode, provider: VpnProvider) -> Self {
+        Self { country, provider }
+    }
+}
+
+impl fmt::Display for VantagePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} via {}", self.country, self.provider)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_types::cc;
+
+    #[test]
+    fn display_forms() {
+        let vp = VantagePoint::new(cc!("PK"), VpnProvider::Surfshark);
+        assert_eq!(vp.to_string(), "PK via Surfshark");
+        assert_eq!(VpnProvider::Nord.to_string(), "NordVPN");
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the crawler over randomly-shaped site graphs: the
+//! depth bound, the page cap, and visit-once semantics must hold for any
+//! link structure, including cycles and dangling links.
+
+use govhost_types::Url;
+use govhost_web::crawler::Crawler;
+use govhost_web::page::Page;
+use govhost_web::site::Website;
+use govhost_web::corpus::WebCorpus;
+use proptest::prelude::*;
+
+/// Build a random single-host site: `n` pages with arbitrary internal
+/// links (possibly cyclic, possibly dangling).
+fn arb_corpus() -> impl Strategy<Value = (WebCorpus, Url, usize)> {
+    (2usize..25)
+        .prop_flat_map(|n| {
+            let links = proptest::collection::vec(
+                proptest::collection::vec(0usize..(n + 3), 0..5), // +3 => dangling targets
+                n,
+            );
+            (Just(n), links)
+        })
+        .prop_map(|(n, link_table)| {
+            let mut site = Website::new("https://site.gov/p0".parse().unwrap());
+            for (i, links) in link_table.iter().enumerate() {
+                let mut page =
+                    Page::empty(format!("https://site.gov/p{i}").parse().unwrap(), 100);
+                for target in links {
+                    page.links.push(format!("https://site.gov/p{target}").parse().unwrap());
+                }
+                site.insert_page(page);
+            }
+            let mut corpus = WebCorpus::new();
+            corpus.insert(site);
+            (corpus, "https://site.gov/p0".parse().unwrap(), n)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn depth_bound_holds((corpus, landing, _n) in arb_corpus(), depth in 0u32..8) {
+        let crawler = Crawler::with_depth(depth);
+        let out = crawler.crawl(&corpus, &landing, None);
+        prop_assert!(out.log.entries.iter().all(|e| e.depth <= depth));
+    }
+
+    #[test]
+    fn pages_visited_at_most_once((corpus, landing, n) in arb_corpus()) {
+        let out = Crawler::default().crawl(&corpus, &landing, None);
+        // Every entry is a page document here (no subresources), so
+        // entries == pages visited, and no URL repeats.
+        prop_assert!(out.pages_visited <= n);
+        let mut urls: Vec<_> = out.log.entries.iter().map(|e| e.url.clone()).collect();
+        let before = urls.len();
+        urls.sort();
+        urls.dedup();
+        prop_assert_eq!(urls.len(), before, "no page fetched twice");
+    }
+
+    #[test]
+    fn page_cap_is_respected((corpus, landing, _n) in arb_corpus(), cap in 1usize..10) {
+        let crawler = Crawler { max_depth: 7, max_pages: cap };
+        let out = crawler.crawl(&corpus, &landing, None);
+        prop_assert!(out.pages_visited <= cap);
+    }
+
+    #[test]
+    fn dangling_links_become_failures_not_crashes((corpus, landing, n) in arb_corpus()) {
+        let out = Crawler::default().crawl(&corpus, &landing, None);
+        // Dangling targets (>= n) can only fail; the sum of successes and
+        // failures is bounded by the reachable set.
+        prop_assert!(out.pages_visited + out.log.failures as usize <= n + 3 * n * 5);
+    }
+
+    #[test]
+    fn deeper_crawls_never_see_fewer_pages((corpus, landing, _n) in arb_corpus()) {
+        let mut last = 0;
+        for depth in [0u32, 1, 2, 4, 7] {
+            let out = Crawler::with_depth(depth).crawl(&corpus, &landing, None);
+            prop_assert!(out.pages_visited >= last);
+            last = out.pages_visited;
+        }
+    }
+}

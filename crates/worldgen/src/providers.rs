@@ -1,0 +1,123 @@
+//! The 28 global providers of Fig. 10.
+//!
+//! ASNs and names follow the figure's x-axis; `target_countries` is each
+//! provider's footprint among the 61 studied governments, with the
+//! headline values from the paper (Cloudflare 49, Amazon 31, Microsoft
+//! 28) exact and the long tail decaying as in the histogram.
+
+use govhost_types::{Asn, CountryCode};
+
+/// One global provider.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalProvider {
+    /// Primary AS number (as labelled in Fig. 10).
+    pub asn: u32,
+    /// Display name.
+    pub name: &'static str,
+    /// Organization legal name (WHOIS `org-name`).
+    pub org: &'static str,
+    /// Country of registration.
+    pub registered_in: &'static str,
+    /// How many of the 61 studied governments use this provider.
+    pub target_countries: usize,
+    /// Whether the provider fronts content on anycast addresses
+    /// (CDN/security providers) rather than regional unicast (clouds and
+    /// hosters).
+    pub anycast: bool,
+}
+
+impl GlobalProvider {
+    /// Typed ASN.
+    pub fn asn(&self) -> Asn {
+        Asn(self.asn)
+    }
+
+    /// Typed registration country.
+    pub fn cc(&self) -> CountryCode {
+        self.registered_in.parse().expect("static codes are valid")
+    }
+}
+
+/// All 28 global providers, ordered by footprint (Fig. 10's x-axis).
+pub const GLOBAL_PROVIDERS: &[GlobalProvider] = &[
+    GlobalProvider { asn: 13335, name: "Cloudflare", org: "Cloudflare, Inc.", registered_in: "US", target_countries: 49, anycast: true },
+    GlobalProvider { asn: 16509, name: "Amazon", org: "Amazon.com, Inc.", registered_in: "US", target_countries: 31, anycast: false },
+    GlobalProvider { asn: 8075, name: "Microsoft", org: "Microsoft Corporation", registered_in: "US", target_countries: 28, anycast: false },
+    GlobalProvider { asn: 24940, name: "Hetzner", org: "Hetzner Online GmbH", registered_in: "DE", target_countries: 21, anycast: false },
+    GlobalProvider { asn: 396982, name: "Google Cloud", org: "Google LLC", registered_in: "US", target_countries: 19, anycast: false },
+    GlobalProvider { asn: 16276, name: "OVH", org: "OVH SAS", registered_in: "FR", target_countries: 17, anycast: false },
+    GlobalProvider { asn: 19551, name: "Incapsula", org: "Incapsula Inc", registered_in: "US", target_countries: 15, anycast: true },
+    GlobalProvider { asn: 14061, name: "DigitalOcean", org: "DigitalOcean, LLC", registered_in: "US", target_countries: 13, anycast: false },
+    GlobalProvider { asn: 15169, name: "Google", org: "Google LLC", registered_in: "US", target_countries: 12, anycast: false },
+    GlobalProvider { asn: 63949, name: "Akamai Linode", org: "Akamai Technologies (Linode)", registered_in: "US", target_countries: 10, anycast: false },
+    GlobalProvider { asn: 54113, name: "Fastly", org: "Fastly, Inc.", registered_in: "US", target_countries: 9, anycast: true },
+    GlobalProvider { asn: 209242, name: "Cloudflare London", org: "Cloudflare London, LLC", registered_in: "GB", target_countries: 8, anycast: true },
+    GlobalProvider { asn: 46606, name: "Unified Layer", org: "Unified Layer", registered_in: "US", target_countries: 7, anycast: false },
+    GlobalProvider { asn: 30148, name: "Sucuri", org: "Sucuri", registered_in: "US", target_countries: 6, anycast: true },
+    GlobalProvider { asn: 2635, name: "Automattic", org: "Automattic, Inc", registered_in: "US", target_countries: 6, anycast: false },
+    GlobalProvider { asn: 20940, name: "Akamai", org: "Akamai International B.V.", registered_in: "NL", target_countries: 5, anycast: true },
+    GlobalProvider { asn: 36351, name: "SoftLayer", org: "SoftLayer Technologies (IBM)", registered_in: "US", target_countries: 5, anycast: false },
+    GlobalProvider { asn: 53831, name: "Squarespace", org: "Squarespace, Inc.", registered_in: "US", target_countries: 4, anycast: false },
+    GlobalProvider { asn: 14618, name: "Amazon East", org: "Amazon.com, Inc.", registered_in: "US", target_countries: 4, anycast: false },
+    GlobalProvider { asn: 32475, name: "SingleHop", org: "SingleHop LLC", registered_in: "US", target_countries: 3, anycast: false },
+    GlobalProvider { asn: 20473, name: "The Constant Company", org: "The Constant Company, LLC (Vultr)", registered_in: "US", target_countries: 3, anycast: false },
+    GlobalProvider { asn: 54641, name: "InMotion", org: "InMotion Hosting, Inc.", registered_in: "US", target_countries: 3, anycast: false },
+    GlobalProvider { asn: 19871, name: "Network Solutions", org: "Network Solutions, LLC", registered_in: "US", target_countries: 2, anycast: false },
+    GlobalProvider { asn: 8560, name: "IONOS", org: "IONOS SE", registered_in: "DE", target_countries: 2, anycast: false },
+    GlobalProvider { asn: 26496, name: "GoDaddy", org: "GoDaddy.com, LLC", registered_in: "US", target_countries: 2, anycast: false },
+    GlobalProvider { asn: 398101, name: "GoDaddy DV", org: "GoDaddy.com, LLC", registered_in: "US", target_countries: 2, anycast: false },
+    GlobalProvider { asn: 30447, name: "InterNap", org: "Internap Holding LLC", registered_in: "US", target_countries: 1, anycast: false },
+    GlobalProvider { asn: 3223, name: "Voxility", org: "Voxility LLP", registered_in: "GB", target_countries: 1, anycast: false },
+];
+
+/// Look up a provider by ASN.
+pub fn provider_by_asn(asn: u32) -> Option<&'static GlobalProvider> {
+    GLOBAL_PROVIDERS.iter().find(|p| p.asn == asn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_eight_providers() {
+        assert_eq!(GLOBAL_PROVIDERS.len(), 28);
+    }
+
+    #[test]
+    fn headline_footprints_match_paper() {
+        assert_eq!(provider_by_asn(13335).unwrap().target_countries, 49, "Cloudflare");
+        assert_eq!(provider_by_asn(16509).unwrap().target_countries, 31, "Amazon");
+        assert_eq!(provider_by_asn(8075).unwrap().target_countries, 28, "Microsoft");
+    }
+
+    #[test]
+    fn ordering_is_nonincreasing() {
+        for w in GLOBAL_PROVIDERS.windows(2) {
+            assert!(w[0].target_countries >= w[1].target_countries);
+        }
+    }
+
+    #[test]
+    fn asns_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for p in GLOBAL_PROVIDERS {
+            assert!(seen.insert(p.asn), "duplicate ASN {}", p.asn);
+        }
+    }
+
+    #[test]
+    fn footprints_bounded_by_sample_size() {
+        for p in GLOBAL_PROVIDERS {
+            assert!(p.target_countries >= 1 && p.target_countries <= 61);
+        }
+    }
+
+    #[test]
+    fn registration_countries_parse() {
+        for p in GLOBAL_PROVIDERS {
+            let _ = p.cc();
+            let _ = p.asn();
+        }
+    }
+}

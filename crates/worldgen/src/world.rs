@@ -1,0 +1,79 @@
+//! The assembled world: every substrate surface the measurement pipeline
+//! talks to, in one struct.
+
+use crate::countries::{CountryRow, COUNTRIES};
+use crate::params::GenParams;
+use crate::truth::GroundTruth;
+use govhost_dns::Resolver;
+use govhost_geoloc::{CountryThresholds, GeoDb, Hoiho, IpMapCache, MAnycastSnapshot};
+use govhost_netsim::asdb::AsRegistry;
+use govhost_netsim::latency::LatencyModel;
+use govhost_netsim::peeringdb::PeeringDb;
+use govhost_netsim::probes::ProbeFleet;
+use govhost_netsim::search::SearchIndex;
+use govhost_types::{CountryCode, Url};
+use govhost_web::corpus::WebCorpus;
+use govhost_web::vantage::{VantagePoint, VpnProvider};
+use std::collections::HashMap;
+
+/// A fully-generated simulated Internet.
+///
+/// Build one with [`World::generate`]; the fields are the observable
+/// surfaces of §3's methodology (plus [`World::truth`], which is reserved
+/// for tests and calibration).
+#[derive(Debug)]
+pub struct World {
+    /// The parameters that built this world.
+    pub params: GenParams,
+    /// AS registry, prefix allocations and servers.
+    pub registry: AsRegistry,
+    /// PeeringDB snapshot.
+    pub peeringdb: PeeringDb,
+    /// The web-search index (last-resort classification evidence).
+    pub search: SearchIndex,
+    /// DNS: every authoritative zone, including the reverse zone.
+    pub resolver: Resolver,
+    /// All websites.
+    pub corpus: WebCorpus,
+    /// RIPE-Atlas-style probes.
+    pub fleet: ProbeFleet,
+    /// The latency model shared by all active measurements.
+    pub latency: LatencyModel,
+    /// IPInfo-like geolocation database (with injected errors).
+    pub geodb: GeoDb,
+    /// MAnycast2 snapshot.
+    pub manycast: MAnycastSnapshot,
+    /// Per-country latency thresholds.
+    pub thresholds: CountryThresholds,
+    /// HOIHO hint dictionary.
+    pub hoiho: Hoiho,
+    /// IPmap cache.
+    pub ipmap: IpMapCache,
+    /// §3.1 output: the landing URLs per studied country.
+    pub landing_pages: HashMap<CountryCode, Vec<Url>>,
+    /// CrUX-style topsite lists for the 14 comparison countries.
+    pub topsites: HashMap<CountryCode, Vec<Url>>,
+    /// Ground truth (tests only).
+    pub truth: GroundTruth,
+}
+
+impl World {
+    /// Static rows for the 61 studied countries.
+    pub fn studied_countries(&self) -> &'static [CountryRow] {
+        COUNTRIES
+    }
+
+    /// The VPN vantage point used for a country (Table 9).
+    pub fn vantage(&self, country: CountryCode) -> VantagePoint {
+        let provider = crate::countries::country(country)
+            .map(|row| row.vpn)
+            .unwrap_or(VpnProvider::Nord);
+        VantagePoint::new(country, provider)
+    }
+
+    /// Landing URLs for one country (empty for countries without data,
+    /// e.g. KR).
+    pub fn landing(&self, country: CountryCode) -> &[Url] {
+        self.landing_pages.get(&country).map_or(&[], Vec::as_slice)
+    }
+}

@@ -1,0 +1,100 @@
+//! The DNS substrate as a standalone library: build zones, resolve
+//! through CNAME chains with geo-routed answers, and inspect the actual
+//! wire bytes (with name compression) that flow between resolver and
+//! authoritative server.
+//!
+//! ```text
+//! cargo run --example dns_toolkit
+//! ```
+
+use govhost::dns::{
+    reverse, AuthoritativeServer, DnsName, Message, RData, RecordType, Resolver, Zone,
+};
+use govhost::types::CountryCode;
+use std::collections::HashMap;
+
+fn n(s: &str) -> DnsName {
+    s.parse().expect("valid name")
+}
+
+fn main() {
+    // A government zone whose www is CDN-fronted.
+    let mut gov = Zone::new(n("tramites.gob.mx"));
+    gov.add(n("tramites.gob.mx"), RData::Soa {
+        mname: n("ns1.tramites.gob.mx"),
+        rname: n("hostmaster.tramites.gob.mx"),
+        serial: 20241104,
+    });
+    gov.add(n("www.tramites.gob.mx"), RData::Cname(n("www-tramites.edge.cdnsim.net")));
+    gov.add(n("static.tramites.gob.mx"), RData::A("11.7.0.10".parse().unwrap()));
+
+    // The CDN zone answers differently depending on where you ask from.
+    let mut cdn = Zone::new(n("cdnsim.net"));
+    let mx: CountryCode = "MX".parse().unwrap();
+    let mut by_country = HashMap::new();
+    by_country.insert(mx, vec!["11.9.0.1".parse().unwrap()]);
+    cdn.add_geo_a(
+        n("www-tramites.edge.cdnsim.net"),
+        vec!["11.9.9.9".parse().unwrap()], // default: the US PoP
+        by_country,
+    );
+
+    // Reverse zone for the static server.
+    let rev = reverse::build_reverse_zone([
+        ("11.7.0.10".parse().unwrap(), "srv1.mexicocity.govnet.net"),
+    ]);
+
+    let mut resolver = Resolver::new();
+    resolver.add_server(AuthoritativeServer::new(gov));
+    resolver.add_server(AuthoritativeServer::new(cdn));
+    resolver.add_server(AuthoritativeServer::new(rev));
+
+    println!("=== geo-aware resolution through a CNAME chain ===");
+    for vantage in [Some(mx), Some("DE".parse().unwrap()), None] {
+        let ans = resolver.resolve(&n("www.tramites.gob.mx"), vantage).expect("resolves");
+        println!(
+            "  from {:?}: chain {} -> addresses {:?}",
+            vantage.map(|c: CountryCode| c.to_string()),
+            ans.chain.iter().map(ToString::to_string).collect::<Vec<_>>().join(" -> "),
+            ans.addresses
+        );
+    }
+
+    println!("\n=== PTR lookup ===");
+    let ptr = resolver.resolve_ptr("11.7.0.10".parse().unwrap()).expect("has PTR");
+    println!("  11.7.0.10 -> {ptr}");
+
+    println!("\n=== wire format ===");
+    let query = Message::query(0xBEEF, n("www.tramites.gob.mx"), RecordType::A);
+    let bytes = query.encode();
+    println!("  query: {} bytes on the wire", bytes.len());
+    print!("  hex  :");
+    for (i, b) in bytes.iter().enumerate() {
+        if i % 16 == 0 {
+            print!("\n    ");
+        }
+        print!("{b:02x} ");
+    }
+    println!();
+    let decoded = Message::decode(&bytes).expect("round-trips");
+    assert_eq!(decoded, query);
+    println!("  decodes back to the identical message ✓");
+
+    // Compression at work: a response with many names under one suffix.
+    let mut response = Message::response_to(&query, govhost::dns::Rcode::NoError);
+    for i in 0..5 {
+        response.answers.push(govhost::dns::Record::new(
+            n(&format!("edge{i}.tramites.gob.mx")),
+            60,
+            RData::A(format!("11.9.0.{i}").parse().unwrap()),
+        ));
+    }
+    let compressed = response.encode().len();
+    let naive: usize = 12
+        + query.questions[0].name.wire_len() + 4
+        + response.answers.iter().map(|r| r.name.wire_len() + 14).sum::<usize>();
+    println!(
+        "\n=== name compression ===\n  response: {compressed} bytes vs {naive} uncompressed ({}% saved)",
+        (naive - compressed) * 100 / naive
+    );
+}

@@ -1,0 +1,96 @@
+//! Digital-sovereignty audit of a single country: the kind of downstream
+//! analysis the paper's dataset enables. Where is this government's web
+//! estate hosted, who controls it, and how concentrated is it?
+//!
+//! ```text
+//! cargo run --release --example sovereignty_audit [CC] [scale]
+//! ```
+
+use govhost::core::diversification::DiversificationAnalysis;
+use govhost::prelude::*;
+use govhost::types::ProviderCategory;
+
+fn main() {
+    let code: CountryCode = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "AR".to_string())
+        .parse()
+        .expect("first argument must be a two-letter country code");
+    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+
+    let row = govhost::worldgen::countries::country(code)
+        .unwrap_or_else(|| panic!("{code} is not in the 61-country sample"));
+    println!("=== digital sovereignty audit: {} ({code}) ===", row.name);
+
+    let world = World::generate(&GenParams { scale, ..GenParams::default() });
+    let dataset = GovDataset::build(&world, &BuildOptions::default());
+    let hosting = HostingAnalysis::compute(&dataset);
+    let location = LocationAnalysis::compute(&dataset);
+    let crossborder = CrossBorderAnalysis::compute(&dataset);
+    let diversification = DiversificationAnalysis::compute(&dataset, &hosting);
+
+    let Some(shares) = hosting.per_country.get(&code) else {
+        println!("no data collected for {code} (the paper's Table 8 has an empty row for KR)");
+        return;
+    };
+
+    println!("\nhosting mix (URLs / bytes):");
+    for category in ProviderCategory::ALL {
+        println!(
+            "  {:<12} {:>5.1}% / {:>5.1}%",
+            category.label(),
+            shares.urls[category.index()] * 100.0,
+            shares.bytes[category.index()] * 100.0
+        );
+    }
+    println!("  dominant source by bytes: {}", shares.dominant_by_bytes());
+
+    if let Some(offshore) = location.offshore_percent(code) {
+        println!("\ncross-border exposure: {offshore:.1}% of URLs served from abroad");
+        for (dest, n) in crossborder.location.outflows(code).into_iter().take(5) {
+            println!(
+                "  -> {dest}: {n} URLs ({:.1}% of the government's located URLs)",
+                crossborder.percent_served_from(code, dest)
+            );
+        }
+    }
+
+    if govhost::worldgen::countries::is_eu(code) {
+        let eu_ok = crossborder
+            .location
+            .outflows(code)
+            .iter()
+            .filter(|(d, _)| !govhost::worldgen::countries::is_eu(*d))
+            .map(|(_, n)| *n)
+            .sum::<u64>();
+        println!("  EU member: {eu_ok} URLs leave the EU (GDPR exposure)");
+    }
+
+    if let Some(conc) = diversification.per_country.get(&code) {
+        println!("\nconcentration:");
+        println!("  HHI across networks: {:.2} (URLs), {:.2} (bytes)", conc.hhi_urls, conc.hhi_bytes);
+        println!(
+            "  largest single network carries {:.0}% of bytes{}",
+            conc.top_network_byte_share * 100.0,
+            if conc.top_network_byte_share > 0.5 {
+                " — a single point of failure"
+            } else {
+                ""
+            }
+        );
+    }
+
+    // Which organizations actually serve this government?
+    let mut orgs: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for (_, host) in dataset.country_urls(code) {
+        if let Some(org) = &host.org {
+            *orgs.entry(org.as_str()).or_default() += 1;
+        }
+    }
+    let mut orgs: Vec<(&str, u64)> = orgs.into_iter().collect();
+    orgs.sort_by_key(|o| std::cmp::Reverse(o.1));
+    println!("\ntop serving organizations:");
+    for (org, urls) in orgs.into_iter().take(6) {
+        println!("  {urls:>6} URLs  {org}");
+    }
+}

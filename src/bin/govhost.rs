@@ -1,0 +1,237 @@
+//! The `govhost` command-line tool: generate worlds, build and export
+//! datasets, re-analyze exported data, dump crawl/zone artifacts, and run
+//! the longitudinal extension.
+//!
+//! ```text
+//! govhost dataset --scale 0.1 --out ./data        # build + export CSVs
+//! govhost analyze --dir ./data                    # analyses from CSVs
+//! govhost trends --scale 0.05 --steps 0.0,0.15,0.3
+//! govhost har --country AR --out ./data           # HAR of one country crawl
+//! govhost zone --host <hostname>                  # dump a zone file
+//! ```
+
+use govhost::core::export::{export_csv, import_csv, DatasetCsv};
+use govhost::core::trends::TrendAnalysis;
+use govhost::prelude::*;
+use govhost::web::crawler::{crawl_sites_parallel, Crawler};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        std::process::exit(2);
+    };
+    let flags = Flags::parse(&args[1..]);
+    match command.as_str() {
+        "dataset" => cmd_dataset(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "trends" => cmd_trends(&flags),
+        "har" => cmd_har(&flags),
+        "zone" => cmd_zone(&flags),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("govhost: unknown command {other:?}");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: govhost <command> [flags]\n\
+         commands:\n\
+           dataset  --scale S --seed N --out DIR    build the dataset and export CSVs\n\
+           analyze  --dir DIR                       run the analyses over exported CSVs\n\
+           trends   --scale S --steps a,b,c         longitudinal consolidation run\n\
+           har      --country CC --out DIR          export one country's crawl as HAR JSON\n\
+           zone     --host HOSTNAME                 print a hostname's zone as a master file"
+    );
+}
+
+struct Flags {
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+    dir: PathBuf,
+    country: String,
+    host: String,
+    steps: Vec<f64>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut f = Flags {
+            scale: 0.05,
+            seed: 42,
+            out: PathBuf::from("."),
+            dir: PathBuf::from("."),
+            country: "AR".to_string(),
+            host: String::new(),
+            steps: vec![0.0, 0.15, 0.3],
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            match args[i].as_str() {
+                "--scale" => f.scale = value.parse().unwrap_or_else(|_| die("bad --scale")),
+                "--seed" => f.seed = value.parse().unwrap_or_else(|_| die("bad --seed")),
+                "--out" => f.out = PathBuf::from(&value),
+                "--dir" => f.dir = PathBuf::from(&value),
+                "--country" => f.country = value.clone(),
+                "--host" => f.host = value.clone(),
+                "--steps" => {
+                    f.steps = value
+                        .split(',')
+                        .map(|s| s.parse().unwrap_or_else(|_| die("bad --steps")))
+                        .collect()
+                }
+                other => die(&format!("unknown flag {other}")),
+            }
+            i += 2;
+        }
+        f
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("govhost: {msg}");
+    std::process::exit(2);
+}
+
+fn params(flags: &Flags) -> GenParams {
+    GenParams { scale: flags.scale, seed: flags.seed, ..GenParams::default() }
+}
+
+fn cmd_dataset(flags: &Flags) {
+    eprintln!("generating world (seed {}, scale {})...", flags.seed, flags.scale);
+    let world = World::generate(&params(flags));
+    let dataset = GovDataset::build(&world, &BuildOptions::default());
+    let summary = dataset.summary();
+    eprintln!(
+        "built: {} URLs, {} hostnames, {} ASes ({} government)",
+        summary.unique_urls, summary.unique_hostnames, summary.ases, summary.govt_ases
+    );
+    let csv = export_csv(&dataset);
+    std::fs::create_dir_all(&flags.out).unwrap_or_else(|e| die(&e.to_string()));
+    let hosts_path = flags.out.join("hosts.csv");
+    let urls_path = flags.out.join("urls.csv");
+    std::fs::write(&hosts_path, csv.hosts).unwrap_or_else(|e| die(&e.to_string()));
+    std::fs::write(&urls_path, csv.urls).unwrap_or_else(|e| die(&e.to_string()));
+    println!("wrote {} and {}", hosts_path.display(), urls_path.display());
+}
+
+fn cmd_analyze(flags: &Flags) {
+    let hosts = std::fs::read_to_string(flags.dir.join("hosts.csv"))
+        .unwrap_or_else(|e| die(&format!("hosts.csv: {e}")));
+    let urls = std::fs::read_to_string(flags.dir.join("urls.csv"))
+        .unwrap_or_else(|e| die(&format!("urls.csv: {e}")));
+    let dataset =
+        import_csv(&DatasetCsv { hosts, urls }).unwrap_or_else(|e| die(&e.to_string()));
+    let hosting = HostingAnalysis::compute(&dataset);
+    let mean = hosting.global_country_mean();
+    let location = LocationAnalysis::compute(&dataset);
+    let providers = ProviderAnalysis::compute(&dataset);
+    println!("dataset: {} URLs / {} hostnames", dataset.urls.len(), dataset.hosts.len());
+    println!(
+        "third-party share: {:.1}% of URLs, {:.1}% of bytes",
+        mean.third_party_urls() * 100.0,
+        mean.third_party_bytes() * 100.0
+    );
+    println!(
+        "domestic: {:.1}% served, {:.1}% registered",
+        location.geolocation.domestic_fraction() * 100.0,
+        location.registration.domestic_fraction() * 100.0
+    );
+    if let Some(leader) = providers.leader() {
+        println!("leading provider: {} ({} governments)", leader.org, leader.countries.len());
+    }
+}
+
+fn cmd_trends(flags: &Flags) {
+    let steps: Vec<(String, f64)> = flags
+        .steps
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (format!("snapshot-{i}"), *d))
+        .collect();
+    eprintln!("running {} snapshots at scale {}...", steps.len(), flags.scale);
+    let trend = TrendAnalysis::run(&params(flags), &steps, &BuildOptions::default());
+    println!("label        drift   3P URLs   3P bytes  domestic  leader-countries  state-led");
+    for s in &trend.snapshots {
+        println!(
+            "{:<12} {:<7.2} {:<9.3} {:<9.3} {:<9.3} {:<17} {}",
+            s.label,
+            s.drift,
+            s.third_party_urls,
+            s.third_party_bytes,
+            s.domestic_serving,
+            s.leader_countries,
+            s.state_led_countries
+        );
+    }
+    println!(
+        "consolidation Δ(3P URLs) = {:+.3}, monotone: {}",
+        trend.third_party_delta(),
+        trend.consolidation_is_monotone()
+    );
+}
+
+fn cmd_har(flags: &Flags) {
+    let code: CountryCode =
+        flags.country.parse().unwrap_or_else(|_| die("bad --country code"));
+    let world = World::generate(&params(flags));
+    let landing = world.landing(code);
+    if landing.is_empty() {
+        die(&format!("no landing pages for {code}"));
+    }
+    let vantage = world.vantage(code);
+    let jobs: Vec<_> =
+        landing.iter().map(|u| (u.clone(), Some(vantage.country))).collect();
+    let outcomes = crawl_sites_parallel(&world.corpus, &Crawler::default(), &jobs, 4);
+    let mut log = govhost::web::har::HarLog::new();
+    for outcome in outcomes {
+        log.merge(outcome.log);
+    }
+    let json = govhost::web::to_har_json(&log);
+    std::fs::create_dir_all(&flags.out).unwrap_or_else(|e| die(&e.to_string()));
+    let path = flags.out.join(format!("{}.har.json", code.as_str().to_lowercase()));
+    std::fs::write(&path, &json).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "wrote {} ({} entries, {} bytes captured)",
+        path.display(),
+        log.entries.len(),
+        log.total_bytes()
+    );
+}
+
+fn cmd_zone(flags: &Flags) {
+    if flags.host.is_empty() {
+        die("zone needs --host");
+    }
+    let host: Hostname = flags.host.parse().unwrap_or_else(|_| die("bad --host"));
+    let world = World::generate(&params(flags));
+    // Reconstruct the zone content by resolving: print what the
+    // authoritative data looks like for this hostname.
+    let vantage = world
+        .truth
+        .host(&host)
+        .map(|t| t.country)
+        .unwrap_or_else(|| "US".parse().expect("static"));
+    match world.resolver.resolve_host(&host, Some(vantage)) {
+        Ok(answer) => {
+            let mut zone = govhost::dns::Zone::new(govhost::dns::DnsName::from(&host));
+            let apex = govhost::dns::DnsName::from(&host);
+            if let Some(target) = answer.first_cname() {
+                zone.add(apex, govhost::dns::RData::Cname(target.clone()));
+            } else {
+                for ip in &answer.addresses {
+                    zone.add(apex.clone(), govhost::dns::RData::A(*ip));
+                }
+            }
+            print!("{}", govhost::dns::to_zone_file(&zone, 300));
+        }
+        Err(e) => die(&format!("{host} does not resolve: {e}")),
+    }
+}

@@ -1,0 +1,48 @@
+//! # govhost
+//!
+//! A full reproduction of *"Of Choices and Control — A Comparative Analysis
+//! of Government Hosting"* (IMC 2024) as a Rust library.
+//!
+//! The paper measures how 61 governments host their public-facing web
+//! services: on-premises (government or state-owned networks) versus
+//! third-party providers (local / regional / global), where the serving
+//! organizations are registered, where the servers physically sit, and how
+//! concentrated the provider market is.
+//!
+//! Because the original study runs against the live Internet (VPN vantage
+//! points, live DNS, WHOIS, RIPE Atlas probes), this crate ships a
+//! deterministic simulated Internet substrate calibrated to the paper's
+//! published statistics, plus the complete measurement pipeline run against
+//! that substrate. See `DESIGN.md` for the substitution table and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use govhost::prelude::*;
+//!
+//! // Generate a small deterministic world and run the full pipeline.
+//! let params = GenParams::tiny();
+//! let world = World::generate(&params);
+//! let dataset = GovDataset::build(&world, &BuildOptions::default());
+//! let hosting = HostingAnalysis::compute(&dataset);
+//! println!("3P URL share: {:.2}", hosting.global.third_party_urls());
+//! assert!(hosting.global.third_party_urls() > 0.0);
+//! ```
+pub use govhost_core as core;
+pub use govhost_dns as dns;
+pub use govhost_geoloc as geoloc;
+pub use govhost_netsim as netsim;
+pub use govhost_report as report;
+pub use govhost_stats as stats;
+pub use govhost_types as types;
+pub use govhost_web as web;
+pub use govhost_worldgen as worldgen;
+
+/// Convenience re-exports covering the common end-to-end flow: generate a
+/// world, build the dataset, run the analyses.
+pub mod prelude {
+    pub use govhost_core::prelude::*;
+    pub use govhost_types::prelude::*;
+    pub use govhost_worldgen::prelude::*;
+}

@@ -1,0 +1,209 @@
+//! End-to-end reproduction checks: run the complete pipeline and assert
+//! the paper's headline findings hold in *shape* — orderings, majorities,
+//! and approximate magnitudes — at a moderate world scale.
+
+use govhost::prelude::*;
+use govhost::types::{ProviderCategory, Region};
+
+fn build() -> (World, GovDataset) {
+    let params = GenParams { scale: 0.15, ..GenParams::default() };
+    let world = World::generate(&params);
+    let dataset = GovDataset::build(&world, &BuildOptions::default());
+    (world, dataset)
+}
+
+#[test]
+fn headline_findings_reproduce_in_shape() {
+    let (_world, dataset) = build();
+    let hosting = HostingAnalysis::compute(&dataset);
+    let location = LocationAnalysis::compute(&dataset);
+
+    // "Governments predominantly rely on third-party infrastructure,
+    // using them to deliver 62% of URLs and 53% of bytes."
+    let shares = hosting.global_country_mean();
+    let tp_urls = shares.third_party_urls();
+    let tp_bytes = shares.third_party_bytes();
+    assert!((0.50..=0.75).contains(&tp_urls), "3P URL share {tp_urls} (paper 0.62)");
+    assert!((0.40..=0.68).contains(&tp_bytes), "3P byte share {tp_bytes} (paper 0.53)");
+    assert!(tp_urls > tp_bytes, "Govt&SOE is heavier in bytes than URLs (Fig. 2)");
+
+    // "87% of government URLs are served from domestic servers" /
+    // "77% from domestic organizations".
+    let dom_geo = location.geolocation.domestic_fraction();
+    let dom_whois = location.registration.domestic_fraction();
+    assert!((0.75..=0.95).contains(&dom_geo), "domestic serving {dom_geo} (paper 0.87)");
+    assert!((0.60..=0.88).contains(&dom_whois), "domestic registration {dom_whois} (paper 0.77)");
+    assert!(
+        dom_geo > dom_whois,
+        "serving is more domestic than registration ({dom_geo} vs {dom_whois}) — foreign-registered providers with domestic PoPs"
+    );
+
+    // Regional orderings of Fig. 4b: SA most state-hosted by bytes, SSA least.
+    let by_region = |r: Region| hosting.per_region[&r].bytes[ProviderCategory::GovtSoe.index()];
+    let sa = by_region(Region::SouthAsia);
+    let ssa = by_region(Region::SubSaharanAfrica);
+    let na = by_region(Region::NorthAmerica);
+    assert!(sa > 0.7, "South Asia is overwhelmingly Govt&SOE by bytes, got {sa} (paper 0.95)");
+    assert!(ssa < 0.15, "Sub-Saharan Africa barely self-hosts, got {ssa} (paper ~0.00)");
+    assert!(
+        hosting.per_region[&Region::NorthAmerica].bytes[ProviderCategory::ThirdPartyGlobal.index()] > 0.4,
+        "North America leans on global providers (paper 0.68), got {na}"
+    );
+
+    // Regional ordering of Fig. 8b: SSA serves the least domestically,
+    // NA the most.
+    let loc_dom = |r: Region| location.geolocation_by_region[&r].domestic_fraction();
+    assert!(
+        loc_dom(Region::SubSaharanAfrica) < loc_dom(Region::MiddleEastNorthAfrica),
+        "SSA below MENA"
+    );
+    assert!(loc_dom(Region::NorthAmerica) > 0.93, "NA ~0.98 domestic");
+    assert!(
+        loc_dom(Region::SubSaharanAfrica) < 0.65,
+        "SSA relies on international servers for about half its URLs (paper 0.52)"
+    );
+}
+
+#[test]
+fn provider_concentration_reproduces() {
+    let (_world, dataset) = build();
+    let providers = ProviderAnalysis::compute(&dataset);
+    let hosting = HostingAnalysis::compute(&dataset);
+    let diversification =
+        govhost::core::diversification::DiversificationAnalysis::compute(&dataset, &hosting);
+
+    // A single provider clearly leads the adoption histogram (Fig. 10).
+    let histogram = providers.histogram();
+    assert!(histogram.len() >= 8, "many global providers observed");
+    assert!(
+        histogram[0].1 >= 12,
+        "the leader serves many governments, got {}",
+        histogram[0].1
+    );
+    assert!(histogram[0].1 > histogram[histogram.len() - 1].1 * 3, "long-tailed histogram");
+
+    // Somebody's byte dependence peaks high (Amazon 97% in the paper).
+    let max_peak = providers
+        .providers
+        .iter()
+        .filter_map(|p| p.peak_share().map(|(_, s)| s))
+        .fold(0.0f64, f64::max);
+    assert!(max_peak > 0.6, "at least one government leans hard on one provider: {max_peak}");
+
+    // §7.2: state-hosted countries are much more concentrated than
+    // global-provider countries.
+    let govt = diversification.single_network_majority_rate(ProviderCategory::GovtSoe);
+    let global = diversification.single_network_majority_rate(ProviderCategory::ThirdPartyGlobal);
+    assert!(
+        govt > global + 0.15,
+        "Govt&SOE countries more single-network-reliant: {govt} vs {global} (paper 63% vs 32%)"
+    );
+}
+
+#[test]
+fn cross_border_cases_reproduce() {
+    let (_world, dataset) = build();
+    let crossborder = CrossBorderAnalysis::compute(&dataset);
+
+    let check = |src: &str, dst: &str, paper: f64, tolerance: f64| {
+        let got =
+            crossborder.percent_served_from(src.parse().unwrap(), dst.parse().unwrap());
+        assert!(
+            (got - paper).abs() <= tolerance,
+            "{src}->{dst}: measured {got:.1}%, paper {paper}% (±{tolerance})"
+        );
+    };
+    check("MX", "US", 79.2, 15.0);
+    check("CN", "JP", 26.4, 12.0);
+    check("NZ", "AU", 40.0, 18.0);
+    check("FR", "NC", 18.0, 16.0);
+    check("BR", "US", 1.8, 10.0);
+
+    // GDPR: EU URLs stay in the EU.
+    let gdpr = crossborder.gdpr_compliance();
+    assert!(gdpr > 0.93, "GDPR compliance {gdpr} (paper 0.983)");
+
+    // Most cross-border serving lands in North America + Western Europe.
+    let na_weu = crossborder.na_weu_share();
+    assert!(na_weu > 0.45, "NA+WEu share {na_weu} (paper 0.57)");
+
+    // Table 5 shape: ECA and EAP stay in-region; MENA and SA leave.
+    let in_region = crossborder.location.in_region_percent();
+    let eca = in_region[&Region::EuropeCentralAsia];
+    // Hostname granularity at small scale lets a single foreign host of a
+    // high-volume country (Hungary, Belgium) move this several points.
+    assert!(eca > 72.0, "ECA stays in-region: {eca}% (paper 94.87%)");
+    let mena = in_region.get(&Region::MiddleEastNorthAfrica).copied().unwrap_or(0.0);
+    assert!(mena < 15.0, "MENA leaves the region: {mena}% (paper 0%)");
+}
+
+#[test]
+fn clustering_recovers_three_hosting_archetypes() {
+    let (_world, dataset) = build();
+    let hosting = HostingAnalysis::compute(&dataset);
+    let sim = SimilarityAnalysis::compute(
+        &hosting,
+        govhost::core::similarity::SignatureKind::Bytes,
+    );
+    // Countries the paper pins to distinct branches.
+    let uy: CountryCode = "UY".parse().unwrap(); // Govt&SOE branch
+    let ind: CountryCode = "IN".parse().unwrap(); // Govt&SOE branch
+    let it: CountryCode = "IT".parse().unwrap(); // 3P Local branch
+    let ar: CountryCode = "AR".parse().unwrap(); // 3P Global branch
+    assert!(sim.same_cluster(uy, ind, 3), "Uruguay and India share the state branch");
+    assert!(!sim.same_cluster(uy, it, 3), "Uruguay and Italy split");
+    assert!(!sim.same_cluster(it, ar, 3), "Italy and Argentina split");
+    assert!(!sim.same_cluster(uy, ar, 3), "Uruguay and Argentina split");
+
+    // The three-branch cut has three nonempty branches of sensible size.
+    let labels = sim.clusters(3);
+    for branch in 0..3 {
+        let size = labels.iter().filter(|(_, l)| *l == branch).count();
+        assert!(size >= 5, "branch {branch} has {size} countries");
+    }
+}
+
+#[test]
+fn topsites_comparison_reproduces() {
+    let (world, dataset) = build();
+    let tops = TopsiteAnalysis::compute(&world, &dataset);
+    // Fig. 3: topsites are global-CDN-dominated, governments are not.
+    let top_global = tops.topsites.urls[govhost::types::TopsiteCategory::Global.index()];
+    let gov_global = tops.government.urls[govhost::types::TopsiteCategory::Global.index()];
+    assert!(top_global > 0.6, "topsites global share {top_global} (paper 0.78)");
+    assert!(gov_global < top_global, "governments below topsites on global CDNs");
+    // Fig. 7: governments serve domestically far more than topsites.
+    let gov_dom = tops.government_domestic.1.domestic_fraction();
+    let top_dom = tops.topsites_domestic.1.domestic_fraction();
+    assert!(gov_dom - top_dom > 0.15, "gov {gov_dom} vs topsites {top_dom} (paper 0.89 vs 0.49)");
+}
+
+#[test]
+fn method_split_matches_section_4_2() {
+    let (_world, dataset) = build();
+    let total: u64 = dataset.method_counts.iter().sum();
+    let tld = dataset.method_counts[0] as f64 / total as f64;
+    let domain = dataset.method_counts[1] as f64 / total as f64;
+    let san = dataset.method_counts[2] as f64 / total as f64;
+    // Paper: 27.6% TLD, 72.1% domain matching, 0.3% SAN.
+    assert!((0.15..=0.45).contains(&tld), "TLD share {tld} (paper 0.276)");
+    assert!((0.50..=0.85).contains(&domain), "domain share {domain} (paper 0.721)");
+    assert!(san < 0.02, "SAN share {san} (paper 0.003)");
+    assert!(domain > tld, "domain matching dominates, as in §4.2");
+}
+
+#[test]
+fn validation_stats_match_table_4_shape() {
+    let (_world, dataset) = build();
+    let u = dataset.validation.unicast_fractions();
+    let a = dataset.validation.anycast_fractions();
+    // Unicast: AP and MG both substantial, UR small.
+    assert!((0.25..=0.60).contains(&u[0]), "unicast AP {:.2} (paper 0.41)", u[0]);
+    assert!((0.35..=0.70).contains(&u[1]), "unicast MG {:.2} (paper 0.57)", u[1]);
+    assert!(u[2] < 0.12, "unicast UR {:.2} (paper 0.02)", u[2]);
+    // Anycast: AP-confirmed or excluded, never MG.
+    assert!(a[0] > 0.7, "anycast AP {:.2} (paper 0.83)", a[0]);
+    assert_eq!(a[1], 0.0, "anycast never confirms via MG (Table 4)");
+    // Overall confirmation is high.
+    assert!(dataset.validation.confirmation_rate() > 0.85);
+}
