@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point. Everything runs offline against an
+# empty cargo registry: the workspace has zero external dependencies.
+#
+#   ./ci.sh            build + test + bench smoke
+#   ./ci.sh --no-bench build + test only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_bench=1
+[ "${1:-}" = "--no-bench" ] && run_bench=0
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+if [ "$run_bench" = 1 ]; then
+    echo "==> bench smoke (1 iteration each, writes BENCH_*.json)"
+    GOVHOST_BENCH_SMOKE=1 cargo bench --offline -p govhost-bench
+fi
+
+echo "==> OK"

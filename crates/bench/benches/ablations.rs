@@ -2,16 +2,17 @@
 //! geolocation stages on/off, crawl depth, and per-country vs global
 //! latency thresholds.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use govhost_core::dataset::BuildOptions;
 use govhost_geoloc::pipeline::{GeoTask, GeolocationPipeline, PipelineConfig};
 use govhost_geoloc::CountryThresholds;
+use govhost_harness::bench::{black_box, Bench};
 use govhost_types::CountryCode;
 use govhost_web::crawler::Crawler;
 use govhost_worldgen::{GenParams, World};
-use std::hint::black_box;
 
-fn geo_stage_ablations(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("ablations");
+
     let world = World::generate(&GenParams::tiny());
     let vantage: CountryCode = "AR".parse().unwrap();
     let tasks: Vec<GeoTask> = world
@@ -22,7 +23,6 @@ fn geo_stage_ablations(c: &mut Criterion) {
         .map(|s| GeoTask { ip: s.ip, serving_country: vantage })
         .collect();
     let base = PipelineConfig::default();
-    let mut group = c.benchmark_group("ablation/geoloc_stages");
     for (name, config) in [
         ("full", base),
         ("no_active_probing", PipelineConfig { use_active_probing: false, ..base }),
@@ -52,61 +52,41 @@ fn geo_stage_ablations(c: &mut Criterion) {
             resolver: &world.resolver,
             config,
         };
-        group.bench_function(name, |b| b.iter(|| pipeline.locate_all(black_box(&tasks))));
-    }
-    group.finish();
-}
-
-fn crawl_depth_sweep(c: &mut Criterion) {
-    let world = World::generate(&GenParams::tiny());
-    let mut group = c.benchmark_group("ablation/crawl_depth");
-    group.sample_size(10);
-    for depth in [1u32, 3, 7] {
-        group.bench_function(format!("depth_{depth}"), |b| {
-            b.iter(|| {
-                govhost_core::dataset::GovDataset::build(
-                    &world,
-                    &BuildOptions { crawler: Crawler::with_depth(depth), ..Default::default() },
-                )
-            })
+        b.bench(&format!("ablation/geoloc_stages/{name}"), || {
+            black_box(pipeline.locate_all(black_box(&tasks)));
         });
     }
-    group.finish();
-}
 
-fn threshold_strategy(c: &mut Criterion) {
+    for depth in [1u32, 3, 7] {
+        b.bench(&format!("ablation/crawl_depth/depth_{depth}"), || {
+            black_box(govhost_core::dataset::GovDataset::build(
+                &world,
+                &BuildOptions { crawler: Crawler::with_depth(depth), ..Default::default() },
+            ));
+        });
+    }
+
     // Per-country road-distance thresholds vs a single global threshold:
     // same verification work, different tables — the cost is identical,
     // so the interesting output is the accuracy delta, which the `repro`
     // harness and EXPERIMENTS.md report. Here we confirm lookup costs.
-    let world = World::generate(&GenParams::tiny());
     let per_country = &world.thresholds;
     let flat = CountryThresholds::from_intercity_distances(std::iter::empty());
     let countries: Vec<CountryCode> =
         govhost_worldgen::countries::COUNTRIES.iter().map(|r| r.cc()).collect();
-    let mut group = c.benchmark_group("ablation/thresholds");
-    group.bench_function("per_country", |b| {
-        b.iter(|| {
+    b.bench("ablation/thresholds/per_country", || {
+        black_box(
             countries
                 .iter()
                 .map(|cc| per_country.threshold_ms(*cc, &world.latency))
-                .sum::<f64>()
-        })
+                .sum::<f64>(),
+        );
     });
-    group.bench_function("global_fallback", |b| {
-        b.iter(|| {
-            countries
-                .iter()
-                .map(|cc| flat.threshold_ms(*cc, &world.latency))
-                .sum::<f64>()
-        })
+    b.bench("ablation/thresholds/global_fallback", || {
+        black_box(
+            countries.iter().map(|cc| flat.threshold_ms(*cc, &world.latency)).sum::<f64>(),
+        );
     });
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = geo_stage_ablations, crawl_depth_sweep, threshold_strategy
+    b.finish();
 }
-criterion_main!(benches);

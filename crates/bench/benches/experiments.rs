@@ -2,29 +2,23 @@
 //! artifact (how long regenerating each table/figure takes once the
 //! shared pipeline context exists), plus the full-context build.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use govhost_bench::{Context, ALL_EXPERIMENTS};
+use govhost_harness::bench::{black_box, Bench};
 use govhost_worldgen::GenParams;
-use std::hint::black_box;
 
-fn context_build(c: &mut Criterion) {
-    c.bench_function("experiments/context_build_tiny", |b| {
-        b.iter(|| Context::new(black_box(&GenParams::tiny())))
+fn main() {
+    let mut b = Bench::new("experiments");
+
+    b.bench("experiments/context_build_tiny", || {
+        black_box(Context::new(black_box(&GenParams::tiny())));
     });
-}
 
-fn render_each(c: &mut Criterion) {
     let ctx = Context::new(&GenParams::tiny());
-    let mut group = c.benchmark_group("experiments/render");
     for exp in ALL_EXPERIMENTS {
-        group.bench_function(exp.id, |b| b.iter(|| ctx.render(black_box(exp.id)).unwrap()));
+        b.bench(&format!("experiments/render/{}", exp.id), || {
+            black_box(ctx.render(black_box(exp.id)).unwrap());
+        });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = context_build, render_each
+    b.finish();
 }
-criterion_main!(benches);

@@ -1,46 +1,38 @@
 //! End-to-end pipeline benchmarks: world generation, dataset
 //! construction, geolocation, and the parallel-crawl speedup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use govhost_core::dataset::{BuildOptions, GovDataset};
 use govhost_core::hosting::HostingAnalysis;
 use govhost_geoloc::pipeline::{GeoTask, GeolocationPipeline, PipelineConfig};
+use govhost_harness::bench::{black_box, Bench};
 use govhost_types::CountryCode;
 use govhost_worldgen::{GenParams, World};
-use std::hint::black_box;
 
-fn world_generation(c: &mut Criterion) {
-    c.bench_function("pipeline/generate_world_tiny", |b| {
-        b.iter(|| World::generate(black_box(&GenParams::tiny())))
+fn main() {
+    let mut b = Bench::new("pipeline");
+
+    b.bench("pipeline/generate_world_tiny", || {
+        black_box(World::generate(black_box(&GenParams::tiny())));
     });
-}
 
-fn dataset_build(c: &mut Criterion) {
     let world = World::generate(&GenParams::tiny());
-    c.bench_function("pipeline/dataset_build_tiny", |b| {
-        b.iter(|| GovDataset::build(black_box(&world), &BuildOptions::default()))
+    b.bench("pipeline/dataset_build_tiny", || {
+        black_box(GovDataset::build(black_box(&world), &BuildOptions::default()));
     });
     let dataset = GovDataset::build(&world, &BuildOptions::default());
-    c.bench_function("pipeline/hosting_analysis", |b| {
-        b.iter(|| HostingAnalysis::compute(black_box(&dataset)))
+    b.bench("pipeline/hosting_analysis", || {
+        black_box(HostingAnalysis::compute(black_box(&dataset)));
     });
-}
 
-fn crawl_parallelism(c: &mut Criterion) {
-    let world = World::generate(&GenParams::tiny());
-    let mut group = c.benchmark_group("pipeline/crawl_threads");
     for threads in [1usize, 4] {
-        group.bench_function(format!("threads_{threads}"), |b| {
-            b.iter(|| {
-                GovDataset::build(&world, &BuildOptions { threads, ..Default::default() })
-            })
+        b.bench(&format!("pipeline/crawl_threads/threads_{threads}"), || {
+            black_box(GovDataset::build(
+                &world,
+                &BuildOptions { threads, ..Default::default() },
+            ));
         });
     }
-    group.finish();
-}
 
-fn geolocation(c: &mut Criterion) {
-    let world = World::generate(&GenParams::tiny());
     let vantage: CountryCode = "AR".parse().unwrap();
     let tasks: Vec<GeoTask> = world
         .registry
@@ -61,14 +53,9 @@ fn geolocation(c: &mut Criterion) {
         resolver: &world.resolver,
         config: PipelineConfig::default(),
     };
-    c.bench_function("pipeline/geolocate_200_addresses", |b| {
-        b.iter(|| pipeline.locate_all(black_box(&tasks)))
+    b.bench("pipeline/geolocate_200_addresses", || {
+        black_box(pipeline.locate_all(black_box(&tasks)));
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = world_generation, dataset_build, crawl_parallelism, geolocation
+    b.finish();
 }
-criterion_main!(benches);

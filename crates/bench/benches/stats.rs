@@ -1,11 +1,10 @@
 //! Benchmarks for the statistics kernels behind Figs. 5, 11, 12.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use govhost_harness::bench::{black_box, Bench};
 use govhost_stats::cluster::Dendrogram;
 use govhost_stats::hhi::hhi_from_counts;
 use govhost_stats::linalg::Matrix;
 use govhost_stats::ols::{OlsFit, Vif};
-use std::hint::black_box;
 
 /// Signature matrix the size of the paper's: 61 countries × 4 categories.
 fn signature_matrix() -> Vec<Vec<f64>> {
@@ -25,23 +24,23 @@ fn signature_matrix() -> Vec<Vec<f64>> {
         .collect()
 }
 
-fn hca(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("stats");
+
     let data = signature_matrix();
-    c.bench_function("stats/ward_hca_61x4", |b| {
-        b.iter(|| Dendrogram::ward(black_box(&data)))
+    b.bench("stats/ward_hca_61x4", || {
+        black_box(Dendrogram::ward(black_box(&data)));
     });
     let d = Dendrogram::ward(&data);
-    c.bench_function("stats/dendrogram_cut3", |b| b.iter(|| d.cut(3)));
-}
-
-fn hhi(c: &mut Criterion) {
-    let counts: Vec<u64> = (1..200).map(|i| (i * i % 997) as u64 + 1).collect();
-    c.bench_function("stats/hhi_200_networks", |b| {
-        b.iter(|| hhi_from_counts(black_box(&counts)))
+    b.bench("stats/dendrogram_cut3", || {
+        black_box(d.cut(3));
     });
-}
 
-fn ols(c: &mut Criterion) {
+    let counts: Vec<u64> = (1..200).map(|i| (i * i % 997) as u64 + 1).collect();
+    b.bench("stats/hhi_200_networks", || {
+        black_box(hhi_from_counts(black_box(&counts)));
+    });
+
     // The App. E design: 61 observations, intercept + 6 features.
     let n = 61;
     let rows: Vec<Vec<f64>> = (0..n)
@@ -60,20 +59,14 @@ fn ols(c: &mut Criterion) {
         .collect();
     let design = Matrix::from_rows(&rows);
     let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin() + i as f64 * 0.01).collect();
-    c.bench_function("stats/ols_61x7_with_inference", |b| {
-        b.iter(|| OlsFit::fit(black_box(&design), black_box(&y)).unwrap())
+    b.bench("stats/ols_61x7_with_inference", || {
+        black_box(OlsFit::fit(black_box(&design), black_box(&y)).unwrap());
     });
-    let features = Matrix::from_rows(
-        &rows.iter().map(|r| r[1..].to_vec()).collect::<Vec<_>>(),
-    );
-    c.bench_function("stats/vif_6_features", |b| {
-        b.iter(|| Vif::compute(black_box(&features)))
+    let features =
+        Matrix::from_rows(&rows.iter().map(|r| r[1..].to_vec()).collect::<Vec<_>>());
+    b.bench("stats/vif_6_features", || {
+        black_box(Vif::compute(black_box(&features)));
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = hca, hhi, ols
+    b.finish();
 }
-criterion_main!(benches);

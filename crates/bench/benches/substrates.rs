@@ -1,21 +1,24 @@
 //! Benchmarks for the substrate layers: DNS wire format, resolution,
 //! WHOIS, latency model, and the crawler.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use govhost_dns::{AuthoritativeServer, DnsName, Message, RData, Record, RecordType, Resolver, Zone};
+use govhost_dns::{
+    AuthoritativeServer, DnsName, Message, RData, Record, RecordType, Resolver, Zone,
+};
+use govhost_harness::bench::{black_box, Bench};
 use govhost_netsim::coords::GeoPoint;
 use govhost_netsim::latency::LatencyModel;
-use govhost_netsim::whois::WhoisService;
 use govhost_netsim::trie::PrefixTrie;
+use govhost_netsim::whois::WhoisService;
 use govhost_web::crawler::Crawler;
 use govhost_worldgen::{GenParams, World};
-use std::hint::black_box;
 
 fn n(s: &str) -> DnsName {
     s.parse().unwrap()
 }
 
-fn dns_wire(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("substrates");
+
     // A realistic response: question + CNAME chain + 4 A records, with
     // compressible names.
     let mut msg = Message::response_to(
@@ -35,13 +38,13 @@ fn dns_wire(c: &mut Criterion) {
         ));
     }
     let bytes = msg.encode();
-    c.bench_function("dns_wire/encode", |b| b.iter(|| black_box(msg.encode())));
-    c.bench_function("dns_wire/decode", |b| {
-        b.iter(|| Message::decode(black_box(&bytes)).unwrap())
+    b.bench("dns_wire/encode", || {
+        black_box(msg.encode());
     });
-}
+    b.bench("dns_wire/decode", || {
+        black_box(Message::decode(black_box(&bytes)).unwrap());
+    });
 
-fn dns_resolution(c: &mut Criterion) {
     let mut gov = Zone::new(n("ministerio.gob.ar"));
     gov.add(n("www.ministerio.gob.ar"), RData::Cname(n("edge.cdn.example")));
     let mut cdn = Zone::new(n("cdn.example"));
@@ -50,42 +53,31 @@ fn dns_resolution(c: &mut Criterion) {
     resolver.add_server(AuthoritativeServer::new(gov));
     resolver.add_server(AuthoritativeServer::new(cdn));
     let name = n("www.ministerio.gob.ar");
-    c.bench_function("dns/resolve_cname_chain", |b| {
-        b.iter(|| resolver.resolve(black_box(&name), None).unwrap())
+    b.bench("dns/resolve_cname_chain", || {
+        black_box(resolver.resolve(black_box(&name), None).unwrap());
     });
-}
 
-fn whois_and_latency(c: &mut Criterion) {
     let world = World::generate(&GenParams::tiny());
     let whois = WhoisService::new(&world.registry);
     let ip = world.registry.servers()[0].ip;
-    c.bench_function("whois/query_render_parse", |b| {
-        b.iter(|| whois.query(black_box(ip)).unwrap())
+    b.bench("whois/query_render_parse", || {
+        black_box(whois.query(black_box(ip)).unwrap());
     });
 
     let model = LatencyModel::default();
     let a = GeoPoint::new(-34.6, -58.4);
     let bpt = GeoPoint::new(40.4, -3.7);
-    c.bench_function("latency/min_of_3_pings", |b| {
-        b.iter(|| model.min_of_pings(black_box(&a), black_box(&bpt), 3))
+    b.bench("latency/min_of_3_pings", || {
+        black_box(model.min_of_pings(black_box(&a), black_box(&bpt), 3));
     });
-}
 
-fn crawler(c: &mut Criterion) {
-    let world = World::generate(&GenParams::tiny());
     let ar: govhost_types::CountryCode = "AR".parse().unwrap();
     let landing = world.landing(ar)[0].clone();
     let crawler = Crawler::default();
-    c.bench_function("crawler/one_site_depth7", |b| {
-        b.iter_batched(
-            || landing.clone(),
-            |url| crawler.crawl(&world.corpus, &url, Some(ar)),
-            BatchSize::SmallInput,
-        )
+    b.bench_with_input("crawler/one_site_depth7", &landing, |url| {
+        black_box(crawler.crawl(&world.corpus, &url, Some(ar)));
     });
-}
 
-fn prefix_trie(c: &mut Criterion) {
     // A routing-table-sized trie vs the naive linear scan.
     let mut trie = PrefixTrie::new();
     let mut list = Vec::new();
@@ -101,34 +93,29 @@ fn prefix_trie(c: &mut Criterion) {
         list.push((prefix, i));
     }
     let addr: std::net::Ipv4Addr = "137.99.12.7".parse().unwrap();
-    c.bench_function("trie/longest_match_2000_prefixes", |b| {
-        b.iter(|| trie.longest_match(black_box(addr)))
+    b.bench("trie/longest_match_2000_prefixes", || {
+        black_box(trie.longest_match(black_box(addr)));
     });
-    c.bench_function("trie/linear_scan_2000_prefixes", |b| {
-        b.iter(|| {
+    b.bench("trie/linear_scan_2000_prefixes", || {
+        black_box(
             list.iter()
                 .filter(|(p, _)| p.contains(black_box(addr)))
                 .max_by_key(|(p, _)| p.len())
-                .map(|(_, v)| *v)
-        })
+                .map(|(_, v)| *v),
+        );
     });
-}
 
-fn zone_and_har_io(c: &mut Criterion) {
     // Zone-file round trip at realistic zone size.
-    let mut text = String::from("$ORIGIN example.gov.
-$TTL 300
-");
+    let mut text = String::from("$ORIGIN example.gov.\n$TTL 300\n");
     for i in 0..200 {
-        text.push_str(&format!("host{i} IN A 11.0.{}.{}
-", i / 200, i % 200));
+        text.push_str(&format!("host{i} IN A 11.0.{}.{}\n", i / 200, i % 200));
     }
-    c.bench_function("zonefile/parse_200_records", |b| {
-        b.iter(|| govhost_dns::parse_zone_file(black_box(&text), None).unwrap())
+    b.bench("zonefile/parse_200_records", || {
+        black_box(govhost_dns::parse_zone_file(black_box(&text), None).unwrap());
     });
     let zone = govhost_dns::parse_zone_file(&text, None).unwrap();
-    c.bench_function("zonefile/serialize_200_records", |b| {
-        b.iter(|| govhost_dns::to_zone_file(black_box(&zone), 300))
+    b.bench("zonefile/serialize_200_records", || {
+        black_box(govhost_dns::to_zone_file(black_box(&zone), 300));
     });
 
     // HAR export of a thousand-entry log.
@@ -141,14 +128,9 @@ $TTL 300
             depth: (i % 8) as u32,
         });
     }
-    c.bench_function("har/export_1000_entries", |b| {
-        b.iter(|| govhost_web::to_har_json(black_box(&log)))
+    b.bench("har/export_1000_entries", || {
+        black_box(govhost_web::to_har_json(black_box(&log)));
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = dns_wire, dns_resolution, whois_and_latency, crawler, prefix_trie, zone_and_har_io
+    b.finish();
 }
-criterion_main!(benches);

@@ -82,13 +82,27 @@ fn main() {
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&e.to_string()));
     }
+    let mut failed: Vec<&str> = Vec::new();
     for id in &ids {
-        let rendered = ctx.render(id).expect("validated id");
-        println!("{rendered}");
-        println!("{}", "=".repeat(78));
-        if let Some(dir) = &out_dir {
-            std::fs::write(dir.join(format!("{id}.txt")), &rendered)
-                .unwrap_or_else(|e| die(&e.to_string()));
+        let exp_start = std::time::Instant::now();
+        let rendered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.render(id).expect("validated id")
+        }));
+        let elapsed = exp_start.elapsed();
+        match rendered {
+            Ok(rendered) => {
+                println!("{rendered}");
+                println!("{}", "=".repeat(78));
+                eprintln!("[{id}] rendered in {elapsed:.1?}");
+                if let Some(dir) = &out_dir {
+                    std::fs::write(dir.join(format!("{id}.txt")), &rendered)
+                        .unwrap_or_else(|e| die(&e.to_string()));
+                }
+            }
+            Err(_) => {
+                eprintln!("[{id}] PANICKED after {elapsed:.1?}");
+                failed.push(id);
+            }
         }
     }
     if let Some(dir) = &out_dir {
@@ -96,6 +110,10 @@ fn main() {
             std::fs::write(dir.join(&name), content).unwrap_or_else(|e| die(&e.to_string()));
         }
         eprintln!("artifacts written to {}", dir.display());
+    }
+    if !failed.is_empty() {
+        eprintln!("repro: {} experiment(s) panicked: {}", failed.len(), failed.join(", "));
+        std::process::exit(1);
     }
 }
 

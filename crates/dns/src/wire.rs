@@ -8,10 +8,30 @@
 
 use crate::name::DnsName;
 use crate::rr::{RData, Record, RecordType};
-use bytes::{Buf, BufMut};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
+
+/// Big-endian append helpers over the raw output buffer.
+trait PutBytes {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+}
+
+impl PutBytes for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+}
 
 /// Response codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -335,21 +355,13 @@ impl<'a> Decoder<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        if self.remaining() < 2 {
-            return Err(WireError::Truncated);
-        }
-        let mut s = &self.bytes[self.pos..];
-        self.pos += 2;
-        Ok(s.get_u16())
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        if self.remaining() < 4 {
-            return Err(WireError::Truncated);
-        }
-        let mut s = &self.bytes[self.pos..];
-        self.pos += 4;
-        Ok(s.get_u32())
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {

@@ -1,59 +1,91 @@
 //! Property tests for the DNS wire format: whatever we can construct must
 //! encode and decode losslessly, and the decoder must never panic on
-//! arbitrary bytes.
+//! arbitrary bytes. On the in-repo harness.
 
 use govhost_dns::{DnsName, Message, RData, Rcode, Record, RecordType};
-use proptest::prelude::*;
+use govhost_harness::{gens, prop_assert_eq, Config, Gen};
 
-fn arb_label() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").expect("valid regex")
+const REGRESSIONS: &str = "tests/regressions/prop_wire.txt";
+
+fn cfg(name: &str) -> Config {
+    Config::new(name).cases(256).regressions(REGRESSIONS)
 }
 
-fn arb_name() -> impl Strategy<Value = DnsName> {
-    proptest::collection::vec(arb_label(), 1..5)
-        .prop_map(|labels| labels.join(".").parse().expect("generated names are valid"))
-}
-
-fn arb_rdata() -> impl Strategy<Value = RData> {
-    prop_oneof![
-        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
-        arb_name().prop_map(RData::Ns),
-        arb_name().prop_map(RData::Cname),
-        arb_name().prop_map(RData::Ptr),
-        (arb_name(), arb_name(), any::<u32>())
-            .prop_map(|(mname, rname, serial)| RData::Soa { mname, rname, serial }),
-        proptest::string::string_regex("[ -~]{0,300}")
-            .expect("valid regex")
-            .prop_map(RData::Txt),
-        any::<[u8; 16]>().prop_map(RData::Aaaa),
-    ]
-}
-
-fn arb_record() -> impl Strategy<Value = Record> {
-    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record {
-        name,
-        ttl,
-        rdata,
+/// One DNS label: `[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?`.
+fn arb_label() -> Gen<String> {
+    const ALNUM: &str = "abcdefghijklmnopqrstuvwxyz0123456789";
+    const INNER: &str = "abcdefghijklmnopqrstuvwxyz0123456789-";
+    gens::zip3(
+        gens::string_of(ALNUM, 1, 1),
+        gens::string_of(INNER, 0, 14),
+        gens::string_of(ALNUM, 0, 1),
+    )
+    .map(|(first, middle, last)| {
+        if last.is_empty() {
+            first
+        } else {
+            format!("{first}{middle}{last}")
+        }
     })
 }
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    (
-        any::<u16>(),
-        any::<bool>(),
-        any::<bool>(),
-        proptest::sample::select(vec![
-            Rcode::NoError,
-            Rcode::FormErr,
-            Rcode::ServFail,
-            Rcode::NxDomain,
-            Rcode::Refused,
-        ]),
-        proptest::collection::vec(arb_name(), 0..3),
-        proptest::collection::vec(arb_record(), 0..6),
-        proptest::collection::vec(arb_record(), 0..3),
-    )
-        .prop_map(|(id, aa, rd, rcode, qnames, answers, authorities)| Message {
+fn arb_name() -> Gen<DnsName> {
+    gens::vec(arb_label(), 1, 4)
+        .map(|labels| labels.join(".").parse().expect("generated names are valid"))
+}
+
+fn arb_bytes(n: usize) -> Gen<Vec<u8>> {
+    gens::vec(gens::u64_range(0, 256), n, n).map(|v| v.iter().map(|b| *b as u8).collect())
+}
+
+/// Printable ASCII (`[ -~]`) text, 0-300 chars.
+fn arb_txt() -> Gen<String> {
+    let printable: String = (b' '..=b'~').map(char::from).collect();
+    gens::string_of(&printable, 0, 300)
+}
+
+fn arb_rdata() -> Gen<RData> {
+    gens::one_of(vec![
+        arb_bytes(4).map(|o| RData::A([o[0], o[1], o[2], o[3]].into())),
+        arb_name().map(RData::Ns),
+        arb_name().map(RData::Cname),
+        arb_name().map(RData::Ptr),
+        gens::zip3(arb_name(), arb_name(), gens::u32_any())
+            .map(|(mname, rname, serial)| RData::Soa { mname, rname, serial }),
+        arb_txt().map(RData::Txt),
+        arb_bytes(16).map(|b| {
+            let mut arr = [0u8; 16];
+            arr.copy_from_slice(&b);
+            RData::Aaaa(arr)
+        }),
+    ])
+}
+
+fn arb_record() -> Gen<Record> {
+    gens::zip3(arb_name(), gens::u32_any(), arb_rdata())
+        .map(|(name, ttl, rdata)| Record { name, ttl, rdata })
+}
+
+fn arb_message() -> Gen<Message> {
+    let header = gens::zip3(
+        gens::u64_range(0, 1 << 16).map(|v| v as u16),
+        gens::bool_any(),
+        gens::bool_any(),
+    );
+    let rcode = gens::select(vec![
+        Rcode::NoError,
+        Rcode::FormErr,
+        Rcode::ServFail,
+        Rcode::NxDomain,
+        Rcode::Refused,
+    ]);
+    let sections = gens::zip3(
+        gens::vec(arb_name(), 0, 2),
+        gens::vec(arb_record(), 0, 5),
+        gens::vec(arb_record(), 0, 2),
+    );
+    gens::zip3(header, rcode, sections).map(
+        |((id, aa, rd), rcode, (qnames, answers, authorities))| Message {
             id,
             is_response: true,
             authoritative: aa,
@@ -67,51 +99,70 @@ fn arb_message() -> impl Strategy<Value = Message> {
             answers,
             authorities,
             additionals: Vec::new(),
-        })
+        },
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn message_encode_decode_round_trips(msg in arb_message()) {
+#[test]
+fn message_encode_decode_round_trips() {
+    cfg("message_encode_decode_round_trips").run(&arb_message(), |msg| {
         let bytes = msg.encode();
         let decoded = Message::decode(&bytes).expect("own encoding decodes");
-        prop_assert_eq!(decoded, msg);
-    }
+        prop_assert_eq!(&decoded, msg);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+#[test]
+fn decoder_never_panics_on_garbage() {
+    let garbage = gens::vec(gens::u64_range(0, 256), 0, 599)
+        .map(|v| v.iter().map(|b| *b as u8).collect::<Vec<u8>>());
+    cfg("decoder_never_panics_on_garbage").run(&garbage, |bytes| {
         // Any outcome is fine — panics are not.
-        let _ = Message::decode(&bytes);
-    }
+        let _ = Message::decode(bytes);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn truncation_never_panics(msg in arb_message(), cut in 0usize..1000) {
+#[test]
+fn truncation_never_panics() {
+    let inputs = arb_message().zip(gens::usize_range(0, 1000));
+    cfg("truncation_never_panics").run(&inputs, |(msg, cut)| {
         let bytes = msg.encode();
-        let cut = cut.min(bytes.len());
+        let cut = (*cut).min(bytes.len());
         let _ = Message::decode(&bytes[..cut]);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bitflip_never_panics(msg in arb_message(), idx in any::<usize>(), bit in 0u8..8) {
+#[test]
+fn bitflip_never_panics() {
+    let inputs = gens::zip3(arb_message(), gens::u64_any(), gens::u64_range(0, 8));
+    cfg("bitflip_never_panics").run(&inputs, |(msg, idx, bit)| {
         let mut bytes = msg.encode();
         if !bytes.is_empty() {
-            let i = idx % bytes.len();
+            let i = (*idx % bytes.len() as u64) as usize;
             bytes[i] ^= 1 << bit;
             let _ = Message::decode(&bytes);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn names_round_trip_through_display(name in arb_name()) {
+#[test]
+fn names_round_trip_through_display() {
+    cfg("names_round_trip_through_display").run(&arb_name(), |name| {
         let s = name.to_string();
         let back: DnsName = s.parse().expect("display output parses");
-        prop_assert_eq!(back, name);
-    }
+        prop_assert_eq!(&back, name);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn encoding_is_deterministic(msg in arb_message()) {
+#[test]
+fn encoding_is_deterministic() {
+    cfg("encoding_is_deterministic").run(&arb_message(), |msg| {
         prop_assert_eq!(msg.encode(), msg.encode());
-    }
+        Ok(())
+    });
 }

@@ -1,17 +1,23 @@
 //! Property tests for the geolocation pipeline's invariants, over
-//! randomly-configured worlds of servers.
+//! randomly-configured worlds of servers. On the in-repo harness.
 
 use govhost_dns::Resolver;
+use govhost_geoloc::geodb::GeoEntry;
 use govhost_geoloc::pipeline::{GeoMethod, GeoTask, GeolocationPipeline, PipelineConfig};
 use govhost_geoloc::{CountryThresholds, GeoDb, Hoiho, IpMapCache, MAnycastSnapshot};
-use govhost_geoloc::geodb::GeoEntry;
+use govhost_harness::{gens, prop_assert, prop_assert_eq, Config, Gen};
 use govhost_netsim::asdb::{AsRegistry, Server};
 use govhost_netsim::coords::{City, GeoPoint};
 use govhost_netsim::latency::LatencyModel;
 use govhost_netsim::probes::ProbeFleet;
 use govhost_types::{Asn, CountryCode};
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
+
+const REGRESSIONS: &str = "tests/regressions/prop_pipeline.txt";
+
+fn cfg(name: &str) -> Config {
+    Config::new(name).cases(256).regressions(REGRESSIONS)
+}
 
 const SPOTS: &[(&str, f64, f64)] = &[
     ("AR", -34.6, -58.4),
@@ -34,16 +40,16 @@ struct ServerSpec {
     db_correct: bool,
 }
 
-fn arb_server() -> impl Strategy<Value = ServerSpec> {
-    (0usize..SPOTS.len(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(country_idx, responsive, anycast, has_ptr, db_correct)| ServerSpec {
+fn arb_server() -> Gen<ServerSpec> {
+    gens::usize_range(0, SPOTS.len())
+        .zip(gens::zip4(gens::bool_any(), gens::bool_any(), gens::bool_any(), gens::bool_any()))
+        .map(|(country_idx, (responsive, anycast, has_ptr, db_correct))| ServerSpec {
             country_idx,
             responsive,
             anycast,
             has_ptr,
             db_correct,
-        },
-    )
+        })
 }
 
 struct Fixture {
@@ -149,17 +155,16 @@ impl Fixture {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn pipeline_invariants_hold(specs in proptest::collection::vec(arb_server(), 1..40)) {
-        let f = build(&specs);
+#[test]
+fn pipeline_invariants_hold() {
+    let specs = gens::vec(arb_server(), 1, 39);
+    cfg("pipeline_invariants_hold").run(&specs, |specs| {
+        let f = build(specs);
         let (verdicts, stats) = f.pipeline().locate_all(&f.tasks);
         prop_assert_eq!(verdicts.len(), f.tasks.len());
 
         let mut confirmed = 0usize;
-        for (v, spec) in verdicts.iter().zip(&specs) {
+        for (v, spec) in verdicts.iter().zip(specs) {
             // Invariant: non-excluded verdicts always carry a location.
             if !v.excluded {
                 prop_assert!(v.location.is_some());
@@ -188,12 +193,14 @@ proptest! {
         prop_assert_eq!(stat_confirmed, confirmed);
         let total: usize = stats.unicast.iter().chain(stats.anycast.iter()).sum();
         prop_assert_eq!(total, f.tasks.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn responsive_truthful_unicast_always_confirms(
-        country_idx in 0usize..SPOTS.len(),
-    ) {
+#[test]
+fn responsive_truthful_unicast_always_confirms() {
+    let country = gens::usize_range(0, SPOTS.len());
+    cfg("responsive_truthful_unicast_always_confirms").run(&country, |&country_idx| {
         let spec = ServerSpec {
             country_idx,
             responsive: true,
@@ -205,10 +212,14 @@ proptest! {
         let v = f.pipeline().locate(f.tasks[0]);
         prop_assert!(!v.excluded, "responsive + truthful DB must confirm: {v:?}");
         prop_assert_eq!(v.method, GeoMethod::ActiveProbing);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dead_ptrless_server_with_wrong_db_is_excluded(country_idx in 0usize..SPOTS.len()) {
+#[test]
+fn dead_ptrless_server_with_wrong_db_is_excluded() {
+    let country = gens::usize_range(0, SPOTS.len());
+    cfg("dead_ptrless_server_with_wrong_db_is_excluded").run(&country, |&country_idx| {
         let spec = ServerSpec {
             country_idx,
             responsive: false,
@@ -219,5 +230,6 @@ proptest! {
         let f = build(&[spec]);
         let v = f.pipeline().locate(f.tasks[0]);
         prop_assert!(v.excluded, "nothing can validate this address: {v:?}");
-    }
+        Ok(())
+    });
 }

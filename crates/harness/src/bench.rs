@@ -1,0 +1,279 @@
+//! Criterion-free micro-benchmark runner.
+//!
+//! Benches are plain `harness = false` binaries:
+//!
+//! ```no_run
+//! use govhost_harness::bench::{black_box, Bench};
+//!
+//! fn main() {
+//!     let mut b = Bench::new("stats");
+//!     b.bench("hhi/1000", || {
+//!         black_box((0..1000u64).map(|v| v * v).sum::<u64>());
+//!     });
+//!     b.finish();
+//! }
+//! ```
+//!
+//! Each benchmark is calibrated (warmup, then iterations-per-sample sized
+//! so a sample takes ~10 ms), timed over ~30 samples, and summarized as
+//! median / p95 / mean / min / max per-iteration nanoseconds. `finish()`
+//! prints a table and writes `BENCH_<suite>.json` at the repository root
+//! (the nearest ancestor containing `.git`, overridable with
+//! `GOVHOST_BENCH_DIR`).
+//!
+//! Smoke mode — `GOVHOST_BENCH_SMOKE=1` in the environment or `--smoke`
+//! on the command line — runs every benchmark exactly once with no
+//! warmup, so CI can prove the benches still compile and run in seconds.
+
+use std::fs;
+use std::hint;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    pub name: String,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+    pub median_ns: f64,
+    pub p95_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+}
+
+/// A benchmark suite. Register benchmarks with [`Bench::bench`] /
+/// [`Bench::bench_with_input`], then call [`Bench::finish`].
+pub struct Bench {
+    suite: String,
+    smoke: bool,
+    results: Vec<Summary>,
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+const WARMUP: Duration = Duration::from_millis(200);
+const SAMPLES: usize = 30;
+
+impl Bench {
+    /// Start a suite named `suite` (controls the output file name).
+    pub fn new(suite: &str) -> Bench {
+        let smoke = std::env::var("GOVHOST_BENCH_SMOKE").is_ok_and(|v| v == "1")
+            || std::env::args().any(|a| a == "--smoke");
+        println!(
+            "benchmark suite '{suite}'{}",
+            if smoke { " (smoke mode: 1 iteration each)" } else { "" }
+        );
+        Bench { suite: suite.to_string(), smoke, results: Vec::new() }
+    }
+
+    /// True when running in smoke mode; benches can use this to shrink
+    /// their fixtures.
+    pub fn smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Time `routine`, which should perform one iteration of the work.
+    pub fn bench(&mut self, name: &str, mut routine: impl FnMut()) {
+        if self.smoke {
+            let start = Instant::now();
+            routine();
+            let ns = start.elapsed().as_nanos() as f64;
+            self.push(Summary {
+                name: name.to_string(),
+                samples: 1,
+                iters_per_sample: 1,
+                median_ns: ns,
+                p95_ns: ns,
+                mean_ns: ns,
+                min_ns: ns,
+                max_ns: ns,
+            });
+            return;
+        }
+
+        // Warmup, also measuring cost to size iterations per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            routine();
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let iters = ((TARGET_SAMPLE.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                routine();
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+
+        let pick = |q: f64| samples_ns[((samples_ns.len() - 1) as f64 * q).round() as usize];
+        self.push(Summary {
+            name: name.to_string(),
+            samples: SAMPLES,
+            iters_per_sample: iters,
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            mean_ns: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64,
+            min_ns: samples_ns[0],
+            max_ns: samples_ns[samples_ns.len() - 1],
+        });
+    }
+
+    /// Time `routine` against a fresh input cloned per iteration — the
+    /// stand-in for criterion's `iter_batched` when the routine consumes
+    /// or mutates its input. Clone cost is included in the measurement,
+    /// so keep inputs cheap to clone relative to the routine.
+    pub fn bench_with_input<I: Clone>(
+        &mut self,
+        name: &str,
+        input: &I,
+        mut routine: impl FnMut(I),
+    ) {
+        self.bench(name, || routine(input.clone()));
+    }
+
+    fn push(&mut self, s: Summary) {
+        println!(
+            "  {:<40} median {:>12}  p95 {:>12}  ({} samples x {} iters)",
+            s.name,
+            format_ns(s.median_ns),
+            format_ns(s.p95_ns),
+            s.samples,
+            s.iters_per_sample,
+        );
+        self.results.push(s);
+    }
+
+    /// Print the final table and write `BENCH_<suite>.json`.
+    pub fn finish(self) {
+        let path = output_dir().join(format!("BENCH_{}.json", self.suite));
+        let json = render_json(&self.suite, self.smoke, &self.results);
+        match fs::write(&path, json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Repo root = nearest ancestor of the crate with `.git`; falls back to
+/// the crate dir, overridable via `GOVHOST_BENCH_DIR`.
+fn output_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("GOVHOST_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    let start = PathBuf::from(
+        std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_string()),
+    );
+    let mut cursor: &Path = &start;
+    loop {
+        if cursor.join(".git").exists() {
+            return cursor.to_path_buf();
+        }
+        match cursor.parent() {
+            Some(parent) => cursor = parent,
+            None => return start,
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn render_json(suite: &str, smoke: bool, results: &[Summary]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"suite\": {},\n", json_string(suite)));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"samples\": {}, \"iters_per_sample\": {}, \
+             \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+            json_string(&s.name),
+            s.samples,
+            s.iters_per_sample,
+            s.median_ns,
+            s.p95_ns,
+            s.mean_ns,
+            s.min_ns,
+            s.max_ns,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn render_json_is_well_formed_enough() {
+        let results = vec![Summary {
+            name: "x/1".into(),
+            samples: 3,
+            iters_per_sample: 10,
+            median_ns: 1.5,
+            p95_ns: 2.0,
+            mean_ns: 1.6,
+            min_ns: 1.0,
+            max_ns: 2.5,
+        }];
+        let json = render_json("demo", true, &results);
+        assert!(json.contains("\"suite\": \"demo\""));
+        assert!(json.contains("\"median_ns\": 1.5"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1500.0), "1.500 us");
+        assert_eq!(format_ns(2_500_000.0), "2.500 ms");
+        assert_eq!(format_ns(3_000_000_000.0), "3.000 s");
+    }
+}

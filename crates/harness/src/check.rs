@@ -1,0 +1,382 @@
+//! The property checker: random case generation, regression replay,
+//! counterexample shrinking, and failure reporting.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use govhost_det::hash_str;
+
+use crate::gen::Gen;
+use crate::regress;
+use crate::source::Source;
+
+/// Default number of random cases per property.
+pub const DEFAULT_CASES: usize = 256;
+
+/// Shrink evaluation budget: the shrinker stops after this many property
+/// evaluations even if more reductions might be possible.
+const SHRINK_BUDGET: usize = 2048;
+
+/// A minimized failing case, returned by [`Config::run_for_result`].
+pub struct Failure<T> {
+    /// The (shrunk) failing value.
+    pub value: T,
+    /// The canonical choice sequence that regenerates `value`.
+    pub choices: Vec<u64>,
+    /// Panic message from the property, if it panicked rather than
+    /// returning an error.
+    pub message: String,
+}
+
+/// Configuration for one property check. Construct with [`Config::new`],
+/// adjust with the builder methods, then call [`Config::run`].
+pub struct Config {
+    name: String,
+    cases: usize,
+    seed: u64,
+    regressions: Option<String>,
+}
+
+impl Config {
+    /// A check named `name` (used for the failure report, the derived
+    /// seed, and the regression-file key). Defaults: 256 cases, seed
+    /// derived from the name, regressions persisted under
+    /// `tests/regressions/` of the calling crate when
+    /// [`Config::regressions`] is set.
+    pub fn new(name: &str) -> Config {
+        Config {
+            name: name.to_string(),
+            cases: DEFAULT_CASES,
+            seed: hash_str(name),
+            regressions: None,
+        }
+    }
+
+    /// Override the number of random cases.
+    pub fn cases(mut self, cases: usize) -> Config {
+        self.cases = cases;
+        self
+    }
+
+    /// Override the base seed (default: hash of the test name).
+    pub fn seed(mut self, seed: u64) -> Config {
+        self.seed = seed;
+        self
+    }
+
+    /// Persist and replay counterexamples in the regression file at
+    /// `path` (conventionally `tests/regressions/<suite>.txt`, resolved
+    /// relative to the calling crate's `CARGO_MANIFEST_DIR`).
+    pub fn regressions(mut self, path: &str) -> Config {
+        self.regressions = Some(path.to_string());
+        self
+    }
+
+    /// Check `property` against stored regressions and `cases` random
+    /// values from `gen`, panicking with a minimized counterexample on
+    /// failure. New counterexamples are appended to the regression file.
+    pub fn run<T>(self, gen: &Gen<T>, property: impl Fn(&T) -> Result<(), String>)
+    where
+        T: std::fmt::Debug + 'static,
+    {
+        let name = self.name.clone();
+        if let Some(failure) = self.run_for_result(gen, property) {
+            panic!(
+                "property '{}' failed\n  counterexample: {:?}\n  error: {}\n  choices: {}\n\
+                 \n  replay: the choice sequence above was appended to the regression file\
+                 \n  (if one was configured) and will run first on the next test run",
+                name,
+                failure.value,
+                failure.message,
+                regress::encode_choices(&failure.choices),
+            );
+        }
+    }
+
+    /// Like [`Config::run`] but returns the failure instead of panicking.
+    /// Used by the harness's own tests to assert on shrink quality.
+    pub fn run_for_result<T>(
+        self,
+        gen: &Gen<T>,
+        property: impl Fn(&T) -> Result<(), String>,
+    ) -> Option<Failure<T>>
+    where
+        T: std::fmt::Debug + 'static,
+    {
+        // 1. Replay persisted regressions first, so known-bad inputs are
+        //    re-checked before any random exploration.
+        if let Some(path) = &self.regressions {
+            for seq in regress::load(path, &self.name) {
+                if let Some(failure) = self.try_case(gen, &property, seq) {
+                    return Some(self.shrink(gen, &property, failure));
+                }
+            }
+        }
+
+        // 2. Random cases, one derived seed per case.
+        for case in 0..self.cases {
+            let case_seed = govhost_det::mix(self.seed, &[case as u64]);
+            let mut src = Source::random(case_seed);
+            let value = gen.generate(&mut src);
+            if let Err(message) = eval(&property, &value) {
+                let failure =
+                    Failure { value, choices: src.into_recorded(), message };
+                let shrunk = self.shrink(gen, &property, failure);
+                if let Some(path) = &self.regressions {
+                    regress::append(path, &self.name, &shrunk.choices);
+                }
+                return Some(shrunk);
+            }
+        }
+        None
+    }
+
+    /// Replay one choice sequence; `Some(failure)` if the property fails
+    /// on the value it decodes to.
+    fn try_case<T>(
+        &self,
+        gen: &Gen<T>,
+        property: &impl Fn(&T) -> Result<(), String>,
+        seq: Vec<u64>,
+    ) -> Option<Failure<T>>
+    where
+        T: std::fmt::Debug + 'static,
+    {
+        let mut src = Source::replay(seq);
+        let value = gen.generate(&mut src);
+        match eval(property, &value) {
+            Ok(()) => None,
+            Err(message) => Some(Failure { value, choices: src.into_recorded(), message }),
+        }
+    }
+
+    /// Minimize a failing choice sequence. Three passes, repeated until a
+    /// fixpoint or budget exhaustion:
+    ///   - delete blocks of 8/4/2/1 consecutive choices;
+    ///   - reduce individual choices (v -> 0, v/2, v-1);
+    ///   - delete one choice while decrementing an earlier one, which
+    ///     unsticks length-prefixed collections (dropping an element
+    ///     requires shrinking the length choice in the same step).
+    /// A candidate replaces the current counterexample only when it still
+    /// fails AND its canonical sequence (the choices actually consumed on
+    /// replay) is strictly simpler — shorter, or lexicographically lower
+    /// at equal length. Padding can re-grow a deleted suffix back to the
+    /// original sequence; without the strict check that non-shrink would
+    /// count as progress and spin until the budget ran out.
+    fn shrink<T>(
+        &self,
+        gen: &Gen<T>,
+        property: &impl Fn(&T) -> Result<(), String>,
+        mut best: Failure<T>,
+    ) -> Failure<T>
+    where
+        T: std::fmt::Debug + 'static,
+    {
+        fn simpler(new: &[u64], old: &[u64]) -> bool {
+            new.len() < old.len() || (new.len() == old.len() && new < old)
+        }
+
+        let mut evals = 0usize;
+        loop {
+            let mut improved = false;
+
+            // Pass 1: block deletion, coarse to fine.
+            for &block in &[8usize, 4, 2, 1] {
+                let mut start = 0;
+                while start + block <= best.choices.len() {
+                    if evals >= SHRINK_BUDGET {
+                        return best;
+                    }
+                    let mut candidate = best.choices.clone();
+                    candidate.drain(start..start + block);
+                    evals += 1;
+                    match self.try_case(gen, property, candidate) {
+                        Some(f) if simpler(&f.choices, &best.choices) => {
+                            best = f;
+                            improved = true;
+                            // Same index now points at fresh choices; retry it.
+                        }
+                        _ => start += 1,
+                    }
+                }
+            }
+
+            // Pass 2: per-choice value reduction.
+            let mut i = 0;
+            while i < best.choices.len() {
+                let original = best.choices[i];
+                for replacement in [0, original / 2, original.saturating_sub(1)] {
+                    if replacement >= original {
+                        continue;
+                    }
+                    if evals >= SHRINK_BUDGET {
+                        return best;
+                    }
+                    let mut candidate = best.choices.clone();
+                    candidate[i] = replacement;
+                    evals += 1;
+                    if let Some(f) = self.try_case(gen, property, candidate) {
+                        if simpler(&f.choices, &best.choices) {
+                            best = f;
+                            improved = true;
+                            break;
+                        }
+                    }
+                }
+                i += 1;
+            }
+
+            // Pass 3: paired delete + decrement.
+            let mut i = 0;
+            while i < best.choices.len() {
+                'found: for j in 0..i {
+                    if best.choices[j] == 0 {
+                        continue;
+                    }
+                    if evals >= SHRINK_BUDGET {
+                        return best;
+                    }
+                    let mut candidate = best.choices.clone();
+                    candidate.remove(i);
+                    candidate[j] -= 1;
+                    evals += 1;
+                    if let Some(f) = self.try_case(gen, property, candidate) {
+                        if simpler(&f.choices, &best.choices) {
+                            best = f;
+                            improved = true;
+                            break 'found;
+                        }
+                    }
+                }
+                i += 1;
+            }
+
+            if !improved {
+                return best;
+            }
+        }
+    }
+}
+
+/// Run the property, converting panics into `Err` so the shrinker can
+/// keep probing. The global panic hook is silenced for the duration to
+/// avoid spamming expected panic backtraces during shrinking.
+fn eval<T>(property: &impl Fn(&T) -> Result<(), String>, value: &T) -> Result<(), String> {
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| property(value)));
+    panic::set_hook(prev_hook);
+    match result {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "property panicked".to_string()
+            };
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gens;
+
+    #[test]
+    fn passing_property_returns_none() {
+        let gen = gens::u64_range(0, 100);
+        let failure = Config::new("always-passes")
+            .cases(64)
+            .run_for_result(&gen, |_| Ok(()));
+        assert!(failure.is_none());
+    }
+
+    #[test]
+    fn shrinks_scalar_to_boundary() {
+        // "all values < 500" over 0..10000 must shrink to exactly 500.
+        let gen = gens::u64_range(0, 10_000);
+        let failure = Config::new("scalar-boundary")
+            .run_for_result(&gen, |&v| {
+                if v < 500 { Ok(()) } else { Err(format!("{v} >= 500")) }
+            })
+            .expect("property is false");
+        assert_eq!(failure.value, 500, "shrinker should find the boundary");
+    }
+
+    #[test]
+    fn shrinks_vec_to_minimal_counterexample() {
+        // "no element >= 10" must shrink to the single vector [10].
+        let gen = gens::vec(gens::u64_range(0, 100), 0, 20);
+        let failure = Config::new("vec-minimal")
+            .run_for_result(&gen, |v| {
+                if v.iter().all(|&x| x < 10) {
+                    Ok(())
+                } else {
+                    Err("element >= 10".to_string())
+                }
+            })
+            .expect("property is false");
+        assert_eq!(failure.value, vec![10], "one element, at the boundary");
+    }
+
+    #[test]
+    fn shrinks_through_map_and_flat_map() {
+        // Composed generator: length-prefixed doubled values. The minimal
+        // failing string has one 'b' and nothing else.
+        let gen = gens::usize_range(0, 8)
+            .flat_map(|n| gens::string_of("ab", n, n.max(1)));
+        let failure = Config::new("composed-minimal")
+            .run_for_result(&gen, |s| {
+                if s.contains('b') { Err("has b".to_string()) } else { Ok(()) }
+            })
+            .expect("property is false");
+        assert_eq!(failure.value, "b");
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_shrunk() {
+        let gen = gens::u64_range(0, 1000);
+        let failure = Config::new("panics")
+            .run_for_result(&gen, |&v| {
+                assert!(v < 50, "too big: {v}");
+                Ok(())
+            })
+            .expect("property is false");
+        assert_eq!(failure.value, 50);
+        assert!(failure.message.contains("too big"));
+    }
+
+    #[test]
+    fn failure_replays_from_choices() {
+        let gen = gens::vec(gens::u64_range(0, 100), 0, 20);
+        let failure = Config::new("replayable")
+            .run_for_result(&gen, |v| {
+                if v.iter().sum::<u64>() < 42 { Ok(()) } else { Err("sum".into()) }
+            })
+            .expect("property is false");
+        let replayed = gen.generate(&mut Source::replay(failure.choices.clone()));
+        assert_eq!(replayed, failure.value);
+    }
+
+    #[test]
+    fn run_panics_with_counterexample() {
+        let gen = gens::u64_range(0, 10);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Config::new("reporting").run(&gen, |&v| {
+                if v < 5 { Ok(()) } else { Err("big".into()) }
+            });
+        }));
+        let msg = match result {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default(),
+            Ok(()) => panic!("run() should have panicked"),
+        };
+        assert!(msg.contains("property 'reporting' failed"), "got: {msg}");
+        assert!(msg.contains("counterexample: 5"), "got: {msg}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Composable value generators over a [`Source`] choice stream.
+//!
+//! A [`Gen<T>`] is a pure function from a choice stream to a `T`. The
+//! combinators (`map`, `flat_map`, `zip`, [`gens::vec`], ...) keep the
+//! invariant that smaller choices yield simpler values, which is what
+//! lets the checker shrink any composed generator without type-specific
+//! shrinkers.
+
+use std::rc::Rc;
+
+use crate::source::Source;
+
+/// A reusable, cloneable generator of `T` values.
+pub struct Gen<T> {
+    run: Rc<dyn Fn(&mut Source) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { run: Rc::clone(&self.run) }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Build a generator from a raw draw function.
+    pub fn new(f: impl Fn(&mut Source) -> T + 'static) -> Gen<T> {
+        Gen { run: Rc::new(f) }
+    }
+
+    /// Produce one value from the stream.
+    pub fn generate(&self, src: &mut Source) -> T {
+        (self.run)(src)
+    }
+
+    /// A generator that always yields a clone of `value`.
+    pub fn constant(value: T) -> Gen<T>
+    where
+        T: Clone,
+    {
+        Gen::new(move |_| value.clone())
+    }
+
+    /// Transform generated values.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |src| f(self.generate(src)))
+    }
+
+    /// Use a generated value to pick the next generator.
+    pub fn flat_map<U: 'static>(self, f: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+        Gen::new(move |src| f(self.generate(src)).generate(src))
+    }
+
+    /// Pair this generator with another.
+    pub fn zip<U: 'static>(self, other: Gen<U>) -> Gen<(T, U)> {
+        Gen::new(move |src| (self.generate(src), other.generate(src)))
+    }
+}
+
+/// Stock generators. Import as `use govhost_harness::gens;`.
+pub mod gens {
+    use super::*;
+
+    /// Any `u64`.
+    pub fn u64_any() -> Gen<u64> {
+        Gen::new(|src| src.draw(0))
+    }
+
+    /// A `u64` in `[lo, hi)`. Panics if the range is empty.
+    pub fn u64_range(lo: u64, hi: u64) -> Gen<u64> {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        Gen::new(move |src| lo + src.draw(hi - lo))
+    }
+
+    /// A `u64` in `[lo, hi]` (inclusive; supports `u64::MAX`).
+    pub fn u64_inclusive(lo: u64, hi: u64) -> Gen<u64> {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo; // span == u64::MAX - 0 wraps draw(0) -> full range
+        Gen::new(move |src| {
+            if span == u64::MAX {
+                src.draw(0)
+            } else {
+                lo + src.draw(span + 1)
+            }
+        })
+    }
+
+    /// A `usize` in `[lo, hi)`.
+    pub fn usize_range(lo: usize, hi: usize) -> Gen<usize> {
+        u64_range(lo as u64, hi as u64).map(|v| v as usize)
+    }
+
+    /// Any `u32`.
+    pub fn u32_any() -> Gen<u32> {
+        u64_range(0, 1 << 32).map(|v| v as u32)
+    }
+
+    /// An `i64` in `[lo, hi)`. Small magnitudes come from small choices,
+    /// so counterexamples shrink toward `lo.max(0).min(hi - 1)`-ish values.
+    pub fn i64_range(lo: i64, hi: i64) -> Gen<i64> {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi as i128 - lo as i128) as u64;
+        Gen::new(move |src| (lo as i128 + src.draw(span) as i128) as i64)
+    }
+
+    /// An `f64` in `[0, 1)` with 53-bit resolution. Choice 0 maps to 0.0.
+    pub fn f64_unit() -> Gen<f64> {
+        Gen::new(|src| src.draw(1u64 << 53) as f64 / (1u64 << 53) as f64)
+    }
+
+    /// An `f64` in `[lo, hi)`.
+    pub fn f64_range(lo: f64, hi: f64) -> Gen<f64> {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        f64_unit().map(move |u| lo + u * (hi - lo))
+    }
+
+    /// A `bool`; `false` is the simpler value.
+    pub fn bool_any() -> Gen<bool> {
+        Gen::new(|src| src.draw(2) == 1)
+    }
+
+    /// A vector of `len_lo..=len_hi` elements.
+    pub fn vec<T: 'static>(elem: Gen<T>, len_lo: usize, len_hi: usize) -> Gen<Vec<T>> {
+        assert!(len_lo <= len_hi, "empty length range {len_lo}..={len_hi}");
+        Gen::new(move |src| {
+            let n = len_lo + src.draw((len_hi - len_lo + 1) as u64) as usize;
+            (0..n).map(|_| elem.generate(src)).collect()
+        })
+    }
+
+    /// Pick one of the listed generators, uniformly.
+    pub fn one_of<T: 'static>(options: Vec<Gen<T>>) -> Gen<T> {
+        assert!(!options.is_empty(), "one_of needs at least one option");
+        Gen::new(move |src| {
+            let i = src.draw(options.len() as u64) as usize;
+            options[i].generate(src)
+        })
+    }
+
+    /// Pick one of the listed values, uniformly. The first is simplest.
+    pub fn select<T: Clone + 'static>(items: Vec<T>) -> Gen<T> {
+        assert!(!items.is_empty(), "select needs at least one item");
+        Gen::new(move |src| items[src.draw(items.len() as u64) as usize].clone())
+    }
+
+    /// A string of `len_lo..=len_hi` chars drawn from `alphabet`.
+    pub fn string_of(alphabet: &str, len_lo: usize, len_hi: usize) -> Gen<String> {
+        let chars: Vec<char> = alphabet.chars().collect();
+        vec(select(chars), len_lo, len_hi).map(|cs| cs.into_iter().collect())
+    }
+
+    /// A string of arbitrary Unicode scalar values (any `char`, including
+    /// control and astral-plane codepoints), `len_lo..=len_hi` chars long.
+    /// The surrogate gap `U+D800..U+E000` is skipped by shifting draws
+    /// past it, so choice 0 is `'\0'` and the mapping stays monotone.
+    pub fn unicode_string(len_lo: usize, len_hi: usize) -> Gen<String> {
+        const GAP: u64 = 0x800; // number of surrogate codepoints
+        let ch = Gen::new(|src| {
+            let c = src.draw(0x11_0000 - GAP);
+            let code = if c < 0xD800 { c } else { c + GAP };
+            char::from_u32(code as u32).expect("surrogates skipped")
+        });
+        vec(ch, len_lo, len_hi).map(|cs| cs.into_iter().collect())
+    }
+
+    /// Triple of independent generators.
+    pub fn zip3<A: 'static, B: 'static, C: 'static>(
+        a: Gen<A>,
+        b: Gen<B>,
+        c: Gen<C>,
+    ) -> Gen<(A, B, C)> {
+        a.zip(b).zip(c).map(|((a, b), c)| (a, b, c))
+    }
+
+    /// Quadruple of independent generators.
+    pub fn zip4<A: 'static, B: 'static, C: 'static, D: 'static>(
+        a: Gen<A>,
+        b: Gen<B>,
+        c: Gen<C>,
+        d: Gen<D>,
+    ) -> Gen<(A, B, C, D)> {
+        a.zip(b).zip(c.zip(d)).map(|((a, b), (c, d))| (a, b, c, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gens;
+    use super::*;
+
+    #[test]
+    fn map_and_zip_compose() {
+        let g = gens::u64_range(0, 10).map(|v| v * 2).zip(gens::bool_any());
+        let mut src = Source::random(5);
+        for _ in 0..100 {
+            let (v, _) = g.generate(&mut src);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let g = gens::vec(gens::u64_any(), 2, 5);
+        let mut src = Source::random(9);
+        for _ in 0..100 {
+            let v = g.generate(&mut src);
+            assert!((2..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn f64_unit_zero_choice_is_zero() {
+        let g = gens::f64_unit();
+        let mut src = Source::replay(vec![]);
+        assert_eq!(g.generate(&mut src), 0.0);
+    }
+
+    #[test]
+    fn unicode_string_skips_surrogates() {
+        let g = gens::unicode_string(0, 20);
+        let mut src = Source::random(77);
+        for _ in 0..200 {
+            let s = g.generate(&mut src);
+            for c in s.chars() {
+                assert!(!(0xD800..0xE000).contains(&(c as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_through_combinators() {
+        let g = gens::vec(gens::string_of("abc", 1, 4), 1, 3);
+        let seq: Vec<u64> = {
+            let mut src = Source::random(13);
+            g.generate(&mut src);
+            src.into_recorded()
+        };
+        let a = g.generate(&mut Source::replay(seq.clone()));
+        let b = g.generate(&mut Source::replay(seq));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inclusive_range_covers_max() {
+        let g = gens::u64_inclusive(0, u64::MAX);
+        let mut src = Source::replay(vec![u64::MAX]);
+        assert_eq!(g.generate(&mut src), u64::MAX);
+    }
+}

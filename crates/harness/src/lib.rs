@@ -1,0 +1,112 @@
+//! In-repo test and bench layer for the `govhost` workspace.
+//!
+//! The workspace must build and test with **zero external crates** (the
+//! build environment has no registry access), so this crate supplies the
+//! two pieces of test infrastructure that normally come from proptest and
+//! criterion:
+//!
+//! - **Property testing** ([`Config`], [`Gen`], [`gens`]): a
+//!   choice-stream engine. Generators draw `u64` choices from a seeded
+//!   [`Source`]; a failing value's recorded choice sequence is shrunk by
+//!   block deletion and value reduction, which minimizes the *value*
+//!   through arbitrary `map`/`flat_map` composition. Minimized
+//!   counterexamples persist to plain-text regression files (see
+//!   [`regress`]) and replay before random cases on every run.
+//! - **Micro-benchmarks** ([`bench::Bench`]): warmup, calibrated
+//!   iteration counts, median/p95 summaries, and `BENCH_<suite>.json`
+//!   output at the repo root, with a smoke mode for CI.
+//!
+//! A property test looks like:
+//!
+//! ```
+//! use govhost_harness::{gens, Config};
+//!
+//! let pairs = gens::u64_range(0, 1000).zip(gens::u64_range(0, 1000));
+//! Config::new("addition_commutes")
+//!     .cases(256)
+//!     .run(&pairs, |&(a, b)| {
+//!         govhost_harness::prop_assert_eq!(a + b, b + a);
+//!         Ok(())
+//!     });
+//! ```
+
+pub mod bench;
+pub mod check;
+pub mod gen;
+pub mod regress;
+pub mod source;
+
+pub use check::{Config, Failure};
+pub use gen::{gens, Gen};
+pub use source::Source;
+
+/// Fail the property with a message unless `cond` holds. Use inside the
+/// closure passed to [`Config::run`]; expands to an early `return Err`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the property unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {l:?}\n  right: {r:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}\n  left: {l:?}\n  right: {r:?}",
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Fail the property if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {l:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{gens, Config};
+
+    #[test]
+    fn macros_compose_with_run() {
+        let gen = gens::u64_range(0, 500).zip(gens::u64_range(0, 500));
+        Config::new("macro_smoke").cases(64).run(&gen, |&(a, b)| {
+            crate::prop_assert!(a < 500);
+            crate::prop_assert_eq!(a.max(b), b.max(a));
+            crate::prop_assert_ne!(a, a + 1);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,133 @@
+//! Regression-seed persistence.
+//!
+//! Counterexamples are stored as their canonical choice sequences, one
+//! per line, in a plain-text file committed next to the tests:
+//!
+//! ```text
+//! # comment lines and blanks are ignored
+//! hostname_parser_never_panics 3.1f.0.a2
+//! five_number_summary_is_ordered 4.0.1b672f...
+//! ```
+//!
+//! Each line is `<test-name> <dot-separated lowercase-hex u64 choices>`;
+//! an empty sequence is written as `-`. Paths are resolved relative to
+//! the calling crate via the `CARGO_MANIFEST_DIR` the test binary was
+//! compiled with, so `tests/regressions/<suite>.txt` works from any cwd.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Encode a choice sequence as dot-separated hex (`-` when empty).
+pub fn encode_choices(choices: &[u64]) -> String {
+    if choices.is_empty() {
+        return "-".to_string();
+    }
+    choices.iter().map(|c| format!("{c:x}")).collect::<Vec<_>>().join(".")
+}
+
+/// Decode [`encode_choices`] output; `None` on malformed input.
+pub fn decode_choices(text: &str) -> Option<Vec<u64>> {
+    if text == "-" {
+        return Some(Vec::new());
+    }
+    text.split('.').map(|part| u64::from_str_radix(part, 16).ok()).collect()
+}
+
+fn resolve(path: &str) -> PathBuf {
+    let p = Path::new(path);
+    if p.is_absolute() {
+        return p.to_path_buf();
+    }
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => Path::new(&dir).join(p),
+        Err(_) => p.to_path_buf(),
+    }
+}
+
+/// Load the stored choice sequences for `test_name` from `path`.
+/// Missing files mean no regressions; malformed lines are skipped (a
+/// hand-mangled file should not brick the whole suite).
+pub fn load(path: &str, test_name: &str) -> Vec<Vec<u64>> {
+    let Ok(contents) = fs::read_to_string(resolve(path)) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let (name, seq) = line.split_once(char::is_whitespace)?;
+            if name != test_name {
+                return None;
+            }
+            decode_choices(seq.trim())
+        })
+        .collect()
+}
+
+/// Append a new counterexample for `test_name`, skipping exact
+/// duplicates. Creates the file (and parent directories) on first use.
+pub fn append(path: &str, test_name: &str, choices: &[u64]) {
+    if load(path, test_name).iter().any(|seq| seq == choices) {
+        return;
+    }
+    let full = resolve(path);
+    if let Some(parent) = full.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    let new_file = !full.exists();
+    let Ok(mut file) = fs::OpenOptions::new().create(true).append(true).open(&full) else {
+        eprintln!("warning: could not persist regression to {}", full.display());
+        return;
+    };
+    if new_file {
+        let _ = writeln!(
+            file,
+            "# govhost-harness regression seeds: `<test-name> <dot-separated hex u64 choices>`\n\
+             # Replayed before random cases on every run; commit this file."
+        );
+    }
+    let _ = writeln!(file, "{test_name} {}", encode_choices(choices));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for seq in [vec![], vec![0], vec![1, 255, u64::MAX], vec![0xdead, 0xbeef]] {
+            assert_eq!(decode_choices(&encode_choices(&seq)), Some(seq));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode_choices("zz.1"), None);
+        assert_eq!(decode_choices(""), None);
+    }
+
+    #[test]
+    fn load_and_append_round_trip() {
+        let dir = std::env::temp_dir().join("govhost-harness-regress-test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("suite.txt");
+        let path_str = path.to_str().unwrap();
+        let _ = fs::remove_file(&path);
+
+        assert!(load(path_str, "t1").is_empty());
+        append(path_str, "t1", &[1, 2, 3]);
+        append(path_str, "t2", &[]);
+        append(path_str, "t1", &[1, 2, 3]); // duplicate, skipped
+        append(path_str, "t1", &[9]);
+
+        assert_eq!(load(path_str, "t1"), vec![vec![1, 2, 3], vec![9]]);
+        assert_eq!(load(path_str, "t2"), vec![Vec::<u64>::new()]);
+        assert!(load(path_str, "t3").is_empty());
+
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -23,13 +23,21 @@
 
 pub mod asdb;
 pub mod coords;
-pub mod det;
 pub mod latency;
 pub mod peeringdb;
 pub mod probes;
 pub mod search;
 pub mod trie;
 pub mod whois;
+
+/// Deterministic hashing helpers, re-exported from [`govhost_det`].
+///
+/// The latency model and failure-injection knobs need *stable* per-entity
+/// noise: the same (probe, server) pair must see the same jitter in every
+/// run and regardless of evaluation order. Historically this module lived
+/// here; the implementation moved to the dependency-free `govhost-det`
+/// crate so the world generator and test harness share one stream.
+pub use govhost_det as det;
 
 pub use asdb::{AsRecord, AsRegistry, Server, ServerId};
 pub use coords::{City, GeoPoint};

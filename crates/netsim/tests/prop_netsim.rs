@@ -1,85 +1,110 @@
 //! Property tests for the network substrate: the latency model's physical
 //! invariants, the deterministic-hash utilities, and trie/linear-scan
-//! agreement under arbitrary prefix sets.
+//! agreement under arbitrary prefix sets. On the in-repo harness.
 
+use govhost_harness::{gens, prop_assert, prop_assert_eq, Config, Gen};
 use govhost_netsim::coords::GeoPoint;
 use govhost_netsim::det;
 use govhost_netsim::latency::LatencyModel;
 use govhost_netsim::trie::PrefixTrie;
 use govhost_types::IpPrefix;
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
-fn arb_point() -> impl Strategy<Value = GeoPoint> {
-    (-85.0f64..85.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+const REGRESSIONS: &str = "tests/regressions/prop_netsim.txt";
+
+fn cfg(name: &str) -> Config {
+    Config::new(name).cases(256).regressions(REGRESSIONS)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+fn arb_point() -> Gen<GeoPoint> {
+    gens::f64_range(-85.0, 85.0)
+        .zip(gens::f64_range(-180.0, 180.0))
+        .map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
 
-    #[test]
-    fn distances_are_symmetric_and_bounded(a in arb_point(), b in arb_point()) {
-        let d1 = a.distance_km(&b);
-        let d2 = b.distance_km(&a);
+#[test]
+fn distances_are_symmetric_and_bounded() {
+    let pairs = arb_point().zip(arb_point());
+    cfg("distances_are_symmetric_and_bounded").run(&pairs, |(a, b)| {
+        let d1 = a.distance_km(b);
+        let d2 = b.distance_km(a);
         prop_assert!((d1 - d2).abs() < 1e-6);
         prop_assert!(d1 >= 0.0);
         // Half the Earth's circumference is the maximum great circle.
         prop_assert!(d1 <= std::f64::consts::PI * 6371.0 + 1.0);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn triangle_inequality_holds(a in arb_point(), b in arb_point(), c in arb_point()) {
-        let ab = a.distance_km(&b);
-        let bc = b.distance_km(&c);
-        let ac = a.distance_km(&c);
+#[test]
+fn triangle_inequality_holds() {
+    let triples = gens::zip3(arb_point(), arb_point(), arb_point());
+    cfg("triangle_inequality_holds").run(&triples, |(a, b, c)| {
+        let ab = a.distance_km(b);
+        let bc = b.distance_km(c);
+        let ac = a.distance_km(c);
         prop_assert!(ac <= ab + bc + 1e-6, "ac {ac} > ab {ab} + bc {bc}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rtt_respects_physics(a in arb_point(), b in arb_point(), attempt in 0u64..50) {
+#[test]
+fn rtt_respects_physics() {
+    let inputs = gens::zip3(arb_point(), arb_point(), gens::u64_range(0, 50));
+    cfg("rtt_respects_physics").run(&inputs, |(a, b, attempt)| {
         let model = LatencyModel::default();
-        let floor = model.min_rtt_ms(&a, &b);
-        let rtt = model.rtt_ms(&a, &b, attempt);
+        let floor = model.min_rtt_ms(a, b);
+        let rtt = model.rtt_ms(a, b, *attempt);
         prop_assert!(rtt >= floor, "sample below physical floor");
         prop_assert!(rtt <= floor + model.jitter_ms + 1e-9, "jitter exceeded its bound");
         // No measurement is faster than light in fibre over the great
         // circle (the invariant the GCV anycast detector relies on).
-        let light_floor = 2.0 * a.distance_km(&b) / model.fibre_km_per_ms;
+        let light_floor = 2.0 * a.distance_km(b) / model.fibre_km_per_ms;
         prop_assert!(rtt >= light_floor - 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn min_of_pings_is_min(a in arb_point(), b in arb_point(), n in 1u64..8) {
+#[test]
+fn min_of_pings_is_min() {
+    let inputs = gens::zip3(arb_point(), arb_point(), gens::u64_range(1, 8));
+    cfg("min_of_pings_is_min").run(&inputs, |(a, b, n)| {
         let model = LatencyModel::default();
-        let min = model.min_of_pings(&a, &b, n);
-        for i in 0..n {
-            prop_assert!(min <= model.rtt_ms(&a, &b, i) + 1e-12);
+        let min = model.min_of_pings(a, b, *n);
+        for i in 0..*n {
+            prop_assert!(min <= model.rtt_ms(a, b, i) + 1e-12);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn det_unit_is_stable_and_in_range(seed in any::<u64>(), parts in proptest::collection::vec(any::<u64>(), 0..6)) {
-        let u1 = det::unit(seed, &parts);
-        let u2 = det::unit(seed, &parts);
+#[test]
+fn det_unit_is_stable_and_in_range() {
+    let inputs = gens::u64_any().zip(gens::vec(gens::u64_any(), 0, 5));
+    cfg("det_unit_is_stable_and_in_range").run(&inputs, |(seed, parts)| {
+        let u1 = det::unit(*seed, parts);
+        let u2 = det::unit(*seed, parts);
         prop_assert_eq!(u1, u2);
         prop_assert!((0.0..1.0).contains(&u1));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn trie_agrees_with_linear_scan(
-        entries in proptest::collection::vec((any::<u32>(), 4u8..=30), 1..80),
-        probes in proptest::collection::vec(any::<u32>(), 1..40),
-    ) {
+#[test]
+fn trie_agrees_with_linear_scan() {
+    let entry = gens::u32_any().zip(gens::u64_range(4, 31));
+    let inputs = gens::vec(entry, 1, 79).zip(gens::vec(gens::u32_any(), 1, 39));
+    cfg("trie_agrees_with_linear_scan").run(&inputs, |(entries, probes)| {
         let mut trie = PrefixTrie::new();
         let mut list: Vec<(IpPrefix, usize)> = Vec::new();
         for (i, (base, len)) in entries.iter().enumerate() {
-            let prefix = IpPrefix::new(Ipv4Addr::from(*base), *len).expect("len valid");
+            let prefix = IpPrefix::new(Ipv4Addr::from(*base), *len as u8).expect("len valid");
             trie.insert(prefix, i);
             list.retain(|(p, _)| *p != prefix);
             list.push((prefix, i));
         }
         for probe in probes {
-            let addr = Ipv4Addr::from(probe);
+            let addr = Ipv4Addr::from(*probe);
             let naive = list
                 .iter()
                 .filter(|(p, _)| p.contains(addr))
@@ -87,5 +112,6 @@ proptest! {
                 .map(|(_, v)| v);
             prop_assert_eq!(trie.longest_match(addr), naive);
         }
-    }
+        Ok(())
+    });
 }

@@ -1,19 +1,24 @@
-//! Property tests for the statistics kernels.
+//! Property tests for the statistics kernels, on the in-repo harness.
 
+use govhost_harness::{gens, prop_assert, prop_assert_eq, Config};
 use govhost_stats::boxplot::FiveNumberSummary;
 use govhost_stats::cluster::Dendrogram;
 use govhost_stats::descriptive::{mean, quantile, standardize, std_dev};
 use govhost_stats::hhi::{hhi, hhi_from_counts};
 use govhost_stats::linalg::Matrix;
 use govhost_stats::ols::OlsFit;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+const REGRESSIONS: &str = "tests/regressions/prop_stats.txt";
 
-    #[test]
-    fn hhi_is_bounded(shares in proptest::collection::vec(0.0f64..100.0, 1..50)) {
-        let h = hhi(&shares);
+fn cfg(name: &str) -> Config {
+    Config::new(name).cases(256).regressions(REGRESSIONS)
+}
+
+#[test]
+fn hhi_is_bounded() {
+    let shares = gens::vec(gens::f64_range(0.0, 100.0), 1, 49);
+    cfg("hhi_is_bounded").run(&shares, |shares| {
+        let h = hhi(shares);
         if h.is_nan() {
             // All-zero input.
             prop_assert!(shares.iter().sum::<f64>() == 0.0);
@@ -22,24 +27,27 @@ proptest! {
             prop_assert!(h <= 1.0 + 1e-9);
             prop_assert!(h >= 1.0 / n - 1e-9, "HHI {h} below 1/n {}", 1.0 / n);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hhi_is_scale_invariant(counts in proptest::collection::vec(1u64..10_000, 1..30), k in 2u64..10) {
+#[test]
+fn hhi_is_scale_invariant() {
+    let inputs = gens::vec(gens::u64_range(1, 10_000), 1, 29).zip(gens::u64_range(2, 10));
+    cfg("hhi_is_scale_invariant").run(&inputs, |(counts, k)| {
         let scaled: Vec<u64> = counts.iter().map(|c| c * k).collect();
-        let a = hhi_from_counts(&counts);
+        let a = hhi_from_counts(counts);
         let b = hhi_from_counts(&scaled);
         prop_assert!((a - b).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ward_heights_monotone_and_cut_consistent(
-        data in proptest::collection::vec(
-            proptest::collection::vec(-10.0f64..10.0, 3),
-            2..25,
-        )
-    ) {
-        let d = Dendrogram::ward(&data);
+#[test]
+fn ward_heights_monotone_and_cut_consistent() {
+    let data = gens::vec(gens::vec(gens::f64_range(-10.0, 10.0), 3, 3), 2, 24);
+    cfg("ward_heights_monotone_and_cut_consistent").run(&data, |data| {
+        let d = Dendrogram::ward(data);
         let heights = d.heights();
         for w in heights.windows(2) {
             prop_assert!(w[1] >= w[0] - 1e-6, "heights must be monotone: {heights:?}");
@@ -56,36 +64,33 @@ proptest! {
             let distinct: std::collections::HashSet<_> = labels.iter().collect();
             prop_assert_eq!(distinct.len(), k);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn leaf_order_is_always_a_permutation(
-        data in proptest::collection::vec(
-            proptest::collection::vec(-5.0f64..5.0, 2),
-            1..20,
-        )
-    ) {
-        let d = Dendrogram::ward(&data);
+#[test]
+fn leaf_order_is_always_a_permutation() {
+    let data = gens::vec(gens::vec(gens::f64_range(-5.0, 5.0), 2, 2), 1, 19);
+    cfg("leaf_order_is_always_a_permutation").run(&data, |data| {
+        let d = Dendrogram::ward(data);
         let mut order = d.leaf_order();
         order.sort_unstable();
         prop_assert_eq!(order, (0..data.len()).collect::<Vec<_>>());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ols_recovers_planted_coefficients(
-        intercept in -5.0f64..5.0,
-        slope1 in -5.0f64..5.0,
-        slope2 in -5.0f64..5.0,
-        xs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 10..60),
-    ) {
+#[test]
+fn ols_recovers_planted_coefficients() {
+    let coeff = || gens::f64_range(-5.0, 5.0);
+    let point = gens::f64_range(-10.0, 10.0).zip(gens::f64_range(-10.0, 10.0));
+    let inputs = gens::zip4(coeff(), coeff(), coeff(), gens::vec(point, 10, 59));
+    cfg("ols_recovers_planted_coefficients").run(&inputs, |(intercept, slope1, slope2, xs)| {
         // Noise-free linear data must be recovered exactly (when the
         // design is well-conditioned).
-        let rows: Vec<Vec<f64>> =
-            xs.iter().map(|(a, b)| vec![1.0, *a, *b]).collect();
-        let y: Vec<f64> = xs
-            .iter()
-            .map(|(a, b)| intercept + slope1 * a + slope2 * b)
-            .collect();
+        let rows: Vec<Vec<f64>> = xs.iter().map(|(a, b)| vec![1.0, *a, *b]).collect();
+        let y: Vec<f64> =
+            xs.iter().map(|(a, b)| intercept + slope1 * a + slope2 * b).collect();
         let design = Matrix::from_rows(&rows);
         if let Some(fit) = OlsFit::fit(&design, &y) {
             prop_assert!((fit.coefficients[0].estimate - intercept).abs() < 1e-6);
@@ -93,39 +98,49 @@ proptest! {
             prop_assert!((fit.coefficients[2].estimate - slope2).abs() < 1e-6);
             prop_assert!(fit.residuals.iter().all(|r| r.abs() < 1e-6));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn standardize_properties(xs in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
-        let z = standardize(&xs);
+#[test]
+fn standardize_properties() {
+    let xs = gens::vec(gens::f64_range(-1e6, 1e6), 2, 99);
+    cfg("standardize_properties").run(&xs, |xs| {
+        let z = standardize(xs);
         prop_assert_eq!(z.len(), xs.len());
         let m = mean(&z);
         prop_assert!(m.abs() < 1e-6, "mean {m}");
         let s = std_dev(&z);
         prop_assert!(s == 0.0 || (s - 1.0).abs() < 1e-6, "sd {s}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn quantiles_are_monotone_and_within_range(
-        xs in proptest::collection::vec(-1e3f64..1e3, 1..80),
-        qs in proptest::collection::vec(0.0f64..=1.0, 2..6),
-    ) {
-        let mut qs = qs;
+#[test]
+fn quantiles_are_monotone_and_within_range() {
+    let inputs = gens::vec(gens::f64_range(-1e3, 1e3), 1, 79)
+        .zip(gens::vec(gens::f64_unit(), 2, 5));
+    cfg("quantiles_are_monotone_and_within_range").run(&inputs, |(xs, qs)| {
+        let mut qs = qs.clone();
         qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut prev = f64::NEG_INFINITY;
         for q in qs {
-            let v = quantile(&xs, q);
+            let v = quantile(xs, q);
             prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
             prop_assert!(v >= prev - 1e-9, "quantiles must be monotone");
             prev = v;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn five_number_summary_is_ordered(xs in proptest::collection::vec(0.0f64..1.0, 1..100)) {
-        let s = FiveNumberSummary::of(&xs).expect("nonempty");
+#[test]
+fn five_number_summary_is_ordered() {
+    let xs = gens::vec(gens::f64_range(0.0, 1.0), 1, 99);
+    cfg("five_number_summary_is_ordered").run(&xs, |xs| {
+        let s = FiveNumberSummary::of(xs).expect("nonempty");
         prop_assert!(s.min <= s.whisker_low + 1e-12);
         prop_assert!(s.whisker_low <= s.q1 + 1e-12);
         prop_assert!(s.q1 <= s.median + 1e-12);
@@ -133,5 +148,6 @@ proptest! {
         prop_assert!(s.q3 <= s.whisker_high + 1e-12);
         prop_assert!(s.whisker_high <= s.max + 1e-12);
         prop_assert_eq!(s.n, xs.len());
-    }
+        Ok(())
+    });
 }

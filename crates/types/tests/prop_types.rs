@@ -1,67 +1,115 @@
-//! Property tests for the vocabulary types.
+//! Property tests for the vocabulary types, on the in-repo harness.
 
+use govhost_harness::{gens, prop_assert, prop_assert_eq, Config, Gen};
 use govhost_types::{CountryCode, Hostname, IpPrefix, Url};
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
-fn arb_hostname() -> impl Strategy<Value = String> {
-    proptest::collection::vec(
-        proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?").expect("regex"),
-        1..5,
-    )
-    .prop_map(|labels| labels.join("."))
+const REGRESSIONS: &str = "tests/regressions/prop_types.txt";
+
+fn cfg(name: &str) -> Config {
+    Config::new(name).cases(256).regressions(REGRESSIONS)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const ALNUM: &str = "abcdefghijklmnopqrstuvwxyz0123456789";
 
-    #[test]
-    fn hostname_parse_display_round_trips(s in arb_hostname()) {
+/// One DNS label: `[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?`.
+fn arb_label() -> Gen<String> {
+    const INNER: &str = "abcdefghijklmnopqrstuvwxyz0123456789-";
+    gens::zip3(
+        gens::string_of(ALNUM, 1, 1),
+        gens::string_of(INNER, 0, 10),
+        gens::string_of(ALNUM, 0, 1),
+    )
+    .map(|(first, middle, last)| {
+        if last.is_empty() {
+            first
+        } else {
+            format!("{first}{middle}{last}")
+        }
+    })
+}
+
+/// 1-4 labels joined with dots.
+fn arb_hostname() -> Gen<String> {
+    gens::vec(arb_label(), 1, 4).map(|labels| labels.join("."))
+}
+
+#[test]
+fn hostname_parse_display_round_trips() {
+    cfg("hostname_parse_display_round_trips").run(&arb_hostname(), |s| {
         let h: Hostname = s.parse().expect("generated hostnames are valid");
         prop_assert_eq!(h.to_string(), s.to_lowercase());
         let again: Hostname = h.to_string().parse().expect("round trip");
         prop_assert_eq!(again, h);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hostname_parser_never_panics(s in "\\PC{0,300}") {
+#[test]
+fn hostname_parser_never_panics() {
+    cfg("hostname_parser_never_panics").run(&gens::unicode_string(0, 300), |s| {
         let _ = s.parse::<Hostname>();
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn registrable_domain_is_idempotent_and_suffix(s in arb_hostname()) {
+#[test]
+fn registrable_domain_is_idempotent_and_suffix() {
+    cfg("registrable_domain_is_idempotent_and_suffix").run(&arb_hostname(), |s| {
         let h: Hostname = s.parse().expect("valid");
         let rd = h.registrable_domain();
         prop_assert!(h.is_subdomain_of(&rd), "{h} must be under {rd}");
         prop_assert_eq!(rd.registrable_domain(), rd.clone());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn subdomain_relation_is_reflexive_and_antisymmetric(a in arb_hostname(), b in arb_hostname()) {
+#[test]
+fn subdomain_relation_is_reflexive_and_antisymmetric() {
+    let pairs = arb_hostname().zip(arb_hostname());
+    cfg("subdomain_relation_is_reflexive_and_antisymmetric").run(&pairs, |(a, b)| {
         let ha: Hostname = a.parse().expect("valid");
         let hb: Hostname = b.parse().expect("valid");
         prop_assert!(ha.is_subdomain_of(&ha));
         if ha != hb && ha.is_subdomain_of(&hb) {
             prop_assert!(!hb.is_subdomain_of(&ha));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn url_round_trips(host in arb_hostname(), path in "(/[a-z0-9._~-]{0,12}){0,4}") {
+/// A URL path: `(/[a-z0-9._~-]{0,12}){0,4}`.
+fn arb_path() -> Gen<String> {
+    let segment = gens::string_of("abcdefghijklmnopqrstuvwxyz0123456789._~-", 0, 12)
+        .map(|s| format!("/{s}"));
+    gens::vec(segment, 0, 4).map(|segs| segs.concat())
+}
+
+#[test]
+fn url_round_trips() {
+    let inputs = arb_hostname().zip(arb_path());
+    cfg("url_round_trips").run(&inputs, |(host, path)| {
         let url_str = format!("https://{host}{path}");
         let url: Url = url_str.parse().expect("generated URLs are valid");
         let again: Url = url.to_string().parse().expect("round trip");
         prop_assert_eq!(again, url);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn url_parser_never_panics(s in "\\PC{0,200}") {
+#[test]
+fn url_parser_never_panics() {
+    cfg("url_parser_never_panics").run(&gens::unicode_string(0, 200), |s| {
         let _ = s.parse::<Url>();
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn prefix_contains_its_own_addresses(base in any::<u32>(), len in 20u8..=32) {
-        let prefix = IpPrefix::new(Ipv4Addr::from(base), len).expect("len valid");
+#[test]
+fn prefix_contains_its_own_addresses() {
+    let inputs = gens::u32_any().zip(gens::u64_range(20, 33));
+    cfg("prefix_contains_its_own_addresses").run(&inputs, |&(base, len)| {
+        let prefix = IpPrefix::new(Ipv4Addr::from(base), len as u8).expect("len valid");
         prop_assert!(prefix.contains(prefix.network()));
         for i in [0u32, 1, prefix.size().saturating_sub(1)] {
             if let Some(addr) = prefix.nth(i) {
@@ -72,18 +120,27 @@ proptest! {
         if let Some(past) = u32::from(prefix.network()).checked_add(prefix.size()) {
             prop_assert!(!prefix.contains(Ipv4Addr::from(past)));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn prefix_round_trips_text(base in any::<u32>(), len in 0u8..=32) {
-        let p = IpPrefix::new(Ipv4Addr::from(base), len).expect("valid");
+#[test]
+fn prefix_round_trips_text() {
+    let inputs = gens::u32_any().zip(gens::u64_range(0, 33));
+    cfg("prefix_round_trips_text").run(&inputs, |&(base, len)| {
+        let p = IpPrefix::new(Ipv4Addr::from(base), len as u8).expect("valid");
         let q: IpPrefix = p.to_string().parse().expect("round trip");
         prop_assert_eq!(p, q);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn country_code_round_trips(s in "[A-Z]{2}") {
+#[test]
+fn country_code_round_trips() {
+    let two_letters = gens::string_of("ABCDEFGHIJKLMNOPQRSTUVWXYZ", 2, 2);
+    cfg("country_code_round_trips").run(&two_letters, |s| {
         let c: CountryCode = s.parse().expect("two letters");
-        prop_assert_eq!(c.to_string(), s);
-    }
+        prop_assert_eq!(c.to_string(), s.clone());
+        Ok(())
+    });
 }

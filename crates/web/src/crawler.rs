@@ -7,14 +7,17 @@
 //! out is the classification step's job (§3.3), not the crawler's.
 //!
 //! [`crawl_sites_parallel`] fans a batch of landing pages out over worker
-//! threads (crossbeam scoped threads + channels); results are returned in
-//! input order, so parallel and sequential runs produce identical output.
+//! threads (`std::thread::scope` pulling job indices off a shared atomic
+//! counter); results are returned in input order, so parallel and
+//! sequential runs produce identical output.
 
 use crate::corpus::WebCorpus;
 use crate::har::{HarEntry, HarLog};
 use crate::resource::ContentType;
 use govhost_types::{CountryCode, Url};
 use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Crawl configuration.
 ///
@@ -121,23 +124,23 @@ pub fn crawl_sites_parallel(
     if threads == 1 || jobs.len() <= 1 {
         return jobs.iter().map(|(u, v)| crawler.crawl(corpus, u, *v)).collect();
     }
-    let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, CrawlOutcome)>();
-    for i in 0..jobs.len() {
-        job_tx.send(i).expect("channel open");
-    }
-    drop(job_tx);
+    // Workers claim job indices off a shared counter and send tagged
+    // results back over a channel; tagging preserves input order.
+    let next_job = AtomicUsize::new(0);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, CrawlOutcome)>();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            let job_rx = job_rx.clone();
+            let next_job = &next_job;
             let res_tx = res_tx.clone();
-            scope.spawn(move |_| {
-                while let Ok(i) = job_rx.recv() {
-                    let (url, vantage) = &jobs[i];
-                    let outcome = crawler.crawl(corpus, url, *vantage);
-                    res_tx.send((i, outcome)).expect("result channel open");
+            scope.spawn(move || loop {
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
                 }
+                let (url, vantage) = &jobs[i];
+                let outcome = crawler.crawl(corpus, url, *vantage);
+                res_tx.send((i, outcome)).expect("result channel open");
             });
         }
         drop(res_tx);
@@ -147,7 +150,6 @@ pub fn crawl_sites_parallel(
         }
         results.into_iter().map(|r| r.expect("every job completed")).collect()
     })
-    .expect("no worker panics")
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@
 //! - HAR-style capture of everything a crawl fetched ([`har`]),
 //! - VPN vantage points ([`vantage`]),
 //! - a breadth-first crawler bounded at the paper's seven levels
-//!   ([`crawler`]), plus a crossbeam-parallel executor for whole-country
-//!   crawls.
+//!   ([`crawler`]), plus a scoped-thread parallel executor for
+//!   whole-country crawls.
 
 pub mod cert;
 pub mod corpus;

@@ -1,26 +1,31 @@
 //! Property tests for the crawler over randomly-shaped site graphs: the
 //! depth bound, the page cap, and visit-once semantics must hold for any
-//! link structure, including cycles and dangling links.
+//! link structure, including cycles and dangling links. On the in-repo
+//! harness.
 
+use govhost_harness::{gens, prop_assert, prop_assert_eq, Config, Gen};
 use govhost_types::Url;
+use govhost_web::corpus::WebCorpus;
 use govhost_web::crawler::Crawler;
 use govhost_web::page::Page;
 use govhost_web::site::Website;
-use govhost_web::corpus::WebCorpus;
-use proptest::prelude::*;
+
+const REGRESSIONS: &str = "tests/regressions/prop_crawler.txt";
+
+fn cfg(name: &str) -> Config {
+    Config::new(name).cases(256).regressions(REGRESSIONS)
+}
 
 /// Build a random single-host site: `n` pages with arbitrary internal
 /// links (possibly cyclic, possibly dangling).
-fn arb_corpus() -> impl Strategy<Value = (WebCorpus, Url, usize)> {
-    (2usize..25)
-        .prop_flat_map(|n| {
-            let links = proptest::collection::vec(
-                proptest::collection::vec(0usize..(n + 3), 0..5), // +3 => dangling targets
-                n,
-            );
-            (Just(n), links)
+fn arb_corpus() -> Gen<(WebCorpus, Url, usize)> {
+    gens::usize_range(2, 25)
+        .flat_map(|n| {
+            // Each page links to 0-4 targets in 0..n+3 (+3 => dangling).
+            gens::vec(gens::vec(gens::usize_range(0, n + 3), 0, 4), n, n)
         })
-        .prop_map(|(n, link_table)| {
+        .map(|link_table| {
+            let n = link_table.len();
             let mut site = Website::new("https://site.gov/p0".parse().unwrap());
             for (i, links) in link_table.iter().enumerate() {
                 let mut page =
@@ -36,51 +41,65 @@ fn arb_corpus() -> impl Strategy<Value = (WebCorpus, Url, usize)> {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn depth_bound_holds((corpus, landing, _n) in arb_corpus(), depth in 0u32..8) {
+#[test]
+fn depth_bound_holds() {
+    let inputs = arb_corpus().zip(gens::u64_range(0, 8));
+    cfg("depth_bound_holds").run(&inputs, |((corpus, landing, _n), depth)| {
+        let depth = *depth as u32;
         let crawler = Crawler::with_depth(depth);
-        let out = crawler.crawl(&corpus, &landing, None);
+        let out = crawler.crawl(corpus, landing, None);
         prop_assert!(out.log.entries.iter().all(|e| e.depth <= depth));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pages_visited_at_most_once((corpus, landing, n) in arb_corpus()) {
-        let out = Crawler::default().crawl(&corpus, &landing, None);
+#[test]
+fn pages_visited_at_most_once() {
+    cfg("pages_visited_at_most_once").run(&arb_corpus(), |(corpus, landing, n)| {
+        let out = Crawler::default().crawl(corpus, landing, None);
         // Every entry is a page document here (no subresources), so
         // entries == pages visited, and no URL repeats.
-        prop_assert!(out.pages_visited <= n);
+        prop_assert!(out.pages_visited <= *n);
         let mut urls: Vec<_> = out.log.entries.iter().map(|e| e.url.clone()).collect();
         let before = urls.len();
         urls.sort();
         urls.dedup();
         prop_assert_eq!(urls.len(), before, "no page fetched twice");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn page_cap_is_respected((corpus, landing, _n) in arb_corpus(), cap in 1usize..10) {
-        let crawler = Crawler { max_depth: 7, max_pages: cap };
-        let out = crawler.crawl(&corpus, &landing, None);
-        prop_assert!(out.pages_visited <= cap);
-    }
+#[test]
+fn page_cap_is_respected() {
+    let inputs = arb_corpus().zip(gens::usize_range(1, 10));
+    cfg("page_cap_is_respected").run(&inputs, |((corpus, landing, _n), cap)| {
+        let crawler = Crawler { max_depth: 7, max_pages: *cap };
+        let out = crawler.crawl(corpus, landing, None);
+        prop_assert!(out.pages_visited <= *cap);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dangling_links_become_failures_not_crashes((corpus, landing, n) in arb_corpus()) {
-        let out = Crawler::default().crawl(&corpus, &landing, None);
+#[test]
+fn dangling_links_become_failures_not_crashes() {
+    cfg("dangling_links_become_failures_not_crashes").run(&arb_corpus(), |(corpus, landing, n)| {
+        let out = Crawler::default().crawl(corpus, landing, None);
         // Dangling targets (>= n) can only fail; the sum of successes and
         // failures is bounded by the reachable set.
         prop_assert!(out.pages_visited + out.log.failures as usize <= n + 3 * n * 5);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn deeper_crawls_never_see_fewer_pages((corpus, landing, _n) in arb_corpus()) {
+#[test]
+fn deeper_crawls_never_see_fewer_pages() {
+    cfg("deeper_crawls_never_see_fewer_pages").run(&arb_corpus(), |(corpus, landing, _n)| {
         let mut last = 0;
         for depth in [0u32, 1, 2, 4, 7] {
-            let out = Crawler::with_depth(depth).crawl(&corpus, &landing, None);
+            let out = Crawler::with_depth(depth).crawl(corpus, landing, None);
             prop_assert!(out.pages_visited >= last);
             last = out.pages_visited;
         }
-    }
+        Ok(())
+    });
 }

@@ -33,8 +33,7 @@ use govhost_web::corpus::WebCorpus;
 use govhost_web::page::Page;
 use govhost_web::resource::{ContentType, Resource};
 use govhost_web::site::Website;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use govhost_det::DetRng;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -67,7 +66,7 @@ const CONTENT_MIX: &[(ContentType, f64, u64)] = &[
 
 struct Generator {
     params: GenParams,
-    rng: StdRng,
+    rng: DetRng,
     registry: AsRegistry,
     peeringdb: PeeringDb,
     search: SearchIndex,
@@ -130,7 +129,7 @@ impl Generator {
     fn new(params: GenParams) -> Self {
         Self {
             params,
-            rng: StdRng::seed_from_u64(params.seed),
+            rng: DetRng::new(params.seed),
             registry: AsRegistry::new(),
             peeringdb: PeeringDb::new(),
             search: SearchIndex::new(),
@@ -768,9 +767,9 @@ impl Generator {
                 let word = AGENCY_WORDS[word_idx % AGENCY_WORDS.len()];
                 let serial = word_idx / AGENCY_WORDS.len();
                 word_idx += 1;
-                let gov_tld = self.rng.random::<f64>() < profile.gov_tld_host_fraction
+                let gov_tld = self.rng.f64() < profile.gov_tld_host_fraction
                     && category == ProviderCategory::GovtSoe
-                    || (self.rng.random::<f64>() < profile.gov_tld_host_fraction * 0.8
+                    || (self.rng.f64() < profile.gov_tld_host_fraction * 0.8
                         && category != ProviderCategory::GovtSoe);
                 let host_str = if gov_tld {
                     match profile.tld_style {
@@ -959,7 +958,7 @@ impl Generator {
             return None;
         }
         let total: f64 = profile.foreign_dests.iter().map(|(_, w)| w).sum();
-        let mut pick = self.rng.random::<f64>() * total;
+        let mut pick = self.rng.f64() * total;
         for (c, w) in &profile.foreign_dests {
             pick -= w;
             if pick <= 0.0 {
@@ -1036,7 +1035,7 @@ impl Generator {
             // least one geo-blocked site, so the behaviour is exercised
             // even at tiny scales.
             let force_restricted = i == 1 && profile.geo_restricted_fraction >= 0.05;
-            if force_restricted || self.rng.random::<f64>() < profile.geo_restricted_fraction {
+            if force_restricted || self.rng.f64() < profile.geo_restricted_fraction {
                 site.geo_restricted_to = Some(code);
             }
             // Page skeleton: a chain of pages to depth 7 so deep crawls
@@ -1101,17 +1100,17 @@ impl Generator {
         for u in 0..n_urls + n_extra {
             let is_extra = u >= n_urls;
             // Owner page.
-            let site_idx = self.rng.random_range(0..sites.len());
+            let site_idx = self.rng.index(sites.len());
             let depth = sample_depth(&mut self.rng);
             let page_path = if depth == 0 { "/".to_string() } else { format!("/d{depth}") };
             // Resource host: weighted government hostname, or a tracker.
             let (res_host, category) = if is_extra {
-                let k = self.rng.random_range(0..12u32);
+                let k = self.rng.range(12) as u32;
                 let host: Hostname =
                     format!("cdn{k}.webtrack{}.com", k % 4).parse().expect("valid host");
                 (host, None)
             } else {
-                let pick = self.rng.random::<f64>();
+                let pick = self.rng.f64();
                 let idx = cumulative
                     .iter()
                     .position(|c| pick <= *c)
@@ -1120,7 +1119,7 @@ impl Generator {
             };
             let (ctype, base) = sample_content(&mut self.rng);
             let skew = category.map_or(1.0, |c| profile.byte_skew[c.index()]);
-            let noise = 0.3 + 1.4 * self.rng.random::<f64>().powi(2);
+            let noise = 0.3 + 1.4 * self.rng.f64().powi(2);
             let bytes = ((base as f64) * skew * noise).max(64.0) as u64;
             let path = format!("/r/{u}");
             let url = Url::https(res_host, path);
@@ -1151,7 +1150,7 @@ impl Generator {
             for i in 0..n_sites {
                 // Category mix per Fig. 3 (topsites): self 18%, global
                 // 78%, local 3%, foreign 1%.
-                let r = self.rng.random::<f64>();
+                let r = self.rng.f64();
                 let host: Hostname = format!("top{i}-{cc_lower}site.com")
                     .parse()
                     .expect("valid host");
@@ -1161,7 +1160,7 @@ impl Generator {
                     // Self-hosting: CNAME whose 2LD matches the site 2LD.
                     // 40% domestic enterprises, 60% foreign (a local
                     // audience browsing a US platform).
-                    let domestic = self.rng.random::<f64>() < 0.4;
+                    let domestic = self.rng.f64() < 0.4;
                     let asn = if domestic {
                         nat.local[0]
                     } else {
@@ -1179,7 +1178,7 @@ impl Generator {
                     // Global CDN; roughly half served domestically.
                     let providers = self.country_providers.get(&code).cloned().unwrap_or_default();
                     let (asn, _) = providers.first().copied().unwrap_or((Asn(13335), 1.0));
-                    let domestic = self.rng.random::<f64>() < 0.52;
+                    let domestic = self.rng.f64() < 0.52;
                     let location = if domestic { code } else { "US".parse().unwrap() };
                     let provider = crate::providers::provider_by_asn(asn.value());
                     let anycast = provider.map(|p| p.anycast).unwrap_or(false) && domestic;
@@ -1337,9 +1336,9 @@ fn provider_slug(p: &GlobalProvider) -> String {
 }
 
 /// Weighted random pick (deterministic given the RNG state).
-fn weighted_pick(rng: &mut StdRng, pool: &[(Asn, f64)]) -> Asn {
+fn weighted_pick(rng: &mut DetRng, pool: &[(Asn, f64)]) -> Asn {
     let total: f64 = pool.iter().map(|(_, w)| w).sum();
-    let mut pick = rng.random::<f64>() * total;
+    let mut pick = rng.f64() * total;
     let mut chosen = pool[0].0;
     for (asn, w) in pool {
         pick -= w;
@@ -1371,8 +1370,8 @@ fn largest_remainder(shares: &[f64; 4], total: usize) -> [usize; 4] {
 
 /// Depth distribution matching §4.2: 84% on the landing page, 95% within
 /// one level, the tail decaying to depth 7.
-fn sample_depth(rng: &mut StdRng) -> u32 {
-    let r = rng.random::<f64>();
+fn sample_depth(rng: &mut DetRng) -> u32 {
+    let r = rng.f64();
     if r < 0.84 {
         0
     } else if r < 0.95 {
@@ -1380,17 +1379,17 @@ fn sample_depth(rng: &mut StdRng) -> u32 {
     } else {
         // Geometric tail over depths 2..=7.
         let mut d = 2;
-        let mut p = rng.random::<f64>();
+        let mut p = rng.f64();
         while p < 0.5 && d < 7 {
             d += 1;
-            p = rng.random::<f64>();
+            p = rng.f64();
         }
         d
     }
 }
 
-fn sample_content(rng: &mut StdRng) -> (ContentType, u64) {
-    let r = rng.random::<f64>();
+fn sample_content(rng: &mut DetRng) -> (ContentType, u64) {
+    let r = rng.f64();
     let mut acc = 0.0;
     for (t, w, b) in CONTENT_MIX {
         acc += w;
@@ -1422,7 +1421,7 @@ mod tests {
 
     #[test]
     fn depth_distribution_shape() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::new(7);
         let n = 20_000;
         let mut at0 = 0;
         let mut within1 = 0;
