@@ -13,6 +13,9 @@ run_bench=1
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
+echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 

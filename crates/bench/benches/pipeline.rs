@@ -1,12 +1,22 @@
 //! End-to-end pipeline benchmarks: world generation, dataset
-//! construction, geolocation, and the parallel-crawl speedup.
+//! construction, geolocation, the thread-scaling series for the
+//! parallel dataset build, and per-stage wall-time records.
+//!
+//! The scaling series runs `GovDataset::build` at scale 0.3 for
+//! 1/2/4/8 threads (best of three runs each; a single run in smoke
+//! mode), records the per-stage timings from the widest run, and
+//! asserts that `export_csv` output is byte-identical across every
+//! thread count — the determinism invariant the parallel build
+//! promises.
 
 use govhost_core::dataset::{BuildOptions, GovDataset};
+use govhost_core::export::export_csv;
 use govhost_core::hosting::HostingAnalysis;
 use govhost_geoloc::pipeline::{GeoTask, GeolocationPipeline, PipelineConfig};
 use govhost_harness::bench::{black_box, Bench};
 use govhost_types::CountryCode;
 use govhost_worldgen::{GenParams, World};
+use std::time::Instant;
 
 fn main() {
     let mut b = Bench::new("pipeline");
@@ -24,13 +34,56 @@ fn main() {
         black_box(HostingAnalysis::compute(black_box(&dataset)));
     });
 
-    for threads in [1usize, 4] {
-        b.bench(&format!("pipeline/crawl_threads/threads_{threads}"), || {
-            black_box(GovDataset::build(
-                &world,
-                &BuildOptions { threads, ..Default::default() },
-            ));
-        });
+    // Thread-scaling series. Scale 0.3 takes ~1-2 s per build in
+    // release mode, so each point is recorded (best of 3) rather than
+    // sampled 30 times; smoke mode shrinks to the tiny world and one
+    // run per point.
+    let (scaling_world, scale_label, runs) = if b.smoke() {
+        (World::generate(&GenParams::tiny()), "tiny", 1usize)
+    } else {
+        (World::generate(&GenParams { scale: 0.3, ..Default::default() }), "scale03", 3usize)
+    };
+    let mut baseline_csv: Option<govhost_core::export::DatasetCsv> = None;
+    let mut widest = None;
+    for threads in [1usize, 2, 4, 8] {
+        let options = BuildOptions { threads, ..Default::default() };
+        let mut best = None;
+        let mut built = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let ds = GovDataset::build(&scaling_world, &options);
+            let elapsed = start.elapsed();
+            if best.is_none_or(|b| elapsed < b) {
+                best = Some(elapsed);
+            }
+            built = Some(ds);
+        }
+        let ds = built.expect("at least one run");
+        b.record(
+            &format!("pipeline/build_{scale_label}/threads_{threads}"),
+            best.expect("at least one run"),
+            Some(ds.hosts.len() as u64),
+        );
+        let csv = export_csv(&ds);
+        match &baseline_csv {
+            None => baseline_csv = Some(csv),
+            Some(base) => {
+                assert_eq!(base.hosts, csv.hosts, "hosts.csv must not depend on thread count");
+                assert_eq!(base.urls, csv.urls, "urls.csv must not depend on thread count");
+            }
+        }
+        widest = Some(ds);
+    }
+    // Per-stage wall time from the widest (8-thread) run. Stage nanos
+    // are busy time summed across workers, so stage/elapsed ratios
+    // estimate effective parallelism.
+    let widest = widest.expect("scaling loop ran");
+    for (name, stat) in widest.timings.stages() {
+        b.record(
+            &format!("pipeline/stage_{scale_label}/{name}"),
+            stat.duration(),
+            Some(stat.items),
+        );
     }
 
     let vantage: CountryCode = "AR".parse().unwrap();

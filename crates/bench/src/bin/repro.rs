@@ -72,7 +72,8 @@ fn main() {
     );
     let start = std::time::Instant::now();
     let ctx = Context::new(&params);
-    eprintln!("pipeline done in {:.1?}\n", start.elapsed());
+    eprintln!("pipeline done in {:.1?}", start.elapsed());
+    eprintln!("{}\n", ctx.dataset.timings.render());
 
     let ids: Vec<&str> = if selected.is_empty() {
         ALL_EXPERIMENTS.iter().map(|e| e.id).collect()

@@ -2,6 +2,7 @@
 
 use govhost_core::prelude::*;
 use govhost_core::similarity::SignatureKind;
+use govhost_geoloc::pipeline::ValidationStats;
 use govhost_report::{boxplot_row, histogram, render_dendrogram, stacked_bar, Csv, Table};
 use govhost_types::{CountryCode, ProviderCategory, Region, TopsiteCategory};
 use govhost_worldgen::countries::COUNTRIES;
@@ -136,29 +137,7 @@ impl Context {
     }
 
     fn t4(&self) -> String {
-        let v = &self.dataset.validation;
-        let u = v.unicast_fractions();
-        let a = v.anycast_fractions();
-        let mut t = Table::new(vec!["Type", "AP", "MG", "UR", "Paper (AP/MG/UR)"]);
-        t.row(vec![
-            "Unicast".into(),
-            format!("{:.2}", u[0]),
-            format!("{:.2}", u[1]),
-            format!("{:.2}", u[2]),
-            "0.41 / 0.57 / 0.02".into(),
-        ]);
-        t.row(vec![
-            "Anycast".into(),
-            format!("{:.2}", a[0]),
-            format!("{:.2}", a[1]),
-            format!("{:.2}", a[2]),
-            "0.83 / 0.00 / 0.17".into(),
-        ]);
-        format!(
-            "[t4] Table 4 — confirmation rate {:.1}% (paper ~97.8% unicast):\n{}",
-            v.confirmation_rate() * 100.0,
-            t.render()
-        )
+        render_table4(&self.dataset.validation)
     }
 
     fn t5(&self) -> String {
@@ -635,6 +614,9 @@ impl Context {
         }
         out.push(("table8.csv".to_string(), t8.finish()));
 
+        // Table 4 validation fractions.
+        out.push(("validation.csv".to_string(), validation_csv(&self.dataset.validation)));
+
         // Calibration report.
         let calibration = govhost_worldgen::CalibrationReport::check(&self.world);
         out.push(("calibration.txt".to_string(), calibration.render()));
@@ -775,6 +757,70 @@ fn cc(code: &str) -> CountryCode {
     code.parse().expect("static code")
 }
 
+/// Table 4, rendered from validation stats alone so the empty-bucket
+/// path is testable. `ValidationStats::fractions` returns `[NaN; 3]`
+/// for a bucket nobody validated; the report layer is where that must
+/// stop, so empty buckets render as `—` and an empty dataset reports
+/// its confirmation rate as `—` too — never `NaN`.
+fn render_table4(v: &ValidationStats) -> String {
+    let cell = |frac: f64, total: usize| {
+        if total == 0 {
+            "—".to_string()
+        } else {
+            format!("{frac:.2}")
+        }
+    };
+    let u = v.unicast_fractions();
+    let a = v.anycast_fractions();
+    let (ut, at) = (v.unicast_total(), v.anycast_total());
+    let mut t = Table::new(vec!["Type", "AP", "MG", "UR", "Paper (AP/MG/UR)"]);
+    t.row(vec![
+        "Unicast".into(),
+        cell(u[0], ut),
+        cell(u[1], ut),
+        cell(u[2], ut),
+        "0.41 / 0.57 / 0.02".into(),
+    ]);
+    t.row(vec![
+        "Anycast".into(),
+        cell(a[0], at),
+        cell(a[1], at),
+        cell(a[2], at),
+        "0.83 / 0.00 / 0.17".into(),
+    ]);
+    let rate = if ut + at == 0 {
+        "—".to_string()
+    } else {
+        format!("{:.1}%", v.confirmation_rate() * 100.0)
+    };
+    format!("[t4] Table 4 — confirmation rate {rate} (paper ~97.8% unicast):\n{}", t.render())
+}
+
+/// `validation.csv`: the Table 4 counts and fractions, with `0.0`
+/// (not `NaN`) for buckets nobody validated so the CSV stays loadable
+/// by strict parsers.
+fn validation_csv(v: &ValidationStats) -> String {
+    let mut csv = Csv::new();
+    csv.row(["kind", "ap", "mg", "ur", "total", "frac_ap", "frac_mg", "frac_ur"]);
+    for (kind, counts, total, fracs) in [
+        ("unicast", &v.unicast, v.unicast_total(), v.unicast_fractions()),
+        ("anycast", &v.anycast, v.anycast_total(), v.anycast_fractions()),
+    ] {
+        let frac = |i: usize| if total == 0 { 0.0 } else { fracs[i] };
+        csv.row([
+            kind.to_string(),
+            counts[0].to_string(),
+            counts[1].to_string(),
+            counts[2].to_string(),
+            total.to_string(),
+            format!("{:.4}", frac(0)),
+            format!("{:.4}", frac(1)),
+            format!("{:.4}", frac(2)),
+        ]);
+    }
+    csv.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -818,5 +864,42 @@ mod tests {
         for row in COUNTRIES {
             assert!(out.contains(row.code), "{} missing from t8", row.code);
         }
+    }
+
+    /// Regression: a dataset with zero validated addresses (e.g. a world
+    /// with no resolvable gov sites) used to leak `NaN` from
+    /// `ValidationStats::fractions` straight into the Table 4 rendering
+    /// and CSV.
+    #[test]
+    fn empty_validation_renders_dashes_not_nan() {
+        let empty = ValidationStats::default();
+        let table = render_table4(&empty);
+        assert!(table.contains("—"), "empty buckets must render as dashes:\n{table}");
+        assert!(!table.contains("NaN"), "NaN leaked into Table 4:\n{table}");
+        assert!(table.contains("confirmation rate —"), "rate must be dashed too:\n{table}");
+
+        let csv = validation_csv(&empty);
+        assert!(!csv.contains("NaN"), "NaN leaked into validation.csv:\n{csv}");
+        assert!(csv.contains("unicast,0,0,0,0,0.0000,0.0000,0.0000"));
+        assert!(csv.contains("anycast,0,0,0,0,0.0000,0.0000,0.0000"));
+    }
+
+    #[test]
+    fn populated_validation_renders_fractions() {
+        let v = ValidationStats { unicast: [2, 1, 1], ..Default::default() };
+        let table = render_table4(&v);
+        assert!(table.contains("0.50"), "AP fraction missing:\n{table}");
+        assert!(table.contains("75.0%"), "confirmation rate missing:\n{table}");
+        // Anycast bucket is still empty and must stay dashed.
+        assert!(table.contains("—"));
+        let csv = validation_csv(&v);
+        assert!(csv.contains("unicast,2,1,1,4,0.5000,0.2500,0.2500"));
+    }
+
+    #[test]
+    fn csv_artifacts_include_validation() {
+        let ctx = context();
+        let names: Vec<String> = ctx.csv_artifacts().into_iter().map(|(n, _)| n).collect();
+        assert!(names.iter().any(|n| n == "validation.csv"), "{names:?}");
     }
 }

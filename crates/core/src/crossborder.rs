@@ -250,6 +250,7 @@ mod tests {
             method_counts: [8, 0, 0],
             crawl_failures: 0,
             per_country: HashMap::new(),
+            timings: Default::default(),
         }
     }
 

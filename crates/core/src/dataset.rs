@@ -7,22 +7,46 @@
 //! through the multistage geolocation pipeline (§3.5). The result is the
 //! paper's dataset: URL records joined to per-hostname infrastructure
 //! records, plus the aggregate statistics of Tables 3, 4, and 8.
+//!
+//! ## Parallelism & determinism
+//!
+//! The per-country stage (crawl → classify → identify) is embarrassingly
+//! parallel — countries share nothing until their partial results are
+//! merged — so [`GovDataset::build`] fans countries out over
+//! [`BuildOptions::threads`] scoped worker threads
+//! ([`govhost_par::parallel_map`]), then merges the partials **in fixed
+//! country order** on the calling thread. Geolocation (§3.5) is fanned
+//! out the same way over address chunks. Because every worker computes a
+//! pure function of the immutable world and the merge order never
+//! depends on scheduling, the dataset — down to `export_csv` bytes — is
+//! identical for every thread count (`tests/determinism.rs` pins this).
+//!
+//! Each stage is instrumented: [`StageTimings`] records wall time and
+//! item counts for crawl/classify/identify/geolocate/analyze, surfaces
+//! in the `repro` binary's stderr report and in `BENCH_pipeline.json`.
 
 use crate::classify::{ClassificationMethod, Classifier};
-use crate::infra::InfraIdentifier;
+use crate::infra::{InfraIdentifier, InfraRecord};
 use govhost_geoloc::pipeline::{GeoTask, GeolocationPipeline, PipelineConfig, ValidationStats};
 use govhost_types::{Asn, CountryCode, Hostname, ProviderCategory, Region, Url};
-use govhost_web::crawler::{crawl_sites_parallel, Crawler};
+use govhost_web::crawler::{CrawlOutcome, Crawler};
+use govhost_worldgen::countries::CountryRow;
 use govhost_worldgen::World;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+use std::time::Instant;
 
 /// Options for [`GovDataset::build`].
 #[derive(Debug, Clone, Copy)]
 pub struct BuildOptions {
     /// Crawl configuration (depth 7, as in the paper, by default).
     pub crawler: Crawler,
-    /// Worker threads for the per-country crawl fan-out.
+    /// Worker threads for the per-country and geolocation fan-outs.
+    ///
+    /// The default comes from [`govhost_par::resolve_threads`]:
+    /// `GOVHOST_THREADS` when set, else the machine's available
+    /// parallelism (clamped). Thread count never changes the output,
+    /// only the speed.
     pub threads: usize,
     /// Geolocation-pipeline knobs (stage toggles for ablations).
     pub geo: PipelineConfig,
@@ -30,7 +54,95 @@ pub struct BuildOptions {
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        Self { crawler: Crawler::default(), threads: 4, geo: PipelineConfig::default() }
+        Self {
+            crawler: Crawler::default(),
+            threads: govhost_par::resolve_threads(),
+            geo: PipelineConfig::default(),
+        }
+    }
+}
+
+/// Wall time plus item count for one pipeline stage.
+///
+/// For fanned-out stages (crawl, classify, identify, geolocate) `nanos`
+/// is *busy* time summed across worker threads; it can exceed the
+/// elapsed wall-clock of the build, and `busy / elapsed` is the stage's
+/// effective parallelism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageStat {
+    /// Accumulated busy nanoseconds.
+    pub nanos: u64,
+    /// Items processed (the unit depends on the stage — see
+    /// [`StageTimings`]).
+    pub items: u64,
+}
+
+impl StageStat {
+    fn add(&mut self, nanos: u64, items: u64) {
+        self.nanos += nanos;
+        self.items += items;
+    }
+
+    /// Busy time as a [`std::time::Duration`].
+    pub fn duration(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.nanos)
+    }
+}
+
+/// Per-stage instrumentation for one [`GovDataset::build`] run.
+///
+/// Wall times vary run to run; item counts are deterministic and are
+/// pinned across thread counts by `tests/determinism.rs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// §3.2 crawling; items = pages rendered.
+    pub crawl: StageStat,
+    /// §3.3 classification; items = unique URLs examined.
+    pub classify: StageStat,
+    /// §3.4 resolution + WHOIS; items = hostnames identified.
+    pub identify: StageStat,
+    /// §3.5 geolocation; items = unique (address, country) tasks.
+    pub geolocate: StageStat,
+    /// Merge + §5.1 category assignment; items = host records.
+    pub analyze: StageStat,
+    /// Elapsed wall-clock of the whole build, in nanoseconds.
+    pub build_nanos: u64,
+}
+
+impl StageTimings {
+    /// The five stages with their names, in pipeline order.
+    pub fn stages(&self) -> [(&'static str, StageStat); 5] {
+        [
+            ("crawl", self.crawl),
+            ("classify", self.classify),
+            ("identify", self.identify),
+            ("geolocate", self.geolocate),
+            ("analyze", self.analyze),
+        ]
+    }
+
+    /// Deterministic item counts only (crawl, classify, identify,
+    /// geolocate, analyze) — what the determinism suite compares.
+    pub fn item_counts(&self) -> [u64; 5] {
+        self.stages().map(|(_, s)| s.items)
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, stat) in self.stages() {
+            out.push_str(&format!(
+                "  {name:<9} {:>10.1} ms busy  {:>9} items\n",
+                stat.nanos as f64 / 1e6,
+                stat.items
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<9} {:>10.1} ms elapsed\n",
+            "total",
+            self.build_nanos as f64 / 1e6
+        ));
+        out
     }
 }
 
@@ -130,116 +242,210 @@ pub struct GovDataset {
     pub crawl_failures: u32,
     /// Per-country statistics (Table 8).
     pub per_country: HashMap<CountryCode, CountryStats>,
+    /// Per-stage instrumentation for this build (zeroed for imported
+    /// datasets).
+    pub timings: StageTimings,
+}
+
+/// One government URL surfaced by a country's crawl, before the
+/// cross-country merge.
+struct CountryEntry {
+    url: Url,
+    method: ClassificationMethod,
+    bytes: u64,
+}
+
+/// Everything one country contributes, computed independently of every
+/// other country so the per-country stage can fan out.
+struct CountryPartial {
+    code: CountryCode,
+    stats: CountryStats,
+    crawl_failures: u32,
+    /// Unique government URLs in crawl order.
+    entries: Vec<CountryEntry>,
+    /// §3.4 identification for every distinct government hostname this
+    /// country surfaced, resolved from *this* country's vantage. The
+    /// merge uses the entry from whichever country surfaces a hostname
+    /// first (in fixed country order), which is exactly the record the
+    /// sequential pipeline would have produced.
+    infra: HashMap<Hostname, Option<InfraRecord>>,
+    crawl_nanos: u64,
+    classify_nanos: u64,
+    identify_nanos: u64,
+    pages: u64,
+    examined: u64,
+}
+
+/// The §3.2–§3.4 per-country stage: crawl every landing page, classify
+/// the captured URLs, identify the infrastructure behind each government
+/// hostname. Pure in `(world, options, row)` — scheduling cannot change
+/// its output.
+fn build_country(world: &World, options: &BuildOptions, row: &CountryRow) -> Option<CountryPartial> {
+    let code = row.cc();
+    let landing = world.landing(code);
+    if landing.is_empty() {
+        return None; // Korea's empty row
+    }
+    let vantage = world.vantage(code);
+
+    // §3.2: breadth-first crawl of each landing page, in landing order.
+    let crawl_start = Instant::now();
+    let outcomes: Vec<CrawlOutcome> = landing
+        .iter()
+        .map(|u| options.crawler.crawl(&world.corpus, u, Some(vantage.country)))
+        .collect();
+    let crawl_nanos = crawl_start.elapsed().as_nanos() as u64;
+    let pages: u64 = outcomes.iter().map(|o| o.pages_visited as u64).sum();
+
+    // §3.3: classify every unique captured URL.
+    let classify_start = Instant::now();
+    let seed_hosts: Vec<Hostname> = landing.iter().map(|u| u.hostname().clone()).collect();
+    let landing_certs: Vec<&govhost_web::cert::TlsCert> =
+        seed_hosts.iter().filter_map(|h| world.corpus.certificate(h)).collect();
+    let mut classifier = Classifier::new(seed_hosts, landing_certs, &world.search);
+
+    let mut stats = CountryStats { landing: landing.len() as u32, ..Default::default() };
+    let mut crawl_failures = 0u32;
+    let mut entries: Vec<CountryEntry> = Vec::new();
+    let mut seen_urls: HashSet<Url> = HashSet::new();
+    let mut country_hosts: HashSet<Hostname> = HashSet::new();
+    let mut examined = 0u64;
+    for outcome in &outcomes {
+        crawl_failures += outcome.log.failures;
+        for entry in &outcome.log.entries {
+            if !seen_urls.insert(entry.url.clone()) {
+                continue;
+            }
+            examined += 1;
+            let host = entry.url.hostname();
+            let Some(method) = classifier.classify(host) else {
+                continue; // non-government URL, discarded
+            };
+            country_hosts.insert(host.clone());
+            stats.urls += 1;
+            stats.bytes += entry.bytes;
+            entries.push(CountryEntry { url: entry.url.clone(), method, bytes: entry.bytes });
+        }
+    }
+    stats.hostnames = country_hosts.len() as u32;
+    let classify_nanos = classify_start.elapsed().as_nanos() as u64;
+
+    // §3.4: resolve + WHOIS every distinct government hostname from the
+    // domestic vantage. Hostnames another country also surfaces are
+    // identified once per country; the merge keeps the first country's
+    // record (same as the sequential pipeline).
+    let identify_start = Instant::now();
+    let mut identifier =
+        InfraIdentifier::new(&world.resolver, &world.registry, &world.peeringdb, &world.search);
+    let mut infra: HashMap<Hostname, Option<InfraRecord>> = HashMap::new();
+    for entry in &entries {
+        let host = entry.url.hostname();
+        if !infra.contains_key(host) {
+            let record = identifier.identify(host, vantage.country).ok().flatten();
+            infra.insert(host.clone(), record);
+        }
+    }
+    let identify_nanos = identify_start.elapsed().as_nanos() as u64;
+
+    Some(CountryPartial {
+        code,
+        stats,
+        crawl_failures,
+        entries,
+        infra,
+        crawl_nanos,
+        classify_nanos,
+        identify_nanos,
+        pages,
+        examined,
+    })
 }
 
 impl GovDataset {
     /// Run the full §3 methodology against a world.
+    ///
+    /// The per-country stage fans out over [`BuildOptions::threads`]
+    /// worker threads; partial results are merged in fixed country order,
+    /// so the output is bit-identical for every thread count.
     pub fn build(world: &World, options: &BuildOptions) -> GovDataset {
+        let build_start = Instant::now();
+        let mut timings = StageTimings::default();
+
+        // Stage 1 (parallel): per-country crawl → classify → identify.
+        let rows: Vec<&CountryRow> = world.studied_countries().iter().collect();
+        let partials: Vec<Option<CountryPartial>> = govhost_par::parallel_map(
+            &rows,
+            options.threads,
+            |row| format!("country {}", row.code),
+            |_, row| build_country(world, options, row),
+        );
+
+        // Stage 2 (sequential): merge partials in country order.
+        let analyze_start = Instant::now();
         let mut hosts: Vec<HostRecord> = Vec::new();
         let mut host_index: HashMap<Hostname, u32> = HashMap::new();
         let mut urls: Vec<UrlRecord> = Vec::new();
         let mut method_counts = [0u64; 3];
         let mut crawl_failures = 0u32;
         let mut per_country: HashMap<CountryCode, CountryStats> = HashMap::new();
-        let mut identifier = InfraIdentifier::new(
-            &world.resolver,
-            &world.registry,
-            &world.peeringdb,
-            &world.search,
-        );
-
-        for row in world.studied_countries() {
-            let code = row.cc();
-            let landing = world.landing(code);
-            if landing.is_empty() {
-                continue; // Korea's empty row
-            }
-            let vantage = world.vantage(code);
-            let jobs: Vec<(Url, Option<CountryCode>)> =
-                landing.iter().map(|u| (u.clone(), Some(vantage.country))).collect();
-            let outcomes =
-                crawl_sites_parallel(&world.corpus, &options.crawler, &jobs, options.threads);
-
-            // §3.3 classifier for this country.
-            let seed_hosts: Vec<Hostname> =
-                landing.iter().map(|u| u.hostname().clone()).collect();
-            let landing_certs: Vec<&govhost_web::cert::TlsCert> = seed_hosts
-                .iter()
-                .filter_map(|h| world.corpus.certificate(h))
-                .collect();
-            let mut classifier =
-                Classifier::new(seed_hosts.clone(), landing_certs, &world.search);
-
-            let stats = per_country.entry(code).or_default();
-            stats.landing = landing.len() as u32;
-            let mut seen_urls: HashSet<Url> = HashSet::new();
-            let mut country_hosts: HashSet<Hostname> = HashSet::new();
-
-            for outcome in &outcomes {
-                crawl_failures += outcome.log.failures;
-                for entry in &outcome.log.entries {
-                    if !seen_urls.insert(entry.url.clone()) {
-                        continue;
-                    }
-                    let host = entry.url.hostname();
-                    let Some(method) = classifier.classify(host) else {
-                        continue; // non-government URL, discarded
-                    };
-                    let idx = match host_index.get(host) {
-                        Some(i) => *i,
-                        None => {
-                            let i = hosts.len() as u32;
-                            host_index.insert(host.clone(), i);
-                            let mut record = HostRecord {
-                                hostname: host.clone(),
-                                country: code,
-                                method,
-                                ip: None,
-                                asn: None,
-                                org: None,
-                                registration: None,
-                                state_operated: false,
-                                category: None,
-                                server_country: None,
-                                anycast: false,
-                                geo_excluded: false,
-                            };
-                            // §3.4: resolve + WHOIS from the domestic
-                            // vantage.
-                            if let Ok(Some(infra)) =
-                                identifier.identify(host, vantage.country)
-                            {
-                                record.ip = Some(infra.ip);
-                                record.asn = Some(infra.asn);
-                                record.org = Some(infra.org);
-                                record.registration = Some(infra.registration);
-                                record.state_operated = infra.state_operated.is_some();
-                            }
-                            hosts.push(record);
-                            i
+        for partial in partials.into_iter().flatten() {
+            timings.crawl.add(partial.crawl_nanos, partial.pages);
+            timings.classify.add(partial.classify_nanos, partial.examined);
+            timings.identify.add(partial.identify_nanos, partial.infra.len() as u64);
+            crawl_failures += partial.crawl_failures;
+            per_country.insert(partial.code, partial.stats);
+            for entry in partial.entries {
+                let host = entry.url.hostname();
+                let idx = match host_index.get(host) {
+                    Some(i) => *i,
+                    None => {
+                        let i = hosts.len() as u32;
+                        host_index.insert(host.clone(), i);
+                        let mut record = HostRecord {
+                            hostname: host.clone(),
+                            country: partial.code,
+                            method: entry.method,
+                            ip: None,
+                            asn: None,
+                            org: None,
+                            registration: None,
+                            state_operated: false,
+                            category: None,
+                            server_country: None,
+                            anycast: false,
+                            geo_excluded: false,
+                        };
+                        if let Some(Some(infra)) = partial.infra.get(host) {
+                            record.ip = Some(infra.ip);
+                            record.asn = Some(infra.asn);
+                            record.org = Some(infra.org.clone());
+                            record.registration = Some(infra.registration);
+                            record.state_operated = infra.state_operated.is_some();
                         }
-                    };
-                    country_hosts.insert(host.clone());
-                    let midx = match method {
-                        ClassificationMethod::GovTld => 0,
-                        ClassificationMethod::DomainMatch => 1,
-                        ClassificationMethod::San => 2,
-                    };
-                    method_counts[midx] += 1;
-                    stats.urls += 1;
-                    stats.bytes += entry.bytes;
-                    urls.push(UrlRecord { url: entry.url.clone(), host: idx, bytes: entry.bytes });
-                }
+                        hosts.push(record);
+                        i
+                    }
+                };
+                let midx = match entry.method {
+                    ClassificationMethod::GovTld => 0,
+                    ClassificationMethod::DomainMatch => 1,
+                    ClassificationMethod::San => 2,
+                };
+                method_counts[midx] += 1;
+                urls.push(UrlRecord { url: entry.url, host: idx, bytes: entry.bytes });
             }
-            stats.hostnames = country_hosts.len() as u32;
         }
 
         // Cross-country pass: provider footprints → §5.1 categories.
         assign_categories(&mut hosts);
+        timings.analyze.add(analyze_start.elapsed().as_nanos() as u64, hosts.len() as u64);
 
-        // §3.5: validate every (address, serving country) pair.
-        let validation = geolocate(world, &mut hosts, options);
+        // §3.5 (parallel): validate every (address, serving country) pair.
+        let geo_start = Instant::now();
+        let (validation, geo_tasks) = geolocate(world, &mut hosts, options);
+        timings.geolocate.add(geo_start.elapsed().as_nanos() as u64, geo_tasks);
 
+        timings.build_nanos = build_start.elapsed().as_nanos() as u64;
         GovDataset {
             hosts,
             urls,
@@ -248,6 +454,7 @@ impl GovDataset {
             method_counts,
             crawl_failures,
             per_country,
+            timings,
         }
     }
 
@@ -333,11 +540,12 @@ fn region_of(country: CountryCode) -> Option<Region> {
 }
 
 /// §3.5 validation over every unique (address, serving-country) pair.
+/// Returns the Table 4 statistics and the number of tasks validated.
 fn geolocate(
     world: &World,
     hosts: &mut [HostRecord],
     options: &BuildOptions,
-) -> ValidationStats {
+) -> (ValidationStats, u64) {
     let pipeline = GeolocationPipeline {
         registry: &world.registry,
         geodb: &world.geodb,
@@ -356,7 +564,7 @@ fn geolocate(
         .collect();
     tasks.sort_by_key(|t| (t.ip, t.serving_country));
     tasks.dedup();
-    let (verdicts, stats) = pipeline.locate_all(&tasks);
+    let (verdicts, stats) = pipeline.locate_all_threaded(&tasks, options.threads);
     let verdict_map: HashMap<(Ipv4Addr, CountryCode), _> = tasks
         .iter()
         .zip(&verdicts)
@@ -369,7 +577,7 @@ fn geolocate(
         h.geo_excluded = v.excluded;
         h.server_country = if v.excluded { None } else { v.location };
     }
-    stats
+    (stats, tasks.len() as u64)
 }
 
 #[cfg(test)]
@@ -474,6 +682,48 @@ mod tests {
             GovDataset::build(&world, &BuildOptions { threads: 8, ..BuildOptions::default() });
         assert_eq!(seq.urls.len(), par.urls.len());
         assert_eq!(seq.method_counts, par.method_counts);
+        assert_eq!(seq.validation, par.validation);
+        assert_eq!(seq.crawl_failures, par.crawl_failures);
+        // Host records (including §3.4 identification and §3.5 verdicts)
+        // must be identical in order and content.
+        assert_eq!(seq.hosts.len(), par.hosts.len());
+        for (a, b) in seq.hosts.iter().zip(&par.hosts) {
+            assert_eq!(a.hostname, b.hostname);
+            assert_eq!(a.country, b.country);
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.org, b.org);
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.server_country, b.server_country);
+            assert_eq!(a.anycast, b.anycast);
+            assert_eq!(a.geo_excluded, b.geo_excluded);
+        }
+        // Stage item counts are deterministic even though wall times vary.
+        assert_eq!(seq.timings.item_counts(), par.timings.item_counts());
+    }
+
+    #[test]
+    fn stage_timings_are_populated() {
+        let ds = dataset();
+        let t = ds.timings;
+        assert_eq!(t.analyze.items, ds.hosts.len() as u64);
+        assert!(t.crawl.items > 0, "pages were crawled");
+        assert!(t.classify.items >= ds.urls.len() as u64, "every kept URL was examined");
+        let unique_ips: std::collections::HashSet<_> =
+            ds.hosts.iter().filter_map(|h| h.ip.map(|ip| (ip, h.country))).collect();
+        assert_eq!(t.geolocate.items, unique_ips.len() as u64);
+        assert!(t.build_nanos > 0);
+        let rendered = t.render();
+        assert!(rendered.contains("geolocate"), "render names every stage: {rendered}");
+        assert!(rendered.contains("total"));
+    }
+
+    #[test]
+    fn thread_count_env_override_is_honoured_in_default() {
+        // Can't mutate the environment safely in-process here; just pin
+        // the clamp contract of the resolved default.
+        let opts = BuildOptions::default();
+        assert!((1..=govhost_par::MAX_THREADS).contains(&opts.threads));
     }
 
     #[test]

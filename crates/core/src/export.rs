@@ -261,6 +261,7 @@ pub fn import_csv(csv: &DatasetCsv) -> Result<GovDataset, ImportError> {
         method_counts,
         crawl_failures: 0,
         per_country,
+        timings: Default::default(), // no build ran, so no stage timings
     })
 }
 

@@ -193,6 +193,7 @@ mod tests {
             method_counts: [6, 0, 0],
             crawl_failures: 0,
             per_country,
+            timings: Default::default(),
         }
     }
 

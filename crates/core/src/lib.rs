@@ -39,7 +39,7 @@ pub mod trends;
 pub use affordability::AffordabilityAnalysis;
 pub use classify::{ClassificationMethod, Classifier};
 pub use crossborder::CrossBorderAnalysis;
-pub use dataset::{BuildOptions, GovDataset, HostRecord, UrlRecord};
+pub use dataset::{BuildOptions, GovDataset, HostRecord, StageStat, StageTimings, UrlRecord};
 pub use diversification::DiversificationAnalysis;
 pub use explain::ExplanatoryModel;
 pub use export::{export_csv, import_csv, DatasetCsv};
@@ -54,7 +54,8 @@ pub use trends::{SnapshotMetrics, TrendAnalysis};
 /// Common imports for downstream users.
 pub mod prelude {
     pub use crate::crossborder::CrossBorderAnalysis;
-    pub use crate::dataset::{BuildOptions, GovDataset};
+    pub use crate::dataset::{BuildOptions, GovDataset, StageTimings};
+    pub use crate::export::{export_csv, import_csv, DatasetCsv};
     pub use crate::diversification::DiversificationAnalysis;
     pub use crate::explain::ExplanatoryModel;
     pub use crate::hosting::{CategoryShares, HostingAnalysis};

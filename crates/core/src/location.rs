@@ -141,6 +141,7 @@ mod tests {
             method_counts: [3, 0, 0],
             crawl_failures: 0,
             per_country: HashMap::new(),
+            timings: Default::default(),
         }
     }
 

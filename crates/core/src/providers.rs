@@ -146,6 +146,7 @@ mod tests {
             method_counts: [4, 0, 0],
             crawl_failures: 0,
             per_country: HashMap::new(),
+            timings: Default::default(),
         }
     }
 

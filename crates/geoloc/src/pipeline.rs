@@ -81,13 +81,30 @@ impl ValidationStats {
     }
 
     /// Fractions per method for unicast addresses `(AP, MG, UR)`.
+    ///
+    /// Returns `[NaN; 3]` when no unicast address was validated; callers
+    /// that render these values must guard with [`Self::unicast_total`]
+    /// (the report layer prints `—` for empty buckets).
     pub fn unicast_fractions(&self) -> [f64; 3] {
         Self::fractions(&self.unicast)
     }
 
     /// Fractions per method for anycast addresses `(AP, MG, UR)`.
+    ///
+    /// Returns `[NaN; 3]` when no anycast address was validated; guard
+    /// with [`Self::anycast_total`] before rendering.
     pub fn anycast_fractions(&self) -> [f64; 3] {
         Self::fractions(&self.anycast)
+    }
+
+    /// Number of unicast addresses validated (all three outcomes).
+    pub fn unicast_total(&self) -> usize {
+        self.unicast.iter().sum()
+    }
+
+    /// Number of anycast addresses validated (all three outcomes).
+    pub fn anycast_total(&self) -> usize {
+        self.anycast.iter().sum()
     }
 
     fn fractions(counts: &[usize; 3]) -> [f64; 3] {
@@ -260,14 +277,42 @@ impl<'a> GeolocationPipeline<'a> {
 
     /// Geolocate a batch and accumulate Table 4 statistics.
     pub fn locate_all(&self, tasks: &[GeoTask]) -> (Vec<GeoVerdict>, ValidationStats) {
+        self.locate_all_threaded(tasks, 1)
+    }
+
+    /// [`Self::locate_all`] fanned out over up to `threads` worker
+    /// threads.
+    ///
+    /// The pipeline holds only shared references to immutable substrate
+    /// surfaces, so it is `Sync` by construction and each address can be
+    /// located independently. Tasks are split into contiguous chunks,
+    /// chunks are mapped in parallel, and verdicts are reassembled — and
+    /// the statistics folded — in input order, so the result is identical
+    /// for every thread count.
+    pub fn locate_all_threaded(
+        &self,
+        tasks: &[GeoTask],
+        threads: usize,
+    ) -> (Vec<GeoVerdict>, ValidationStats) {
+        let threads = threads.max(1);
+        // A few chunks per worker evens out chunks of unequal cost
+        // without paying per-address channel overhead.
+        let chunk_len = tasks.len().div_ceil(threads * 4).max(1);
+        let chunks: Vec<&[GeoTask]> = tasks.chunks(chunk_len).collect();
+        let per_chunk = govhost_par::parallel_map(
+            &chunks,
+            threads,
+            |c| match c.first() {
+                Some(t) => format!("{} addresses from {}", c.len(), t.ip),
+                None => "empty chunk".to_string(),
+            },
+            |_, c| c.iter().map(|t| self.locate(*t)).collect::<Vec<GeoVerdict>>(),
+        );
         let mut stats = ValidationStats::default();
-        let verdicts: Vec<GeoVerdict> = tasks
-            .iter()
-            .map(|t| {
-                let v = self.locate(*t);
-                stats.bump(&v);
-                v
-            })
+        let verdicts: Vec<GeoVerdict> = per_chunk
+            .into_iter()
+            .flatten()
+            .inspect(|v| stats.bump(v))
             .collect();
         (verdicts, stats)
     }
@@ -463,10 +508,46 @@ mod tests {
         let tasks: Vec<GeoTask> = (1..=6).map(task).collect();
         let (verdicts, stats) = f.pipeline().locate_all(&tasks);
         assert_eq!(verdicts.len(), 6);
-        assert_eq!(stats.unicast, [1, 1, 2]); // AP, MG(conflict counts as MG? no...), UR
+        // .3's conflicting evidence counts as Unresolved, not MG (Table-4
+        // policy: conservative exclusion), so unicast splits 1 AP / 1 MG
+        // / 2 UR with the conflict inside the UR bucket.
+        assert!(verdicts[2].conflict, "the .3 db/evidence conflict is flagged");
+        assert_eq!(
+            verdicts[2].method,
+            GeoMethod::Unresolved,
+            "conflicts count as Unresolved in Table 4"
+        );
+        assert_eq!(stats.unicast, [1, 1, 2]); // AP, MG, UR (UR includes the conflict)
         assert_eq!(stats.anycast, [1, 0, 1]);
         let conf = stats.confirmation_rate();
         assert!((conf - 3.0 / 6.0).abs() < 1e-12, "3 confirmed of 6, got {conf}");
+    }
+
+    #[test]
+    fn threaded_batches_match_sequential() {
+        let f = fixture();
+        let tasks: Vec<GeoTask> = (1..=6).map(task).collect();
+        let p = f.pipeline();
+        let (seq_verdicts, seq_stats) = p.locate_all(&tasks);
+        for threads in [2, 3, 8] {
+            let (verdicts, stats) = p.locate_all_threaded(&tasks, threads);
+            assert_eq!(verdicts, seq_verdicts, "threads={threads}");
+            assert_eq!(stats, seq_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_produces_empty_stats_without_nan_counts() {
+        let f = fixture();
+        let (verdicts, stats) = f.pipeline().locate_all_threaded(&[], 4);
+        assert!(verdicts.is_empty());
+        assert_eq!(stats, ValidationStats::default());
+        assert_eq!(stats.unicast_total(), 0);
+        assert_eq!(stats.anycast_total(), 0);
+        // The fraction accessors are explicitly undefined (NaN) here; the
+        // report layer renders them as "—" (see govhost-bench).
+        assert!(stats.unicast_fractions().iter().all(|v| v.is_nan()));
+        assert!(stats.confirmation_rate().is_nan());
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct Summary {
     pub mean_ns: f64,
     pub min_ns: f64,
     pub max_ns: f64,
+    /// Item count for externally-measured entries (e.g. pipeline stage
+    /// timings record how many sites/URLs/addresses the stage handled).
+    /// `None` for ordinary timed benchmarks.
+    pub items: Option<u64>,
 }
 
 /// A benchmark suite. Register benchmarks with [`Bench::bench`] /
@@ -94,6 +98,7 @@ impl Bench {
                 mean_ns: ns,
                 min_ns: ns,
                 max_ns: ns,
+                items: None,
             });
             return;
         }
@@ -128,6 +133,27 @@ impl Bench {
             mean_ns: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64,
             min_ns: samples_ns[0],
             max_ns: samples_ns[samples_ns.len() - 1],
+            items: None,
+        });
+    }
+
+    /// Record an externally-measured duration as a single-sample entry —
+    /// for measurements the runner cannot repeat cheaply (a full pipeline
+    /// build) or that were taken inside the workload itself (per-stage
+    /// wall time). `items` is carried into the JSON so downstream tooling
+    /// can compute throughput.
+    pub fn record(&mut self, name: &str, elapsed: Duration, items: Option<u64>) {
+        let ns = elapsed.as_nanos() as f64;
+        self.push(Summary {
+            name: name.to_string(),
+            samples: 1,
+            iters_per_sample: 1,
+            median_ns: ns,
+            p95_ns: ns,
+            mean_ns: ns,
+            min_ns: ns,
+            max_ns: ns,
+            items,
         });
     }
 
@@ -206,10 +232,14 @@ fn render_json(suite: &str, smoke: bool, results: &[Summary]) -> String {
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str("  \"benchmarks\": [\n");
     for (i, s) in results.iter().enumerate() {
+        let items = match s.items {
+            Some(n) => format!(", \"items\": {n}"),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"name\": {}, \"samples\": {}, \"iters_per_sample\": {}, \
              \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"mean_ns\": {:.1}, \
-             \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}{}}}{}\n",
             json_string(&s.name),
             s.samples,
             s.iters_per_sample,
@@ -218,6 +248,7 @@ fn render_json(suite: &str, smoke: bool, results: &[Summary]) -> String {
             s.mean_ns,
             s.min_ns,
             s.max_ns,
+            items,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
@@ -262,11 +293,31 @@ mod tests {
             mean_ns: 1.6,
             min_ns: 1.0,
             max_ns: 2.5,
+            items: None,
         }];
         let json = render_json("demo", true, &results);
         assert!(json.contains("\"suite\": \"demo\""));
         assert!(json.contains("\"median_ns\": 1.5"));
+        assert!(!json.contains("\"items\""));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn recorded_entries_carry_items_into_json() {
+        let results = vec![Summary {
+            name: "stage/crawl".into(),
+            samples: 1,
+            iters_per_sample: 1,
+            median_ns: 42.0,
+            p95_ns: 42.0,
+            mean_ns: 42.0,
+            min_ns: 42.0,
+            max_ns: 42.0,
+            items: Some(1234),
+        }];
+        let json = render_json("demo", false, &results);
+        assert!(json.contains("\"items\": 1234"));
+        assert!(json.contains("\"median_ns\": 42.0"));
     }
 
     #[test]

@@ -156,6 +156,7 @@ impl Config {
     ///   - delete one choice while decrementing an earlier one, which
     ///     unsticks length-prefixed collections (dropping an element
     ///     requires shrinking the length choice in the same step).
+    ///
     /// A candidate replaces the current counterexample only when it still
     /// fails AND its canonical sequence (the choices actually consumed on
     /// replay) is strictly simpler — shorter, or lexicographically lower

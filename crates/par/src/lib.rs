@@ -1,0 +1,289 @@
+//! # govhost-par
+//!
+//! The workspace's parallelism primitives. Every fan-out in the pipeline
+//! — the per-country crawl, the dataset build, batch geolocation — uses
+//! the same pattern: `std::thread::scope` workers pulling job indices off
+//! a shared atomic counter, sending index-tagged results back over a
+//! channel, and the caller reassembling them in input order so parallel
+//! and sequential runs produce identical output.
+//!
+//! [`parallel_map`] packages that pattern once, together with the panic
+//! handling the ad-hoc copies lacked: a worker panic is caught per job,
+//! tagged with a caller-supplied label (e.g. the URL being crawled), and
+//! re-raised from the calling thread as a single diagnosable panic
+//! instead of cascading into `expect("result channel open")` /
+//! `expect("every job completed")` failures on unrelated threads.
+//!
+//! [`resolve_threads`] is the one place the default worker count is
+//! decided: `GOVHOST_THREADS` when set (for CI reproducibility), else
+//! [`std::thread::available_parallelism`], clamped to a sane range.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Hard ceiling on worker threads; protects against a runaway
+/// `GOVHOST_THREADS` value as well as giant `available_parallelism`
+/// readings on large shared machines.
+pub const MAX_THREADS: usize = 64;
+
+/// Default clamp applied to [`std::thread::available_parallelism`] when no
+/// explicit override is given: more than this buys nothing for a
+/// 61-country fan-out.
+pub const DEFAULT_THREAD_CAP: usize = 16;
+
+/// The worker-thread count the pipeline should use by default.
+///
+/// Resolution order:
+/// 1. `GOVHOST_THREADS` environment variable, when set to a positive
+///    integer (clamped to [`MAX_THREADS`]) — the reproducibility knob for
+///    CI and benchmarking environments;
+/// 2. [`std::thread::available_parallelism`], clamped to
+///    [`DEFAULT_THREAD_CAP`];
+/// 3. `1` when parallelism cannot be queried.
+///
+/// Thread count never changes *what* the pipeline computes (the merge
+/// order is fixed), only how fast it computes it, so an override cannot
+/// break determinism — see `tests/determinism.rs`.
+pub fn resolve_threads() -> usize {
+    if let Ok(raw) = std::env::var("GOVHOST_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, DEFAULT_THREAD_CAP)
+}
+
+/// One captured worker panic: which job, and the original payload.
+struct CapturedPanic {
+    job: usize,
+    payload: Box<dyn std::any::Any + Send + 'static>,
+}
+
+/// Render a panic payload the way the default panic hook would.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Map `f` over `items` on up to `threads` scoped worker threads,
+/// returning results in input order regardless of scheduling.
+///
+/// `f` receives `(index, &item)`. With `threads <= 1` (or one item) the
+/// map runs inline on the calling thread with no thread or channel
+/// overhead — the sequential and parallel paths are observationally
+/// identical, which the determinism suite relies on.
+///
+/// # Panics
+///
+/// If a worker panics, the panic is caught, every worker finishes or
+/// abandons its remaining jobs, and a single panic is raised from the
+/// calling thread naming the failing job via `label` and carrying the
+/// original payload's message. When several jobs panic concurrently the
+/// lowest job index wins, so the report is deterministic.
+pub fn parallel_map<T, R, F, L>(items: &[T], threads: usize, label: L, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    L: Fn(&T) -> String,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        // Inline path: panics propagate natively with their own payload,
+        // which is already fully diagnosable.
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let next_job = AtomicUsize::new(0);
+    let panics: Mutex<Vec<CapturedPanic>> = Mutex::new(Vec::new());
+    let (res_tx, res_rx) = mpsc::channel::<(usize, R)>();
+
+    let mut results: Vec<Option<R>> = std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next_job = &next_job;
+            let panics = &panics;
+            let f = &f;
+            let res_tx = res_tx.clone();
+            scope.spawn(move || loop {
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                    Ok(result) => {
+                        // The receiver outlives the scope; a send can only
+                        // fail after a collector bug, in which case the
+                        // panic bookkeeping below still reports cleanly.
+                        if res_tx.send((i, result)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(payload) => {
+                        panics.lock().unwrap().push(CapturedPanic { job: i, payload });
+                        // Abandon remaining jobs: the batch is failing and
+                        // the first panic is what gets reported.
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+        results.resize_with(items.len(), || None);
+        while let Ok((i, result)) = res_rx.recv() {
+            results[i] = Some(result);
+        }
+        results
+    });
+
+    let mut captured = panics.into_inner().unwrap();
+    if !captured.is_empty() {
+        captured.sort_by_key(|c| c.job);
+        let first = &captured[0];
+        panic!(
+            "worker panicked on job {} ({}): {}",
+            first.job,
+            label(&items[first.job]),
+            payload_message(first.payload.as_ref()),
+        );
+    }
+    results
+        .iter_mut()
+        .map(|slot| slot.take().expect("no panic recorded, so every job completed"))
+        .collect()
+}
+
+/// Accumulated wall time of a (possibly concurrent) pipeline stage, in
+/// nanoseconds, safe to bump from worker threads.
+///
+/// For fanned-out stages the accumulated value is *busy* time summed
+/// across workers — it can exceed elapsed wall-clock time, and the ratio
+/// of the two is the stage's effective parallelism.
+#[derive(Debug, Default)]
+pub struct AtomicNanos(std::sync::atomic::AtomicU64);
+
+impl AtomicNanos {
+    /// Zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one measured duration.
+    pub fn add(&self, d: std::time::Duration) {
+        self.0.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total accumulated nanoseconds.
+    pub fn total(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order_any_thread_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v * v).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let got = parallel_map(&items, threads, |v| v.to_string(), |_, v| v * v);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u32> = parallel_map(&[] as &[u32], 4, |v| v.to_string(), |_, v| *v);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d"];
+        let got = parallel_map(&items, 2, |s| s.to_string(), |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn panic_carries_label_and_original_message() {
+        let items: Vec<u32> = (0..16).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(
+                &items,
+                4,
+                |v| format!("item-{v}"),
+                |_, v| {
+                    if *v == 7 {
+                        panic!("boom at {v}");
+                    }
+                    *v
+                },
+            )
+        }));
+        let payload = caught.expect_err("the worker panic must propagate");
+        let msg = payload_message(payload.as_ref());
+        assert!(msg.contains("item-7"), "panic names the failing job: {msg}");
+        assert!(msg.contains("boom at 7"), "panic carries the original message: {msg}");
+    }
+
+    #[test]
+    fn lowest_index_wins_when_several_jobs_panic() {
+        let items: Vec<u32> = (0..64).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(
+                &items,
+                8,
+                |v| format!("job{v}"),
+                |_, v| {
+                    if v % 2 == 1 {
+                        panic!("odd {v}");
+                    }
+                    *v
+                },
+            )
+        }));
+        let msg = payload_message(caught.expect_err("panics propagate").as_ref());
+        // Every odd job on every worker may panic; the report must still
+        // be the smallest failing index actually captured. With 8 workers
+        // each panicking on its very first odd job, job 1 is always among
+        // them (worker chunks start at 0..8).
+        assert!(msg.contains("job1)"), "deterministic first-failure report, got: {msg}");
+    }
+
+    #[test]
+    fn sequential_path_propagates_native_panics() {
+        let items = vec![1u32];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, 1, |v| v.to_string(), |_, _| -> u32 { panic!("inline") })
+        }));
+        let msg = payload_message(caught.expect_err("panics propagate").as_ref());
+        assert_eq!(msg, "inline");
+    }
+
+    #[test]
+    fn resolve_threads_is_positive_and_bounded() {
+        let n = resolve_threads();
+        assert!((1..=MAX_THREADS).contains(&n));
+    }
+
+    #[test]
+    fn atomic_nanos_accumulates() {
+        let n = AtomicNanos::new();
+        n.add(std::time::Duration::from_nanos(40));
+        n.add(std::time::Duration::from_nanos(2));
+        assert_eq!(n.total(), 42);
+    }
+}

@@ -7,17 +7,17 @@
 //! out is the classification step's job (§3.3), not the crawler's.
 //!
 //! [`crawl_sites_parallel`] fans a batch of landing pages out over worker
-//! threads (`std::thread::scope` pulling job indices off a shared atomic
-//! counter); results are returned in input order, so parallel and
-//! sequential runs produce identical output.
+//! threads (`govhost_par::parallel_map`: `std::thread::scope` pulling job
+//! indices off a shared atomic counter); results are returned in input
+//! order, so parallel and sequential runs produce identical output. A
+//! panic inside one crawl is reported once, tagged with the landing URL
+//! that failed, instead of cascading into unrelated channel panics.
 
 use crate::corpus::WebCorpus;
 use crate::har::{HarEntry, HarLog};
 use crate::resource::ContentType;
 use govhost_types::{CountryCode, Url};
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 /// Crawl configuration.
 ///
@@ -114,42 +114,23 @@ impl Crawler {
 /// Crawl many landing pages in parallel. `jobs` pairs each landing URL
 /// with the vantage to crawl it from. Results come back in input order,
 /// independent of `threads`.
+///
+/// # Panics
+///
+/// If a crawl panics, the original panic message is re-raised once from
+/// the calling thread together with the failing landing URL.
 pub fn crawl_sites_parallel(
     corpus: &WebCorpus,
     crawler: &Crawler,
     jobs: &[(Url, Option<CountryCode>)],
     threads: usize,
 ) -> Vec<CrawlOutcome> {
-    let threads = threads.max(1).min(jobs.len().max(1));
-    if threads == 1 || jobs.len() <= 1 {
-        return jobs.iter().map(|(u, v)| crawler.crawl(corpus, u, *v)).collect();
-    }
-    // Workers claim job indices off a shared counter and send tagged
-    // results back over a channel; tagging preserves input order.
-    let next_job = AtomicUsize::new(0);
-    let (res_tx, res_rx) = mpsc::channel::<(usize, CrawlOutcome)>();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let next_job = &next_job;
-            let res_tx = res_tx.clone();
-            scope.spawn(move || loop {
-                let i = next_job.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (url, vantage) = &jobs[i];
-                let outcome = crawler.crawl(corpus, url, *vantage);
-                res_tx.send((i, outcome)).expect("result channel open");
-            });
-        }
-        drop(res_tx);
-        let mut results: Vec<Option<CrawlOutcome>> = vec![None; jobs.len()];
-        while let Ok((i, outcome)) = res_rx.recv() {
-            results[i] = Some(outcome);
-        }
-        results.into_iter().map(|r| r.expect("every job completed")).collect()
-    })
+    govhost_par::parallel_map(
+        jobs,
+        threads,
+        |(url, _)| url.to_string(),
+        |_, (url, vantage)| crawler.crawl(corpus, url, *vantage),
+    )
 }
 
 #[cfg(test)]

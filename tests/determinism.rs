@@ -47,6 +47,47 @@ fn thread_count_does_not_change_results() {
     }
 }
 
+/// The tentpole invariant of the parallel build: at a realistic scale,
+/// every observable surface of the dataset — host records (in order),
+/// geolocation verdict-derived fields, per-stage item counts, and the
+/// CSV export bytes — is identical for any thread count. Wall-clock
+/// timings are the only thing allowed to differ.
+#[test]
+fn parallel_build_is_bit_identical_at_scale() {
+    let world = World::generate(&GenParams { scale: 0.3, ..GenParams::default() });
+    let base = GovDataset::build(&world, &BuildOptions { threads: 1, ..Default::default() });
+    let base_csv = export_csv(&base);
+    for threads in [2, 8] {
+        let other = GovDataset::build(&world, &BuildOptions { threads, ..Default::default() });
+        assert_eq!(base.urls.len(), other.urls.len(), "threads={threads}");
+        assert_eq!(base.method_counts, other.method_counts, "threads={threads}");
+        assert_eq!(base.validation, other.validation, "threads={threads}");
+        assert_eq!(base.crawl_failures, other.crawl_failures, "threads={threads}");
+        assert_eq!(base.hosts.len(), other.hosts.len(), "threads={threads}");
+        for (a, b) in base.hosts.iter().zip(&other.hosts) {
+            assert_eq!(a.hostname, b.hostname, "threads={threads}");
+            assert_eq!(a.country, b.country, "threads={threads}");
+            assert_eq!(a.method, b.method, "threads={threads}");
+            assert_eq!(a.ip, b.ip, "threads={threads}");
+            assert_eq!(a.asn, b.asn, "threads={threads}");
+            assert_eq!(a.category, b.category, "threads={threads}");
+            // Geolocation verdict order: server_country and the anycast
+            // flag come straight out of locate_all_threaded.
+            assert_eq!(a.server_country, b.server_country, "threads={threads}");
+            assert_eq!(a.anycast, b.anycast, "threads={threads}");
+        }
+        // Stage item counts are deterministic; wall times are not.
+        assert_eq!(
+            base.timings.item_counts(),
+            other.timings.item_counts(),
+            "threads={threads}"
+        );
+        let csv = export_csv(&other);
+        assert_eq!(base_csv.hosts, csv.hosts, "hosts.csv differs at threads={threads}");
+        assert_eq!(base_csv.urls, csv.urls, "urls.csv differs at threads={threads}");
+    }
+}
+
 #[test]
 fn different_seeds_produce_different_worlds_same_shape() {
     let a = World::generate(&GenParams { seed: 1, ..GenParams::tiny() });
