@@ -19,6 +19,13 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+# The fault-tolerance contract gets a named tier-1 pass of its own: the
+# quarantine/abort policies and the lossless CSV round trip (including
+# the property test over arbitrary field contents).
+echo "==> quarantine + round-trip suites"
+cargo test -q --offline --test failure_injection --test pipeline_recovery
+cargo test -q --offline -p govhost-core --test prop_export export
+
 if [ "$run_bench" = 1 ]; then
     echo "==> bench smoke (1 iteration each, writes BENCH_*.json)"
     GOVHOST_BENCH_SMOKE=1 cargo bench --offline -p govhost-bench

@@ -37,9 +37,9 @@ fn main() {
             RData::A(format!("203.0.113.{i}").parse().unwrap()),
         ));
     }
-    let bytes = msg.encode();
+    let bytes = msg.encode().unwrap();
     b.bench("dns_wire/encode", || {
-        black_box(msg.encode());
+        black_box(msg.encode().unwrap());
     });
     b.bench("dns_wire/decode", || {
         black_box(Message::decode(black_box(&bytes)).unwrap());

@@ -73,7 +73,8 @@ fn main() {
     let start = std::time::Instant::now();
     let ctx = Context::new(&params);
     eprintln!("pipeline done in {:.1?}", start.elapsed());
-    eprintln!("{}\n", ctx.dataset.timings.render());
+    eprintln!("{}", ctx.dataset.timings.render());
+    eprintln!("{}\n", ctx.report.render());
 
     let ids: Vec<&str> = if selected.is_empty() {
         ALL_EXPERIMENTS.iter().map(|e| e.id).collect()

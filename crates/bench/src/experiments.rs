@@ -47,6 +47,8 @@ pub struct Context {
     pub world: World,
     /// The pipeline's dataset.
     pub dataset: GovDataset,
+    /// What the fault-tolerant build skipped or absorbed.
+    pub report: BuildReport,
     /// §5 hosting shares.
     pub hosting: HostingAnalysis,
     /// §6 registration/location.
@@ -67,7 +69,11 @@ impl Context {
     /// Run everything once.
     pub fn new(params: &GenParams) -> Context {
         let world = World::generate(params);
-        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        // Quarantine: a faulting country should cost one country, not the
+        // whole reproduction run; the report says what was skipped.
+        let options = BuildOptions { policy: FailurePolicy::Quarantine, ..Default::default() };
+        let (dataset, report) =
+            GovDataset::try_build(&world, &options).expect("quarantine builds never abort");
         let hosting = HostingAnalysis::compute(&dataset);
         let location = LocationAnalysis::compute(&dataset);
         let crossborder = CrossBorderAnalysis::compute(&dataset);
@@ -78,6 +84,7 @@ impl Context {
         Context {
             world,
             dataset,
+            report,
             hosting,
             location,
             crossborder,

@@ -28,8 +28,10 @@
 use crate::classify::{ClassificationMethod, Classifier};
 use crate::infra::{InfraIdentifier, InfraRecord};
 use govhost_geoloc::pipeline::{GeoTask, GeolocationPipeline, PipelineConfig, ValidationStats};
-use govhost_types::{Asn, CountryCode, Hostname, ProviderCategory, Region, Url};
-use govhost_web::crawler::{CrawlOutcome, Crawler};
+use govhost_types::{
+    Asn, CountryCode, Hostname, PipelineError, PipelineStage, ProviderCategory, Region, Url,
+};
+use govhost_web::crawler::{CrawlOutcome, Crawler, FailureCauses};
 use govhost_worldgen::countries::CountryRow;
 use govhost_worldgen::World;
 use std::collections::{HashMap, HashSet};
@@ -50,6 +52,8 @@ pub struct BuildOptions {
     pub threads: usize,
     /// Geolocation-pipeline knobs (stage toggles for ablations).
     pub geo: PipelineConfig,
+    /// What [`GovDataset::try_build`] does when a country faults.
+    pub policy: FailurePolicy,
 }
 
 impl Default for BuildOptions {
@@ -58,9 +62,95 @@ impl Default for BuildOptions {
             crawler: Crawler::default(),
             threads: govhost_par::resolve_threads(),
             geo: PipelineConfig::default(),
+            policy: FailurePolicy::default(),
         }
     }
 }
+
+/// What to do when a country's pipeline stage faults (its landing page
+/// cannot be fetched, for instance).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Stop the build and surface the fault as a [`BuildError`].
+    #[default]
+    Abort,
+    /// Drop the failing country, keep building the rest, and record the
+    /// skip — stage and cause — in the [`BuildReport`].
+    Quarantine,
+}
+
+/// One country dropped by [`FailurePolicy::Quarantine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// The country that was dropped.
+    pub country: CountryCode,
+    /// The stage that faulted.
+    pub stage: PipelineStage,
+    /// The rendered fault.
+    pub cause: String,
+}
+
+/// What a fault-tolerant build skipped or absorbed, stage by stage.
+///
+/// Every count is a pure function of the world and the options — thread
+/// count never changes a report (`tests/failure_injection.rs` pins this).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BuildReport {
+    /// Countries dropped under [`FailurePolicy::Quarantine`], in fixed
+    /// country order.
+    pub quarantined: Vec<QuarantineEntry>,
+    /// Non-fatal fetch failures during crawling, by cause.
+    pub crawl_failures: FailureCauses,
+    /// Hostnames whose resolution faulted (kept as unresolved records).
+    pub resolution_failures: u64,
+    /// Addresses §3.5 excluded from analysis (the UR buckets of Table 4).
+    pub geo_excluded: usize,
+    /// Exclusions where evidence contradicted the database claim (§4.2).
+    pub geo_conflicts: usize,
+}
+
+impl BuildReport {
+    /// Multi-line human-readable summary (pairs with
+    /// [`StageTimings::render`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let c = self.crawl_failures;
+        out.push_str(&format!(
+            "  crawl failures      {:>6} (geo-blocked {}, not found {}, unknown host {})\n",
+            c.total(),
+            c.geo_blocked,
+            c.not_found,
+            c.unknown_host
+        ));
+        out.push_str(&format!("  resolution failures {:>6}\n", self.resolution_failures));
+        out.push_str(&format!(
+            "  geo excluded        {:>6} ({} conflicting)\n",
+            self.geo_excluded, self.geo_conflicts
+        ));
+        out.push_str(&format!("  quarantined         {:>6}\n", self.quarantined.len()));
+        for q in &self.quarantined {
+            out.push_str(&format!("    {} at {}: {}\n", q.country, q.stage, q.cause));
+        }
+        out
+    }
+}
+
+/// A fault that stopped a [`FailurePolicy::Abort`] build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// The country whose pipeline faulted.
+    pub country: CountryCode,
+    /// The fault itself.
+    pub error: PipelineError,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "build failed for {}: {}", self.country, self.error)
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// Wall time plus item count for one pipeline stage.
 ///
@@ -269,6 +359,8 @@ struct CountryPartial {
     /// first (in fixed country order), which is exactly the record the
     /// sequential pipeline would have produced.
     infra: HashMap<Hostname, Option<InfraRecord>>,
+    failure_causes: FailureCauses,
+    resolution_failures: u64,
     crawl_nanos: u64,
     classify_nanos: u64,
     identify_nanos: u64,
@@ -280,20 +372,36 @@ struct CountryPartial {
 /// the captured URLs, identify the infrastructure behind each government
 /// hostname. Pure in `(world, options, row)` — scheduling cannot change
 /// its output.
-fn build_country(world: &World, options: &BuildOptions, row: &CountryRow) -> Option<CountryPartial> {
+///
+/// A landing page that cannot be fetched is a crawl-stage fault
+/// ([`PipelineError::Crawl`]): the site would contribute nothing, so the
+/// country's result is unusable. Deeper dead links stay non-fatal and
+/// are only counted. Resolution faults are likewise absorbed per-host
+/// (the record stays, unresolved) and counted.
+fn try_build_country(
+    world: &World,
+    options: &BuildOptions,
+    row: &CountryRow,
+) -> Result<Option<CountryPartial>, PipelineError> {
     let code = row.cc();
     let landing = world.landing(code);
     if landing.is_empty() {
-        return None; // Korea's empty row
+        return Ok(None); // Korea's empty row
     }
     let vantage = world.vantage(code);
 
     // §3.2: breadth-first crawl of each landing page, in landing order.
     let crawl_start = Instant::now();
-    let outcomes: Vec<CrawlOutcome> = landing
-        .iter()
-        .map(|u| options.crawler.crawl(&world.corpus, u, Some(vantage.country)))
-        .collect();
+    let mut outcomes: Vec<CrawlOutcome> = Vec::with_capacity(landing.len());
+    let mut failure_causes = FailureCauses::default();
+    for u in landing.iter() {
+        let mut outcome = options.crawler.crawl(&world.corpus, u, Some(vantage.country));
+        if let Some(err) = outcome.landing_error.take() {
+            return Err(err);
+        }
+        failure_causes.merge(outcome.failure_causes);
+        outcomes.push(outcome);
+    }
     let crawl_nanos = crawl_start.elapsed().as_nanos() as u64;
     let pages: u64 = outcomes.iter().map(|o| o.pages_visited as u64).sum();
 
@@ -338,49 +446,92 @@ fn build_country(world: &World, options: &BuildOptions, row: &CountryRow) -> Opt
     let mut identifier =
         InfraIdentifier::new(&world.resolver, &world.registry, &world.peeringdb, &world.search);
     let mut infra: HashMap<Hostname, Option<InfraRecord>> = HashMap::new();
+    let mut resolution_failures = 0u64;
     for entry in &entries {
         let host = entry.url.hostname();
         if !infra.contains_key(host) {
-            let record = identifier.identify(host, vantage.country).ok().flatten();
+            // A resolution fault (NXDOMAIN, broken zone) keeps the host
+            // record — unresolved — and is counted for the BuildReport,
+            // instead of being silently conflated with "no record".
+            let record = match identifier.identify(host, vantage.country) {
+                Ok(record) => record,
+                Err(_) => {
+                    resolution_failures += 1;
+                    None
+                }
+            };
             infra.insert(host.clone(), record);
         }
     }
     let identify_nanos = identify_start.elapsed().as_nanos() as u64;
 
-    Some(CountryPartial {
+    Ok(Some(CountryPartial {
         code,
         stats,
         crawl_failures,
         entries,
         infra,
+        failure_causes,
+        resolution_failures,
         crawl_nanos,
         classify_nanos,
         identify_nanos,
         pages,
         examined,
-    })
+    }))
 }
 
 impl GovDataset {
     /// Run the full §3 methodology against a world.
     ///
+    /// Convenience wrapper over [`Self::try_build`] for worlds that are
+    /// known to build cleanly (every generated world does).
+    ///
+    /// # Panics
+    ///
+    /// If the build faults under [`FailurePolicy::Abort`].
+    pub fn build(world: &World, options: &BuildOptions) -> GovDataset {
+        match Self::try_build(world, options) {
+            Ok((dataset, _report)) => dataset,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run the full §3 methodology against a world, reporting faults
+    /// instead of swallowing them.
+    ///
+    /// Expected measurement faults (a geo-blocked landing page, a
+    /// hostname that will not resolve) travel as typed
+    /// [`PipelineError`]s. What happens next is
+    /// [`BuildOptions::policy`]'s call: [`FailurePolicy::Abort`] stops
+    /// the build at the first faulting country; with
+    /// [`FailurePolicy::Quarantine`] a faulting country is dropped, the
+    /// remaining countries still build, and every skip is recorded in
+    /// the returned [`BuildReport`] with its stage and cause.
+    ///
     /// The per-country stage fans out over [`BuildOptions::threads`]
     /// worker threads; partial results are merged in fixed country order,
-    /// so the output is bit-identical for every thread count.
-    pub fn build(world: &World, options: &BuildOptions) -> GovDataset {
+    /// so the dataset *and the report* are bit-identical for every
+    /// thread count.
+    pub fn try_build(
+        world: &World,
+        options: &BuildOptions,
+    ) -> Result<(GovDataset, BuildReport), BuildError> {
         let build_start = Instant::now();
         let mut timings = StageTimings::default();
+        let mut report = BuildReport::default();
 
         // Stage 1 (parallel): per-country crawl → classify → identify.
         let rows: Vec<&CountryRow> = world.studied_countries().iter().collect();
-        let partials: Vec<Option<CountryPartial>> = govhost_par::parallel_map(
+        let results = govhost_par::try_parallel_map(
             &rows,
             options.threads,
             |row| format!("country {}", row.code),
-            |_, row| build_country(world, options, row),
+            |_, row| try_build_country(world, options, row),
         );
 
-        // Stage 2 (sequential): merge partials in country order.
+        // Stage 2 (sequential): merge partials in country order, applying
+        // the failure policy to faulted countries.
         let analyze_start = Instant::now();
         let mut hosts: Vec<HostRecord> = Vec::new();
         let mut host_index: HashMap<Hostname, u32> = HashMap::new();
@@ -388,11 +539,33 @@ impl GovDataset {
         let mut method_counts = [0u64; 3];
         let mut crawl_failures = 0u32;
         let mut per_country: HashMap<CountryCode, CountryStats> = HashMap::new();
-        for partial in partials.into_iter().flatten() {
+        let mut partials: Vec<CountryPartial> = Vec::with_capacity(rows.len());
+        for result in results {
+            match result {
+                Ok(Some(partial)) => partials.push(partial),
+                Ok(None) => {} // Korea's empty row: nothing to contribute
+                Err(job) => {
+                    let country = rows[job.job].cc();
+                    match options.policy {
+                        FailurePolicy::Abort => {
+                            return Err(BuildError { country, error: job.error })
+                        }
+                        FailurePolicy::Quarantine => report.quarantined.push(QuarantineEntry {
+                            country,
+                            stage: job.error.stage(),
+                            cause: job.error.to_string(),
+                        }),
+                    }
+                }
+            }
+        }
+        for partial in partials {
             timings.crawl.add(partial.crawl_nanos, partial.pages);
             timings.classify.add(partial.classify_nanos, partial.examined);
             timings.identify.add(partial.identify_nanos, partial.infra.len() as u64);
             crawl_failures += partial.crawl_failures;
+            report.crawl_failures.merge(partial.failure_causes);
+            report.resolution_failures += partial.resolution_failures;
             per_country.insert(partial.code, partial.stats);
             for entry in partial.entries {
                 let host = entry.url.hostname();
@@ -444,9 +617,11 @@ impl GovDataset {
         let geo_start = Instant::now();
         let (validation, geo_tasks) = geolocate(world, &mut hosts, options);
         timings.geolocate.add(geo_start.elapsed().as_nanos() as u64, geo_tasks);
+        report.geo_excluded = validation.unicast[2] + validation.anycast[2];
+        report.geo_conflicts = validation.conflicts;
 
         timings.build_nanos = build_start.elapsed().as_nanos() as u64;
-        GovDataset {
+        let dataset = GovDataset {
             hosts,
             urls,
             host_index,
@@ -455,7 +630,8 @@ impl GovDataset {
             crawl_failures,
             per_country,
             timings,
-        }
+        };
+        Ok((dataset, report))
     }
 
     /// Table 3 summary.
@@ -716,6 +892,25 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("geolocate"), "render names every stage: {rendered}");
         assert!(rendered.contains("total"));
+    }
+
+    #[test]
+    fn try_build_on_clean_world_reports_no_quarantines() {
+        let world = World::generate(&GenParams::tiny());
+        let (ds, report) =
+            GovDataset::try_build(&world, &BuildOptions::default()).expect("clean world builds");
+        assert!(report.quarantined.is_empty());
+        // The by-cause breakdown sums to the dataset's flat counter.
+        assert_eq!(report.crawl_failures.total(), ds.crawl_failures);
+        assert_eq!(
+            report.geo_excluded,
+            ds.validation.unicast[2] + ds.validation.anycast[2],
+            "report mirrors the Table-4 UR buckets"
+        );
+        assert_eq!(report.geo_conflicts, ds.validation.conflicts);
+        let rendered = report.render();
+        assert!(rendered.contains("crawl failures"), "{rendered}");
+        assert!(rendered.contains("quarantined"), "{rendered}");
     }
 
     #[test]

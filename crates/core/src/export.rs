@@ -1,15 +1,22 @@
 //! Dataset export and import.
 //!
 //! The paper "makes our dataset available upon request" — this module is
-//! that artifact for the reproduction: the full [`GovDataset`] as two CSV
-//! documents (per-hostname infrastructure records and per-URL records),
-//! plus a loader that reconstructs a dataset from them so the analyses can
-//! run without regenerating the world.
+//! that artifact for the reproduction: the full [`GovDataset`] as three
+//! CSV documents (per-hostname infrastructure records, per-URL records,
+//! and a key-value metadata section carrying the build-level counters:
+//! crawl failures by cause, validation statistics, and the
+//! [`BuildReport`]), plus a loader that reconstructs dataset *and* report
+//! from them so the analyses can run without regenerating the world.
+//!
+//! The import side reads records with [`govhost_report::read_records`],
+//! a real RFC 4180 record reader — quoted fields may span lines, so an
+//! organisation name with an embedded newline survives the round trip.
 
 use crate::classify::ClassificationMethod;
-use crate::dataset::{GovDataset, HostRecord, UrlRecord};
-use govhost_report::Csv;
-use govhost_types::{Asn, CountryCode, Hostname, ProviderCategory, Url};
+use crate::dataset::{BuildReport, GovDataset, HostRecord, QuarantineEntry, UrlRecord};
+use govhost_geoloc::pipeline::ValidationStats;
+use govhost_report::{read_records, Csv};
+use govhost_types::{Asn, CountryCode, Hostname, PipelineStage, ProviderCategory, Url};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -20,9 +27,14 @@ pub struct DatasetCsv {
     pub hosts: String,
     /// One row per captured URL.
     pub urls: String,
+    /// Key-first metadata rows: dataset counters ([`GovDataset::crawl_failures`],
+    /// validation statistics) and the [`BuildReport`]. May be empty for
+    /// documents written before the section existed; unknown keys are
+    /// ignored on import.
+    pub meta: String,
 }
 
-const HOST_HEADER: [&str; 11] = [
+const HOST_HEADER: [&str; 12] = [
     "hostname",
     "country",
     "method",
@@ -34,6 +46,7 @@ const HOST_HEADER: [&str; 11] = [
     "category",
     "server_country",
     "anycast",
+    "geo_excluded",
 ];
 
 fn method_str(m: ClassificationMethod) -> &'static str {
@@ -72,8 +85,19 @@ fn category_parse(s: &str) -> Option<ProviderCategory> {
     })
 }
 
-/// Export a dataset to CSV.
+/// Export a dataset to CSV without a build report (the metadata section
+/// still carries the dataset-level counters). See [`export_csv_full`].
 pub fn export_csv(dataset: &GovDataset) -> DatasetCsv {
+    export_csv_full(dataset, None)
+}
+
+/// Export a dataset (and, when available, its [`BuildReport`]) to CSV.
+///
+/// The export is lossless for every host-record field — including
+/// `geo_excluded` — and for the dataset's `crawl_failures` and validation
+/// statistics, which travel in the metadata section rather than being
+/// re-derived heuristically on import.
+pub fn export_csv_full(dataset: &GovDataset, report: Option<&BuildReport>) -> DatasetCsv {
     let mut hosts = Csv::new();
     hosts.row(HOST_HEADER);
     for h in &dataset.hosts {
@@ -89,6 +113,7 @@ pub fn export_csv(dataset: &GovDataset) -> DatasetCsv {
             h.category.map(|c| category_str(c).to_string()).unwrap_or_default(),
             h.server_country.map(|c| c.to_string()).unwrap_or_default(),
             h.anycast.to_string(),
+            h.geo_excluded.to_string(),
         ]);
     }
     let mut urls = Csv::new();
@@ -100,7 +125,35 @@ pub fn export_csv(dataset: &GovDataset) -> DatasetCsv {
             u.bytes.to_string(),
         ]);
     }
-    DatasetCsv { hosts: hosts.finish(), urls: urls.finish() }
+    let mut meta = Csv::new();
+    meta.row(["crawl_failures".to_string(), dataset.crawl_failures.to_string()]);
+    let v = &dataset.validation;
+    meta.row(std::iter::once("validation_unicast".to_string())
+        .chain(v.unicast.iter().map(|n| n.to_string())));
+    meta.row(std::iter::once("validation_anycast".to_string())
+        .chain(v.anycast.iter().map(|n| n.to_string())));
+    meta.row(["validation_conflicts".to_string(), v.conflicts.to_string()]);
+    if let Some(report) = report {
+        let c = report.crawl_failures;
+        meta.row([
+            "crawl_causes".to_string(),
+            c.geo_blocked.to_string(),
+            c.not_found.to_string(),
+            c.unknown_host.to_string(),
+        ]);
+        meta.row(["resolution_failures".to_string(), report.resolution_failures.to_string()]);
+        meta.row(["geo_excluded".to_string(), report.geo_excluded.to_string()]);
+        meta.row(["geo_conflicts".to_string(), report.geo_conflicts.to_string()]);
+        for q in &report.quarantined {
+            meta.row([
+                "quarantined".to_string(),
+                q.country.to_string(),
+                q.stage.to_string(),
+                q.cause.clone(),
+            ]);
+        }
+    }
+    DatasetCsv { hosts: hosts.finish(), urls: urls.finish(), meta: meta.finish() }
 }
 
 /// Errors loading a CSV dataset.
@@ -124,46 +177,27 @@ fn import_err(row: usize, message: impl Into<String>) -> ImportError {
     ImportError { row, message: message.into() }
 }
 
-/// Split one CSV line honoring RFC 4180 quoting.
-fn split_csv_line(line: &str) -> Vec<String> {
-    let mut fields = Vec::new();
-    let mut field = String::new();
-    let mut chars = line.chars().peekable();
-    let mut in_quotes = false;
-    while let Some(c) = chars.next() {
-        match (c, in_quotes) {
-            ('"', false) => in_quotes = true,
-            ('"', true) => {
-                if chars.peek() == Some(&'"') {
-                    chars.next();
-                    field.push('"');
-                } else {
-                    in_quotes = false;
-                }
-            }
-            (',', false) => fields.push(std::mem::take(&mut field)),
-            (c, _) => field.push(c),
-        }
-    }
-    fields.push(field);
-    fields
+/// Reconstruct a dataset from the CSV documents produced by
+/// [`export_csv`], discarding the build report. See [`import_csv_full`].
+pub fn import_csv(csv: &DatasetCsv) -> Result<GovDataset, ImportError> {
+    import_csv_full(csv).map(|(dataset, _report)| dataset)
 }
 
-/// Reconstruct a dataset from the CSV documents produced by
-/// [`export_csv`]. Validation statistics and per-country aggregates are
-/// recomputed from the rows; the geolocation verdicts (anycast flags,
-/// exclusions) are carried in the host rows.
-pub fn import_csv(csv: &DatasetCsv) -> Result<GovDataset, ImportError> {
+/// Reconstruct a dataset and its [`BuildReport`] from the CSV documents
+/// produced by [`export_csv_full`]. Per-country aggregates are recomputed
+/// from the rows; geolocation verdicts (anycast flags, exclusions) are
+/// carried in the host rows; crawl-failure counts and validation
+/// statistics come from the metadata section (defaulting to zero when the
+/// section is absent).
+pub fn import_csv_full(csv: &DatasetCsv) -> Result<(GovDataset, BuildReport), ImportError> {
     let mut hosts: Vec<HostRecord> = Vec::new();
     let mut host_index: HashMap<Hostname, u32> = HashMap::new();
-    let mut lines = csv.hosts.lines().enumerate();
-    let header = lines.next().map(|(_, l)| l).unwrap_or_default();
-    if split_csv_line(header) != HOST_HEADER {
+    let host_records = read_records(&csv.hosts);
+    if host_records.first().map(Vec::as_slice).is_none_or(|h| h != HOST_HEADER) {
         return Err(import_err(1, "unexpected hosts header"));
     }
-    for (idx, line) in lines {
+    for (idx, f) in host_records.iter().enumerate().skip(1) {
         let row = idx + 1;
-        let f = split_csv_line(line);
         if f.len() != HOST_HEADER.len() {
             return Err(import_err(row, format!("expected {} fields", HOST_HEADER.len())));
         }
@@ -210,7 +244,7 @@ pub fn import_csv(csv: &DatasetCsv) -> Result<GovDataset, ImportError> {
             },
             server_country: parse_opt_cc(&f[9])?,
             anycast: f[10] == "true",
-            geo_excluded: f[9].is_empty() && !f[3].is_empty(),
+            geo_excluded: f[11] == "true",
         };
         host_index.insert(hostname, hosts.len() as u32);
         hosts.push(record);
@@ -219,11 +253,8 @@ pub fn import_csv(csv: &DatasetCsv) -> Result<GovDataset, ImportError> {
     let mut urls: Vec<UrlRecord> = Vec::new();
     let mut method_counts = [0u64; 3];
     let mut per_country: HashMap<CountryCode, crate::dataset::CountryStats> = HashMap::new();
-    let mut lines = csv.urls.lines().enumerate();
-    lines.next(); // header
-    for (idx, line) in lines {
+    for (idx, f) in read_records(&csv.urls).iter().enumerate().skip(1) {
         let row = idx + 1;
-        let f = split_csv_line(line);
         if f.len() != 3 {
             return Err(import_err(row, "expected 3 fields"));
         }
@@ -253,16 +284,76 @@ pub fn import_csv(csv: &DatasetCsv) -> Result<GovDataset, ImportError> {
         per_country.entry(h.country).or_default().hostnames += 1;
     }
 
-    Ok(GovDataset {
+    let (crawl_failures, validation, report) = parse_meta(&csv.meta)?;
+
+    let dataset = GovDataset {
         hosts,
         urls,
         host_index,
-        validation: Default::default(), // not serialized; recompute from a world if needed
+        validation,
         method_counts,
-        crawl_failures: 0,
+        crawl_failures,
         per_country,
         timings: Default::default(), // no build ran, so no stage timings
-    })
+    };
+    Ok((dataset, report))
+}
+
+/// Parse the key-first metadata rows. Unknown keys are ignored (forward
+/// compatibility); an empty document yields all-zero counters.
+fn parse_meta(meta: &str) -> Result<(u32, ValidationStats, BuildReport), ImportError> {
+    let mut crawl_failures = 0u32;
+    let mut validation = ValidationStats::default();
+    let mut report = BuildReport::default();
+    for (idx, rec) in read_records(meta).iter().enumerate() {
+        let row = idx + 1;
+        let field = |i: usize| -> Result<&str, ImportError> {
+            rec.get(i)
+                .map(String::as_str)
+                .ok_or_else(|| import_err(row, format!("metadata field {i} missing")))
+        };
+        let num = |i: usize| -> Result<u64, ImportError> {
+            let s = field(i)?;
+            s.parse().map_err(|_| import_err(row, format!("bad metadata number {s:?}")))
+        };
+        match field(0)? {
+            "crawl_failures" => crawl_failures = num(1)? as u32,
+            "validation_unicast" => {
+                for (slot, i) in validation.unicast.iter_mut().zip(1..) {
+                    *slot = num(i)? as usize;
+                }
+            }
+            "validation_anycast" => {
+                for (slot, i) in validation.anycast.iter_mut().zip(1..) {
+                    *slot = num(i)? as usize;
+                }
+            }
+            "validation_conflicts" => validation.conflicts = num(1)? as usize,
+            "crawl_causes" => {
+                report.crawl_failures.geo_blocked = num(1)? as u32;
+                report.crawl_failures.not_found = num(2)? as u32;
+                report.crawl_failures.unknown_host = num(3)? as u32;
+            }
+            "resolution_failures" => report.resolution_failures = num(1)?,
+            "geo_excluded" => report.geo_excluded = num(1)? as usize,
+            "geo_conflicts" => report.geo_conflicts = num(1)? as usize,
+            "quarantined" => {
+                let cc = field(1)?;
+                let country: CountryCode =
+                    cc.parse().map_err(|_| import_err(row, format!("bad country {cc:?}")))?;
+                let stage_name = field(2)?;
+                let stage = PipelineStage::parse(stage_name)
+                    .ok_or_else(|| import_err(row, format!("bad stage {stage_name:?}")))?;
+                report.quarantined.push(QuarantineEntry {
+                    country,
+                    stage,
+                    cause: field(3)?.to_string(),
+                });
+            }
+            _ => {} // unknown key: tolerated for forward compatibility
+        }
+    }
+    Ok((crawl_failures, validation, report))
 }
 
 #[cfg(test)]
@@ -279,20 +370,42 @@ mod tests {
 
     #[test]
     fn export_import_round_trips_records() {
-        let original = dataset();
-        let csv = export_csv(&original);
-        let loaded = import_csv(&csv).expect("own export imports");
+        let world = World::generate(&GenParams::tiny());
+        let (original, report) =
+            GovDataset::try_build(&world, &BuildOptions::default()).expect("builds");
+        let csv = export_csv_full(&original, Some(&report));
+        let (loaded, loaded_report) = import_csv_full(&csv).expect("own export imports");
         assert_eq!(loaded.hosts.len(), original.hosts.len());
         assert_eq!(loaded.urls.len(), original.urls.len());
         assert_eq!(loaded.method_counts, original.method_counts);
         for (a, b) in original.hosts.iter().zip(&loaded.hosts) {
             assert_eq!(a.hostname, b.hostname);
             assert_eq!(a.country, b.country);
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.asn, b.asn);
+            assert_eq!(a.org, b.org);
             assert_eq!(a.category, b.category);
             assert_eq!(a.registration, b.registration);
             assert_eq!(a.server_country, b.server_country);
             assert_eq!(a.state_operated, b.state_operated);
+            assert_eq!(a.anycast, b.anycast);
+            assert_eq!(a.geo_excluded, b.geo_excluded, "carried, not re-derived");
         }
+        // Dataset counters and the build report survive via the metadata
+        // section instead of being zeroed or invented on import.
+        assert_eq!(loaded.crawl_failures, original.crawl_failures);
+        assert_eq!(loaded.validation, original.validation);
+        assert_eq!(loaded_report, report);
+    }
+
+    #[test]
+    fn import_without_meta_defaults_counters() {
+        let csv = export_csv(&dataset());
+        let legacy = DatasetCsv { meta: String::new(), ..csv };
+        let (loaded, report) = import_csv_full(&legacy).expect("imports");
+        assert_eq!(loaded.crawl_failures, 0);
+        assert_eq!(report, BuildReport::default());
     }
 
     #[test]
@@ -312,8 +425,16 @@ mod tests {
     fn org_names_with_commas_survive() {
         let mut ds = dataset();
         ds.hosts[0].org = Some("Cloudflare, Inc. \"CDN\"".to_string());
+        // Embedded newlines (both kinds) must survive too: the writer
+        // quotes them, and the reader consumes quoted newlines instead of
+        // splitting records on them.
+        ds.hosts[1].org = Some("Dirección General\nde Informática".to_string());
+        ds.hosts[2].org = Some("Windows\r\nHosting GmbH".to_string());
         let loaded = import_csv(&export_csv(&ds)).expect("imports");
         assert_eq!(loaded.hosts[0].org.as_deref(), Some("Cloudflare, Inc. \"CDN\""));
+        assert_eq!(loaded.hosts[1].org.as_deref(), Some("Dirección General\nde Informática"));
+        assert_eq!(loaded.hosts[2].org.as_deref(), Some("Windows\r\nHosting GmbH"));
+        assert_eq!(loaded.hosts.len(), ds.hosts.len(), "no records split in half");
     }
 
     #[test]
@@ -322,20 +443,22 @@ mod tests {
         let broken = DatasetCsv {
             hosts: csv.hosts.replace("true", "true,extra-field"),
             urls: csv.urls.clone(),
+            meta: csv.meta.clone(),
         };
         let e = import_csv(&broken).unwrap_err();
         assert!(e.row > 1);
 
-        let bad_header =
-            DatasetCsv { hosts: "nope\n".to_string(), urls: csv.urls.clone() };
+        let bad_header = DatasetCsv {
+            hosts: "nope\n".to_string(),
+            urls: csv.urls.clone(),
+            meta: csv.meta.clone(),
+        };
         assert!(import_csv(&bad_header).is_err());
-    }
 
-    #[test]
-    fn csv_line_splitting_handles_quotes() {
-        assert_eq!(split_csv_line("a,b,c"), vec!["a", "b", "c"]);
-        assert_eq!(split_csv_line("\"a,b\",c"), vec!["a,b", "c"]);
-        assert_eq!(split_csv_line("\"say \"\"hi\"\"\",x"), vec!["say \"hi\"", "x"]);
-        assert_eq!(split_csv_line(""), vec![""]);
+        let bad_meta = DatasetCsv {
+            meta: "crawl_failures,not-a-number\n".to_string(),
+            ..csv.clone()
+        };
+        assert!(import_csv(&bad_meta).is_err());
     }
 }

@@ -39,10 +39,13 @@ pub mod trends;
 pub use affordability::AffordabilityAnalysis;
 pub use classify::{ClassificationMethod, Classifier};
 pub use crossborder::CrossBorderAnalysis;
-pub use dataset::{BuildOptions, GovDataset, HostRecord, StageStat, StageTimings, UrlRecord};
+pub use dataset::{
+    BuildError, BuildOptions, BuildReport, FailurePolicy, GovDataset, HostRecord, QuarantineEntry,
+    StageStat, StageTimings, UrlRecord,
+};
 pub use diversification::DiversificationAnalysis;
 pub use explain::ExplanatoryModel;
-pub use export::{export_csv, import_csv, DatasetCsv};
+pub use export::{export_csv, export_csv_full, import_csv, import_csv_full, DatasetCsv};
 pub use hosting::{CategoryShares, HostingAnalysis};
 pub use infra::{GovEvidence, InfraIdentifier};
 pub use location::LocationAnalysis;
@@ -54,8 +57,10 @@ pub use trends::{SnapshotMetrics, TrendAnalysis};
 /// Common imports for downstream users.
 pub mod prelude {
     pub use crate::crossborder::CrossBorderAnalysis;
-    pub use crate::dataset::{BuildOptions, GovDataset, StageTimings};
-    pub use crate::export::{export_csv, import_csv, DatasetCsv};
+    pub use crate::dataset::{
+        BuildError, BuildOptions, BuildReport, FailurePolicy, GovDataset, StageTimings,
+    };
+    pub use crate::export::{export_csv, export_csv_full, import_csv, import_csv_full, DatasetCsv};
     pub use crate::diversification::DiversificationAnalysis;
     pub use crate::explain::ExplanatoryModel;
     pub use crate::hosting::{CategoryShares, HostingAnalysis};

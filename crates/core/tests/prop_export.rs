@@ -1,0 +1,126 @@
+//! Property test for the CSV export/import round trip: a dataset whose
+//! host fields hold arbitrary content — commas, quotes, newlines, CR,
+//! Unicode — must survive `import_csv(export_csv(ds))` bit-for-bit. On
+//! the in-repo harness.
+
+use govhost_core::classify::ClassificationMethod;
+use govhost_core::{export_csv, import_csv, GovDataset, HostRecord};
+use govhost_harness::{gens, prop_assert_eq, Config, Gen};
+use govhost_types::{Asn, CountryCode, Hostname, ProviderCategory};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+const REGRESSIONS: &str = "tests/regressions/prop_export.txt";
+
+fn cfg(name: &str) -> Config {
+    Config::new(name).cases(192).regressions(REGRESSIONS)
+}
+
+/// A hostname label from the valid alphabet; uniqueness comes from the
+/// caller suffixing the row index.
+fn arb_label() -> Gen<String> {
+    gens::string_of("abcdefghijklmnopqrstuvwxyz0123456789", 1, 12)
+}
+
+/// Organisation names are free-form WHOIS text: exercise exactly the
+/// characters the CSV layer has to escape (separators, quotes, both
+/// newline flavours) plus arbitrary Unicode. `None` sometimes, but never
+/// `Some("")` — the format writes absent fields as empty, so an empty
+/// string cannot round-trip as distinct from `None`.
+fn arb_org() -> Gen<Option<String>> {
+    let nasty = gens::string_of(",\"'\n\r\t ;|aZ0-é漢🌐", 1, 24);
+    gens::one_of(vec![
+        Gen::constant(None),
+        nasty.map(Some),
+        gens::unicode_string(1, 16).map(Some),
+    ])
+}
+
+/// One host row as raw material: a label, an org, and a bag of bits the
+/// property decodes into the remaining (enum/option/bool) fields so every
+/// column varies without a dedicated generator per field.
+fn arb_rows() -> Gen<Vec<(String, Option<String>, u64)>> {
+    gens::vec(gens::zip3(arb_label(), arb_org(), gens::u64_any()), 1, 12)
+}
+
+const COUNTRIES: [&str; 5] = ["MX", "BR", "US", "DE", "FR"];
+
+fn decode_host(i: usize, label: &str, org: Option<String>, bits: u64) -> HostRecord {
+    let country: CountryCode =
+        COUNTRIES[(bits >> 2) as usize % COUNTRIES.len()].parse().unwrap();
+    let hostname: Hostname =
+        format!("{label}.h{i}.gov").parse().expect("generated labels are valid");
+    let method = match bits % 3 {
+        0 => ClassificationMethod::GovTld,
+        1 => ClassificationMethod::DomainMatch,
+        _ => ClassificationMethod::San,
+    };
+    let category = match (bits >> 5) % 5 {
+        0 => None,
+        1 => Some(ProviderCategory::GovtSoe),
+        2 => Some(ProviderCategory::ThirdPartyLocal),
+        3 => Some(ProviderCategory::ThirdPartyRegional),
+        _ => Some(ProviderCategory::ThirdPartyGlobal),
+    };
+    HostRecord {
+        hostname,
+        country,
+        method,
+        ip: (bits & 1 << 8 != 0).then_some(Ipv4Addr::from((bits >> 32) as u32)),
+        asn: (bits & 1 << 9 != 0).then_some(Asn((bits >> 16 & 0xFFFF) as u32)),
+        org,
+        registration: (bits & 1 << 10 != 0)
+            .then(|| COUNTRIES[(bits >> 11) as usize % COUNTRIES.len()].parse().unwrap()),
+        state_operated: bits & 1 << 14 != 0,
+        category,
+        server_country: (bits & 1 << 15 != 0)
+            .then(|| COUNTRIES[(bits >> 16) as usize % COUNTRIES.len()].parse().unwrap()),
+        anycast: bits & 1 << 20 != 0,
+        geo_excluded: bits & 1 << 21 != 0,
+    }
+}
+
+fn dataset_of(rows: &[(String, Option<String>, u64)]) -> GovDataset {
+    let hosts: Vec<HostRecord> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (label, org, bits))| decode_host(i, label, org.clone(), *bits))
+        .collect();
+    let host_index: HashMap<Hostname, u32> =
+        hosts.iter().enumerate().map(|(i, h)| (h.hostname.clone(), i as u32)).collect();
+    GovDataset {
+        hosts,
+        urls: Vec::new(),
+        host_index,
+        validation: Default::default(),
+        method_counts: [0; 3],
+        crawl_failures: rows[0].2 as u32 & 0xFFFF,
+        per_country: HashMap::new(),
+        timings: Default::default(),
+    }
+}
+
+#[test]
+fn export_import_round_trips_arbitrary_host_fields() {
+    cfg("export_import_round_trips_arbitrary_host_fields").run(&arb_rows(), |rows| {
+        let ds = dataset_of(rows);
+        let loaded = import_csv(&export_csv(&ds)).map_err(|e| e.to_string())?;
+        prop_assert_eq!(loaded.hosts.len(), ds.hosts.len());
+        for (a, b) in ds.hosts.iter().zip(&loaded.hosts) {
+            prop_assert_eq!(&b.hostname, &a.hostname);
+            prop_assert_eq!(b.country, a.country);
+            prop_assert_eq!(b.method, a.method);
+            prop_assert_eq!(b.ip, a.ip);
+            prop_assert_eq!(b.asn, a.asn);
+            prop_assert_eq!(&b.org, &a.org);
+            prop_assert_eq!(b.registration, a.registration);
+            prop_assert_eq!(b.state_operated, a.state_operated);
+            prop_assert_eq!(b.category, a.category);
+            prop_assert_eq!(b.server_country, a.server_country);
+            prop_assert_eq!(b.anycast, a.anycast);
+            prop_assert_eq!(b.geo_excluded, a.geo_excluded);
+        }
+        prop_assert_eq!(loaded.crawl_failures, ds.crawl_failures);
+        Ok(())
+    });
+}

@@ -86,7 +86,7 @@ impl DelegatingServer {
         vantage: Option<CountryCode>,
     ) -> Result<Vec<u8>, crate::wire::WireError> {
         let msg = Message::decode(query)?;
-        Ok(self.handle(&msg, vantage).encode())
+        self.handle(&msg, vantage).encode()
     }
 }
 
@@ -137,8 +137,10 @@ impl IterativeResolver {
                     .get(&at)
                     .ok_or_else(|| ResolutionError::Wire(format!("no server at {at}")))?;
                 let query = Message::query(1, current.clone(), RecordType::A);
+                let query_bytes =
+                    query.encode().map_err(|e| ResolutionError::Wire(e.to_string()))?;
                 let resp_bytes = server
-                    .handle_bytes(&query.encode(), vantage)
+                    .handle_bytes(&query_bytes, vantage)
                     .map_err(|e| ResolutionError::Wire(e.to_string()))?;
                 let resp = Message::decode(&resp_bytes)
                     .map_err(|e| ResolutionError::Wire(e.to_string()))?;

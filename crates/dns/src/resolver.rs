@@ -165,8 +165,9 @@ impl Resolver {
                 .server_for(&current)
                 .ok_or_else(|| ResolutionError::NoZone(current.clone()))?;
             let query = Message::query(hop + 1, current.clone(), rtype);
+            let query_bytes = query.encode().map_err(|e| ResolutionError::Wire(e.to_string()))?;
             let resp_bytes = server
-                .handle_bytes(&query.encode(), vantage)
+                .handle_bytes(&query_bytes, vantage)
                 .map_err(|e| ResolutionError::Wire(e.to_string()))?;
             let resp =
                 Message::decode(&resp_bytes).map_err(|e| ResolutionError::Wire(e.to_string()))?;

@@ -44,11 +44,11 @@ impl AuthoritativeServer {
                 resp.questions.clear();
                 resp.is_response = true;
                 resp.rcode = Rcode::FormErr;
-                return Ok(resp.encode());
+                return resp.encode();
             }
             Err(e) => return Err(e),
         };
-        Ok(self.handle(&msg, vantage).encode())
+        self.handle(&msg, vantage).encode()
     }
 
     /// Handle a decoded query.
@@ -115,7 +115,7 @@ mod tests {
     fn answers_direct_query_over_wire() {
         let s = server();
         let q = Message::query(77, n("www.example.gov"), RecordType::A);
-        let resp_bytes = s.handle_bytes(&q.encode(), None).unwrap();
+        let resp_bytes = s.handle_bytes(&q.encode().unwrap(), None).unwrap();
         let resp = Message::decode(&resp_bytes).unwrap();
         assert_eq!(resp.id, 77);
         assert!(resp.is_response && resp.authoritative);

@@ -145,7 +145,22 @@ impl Message {
     }
 
     /// Encode to wire bytes.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// The header's four section counts are 16-bit on the wire; a message
+    /// holding more than 65,535 entries in any section cannot be encoded
+    /// and yields [`WireError::TooManyRecords`] instead of a silently
+    /// truncated (decodable but wrong) count.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        for (section, count) in [
+            ("question", self.questions.len()),
+            ("answer", self.answers.len()),
+            ("authority", self.authorities.len()),
+            ("additional", self.additionals.len()),
+        ] {
+            if count > usize::from(u16::MAX) {
+                return Err(WireError::TooManyRecords { section, count });
+            }
+        }
         let mut enc = Encoder::new();
         enc.buf.put_u16(self.id);
         let mut flags: u16 = 0;
@@ -175,7 +190,7 @@ impl Message {
         for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
             enc.put_record(r);
         }
-        enc.buf
+        Ok(enc.buf)
     }
 
     /// Decode from wire bytes. Strict: trailing garbage is an error.
@@ -247,6 +262,13 @@ pub enum WireError {
     TrailingBytes,
     /// RDATA length did not match its contents.
     BadRdataLength,
+    /// A section held more entries than a 16-bit header count can carry.
+    TooManyRecords {
+        /// Which section overflowed.
+        section: &'static str,
+        /// How many entries it held.
+        count: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -261,6 +283,9 @@ impl fmt::Display for WireError {
             WireError::UnsupportedRcode(r) => write!(f, "unsupported rcode {r}"),
             WireError::TrailingBytes => write!(f, "trailing bytes after message"),
             WireError::BadRdataLength => write!(f, "rdata length mismatch"),
+            WireError::TooManyRecords { section, count } => {
+                write!(f, "{section} section holds {count} records, max 65535")
+            }
         }
     }
 }
@@ -487,7 +512,7 @@ mod tests {
     }
 
     fn round_trip(msg: &Message) -> Message {
-        let bytes = msg.encode();
+        let bytes = msg.encode().expect("encodable");
         Message::decode(&bytes).expect("decode what we encoded")
     }
 
@@ -532,7 +557,7 @@ mod tests {
                 RData::A("198.51.100.1".parse().unwrap()),
             ));
         }
-        let bytes = m.encode();
+        let bytes = m.encode().unwrap();
         // Uncompressed, "example.org" alone would cost 13 bytes x 11 names.
         let naive: usize = 12
             + (m.questions[0].name.wire_len() + 4)
@@ -544,7 +569,7 @@ mod tests {
     #[test]
     fn truncated_messages_error() {
         let m = Message::query(9, n("x.example.com"), RecordType::A);
-        let bytes = m.encode();
+        let bytes = m.encode().unwrap();
         for cut in [0, 5, 11, bytes.len() - 1] {
             assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
@@ -553,7 +578,7 @@ mod tests {
     #[test]
     fn trailing_bytes_error() {
         let m = Message::query(9, n("x.example.com"), RecordType::A);
-        let mut bytes = m.encode();
+        let mut bytes = m.encode().unwrap();
         bytes.push(0);
         assert_eq!(Message::decode(&bytes), Err(WireError::TrailingBytes));
     }
@@ -575,7 +600,7 @@ mod tests {
     #[test]
     fn unknown_type_rejected() {
         let m = Message::query(3, n("x.y"), RecordType::A);
-        let mut bytes = m.encode();
+        let mut bytes = m.encode().unwrap();
         // qtype lives at the 2 bytes after the name; patch it to 255 (ANY).
         let qtype_pos = bytes.len() - 4;
         bytes[qtype_pos] = 0;
@@ -622,6 +647,23 @@ mod tests {
             additionals: vec![],
         };
         assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn oversized_section_refuses_to_encode() {
+        let mut m = Message::response_to(
+            &Message::query(1, n("big.example"), RecordType::A),
+            Rcode::NoError,
+        );
+        let rec = Record::new(n("big.example"), 60, RData::A("198.51.100.1".parse().unwrap()));
+        m.answers = vec![rec; 65_536];
+        assert_eq!(
+            m.encode(),
+            Err(WireError::TooManyRecords { section: "answer", count: 65_536 })
+        );
+        // 65,535 is the last count that fits the 16-bit header field.
+        m.answers.pop();
+        assert!(m.encode().is_ok());
     }
 
     #[test]

@@ -106,7 +106,7 @@ fn arb_message() -> Gen<Message> {
 #[test]
 fn message_encode_decode_round_trips() {
     cfg("message_encode_decode_round_trips").run(&arb_message(), |msg| {
-        let bytes = msg.encode();
+        let bytes = msg.encode().expect("encodable");
         let decoded = Message::decode(&bytes).expect("own encoding decodes");
         prop_assert_eq!(&decoded, msg);
         Ok(())
@@ -128,7 +128,7 @@ fn decoder_never_panics_on_garbage() {
 fn truncation_never_panics() {
     let inputs = arb_message().zip(gens::usize_range(0, 1000));
     cfg("truncation_never_panics").run(&inputs, |(msg, cut)| {
-        let bytes = msg.encode();
+        let bytes = msg.encode().expect("encodable");
         let cut = (*cut).min(bytes.len());
         let _ = Message::decode(&bytes[..cut]);
         Ok(())
@@ -139,7 +139,7 @@ fn truncation_never_panics() {
 fn bitflip_never_panics() {
     let inputs = gens::zip3(arb_message(), gens::u64_any(), gens::u64_range(0, 8));
     cfg("bitflip_never_panics").run(&inputs, |(msg, idx, bit)| {
-        let mut bytes = msg.encode();
+        let mut bytes = msg.encode().expect("encodable");
         if !bytes.is_empty() {
             let i = (*idx % bytes.len() as u64) as usize;
             bytes[i] ^= 1 << bit;
@@ -162,7 +162,7 @@ fn names_round_trip_through_display() {
 #[test]
 fn encoding_is_deterministic() {
     cfg("encoding_is_deterministic").run(&arb_message(), |msg| {
-        prop_assert_eq!(msg.encode(), msg.encode());
+        prop_assert_eq!(msg.encode().unwrap(), msg.encode().unwrap());
         Ok(())
     });
 }

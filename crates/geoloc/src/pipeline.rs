@@ -64,10 +64,16 @@ pub struct ValidationStats {
     pub unicast: [usize; 3],
     /// Anycast counts: confirmed by AP, by MG, unresolved.
     pub anycast: [usize; 3],
+    /// Addresses whose evidence contradicted the database claim (the
+    /// §4.2 conflicting exclusions; a subset of the UR buckets).
+    pub conflicts: usize,
 }
 
 impl ValidationStats {
     fn bump(&mut self, verdict: &GeoVerdict) {
+        if verdict.conflict {
+            self.conflicts += 1;
+        }
         let idx = match verdict.method {
             GeoMethod::ActiveProbing => 0,
             GeoMethod::Multistage => 1,
@@ -519,6 +525,7 @@ mod tests {
         );
         assert_eq!(stats.unicast, [1, 1, 2]); // AP, MG, UR (UR includes the conflict)
         assert_eq!(stats.anycast, [1, 0, 1]);
+        assert_eq!(stats.conflicts, 1, "exactly the .3 conflict");
         let conf = stats.confirmation_rate();
         assert!((conf - 3.0 / 6.0).abs() < 1e-12, "3 confirmed of 6, got {conf}");
     }

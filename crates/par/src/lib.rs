@@ -164,6 +164,59 @@ where
         .collect()
 }
 
+/// One failed job from [`try_parallel_map`]: which job, the
+/// caller-supplied label for it, and the typed error it returned.
+///
+/// Unlike a re-raised panic this is a value — the caller decides whether
+/// a failed job aborts the batch or is quarantined and reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError<E> {
+    /// Input index of the failing job.
+    pub job: usize,
+    /// The label the caller's labelling function produced for the item.
+    pub label: String,
+    /// The error the job returned.
+    pub error: E,
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for JobError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} ({}): {}", self.job, self.label, self.error)
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for JobError<E> {}
+
+/// Fault-tolerant sibling of [`parallel_map`]: `f` returns
+/// `Result<R, E>` and *expected* failures come back as values instead of
+/// tearing the batch down.
+///
+/// Every job runs to completion regardless of how many others fail; the
+/// output preserves input order, with each failed job represented by a
+/// [`JobError`] carrying its index, label, and error. Panics remain
+/// reserved for bugs and propagate exactly as in [`parallel_map`].
+pub fn try_parallel_map<T, R, E, F, L>(
+    items: &[T],
+    threads: usize,
+    label: L,
+    f: F,
+) -> Vec<Result<R, JobError<E>>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+    L: Fn(&T) -> String,
+{
+    parallel_map(items, threads, &label, |i, item| f(i, item))
+        .into_iter()
+        .enumerate()
+        .map(|(i, result)| {
+            result.map_err(|error| JobError { job: i, label: label(&items[i]), error })
+        })
+        .collect()
+}
+
 /// Accumulated wall time of a (possibly concurrent) pipeline stage, in
 /// nanoseconds, safe to bump from worker threads.
 ///
@@ -271,6 +324,67 @@ mod tests {
         }));
         let msg = payload_message(caught.expect_err("panics propagate").as_ref());
         assert_eq!(msg, "inline");
+    }
+
+    #[test]
+    fn try_map_returns_errors_in_place_without_aborting() {
+        let items: Vec<u32> = (0..32).collect();
+        for threads in [1, 4, 16] {
+            let got = try_parallel_map(
+                &items,
+                threads,
+                |v| format!("item-{v}"),
+                |_, v| if v % 5 == 0 { Err(format!("bad {v}")) } else { Ok(v * 2) },
+            );
+            assert_eq!(got.len(), items.len(), "threads={threads}");
+            for (i, r) in got.iter().enumerate() {
+                if i % 5 == 0 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.job, i);
+                    assert_eq!(e.label, format!("item-{i}"));
+                    assert_eq!(e.error, format!("bad {i}"));
+                } else {
+                    assert_eq!(*r, Ok(i as u32 * 2), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_all_ok_round_trips() {
+        let items = vec!["a", "b"];
+        let got: Vec<Result<String, JobError<String>>> =
+            try_parallel_map(&items, 2, |s| s.to_string(), |i, s| Ok(format!("{i}{s}")));
+        assert_eq!(got[0].as_deref().unwrap(), "0a");
+        assert_eq!(got[1].as_deref().unwrap(), "1b");
+    }
+
+    #[test]
+    fn try_map_still_propagates_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            try_parallel_map(
+                &items,
+                4,
+                |v| format!("job{v}"),
+                |_, v| -> Result<u32, String> {
+                    if *v == 3 {
+                        panic!("bug at {v}");
+                    }
+                    Ok(*v)
+                },
+            )
+        }));
+        let msg = payload_message(caught.expect_err("panics are bugs, not outcomes").as_ref());
+        assert!(msg.contains("job3"), "panic names the job: {msg}");
+        assert!(msg.contains("bug at 3"), "panic carries the message: {msg}");
+    }
+
+    #[test]
+    fn job_error_display_names_label_and_error() {
+        let e = JobError { job: 7, label: "country BR".to_string(), error: "down".to_string() };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains("country BR") && s.contains("down"));
     }
 
     #[test]

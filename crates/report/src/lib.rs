@@ -14,6 +14,6 @@ pub mod dendro;
 pub mod table;
 
 pub use bars::{boxplot_row, histogram, stacked_bar};
-pub use csv::Csv;
+pub use csv::{read_records, Csv};
 pub use dendro::render_dendrogram;
 pub use table::Table;

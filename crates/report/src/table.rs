@@ -42,12 +42,20 @@ impl Table {
     }
 
     /// Render with a header underline, columns padded to the widest cell.
+    ///
+    /// Column widths count *characters*, not bytes, so multi-byte cells
+    /// ("Türkiye", "Côte d'Ivoire") align with their ASCII neighbours. A
+    /// zero-column table renders as the empty string.
     pub fn render(&self) -> String {
         let cols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        if cols == 0 {
+            return String::new();
+        }
+        let width_of = |s: &str| s.chars().count();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| width_of(h)).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().take(cols).enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                widths[i] = widths[i].max(width_of(cell));
             }
         }
         let mut out = String::new();
@@ -59,7 +67,7 @@ impl Table {
                 }
                 line.push_str(cell);
                 if i + 1 < cols {
-                    line.push_str(&" ".repeat(widths[i] - cell.len()));
+                    line.push_str(&" ".repeat(widths[i] - width_of(cell)));
                 }
             }
             line
@@ -108,5 +116,34 @@ mod tests {
         let t = Table::new(vec!["H"]);
         assert!(t.is_empty());
         assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn zero_column_table_renders_without_panicking() {
+        let mut t = Table::new(Vec::<String>::new());
+        assert_eq!(t.render(), "");
+        // Rows are truncated to the (zero-wide) header; still no panic.
+        t.row(vec!["ignored".into()]);
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn multibyte_cells_align_by_chars_not_bytes() {
+        let mut t = Table::new(vec!["Country", "URLs"]);
+        t.row(vec!["Türkiye".into(), "9".into()]);
+        t.row(vec!["Côte d'Ivoire".into(), "12".into()]);
+        t.row(vec!["Peru".into(), "7".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // The second column starts at the same *character* offset on
+        // every row; byte-length widths would shift the accented rows.
+        let col = |line: &str, needle: &str| {
+            let byte = line.find(needle).unwrap();
+            line[..byte].chars().count()
+        };
+        let header_col = col(lines[0], "URLs");
+        assert_eq!(col(lines[2], "9"), header_col);
+        assert_eq!(col(lines[3], "12"), header_col);
+        assert_eq!(col(lines[4], "7"), header_col);
     }
 }

@@ -15,6 +15,7 @@ pub mod error;
 pub mod host;
 pub mod indices;
 pub mod ip;
+pub mod pipeline;
 pub mod region;
 pub mod url;
 
@@ -24,6 +25,7 @@ pub use error::ParseError;
 pub use host::Hostname;
 pub use indices::CountryIndices;
 pub use ip::{Asn, IpPrefix};
+pub use pipeline::{PipelineError, PipelineStage};
 pub use region::Region;
 pub use url::Url;
 
@@ -35,6 +37,7 @@ pub mod prelude {
     pub use crate::host::Hostname;
     pub use crate::indices::CountryIndices;
     pub use crate::ip::{Asn, IpPrefix};
+    pub use crate::pipeline::{PipelineError, PipelineStage};
     pub use crate::region::Region;
     pub use crate::url::Url;
 }

@@ -1,0 +1,167 @@
+//! Typed pipeline faults.
+//!
+//! The measurement pipeline runs against a messy Internet: landing pages
+//! geo-block the vantage, hostnames fail to resolve, addresses resist
+//! geolocation. These are *expected* outcomes, not bugs — so they travel
+//! as values ([`PipelineError`]) rather than panics, tagged with the
+//! stage that produced them so fault-tolerant builds can quarantine the
+//! failing unit and report exactly what was skipped and why.
+
+use crate::host::Hostname;
+use crate::url::Url;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The pipeline stage where a fault arose (mirrors the §3 methodology
+/// stages instrumented by the build timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineStage {
+    /// §3.2 crawling.
+    Crawl,
+    /// §3.3 government-URL classification.
+    Classify,
+    /// §3.4 resolution + WHOIS identification.
+    Identify,
+    /// §3.5 geolocation validation.
+    Geolocate,
+}
+
+impl PipelineStage {
+    /// Stable lower-case stage name (matches the `StageTimings` labels).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PipelineStage::Crawl => "crawl",
+            PipelineStage::Classify => "classify",
+            PipelineStage::Identify => "identify",
+            PipelineStage::Geolocate => "geolocate",
+        }
+    }
+
+    /// Parse a stage from its [`Self::as_str`] name.
+    pub fn parse(s: &str) -> Option<PipelineStage> {
+        Some(match s {
+            "crawl" => PipelineStage::Crawl,
+            "classify" => PipelineStage::Classify,
+            "identify" => PipelineStage::Identify,
+            "geolocate" => PipelineStage::Geolocate,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for PipelineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An expected measurement fault, tagged with the subject it concerns.
+///
+/// Stages construct these instead of swallowing errors or panicking;
+/// the build layer decides (per its failure policy) whether a fault
+/// aborts the run or quarantines the failing unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A landing page could not be fetched (geo-block, dead site).
+    Crawl {
+        /// The landing URL that failed.
+        url: Url,
+        /// The underlying fetch error, rendered.
+        cause: String,
+    },
+    /// A hostname did not resolve (NXDOMAIN, broken zone, wire fault).
+    Resolution {
+        /// The hostname that failed to resolve.
+        host: Hostname,
+        /// The underlying resolution error, rendered.
+        cause: String,
+    },
+    /// An address could not be attributed to a country.
+    Geolocation {
+        /// The address that was excluded.
+        ip: Ipv4Addr,
+        /// Why the pipeline excluded it.
+        cause: String,
+    },
+}
+
+impl PipelineError {
+    /// The stage that produced this fault.
+    pub fn stage(&self) -> PipelineStage {
+        match self {
+            PipelineError::Crawl { .. } => PipelineStage::Crawl,
+            PipelineError::Resolution { .. } => PipelineStage::Identify,
+            PipelineError::Geolocation { .. } => PipelineStage::Geolocate,
+        }
+    }
+
+    /// The rendered underlying cause.
+    pub fn cause(&self) -> &str {
+        match self {
+            PipelineError::Crawl { cause, .. }
+            | PipelineError::Resolution { cause, .. }
+            | PipelineError::Geolocation { cause, .. } => cause,
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Crawl { url, cause } => write!(f, "crawl of {url} failed: {cause}"),
+            PipelineError::Resolution { host, cause } => {
+                write!(f, "resolution of {host} failed: {cause}")
+            }
+            PipelineError::Geolocation { ip, cause } => {
+                write!(f, "geolocation of {ip} failed: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_round_trip() {
+        for stage in [
+            PipelineStage::Crawl,
+            PipelineStage::Classify,
+            PipelineStage::Identify,
+            PipelineStage::Geolocate,
+        ] {
+            assert_eq!(PipelineStage::parse(stage.as_str()), Some(stage));
+        }
+        assert_eq!(PipelineStage::parse("nope"), None);
+    }
+
+    #[test]
+    fn display_names_subject_and_cause() {
+        let e = PipelineError::Crawl {
+            url: "https://blocked.gob.mx/".parse().unwrap(),
+            cause: "geo-blocked".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("blocked.gob.mx"));
+        assert!(s.contains("geo-blocked"));
+        assert_eq!(e.stage(), PipelineStage::Crawl);
+        assert_eq!(e.cause(), "geo-blocked");
+    }
+
+    #[test]
+    fn resolution_maps_to_identify_stage() {
+        let e = PipelineError::Resolution {
+            host: "dead.gov.br".parse().unwrap(),
+            cause: "NXDOMAIN".to_string(),
+        };
+        assert_eq!(e.stage(), PipelineStage::Identify);
+        let g = PipelineError::Geolocation {
+            ip: "198.51.100.7".parse().unwrap(),
+            cause: "unresolved".to_string(),
+        };
+        assert_eq!(g.stage(), PipelineStage::Geolocate);
+    }
+}

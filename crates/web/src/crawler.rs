@@ -13,10 +13,10 @@
 //! panic inside one crawl is reported once, tagged with the landing URL
 //! that failed, instead of cascading into unrelated channel panics.
 
-use crate::corpus::WebCorpus;
+use crate::corpus::{FetchError, WebCorpus};
 use crate::har::{HarEntry, HarLog};
 use crate::resource::ContentType;
-use govhost_types::{CountryCode, Url};
+use govhost_types::{CountryCode, PipelineError, Url};
 use std::collections::{HashSet, VecDeque};
 
 /// Crawl configuration.
@@ -42,6 +42,40 @@ impl Default for Crawler {
     }
 }
 
+/// Fetch failures broken down by cause, for failure reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureCauses {
+    /// The vantage was outside the site's allowed country.
+    pub geo_blocked: u32,
+    /// The site exists but the path does not (dead link).
+    pub not_found: u32,
+    /// No site answers for the hostname.
+    pub unknown_host: u32,
+}
+
+impl FailureCauses {
+    /// Count one failure under its cause.
+    pub fn bump(&mut self, err: &FetchError) {
+        match err {
+            FetchError::GeoBlocked(_) => self.geo_blocked += 1,
+            FetchError::NotFound(_) => self.not_found += 1,
+            FetchError::UnknownHost(_) => self.unknown_host += 1,
+        }
+    }
+
+    /// Total failures across causes.
+    pub fn total(&self) -> u32 {
+        self.geo_blocked + self.not_found + self.unknown_host
+    }
+
+    /// Fold another breakdown into this one.
+    pub fn merge(&mut self, other: FailureCauses) {
+        self.geo_blocked += other.geo_blocked;
+        self.not_found += other.not_found;
+        self.unknown_host += other.unknown_host;
+    }
+}
+
 /// The result of crawling one landing page.
 #[derive(Debug, Clone, Default)]
 pub struct CrawlOutcome {
@@ -51,6 +85,12 @@ pub struct CrawlOutcome {
     pub pages_visited: usize,
     /// Whether the page cap stopped the crawl early.
     pub truncated: bool,
+    /// Fetch failures by cause (totals match `log.failures`).
+    pub failure_causes: FailureCauses,
+    /// Set when the *landing* fetch itself failed: the site contributed
+    /// nothing, which a fault-tolerant build treats as a crawl-stage
+    /// fault rather than an ordinary dead link deeper in the site.
+    pub landing_error: Option<PipelineError>,
 }
 
 impl Crawler {
@@ -79,8 +119,13 @@ impl Crawler {
             }
             let page = match corpus.fetch(&url, vantage) {
                 Ok(p) => p,
-                Err(_) => {
+                Err(e) => {
                     outcome.log.record_failure();
+                    outcome.failure_causes.bump(&e);
+                    if depth == 0 {
+                        outcome.landing_error =
+                            Some(PipelineError::Crawl { url, cause: e.to_string() });
+                    }
                     continue;
                 }
             };
@@ -204,6 +249,12 @@ mod tests {
         );
         assert_eq!(out.pages_visited, 0);
         assert_eq!(out.log.failures, 1);
+        assert_eq!(out.failure_causes.geo_blocked, 1);
+        assert_eq!(out.failure_causes.total(), 1);
+        // A failed landing fetch is a typed crawl-stage fault.
+        let err = out.landing_error.expect("landing fetch failed");
+        assert_eq!(err.stage(), govhost_types::PipelineStage::Crawl);
+        assert!(err.to_string().contains("blocked.gob.mx"));
         // From inside Mexico, the same crawl works.
         let ok = Crawler::default().crawl(
             &corpus,
@@ -211,6 +262,25 @@ mod tests {
             Some(cc!("MX")),
         );
         assert_eq!(ok.pages_visited, 1);
+        assert!(ok.landing_error.is_none());
+    }
+
+    #[test]
+    fn dead_inner_link_is_not_a_landing_error() {
+        let mut corpus = chain_corpus();
+        let host: govhost_types::Hostname = "a.gov".parse().unwrap();
+        corpus
+            .site_mut(&host)
+            .unwrap()
+            .page_mut("/p0")
+            .unwrap()
+            .links
+            .push("https://a.gov/missing".parse().unwrap());
+        let out = Crawler::default().crawl(&corpus, &"https://a.gov/p0".parse().unwrap(), None);
+        assert_eq!(out.log.failures, 1);
+        assert_eq!(out.failure_causes.not_found, 1);
+        assert!(out.landing_error.is_none(), "inner dead links stay non-fatal");
+        assert_eq!(out.pages_visited, 8);
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn main() {
 
     println!("\n=== wire format ===");
     let query = Message::query(0xBEEF, n("www.tramites.gob.mx"), RecordType::A);
-    let bytes = query.encode();
+    let bytes = query.encode().unwrap();
     println!("  query: {} bytes on the wire", bytes.len());
     print!("  hex  :");
     for (i, b) in bytes.iter().enumerate() {
@@ -89,7 +89,7 @@ fn main() {
             RData::A(format!("11.9.0.{i}").parse().unwrap()),
         ));
     }
-    let compressed = response.encode().len();
+    let compressed = response.encode().unwrap().len();
     let naive: usize = 12
         + query.questions[0].name.wire_len() + 4
         + response.answers.iter().map(|r| r.name.wire_len() + 14).sum::<usize>();

@@ -10,7 +10,7 @@
 //! govhost zone --host <hostname>                  # dump a zone file
 //! ```
 
-use govhost::core::export::{export_csv, import_csv, DatasetCsv};
+use govhost::core::export::{export_csv_full, import_csv, DatasetCsv};
 use govhost::core::trends::TrendAnalysis;
 use govhost::prelude::*;
 use govhost::web::crawler::{crawl_sites_parallel, Crawler};
@@ -107,19 +107,27 @@ fn params(flags: &Flags) -> GenParams {
 fn cmd_dataset(flags: &Flags) {
     eprintln!("generating world (seed {}, scale {})...", flags.seed, flags.scale);
     let world = World::generate(&params(flags));
-    let dataset = GovDataset::build(&world, &BuildOptions::default());
+    let (dataset, report) = GovDataset::try_build(&world, &BuildOptions::default())
+        .unwrap_or_else(|e| die(&e.to_string()));
     let summary = dataset.summary();
     eprintln!(
         "built: {} URLs, {} hostnames, {} ASes ({} government)",
         summary.unique_urls, summary.unique_hostnames, summary.ases, summary.govt_ases
     );
-    let csv = export_csv(&dataset);
+    let csv = export_csv_full(&dataset, Some(&report));
     std::fs::create_dir_all(&flags.out).unwrap_or_else(|e| die(&e.to_string()));
     let hosts_path = flags.out.join("hosts.csv");
     let urls_path = flags.out.join("urls.csv");
+    let meta_path = flags.out.join("meta.csv");
     std::fs::write(&hosts_path, csv.hosts).unwrap_or_else(|e| die(&e.to_string()));
     std::fs::write(&urls_path, csv.urls).unwrap_or_else(|e| die(&e.to_string()));
-    println!("wrote {} and {}", hosts_path.display(), urls_path.display());
+    std::fs::write(&meta_path, csv.meta).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "wrote {}, {} and {}",
+        hosts_path.display(),
+        urls_path.display(),
+        meta_path.display()
+    );
 }
 
 fn cmd_analyze(flags: &Flags) {
@@ -127,8 +135,10 @@ fn cmd_analyze(flags: &Flags) {
         .unwrap_or_else(|e| die(&format!("hosts.csv: {e}")));
     let urls = std::fs::read_to_string(flags.dir.join("urls.csv"))
         .unwrap_or_else(|e| die(&format!("urls.csv: {e}")));
+    // Older exports have no metadata document; counters default to zero.
+    let meta = std::fs::read_to_string(flags.dir.join("meta.csv")).unwrap_or_default();
     let dataset =
-        import_csv(&DatasetCsv { hosts, urls }).unwrap_or_else(|e| die(&e.to_string()));
+        import_csv(&DatasetCsv { hosts, urls, meta }).unwrap_or_else(|e| die(&e.to_string()));
     let hosting = HostingAnalysis::compute(&dataset);
     let mean = hosting.global_country_mean();
     let location = LocationAnalysis::compute(&dataset);

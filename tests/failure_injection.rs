@@ -136,6 +136,60 @@ fn crawl_failures_are_counted_not_fatal() {
     );
 }
 
+/// Make every landing site of `country` unreachable from its own vantage
+/// by geo-restricting it to a foreign country — the domestic landing
+/// fetch then fails with a geo-block, a crawl-stage fault.
+fn poison_country(world: &mut World, country: CountryCode) {
+    let foreign: CountryCode =
+        if country.as_str() == "US" { "DE" } else { "US" }.parse().unwrap();
+    let landing: Vec<govhost::types::Url> = world.landing(country).to_vec();
+    assert!(!landing.is_empty(), "{country} has landing pages to poison");
+    for url in &landing {
+        world
+            .corpus
+            .site_mut(url.hostname())
+            .expect("landing site exists in the corpus")
+            .geo_restricted_to = Some(foreign);
+    }
+}
+
+#[test]
+fn abort_policy_surfaces_poisoned_country_as_typed_error() {
+    let mut world = World::generate(&GenParams::tiny());
+    let br: CountryCode = "BR".parse().unwrap();
+    poison_country(&mut world, br);
+    let err = GovDataset::try_build(&world, &BuildOptions::default())
+        .expect_err("abort policy stops at the fault");
+    assert_eq!(err.country, br);
+    assert_eq!(err.error.stage(), govhost::types::PipelineStage::Crawl);
+    assert!(err.to_string().contains("BR"), "{err}");
+}
+
+#[test]
+fn quarantine_drops_poisoned_country_but_builds_the_rest() {
+    let clean = GovDataset::build(&World::generate(&GenParams::tiny()), &BuildOptions::default());
+    let mut world = World::generate(&GenParams::tiny());
+    let br: CountryCode = "BR".parse().unwrap();
+    poison_country(&mut world, br);
+
+    let options = BuildOptions { policy: FailurePolicy::Quarantine, ..BuildOptions::default() };
+    let (ds, report) =
+        GovDataset::try_build(&world, &options).expect("quarantine absorbs the fault");
+
+    // The report names the country and the stage that faulted.
+    assert_eq!(report.quarantined.len(), 1);
+    let q = &report.quarantined[0];
+    assert_eq!(q.country, br);
+    assert_eq!(q.stage, govhost::types::PipelineStage::Crawl);
+    assert!(q.cause.contains("geo-blocked") || q.cause.contains("blocked"), "{}", q.cause);
+
+    // One poisoned country never takes the others down with it.
+    assert!(!ds.per_country.contains_key(&br));
+    assert_eq!(ds.countries().len(), clean.countries().len() - 1);
+    assert_eq!(ds.country_urls(br).count(), 0);
+    assert!(ds.urls.len() > 1000, "the surviving countries still produce a dataset");
+}
+
 #[test]
 fn zero_scale_world_is_empty_but_valid() {
     let world = World::generate(&GenParams { scale: 0.0, ..GenParams::default() });

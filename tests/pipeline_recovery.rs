@@ -154,6 +154,53 @@ fn france_new_caledonia_case_recovered() {
 }
 
 #[test]
+fn quarantine_counts_and_export_bytes_are_thread_count_invariant() {
+    // Poison two countries so the quarantine list has an order to get
+    // wrong; every thread count must produce the identical report and
+    // identical export bytes (the determinism contract extends to the
+    // fault-tolerant path).
+    let mut world = World::generate(&GenParams::tiny());
+    for code in ["AR", "DE"] {
+        let country: CountryCode = code.parse().unwrap();
+        let landing: Vec<govhost::types::Url> = world.landing(country).to_vec();
+        assert!(!landing.is_empty());
+        for url in &landing {
+            world.corpus.site_mut(url.hostname()).unwrap().geo_restricted_to =
+                Some("US".parse().unwrap());
+        }
+    }
+
+    let build = |threads: usize| {
+        let options = BuildOptions {
+            threads,
+            policy: FailurePolicy::Quarantine,
+            ..BuildOptions::default()
+        };
+        GovDataset::try_build(&world, &options).expect("quarantine absorbs the faults")
+    };
+    let (base_ds, base_report) = build(1);
+    assert_eq!(base_report.quarantined.len(), 2);
+    // Fixed country order, independent of which worker hit the fault first.
+    let quarantined: Vec<&str> =
+        base_report.quarantined.iter().map(|q| q.country.as_str()).collect();
+    assert_eq!(quarantined, ["AR", "DE"]);
+    let base_csv = export_csv_full(&base_ds, Some(&base_report));
+
+    for threads in [2, 8] {
+        let (ds, report) = build(threads);
+        assert_eq!(report, base_report, "report counts identical at threads={threads}");
+        let csv = export_csv_full(&ds, Some(&report));
+        assert_eq!(csv.hosts, base_csv.hosts, "threads={threads}");
+        assert_eq!(csv.urls, base_csv.urls, "threads={threads}");
+        assert_eq!(csv.meta, base_csv.meta, "threads={threads}");
+    }
+
+    // The report survives an export/import round trip byte-for-byte.
+    let (_, imported_report) = import_csv_full(&base_csv).expect("imports");
+    assert_eq!(imported_report, base_report);
+}
+
+#[test]
 fn geo_restricted_sites_require_domestic_vantage() {
     let (world, _) = build();
     // Find a geo-restricted site and verify the corpus refuses foreign
