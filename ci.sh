@@ -16,6 +16,12 @@ cargo build --release --offline
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# The rustdoc pass is part of tier-1: missing or broken documentation on
+# public items fails the build (missing_docs is deny in govhost-types,
+# govhost-par and govhost-obs; broken intra-doc links everywhere).
+echo "==> cargo doc --no-deps --offline --workspace (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
@@ -25,6 +31,12 @@ cargo test -q --offline --workspace
 echo "==> quarantine + round-trip suites"
 cargo test -q --offline --test failure_injection --test pipeline_recovery
 cargo test -q --offline -p govhost-core --test prop_export export
+
+# So is the observability contract: byte-identical telemetry exports
+# across thread counts, plus the merge-law property tests behind them.
+echo "==> telemetry suites"
+cargo test -q --offline --release --test telemetry
+cargo test -q --offline -p govhost-obs --test prop_obs
 
 if [ "$run_bench" = 1 ]; then
     echo "==> bench smoke (1 iteration each, writes BENCH_*.json)"

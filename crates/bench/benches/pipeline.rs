@@ -85,6 +85,25 @@ fn main() {
             Some(stat.items),
         );
     }
+    // Histogram summaries from the same run's telemetry capture
+    // (page-weight and OLS-shape distributions). These are raw values,
+    // not durations; the entry names carry the statistic.
+    for (name, labels, h) in widest.telemetry.registry.histograms() {
+        if h.count() == 0 || !labels.is_empty() {
+            continue;
+        }
+        for (stat, value) in [
+            ("p50", h.percentile(0.5)),
+            ("p95", h.percentile(0.95)),
+            ("max", h.max()),
+        ] {
+            b.record_value(
+                &format!("pipeline/hist_{scale_label}/{name}/{stat}"),
+                value as f64,
+                Some(h.count()),
+            );
+        }
+    }
 
     let vantage: CountryCode = "AR".parse().unwrap();
     let tasks: Vec<GeoTask> = world

@@ -7,6 +7,12 @@
 //! With no `--exp`, all artifacts are rendered in paper order. `--scale`
 //! trades fidelity for time (1.0 = the paper's full ~1M-URL dataset;
 //! default 0.1).
+//!
+//! Besides the rendered experiments, every run prints the per-stage /
+//! per-region telemetry table and exports the capture as `trace.json` +
+//! `metrics.json` — into `--out` when given, `results/` otherwise.
+//! `GOVHOST_TRACE=0` suppresses the files, `GOVHOST_TRACE=verbose`
+//! keeps real nanoseconds (see `DESIGN.md` §5d).
 
 use govhost_bench::{Context, ALL_EXPERIMENTS};
 use govhost_worldgen::GenParams;
@@ -74,6 +80,7 @@ fn main() {
     let ctx = Context::new(&params);
     eprintln!("pipeline done in {:.1?}", start.elapsed());
     eprintln!("{}", ctx.dataset.timings.render());
+    eprintln!("{}", govhost_bench::telemetry::region_table(&ctx.telemetry));
     eprintln!("{}\n", ctx.report.render());
 
     let ids: Vec<&str> = if selected.is_empty() {
@@ -112,6 +119,21 @@ fn main() {
             std::fs::write(dir.join(&name), content).unwrap_or_else(|e| die(&e.to_string()));
         }
         eprintln!("artifacts written to {}", dir.display());
+    }
+    // Telemetry exports go next to the other artifacts, or to the
+    // default `results/` directory when no --out was given.
+    let telemetry_dir =
+        out_dir.clone().unwrap_or_else(|| std::path::PathBuf::from("results"));
+    match govhost_obs::export::write_files(&ctx.telemetry, &telemetry_dir) {
+        Ok(paths) if paths.is_empty() => {
+            eprintln!("telemetry files disabled (GOVHOST_TRACE=0)");
+        }
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("telemetry written to {}", p.display());
+            }
+        }
+        Err(e) => die(&format!("telemetry export: {e}")),
     }
     if !failed.is_empty() {
         eprintln!("repro: {} experiment(s) panicked: {}", failed.len(), failed.join(", "));

@@ -63,6 +63,10 @@ pub struct Context {
     pub topsites: TopsiteAnalysis,
     /// App. E model (None if too few countries located URLs).
     pub explain: Option<ExplanatoryModel>,
+    /// The full telemetry capture: the pipeline's spans and counters
+    /// (from the dataset build) merged with the analysis-phase spans
+    /// recorded here. `repro` renders and exports this.
+    pub telemetry: govhost_obs::Telemetry,
 }
 
 impl Context {
@@ -74,13 +78,44 @@ impl Context {
         let options = BuildOptions { policy: FailurePolicy::Quarantine, ..Default::default() };
         let (dataset, report) =
             GovDataset::try_build(&world, &options).expect("quarantine builds never abort");
-        let hosting = HostingAnalysis::compute(&dataset);
-        let location = LocationAnalysis::compute(&dataset);
-        let crossborder = CrossBorderAnalysis::compute(&dataset);
-        let providers = ProviderAnalysis::compute(&dataset);
-        let diversification = DiversificationAnalysis::compute(&dataset, &hosting);
-        let topsites = TopsiteAnalysis::compute(&world, &dataset);
-        let explain = ExplanatoryModel::fit(&location);
+        // The analyses run under their own collection scope so the
+        // capture covers the whole reproduction, not just the build.
+        let analysis = |name: &'static str| govhost_obs::span_labeled("analysis", &[("name", name)]);
+        let (analyses, analysis_telemetry) = govhost_obs::collect(|| {
+            let hosting = {
+                let _s = analysis("hosting");
+                HostingAnalysis::compute(&dataset)
+            };
+            let location = {
+                let _s = analysis("location");
+                LocationAnalysis::compute(&dataset)
+            };
+            let crossborder = {
+                let _s = analysis("crossborder");
+                CrossBorderAnalysis::compute(&dataset)
+            };
+            let providers = {
+                let _s = analysis("providers");
+                ProviderAnalysis::compute(&dataset)
+            };
+            let diversification = {
+                let _s = analysis("diversification");
+                DiversificationAnalysis::compute(&dataset, &hosting)
+            };
+            let topsites = {
+                let _s = analysis("topsites");
+                TopsiteAnalysis::compute(&world, &dataset)
+            };
+            let explain = {
+                let _s = analysis("explain");
+                ExplanatoryModel::fit(&location)
+            };
+            (hosting, location, crossborder, providers, diversification, topsites, explain)
+        });
+        let (hosting, location, crossborder, providers, diversification, topsites, explain) =
+            analyses;
+        let mut telemetry = dataset.telemetry.clone();
+        telemetry.merge(&analysis_telemetry);
         Context {
             world,
             dataset,
@@ -92,6 +127,7 @@ impl Context {
             diversification,
             topsites,
             explain,
+            telemetry,
         }
     }
 
@@ -556,7 +592,10 @@ impl Context {
         };
         push(&mut shares, "global", "country-mean", "urls", &mean.urls);
         push(&mut shares, "global", "country-mean", "bytes", &mean.bytes);
-        for (region, s) in &self.hosting.per_region {
+        // Fixed region order: per_region is a HashMap, and hash-seed
+        // order must never reach an exported artifact.
+        for region in Region::ALL {
+            let Some(s) = self.hosting.per_region.get(&region) else { continue };
             push(&mut shares, "region", region.code(), "urls", &s.urls);
             push(&mut shares, "region", region.code(), "bytes", &s.bytes);
         }

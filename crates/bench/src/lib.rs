@@ -7,5 +7,6 @@
 //! pieces.
 
 pub mod experiments;
+pub mod telemetry;
 
 pub use experiments::{Context, Experiment, ALL_EXPERIMENTS};

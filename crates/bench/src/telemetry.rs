@@ -1,0 +1,150 @@
+//! Rendering of pipeline telemetry for the reproduction harness: the
+//! per-stage / per-region table `repro` prints after a build.
+//!
+//! Every pipeline stage records country-labelled counters into the
+//! metrics registry (`crawl.pages{country}`, `identify.hosts{country}`,
+//! ...). This module folds those series along the paper's World Bank
+//! regions — the same grouping Figures 4 and 8 use — so the telemetry
+//! reads in the units the analysis is reported in. Countries map to
+//! regions via [`govhost_worldgen::countries::any_country`], which also
+//! covers the host-only countries that appear in geolocation labels but
+//! not in the study sample.
+
+use govhost_obs::Telemetry;
+use govhost_report::Table;
+use govhost_types::{CountryCode, Region};
+
+/// One column of the region table: the registry series, the header
+/// shown, and the label filter applied.
+type Column = (&'static str, &'static str, &'static [(&'static str, &'static str)]);
+
+/// The counter columns of the region table, in pipeline order
+/// (`geoloc.verdict` is narrowed to the unresolved method).
+const COLUMNS: &[Column] = &[
+    ("crawl.pages", "Pages", &[]),
+    ("classify.urls_examined", "Gov URLs", &[]),
+    ("identify.hosts", "Hosts", &[]),
+    ("geoloc.tasks", "Geo tasks", &[]),
+    ("geoloc.verdict", "Unresolved", &[("method", "unresolved")]),
+    ("analyze.hosts", "Analyzed", &[]),
+];
+
+/// Index into [`Region::ALL`] for a country-code label value; `None`
+/// for labels that are not a known country (e.g. the cardinality
+/// overflow bucket).
+fn region_index(code: &str) -> Option<usize> {
+    let cc: CountryCode = code.parse().ok()?;
+    let row = govhost_worldgen::countries::any_country(cc)?;
+    Region::ALL.iter().position(|r| *r == row.region)
+}
+
+/// Render the per-stage / per-region telemetry table: one row per
+/// region (plus a total row), one column per pipeline-stage counter.
+/// Regions with no activity at all are omitted; an `(other)` row
+/// appears only if some counter carried an unmappable country label.
+pub fn region_table(telemetry: &Telemetry) -> String {
+    let n = Region::ALL.len();
+    // One extra row for labels that map to no region.
+    let mut cells = vec![[0u64; COLUMNS.len()]; n + 1];
+    for (col, (name, _, filter)) in COLUMNS.iter().enumerate() {
+        for (labels, value) in telemetry.registry.counters_named(name) {
+            let matches =
+                filter.iter().all(|&(k, v)| labels.get(k) == Some(v));
+            if !matches {
+                continue;
+            }
+            let row = labels
+                .get("country")
+                .and_then(region_index)
+                .unwrap_or(n);
+            cells[row][col] += value;
+        }
+    }
+
+    let mut header = vec!["Region"];
+    header.extend(COLUMNS.iter().map(|(_, title, _)| *title));
+    let mut t = Table::new(header);
+    let mut total = [0u64; COLUMNS.len()];
+    for (i, row) in cells.iter().enumerate() {
+        if row.iter().all(|&v| v == 0) {
+            continue;
+        }
+        let name = if i < n { Region::ALL[i].code() } else { "(other)" };
+        let mut out = vec![name.to_string()];
+        for (col, v) in row.iter().enumerate() {
+            total[col] += v;
+            out.push(v.to_string());
+        }
+        t.row(out);
+    }
+    let mut last = vec!["total".to_string()];
+    last.extend(total.iter().map(u64::to_string));
+    t.row(last);
+    format!("telemetry by stage and region:\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_obs as obs;
+
+    fn capture() -> Telemetry {
+        let ((), t) = obs::collect(|| {
+            obs::counter_add("crawl.pages", &[("country", "AR")], 10);
+            obs::counter_add("crawl.pages", &[("country", "BR")], 5);
+            obs::counter_add("crawl.pages", &[("country", "DE")], 7);
+            obs::counter_add("identify.hosts", &[("country", "DE")], 3);
+            obs::counter_add(
+                "geoloc.verdict",
+                &[("country", "DE"), ("method", "multistage")],
+                9,
+            );
+            obs::counter_add(
+                "geoloc.verdict",
+                &[("country", "DE"), ("method", "unresolved")],
+                2,
+            );
+        });
+        t
+    }
+
+    #[test]
+    fn groups_countries_into_their_regions() {
+        let out = region_table(&capture());
+        // AR + BR are both LAC: pages sum to 15; DE is ECA.
+        let lac = out.lines().find(|l| l.contains("LAC")).expect("LAC row");
+        assert!(lac.contains("15"), "LAC pages should sum AR+BR: {out}");
+        let eca = out.lines().find(|l| l.contains("ECA")).expect("ECA row");
+        assert!(eca.contains('7'), "ECA pages: {out}");
+        assert!(eca.contains('3'), "ECA hosts: {out}");
+    }
+
+    #[test]
+    fn verdicts_filter_to_the_unresolved_method() {
+        let out = region_table(&capture());
+        let eca = out.lines().find(|l| l.contains("ECA")).expect("ECA row");
+        // The multistage verdicts (9) must not land in the Unresolved
+        // column; only the 2 unresolved ones count.
+        let cells: Vec<&str> = eca.split_whitespace().collect();
+        assert!(cells.contains(&"2"), "unresolved column: {out}");
+        assert!(!cells.contains(&"11"), "methods must not sum: {out}");
+    }
+
+    #[test]
+    fn empty_regions_are_omitted_but_total_always_renders() {
+        let out = region_table(&capture());
+        assert!(!out.contains("SSA"), "silent region rendered: {out}");
+        assert!(out.contains("total"), "total row missing: {out}");
+        let empty = region_table(&Telemetry::new());
+        assert!(empty.contains("total"), "{empty}");
+    }
+
+    #[test]
+    fn unknown_country_labels_fall_into_the_other_row() {
+        let ((), t) = obs::collect(|| {
+            obs::counter_add("crawl.pages", &[("country", "ZZ")], 4);
+        });
+        let out = region_table(&t);
+        assert!(out.contains("(other)"), "{out}");
+    }
+}

@@ -21,9 +21,19 @@
 //! depends on scheduling, the dataset — down to `export_csv` bytes — is
 //! identical for every thread count (`tests/determinism.rs` pins this).
 //!
-//! Each stage is instrumented: [`StageTimings`] records wall time and
-//! item counts for crawl/classify/identify/geolocate/analyze, surfaces
-//! in the `repro` binary's stderr report and in `BENCH_pipeline.json`.
+//! ## Telemetry
+//!
+//! The build runs inside a `govhost_obs` collection scope: every country
+//! job records spans (`country` → `crawl`/`classify`/`identify`, with
+//! `fetch`/`har`/`dns_resolve` below) and country-labelled counters into
+//! a private shard that rides back inside its job result; the merge loop
+//! grafts shards below the `build` span **in fixed country order**, so
+//! the capture — like the dataset — is independent of scheduling. The
+//! capture is the single source of truth for instrumentation:
+//! [`StageTimings`] and the derived [`BuildReport`] counters are both
+//! read back from it (`try_build` cross-checks them against the merge
+//! loop's own sums), and [`GovDataset::telemetry`] hands the full tree
+//! to the export layer (`results/trace.json`, `results/metrics.json`).
 
 use crate::classify::{ClassificationMethod, Classifier};
 use crate::infra::{InfraIdentifier, InfraRecord};
@@ -36,7 +46,6 @@ use govhost_worldgen::countries::CountryRow;
 use govhost_worldgen::World;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
-use std::time::Instant;
 
 /// Options for [`GovDataset::build`].
 #[derive(Debug, Clone, Copy)]
@@ -168,11 +177,6 @@ pub struct StageStat {
 }
 
 impl StageStat {
-    fn add(&mut self, nanos: u64, items: u64) {
-        self.nanos += nanos;
-        self.items += items;
-    }
-
     /// Busy time as a [`std::time::Duration`].
     pub fn duration(&self) -> std::time::Duration {
         std::time::Duration::from_nanos(self.nanos)
@@ -200,6 +204,28 @@ pub struct StageTimings {
 }
 
 impl StageTimings {
+    /// Derive the per-stage view from a build's telemetry capture.
+    ///
+    /// `StageTimings` is a thin projection of the span tree and the
+    /// metrics registry: busy time comes from the stage spans, item
+    /// counts from the stage counters (`crawl.pages`,
+    /// `classify.urls_examined`, `identify.hosts`, `geoloc.tasks`,
+    /// `analyze.hosts`), and the build total from the `build` span.
+    pub fn from_telemetry(t: &govhost_obs::Telemetry) -> StageTimings {
+        let stat = |span: &str, counter: &str| StageStat {
+            nanos: t.root.busy_of(span),
+            items: t.registry.counter_total(counter),
+        };
+        StageTimings {
+            crawl: stat("crawl", "crawl.pages"),
+            classify: stat("classify", "classify.urls_examined"),
+            identify: stat("identify", "identify.hosts"),
+            geolocate: stat("geolocate", "geoloc.tasks"),
+            analyze: stat("analyze", "analyze.hosts"),
+            build_nanos: t.span_busy("build"),
+        }
+    }
+
     /// The five stages with their names, in pipeline order.
     pub fn stages(&self) -> [(&'static str, StageStat); 5] {
         [
@@ -333,8 +359,14 @@ pub struct GovDataset {
     /// Per-country statistics (Table 8).
     pub per_country: HashMap<CountryCode, CountryStats>,
     /// Per-stage instrumentation for this build (zeroed for imported
-    /// datasets).
+    /// datasets). A projection of [`GovDataset::telemetry`].
     pub timings: StageTimings,
+    /// The full telemetry capture of this build: the aggregated span
+    /// tree plus every counter and histogram, merged across worker
+    /// threads in fixed country order (empty for imported datasets).
+    /// Export with [`govhost_obs::export::trace_json`] /
+    /// [`govhost_obs::export::metrics_json`].
+    pub telemetry: govhost_obs::Telemetry,
 }
 
 /// One government URL surfaced by a country's crawl, before the
@@ -361,11 +393,22 @@ struct CountryPartial {
     infra: HashMap<Hostname, Option<InfraRecord>>,
     failure_causes: FailureCauses,
     resolution_failures: u64,
-    crawl_nanos: u64,
-    classify_nanos: u64,
-    identify_nanos: u64,
-    pages: u64,
-    examined: u64,
+}
+
+/// What [`GovDataset::build_traced`] hands back to `try_build`: the
+/// merged dataset pieces plus the merge loop's own tallies, kept solely
+/// to cross-check the registry-derived [`BuildReport`].
+struct TracedBuild {
+    hosts: Vec<HostRecord>,
+    urls: Vec<UrlRecord>,
+    host_index: HashMap<Hostname, u32>,
+    validation: ValidationStats,
+    method_counts: [u64; 3],
+    crawl_failures: u32,
+    failure_causes: FailureCauses,
+    resolution_failures: u64,
+    per_country: HashMap<CountryCode, CountryStats>,
+    quarantined: Vec<QuarantineEntry>,
 }
 
 /// The §3.2–§3.4 per-country stage: crawl every landing page, classify
@@ -389,24 +432,27 @@ fn try_build_country(
         return Ok(None); // Korea's empty row
     }
     let vantage = world.vantage(code);
+    let _country = govhost_obs::span_labeled("country", &[("country", code.as_str())]);
 
     // §3.2: breadth-first crawl of each landing page, in landing order.
-    let crawl_start = Instant::now();
     let mut outcomes: Vec<CrawlOutcome> = Vec::with_capacity(landing.len());
     let mut failure_causes = FailureCauses::default();
-    for u in landing.iter() {
-        let mut outcome = options.crawler.crawl(&world.corpus, u, Some(vantage.country));
-        if let Some(err) = outcome.landing_error.take() {
-            return Err(err);
+    {
+        let _crawl = govhost_obs::span!("crawl");
+        for u in landing.iter() {
+            let mut outcome = options.crawler.crawl(&world.corpus, u, Some(vantage.country));
+            if let Some(err) = outcome.landing_error.take() {
+                return Err(err);
+            }
+            failure_causes.merge(outcome.failure_causes);
+            outcomes.push(outcome);
         }
-        failure_causes.merge(outcome.failure_causes);
-        outcomes.push(outcome);
+        let pages: u64 = outcomes.iter().map(|o| o.pages_visited as u64).sum();
+        govhost_obs::counter_add("crawl.pages", &[("country", code.as_str())], pages);
     }
-    let crawl_nanos = crawl_start.elapsed().as_nanos() as u64;
-    let pages: u64 = outcomes.iter().map(|o| o.pages_visited as u64).sum();
 
     // §3.3: classify every unique captured URL.
-    let classify_start = Instant::now();
+    let _classify = govhost_obs::span!("classify");
     let seed_hosts: Vec<Hostname> = landing.iter().map(|u| u.hostname().clone()).collect();
     let landing_certs: Vec<&govhost_web::cert::TlsCert> =
         seed_hosts.iter().filter_map(|h| world.corpus.certificate(h)).collect();
@@ -436,13 +482,14 @@ fn try_build_country(
         }
     }
     stats.hostnames = country_hosts.len() as u32;
-    let classify_nanos = classify_start.elapsed().as_nanos() as u64;
+    govhost_obs::counter_add("classify.urls_examined", &[("country", code.as_str())], examined);
+    drop(_classify);
 
     // §3.4: resolve + WHOIS every distinct government hostname from the
     // domestic vantage. Hostnames another country also surfaces are
     // identified once per country; the merge keeps the first country's
     // record (same as the sequential pipeline).
-    let identify_start = Instant::now();
+    let _identify = govhost_obs::span!("identify");
     let mut identifier =
         InfraIdentifier::new(&world.resolver, &world.registry, &world.peeringdb, &world.search);
     let mut infra: HashMap<Hostname, Option<InfraRecord>> = HashMap::new();
@@ -463,7 +510,14 @@ fn try_build_country(
             infra.insert(host.clone(), record);
         }
     }
-    let identify_nanos = identify_start.elapsed().as_nanos() as u64;
+    govhost_obs::counter_add("identify.hosts", &[("country", code.as_str())], infra.len() as u64);
+    if resolution_failures > 0 {
+        govhost_obs::counter_add(
+            "identify.resolution_failures",
+            &[("country", code.as_str())],
+            resolution_failures,
+        );
+    }
 
     Ok(Some(CountryPartial {
         code,
@@ -473,11 +527,6 @@ fn try_build_country(
         infra,
         failure_causes,
         resolution_failures,
-        crawl_nanos,
-        classify_nanos,
-        identify_nanos,
-        pages,
-        examined,
     }))
 }
 
@@ -517,32 +566,112 @@ impl GovDataset {
         world: &World,
         options: &BuildOptions,
     ) -> Result<(GovDataset, BuildReport), BuildError> {
-        let build_start = Instant::now();
-        let mut timings = StageTimings::default();
-        let mut report = BuildReport::default();
+        let (result, telemetry) = govhost_obs::collect(|| Self::build_traced(world, options));
+        let traced = result?;
+
+        // The telemetry capture is the single source of truth for the
+        // instrumentation view: both the stage table and the report
+        // counters are projections of the registry. The merge loop's own
+        // sums exist only to cross-check the projection — a mismatch
+        // means an instrumentation bug (a missed counter, a shard that
+        // leaked past quarantine), so fail loudly instead of exporting
+        // numbers that disagree with the dataset.
+        let r = &telemetry.registry;
+        let report = BuildReport {
+            quarantined: traced.quarantined,
+            crawl_failures: FailureCauses {
+                geo_blocked: r.counter_filtered("crawl.fetch_failures", &[("cause", "geo_blocked")])
+                    as u32,
+                not_found: r.counter_filtered("crawl.fetch_failures", &[("cause", "not_found")])
+                    as u32,
+                unknown_host: r
+                    .counter_filtered("crawl.fetch_failures", &[("cause", "unknown_host")])
+                    as u32,
+            },
+            resolution_failures: r.counter_total("identify.resolution_failures"),
+            geo_excluded: r.counter_filtered("geoloc.verdict", &[("method", "unresolved")])
+                as usize,
+            geo_conflicts: r.counter_total("geoloc.conflicts") as usize,
+        };
+        assert_eq!(
+            report.crawl_failures, traced.failure_causes,
+            "registry fetch-failure counters must match the per-country merge"
+        );
+        assert_eq!(
+            report.crawl_failures.total(),
+            traced.crawl_failures,
+            "fetch-failure causes must sum to the flat crawl-failure count"
+        );
+        assert_eq!(
+            report.resolution_failures, traced.resolution_failures,
+            "registry resolution-failure counter must match the per-country merge"
+        );
+        assert_eq!(
+            report.geo_excluded,
+            traced.validation.unicast[2] + traced.validation.anycast[2],
+            "unresolved-verdict counter must match the Table-4 UR buckets"
+        );
+        assert_eq!(
+            report.geo_conflicts, traced.validation.conflicts,
+            "conflict counter must match the validation statistics"
+        );
+
+        let timings = StageTimings::from_telemetry(&telemetry);
+        assert_eq!(
+            timings.analyze.items,
+            traced.hosts.len() as u64,
+            "analyze.hosts counter must match the merged host records"
+        );
+
+        let dataset = GovDataset {
+            hosts: traced.hosts,
+            urls: traced.urls,
+            host_index: traced.host_index,
+            validation: traced.validation,
+            method_counts: traced.method_counts,
+            crawl_failures: traced.crawl_failures,
+            per_country: traced.per_country,
+            timings,
+            telemetry,
+        };
+        Ok((dataset, report))
+    }
+
+    /// The traced build body: runs inside the [`govhost_obs::collect`]
+    /// scope opened by [`Self::try_build`], under one `build` span.
+    fn build_traced(world: &World, options: &BuildOptions) -> Result<TracedBuild, BuildError> {
+        let _build = govhost_obs::span!("build");
 
         // Stage 1 (parallel): per-country crawl → classify → identify.
+        // Each job collects its telemetry into a private shard that rides
+        // back with the partial; a faulted or empty country's shard is
+        // dropped with its result, so the capture only ever describes
+        // work that contributed to the dataset.
         let rows: Vec<&CountryRow> = world.studied_countries().iter().collect();
         let results = govhost_par::try_parallel_map(
             &rows,
             options.threads,
             |row| format!("country {}", row.code),
-            |_, row| try_build_country(world, options, row),
+            |_, row| {
+                let (result, shard) =
+                    govhost_obs::collect(|| try_build_country(world, options, row));
+                result.map(|partial| partial.map(|p| (p, shard)))
+            },
         );
 
         // Stage 2 (sequential): merge partials in country order, applying
-        // the failure policy to faulted countries.
-        let analyze_start = Instant::now();
-        let mut hosts: Vec<HostRecord> = Vec::new();
-        let mut host_index: HashMap<Hostname, u32> = HashMap::new();
-        let mut urls: Vec<UrlRecord> = Vec::new();
-        let mut method_counts = [0u64; 3];
-        let mut crawl_failures = 0u32;
-        let mut per_country: HashMap<CountryCode, CountryStats> = HashMap::new();
+        // the failure policy to faulted countries. Shards are grafted
+        // below the `build` span in the same fixed order (the merge
+        // algebra is order-blind anyway — `govhost-obs` property tests).
+        let build_ctx = govhost_obs::context();
+        let mut quarantined: Vec<QuarantineEntry> = Vec::new();
         let mut partials: Vec<CountryPartial> = Vec::with_capacity(rows.len());
         for result in results {
             match result {
-                Ok(Some(partial)) => partials.push(partial),
+                Ok(Some((partial, shard))) => {
+                    govhost_obs::absorb(shard, &build_ctx);
+                    partials.push(partial);
+                }
                 Ok(None) => {} // Korea's empty row: nothing to contribute
                 Err(job) => {
                     let country = rows[job.job].cc();
@@ -550,7 +679,7 @@ impl GovDataset {
                         FailurePolicy::Abort => {
                             return Err(BuildError { country, error: job.error })
                         }
-                        FailurePolicy::Quarantine => report.quarantined.push(QuarantineEntry {
+                        FailurePolicy::Quarantine => quarantined.push(QuarantineEntry {
                             country,
                             stage: job.error.stage(),
                             cause: job.error.to_string(),
@@ -559,14 +688,23 @@ impl GovDataset {
                 }
             }
         }
+
+        let _analyze = govhost_obs::span!("analyze");
+        let mut hosts: Vec<HostRecord> = Vec::new();
+        let mut host_index: HashMap<Hostname, u32> = HashMap::new();
+        let mut urls: Vec<UrlRecord> = Vec::new();
+        let mut method_counts = [0u64; 3];
+        let mut crawl_failures = 0u32;
+        let mut failure_causes = FailureCauses::default();
+        let mut resolution_failures = 0u64;
+        let mut per_country: HashMap<CountryCode, CountryStats> = HashMap::new();
         for partial in partials {
-            timings.crawl.add(partial.crawl_nanos, partial.pages);
-            timings.classify.add(partial.classify_nanos, partial.examined);
-            timings.identify.add(partial.identify_nanos, partial.infra.len() as u64);
+            let code = partial.code;
             crawl_failures += partial.crawl_failures;
-            report.crawl_failures.merge(partial.failure_causes);
-            report.resolution_failures += partial.resolution_failures;
-            per_country.insert(partial.code, partial.stats);
+            failure_causes.merge(partial.failure_causes);
+            resolution_failures += partial.resolution_failures;
+            per_country.insert(code, partial.stats);
+            let mut new_hosts = 0u64;
             for entry in partial.entries {
                 let host = entry.url.hostname();
                 let idx = match host_index.get(host) {
@@ -576,7 +714,7 @@ impl GovDataset {
                         host_index.insert(host.clone(), i);
                         let mut record = HostRecord {
                             hostname: host.clone(),
-                            country: partial.code,
+                            country: code,
                             method: entry.method,
                             ip: None,
                             asn: None,
@@ -596,6 +734,7 @@ impl GovDataset {
                             record.state_operated = infra.state_operated.is_some();
                         }
                         hosts.push(record);
+                        new_hosts += 1;
                         i
                     }
                 };
@@ -607,31 +746,33 @@ impl GovDataset {
                 method_counts[midx] += 1;
                 urls.push(UrlRecord { url: entry.url, host: idx, bytes: entry.bytes });
             }
+            // Host records are attributed to the first country that
+            // surfaces them (fixed country order), and so is the counter.
+            govhost_obs::counter_add("analyze.hosts", &[("country", code.as_str())], new_hosts);
         }
 
         // Cross-country pass: provider footprints → §5.1 categories.
         assign_categories(&mut hosts);
-        timings.analyze.add(analyze_start.elapsed().as_nanos() as u64, hosts.len() as u64);
+        drop(_analyze);
 
         // §3.5 (parallel): validate every (address, serving country) pair.
-        let geo_start = Instant::now();
-        let (validation, geo_tasks) = geolocate(world, &mut hosts, options);
-        timings.geolocate.add(geo_start.elapsed().as_nanos() as u64, geo_tasks);
-        report.geo_excluded = validation.unicast[2] + validation.anycast[2];
-        report.geo_conflicts = validation.conflicts;
+        let validation = {
+            let _geo = govhost_obs::span!("geolocate");
+            geolocate(world, &mut hosts, options)
+        };
 
-        timings.build_nanos = build_start.elapsed().as_nanos() as u64;
-        let dataset = GovDataset {
+        Ok(TracedBuild {
             hosts,
             urls,
             host_index,
             validation,
             method_counts,
             crawl_failures,
+            failure_causes,
+            resolution_failures,
             per_country,
-            timings,
-        };
-        Ok((dataset, report))
+            quarantined,
+        })
     }
 
     /// Table 3 summary.
@@ -716,12 +857,13 @@ fn region_of(country: CountryCode) -> Option<Region> {
 }
 
 /// §3.5 validation over every unique (address, serving-country) pair.
-/// Returns the Table 4 statistics and the number of tasks validated.
+/// Returns the Table 4 statistics; the task count lands in the
+/// `geoloc.tasks` counter.
 fn geolocate(
     world: &World,
     hosts: &mut [HostRecord],
     options: &BuildOptions,
-) -> (ValidationStats, u64) {
+) -> ValidationStats {
     let pipeline = GeolocationPipeline {
         registry: &world.registry,
         geodb: &world.geodb,
@@ -753,7 +895,7 @@ fn geolocate(
         h.geo_excluded = v.excluded;
         h.server_country = if v.excluded { None } else { v.location };
     }
-    (stats, tasks.len() as u64)
+    stats
 }
 
 #[cfg(test)]
@@ -892,6 +1034,42 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("geolocate"), "render names every stage: {rendered}");
         assert!(rendered.contains("total"));
+    }
+
+    #[test]
+    fn telemetry_capture_matches_the_dataset() {
+        let ds = dataset();
+        let t = &ds.telemetry;
+        assert_eq!(
+            t.span_count("country"),
+            ds.per_country.len() as u64,
+            "one country span per contributing country"
+        );
+        assert_eq!(t.span_count("build"), 1);
+        assert_eq!(t.registry.counter_total("crawl.pages"), ds.timings.crawl.items);
+        assert_eq!(t.registry.counter_total("analyze.hosts"), ds.hosts.len() as u64);
+        assert_eq!(
+            t.registry.counter_total("geoloc.verdict"),
+            t.registry.counter_total("geoloc.tasks"),
+            "every geolocation task gets exactly one verdict"
+        );
+        assert_eq!(
+            t.span_count("locate"),
+            t.registry.counter_total("geoloc.tasks"),
+            "worker locate spans grafted below the geolocate span"
+        );
+        assert!(
+            t.registry.histogram("crawl.page_bytes", &govhost_obs::Labels::empty()).is_some(),
+            "page-size histogram was recorded"
+        );
+        // The two exports are stable byte-for-byte across rebuilds.
+        let other = dataset();
+        use govhost_obs::export::{metrics_json, trace_json};
+        assert_eq!(metrics_json(t), metrics_json(&other.telemetry));
+        assert_eq!(
+            trace_json(t, govhost_obs::TimeMode::Deterministic),
+            trace_json(&other.telemetry, govhost_obs::TimeMode::Deterministic)
+        );
     }
 
     #[test]

@@ -170,6 +170,7 @@ mod tests {
             crawl_failures: 0,
             per_country: HashMap::new(),
             timings: Default::default(),
+            telemetry: Default::default(),
         }
     }
 

@@ -295,6 +295,7 @@ pub fn import_csv_full(csv: &DatasetCsv) -> Result<(GovDataset, BuildReport), Im
         crawl_failures,
         per_country,
         timings: Default::default(), // no build ran, so no stage timings
+        telemetry: Default::default(), // ...and no telemetry capture
     };
     Ok((dataset, report))
 }

@@ -194,6 +194,7 @@ mod tests {
             crawl_failures: 0,
             per_country,
             timings: Default::default(),
+            telemetry: Default::default(),
         }
     }
 

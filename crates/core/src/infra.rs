@@ -107,11 +107,14 @@ impl<'a> InfraIdentifier<'a> {
         })
     }
 
-    /// The §3.4 government-AS classifier (memoized per AS).
+    /// The §3.4 government-AS classifier (memoized per AS; cache
+    /// effectiveness shows up as `identify.as_cache{result=hit|miss}`).
     pub fn classify_as(&mut self, whois: &WhoisRecord) -> Option<GovEvidence> {
         if let Some(cached) = self.as_cache.get(&whois.origin) {
+            govhost_obs::counter_add("identify.as_cache", &[("result", "hit")], 1);
             return *cached;
         }
+        govhost_obs::counter_add("identify.as_cache", &[("result", "miss")], 1);
         let result = self.classify_as_uncached(whois);
         self.as_cache.insert(whois.origin, result);
         result

@@ -147,6 +147,7 @@ mod tests {
             crawl_failures: 0,
             per_country: HashMap::new(),
             timings: Default::default(),
+            telemetry: Default::default(),
         }
     }
 

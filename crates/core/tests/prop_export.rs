@@ -97,6 +97,7 @@ fn dataset_of(rows: &[(String, Option<String>, u64)]) -> GovDataset {
         crawl_failures: rows[0].2 as u32 & 0xFFFF,
         per_country: HashMap::new(),
         timings: Default::default(),
+        telemetry: Default::default(),
     }
 }
 

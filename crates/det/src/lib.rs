@@ -9,7 +9,7 @@
 //!   splitmix64) for code that consumes a *stream* of random values in a
 //!   fixed order — the world generator, the property-test harness, the
 //!   bench runner's shuffles.
-//! - The [`hash`]-style free functions ([`splitmix64`], [`mix`], [`unit`],
+//! - The hash-style free functions ([`splitmix64`], [`mix`], [`unit()`],
 //!   [`hash_str`]): *order-independent* per-entity noise. The same
 //!   (seed, parts) input yields the same value regardless of evaluation
 //!   order, which is what the latency model and failure-injection knobs

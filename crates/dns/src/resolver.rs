@@ -35,6 +35,20 @@ pub enum ResolutionError {
     Wire(String),
 }
 
+impl ResolutionError {
+    /// Stable label for the `dns.failures{kind=...}` telemetry counter.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ResolutionError::NoZone(_) => "no_zone",
+            ResolutionError::NxDomain(_) => "nxdomain",
+            ResolutionError::NoAddresses(_) => "no_addresses",
+            ResolutionError::ChainTooLong => "chain_too_long",
+            ResolutionError::ServerError(_) => "server_error",
+            ResolutionError::Wire(_) => "wire",
+        }
+    }
+}
+
 impl fmt::Display for ResolutionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -152,7 +166,26 @@ impl Resolver {
     }
 
     /// Shared machinery: returns the alias chain and the terminal records.
+    ///
+    /// Telemetry: one `dns_resolve` span per call; counters `dns.queries`
+    /// (per wire round trip), `dns.alias_hops` (per CNAME followed) and
+    /// `dns.failures{kind=...}` (per failed resolution — wire-level
+    /// truncation surfaces as `kind=wire`).
     fn resolve_rtype(
+        &self,
+        name: &DnsName,
+        rtype: RecordType,
+        vantage: Option<CountryCode>,
+    ) -> Result<(Vec<DnsName>, Vec<RData>), ResolutionError> {
+        let _span = govhost_obs::span!("dns_resolve");
+        let result = self.resolve_rtype_inner(name, rtype, vantage);
+        if let Err(e) = &result {
+            govhost_obs::counter_add("dns.failures", &[("kind", e.kind())], 1);
+        }
+        result
+    }
+
+    fn resolve_rtype_inner(
         &self,
         name: &DnsName,
         rtype: RecordType,
@@ -164,6 +197,7 @@ impl Resolver {
             let server = self
                 .server_for(&current)
                 .ok_or_else(|| ResolutionError::NoZone(current.clone()))?;
+            govhost_obs::counter_add("dns.queries", &[], 1);
             let query = Message::query(hop + 1, current.clone(), rtype);
             let query_bytes = query.encode().map_err(|e| ResolutionError::Wire(e.to_string()))?;
             let resp_bytes = server
@@ -183,6 +217,7 @@ impl Resolver {
             for record in &resp.answers {
                 match &record.rdata {
                     RData::Cname(target) if rtype != RecordType::Cname => {
+                        govhost_obs::counter_add("dns.alias_hops", &[], 1);
                         chain.push(target.clone());
                         next = Some(target.clone());
                     }

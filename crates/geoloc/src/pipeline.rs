@@ -186,7 +186,35 @@ pub struct GeolocationPipeline<'a> {
 
 impl<'a> GeolocationPipeline<'a> {
     /// Geolocate one address.
+    ///
+    /// Telemetry: one aggregated `locate` span plus counters
+    /// `geoloc.tasks{country}`, `geoloc.verdict{country,method}` and
+    /// `geoloc.conflicts`. The verdict counter deliberately carries only
+    /// the serving country and the confirming method — never the
+    /// anycast flag or claimed country — to keep the label space small
+    /// and bounded (see `govhost_obs` on cardinality limits).
     pub fn locate(&self, task: GeoTask) -> GeoVerdict {
+        let _span = govhost_obs::span!("locate");
+        let country = task.serving_country;
+        govhost_obs::counter_add("geoloc.tasks", &[("country", country.as_str())], 1);
+        let verdict = self.locate_inner(task);
+        let method = match verdict.method {
+            GeoMethod::ActiveProbing => "active_probing",
+            GeoMethod::Multistage => "multistage",
+            GeoMethod::Unresolved => "unresolved",
+        };
+        govhost_obs::counter_add(
+            "geoloc.verdict",
+            &[("country", country.as_str()), ("method", method)],
+            1,
+        );
+        if verdict.conflict {
+            govhost_obs::counter_add("geoloc.conflicts", &[], 1);
+        }
+        verdict
+    }
+
+    fn locate_inner(&self, task: GeoTask) -> GeoVerdict {
         let claimed = self.geodb.lookup(task.ip).map(|e| e.country);
         let is_anycast = self.anycast.is_anycast(task.ip);
         let server = self.registry.server_by_ip(task.ip);
@@ -262,12 +290,14 @@ impl<'a> GeolocationPipeline<'a> {
         if self.config.use_hoiho {
             if let Ok(ptr) = self.resolver.resolve_ptr(server.ip) {
                 if let Some(c) = self.hoiho.infer(&ptr.to_string()) {
+                    govhost_obs::counter_add("geoloc.stage_resolved", &[("stage", "hoiho")], 1);
                     return Some(c);
                 }
             }
         }
         if self.config.use_ipmap {
             if let Some(c) = self.ipmap.lookup(server.ip) {
+                govhost_obs::counter_add("geoloc.stage_resolved", &[("stage", "ipmap")], 1);
                 return Some(c);
             }
         }
@@ -275,6 +305,11 @@ impl<'a> GeolocationPipeline<'a> {
             if let Some(c) =
                 single_radius(self.fleet, server, self.model, self.config.single_radius_ms, 3)
             {
+                govhost_obs::counter_add(
+                    "geoloc.stage_resolved",
+                    &[("stage", "single_radius")],
+                    1,
+                );
                 return Some(c);
             }
         }
@@ -295,6 +330,12 @@ impl<'a> GeolocationPipeline<'a> {
     /// chunks are mapped in parallel, and verdicts are reassembled — and
     /// the statistics folded — in input order, so the result is identical
     /// for every thread count.
+    ///
+    /// Each chunk collects its telemetry into a private shard that is
+    /// grafted back at the caller's span position. The chunk partition
+    /// itself depends on `threads`, so no per-chunk span is recorded —
+    /// only the per-task data from [`Self::locate`], whose aggregation
+    /// is partition-blind.
     pub fn locate_all_threaded(
         &self,
         tasks: &[GeoTask],
@@ -305,6 +346,7 @@ impl<'a> GeolocationPipeline<'a> {
         // without paying per-address channel overhead.
         let chunk_len = tasks.len().div_ceil(threads * 4).max(1);
         let chunks: Vec<&[GeoTask]> = tasks.chunks(chunk_len).collect();
+        let ctx = govhost_obs::context();
         let per_chunk = govhost_par::parallel_map(
             &chunks,
             threads,
@@ -312,12 +354,19 @@ impl<'a> GeolocationPipeline<'a> {
                 Some(t) => format!("{} addresses from {}", c.len(), t.ip),
                 None => "empty chunk".to_string(),
             },
-            |_, c| c.iter().map(|t| self.locate(*t)).collect::<Vec<GeoVerdict>>(),
+            |_, c| {
+                govhost_obs::collect(|| {
+                    c.iter().map(|t| self.locate(*t)).collect::<Vec<GeoVerdict>>()
+                })
+            },
         );
         let mut stats = ValidationStats::default();
         let verdicts: Vec<GeoVerdict> = per_chunk
             .into_iter()
-            .flatten()
+            .flat_map(|(verdicts, shard)| {
+                govhost_obs::absorb(shard, &ctx);
+                verdicts
+            })
             .inspect(|v| stats.bump(v))
             .collect();
         (verdicts, stats)

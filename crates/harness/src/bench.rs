@@ -157,6 +157,29 @@ impl Bench {
         });
     }
 
+    /// Record a raw, unitless measurement (a byte size, an item count, a
+    /// histogram percentile) as a single-sample entry. The value travels
+    /// through the same summary slots the timing entries use, so name the
+    /// entry after its unit (`.../p95_bytes`); `items` carries the number
+    /// of observations behind the value.
+    pub fn record_value(&mut self, name: &str, value: f64, items: Option<u64>) {
+        println!(
+            "  {name:<40} value {value:>14.1}  ({} observations)",
+            items.map(|n| n.to_string()).unwrap_or_else(|| "?".into()),
+        );
+        self.results.push(Summary {
+            name: name.to_string(),
+            samples: 1,
+            iters_per_sample: 1,
+            median_ns: value,
+            p95_ns: value,
+            mean_ns: value,
+            min_ns: value,
+            max_ns: value,
+            items,
+        });
+    }
+
     /// Time `routine` against a fresh input cloned per iteration — the
     /// stand-in for criterion's `iter_batched` when the routine consumes
     /// or mutates its input. Clone cost is included in the measurement,

@@ -1,0 +1,299 @@
+//! JSON export of a [`Telemetry`] capture: `trace.json` (the span tree)
+//! and `metrics.json` (the registry), plus the `GOVHOST_TRACE` knob.
+//!
+//! ## Determinism
+//!
+//! Real nanosecond timings can never be byte-identical between runs, let
+//! alone between thread counts — so the default export mode
+//! ([`TimeMode::Deterministic`]) zeroes every `busy_ns`/`self_ns` field
+//! while keeping the full structure: span names, labels, nesting,
+//! execution counts, and every metric value (all of which *are* pure
+//! functions of the world). `tests/telemetry.rs` pins that the resulting
+//! bytes are identical for `GOVHOST_THREADS=1/2/4`.
+//! [`TimeMode::Verbose`] (via `GOVHOST_TRACE=verbose`) keeps the real
+//! nanoseconds for profiling.
+//!
+//! The JSON is hand-rendered (this crate is zero-dependency): sorted
+//! keys, two-space indentation, minimal string escaping.
+
+use crate::metrics::Labels;
+use crate::trace::SpanNode;
+use crate::Telemetry;
+use std::fmt::Write;
+
+/// How timing fields are exported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeMode {
+    /// Zero every nanosecond field; bytes are identical across runs and
+    /// thread counts.
+    Deterministic,
+    /// Keep real nanoseconds (for profiling; not byte-stable).
+    Verbose,
+}
+
+/// The `GOVHOST_TRACE` runtime knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceLevel {
+    /// `GOVHOST_TRACE=0`: write no telemetry files.
+    Off,
+    /// Default (or `GOVHOST_TRACE=1`): write deterministic exports.
+    On,
+    /// `GOVHOST_TRACE=verbose`: write exports with real nanoseconds.
+    Verbose,
+}
+
+impl TraceLevel {
+    /// The [`TimeMode`] this level exports with ([`TraceLevel::Off`]
+    /// exports nothing; returns the deterministic mode for uniformity).
+    pub fn time_mode(self) -> TimeMode {
+        match self {
+            TraceLevel::Verbose => TimeMode::Verbose,
+            _ => TimeMode::Deterministic,
+        }
+    }
+}
+
+/// Read `GOVHOST_TRACE` from the environment: `0`/`off` disables the
+/// telemetry files, `verbose` switches to real nanoseconds, anything
+/// else (including unset) is the default deterministic export.
+pub fn trace_level() -> TraceLevel {
+    match std::env::var("GOVHOST_TRACE") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => TraceLevel::Off,
+        Ok(v) if v.eq_ignore_ascii_case("verbose") => TraceLevel::Verbose,
+        _ => TraceLevel::On,
+    }
+}
+
+/// Write `trace.json` and `metrics.json` into `dir` (creating it),
+/// honouring the `GOVHOST_TRACE` knob: returns the paths written, or an
+/// empty vector when `GOVHOST_TRACE=0` disables the telemetry files.
+/// `GOVHOST_TRACE=verbose` keeps real nanoseconds in `trace.json`;
+/// `metrics.json` is always deterministic.
+pub fn write_files(
+    telemetry: &Telemetry,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let level = trace_level();
+    if level == TraceLevel::Off {
+        return Ok(Vec::new());
+    }
+    std::fs::create_dir_all(dir)?;
+    let trace_path = dir.join("trace.json");
+    let metrics_path = dir.join("metrics.json");
+    std::fs::write(&trace_path, trace_json(telemetry, level.time_mode()))?;
+    std::fs::write(&metrics_path, metrics_json(telemetry))?;
+    Ok(vec![trace_path, metrics_path])
+}
+
+/// Render the span tree as `trace.json`.
+pub fn trace_json(telemetry: &Telemetry, mode: TimeMode) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let mode_name = match mode {
+        TimeMode::Deterministic => "deterministic",
+        TimeMode::Verbose => "verbose",
+    };
+    let _ = writeln!(out, "  \"mode\": \"{mode_name}\",");
+    out.push_str("  \"root\": ");
+    write_span(&mut out, "root", &Labels::empty(), &telemetry.root, mode, 1);
+    out.push_str("\n}\n");
+    out
+}
+
+fn write_span(
+    out: &mut String,
+    name: &str,
+    labels: &Labels,
+    node: &SpanNode,
+    mode: TimeMode,
+    indent: usize,
+) {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    let (busy, self_ns) = match mode {
+        TimeMode::Deterministic => (0, 0),
+        TimeMode::Verbose => (node.busy_ns, node.self_ns()),
+    };
+    out.push_str("{\n");
+    let _ = writeln!(out, "{inner}\"name\": \"{}\",", escape_json(name));
+    write_labels(out, labels, &inner);
+    let _ = writeln!(out, "{inner}\"count\": {},", node.count);
+    let _ = writeln!(out, "{inner}\"busy_ns\": {busy},");
+    let _ = writeln!(out, "{inner}\"self_ns\": {self_ns},");
+    if node.children.is_empty() {
+        let _ = writeln!(out, "{inner}\"children\": []");
+    } else {
+        let _ = writeln!(out, "{inner}\"children\": [");
+        let last = node.children.len() - 1;
+        for (i, ((child_name, child_labels), child)) in node.children.iter().enumerate() {
+            out.push_str(&"  ".repeat(indent + 2));
+            write_span(out, child_name, child_labels, child, mode, indent + 2);
+            out.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        let _ = writeln!(out, "{inner}]");
+    }
+    let _ = write!(out, "{pad}}}");
+}
+
+/// Render the metrics registry as `metrics.json`. Metric values are
+/// deterministic by design (timing belongs in spans), so there is no
+/// mode parameter: the bytes are stable across runs and thread counts.
+pub fn metrics_json(telemetry: &Telemetry) -> String {
+    let r = &telemetry.registry;
+    let mut out = String::new();
+    out.push_str("{\n  \"counters\": [");
+    let counters: Vec<String> = r
+        .counters()
+        .map(|(name, labels, v)| {
+            let mut s = String::new();
+            let _ = writeln!(s, "\n    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", escape_json(name));
+            write_labels(&mut s, labels, "      ");
+            let _ = write!(s, "      \"value\": {v}\n    }}");
+            s
+        })
+        .collect();
+    out.push_str(&counters.join(","));
+    out.push_str(if counters.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    out.push_str("  \"gauges\": [");
+    let gauges: Vec<String> = r
+        .gauges()
+        .map(|(name, labels, v)| {
+            let mut s = String::new();
+            let _ = writeln!(s, "\n    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", escape_json(name));
+            write_labels(&mut s, labels, "      ");
+            let _ = write!(s, "      \"value\": {v}\n    }}");
+            s
+        })
+        .collect();
+    out.push_str(&gauges.join(","));
+    out.push_str(if gauges.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    out.push_str("  \"histograms\": [");
+    let histograms: Vec<String> = r
+        .histograms()
+        .map(|(name, labels, h)| {
+            let mut s = String::new();
+            let _ = writeln!(s, "\n    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", escape_json(name));
+            write_labels(&mut s, labels, "      ");
+            let _ = writeln!(s, "      \"count\": {},", h.count());
+            let _ = writeln!(s, "      \"sum\": {},", h.sum());
+            let _ = writeln!(s, "      \"min\": {},", h.min());
+            let _ = writeln!(s, "      \"max\": {},", h.max());
+            let buckets: Vec<String> = h.buckets().iter().map(u64::to_string).collect();
+            let _ = write!(s, "      \"buckets\": [{}]\n    }}", buckets.join(", "));
+            s
+        })
+        .collect();
+    out.push_str(&histograms.join(","));
+    out.push_str(if histograms.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+fn write_labels(out: &mut String, labels: &Labels, indent: &str) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{indent}\"labels\": {{}},");
+        return;
+    }
+    let pairs: Vec<String> = labels
+        .pairs()
+        .iter()
+        .map(|(k, v)| format!("\"{}\": \"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    let _ = writeln!(out, "{indent}\"labels\": {{{}}},", pairs.join(", "));
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{collect, counter_add, span_labeled};
+
+    fn capture() -> Telemetry {
+        let ((), t) = collect(|| {
+            let _outer = span_labeled("country", &[("country", "AR")]);
+            counter_add("crawl.pages", &[("country", "AR")], 7);
+            crate::observe("crawl.page_bytes", &[], 1500);
+        });
+        t
+    }
+
+    #[test]
+    fn deterministic_mode_zeroes_all_nanoseconds() {
+        let t = capture();
+        let json = trace_json(&t, TimeMode::Deterministic);
+        assert!(json.contains("\"busy_ns\": 0"));
+        assert!(!json.contains("\"mode\": \"verbose\""));
+        assert!(json.contains("\"country\": \"AR\""));
+        assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn verbose_mode_keeps_real_time() {
+        let ((), t) = collect(|| {
+            let _s = crate::span("sleepy");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        let json = trace_json(&t, TimeMode::Verbose);
+        assert!(json.contains("\"mode\": \"verbose\""));
+        let busy = t.span_busy("sleepy");
+        assert!(busy > 0, "slept spans have nonzero busy");
+        assert!(json.contains(&format!("\"busy_ns\": {busy}")), "verbose keeps real time: {json}");
+    }
+
+    #[test]
+    fn metrics_json_lists_all_kinds() {
+        let t = capture();
+        let json = metrics_json(&t);
+        assert!(json.contains("\"crawl.pages\""));
+        assert!(json.contains("\"value\": 7"));
+        assert!(json.contains("\"crawl.page_bytes\""));
+        assert!(json.contains("\"sum\": 1500"));
+        // Stable shape even when a section is empty.
+        assert!(json.contains("\"gauges\": []"));
+    }
+
+    #[test]
+    fn exports_are_reproducible() {
+        let a = capture();
+        let b = capture();
+        assert_eq!(trace_json(&a, TimeMode::Deterministic), trace_json(&b, TimeMode::Deterministic));
+        assert_eq!(metrics_json(&a), metrics_json(&b));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn histogram_export_uses_accessors_not_sentinels() {
+        let ((), t) = collect(|| {}); // empty capture
+        let json = metrics_json(&t);
+        assert!(json.contains("\"histograms\": []"));
+        assert!(!json.contains(&u64::MAX.to_string()), "empty-min sentinel must not leak");
+    }
+}

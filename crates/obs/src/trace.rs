@@ -1,0 +1,151 @@
+//! The span tree: aggregated parent/child timing nodes.
+//!
+//! A span is identified by its name plus its labels; repeated executions
+//! of the same span under the same parent path *aggregate* into one
+//! [`SpanNode`] (count + summed busy time) instead of appending one node
+//! per execution. That keeps the trace bounded by the instrumentation's
+//! structure — never by the data volume — and makes the tree's *shape* a
+//! pure function of what work ran, independent of scheduling.
+
+use crate::metrics::Labels;
+use std::collections::BTreeMap;
+
+/// What identifies a span within its parent: name + labels.
+pub type SpanKey = (&'static str, Labels);
+
+/// One aggregated node of the span tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// How many span executions aggregated into this node.
+    pub count: u64,
+    /// Total busy nanoseconds across those executions (wall time of the
+    /// guard's scope, summed; for fanned-out work this sums *across*
+    /// worker threads and can exceed elapsed wall-clock).
+    pub busy_ns: u64,
+    /// Child spans, keyed by `(name, labels)` — `BTreeMap` so iteration
+    /// (and export) order never depends on execution order.
+    pub children: BTreeMap<SpanKey, SpanNode>,
+}
+
+impl SpanNode {
+    /// Fold another node (and its subtree) into this one.
+    pub fn merge(&mut self, other: &SpanNode) {
+        self.count += other.count;
+        self.busy_ns += other.busy_ns;
+        for (key, child) in &other.children {
+            self.children.entry(key.clone()).or_default().merge(child);
+        }
+    }
+
+    /// Busy nanoseconds spent directly in this node, excluding children
+    /// (clamped at zero: children on other threads can overlap).
+    pub fn self_ns(&self) -> u64 {
+        let child_busy: u64 = self.children.values().map(|c| c.busy_ns).sum();
+        self.busy_ns.saturating_sub(child_busy)
+    }
+
+    /// Sum `busy_ns` over every node in the subtree named `name`.
+    pub fn busy_of(&self, name: &str) -> u64 {
+        self.fold_named(name, |n| n.busy_ns)
+    }
+
+    /// Sum `count` over every node in the subtree named `name`.
+    pub fn count_of(&self, name: &str) -> u64 {
+        self.fold_named(name, |n| n.count)
+    }
+
+    fn fold_named(&self, name: &str, f: impl Fn(&SpanNode) -> u64 + Copy) -> u64 {
+        self.children
+            .iter()
+            .map(|((n, _), child)| {
+                let own = if *n == name { f(child) } else { 0 };
+                own + child.fold_named(name, f)
+            })
+            .sum()
+    }
+
+    /// Total number of nodes in the subtree (excluding `self`).
+    pub fn node_count(&self) -> usize {
+        self.children.values().map(|c| 1 + c.node_count()).sum()
+    }
+
+    /// Navigate to (creating as needed) the node at `path` below `self`.
+    pub(crate) fn node_at_mut(&mut self, path: &[SpanKey]) -> &mut SpanNode {
+        let mut node = self;
+        for key in path {
+            node = node.children.entry(key.clone()).or_default();
+        }
+        node
+    }
+}
+
+/// A captured position in the span tree — the path of `(name, labels)`
+/// keys from the root down to the currently open span.
+///
+/// Capture one with [`crate::context`] on the thread that owns a
+/// collection scope, hand work to other threads (each collecting into
+/// its own fresh [`crate::Telemetry`]), then graft their results back at
+/// the captured position with [`crate::absorb`]. Because sibling shards
+/// merge commutatively, the graft order never changes the result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanContext(pub(crate) Vec<SpanKey>);
+
+impl SpanContext {
+    /// The root context (graft target for top-level work).
+    pub fn root() -> SpanContext {
+        SpanContext::default()
+    }
+
+    /// How deep in the tree this context points.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(name: &'static str) -> SpanKey {
+        (name, Labels::empty())
+    }
+
+    #[test]
+    fn merge_aggregates_by_key() {
+        let mut a = SpanNode::default();
+        a.node_at_mut(&[key("crawl"), key("fetch")]).count = 3;
+        a.node_at_mut(&[key("crawl")]).busy_ns = 100;
+        let mut b = SpanNode::default();
+        b.node_at_mut(&[key("crawl"), key("fetch")]).count = 2;
+        b.node_at_mut(&[key("crawl")]).busy_ns = 50;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.busy_of("crawl"), 150);
+        assert_eq!(ab.count_of("fetch"), 5);
+        assert_eq!(ab.node_count(), 2);
+    }
+
+    #[test]
+    fn self_ns_subtracts_children() {
+        let mut root = SpanNode::default();
+        root.node_at_mut(&[key("outer")]).busy_ns = 100;
+        root.node_at_mut(&[key("outer"), key("inner")]).busy_ns = 30;
+        let outer = &root.children[&key("outer")];
+        assert_eq!(outer.self_ns(), 70);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_nodes() {
+        let mut root = SpanNode::default();
+        let ar = ("country", Labels::new(&[("country", "AR")]));
+        let de = ("country", Labels::new(&[("country", "DE")]));
+        root.node_at_mut(std::slice::from_ref(&ar)).count = 1;
+        root.node_at_mut(std::slice::from_ref(&de)).count = 1;
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.count_of("country"), 2);
+    }
+}

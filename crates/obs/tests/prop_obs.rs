@@ -1,0 +1,149 @@
+//! Property tests for the telemetry merge algebra: histogram merge must
+//! be associative and commutative with the empty histogram as identity,
+//! over arbitrary shard contents and arbitrary shard orders — that is
+//! the exact property the deterministic cross-thread telemetry contract
+//! rests on (worker shards fold together in whatever grouping the
+//! scheduler produced; the export must not care). On the in-repo
+//! harness.
+
+use govhost_harness::{gens, prop_assert_eq, Config, Gen};
+use govhost_obs::{Histogram, Labels, Registry, Telemetry};
+
+const REGRESSIONS: &str = "tests/regressions/prop_obs.txt";
+
+fn cfg(name: &str) -> Config {
+    Config::new(name).cases(192).regressions(REGRESSIONS)
+}
+
+/// Arbitrary observation shards: a few shards, each with a few values
+/// spanning the full bucket range (zeros, small, huge).
+fn arb_shards() -> Gen<Vec<Vec<u64>>> {
+    let value = gens::one_of(vec![
+        Gen::constant(0u64),
+        gens::u64_range(1, 64),
+        gens::u64_range(1, 1 << 20),
+        gens::u64_any(),
+    ]);
+    gens::vec(gens::vec(value, 0, 12), 0, 6)
+}
+
+fn histogram_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for v in values {
+        h.observe(*v);
+    }
+    h
+}
+
+#[test]
+fn histogram_merge_is_commutative() {
+    cfg("histogram_merge_is_commutative").run(
+        &arb_shards().zip(gens::vec(gens::u64_any(), 0, 12)),
+        |(shards, extra)| {
+            let a = histogram_of(&shards.concat());
+            let b = histogram_of(extra);
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba, "a+b == b+a");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn histogram_merge_is_associative() {
+    cfg("histogram_merge_is_associative").run(&arb_shards(), |shards| {
+        let hs: Vec<Histogram> = shards.iter().map(|s| histogram_of(s)).collect();
+        if hs.len() < 3 {
+            return Ok(());
+        }
+        // ((h0 + h1) + h2) vs (h0 + (h1 + h2)), folded over all shards.
+        let mut left = hs[0].clone();
+        for h in &hs[1..] {
+            left.merge(h);
+        }
+        let mut tail = hs[hs.len() - 1].clone();
+        for h in hs[..hs.len() - 1].iter().rev() {
+            let mut acc = h.clone();
+            acc.merge(&tail);
+            tail = acc;
+        }
+        prop_assert_eq!(&left, &tail, "left fold == right fold");
+        Ok(())
+    });
+}
+
+#[test]
+fn empty_histogram_is_the_merge_identity() {
+    cfg("empty_histogram_is_the_merge_identity").run(&arb_shards(), |shards| {
+        let h = histogram_of(&shards.concat());
+        let mut with_empty = h.clone();
+        with_empty.merge(&Histogram::new());
+        prop_assert_eq!(&with_empty, &h, "h + 0 == h");
+        let mut empty_first = Histogram::new();
+        empty_first.merge(&h);
+        prop_assert_eq!(&empty_first, &h, "0 + h == h");
+        Ok(())
+    });
+}
+
+#[test]
+fn merged_shards_equal_direct_observation_in_any_order() {
+    cfg("merged_shards_equal_direct_observation_in_any_order").run(
+        &arb_shards().zip(gens::u64_any()),
+        |(shards, seed)| {
+            let direct = histogram_of(&shards.concat());
+            // Fold the shards in a seed-derived permutation.
+            let mut order: Vec<usize> = (0..shards.len()).collect();
+            let mut s = *seed;
+            for i in (1..order.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                order.swap(i, (s >> 33) as usize % (i + 1));
+            }
+            let mut merged = Histogram::new();
+            for i in order {
+                merged.merge(&histogram_of(&shards[i]));
+            }
+            prop_assert_eq!(&merged, &direct, "shard order is irrelevant");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn registry_level_merge_is_shard_order_independent() {
+    cfg("registry_level_merge_is_shard_order_independent").run(&arb_shards(), |shards| {
+        let countries = ["AR", "BR", "DE", "FR", "US", "MX"];
+        let shard_registry = |i: usize, values: &[u64]| {
+            let mut r = Registry::new();
+            let labels = Labels::new(&[("country", countries[i % countries.len()])]);
+            for v in values {
+                r.observe("page_bytes", labels.clone(), *v);
+                r.add_counter("pages", labels.clone(), 1);
+            }
+            r
+        };
+        let registries: Vec<Registry> =
+            shards.iter().enumerate().map(|(i, s)| shard_registry(i, s)).collect();
+        let mut forward = Registry::new();
+        for r in &registries {
+            forward.merge(r);
+        }
+        let mut backward = Registry::new();
+        for r in registries.iter().rev() {
+            backward.merge(r);
+        }
+        prop_assert_eq!(&forward, &backward, "registry fold order is irrelevant");
+
+        // And the whole-telemetry export is equally order-blind.
+        let wrap = |r: &Registry| Telemetry { root: Default::default(), registry: r.clone() };
+        prop_assert_eq!(
+            govhost_obs::export::metrics_json(&wrap(&forward)),
+            govhost_obs::export::metrics_json(&wrap(&backward)),
+            "metrics.json bytes are fold-order independent"
+        );
+        Ok(())
+    });
+}

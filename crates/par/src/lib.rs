@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # govhost-par
 //!
 //! The workspace's parallelism primitives. Every fan-out in the pipeline

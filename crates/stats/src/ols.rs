@@ -60,7 +60,22 @@ impl OlsFit {
     ///
     /// Returns `None` when `X'X` is singular (collinear design) or there
     /// are no residual degrees of freedom.
+    ///
+    /// Telemetry: `stats.ols_fits{outcome=ok|singular|shape}` counts fit
+    /// attempts; `stats.ols_observations` is a histogram of sample sizes.
     pub fn fit_with_alpha(x: &Matrix, y: &[f64], alpha: f64) -> Option<OlsFit> {
+        let fit = Self::fit_with_alpha_inner(x, y, alpha);
+        let outcome = match &fit {
+            Some(_) => "ok",
+            None if x.rows() != y.len() || x.rows() <= x.cols() => "shape",
+            None => "singular",
+        };
+        govhost_obs::counter_add("stats.ols_fits", &[("outcome", outcome)], 1);
+        govhost_obs::observe("stats.ols_observations", &[], x.rows() as u64);
+        fit
+    }
+
+    fn fit_with_alpha_inner(x: &Matrix, y: &[f64], alpha: f64) -> Option<OlsFit> {
         let n = x.rows();
         let p = x.cols();
         if n != y.len() || n <= p {

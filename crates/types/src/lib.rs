@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # govhost-types
 //!
 //! Shared vocabulary for the govhost workspace: country codes, World Bank

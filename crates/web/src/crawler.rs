@@ -100,6 +100,13 @@ impl Crawler {
     }
 
     /// Breadth-first crawl of `landing` as seen from `vantage`.
+    ///
+    /// Telemetry (aggregated under the caller's open span): a `fetch`
+    /// span per page request and a `har` span per rendered page (HAR
+    /// capture + link extraction); counters
+    /// `crawl.fetch_failures{cause=...}`, `crawl.truncated`, and
+    /// `crawl.har_entries`; histogram `crawl.page_bytes` over rendered
+    /// document sizes.
     pub fn crawl(
         &self,
         corpus: &WebCorpus,
@@ -115,13 +122,23 @@ impl Crawler {
         while let Some((url, depth)) = queue.pop_front() {
             if outcome.pages_visited >= self.max_pages {
                 outcome.truncated = true;
+                govhost_obs::counter_add("crawl.truncated", &[], 1);
                 break;
             }
-            let page = match corpus.fetch(&url, vantage) {
+            let fetched = {
+                let _fetch = govhost_obs::span!("fetch");
+                corpus.fetch(&url, vantage)
+            };
+            let page = match fetched {
                 Ok(p) => p,
                 Err(e) => {
                     outcome.log.record_failure();
                     outcome.failure_causes.bump(&e);
+                    govhost_obs::counter_add(
+                        "crawl.fetch_failures",
+                        &[("cause", failure_label(&e))],
+                        1,
+                    );
                     if depth == 0 {
                         outcome.landing_error =
                             Some(PipelineError::Crawl { url, cause: e.to_string() });
@@ -130,6 +147,8 @@ impl Crawler {
                 }
             };
             outcome.pages_visited += 1;
+            govhost_obs::observe("crawl.page_bytes", &[], page.html_bytes);
+            let _har = govhost_obs::span!("har");
             outcome.log.push(HarEntry {
                 url: url.clone(),
                 bytes: page.html_bytes,
@@ -144,6 +163,7 @@ impl Crawler {
                     depth,
                 });
             }
+            govhost_obs::counter_add("crawl.har_entries", &[], 1 + page.resources.len() as u64);
             if depth < self.max_depth {
                 for link in &page.links {
                     if visited.insert(link.clone()) {
@@ -153,6 +173,16 @@ impl Crawler {
             }
         }
         outcome
+    }
+}
+
+/// The `cause` label value for a fetch failure counter (mirrors the
+/// [`FailureCauses`] field names so the metrics and the report agree).
+fn failure_label(err: &FetchError) -> &'static str {
+    match err {
+        FetchError::GeoBlocked(_) => "geo_blocked",
+        FetchError::NotFound(_) => "not_found",
+        FetchError::UnknownHost(_) => "unknown_host",
     }
 }
 

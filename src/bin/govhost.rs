@@ -128,6 +128,13 @@ fn cmd_dataset(flags: &Flags) {
         urls_path.display(),
         meta_path.display()
     );
+    // The build's telemetry capture rides along with the CSVs unless
+    // GOVHOST_TRACE=0 turned it off.
+    let written = govhost::obs::export::write_files(&dataset.telemetry, &flags.out)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    for path in written {
+        println!("wrote {}", path.display());
+    }
 }
 
 fn cmd_analyze(flags: &Flags) {

@@ -1,0 +1,96 @@
+//! The observability determinism contract, pinned at integration level:
+//! the telemetry files the pipeline exports — `trace.json` (span tree,
+//! deterministic mode) and `metrics.json` (the registry) — must be
+//! **byte-identical** for every `GOVHOST_THREADS` value. Timings vary
+//! with scheduling; everything else in the capture is a pure function of
+//! the world, and the deterministic export mode zeroes the nanoseconds,
+//! so the bytes cannot be allowed to move.
+
+use govhost::obs::export::{metrics_json, trace_json, TimeMode};
+use govhost::prelude::*;
+
+/// Build at `scale` with `threads` workers and export both telemetry
+/// documents in deterministic mode.
+fn exports(world: &World, threads: usize) -> (String, String) {
+    let ds = GovDataset::build(world, &BuildOptions { threads, ..Default::default() });
+    (
+        trace_json(&ds.telemetry, TimeMode::Deterministic),
+        metrics_json(&ds.telemetry),
+    )
+}
+
+/// The acceptance invariant of the observability layer: at a realistic
+/// scale, `trace.json` and `metrics.json` are byte-identical for 1, 2,
+/// and 4 build threads.
+#[test]
+fn telemetry_exports_are_byte_identical_across_thread_counts() {
+    let world = World::generate(&GenParams { scale: 0.3, ..GenParams::default() });
+    let (base_trace, base_metrics) = exports(&world, 1);
+    for threads in [2, 4] {
+        let (trace, metrics) = exports(&world, threads);
+        assert_eq!(base_trace, trace, "trace.json differs at threads={threads}");
+        assert_eq!(base_metrics, metrics, "metrics.json differs at threads={threads}");
+    }
+}
+
+/// The deterministic exports are also stable across *runs* — two builds
+/// of the same world produce the same bytes, so diffing telemetry files
+/// between CI runs is meaningful.
+#[test]
+fn telemetry_exports_are_stable_across_runs() {
+    let world = World::generate(&GenParams::tiny());
+    let (t1, m1) = exports(&world, 4);
+    let (t2, m2) = exports(&world, 4);
+    assert_eq!(t1, t2);
+    assert_eq!(m1, m2);
+}
+
+/// The capture actually contains the pipeline: the documented span names
+/// and counter series all appear, with counts consistent with the
+/// dataset they describe.
+#[test]
+fn capture_covers_every_pipeline_stage() {
+    let world = World::generate(&GenParams::tiny());
+    let ds = GovDataset::build(&world, &BuildOptions::default());
+    let t = &ds.telemetry;
+    for span in ["build", "country", "crawl", "classify", "identify", "geolocate", "locate"] {
+        assert!(t.span_count(span) > 0, "span {span:?} missing from the capture");
+    }
+    for counter in [
+        "crawl.pages",
+        "classify.urls_examined",
+        "identify.hosts",
+        "dns.queries",
+        "geoloc.tasks",
+        "analyze.hosts",
+    ] {
+        assert!(
+            t.registry.counter_total(counter) > 0,
+            "counter {counter:?} missing from the capture"
+        );
+    }
+    assert_eq!(t.registry.counter_total("analyze.hosts"), ds.hosts.len() as u64);
+    assert_eq!(t.span_count("locate"), t.registry.counter_total("geoloc.tasks"));
+    let trace = trace_json(t, TimeMode::Deterministic);
+    assert!(trace.contains("\"busy_ns\": 0"), "deterministic mode zeroes time");
+    assert!(!metrics_json(t).contains("busy_ns"), "metrics carry no span timings");
+}
+
+/// Verbose mode is the profiling escape hatch: it keeps the real
+/// nanoseconds, so its bytes are *not* expected to be stable — but the
+/// structure must match the deterministic export exactly.
+#[test]
+fn verbose_export_differs_only_in_nanoseconds() {
+    let world = World::generate(&GenParams::tiny());
+    let ds = GovDataset::build(&world, &BuildOptions::default());
+    let det = trace_json(&ds.telemetry, TimeMode::Deterministic);
+    let verbose = trace_json(&ds.telemetry, TimeMode::Verbose);
+    assert!(verbose.contains("\"mode\": \"verbose\""));
+    let strip = |s: &str| -> String {
+        s.lines()
+            .filter(|l| !l.contains("\"busy_ns\"") && !l.contains("\"self_ns\"") && !l.contains("\"mode\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&det), strip(&verbose), "structure must not depend on the mode");
+}
