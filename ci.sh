@@ -38,6 +38,14 @@ echo "==> telemetry suites"
 cargo test -q --offline --release --test telemetry
 cargo test -q --offline -p govhost-obs --test prop_obs
 
+# And the serving contract: HTTP conformance + parser fuzz property on
+# the serve crate, byte-identical responses across worker counts (and
+# the real-socket smoke), and the CLI usage-error contract.
+echo "==> serve suites"
+cargo test -q --offline -p govhost-serve
+cargo test -q --offline -p govhost-serve --test http_conformance --test prop_http
+cargo test -q --offline --test serve_http --test cli_usage
+
 if [ "$run_bench" = 1 ]; then
     echo "==> bench smoke (1 iteration each, writes BENCH_*.json)"
     GOVHOST_BENCH_SMOKE=1 cargo bench --offline -p govhost-bench

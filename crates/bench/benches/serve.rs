@@ -1,0 +1,132 @@
+//! Load generator for `govhost-serve`: N concurrent synthetic clients
+//! hammer the full parser → router → encoder stack over in-process
+//! connections, recording throughput and latency percentiles into
+//! `BENCH_serve.json`. The run asserts the server's 5xx-free contract
+//! over the whole load (the acceptance bar is ≥10k requests with zero
+//! 5xx in full mode; smoke mode shrinks the volume, not the checks).
+//!
+//! Two load shapes are measured: direct concurrent clients (each client
+//! thread is its own connection — pure serving-stack throughput) and a
+//! burst through the worker [`Pool`] (queueing included).
+
+use govhost_core::prelude::*;
+use govhost_harness::bench::{black_box, Bench};
+use govhost_obs::TimeMode;
+use govhost_serve::{serve_connection, Limits, MemConn, Pool, QueryIndex, ServeState};
+use govhost_worldgen::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROUTES: [&str; 5] = ["/healthz", "/countries", "/flows", "/providers", "/hhi"];
+
+fn request_for(route: &str) -> Vec<u8> {
+    format!("GET {route} HTTP/1.1\r\nConnection: close\r\n\r\n").into_bytes()
+}
+
+fn main() {
+    let mut b = Bench::new("serve");
+
+    let world = World::generate(&GenParams::tiny());
+    let dataset = GovDataset::build(&world, &BuildOptions::default());
+    let state = Arc::new(ServeState::with_mode(&dataset, TimeMode::Deterministic));
+
+    b.bench("serve/index_build_tiny", || {
+        black_box(QueryIndex::build(black_box(&dataset)));
+    });
+
+    b.bench("serve/healthz_roundtrip", || {
+        let mut conn = MemConn::new(request_for("/healthz"));
+        serve_connection(&state, &mut conn, &Limits::default(), || false).expect("serve");
+        black_box(conn.output().len());
+    });
+
+    // Direct concurrent load: `clients` threads, each issuing
+    // `per_client` sequential requests round-robin over the routes.
+    let (clients, per_client) = if b.smoke() { (4usize, 64usize) } else { (8, 2048) };
+    let total = clients * per_client;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|client| {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let mut latencies_ns = Vec::with_capacity(per_client);
+                let mut five_xx = 0u64;
+                let mut non_2xx = 0u64;
+                for i in 0..per_client {
+                    let route = ROUTES[(client + i) % ROUTES.len()];
+                    let mut conn = MemConn::new(request_for(route));
+                    let t0 = Instant::now();
+                    serve_connection(&state, &mut conn, &Limits::default(), || false)
+                        .expect("in-memory serve cannot fail");
+                    latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                    if conn.output().starts_with(b"HTTP/1.1 5") {
+                        five_xx += 1;
+                    }
+                    if !conn.output().starts_with(b"HTTP/1.1 2") {
+                        non_2xx += 1;
+                    }
+                }
+                (latencies_ns, five_xx, non_2xx)
+            })
+        })
+        .collect();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(total);
+    let mut five_xx = 0u64;
+    let mut non_2xx = 0u64;
+    for handle in handles {
+        let (lat, five, non) = handle.join().expect("client thread");
+        latencies_ns.extend(lat);
+        five_xx += five;
+        non_2xx += non;
+    }
+    let elapsed = started.elapsed();
+    assert_eq!(five_xx, 0, "the load must complete with zero 5xx responses");
+    assert_eq!(non_2xx, 0, "every known-route request answers 2xx");
+    latencies_ns.sort_unstable();
+    let percentile =
+        |q: f64| latencies_ns[((latencies_ns.len() - 1) as f64 * q).round() as usize];
+    println!(
+        "  load: {total} requests, {clients} clients, {} 5xx, {:.0} req/s",
+        five_xx,
+        total as f64 / elapsed.as_secs_f64()
+    );
+    b.record("serve/load/wall_time", elapsed, Some(total as u64));
+    b.record_value(
+        "serve/load/throughput_rps",
+        total as f64 / elapsed.as_secs_f64(),
+        Some(total as u64),
+    );
+    b.record_value("serve/load/latency_p50_ns", percentile(0.50) as f64, Some(total as u64));
+    b.record_value("serve/load/latency_p99_ns", percentile(0.99) as f64, Some(total as u64));
+
+    // Pooled burst: the same volume submitted through the worker pool
+    // from one producer, so queueing and hand-off are in the measurement.
+    let pool_requests = if b.smoke() { 256usize } else { 4096 };
+    let pool = Pool::start(Arc::clone(&state), govhost_serve::resolve_serve_threads(), Limits::default());
+    let started = Instant::now();
+    let receivers: Vec<_> = (0..pool_requests)
+        .map(|i| {
+            let (conn, rx) = MemConn::scripted(request_for(ROUTES[i % ROUTES.len()]));
+            assert!(pool.submit(Box::new(conn)), "pool accepts while running");
+            rx
+        })
+        .collect();
+    let mut pool_five_xx = 0u64;
+    for rx in receivers {
+        let out = rx.recv().expect("connection was served");
+        if out.starts_with(b"HTTP/1.1 5") {
+            pool_five_xx += 1;
+        }
+    }
+    let pool_elapsed = started.elapsed();
+    pool.shutdown();
+    assert_eq!(pool_five_xx, 0, "pooled load must also be 5xx-free");
+    b.record("serve/pool_burst/wall_time", pool_elapsed, Some(pool_requests as u64));
+    b.record_value(
+        "serve/pool_burst/throughput_rps",
+        pool_requests as f64 / pool_elapsed.as_secs_f64(),
+        Some(pool_requests as u64),
+    );
+
+    b.finish();
+}

@@ -29,6 +29,16 @@ impl FlowMatrix {
         self.flows.values().sum()
     }
 
+    /// Every flow as `(source, destination, urls)`, sorted by source
+    /// then destination — a deterministic order for export and serving
+    /// (the backing `HashMap` iterates in arbitrary order).
+    pub fn sorted_flows(&self) -> Vec<(CountryCode, CountryCode, u64)> {
+        let mut out: Vec<(CountryCode, CountryCode, u64)> =
+            self.flows.iter().map(|((s, d), n)| (*s, *d, *n)).collect();
+        out.sort_by_key(|&(from, to, _)| (from, to));
+        out
+    }
+
     /// Outflow of one government, by destination.
     pub fn outflows(&self, source: CountryCode) -> Vec<(CountryCode, u64)> {
         let mut out: Vec<(CountryCode, u64)> = self

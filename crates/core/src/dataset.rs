@@ -818,6 +818,12 @@ impl GovDataset {
         self.url_views().filter(move |(_, h)| h.country == country)
     }
 
+    /// One country's crawl statistics, if it appears in the dataset (the
+    /// lookup behind `/country/{iso}` in `govhost-serve`).
+    pub fn country_stats(&self, country: CountryCode) -> Option<&CountryStats> {
+        self.per_country.get(&country)
+    }
+
     /// All countries present in the dataset, sorted.
     pub fn countries(&self) -> Vec<CountryCode> {
         let mut cs: Vec<CountryCode> = self.per_country.keys().copied().collect();

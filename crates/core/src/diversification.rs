@@ -45,9 +45,14 @@ impl DiversificationAnalysis {
         let mut per_country = HashMap::new();
         for (country, urls) in &url_counts {
             let Some(shares) = hosting.per_country.get(country) else { continue };
-            let url_vec: Vec<u64> = urls.values().copied().collect();
+            // Sort the per-network counts before the HHI float fold:
+            // HashMap iteration order would otherwise vary the summation
+            // order and flip last-ULP bits between runs.
+            let mut url_vec: Vec<u64> = urls.values().copied().collect();
+            url_vec.sort_unstable();
             let bytes = &byte_counts[country];
-            let byte_vec: Vec<u64> = bytes.values().copied().collect();
+            let mut byte_vec: Vec<u64> = bytes.values().copied().collect();
+            byte_vec.sort_unstable();
             let byte_total: u64 = byte_vec.iter().sum();
             let top = byte_vec.iter().max().copied().unwrap_or(0);
             per_country.insert(

@@ -107,6 +107,13 @@ impl HostingAnalysis {
         }
     }
 
+    /// One country's category shares, if the country produced any
+    /// categorized URLs (the lookup behind `/country/{iso}` in
+    /// `govhost-serve`).
+    pub fn country(&self, code: CountryCode) -> Option<&CategoryShares> {
+        self.per_country.get(&code)
+    }
+
     /// Country-averaged global shares: each country contributes equally,
     /// regardless of how many URLs its crawl produced.
     ///

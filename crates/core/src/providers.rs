@@ -23,11 +23,23 @@ pub struct ProviderFootprint {
 }
 
 impl ProviderFootprint {
-    /// The country where this provider carries its biggest byte share.
+    /// The served countries in sorted order — a deterministic view of
+    /// the `HashSet` for export and serving.
+    pub fn countries_sorted(&self) -> Vec<CountryCode> {
+        let mut out: Vec<CountryCode> = self.countries.iter().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// The country where this provider carries its biggest byte share
+    /// (ties go to the alphabetically first country, so the answer does
+    /// not depend on `HashMap` iteration order).
     pub fn peak_share(&self) -> Option<(CountryCode, f64)> {
         self.byte_share
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite shares"))
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1).expect("finite shares").then_with(|| b.0.cmp(a.0))
+            })
             .map(|(c, s)| (*c, *s))
     }
 }

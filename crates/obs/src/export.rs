@@ -194,6 +194,116 @@ pub fn metrics_json(telemetry: &Telemetry) -> String {
     out
 }
 
+/// Render the metrics registry in a Prometheus-style plain-text
+/// exposition (the body of `govhost-serve`'s `/metrics` route).
+///
+/// One line per series: `name{labels} value`, with metric-name dots
+/// mapped to underscores. Histograms expand into `_count`, `_sum`,
+/// `_min`, `_max`, and cumulative `_bucket{lt="..."}` lines (our bucket
+/// edges are *exclusive* powers of four, hence `lt` rather than
+/// Prometheus's inclusive `le`). The registry's `BTreeMap`s iterate
+/// sorted by `(name, labels)`, so the output order — counters, then
+/// gauges, then histograms — never depends on insertion order.
+///
+/// ## Determinism
+///
+/// Time-valued series are named with a `_ns` suffix by convention
+/// (`http.latency_ns`). In [`TimeMode::Deterministic`] such a series is
+/// rendered as if every observation had been `0` — real count, zero
+/// sum/min/max, everything in the first bucket — so the bytes stay
+/// identical across runs and thread counts while the (deterministic)
+/// observation counts remain visible. [`TimeMode::Verbose`] keeps the
+/// real nanoseconds.
+pub fn metrics_text(telemetry: &Telemetry, mode: TimeMode) -> String {
+    let r = &telemetry.registry;
+    let mut out = String::new();
+    let mode_name = match mode {
+        TimeMode::Deterministic => "deterministic",
+        TimeMode::Verbose => "verbose",
+    };
+    let _ = writeln!(out, "# govhost-obs exposition, mode={mode_name}");
+    let mut last_type: Option<(&str, &str)> = None;
+    let mut type_line = |out: &mut String, name: &'static str, kind: &'static str| {
+        if last_type != Some((name, kind)) {
+            let _ = writeln!(out, "# TYPE {} {kind}", expo_name(name));
+            last_type = Some((name, kind));
+        }
+    };
+    for (name, labels, v) in r.counters() {
+        type_line(&mut out, name, "counter");
+        let v = if mode == TimeMode::Deterministic && is_time_series(name) { 0 } else { v };
+        let _ = writeln!(out, "{}{} {v}", expo_name(name), expo_labels(labels, None));
+    }
+    for (name, labels, v) in r.gauges() {
+        type_line(&mut out, name, "gauge");
+        let v = if mode == TimeMode::Deterministic && is_time_series(name) { 0 } else { v };
+        let _ = writeln!(out, "{}{} {v}", expo_name(name), expo_labels(labels, None));
+    }
+    for (name, labels, h) in r.histograms() {
+        type_line(&mut out, name, "histogram");
+        let zero_time = mode == TimeMode::Deterministic && is_time_series(name);
+        let base = expo_name(name);
+        let plain = expo_labels(labels, None);
+        let (sum, min, max) = if zero_time { (0, 0, 0) } else { (h.sum(), h.min(), h.max()) };
+        let _ = writeln!(out, "{base}_count{plain} {}", h.count());
+        let _ = writeln!(out, "{base}_sum{plain} {sum}");
+        let _ = writeln!(out, "{base}_min{plain} {min}");
+        let _ = writeln!(out, "{base}_max{plain} {max}");
+        let mut cumulative = 0u64;
+        for (i, b) in h.buckets().iter().enumerate() {
+            // "All observations were zero": the whole count lands in
+            // bucket 0, keeping the cumulative lines self-consistent.
+            cumulative += if zero_time {
+                if i == 0 {
+                    h.count()
+                } else {
+                    0
+                }
+            } else {
+                *b
+            };
+            let edge = match crate::metrics::Histogram::bucket_upper_edge(i) {
+                Some(e) => e.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{base}_bucket{} {cumulative}",
+                expo_labels(labels, Some(&edge))
+            );
+        }
+    }
+    out
+}
+
+/// Whether a metric name follows the time-valued naming convention.
+fn is_time_series(name: &str) -> bool {
+    name.ends_with("_ns")
+}
+
+/// A metric name in exposition form: dots become underscores.
+fn expo_name(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+/// Render a label set as `{k="v",...}` (empty string when there are no
+/// labels), optionally appending an `lt` bucket-edge label.
+fn expo_labels(labels: &Labels, lt: Option<&str>) -> String {
+    let mut pairs: Vec<String> = labels
+        .pairs()
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_json(v)))
+        .collect();
+    if let Some(edge) = lt {
+        pairs.push(format!("lt=\"{edge}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
 fn write_labels(out: &mut String, labels: &Labels, indent: &str) {
     if labels.is_empty() {
         let _ = writeln!(out, "{indent}\"labels\": {{}},");
@@ -207,8 +317,9 @@ fn write_labels(out: &mut String, labels: &Labels, indent: &str) {
     let _ = writeln!(out, "{indent}\"labels\": {{{}}},", pairs.join(", "));
 }
 
-/// Escape a string for embedding in a JSON string literal.
-fn escape_json(s: &str) -> String {
+/// Escape a string for embedding in a JSON string literal (shared by
+/// the telemetry exports and `govhost-serve`'s hand-rendered bodies).
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -287,6 +398,40 @@ mod tests {
     fn json_strings_are_escaped() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn metrics_text_is_sorted_and_typed() {
+        let ((), t) = collect(|| {
+            counter_add("http.requests", &[("route", "/hhi")], 2);
+            counter_add("http.requests", &[("route", "/flows")], 1);
+            crate::observe("http.response_bytes", &[("route", "/hhi")], 900);
+        });
+        let text = metrics_text(&t, TimeMode::Deterministic);
+        let flows = text.find("route=\"/flows\"").unwrap();
+        let hhi = text.find("route=\"/hhi\"").unwrap();
+        assert!(flows < hhi, "label sets are sorted within a metric");
+        assert!(text.contains("# TYPE http_requests counter"));
+        assert!(text.contains("# TYPE http_response_bytes histogram"));
+        assert!(text.contains("http_response_bytes_sum{route=\"/hhi\"} 900"));
+        assert!(text.contains("http_response_bytes_bucket{route=\"/hhi\",lt=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn deterministic_exposition_zeroes_time_valued_series() {
+        let ((), t) = collect(|| {
+            crate::observe("http.latency_ns", &[], 123_456);
+            crate::observe("http.response_bytes", &[], 70);
+        });
+        let det = metrics_text(&t, TimeMode::Deterministic);
+        assert!(det.contains("http_latency_ns_count 1"), "counts survive: {det}");
+        assert!(det.contains("http_latency_ns_sum 0"), "sums are zeroed: {det}");
+        assert!(det.contains("http_latency_ns_bucket{lt=\"1\"} 1"), "count collapses to bucket 0");
+        assert!(det.contains("http_response_bytes_sum 70"), "byte series keep real values");
+        let verbose = metrics_text(&t, TimeMode::Verbose);
+        assert!(verbose.contains("http_latency_ns_sum 123456"), "verbose keeps time: {verbose}");
+        // Rendering is a pure function of the capture.
+        assert_eq!(det, metrics_text(&t, TimeMode::Deterministic));
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! The immutable in-memory query index: every route's JSON body,
+//! precomputed once from a built [`GovDataset`].
+//!
+//! The index reuses `govhost-core`'s analysis modules — hosting mix,
+//! cross-border flows, provider footprints, geolocation splits, HHI
+//! concentration — rather than re-deriving anything, and renders each
+//! response body at build time. Serving is then a lookup plus a memcpy,
+//! and the determinism contract is trivial: the bodies are pure
+//! functions of the dataset, so response bytes cannot depend on worker
+//! count or request interleaving (`tests/serve_http.rs` pins this at
+//! 1/2/4 pool workers).
+//!
+//! JSON is hand-rendered like the telemetry exports (the workspace is
+//! zero-dependency): sorted/fixed key order, [`escape_json`] for
+//! strings, and non-finite floats rendered as `null`.
+
+use govhost_core::crossborder::FlowMatrix;
+use govhost_core::prelude::*;
+use govhost_obs::export::escape_json;
+use govhost_types::prelude::*;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// A finite float renders via Rust's shortest-roundtrip `Display`
+/// (deterministic); `NaN`/infinity render as `null`.
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A quoted, escaped JSON string literal.
+fn js(s: &str) -> String {
+    format!("\"{}\"", escape_json(s))
+}
+
+/// The World Bank region code of a country, when known.
+fn region_of(code: CountryCode) -> Option<&'static str> {
+    govhost_worldgen::countries::any_country(code).map(|row| row.region.code())
+}
+
+/// Precomputed JSON bodies for every route `govhost-serve` answers.
+#[derive(Debug, Clone)]
+pub struct QueryIndex {
+    healthz: String,
+    countries: String,
+    country: BTreeMap<String, String>,
+    flows: String,
+    providers: String,
+    hhi: String,
+}
+
+impl QueryIndex {
+    /// Run the core analyses over `dataset` and render every body.
+    pub fn build(dataset: &GovDataset) -> QueryIndex {
+        let hosting = HostingAnalysis::compute(dataset);
+        let location = LocationAnalysis::compute(dataset);
+        let cross = CrossBorderAnalysis::compute(dataset);
+        let providers = ProviderAnalysis::compute(dataset);
+        let diversification = DiversificationAnalysis::compute(dataset, &hosting);
+        let codes = dataset.countries();
+
+        let healthz = format!(
+            "{{\"status\":\"ok\",\"countries\":{},\"hostnames\":{},\"urls\":{}}}",
+            codes.len(),
+            dataset.hosts.len(),
+            dataset.urls.len()
+        );
+
+        let mut countries = String::from("{\"count\":");
+        let _ = write!(countries, "{},\"countries\":[", codes.len());
+        for (i, code) in codes.iter().enumerate() {
+            if i > 0 {
+                countries.push(',');
+            }
+            let stats = dataset.country_stats(*code).expect("listed country has stats");
+            let _ = write!(
+                countries,
+                "{{\"code\":{},\"region\":{},\"landing\":{},\"hostnames\":{},\"urls\":{},\"bytes\":{}}}",
+                js(code.as_str()),
+                region_of(*code).map_or("null".to_string(), js),
+                stats.landing,
+                stats.hostnames,
+                stats.urls,
+                stats.bytes
+            );
+        }
+        countries.push_str("]}");
+
+        let mut country = BTreeMap::new();
+        for code in &codes {
+            country.insert(
+                code.as_str().to_string(),
+                render_country(*code, dataset, &hosting, &location, &cross, &diversification),
+            );
+        }
+
+        let flows = format!(
+            "{{\"registration\":{},\"served\":{}}}",
+            render_matrix(&cross.registration),
+            render_matrix(&cross.location)
+        );
+
+        let mut providers_body = String::from("{\"count\":");
+        let _ = write!(providers_body, "{},\"providers\":[", providers.providers.len());
+        for (i, p) in providers.providers.iter().enumerate() {
+            if i > 0 {
+                providers_body.push(',');
+            }
+            let peak = p.peak_share();
+            let _ = write!(
+                providers_body,
+                "{{\"asn\":{},\"org\":{},\"country_count\":{},\"countries\":[{}],\"peak_country\":{},\"peak_byte_share\":{}}}",
+                p.asn.0,
+                js(&p.org),
+                p.countries.len(),
+                p.countries_sorted()
+                    .iter()
+                    .map(|c| js(c.as_str()))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                peak.map_or("null".to_string(), |(c, _)| js(c.as_str())),
+                peak.map_or("null".to_string(), |(_, s)| jf(s))
+            );
+        }
+        providers_body.push_str("]}");
+
+        let mut hhi = String::from("{\"count\":");
+        let mut concentrations: Vec<(&CountryCode, _)> =
+            diversification.per_country.iter().collect();
+        concentrations.sort_by_key(|(c, _)| **c);
+        let _ = write!(hhi, "{},\"countries\":[", concentrations.len());
+        for (i, (code, conc)) in concentrations.iter().enumerate() {
+            if i > 0 {
+                hhi.push(',');
+            }
+            let _ = write!(
+                hhi,
+                "{{\"code\":{},\"dominant\":{},\"hhi_urls\":{},\"hhi_bytes\":{},\"top_network_byte_share\":{}}}",
+                js(code.as_str()),
+                js(conc.dominant.label()),
+                jf(conc.hhi_urls),
+                jf(conc.hhi_bytes),
+                jf(conc.top_network_byte_share)
+            );
+        }
+        hhi.push_str("]}");
+
+        QueryIndex { healthz, countries, country, flows, providers: providers_body, hhi }
+    }
+
+    /// The `/healthz` body.
+    pub fn healthz(&self) -> &str {
+        &self.healthz
+    }
+
+    /// The `/countries` body.
+    pub fn countries(&self) -> &str {
+        &self.countries
+    }
+
+    /// The `/country/{iso}` body, if the country is in the dataset.
+    /// Lookup is by exact uppercase ISO code.
+    pub fn country(&self, iso: &str) -> Option<&str> {
+        self.country.get(iso).map(String::as_str)
+    }
+
+    /// The `/flows` body.
+    pub fn flows(&self) -> &str {
+        &self.flows
+    }
+
+    /// The `/providers` body.
+    pub fn providers(&self) -> &str {
+        &self.providers
+    }
+
+    /// The `/hhi` body.
+    pub fn hhi(&self) -> &str {
+        &self.hhi
+    }
+
+    /// How many countries have a `/country/{iso}` body.
+    pub fn country_count(&self) -> usize {
+        self.country.len()
+    }
+}
+
+/// Render one `/country/{iso}` body.
+fn render_country(
+    code: CountryCode,
+    dataset: &GovDataset,
+    hosting: &HostingAnalysis,
+    location: &LocationAnalysis,
+    cross: &CrossBorderAnalysis,
+    diversification: &DiversificationAnalysis,
+) -> String {
+    let mut out = String::from("{");
+    let stats = dataset.country_stats(code).expect("listed country has stats");
+    let _ = write!(
+        out,
+        "\"code\":{},\"region\":{},\"stats\":{{\"landing\":{},\"hostnames\":{},\"urls\":{},\"bytes\":{}}}",
+        js(code.as_str()),
+        region_of(code).map_or("null".to_string(), js),
+        stats.landing,
+        stats.hostnames,
+        stats.urls,
+        stats.bytes
+    );
+    match hosting.country(code) {
+        Some(shares) => {
+            out.push_str(",\"hosting\":{\"categories\":[");
+            for (i, cat) in ProviderCategory::ALL.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"category\":{},\"urls\":{},\"bytes\":{}}}",
+                    js(cat.label()),
+                    jf(shares.urls[cat.index()]),
+                    jf(shares.bytes[cat.index()])
+                );
+            }
+            let _ = write!(
+                out,
+                "],\"third_party_urls\":{},\"third_party_bytes\":{},\"dominant\":{}}}",
+                jf(shares.third_party_urls()),
+                jf(shares.third_party_bytes()),
+                js(shares.dominant_by_bytes().label())
+            );
+        }
+        None => out.push_str(",\"hosting\":null"),
+    }
+    let _ = write!(
+        out,
+        ",\"served_domestic\":{},\"offshore_percent\":{}",
+        location
+            .geolocation_by_country
+            .get(&code)
+            .map_or("null".to_string(), |s| jf(s.domestic_fraction())),
+        location.offshore_percent(code).map_or("null".to_string(), jf)
+    );
+    match diversification.per_country.get(&code) {
+        Some(conc) => {
+            let _ = write!(
+                out,
+                ",\"concentration\":{{\"dominant\":{},\"hhi_urls\":{},\"hhi_bytes\":{},\"top_network_byte_share\":{}}}",
+                js(conc.dominant.label()),
+                jf(conc.hhi_urls),
+                jf(conc.hhi_bytes),
+                jf(conc.top_network_byte_share)
+            );
+        }
+        None => out.push_str(",\"concentration\":null"),
+    }
+    let _ = write!(
+        out,
+        ",\"flows\":{{\"registration\":{},\"served\":{}}}}}",
+        render_outflows(&cross.registration, code),
+        render_outflows(&cross.location, code)
+    );
+    out
+}
+
+/// Render one government's outflows, largest first (the matrix's own
+/// deterministic order).
+fn render_outflows(matrix: &FlowMatrix, code: CountryCode) -> String {
+    let mut out = String::from("[");
+    for (i, (dest, urls)) in matrix.outflows(code).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"to\":{},\"urls\":{}}}", js(dest.as_str()), urls);
+    }
+    out.push(']');
+    out
+}
+
+/// Render one full flow matrix in sorted `(from, to)` order.
+fn render_matrix(matrix: &FlowMatrix) -> String {
+    let mut out = String::from("{\"total\":");
+    let _ = write!(out, "{},\"flows\":[", matrix.total());
+    for (i, (from, to, urls)) in matrix.sorted_flows().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"from\":{},\"to\":{},\"urls\":{}}}",
+            js(from.as_str()),
+            js(to.as_str()),
+            urls
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_worldgen::prelude::*;
+
+    fn index() -> QueryIndex {
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        QueryIndex::build(&dataset)
+    }
+
+    #[test]
+    fn bodies_cover_every_route_and_country() {
+        let idx = index();
+        assert!(idx.healthz().contains("\"status\":\"ok\""));
+        assert!(idx.countries().starts_with("{\"count\":"));
+        assert!(idx.country_count() > 0);
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        for code in dataset.countries() {
+            let body = idx.country(code.as_str()).expect("every country has a body");
+            assert!(body.contains(&format!("\"code\":\"{code}\"")));
+        }
+        assert!(idx.country("ZZ").is_none());
+        assert!(idx.flows().contains("\"registration\""));
+        assert!(idx.providers().contains("\"providers\""));
+        assert!(idx.hhi().contains("\"countries\""));
+    }
+
+    #[test]
+    fn bodies_are_pure_functions_of_the_dataset() {
+        let a = index();
+        let b = index();
+        assert_eq!(a.countries(), b.countries());
+        assert_eq!(a.flows(), b.flows());
+        assert_eq!(a.providers(), b.providers());
+        assert_eq!(a.hhi(), b.hhi());
+    }
+
+    #[test]
+    fn non_finite_values_render_as_null() {
+        assert_eq!(jf(f64::NAN), "null");
+        assert_eq!(jf(f64::INFINITY), "null");
+        assert_eq!(jf(0.25), "0.25");
+    }
+}

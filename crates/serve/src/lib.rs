@@ -1,0 +1,87 @@
+#![deny(missing_docs)]
+//! # govhost-serve
+//!
+//! The query-serving tier over a built [`GovDataset`]: an std-only
+//! HTTP/1.1 server (zero dependencies, like the rest of the workspace)
+//! that loads the dataset once, precomputes an immutable in-memory
+//! [`QueryIndex`] from `govhost-core`'s analysis modules, and answers
+//! JSON queries over it.
+//!
+//! ## Routes
+//!
+//! | Route | Body |
+//! |---|---|
+//! | `/healthz` | dataset dimensions + liveness |
+//! | `/countries` | per-country crawl statistics |
+//! | `/country/{iso}` | one country: hosting mix, domestic split, concentration, outflows |
+//! | `/flows` | the full cross-border flow matrices (registration + served) |
+//! | `/providers` | provider footprints (Fig. 10) |
+//! | `/hhi` | per-country provider concentration |
+//! | `/metrics` | text exposition of the `govhost-obs` registry |
+//!
+//! ## Architecture
+//!
+//! A [`TcpListener`](std::net::TcpListener) acceptor feeds a fixed
+//! [`Pool`] of workers (thread count from [`resolve_serve_threads`],
+//! following the `govhost-par` conventions). Each connection runs
+//! [`serve_connection`]: an incremental [`RequestParser`] with hard
+//! [`Limits`] and typed `400/404/405/414/431` [`HttpError`]s, the
+//! [`ServeState`] router, and deterministic response encoding. Every
+//! request is accounted through `govhost-obs`; `/metrics` renders the
+//! merged build + request capture.
+//!
+//! Transport hides behind the [`Connection`] trait, so the whole stack
+//! is testable in-process over [`MemConn`] — response bytes are pinned
+//! identical across 1/2/4 pool workers, sockets never enter the tests.
+//!
+//! ```
+//! use govhost_core::prelude::*;
+//! use govhost_serve::{serve_connection, Limits, MemConn, ServeState};
+//! use govhost_worldgen::prelude::*;
+//!
+//! let world = World::generate(&GenParams::tiny());
+//! let dataset = GovDataset::build(&world, &BuildOptions::default());
+//! let state = ServeState::new(&dataset);
+//! let mut conn = MemConn::new(&b"GET /healthz HTTP/1.1\r\n\r\n"[..]);
+//! serve_connection(&state, &mut conn, &Limits::default(), || false).unwrap();
+//! assert!(conn.output().starts_with(b"HTTP/1.1 200 OK"));
+//! ```
+
+pub mod http;
+pub mod index;
+pub mod router;
+pub mod server;
+
+pub use http::{HttpError, Limits, Request, RequestParser, Version};
+pub use index::QueryIndex;
+pub use router::{route_label, Response, ServeState, ROUTES};
+pub use server::{serve_connection, Connection, MemConn, Pool, Server, ServerConfig};
+
+#[allow(unused_imports)] // doc links
+use govhost_core::prelude::GovDataset;
+
+/// The serving worker-thread count: `GOVHOST_SERVE_THREADS` when set to
+/// a positive integer (clamped to [`govhost_par::MAX_THREADS`]), else
+/// the pipeline-wide [`govhost_par::resolve_threads`] default.
+pub fn resolve_serve_threads() -> usize {
+    if let Ok(raw) = std::env::var("GOVHOST_SERVE_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(govhost_par::MAX_THREADS);
+            }
+        }
+    }
+    govhost_par::resolve_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_threads_resolve_to_a_positive_bounded_count() {
+        let n = resolve_serve_threads();
+        assert!(n >= 1);
+        assert!(n <= govhost_par::MAX_THREADS);
+    }
+}

@@ -1,0 +1,320 @@
+//! Route dispatch, response encoding, and per-request instrumentation.
+//!
+//! [`ServeState`] is the shared immutable heart of the server: the
+//! precomputed [`QueryIndex`], the dataset's build-time telemetry, and
+//! a mutex-guarded request-telemetry capture that every response is
+//! accounted into — per-route request counters, status-class counters,
+//! and response-byte / latency histograms, all through the
+//! `govhost-obs` registry. `/metrics` renders the merged capture with
+//! [`metrics_text`], whose deterministic mode keeps the exposition
+//! byte-stable across runs and worker counts (latency series follow the
+//! `_ns` naming convention and are zeroed there).
+//!
+//! Accounting order matters for determinism under sequential clients:
+//! a request's arrival counter is recorded *before* its handler runs
+//! (so `/metrics` sees itself), and its status/size/latency series
+//! *after* — visible to every later request regardless of which worker
+//! served this one.
+
+use crate::http::{HttpError, Request};
+use crate::index::QueryIndex;
+use govhost_core::prelude::*;
+use govhost_obs::export::{metrics_text, trace_level, TimeMode};
+use govhost_obs::{Labels, Telemetry};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The route patterns the server exposes, used verbatim as the `route`
+/// label on every HTTP metric (bounded cardinality by construction).
+pub const ROUTES: [&str; 7] =
+    ["/healthz", "/countries", "/country/{iso}", "/flows", "/providers", "/hhi", "/metrics"];
+
+/// One response, ready to encode.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Canonical reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Whether to advertise `Allow: GET` (405 responses).
+    pub allow_get: bool,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` response with a precomputed JSON body.
+    fn ok_json(body: &str) -> Response {
+        Response {
+            status: 200,
+            reason: "OK",
+            content_type: "application/json",
+            allow_get: false,
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// The JSON error representation of a typed [`HttpError`].
+    pub fn from_error(err: &HttpError) -> Response {
+        let body = format!(
+            "{{\"error\":{},\"reason\":\"{}\",\"detail\":\"{}\"}}",
+            err.status(),
+            err.reason(),
+            govhost_obs::export::escape_json(err.detail())
+        );
+        Response {
+            status: err.status(),
+            reason: err.reason(),
+            content_type: "application/json",
+            allow_get: matches!(err, HttpError::MethodNotAllowed),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Serialize status line, headers, and body. The server never emits
+    /// a `Date` header: responses must be byte-stable across runs.
+    pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nServer: govhost-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len()
+        );
+        if self.allow_get {
+            head.push_str("Allow: GET\r\n");
+        }
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// The route label a path falls under (`"other"` for unknown paths,
+/// bounding metric cardinality no matter what clients request).
+pub fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/countries" => "/countries",
+        "/flows" => "/flows",
+        "/providers" => "/providers",
+        "/hhi" => "/hhi",
+        "/metrics" => "/metrics",
+        p if p.starts_with("/country/") => "/country/{iso}",
+        _ => "other",
+    }
+}
+
+/// Everything a worker needs to answer requests: immutable index plus
+/// the telemetry accounting.
+#[derive(Debug)]
+pub struct ServeState {
+    index: QueryIndex,
+    /// The dataset's build capture plus the index-build capture —
+    /// the baseline `/metrics` starts from.
+    base: Telemetry,
+    /// Request-side telemetry, accumulated under a mutex (merge-based,
+    /// so the capture is order-blind like the build-side shards).
+    requests: Mutex<Telemetry>,
+    mode: TimeMode,
+}
+
+impl ServeState {
+    /// Build the index and state from a dataset, reading the export
+    /// mode from `GOVHOST_TRACE` (verbose keeps real latency numbers in
+    /// `/metrics`; the default stays deterministic).
+    pub fn new(dataset: &GovDataset) -> ServeState {
+        ServeState::with_mode(dataset, trace_level().time_mode())
+    }
+
+    /// Build with an explicit `/metrics` time mode (tests pin the
+    /// deterministic one regardless of environment).
+    pub fn with_mode(dataset: &GovDataset, mode: TimeMode) -> ServeState {
+        let (index, build_capture) = govhost_obs::collect(|| {
+            let _span = govhost_obs::span!("serve.index");
+            let index = QueryIndex::build(dataset);
+            govhost_obs::counter_add("serve.index.countries", &[], index.country_count() as u64);
+            index
+        });
+        let mut base = dataset.telemetry.clone();
+        base.merge(&build_capture);
+        ServeState { index, base, requests: Mutex::new(Telemetry::new()), mode }
+    }
+
+    /// The `/metrics` time mode in effect.
+    pub fn time_mode(&self) -> TimeMode {
+        self.mode
+    }
+
+    /// The precomputed query index.
+    pub fn index(&self) -> &QueryIndex {
+        &self.index
+    }
+
+    /// A merged snapshot of build-time and request-time telemetry.
+    pub fn telemetry_snapshot(&self) -> Telemetry {
+        let mut snap = self.base.clone();
+        let requests = self.requests.lock().expect("telemetry lock");
+        snap.merge(&requests);
+        snap
+    }
+
+    /// Answer one parse outcome: route, handle, and account the
+    /// exchange into the request telemetry.
+    pub fn respond(&self, parsed: Result<&Request, &HttpError>) -> Response {
+        let start = Instant::now();
+        let route = match parsed {
+            Ok(req) => route_label(req.path()),
+            Err(_) => "error",
+        };
+        {
+            let mut t = self.requests.lock().expect("telemetry lock");
+            t.registry.add_counter("http.requests", Labels::new(&[("route", route)]), 1);
+        }
+        let response = match parsed {
+            Err(err) => Response::from_error(err),
+            Ok(req) if req.method != "GET" => {
+                Response::from_error(&HttpError::MethodNotAllowed)
+            }
+            Ok(req) => self.handle(req.path()),
+        };
+        let latency_ns = start.elapsed().as_nanos() as u64;
+        let class = match response.status {
+            200..=299 => "2xx",
+            300..=399 => "3xx",
+            400..=499 => "4xx",
+            _ => "5xx",
+        };
+        let mut t = self.requests.lock().expect("telemetry lock");
+        let labels = Labels::new(&[("route", route)]);
+        t.registry.add_counter(
+            "http.responses",
+            Labels::new(&[("route", route), ("class", class)]),
+            1,
+        );
+        t.registry.observe("http.response_bytes", labels.clone(), response.body.len() as u64);
+        t.registry.observe("http.latency_ns", labels, latency_ns);
+        response
+    }
+
+    /// Dispatch a `GET` on `path` against the index.
+    fn handle(&self, path: &str) -> Response {
+        match path {
+            "/healthz" => Response::ok_json(self.index.healthz()),
+            "/countries" => Response::ok_json(self.index.countries()),
+            "/flows" => Response::ok_json(self.index.flows()),
+            "/providers" => Response::ok_json(self.index.providers()),
+            "/hhi" => Response::ok_json(self.index.hhi()),
+            "/metrics" => {
+                let text = metrics_text(&self.telemetry_snapshot(), self.mode);
+                Response {
+                    status: 200,
+                    reason: "OK",
+                    content_type: "text/plain; charset=utf-8",
+                    allow_get: false,
+                    body: text.into_bytes(),
+                }
+            }
+            p => {
+                if let Some(iso) = p.strip_prefix("/country/") {
+                    let upper = iso.to_ascii_uppercase();
+                    if let Some(body) = self.index.country(&upper) {
+                        return Response::ok_json(body);
+                    }
+                }
+                Response::from_error(&HttpError::NotFound)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Limits, RequestParser};
+    use govhost_worldgen::prelude::*;
+
+    fn state() -> ServeState {
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        ServeState::with_mode(&dataset, TimeMode::Deterministic)
+    }
+
+    fn get(state: &ServeState, path: &str) -> Response {
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(raw.as_bytes());
+        let req = parser.next_request().unwrap().unwrap();
+        state.respond(Ok(&req))
+    }
+
+    #[test]
+    fn every_route_answers_200() {
+        let state = state();
+        for path in ["/healthz", "/countries", "/flows", "/providers", "/hhi", "/metrics"] {
+            assert_eq!(get(&state, path).status, 200, "{path}");
+        }
+    }
+
+    #[test]
+    fn country_lookup_is_case_insensitive_and_404s_unknowns() {
+        let state = state();
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        let code = dataset.countries()[0];
+        let lower = code.as_str().to_lowercase();
+        assert_eq!(get(&state, &format!("/country/{code}")).status, 200);
+        assert_eq!(get(&state, &format!("/country/{lower}")).status, 200);
+        assert_eq!(get(&state, "/country/ZZ").status, 404);
+        assert_eq!(get(&state, "/nope").status, 404);
+    }
+
+    #[test]
+    fn non_get_methods_are_405_with_allow() {
+        let state = state();
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(b"POST /hhi HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        let req = parser.next_request().unwrap().unwrap();
+        let resp = state.respond(Ok(&req));
+        assert_eq!(resp.status, 405);
+        let encoded = String::from_utf8(resp.encode(false)).unwrap();
+        assert!(encoded.contains("Allow: GET\r\n"));
+        assert!(encoded.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn requests_are_accounted_per_route_and_class() {
+        let state = state();
+        let _ = get(&state, "/hhi");
+        let _ = get(&state, "/hhi");
+        let _ = get(&state, "/nope");
+        let snap = state.telemetry_snapshot();
+        assert_eq!(
+            snap.registry.counter_filtered("http.requests", &[("route", "/hhi")]),
+            2
+        );
+        assert_eq!(
+            snap.registry.counter_filtered("http.responses", &[("class", "4xx")]),
+            1
+        );
+        assert_eq!(snap.registry.counter_total("http.latency_ns"), 0, "latency is a histogram");
+    }
+
+    #[test]
+    fn metrics_route_sees_its_own_arrival() {
+        let state = state();
+        let body = String::from_utf8(get(&state, "/metrics").body).unwrap();
+        assert!(
+            body.contains("http_requests{route=\"/metrics\"} 1"),
+            "arrival counter precedes rendering: {body}"
+        );
+        assert!(body.contains("# TYPE serve_index_countries counter"));
+    }
+}

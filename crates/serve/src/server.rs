@@ -1,0 +1,385 @@
+//! The transport layer: a connection trait, the per-connection serve
+//! loop, a fixed worker pool, and the TCP acceptor.
+//!
+//! Transport is abstracted behind [`Connection`] (`Read + Write +
+//! Send`), so the full parser → router → encoder stack runs identically
+//! over a real [`std::net::TcpStream`] and over the in-process
+//! [`MemConn`] — which is how the conformance, determinism, and load
+//! tests drive the server without sockets.
+//!
+//! The pool follows the `govhost-par` conventions: a fixed worker
+//! count resolved once ([`crate::resolve_serve_threads`]), named
+//! threads, and no work stealing — workers pull connections off a
+//! shared channel. Shutdown is graceful: the drain flag stops
+//! keep-alive loops after their in-flight request, the channel closes,
+//! and every queued connection is still served before workers exit.
+
+use crate::http::{HttpError, Limits, RequestParser};
+use crate::router::ServeState;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A bidirectional byte stream the server can answer on. Blanket-implemented
+/// for every `Read + Write + Send` type ([`TcpStream`], [`MemConn`], ...).
+pub trait Connection: Read + Write + Send {}
+
+impl<T: Read + Write + Send> Connection for T {}
+
+/// Serve one connection to completion: parse requests (pipelining
+/// included), answer each through `state`, and honour keep-alive until
+/// the client closes, an error closes, or `draining` asks the loop to
+/// wind down after the in-flight request.
+///
+/// A clean EOF between requests returns `Ok`; an EOF or read timeout
+/// mid-request answers `400` first. Write failures surface as the
+/// client disconnecting — there is nobody left to answer.
+pub fn serve_connection<C: Connection + ?Sized>(
+    state: &ServeState,
+    conn: &mut C,
+    limits: &Limits,
+    draining: impl Fn() -> bool,
+) -> std::io::Result<()> {
+    let mut parser = RequestParser::new(limits.clone());
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain every complete buffered request before reading more.
+        loop {
+            match parser.next_request() {
+                Ok(Some(request)) => {
+                    let response = state.respond(Ok(&request));
+                    let keep = request.keep_alive() && !draining();
+                    conn.write_all(&response.encode(keep))?;
+                    if !keep {
+                        return Ok(());
+                    }
+                }
+                Ok(None) => break,
+                Err(error) => {
+                    let response = state.respond(Err(&error));
+                    conn.write_all(&response.encode(false))?;
+                    return Ok(());
+                }
+            }
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => {
+                if parser.has_partial() {
+                    let error = HttpError::BadRequest("truncated request");
+                    let response = state.respond(Err(&error));
+                    conn.write_all(&response.encode(false))?;
+                }
+                return Ok(());
+            }
+            Ok(n) => parser.push(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if parser.has_partial() {
+                    let error = HttpError::BadRequest("read timeout");
+                    let response = state.respond(Err(&error));
+                    conn.write_all(&response.encode(false))?;
+                }
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+type BoxConn = Box<dyn Connection>;
+
+/// A fixed pool of worker threads answering connections off a shared
+/// queue.
+#[derive(Debug)]
+pub struct Pool {
+    tx: Option<Sender<BoxConn>>,
+    workers: Vec<JoinHandle<()>>,
+    draining: Arc<AtomicBool>,
+}
+
+impl Pool {
+    /// Start `threads` workers (at least one) serving `state`.
+    pub fn start(state: Arc<ServeState>, threads: usize, limits: Limits) -> Pool {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<BoxConn>();
+        let rx: Arc<Mutex<Receiver<BoxConn>>> = Arc::new(Mutex::new(rx));
+        let draining = Arc::new(AtomicBool::new(false));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                let draining = Arc::clone(&draining);
+                let limits = limits.clone();
+                std::thread::Builder::new()
+                    .name(format!("govhost-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the dequeue; serving
+                        // runs in parallel across workers.
+                        let next = rx.lock().expect("queue lock").recv();
+                        let Ok(mut conn) = next else { return };
+                        let _ = serve_connection(&state, &mut *conn, &limits, || {
+                            draining.load(Ordering::SeqCst)
+                        });
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Pool { tx: Some(tx), workers, draining }
+    }
+
+    /// Queue a connection; `false` once the pool is shutting down.
+    pub fn submit(&self, conn: BoxConn) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(conn).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Flip the drain flag: keep-alive loops close after their current
+    /// request. Already-queued connections are still served.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Drain and join every worker (also what `Drop` does).
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.begin_drain();
+        self.tx = None; // close the channel: workers exit once the queue is empty
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads ([`crate::resolve_serve_threads`] by default).
+    pub threads: usize,
+    /// Per-request parser limits.
+    pub limits: Limits,
+    /// Socket read timeout: an idle or stalled client cannot pin a
+    /// worker forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: crate::resolve_serve_threads(),
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A TCP acceptor feeding the worker pool.
+#[derive(Debug)]
+pub struct Server {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: Option<Pool>,
+}
+
+impl Server {
+    /// Bind `addr` and start accepting. The returned server runs in the
+    /// background until [`Server::shutdown`] (or drop).
+    pub fn bind<A: ToSocketAddrs>(
+        state: Arc<ServeState>,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let pool = Pool::start(state, config.threads, config.limits);
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let submit_tx = pool.tx.clone().expect("fresh pool has a sender");
+            let read_timeout = config.read_timeout;
+            std::thread::Builder::new()
+                .name("govhost-serve-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_read_timeout(Some(read_timeout));
+                        let _ = stream.set_nodelay(true);
+                        if submit_tx.send(Box::new(stream)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+        Ok(Server { local, stop, acceptor: Some(acceptor), pool: Some(pool) })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight and queued
+    /// connections, join every thread (also what `Drop` does).
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(pool) = &self.pool {
+            pool.begin_drain();
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.pool = None; // Pool::drop drains the queue and joins workers
+    }
+}
+
+/// An in-process [`Connection`]: a scripted input buffer plus a
+/// captured output buffer, with an optional completion channel for
+/// driving the real [`Pool`] without sockets.
+#[derive(Debug)]
+pub struct MemConn {
+    input: std::io::Cursor<Vec<u8>>,
+    output: Vec<u8>,
+    done: Option<Sender<Vec<u8>>>,
+}
+
+impl MemConn {
+    /// A connection that will replay `input` and record the response
+    /// bytes (read them back with [`MemConn::output`]).
+    pub fn new(input: impl Into<Vec<u8>>) -> MemConn {
+        MemConn { input: std::io::Cursor::new(input.into()), output: Vec::new(), done: None }
+    }
+
+    /// Like [`MemConn::new`], plus a receiver that yields the response
+    /// bytes when the connection is dropped — i.e. when a pool worker
+    /// finishes serving it.
+    pub fn scripted(input: impl Into<Vec<u8>>) -> (MemConn, Receiver<Vec<u8>>) {
+        let (tx, rx) = channel();
+        let mut conn = MemConn::new(input);
+        conn.done = Some(tx);
+        (conn, rx)
+    }
+
+    /// The bytes written by the server so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+}
+
+impl Read for MemConn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.input.read(buf)
+    }
+}
+
+impl Write for MemConn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.output.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for MemConn {
+    fn drop(&mut self) {
+        if let Some(tx) = self.done.take() {
+            let _ = tx.send(std::mem::take(&mut self.output));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govhost_core::prelude::*;
+    use govhost_obs::TimeMode;
+    use govhost_worldgen::prelude::*;
+
+    fn state() -> Arc<ServeState> {
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        Arc::new(ServeState::with_mode(&dataset, TimeMode::Deterministic))
+    }
+
+    fn roundtrip(state: &ServeState, input: &[u8]) -> String {
+        let mut conn = MemConn::new(input);
+        serve_connection(state, &mut conn, &Limits::default(), || false).unwrap();
+        String::from_utf8_lossy(conn.output()).into_owned()
+    }
+
+    #[test]
+    fn keep_alive_pipelining_answers_in_order() {
+        let state = state();
+        let out = roundtrip(
+            &state,
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /hhi HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(out.matches("HTTP/1.1 200 OK").count(), 2);
+        let first = out.find("Connection: keep-alive").unwrap();
+        let second = out.find("Connection: close").unwrap();
+        assert!(first < second);
+    }
+
+    #[test]
+    fn truncated_request_is_answered_400_on_eof() {
+        let state = state();
+        let out = roundtrip(&state, b"GET /hhi HTTP/1.1\r\nHost");
+        assert!(out.starts_with("HTTP/1.1 400 Bad Request"), "{out}");
+        assert!(out.contains("truncated request"));
+    }
+
+    #[test]
+    fn pool_serves_queued_connections_through_shutdown() {
+        let pool = Pool::start(state(), 2, Limits::default());
+        let receivers: Vec<_> = (0..8)
+            .map(|_| {
+                let (conn, rx) = MemConn::scripted(&b"GET /countries HTTP/1.1\r\n\r\n"[..]);
+                assert!(pool.submit(Box::new(conn)));
+                rx
+            })
+            .collect();
+        pool.shutdown(); // drains the queue before joining
+        for rx in receivers {
+            let out = rx.recv().expect("connection was served");
+            assert!(out.starts_with(b"HTTP/1.1 200 OK"));
+        }
+    }
+
+    #[test]
+    fn draining_pool_closes_keep_alive_after_inflight_request() {
+        let pool = Pool::start(state(), 1, Limits::default());
+        pool.begin_drain();
+        let (conn, rx) = MemConn::scripted(&b"GET /healthz HTTP/1.1\r\n\r\n"[..]);
+        assert!(pool.submit(Box::new(conn)));
+        let out = String::from_utf8(rx.recv().unwrap()).unwrap();
+        assert!(out.contains("Connection: close"), "drain closes keep-alive: {out}");
+        pool.shutdown();
+    }
+}

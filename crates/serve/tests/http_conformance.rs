@@ -1,0 +1,234 @@
+//! HTTP/1.1 conformance suite for the serving stack, run entirely
+//! in-process: every case drives the real parser → router → encoder
+//! path through [`serve_connection`] over a [`MemConn`], so the suite
+//! needs no sockets and pins the exact wire behaviour — which malformed
+//! inputs map to which status codes, when connections close, and how
+//! pipelining behaves.
+
+use govhost_core::prelude::*;
+use govhost_obs::TimeMode;
+use govhost_serve::{serve_connection, Limits, MemConn, ServeState};
+use govhost_worldgen::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared state for the whole suite: the index is immutable and the
+/// request telemetry only accumulates, so cases cannot interfere.
+fn state() -> &'static ServeState {
+    static STATE: OnceLock<ServeState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        ServeState::with_mode(&dataset, TimeMode::Deterministic)
+    })
+}
+
+fn roundtrip_with(input: &[u8], limits: &Limits) -> String {
+    let mut conn = MemConn::new(input);
+    serve_connection(state(), &mut conn, limits, || false).expect("MemConn never errors");
+    String::from_utf8_lossy(conn.output()).into_owned()
+}
+
+fn roundtrip(input: &[u8]) -> String {
+    roundtrip_with(input, &Limits::default())
+}
+
+/// Responses are counted by the `Server:` header — status lines never
+/// appear inside the JSON bodies, but this is unambiguous either way.
+fn response_count(out: &str) -> usize {
+    out.matches("\r\nServer: govhost-serve\r\n").count()
+}
+
+#[test]
+fn malformed_request_lines_are_400_and_close() {
+    for bad in [
+        &b"GET /\r\n\r\n"[..],                  // missing version
+        b"GET / HTTP/2.0\r\n\r\n",              // unsupported version
+        b"GET / HTTP/1.1 extra\r\n\r\n",        // four parts
+        b"GET  / HTTP/1.1\r\n\r\n",             // double space
+        b"G{}T / HTTP/1.1\r\n\r\n",             // non-tchar method
+        b"GET nopath HTTP/1.1\r\n\r\n",         // not origin-form
+        b"GET /\x01 HTTP/1.1\r\n\r\n",          // control byte in target
+        b"GET / HTTP/1.1\nHost: a\r\n\r\n",     // bare LF line ending
+        b"\r\nGET / HTTP/1.1\r\n\r\n",          // leading empty line
+    ] {
+        let out = roundtrip(bad);
+        assert!(
+            out.starts_with("HTTP/1.1 400 Bad Request"),
+            "expected 400 for {:?}, got: {out}",
+            String::from_utf8_lossy(bad)
+        );
+        assert!(out.contains("Connection: close\r\n"), "parse errors close: {out}");
+        assert_eq!(response_count(&out), 1);
+    }
+}
+
+#[test]
+fn malformed_headers_are_400() {
+    for bad in [
+        &b"GET / HTTP/1.1\r\nNoColon\r\n\r\n"[..],
+        b"GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+        b"GET / HTTP/1.1\r\nBad Name: x\r\n\r\n",
+        b"GET / HTTP/1.1\r\nA: 1\r\n B: folded\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: 1x\r\n\r\n",
+        b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    ] {
+        let out = roundtrip(bad);
+        assert!(
+            out.starts_with("HTTP/1.1 400 Bad Request"),
+            "expected 400 for {:?}, got: {out}",
+            String::from_utf8_lossy(bad)
+        );
+    }
+}
+
+#[test]
+fn oversized_request_line_is_414() {
+    let mut raw = b"GET /".to_vec();
+    raw.extend(std::iter::repeat_n(b'a', 9000));
+    raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    let out = roundtrip(&raw);
+    assert!(out.starts_with("HTTP/1.1 414 URI Too Long"), "{out}");
+}
+
+#[test]
+fn unterminated_request_line_is_rejected_incrementally() {
+    // No CRLF ever arrives; the limit still fires instead of buffering.
+    let out = roundtrip(&[b'A'; 10_000]);
+    assert!(out.starts_with("HTTP/1.1 414 URI Too Long"), "{out}");
+}
+
+#[test]
+fn oversized_header_block_is_431() {
+    let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+    raw.extend(std::iter::repeat_n(b'y', 20_000));
+    raw.extend_from_slice(b"\r\n\r\n");
+    let out = roundtrip(&raw);
+    assert!(
+        out.starts_with("HTTP/1.1 431 Request Header Fields Too Large"),
+        "{out}"
+    );
+}
+
+#[test]
+fn too_many_header_fields_is_431() {
+    let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+    for i in 0..80 {
+        raw.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+    }
+    raw.extend_from_slice(b"\r\n");
+    let out = roundtrip(&raw);
+    assert!(
+        out.starts_with("HTTP/1.1 431 Request Header Fields Too Large"),
+        "{out}"
+    );
+    assert!(out.contains("too many header fields"), "{out}");
+}
+
+#[test]
+fn truncated_body_is_400_on_eof() {
+    let out = roundtrip(b"POST /hhi HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+    assert!(out.starts_with("HTTP/1.1 400 Bad Request"), "{out}");
+    assert!(out.contains("truncated request"), "{out}");
+}
+
+#[test]
+fn truncated_header_block_is_400_on_eof() {
+    let out = roundtrip(b"GET /hhi HTTP/1.1\r\nHost: exam");
+    assert!(out.starts_with("HTTP/1.1 400 Bad Request"), "{out}");
+    assert!(out.contains("truncated request"), "{out}");
+}
+
+#[test]
+fn declared_body_over_the_limit_is_400() {
+    let out = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 70000\r\n\r\n");
+    assert!(out.starts_with("HTTP/1.1 400 Bad Request"), "{out}");
+    assert!(out.contains("body exceeds the size limit"), "{out}");
+}
+
+#[test]
+fn non_get_methods_are_405_with_allow() {
+    for raw in [
+        &b"POST /hhi HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"[..],
+        b"HEAD /hhi HTTP/1.1\r\n\r\n",
+        b"DELETE /hhi HTTP/1.1\r\n\r\n",
+    ] {
+        let out = roundtrip(raw);
+        assert!(out.starts_with("HTTP/1.1 405 Method Not Allowed"), "{out}");
+        assert!(out.contains("Allow: GET\r\n"), "{out}");
+    }
+}
+
+#[test]
+fn unknown_routes_404_but_keep_the_connection() {
+    // A 404 is an application answer, not a framing error: the pipelined
+    // follow-up is still served.
+    let out = roundtrip(
+        b"GET /nope HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(response_count(&out), 2, "{out}");
+    let first = out.find("HTTP/1.1 404 Not Found").expect("404 first");
+    let second = out.find("HTTP/1.1 200 OK").expect("200 second");
+    assert!(first < second, "{out}");
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let out = roundtrip(
+        b"GET /healthz HTTP/1.1\r\n\r\n\
+          GET /hhi HTTP/1.1\r\n\r\n\
+          GET /countries HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(response_count(&out), 3, "{out}");
+    assert_eq!(out.matches("HTTP/1.1 200 OK").count(), 3, "{out}");
+    // The first two stay keep-alive; only the last closes.
+    assert_eq!(out.matches("Connection: keep-alive\r\n").count(), 2, "{out}");
+    assert_eq!(out.matches("Connection: close\r\n").count(), 1, "{out}");
+}
+
+#[test]
+fn a_parse_error_stops_the_pipeline() {
+    // Everything after the malformed request is untrusted framing; the
+    // server answers the error and closes instead of resynchronizing.
+    let out = roundtrip(b"BAD\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n");
+    assert!(out.starts_with("HTTP/1.1 400 Bad Request"), "{out}");
+    assert_eq!(response_count(&out), 1, "{out}");
+}
+
+#[test]
+fn http10_closes_by_default_and_ignores_later_requests() {
+    let out = roundtrip(b"GET /healthz HTTP/1.0\r\n\r\nGET /hhi HTTP/1.0\r\n\r\n");
+    assert_eq!(response_count(&out), 1, "{out}");
+    assert!(out.contains("Connection: close\r\n"), "{out}");
+}
+
+#[test]
+fn query_strings_are_ignored_by_routing() {
+    let out = roundtrip(b"GET /hhi?verbose=1&x=%20 HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+}
+
+#[test]
+fn responses_declare_exact_content_length() {
+    let out = roundtrip(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let (head, body) = out.split_once("\r\n\r\n").expect("header/body split");
+    let declared: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .parse()
+        .expect("numeric");
+    assert_eq!(declared, body.len(), "{out}");
+    assert!(!head.contains("Date:"), "no Date header: responses are byte-stable");
+}
+
+#[test]
+fn tight_limits_apply_per_connection() {
+    let limits = Limits { max_request_line: 16, ..Limits::default() };
+    let out = roundtrip_with(b"GET /a-rather-long-target HTTP/1.1\r\n\r\n", &limits);
+    assert!(out.starts_with("HTTP/1.1 414"), "{out}");
+    // The same input passes under the defaults.
+    let out = roundtrip(b"GET /a-rather-long-target HTTP/1.1\r\n\r\n");
+    assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+}

@@ -1,0 +1,173 @@
+//! Property tests for the serving stack on the in-repo harness: the
+//! parser and the full connection loop must never panic on arbitrary
+//! bytes delivered in arbitrary chunkings, and well-formed pipelines
+//! must get exactly one response per request with bytes that do not
+//! depend on how the input was framed into reads. Counterexamples are
+//! persisted in `tests/regressions/prop_http.txt`.
+
+use govhost_core::prelude::*;
+use govhost_harness::{gens, prop_assert, prop_assert_eq, Config, Gen};
+use govhost_obs::TimeMode;
+use govhost_serve::{serve_connection, Limits, MemConn, ServeState};
+use govhost_worldgen::prelude::*;
+use std::io::{Read, Write};
+use std::sync::OnceLock;
+
+const REGRESSIONS: &str = "tests/regressions/prop_http.txt";
+
+fn cfg(name: &str) -> Config {
+    Config::new(name).cases(256).regressions(REGRESSIONS)
+}
+
+fn state() -> &'static ServeState {
+    static STATE: OnceLock<ServeState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        ServeState::with_mode(&dataset, TimeMode::Deterministic)
+    })
+}
+
+/// A [`Connection`](govhost_serve::Connection) that yields its input at
+/// most `step` bytes per read — the adversarial chunking transport.
+struct Trickle {
+    data: Vec<u8>,
+    pos: usize,
+    step: usize,
+    out: Vec<u8>,
+}
+
+impl Trickle {
+    fn new(data: Vec<u8>, step: usize) -> Trickle {
+        Trickle { data, pos: 0, step: step.max(1), out: Vec::new() }
+    }
+}
+
+impl Read for Trickle {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.step.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for Trickle {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.out.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Arbitrary bytes, biased toward HTTP-ish characters so the generator
+/// reaches deep into the parser instead of failing on byte one.
+fn arb_bytes() -> Gen<Vec<u8>> {
+    let httpish: Vec<u64> = b"GET / HTTP/1.\r\n:0".iter().map(|b| *b as u64).collect();
+    let byte = gens::one_of(vec![gens::u64_range(0, 256), gens::select(httpish)]);
+    gens::vec(byte, 0, 200).map(|v| v.into_iter().map(|b| b as u8).collect())
+}
+
+/// Request paths for well-formed pipelines. `/metrics` is deliberately
+/// absent: its body reflects accumulated request counters, so it is the
+/// one route whose bytes depend on suite-global request history (the
+/// determinism pin in `tests/serve_http.rs` covers it with a controlled
+/// sequence instead).
+fn arb_paths() -> Gen<Vec<&'static str>> {
+    let route = gens::select(vec![
+        "/healthz",
+        "/countries",
+        "/flows",
+        "/providers",
+        "/hhi",
+        "/country/ZZ",
+        "/nope",
+    ]);
+    gens::vec(route, 1, 6)
+}
+
+fn pipeline_bytes(paths: &[&str]) -> Vec<u8> {
+    let mut input = String::new();
+    for (i, path) in paths.iter().enumerate() {
+        let close = if i + 1 == paths.len() { "Connection: close\r\n" } else { "" };
+        input.push_str(&format!("GET {path} HTTP/1.1\r\n{close}\r\n"));
+    }
+    input.into_bytes()
+}
+
+#[test]
+fn parser_never_panics_on_arbitrary_bytes() {
+    let inputs = arb_bytes().zip(gens::usize_range(1, 9));
+    cfg("parser_never_panics_on_arbitrary_bytes").run(&inputs, |(bytes, chunk)| {
+        let mut parser = govhost_serve::RequestParser::new(Limits::default());
+        for piece in bytes.chunks(*chunk) {
+            parser.push(piece);
+            loop {
+                match parser.next_request() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    // A typed rejection is a valid outcome; a panic is not.
+                    Err(_) => return Ok(()),
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn serve_connection_never_panics_on_arbitrary_bytes() {
+    let inputs = arb_bytes().zip(gens::usize_range(1, 9));
+    cfg("serve_connection_never_panics_on_arbitrary_bytes").run(&inputs, |(bytes, chunk)| {
+        let mut conn = Trickle::new(bytes.clone(), *chunk);
+        serve_connection(state(), &mut conn, &Limits::default(), || false)
+            .map_err(|e| format!("in-memory transport errored: {e}"))?;
+        // Whatever came in, anything written out is a whole response.
+        prop_assert!(
+            conn.out.is_empty() || conn.out.starts_with(b"HTTP/1.1 "),
+            "output must start with a status line"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn well_formed_pipelines_get_one_response_per_request() {
+    let inputs = arb_paths().zip(gens::usize_range(1, 9));
+    cfg("well_formed_pipelines_get_one_response_per_request").run(&inputs, |(paths, chunk)| {
+        let mut conn = Trickle::new(pipeline_bytes(paths), *chunk);
+        serve_connection(state(), &mut conn, &Limits::default(), || false)
+            .map_err(|e| format!("in-memory transport errored: {e}"))?;
+        let out = String::from_utf8_lossy(&conn.out).into_owned();
+        prop_assert_eq!(
+            out.matches("\r\nServer: govhost-serve\r\n").count(),
+            paths.len(),
+            "one response per pipelined request"
+        );
+        prop_assert!(!out.contains("HTTP/1.1 5"), "the server never 5xxs");
+        Ok(())
+    });
+}
+
+#[test]
+fn response_bytes_do_not_depend_on_read_chunking() {
+    let inputs = arb_paths().zip(gens::usize_range(1, 9));
+    cfg("response_bytes_do_not_depend_on_read_chunking").run(&inputs, |(paths, chunk)| {
+        let bytes = pipeline_bytes(paths);
+        let mut whole = MemConn::new(bytes.clone());
+        serve_connection(state(), &mut whole, &Limits::default(), || false)
+            .map_err(|e| format!("in-memory transport errored: {e}"))?;
+        let mut trickled = Trickle::new(bytes, *chunk);
+        serve_connection(state(), &mut trickled, &Limits::default(), || false)
+            .map_err(|e| format!("in-memory transport errored: {e}"))?;
+        prop_assert_eq!(
+            whole.output(),
+            &trickled.out[..],
+            "framing of reads must not change the response bytes"
+        );
+        Ok(())
+    });
+}

@@ -8,6 +8,7 @@
 //! govhost trends --scale 0.05 --steps 0.0,0.15,0.3
 //! govhost har --country AR --out ./data           # HAR of one country crawl
 //! govhost zone --host <hostname>                  # dump a zone file
+//! govhost serve --scale 0.1 --addr 127.0.0.1:8080 # HTTP query server
 //! ```
 
 use govhost::core::export::{export_csv_full, import_csv, DatasetCsv};
@@ -19,8 +20,7 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        usage();
-        std::process::exit(2);
+        usage_die("missing command");
     };
     let flags = Flags::parse(&args[1..]);
     match command.as_str() {
@@ -29,12 +29,9 @@ fn main() {
         "trends" => cmd_trends(&flags),
         "har" => cmd_har(&flags),
         "zone" => cmd_zone(&flags),
+        "serve" => cmd_serve(&flags),
         "--help" | "-h" | "help" => usage(),
-        other => {
-            eprintln!("govhost: unknown command {other:?}");
-            usage();
-            std::process::exit(2);
-        }
+        other => usage_die(&format!("unknown command {other:?}")),
     }
 }
 
@@ -46,7 +43,9 @@ fn usage() {
            analyze  --dir DIR                       run the analyses over exported CSVs\n\
            trends   --scale S --steps a,b,c         longitudinal consolidation run\n\
            har      --country CC --out DIR          export one country's crawl as HAR JSON\n\
-           zone     --host HOSTNAME                 print a hostname's zone as a master file"
+           zone     --host HOSTNAME                 print a hostname's zone as a master file\n\
+           serve    --scale S --addr HOST:PORT      build the dataset and serve JSON queries\n\
+                    [--threads N]                   (worker count; GOVHOST_SERVE_THREADS)"
     );
 }
 
@@ -58,6 +57,8 @@ struct Flags {
     country: String,
     host: String,
     steps: Vec<f64>,
+    addr: String,
+    threads: usize,
 }
 
 impl Flags {
@@ -70,13 +71,17 @@ impl Flags {
             country: "AR".to_string(),
             host: String::new(),
             steps: vec![0.0, 0.15, 0.3],
+            addr: "127.0.0.1:8080".to_string(),
+            threads: 0,
         };
         let mut i = 0;
         while i < args.len() {
             let value = args.get(i + 1).cloned().unwrap_or_default();
             match args[i].as_str() {
-                "--scale" => f.scale = value.parse().unwrap_or_else(|_| die("bad --scale")),
-                "--seed" => f.seed = value.parse().unwrap_or_else(|_| die("bad --seed")),
+                "--scale" => {
+                    f.scale = value.parse().unwrap_or_else(|_| usage_die("bad --scale"))
+                }
+                "--seed" => f.seed = value.parse().unwrap_or_else(|_| usage_die("bad --seed")),
                 "--out" => f.out = PathBuf::from(&value),
                 "--dir" => f.dir = PathBuf::from(&value),
                 "--country" => f.country = value.clone(),
@@ -84,10 +89,14 @@ impl Flags {
                 "--steps" => {
                     f.steps = value
                         .split(',')
-                        .map(|s| s.parse().unwrap_or_else(|_| die("bad --steps")))
+                        .map(|s| s.parse().unwrap_or_else(|_| usage_die("bad --steps")))
                         .collect()
                 }
-                other => die(&format!("unknown flag {other}")),
+                "--addr" => f.addr = value.clone(),
+                "--threads" => {
+                    f.threads = value.parse().unwrap_or_else(|_| usage_die("bad --threads"))
+                }
+                other => usage_die(&format!("unknown flag {other}")),
             }
             i += 2;
         }
@@ -95,8 +104,17 @@ impl Flags {
     }
 }
 
+/// A runtime failure (I/O, bad data): report and exit nonzero.
 fn die(msg: &str) -> ! {
     eprintln!("govhost: {msg}");
+    std::process::exit(2);
+}
+
+/// A usage error (unknown command/flag, unparsable value): report,
+/// print usage to stderr, exit nonzero.
+fn usage_die(msg: &str) -> ! {
+    eprintln!("govhost: {msg}");
+    usage();
     std::process::exit(2);
 }
 
@@ -221,6 +239,28 @@ fn cmd_har(flags: &Flags) {
         log.entries.len(),
         log.total_bytes()
     );
+}
+
+fn cmd_serve(flags: &Flags) {
+    use govhost::serve::{resolve_serve_threads, ServeState, Server, ServerConfig, ROUTES};
+    eprintln!("generating world (seed {}, scale {})...", flags.seed, flags.scale);
+    let world = World::generate(&params(flags));
+    let (dataset, _report) = GovDataset::try_build(&world, &BuildOptions::default())
+        .unwrap_or_else(|e| die(&e.to_string()));
+    let state = std::sync::Arc::new(ServeState::new(&dataset));
+    let threads =
+        if flags.threads > 0 { flags.threads } else { resolve_serve_threads() };
+    let config = ServerConfig { threads, ..ServerConfig::default() };
+    let server = Server::bind(state, flags.addr.as_str(), config)
+        .unwrap_or_else(|e| die(&format!("bind {}: {e}", flags.addr)));
+    println!("serving on http://{} with {threads} workers", server.local_addr());
+    println!("routes: {}", ROUTES.join(" "));
+    println!("press Ctrl-C to stop");
+    // Serve until the process is killed; the acceptor and workers run
+    // in background threads.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_zone(flags: &Flags) {

@@ -1,0 +1,124 @@
+//! The serving determinism contract, pinned at integration level: for a
+//! fixed world and a fixed request sequence, every response the server
+//! produces — including the `/metrics` exposition — must be
+//! **byte-identical** whether the dataset was built and served with 1,
+//! 2, or 4 threads. The requests run through the real worker [`Pool`]
+//! over in-process connections; a separate smoke test exercises the
+//! actual TCP path and skips cleanly where sockets are unavailable.
+
+use govhost::obs::TimeMode;
+use govhost::prelude::*;
+use govhost::serve::{Limits, MemConn, Pool, ServeState, Server, ServerConfig};
+use std::io::{Read as _, Write as _};
+use std::sync::Arc;
+
+/// Every route the server exposes, in a fixed request order. `/metrics`
+/// goes last so its body reflects the whole (deterministic) sequence,
+/// and an unknown path rides along to pin the 404 bytes too.
+fn request_sequence(dataset: &GovDataset) -> Vec<String> {
+    let country = dataset.countries()[0];
+    vec![
+        "/healthz".to_string(),
+        "/countries".to_string(),
+        format!("/country/{country}"),
+        "/flows".to_string(),
+        "/providers".to_string(),
+        "/hhi".to_string(),
+        "/nope".to_string(),
+        "/metrics".to_string(),
+    ]
+}
+
+/// Build at `threads`, serve through a `threads`-worker pool, and
+/// collect the full response bytes of the fixed request sequence,
+/// issued by a single sequential client.
+fn responses_at(world: &World, threads: usize) -> Vec<Vec<u8>> {
+    let dataset = GovDataset::build(world, &BuildOptions { threads, ..Default::default() });
+    let routes = request_sequence(&dataset);
+    let state = Arc::new(ServeState::with_mode(&dataset, TimeMode::Deterministic));
+    let pool = Pool::start(state, threads, Limits::default());
+    let mut responses = Vec::new();
+    for route in &routes {
+        let raw = format!("GET {route} HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let (conn, rx) = MemConn::scripted(raw.into_bytes());
+        assert!(pool.submit(Box::new(conn)), "pool accepts while running");
+        responses.push(rx.recv().expect("connection was served"));
+    }
+    pool.shutdown();
+    responses
+}
+
+#[test]
+fn responses_are_byte_identical_across_thread_counts() {
+    let world = World::generate(&GenParams::tiny());
+    let routes_for_messages = {
+        let ds = GovDataset::build(&world, &BuildOptions::default());
+        request_sequence(&ds)
+    };
+    let baseline = responses_at(&world, 1);
+    for threads in [2, 4] {
+        let got = responses_at(&world, threads);
+        assert_eq!(baseline.len(), got.len());
+        for ((route, base), other) in routes_for_messages.iter().zip(&baseline).zip(&got) {
+            assert_eq!(
+                base, other,
+                "{route} response differs between threads=1 and threads={threads}"
+            );
+        }
+    }
+    // Sanity: the pinned bytes are real answers, not empty shells.
+    for (route, response) in routes_for_messages.iter().zip(&baseline) {
+        let text = String::from_utf8_lossy(response);
+        let expected = if route == "/nope" { "HTTP/1.1 404" } else { "HTTP/1.1 200" };
+        assert!(text.starts_with(expected), "{route}: {text}");
+    }
+    let metrics = String::from_utf8_lossy(baseline.last().expect("metrics response"));
+    assert!(metrics.contains("http_requests{route=\"/hhi\"} 1"), "{metrics}");
+    assert!(metrics.contains("http_requests{route=\"other\"} 1"), "{metrics}");
+    assert!(metrics.contains("# TYPE http_latency_ns histogram"), "{metrics}");
+}
+
+#[test]
+fn repeated_runs_produce_the_same_bytes() {
+    let world = World::generate(&GenParams::tiny());
+    assert_eq!(responses_at(&world, 2), responses_at(&world, 2));
+}
+
+/// Drive the server over a real loopback socket: bind an ephemeral
+/// port, send a pipelined pair of requests, read both answers back.
+/// Environments without socket support skip cleanly instead of failing.
+#[test]
+fn loopback_smoke_answers_real_sockets() {
+    let world = World::generate(&GenParams::tiny());
+    let dataset = GovDataset::build(&world, &BuildOptions::default());
+    let state = Arc::new(ServeState::with_mode(&dataset, TimeMode::Deterministic));
+    let config = ServerConfig { threads: 2, ..ServerConfig::default() };
+    let server = match Server::bind(state, "127.0.0.1:0", config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("skipping loopback smoke test: cannot bind a loopback socket ({e})");
+            return;
+        }
+    };
+    let mut stream = match std::net::TcpStream::connect(server.local_addr()) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("skipping loopback smoke test: cannot connect over loopback ({e})");
+            server.shutdown();
+            return;
+        }
+    };
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\n\r\n\
+              GET /countries HTTP/1.1\r\nConnection: close\r\n\r\n",
+        )
+        .expect("write requests");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read responses");
+    let text = String::from_utf8_lossy(&raw);
+    assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
+    assert!(text.contains("Connection: keep-alive"), "{text}");
+    assert!(text.ends_with('}') || text.ends_with(']'), "JSON body last: {text}");
+    server.shutdown();
+}

@@ -6,31 +6,35 @@
 //! the world, and the deterministic export mode zeroes the nanoseconds,
 //! so the bytes cannot be allowed to move.
 
-use govhost::obs::export::{metrics_json, trace_json, TimeMode};
+use govhost::obs::export::{metrics_json, metrics_text, trace_json, TimeMode};
 use govhost::prelude::*;
 
-/// Build at `scale` with `threads` workers and export both telemetry
-/// documents in deterministic mode.
-fn exports(world: &World, threads: usize) -> (String, String) {
+/// Build at `scale` with `threads` workers and export all three
+/// telemetry documents — `trace.json`, `metrics.json`, and the
+/// `/metrics` text exposition — in deterministic mode.
+fn exports(world: &World, threads: usize) -> (String, String, String) {
     let ds = GovDataset::build(world, &BuildOptions { threads, ..Default::default() });
     (
         trace_json(&ds.telemetry, TimeMode::Deterministic),
         metrics_json(&ds.telemetry),
+        metrics_text(&ds.telemetry, TimeMode::Deterministic),
     )
 }
 
 /// The acceptance invariant of the observability layer: at a realistic
-/// scale, `trace.json` and `metrics.json` are byte-identical for 1, 2,
-/// and 4 build threads.
+/// scale, `trace.json`, `metrics.json`, and the text exposition are
+/// byte-identical for 1, 2, and 4 build threads.
 #[test]
 fn telemetry_exports_are_byte_identical_across_thread_counts() {
     let world = World::generate(&GenParams { scale: 0.3, ..GenParams::default() });
-    let (base_trace, base_metrics) = exports(&world, 1);
+    let (base_trace, base_metrics, base_text) = exports(&world, 1);
     for threads in [2, 4] {
-        let (trace, metrics) = exports(&world, threads);
+        let (trace, metrics, text) = exports(&world, threads);
         assert_eq!(base_trace, trace, "trace.json differs at threads={threads}");
         assert_eq!(base_metrics, metrics, "metrics.json differs at threads={threads}");
+        assert_eq!(base_text, text, "text exposition differs at threads={threads}");
     }
+    assert!(base_text.contains("# TYPE"), "the exposition carries type metadata");
 }
 
 /// The deterministic exports are also stable across *runs* — two builds
@@ -39,10 +43,11 @@ fn telemetry_exports_are_byte_identical_across_thread_counts() {
 #[test]
 fn telemetry_exports_are_stable_across_runs() {
     let world = World::generate(&GenParams::tiny());
-    let (t1, m1) = exports(&world, 4);
-    let (t2, m2) = exports(&world, 4);
+    let (t1, m1, x1) = exports(&world, 4);
+    let (t2, m2, x2) = exports(&world, 4);
     assert_eq!(t1, t2);
     assert_eq!(m1, m2);
+    assert_eq!(x1, x2);
 }
 
 /// The capture actually contains the pipeline: the documented span names
