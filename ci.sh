@@ -38,9 +38,12 @@ echo "==> telemetry suites"
 cargo test -q --offline --release --test telemetry
 cargo test -q --offline -p govhost-obs --test prop_obs
 
-# And the serving contract: HTTP conformance + parser fuzz property on
-# the serve crate, byte-identical responses across worker counts (and
-# the real-socket smoke), and the CLI usage-error contract.
+# And the serving contract: the event-loop + readiness unit tests in
+# the serve crate, HTTP conformance (keep-alive, ETag/304, idle
+# eviction, 503 shedding) + the parser/packing fuzz properties,
+# byte-identical responses and telemetry across worker counts (plus the
+# slow-reader fairness pin and the real-socket smoke), and the CLI
+# usage-error contract.
 echo "==> serve suites"
 cargo test -q --offline -p govhost-serve
 cargo test -q --offline -p govhost-serve --test http_conformance --test prop_http

@@ -272,6 +272,15 @@ impl Registry {
         *self.counters.entry(key).or_insert(0) += n;
     }
 
+    /// Register the counter `name{labels}` at zero without incrementing
+    /// it. Expositions only render series that exist, so declaring a
+    /// counter up front makes its zero visible — a meaningful signal
+    /// for series like shed counts, where "0" and "never happened yet"
+    /// must read differently from "not exported".
+    pub fn declare_counter(&mut self, name: &'static str, labels: Labels) {
+        self.add_counter(name, labels, 0);
+    }
+
     /// Set the gauge `name{labels}` to `value` (merge keeps the max).
     pub fn set_gauge(&mut self, name: &'static str, labels: Labels, value: i64) {
         let key = bounded_key(&self.gauges, name, labels);
@@ -348,6 +357,18 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn declared_counters_exist_at_zero_and_merge_cleanly() {
+        let mut r = Registry::new();
+        r.declare_counter("shed", Labels::empty());
+        assert_eq!(r.counter_total("shed"), 0);
+        assert_eq!(r.counters_named("shed").count(), 1, "the series exists");
+        let mut other = Registry::new();
+        other.add_counter("shed", Labels::empty(), 3);
+        r.merge(&other);
+        assert_eq!(r.counter_total("shed"), 3, "declaration does not skew merges");
+    }
 
     #[test]
     fn labels_sort_and_dedup() {

@@ -58,6 +58,10 @@ pub enum HttpError {
     /// `431`: the header block exceeds [`Limits::max_header_bytes`] or
     /// [`Limits::max_headers`].
     HeaderFieldsTooLarge(&'static str),
+    /// `503`: the server shed this connection because the accept/ready
+    /// queue is saturated. The response carries `Retry-After` so
+    /// well-behaved clients back off instead of hammering.
+    Overloaded,
 }
 
 impl HttpError {
@@ -69,6 +73,7 @@ impl HttpError {
             HttpError::MethodNotAllowed => 405,
             HttpError::UriTooLong => 414,
             HttpError::HeaderFieldsTooLarge(_) => 431,
+            HttpError::Overloaded => 503,
         }
     }
 
@@ -80,6 +85,7 @@ impl HttpError {
             HttpError::MethodNotAllowed => "Method Not Allowed",
             HttpError::UriTooLong => "URI Too Long",
             HttpError::HeaderFieldsTooLarge(_) => "Request Header Fields Too Large",
+            HttpError::Overloaded => "Service Unavailable",
         }
     }
 
@@ -90,6 +96,7 @@ impl HttpError {
             HttpError::NotFound => "no such route",
             HttpError::MethodNotAllowed => "only GET is served",
             HttpError::UriTooLong => "request line too long",
+            HttpError::Overloaded => "server overloaded, retry shortly",
         }
     }
 }

@@ -14,12 +14,14 @@
 //! zero-dependency): sorted/fixed key order, [`escape_json`] for
 //! strings, and non-finite floats rendered as `null`.
 
+use crate::router::{render_head, Bytes, HeadSpec, Response};
 use govhost_core::crossborder::FlowMatrix;
 use govhost_core::prelude::*;
 use govhost_obs::export::escape_json;
 use govhost_types::prelude::*;
 use std::collections::BTreeMap;
 use std::fmt::Write;
+use std::sync::Arc;
 
 /// A finite float renders via Rust's shortest-roundtrip `Display`
 /// (deterministic); `NaN`/infinity render as `null`.
@@ -41,15 +43,100 @@ fn region_of(code: CountryCode) -> Option<&'static str> {
     govhost_worldgen::countries::any_country(code).map(|row| row.region.code())
 }
 
-/// Precomputed JSON bodies for every route `govhost-serve` answers.
+/// Compute the strong entity tag of a body: 64-bit FNV-1a over the
+/// bytes, rendered as a quoted 16-digit hex string. Deterministic by
+/// construction — the tag is a pure function of the body bytes, which
+/// are themselves a pure function of the dataset.
+pub fn etag_of(body: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in body {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("\"{hash:016x}\"")
+}
+
+/// One route's precomputed, immutable response slabs: the `200` with
+/// its header bytes (ETag included) rendered once at build time, the
+/// matching `304 Not Modified`, and the entity tag used to decide
+/// between them. Serving either answer is a clone — `Arc` bumps, no
+/// bytes copied.
+#[derive(Debug, Clone)]
+pub struct RouteSlab {
+    etag: String,
+    ok: Response,
+    not_modified: Response,
+}
+
+impl RouteSlab {
+    /// Render the slabs for a JSON body.
+    fn json(body: String) -> RouteSlab {
+        let etag = etag_of(body.as_bytes());
+        let body: Arc<[u8]> = Arc::from(body.into_bytes());
+        let head = render_head(&HeadSpec {
+            status: 200,
+            reason: "OK",
+            content_type: "application/json",
+            content_length: body.len(),
+            etag: Some(&etag),
+            allow_get: false,
+            retry_after: false,
+        });
+        let ok = Response::from_parts(
+            200,
+            "OK",
+            Bytes::from(head.into_bytes()),
+            Bytes::Shared(body),
+        );
+        let head = render_head(&HeadSpec {
+            status: 304,
+            reason: "Not Modified",
+            content_type: "application/json",
+            content_length: 0,
+            etag: Some(&etag),
+            allow_get: false,
+            retry_after: false,
+        });
+        let not_modified = Response::from_parts(
+            304,
+            "Not Modified",
+            Bytes::from(head.into_bytes()),
+            Bytes::Static(b""),
+        );
+        RouteSlab { etag, ok, not_modified }
+    }
+
+    /// The strong entity tag of the body (quoted, as it appears on the
+    /// wire).
+    pub fn etag(&self) -> &str {
+        &self.etag
+    }
+
+    /// The full `200` response (an `Arc`-bump clone).
+    pub fn ok(&self) -> Response {
+        self.ok.clone()
+    }
+
+    /// The `304 Not Modified` response (an `Arc`-bump clone).
+    pub fn not_modified(&self) -> Response {
+        self.not_modified.clone()
+    }
+
+    /// The JSON body as text.
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(self.ok.body()).expect("slab bodies are rendered from String")
+    }
+}
+
+/// Precomputed response slabs for every route `govhost-serve` answers.
 #[derive(Debug, Clone)]
 pub struct QueryIndex {
-    healthz: String,
-    countries: String,
-    country: BTreeMap<String, String>,
-    flows: String,
-    providers: String,
-    hhi: String,
+    healthz: RouteSlab,
+    countries: RouteSlab,
+    country: BTreeMap<String, RouteSlab>,
+    flows: RouteSlab,
+    providers: RouteSlab,
+    hhi: RouteSlab,
 }
 
 impl QueryIndex {
@@ -93,7 +180,14 @@ impl QueryIndex {
         for code in &codes {
             country.insert(
                 code.as_str().to_string(),
-                render_country(*code, dataset, &hosting, &location, &cross, &diversification),
+                RouteSlab::json(render_country(
+                    *code,
+                    dataset,
+                    &hosting,
+                    &location,
+                    &cross,
+                    &diversification,
+                )),
             );
         }
 
@@ -148,37 +242,74 @@ impl QueryIndex {
         }
         hhi.push_str("]}");
 
-        QueryIndex { healthz, countries, country, flows, providers: providers_body, hhi }
+        QueryIndex {
+            healthz: RouteSlab::json(healthz),
+            countries: RouteSlab::json(countries),
+            country,
+            flows: RouteSlab::json(flows),
+            providers: RouteSlab::json(providers_body),
+            hhi: RouteSlab::json(hhi),
+        }
     }
 
     /// The `/healthz` body.
     pub fn healthz(&self) -> &str {
-        &self.healthz
+        self.healthz.body_str()
     }
 
     /// The `/countries` body.
     pub fn countries(&self) -> &str {
-        &self.countries
+        self.countries.body_str()
     }
 
     /// The `/country/{iso}` body, if the country is in the dataset.
     /// Lookup is by exact uppercase ISO code.
     pub fn country(&self, iso: &str) -> Option<&str> {
-        self.country.get(iso).map(String::as_str)
+        self.country.get(iso).map(RouteSlab::body_str)
     }
 
     /// The `/flows` body.
     pub fn flows(&self) -> &str {
-        &self.flows
+        self.flows.body_str()
     }
 
     /// The `/providers` body.
     pub fn providers(&self) -> &str {
-        &self.providers
+        self.providers.body_str()
     }
 
     /// The `/hhi` body.
     pub fn hhi(&self) -> &str {
+        self.hhi.body_str()
+    }
+
+    /// The `/healthz` response slabs.
+    pub fn healthz_slab(&self) -> &RouteSlab {
+        &self.healthz
+    }
+
+    /// The `/countries` response slabs.
+    pub fn countries_slab(&self) -> &RouteSlab {
+        &self.countries
+    }
+
+    /// The `/country/{iso}` response slabs (exact uppercase ISO code).
+    pub fn country_slab(&self, iso: &str) -> Option<&RouteSlab> {
+        self.country.get(iso)
+    }
+
+    /// The `/flows` response slabs.
+    pub fn flows_slab(&self) -> &RouteSlab {
+        &self.flows
+    }
+
+    /// The `/providers` response slabs.
+    pub fn providers_slab(&self) -> &RouteSlab {
+        &self.providers
+    }
+
+    /// The `/hhi` response slabs.
+    pub fn hhi_slab(&self) -> &RouteSlab {
         &self.hhi
     }
 
@@ -336,6 +467,30 @@ mod tests {
         assert_eq!(a.flows(), b.flows());
         assert_eq!(a.providers(), b.providers());
         assert_eq!(a.hhi(), b.hhi());
+    }
+
+    #[test]
+    fn etags_are_deterministic_and_body_dependent() {
+        assert_eq!(etag_of(b"abc"), etag_of(b"abc"));
+        assert_ne!(etag_of(b"abc"), etag_of(b"abd"));
+        let tag = etag_of(b"x");
+        assert!(tag.starts_with('"') && tag.ends_with('"') && tag.len() == 18, "{tag}");
+        let idx = index();
+        assert_ne!(idx.healthz_slab().etag(), idx.hhi_slab().etag());
+        assert_eq!(idx.healthz_slab().etag(), etag_of(idx.healthz().as_bytes()));
+    }
+
+    #[test]
+    fn slabs_carry_matching_200_and_304_heads() {
+        let idx = index();
+        let ok = String::from_utf8(idx.flows_slab().ok().encode(true)).unwrap();
+        let nm = String::from_utf8(idx.flows_slab().not_modified().encode(true)).unwrap();
+        let etag_line = format!("ETag: {}\r\n", idx.flows_slab().etag());
+        assert!(ok.contains(&etag_line), "{ok}");
+        assert!(nm.contains(&etag_line), "{nm}");
+        assert!(nm.starts_with("HTTP/1.1 304 Not Modified"), "{nm}");
+        assert!(nm.contains("Content-Length: 0\r\n"), "{nm}");
+        assert!(nm.ends_with("\r\n\r\n"), "304 body is empty: {nm}");
     }
 
     #[test]

@@ -22,17 +22,31 @@
 //! ## Architecture
 //!
 //! A [`TcpListener`](std::net::TcpListener) acceptor feeds a fixed
-//! [`Pool`] of workers (thread count from [`resolve_serve_threads`],
-//! following the `govhost-par` conventions). Each connection runs
-//! [`serve_connection`]: an incremental [`RequestParser`] with hard
-//! [`Limits`] and typed `400/404/405/414/431` [`HttpError`]s, the
-//! [`ServeState`] router, and deterministic response encoding. Every
-//! request is accounted through `govhost-obs`; `/metrics` renders the
-//! merged build + request capture.
+//! [`Pool`] of **event-loop workers** (thread count from
+//! [`resolve_serve_threads`], following the `govhost-par`
+//! conventions). Accepted sockets are switched non-blocking and
+//! distributed round-robin; each worker runs an [`EventLoop`] —
+//! `poll(2)` readiness behind the [`Readiness`] trait — multiplexing
+//! its share of keep-alive connections, so a slow or stalled peer
+//! never pins a thread. Requests flow through the incremental
+//! [`RequestParser`] with hard [`Limits`] and typed
+//! `400/404/405/414/431/503` [`HttpError`]s into the [`ServeState`]
+//! router.
 //!
-//! Transport hides behind the [`Connection`] trait, so the whole stack
-//! is testable in-process over [`MemConn`] — response bytes are pinned
-//! identical across 1/2/4 pool workers, sockets never enter the tests.
+//! Responses are zero-copy: every route's header + body bytes are
+//! precomputed once as immutable slabs ([`RouteSlab`]) inside the
+//! [`QueryIndex`], carry a deterministic FNV-1a [`etag_of`] ETag
+//! (`If-None-Match` answers `304`), and leave through vectored writes
+//! without per-request allocation. Admission control sheds past
+//! [`ServerConfig::max_conns`] with a canned `503 Retry-After`;
+//! sheds, like every request, are accounted through `govhost-obs` and
+//! rendered by `/metrics`.
+//!
+//! Transport hides behind the [`Connection`] trait and scheduling
+//! behind [`Readiness`] + [`Clock`], so the whole stack is testable
+//! in-process over [`MemConn`] with [`FakeReadiness`] and
+//! [`FakeClock`] — response bytes are pinned identical across 1/2/4
+//! event-loop workers, sockets never enter the tests.
 //!
 //! ```
 //! use govhost_core::prelude::*;
@@ -47,15 +61,23 @@
 //! assert!(conn.output().starts_with(b"HTTP/1.1 200 OK"));
 //! ```
 
+pub mod event;
 pub mod http;
 pub mod index;
 pub mod router;
 pub mod server;
 
+pub use event::{
+    Clock, ConnPolicy, EventLoop, FakeClock, FakeReadiness, PollReadiness, PollSource, Readiness,
+    ReadyEvent, SysClock, TurnReport,
+};
 pub use http::{HttpError, Limits, Request, RequestParser, Version};
-pub use index::QueryIndex;
-pub use router::{route_label, Response, ServeState, ROUTES};
-pub use server::{serve_connection, Connection, MemConn, Pool, Server, ServerConfig};
+pub use index::{etag_of, QueryIndex, RouteSlab};
+pub use router::{if_none_match, route_label, Bytes, Response, ServeState, ROUTES};
+pub use server::{
+    serve_connection, serve_connection_with, Connection, MemConn, Pool, PoolConfig, Server,
+    ServerConfig,
+};
 
 #[allow(unused_imports)] // doc links
 use govhost_core::prelude::GovDataset;

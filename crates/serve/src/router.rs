@@ -1,14 +1,22 @@
-//! Route dispatch, response encoding, and per-request instrumentation.
+//! Route dispatch, zero-copy response encoding, and per-request
+//! instrumentation.
 //!
 //! [`ServeState`] is the shared immutable heart of the server: the
 //! precomputed [`QueryIndex`], the dataset's build-time telemetry, and
 //! a mutex-guarded request-telemetry capture that every response is
 //! accounted into — per-route request counters, status-class counters,
-//! and response-byte / latency histograms, all through the
-//! `govhost-obs` registry. `/metrics` renders the merged capture with
-//! [`metrics_text`], whose deterministic mode keeps the exposition
-//! byte-stable across runs and worker counts (latency series follow the
-//! `_ns` naming convention and are zeroed there).
+//! response-byte / latency histograms, and the shed counter — all
+//! through the `govhost-obs` registry. `/metrics` renders the merged
+//! capture with [`metrics_text`], whose deterministic mode keeps the
+//! exposition byte-stable across runs and worker counts.
+//!
+//! Responses are **zero-copy**: a [`Response`] is two immutable
+//! [`Bytes`] segments — a precomputed header slab (status line through
+//! the last fixed header, `ETag` included) and the body slab — plus a
+//! static `Connection:` fragment chosen at send time. For the
+//! precomputed routes both slabs come straight out of the
+//! [`QueryIndex`], so answering a request is three `Arc` bumps and a
+//! vectored write; nothing is re-rendered or copied per request.
 //!
 //! Accounting order matters for determinism under sequential clients:
 //! a request's arrival counter is recorded *before* its handler runs
@@ -17,11 +25,11 @@
 //! served this one.
 
 use crate::http::{HttpError, Request};
-use crate::index::QueryIndex;
+use crate::index::{QueryIndex, RouteSlab};
 use govhost_core::prelude::*;
 use govhost_obs::export::{metrics_text, trace_level, TimeMode};
 use govhost_obs::{Labels, Telemetry};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// The route patterns the server exposes, used verbatim as the `route`
@@ -29,30 +37,125 @@ use std::time::Instant;
 pub const ROUTES: [&str; 7] =
     ["/healthz", "/countries", "/country/{iso}", "/flows", "/providers", "/hhi", "/metrics"];
 
-/// One response, ready to encode.
+/// An immutable byte payload that can be handed around without copying:
+/// either a `'static` fragment (the canned `Connection:` lines) or a
+/// shared slab (`Arc<[u8]>` — precomputed route heads and bodies).
+#[derive(Debug, Clone)]
+pub enum Bytes {
+    /// Borrowed from static storage.
+    Static(&'static [u8]),
+    /// A shared immutable slab; cloning bumps a refcount.
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// The payload as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Bytes::Static(b) => b,
+            Bytes::Shared(b) => b,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::Shared(Arc::from(v))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(b: &'static [u8]) -> Bytes {
+        Bytes::Static(b)
+    }
+}
+
+/// The static `Connection:` fragment that terminates every header block.
+const CONN_KEEP_ALIVE: &[u8] = b"Connection: keep-alive\r\n\r\n";
+const CONN_CLOSE: &[u8] = b"Connection: close\r\n\r\n";
+
+/// Everything that goes into a rendered header slab.
+pub(crate) struct HeadSpec<'a> {
+    pub status: u16,
+    pub reason: &'static str,
+    pub content_type: &'a str,
+    pub content_length: usize,
+    /// Emitted as an `ETag` header when present.
+    pub etag: Option<&'a str>,
+    /// Whether to advertise `Allow: GET` (405 responses).
+    pub allow_get: bool,
+    /// Whether to advertise `Retry-After: 1` (503 shed responses).
+    pub retry_after: bool,
+}
+
+/// Render the header slab: status line through the last fixed header
+/// (ending in `\r\n`), *excluding* the `Connection:` line — that is a
+/// static fragment appended at send time. The server never emits a
+/// `Date` header: responses must be byte-stable across runs.
+pub(crate) fn render_head(spec: &HeadSpec<'_>) -> String {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nServer: govhost-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        spec.status, spec.reason, spec.content_type, spec.content_length
+    );
+    if let Some(etag) = spec.etag {
+        head.push_str("ETag: ");
+        head.push_str(etag);
+        head.push_str("\r\n");
+    }
+    if spec.allow_get {
+        head.push_str("Allow: GET\r\n");
+    }
+    if spec.retry_after {
+        head.push_str("Retry-After: 1\r\n");
+    }
+    head
+}
+
+/// One response: a precomputed header slab plus the body slab. Cloning
+/// is cheap (`Arc` bumps), so the precomputed route responses are
+/// cloned out of the [`QueryIndex`] per request without copying bytes.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// Canonical reason phrase.
     pub reason: &'static str,
-    /// `Content-Type` of the body.
-    pub content_type: &'static str,
-    /// Whether to advertise `Allow: GET` (405 responses).
-    pub allow_get: bool,
-    /// The body bytes.
-    pub body: Vec<u8>,
+    head: Bytes,
+    body: Bytes,
 }
 
 impl Response {
-    /// A `200 OK` response with a precomputed JSON body.
-    fn ok_json(body: &str) -> Response {
+    /// Assemble a response from a rendered head and a body slab. The
+    /// head must be what [`render_head`] produced for this body.
+    pub(crate) fn from_parts(status: u16, reason: &'static str, head: Bytes, body: Bytes) -> Response {
+        Response { status, reason, head, body }
+    }
+
+    /// Render a dynamic response (errors, `/metrics`): the head is
+    /// built here, the body is the given bytes.
+    pub(crate) fn dynamic(spec: &HeadSpec<'_>, body: Vec<u8>) -> Response {
+        debug_assert_eq!(spec.content_length, body.len());
         Response {
-            status: 200,
-            reason: "OK",
-            content_type: "application/json",
-            allow_get: false,
-            body: body.as_bytes().to_vec(),
+            status: spec.status,
+            reason: spec.reason,
+            head: Bytes::from(render_head(spec).into_bytes()),
+            body: Bytes::from(body),
         }
     }
 
@@ -63,36 +166,45 @@ impl Response {
             err.status(),
             err.reason(),
             govhost_obs::export::escape_json(err.detail())
-        );
-        Response {
-            status: err.status(),
-            reason: err.reason(),
-            content_type: "application/json",
-            allow_get: matches!(err, HttpError::MethodNotAllowed),
-            body: body.into_bytes(),
-        }
+        )
+        .into_bytes();
+        Response::dynamic(
+            &HeadSpec {
+                status: err.status(),
+                reason: err.reason(),
+                content_type: "application/json",
+                content_length: body.len(),
+                etag: None,
+                allow_get: matches!(err, HttpError::MethodNotAllowed),
+                retry_after: matches!(err, HttpError::Overloaded),
+            },
+            body,
+        )
     }
 
-    /// Serialize status line, headers, and body. The server never emits
-    /// a `Date` header: responses must be byte-stable across runs.
+    /// The body bytes.
+    pub fn body(&self) -> &[u8] {
+        self.body.as_slice()
+    }
+
+    /// The three wire segments of this response — header slab,
+    /// `Connection:` fragment, body slab — ready for a vectored write.
+    /// No byte is copied: the slabs are shared and the fragment is
+    /// static.
+    pub fn segments(&self, keep_alive: bool) -> [Bytes; 3] {
+        let conn = if keep_alive { CONN_KEEP_ALIVE } else { CONN_CLOSE };
+        [self.head.clone(), Bytes::Static(conn), self.body.clone()]
+    }
+
+    /// Serialize status line, headers, and body into one owned buffer
+    /// (the copying convenience for tests; the serving paths use
+    /// [`Response::segments`]).
     pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\nServer: govhost-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
-            self.status,
-            self.reason,
-            self.content_type,
-            self.body.len()
-        );
-        if self.allow_get {
-            head.push_str("Allow: GET\r\n");
+        let segs = self.segments(keep_alive);
+        let mut out = Vec::with_capacity(segs.iter().map(Bytes::len).sum());
+        for seg in &segs {
+            out.extend_from_slice(seg.as_slice());
         }
-        head.push_str(if keep_alive {
-            "Connection: keep-alive\r\n\r\n"
-        } else {
-            "Connection: close\r\n\r\n"
-        });
-        let mut out = head.into_bytes();
-        out.extend_from_slice(&self.body);
         out
     }
 }
@@ -112,6 +224,16 @@ pub fn route_label(path: &str) -> &'static str {
     }
 }
 
+/// Whether an `If-None-Match` header value matches `etag`: the
+/// wildcard `*`, or any comma-separated entry equal to the (strong)
+/// entity tag, with an optional `W/` weak prefix tolerated. Garbage
+/// values simply fail to match and the full body is served.
+pub fn if_none_match(header: &str, etag: &str) -> bool {
+    header.split(',').map(str::trim).any(|candidate| {
+        candidate == "*" || candidate == etag || candidate.strip_prefix("W/") == Some(etag)
+    })
+}
+
 /// Everything a worker needs to answer requests: immutable index plus
 /// the telemetry accounting.
 #[derive(Debug)]
@@ -123,6 +245,9 @@ pub struct ServeState {
     /// Request-side telemetry, accumulated under a mutex (merge-based,
     /// so the capture is order-blind like the build-side shards).
     requests: Mutex<Telemetry>,
+    /// The canned 503 sent when a connection is shed (prebuilt once:
+    /// shedding must not allocate under load).
+    overloaded: Response,
     mode: TimeMode,
 }
 
@@ -145,7 +270,17 @@ impl ServeState {
         });
         let mut base = dataset.telemetry.clone();
         base.merge(&build_capture);
-        ServeState { index, base, requests: Mutex::new(Telemetry::new()), mode }
+        let mut requests = Telemetry::new();
+        // Declare the shed counter up front so `/metrics` always shows
+        // it — a zero there is a meaningful signal, not a missing series.
+        requests.registry.declare_counter("http.shed", Labels::empty());
+        ServeState {
+            index,
+            base,
+            requests: Mutex::new(requests),
+            overloaded: Response::from_error(&HttpError::Overloaded),
+            mode,
+        }
     }
 
     /// The `/metrics` time mode in effect.
@@ -166,6 +301,26 @@ impl ServeState {
         snap
     }
 
+    /// Account one shed connection and hand back the canned
+    /// `503 Retry-After` response to write before hanging up. The shed
+    /// count lands in `/metrics` as `http_shed` plus a `5xx` response
+    /// under the reserved `shed` route label.
+    pub fn shed(&self) -> Response {
+        let mut t = self.requests.lock().expect("telemetry lock");
+        t.registry.add_counter("http.shed", Labels::empty(), 1);
+        t.registry.add_counter(
+            "http.responses",
+            Labels::new(&[("route", "shed"), ("class", "5xx")]),
+            1,
+        );
+        self.overloaded.clone()
+    }
+
+    /// How many connections have been shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.requests.lock().expect("telemetry lock").registry.counter_total("http.shed")
+    }
+
     /// Answer one parse outcome: route, handle, and account the
     /// exchange into the request telemetry.
     pub fn respond(&self, parsed: Result<&Request, &HttpError>) -> Response {
@@ -183,7 +338,7 @@ impl ServeState {
             Ok(req) if req.method != "GET" => {
                 Response::from_error(&HttpError::MethodNotAllowed)
             }
-            Ok(req) => self.handle(req.path()),
+            Ok(req) => self.handle(req),
         };
         let latency_ns = start.elapsed().as_nanos() as u64;
         let class = match response.status {
@@ -199,34 +354,49 @@ impl ServeState {
             Labels::new(&[("route", route), ("class", class)]),
             1,
         );
-        t.registry.observe("http.response_bytes", labels.clone(), response.body.len() as u64);
+        t.registry.observe("http.response_bytes", labels.clone(), response.body().len() as u64);
         t.registry.observe("http.latency_ns", labels, latency_ns);
         response
     }
 
-    /// Dispatch a `GET` on `path` against the index.
-    fn handle(&self, path: &str) -> Response {
-        match path {
-            "/healthz" => Response::ok_json(self.index.healthz()),
-            "/countries" => Response::ok_json(self.index.countries()),
-            "/flows" => Response::ok_json(self.index.flows()),
-            "/providers" => Response::ok_json(self.index.providers()),
-            "/hhi" => Response::ok_json(self.index.hhi()),
+    /// Serve a precomputed slab, honouring `If-None-Match`: a matching
+    /// entity tag answers `304 Not Modified` with an empty body.
+    fn conditional(&self, req: &Request, slab: &RouteSlab) -> Response {
+        match req.header("if-none-match") {
+            Some(header) if if_none_match(header, slab.etag()) => slab.not_modified(),
+            _ => slab.ok(),
+        }
+    }
+
+    /// Dispatch a `GET` against the index.
+    fn handle(&self, req: &Request) -> Response {
+        match req.path() {
+            "/healthz" => self.conditional(req, self.index.healthz_slab()),
+            "/countries" => self.conditional(req, self.index.countries_slab()),
+            "/flows" => self.conditional(req, self.index.flows_slab()),
+            "/providers" => self.conditional(req, self.index.providers_slab()),
+            "/hhi" => self.conditional(req, self.index.hhi_slab()),
             "/metrics" => {
-                let text = metrics_text(&self.telemetry_snapshot(), self.mode);
-                Response {
-                    status: 200,
-                    reason: "OK",
-                    content_type: "text/plain; charset=utf-8",
-                    allow_get: false,
-                    body: text.into_bytes(),
-                }
+                let body =
+                    metrics_text(&self.telemetry_snapshot(), self.mode).into_bytes();
+                Response::dynamic(
+                    &HeadSpec {
+                        status: 200,
+                        reason: "OK",
+                        content_type: "text/plain; charset=utf-8",
+                        content_length: body.len(),
+                        etag: None,
+                        allow_get: false,
+                        retry_after: false,
+                    },
+                    body,
+                )
             }
             p => {
                 if let Some(iso) = p.strip_prefix("/country/") {
                     let upper = iso.to_ascii_uppercase();
-                    if let Some(body) = self.index.country(&upper) {
-                        return Response::ok_json(body);
+                    if let Some(slab) = self.index.country_slab(&upper) {
+                        return self.conditional(req, slab);
                     }
                 }
                 Response::from_error(&HttpError::NotFound)
@@ -290,6 +460,76 @@ mod tests {
     }
 
     #[test]
+    fn encode_equals_concatenated_segments() {
+        let state = state();
+        let resp = get(&state, "/healthz");
+        for keep in [true, false] {
+            let mut joined = Vec::new();
+            for seg in resp.segments(keep) {
+                joined.extend_from_slice(seg.as_slice());
+            }
+            assert_eq!(joined, resp.encode(keep));
+        }
+    }
+
+    #[test]
+    fn conditional_get_answers_304_with_the_same_etag() {
+        let state = state();
+        let full = get(&state, "/hhi");
+        let encoded = String::from_utf8(full.encode(false)).unwrap();
+        let etag = encoded
+            .lines()
+            .find_map(|l| l.strip_prefix("ETag: "))
+            .expect("precomputed routes carry an ETag")
+            .to_string();
+        let raw = format!("GET /hhi HTTP/1.1\r\nIf-None-Match: {etag}\r\n\r\n");
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(raw.as_bytes());
+        let req = parser.next_request().unwrap().unwrap();
+        let resp = state.respond(Ok(&req));
+        assert_eq!(resp.status, 304);
+        assert!(resp.body().is_empty(), "304 has no body");
+        let encoded304 = String::from_utf8(resp.encode(false)).unwrap();
+        assert!(encoded304.contains(&format!("ETag: {etag}\r\n")), "{encoded304}");
+    }
+
+    #[test]
+    fn if_none_match_handles_lists_wildcards_and_garbage() {
+        assert!(if_none_match("*", "\"abc\""));
+        assert!(if_none_match("\"x\", \"abc\"", "\"abc\""));
+        assert!(if_none_match("W/\"abc\"", "\"abc\""));
+        assert!(!if_none_match("\"x\", \"y\"", "\"abc\""));
+        assert!(!if_none_match("garbage", "\"abc\""));
+        assert!(!if_none_match("", "\"abc\""));
+    }
+
+    #[test]
+    fn shed_is_a_typed_503_with_retry_after_and_is_counted() {
+        let state = state();
+        assert_eq!(state.shed_count(), 0);
+        let resp = state.shed();
+        assert_eq!(resp.status, 503);
+        let encoded = String::from_utf8(resp.encode(false)).unwrap();
+        assert!(encoded.starts_with("HTTP/1.1 503 Service Unavailable"), "{encoded}");
+        assert!(encoded.contains("Retry-After: 1\r\n"), "{encoded}");
+        assert!(encoded.contains("server overloaded"), "{encoded}");
+        assert_eq!(state.shed_count(), 1);
+        let metrics = String::from_utf8(get(&state, "/metrics").body().to_vec()).unwrap();
+        assert!(metrics.contains("http_shed 1"), "{metrics}");
+        assert!(
+            metrics.contains("http_responses{class=\"5xx\",route=\"shed\"} 1"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn metrics_always_exposes_the_shed_counter() {
+        let state = state();
+        let metrics = String::from_utf8(get(&state, "/metrics").body().to_vec()).unwrap();
+        assert!(metrics.contains("http_shed 0"), "declared at zero: {metrics}");
+    }
+
+    #[test]
     fn requests_are_accounted_per_route_and_class() {
         let state = state();
         let _ = get(&state, "/hhi");
@@ -310,7 +550,7 @@ mod tests {
     #[test]
     fn metrics_route_sees_its_own_arrival() {
         let state = state();
-        let body = String::from_utf8(get(&state, "/metrics").body).unwrap();
+        let body = String::from_utf8(get(&state, "/metrics").body().to_vec()).unwrap();
         assert!(
             body.contains("http_requests{route=\"/metrics\"} 1"),
             "arrival counter precedes rendering: {body}"

@@ -7,9 +7,15 @@
 
 use govhost_core::prelude::*;
 use govhost_obs::TimeMode;
-use govhost_serve::{serve_connection, Limits, MemConn, ServeState};
+use govhost_serve::{
+    serve_connection, serve_connection_with, ConnPolicy, EventLoop, FakeClock, FakeReadiness,
+    Limits, MemConn, Pool, PoolConfig, ServeState,
+};
 use govhost_worldgen::prelude::*;
-use std::sync::OnceLock;
+use std::io::{Read, Write};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// One shared state for the whole suite: the index is immutable and the
 /// request telemetry only accumulates, so cases cannot interfere.
@@ -20,6 +26,60 @@ fn state() -> &'static ServeState {
         let dataset = GovDataset::build(&world, &BuildOptions::default());
         ServeState::with_mode(&dataset, TimeMode::Deterministic)
     })
+}
+
+/// Shared `Arc` state for the cases that drive an [`EventLoop`] or
+/// [`Pool`] directly.
+fn astate() -> Arc<ServeState> {
+    static STATE: OnceLock<Arc<ServeState>> = OnceLock::new();
+    Arc::clone(STATE.get_or_init(|| {
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        Arc::new(ServeState::with_mode(&dataset, TimeMode::Deterministic))
+    }))
+}
+
+/// A transport that hands the server at most `chunk` input bytes per
+/// read — the wire arriving in arbitrary small pieces.
+struct Trickle {
+    input: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+    output: Vec<u8>,
+}
+
+impl Trickle {
+    fn new(input: &[u8], chunk: usize) -> Trickle {
+        Trickle { input: input.to_vec(), pos: 0, chunk: chunk.max(1), output: Vec::new() }
+    }
+}
+
+impl Read for Trickle {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.input.len() - self.pos);
+        buf[..n].copy_from_slice(&self.input[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for Trickle {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.output.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The `ETag:` value of the first response in `out`.
+fn first_etag(out: &str) -> String {
+    out.lines()
+        .find_map(|l| l.strip_prefix("ETag: "))
+        .expect("response carries an ETag")
+        .to_string()
 }
 
 fn roundtrip_with(input: &[u8], limits: &Limits) -> String {
@@ -231,4 +291,282 @@ fn tight_limits_apply_per_connection() {
     // The same input passes under the defaults.
     let out = roundtrip(b"GET /a-rather-long-target HTTP/1.1\r\n\r\n");
     assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+}
+
+// ---- keep-alive scheduling, conditional GETs, shedding, eviction ----
+
+#[test]
+fn pipelined_burst_survives_single_byte_chunking() {
+    let wire = b"GET /healthz HTTP/1.1\r\n\r\n\
+                 GET /hhi HTTP/1.1\r\n\r\n\
+                 GET /countries HTTP/1.1\r\nConnection: close\r\n\r\n";
+    let whole = roundtrip(wire);
+    for chunk in [1, 2, 3, 7] {
+        let mut conn = Trickle::new(wire, chunk);
+        serve_connection(state(), &mut conn, &Limits::default(), || false).unwrap();
+        let out = String::from_utf8_lossy(&conn.output).into_owned();
+        assert_eq!(out, whole, "chunk size {chunk} changed the bytes");
+        assert_eq!(response_count(&out), 3);
+    }
+}
+
+#[test]
+fn request_split_mid_header_name_still_parses() {
+    // The CRLFCRLF boundary lands mid-chunk and the header name is cut
+    // between reads; the incremental parser must reassemble both.
+    let wire = b"GET /flows HTTP/1.1\r\nConn\
+                 ection: close\r\nX-Pad: 1\r\n\r\n";
+    let mut conn = Trickle::new(wire, 4);
+    serve_connection(state(), &mut conn, &Limits::default(), || false).unwrap();
+    let out = String::from_utf8_lossy(&conn.output).into_owned();
+    assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+    assert!(out.contains("Connection: close\r\n"), "{out}");
+}
+
+#[test]
+fn connection_close_is_case_insensitive() {
+    let out = roundtrip(
+        b"GET /healthz HTTP/1.1\r\nConnection: CLOSE\r\n\r\nGET /hhi HTTP/1.1\r\n\r\n",
+    );
+    assert_eq!(response_count(&out), 1, "CLOSE ends the connection: {out}");
+    assert!(out.contains("Connection: close\r\n"), "{out}");
+}
+
+#[test]
+fn http10_with_explicit_keep_alive_stays_open() {
+    let out = roundtrip(
+        b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n\
+          GET /hhi HTTP/1.0\r\n\r\n",
+    );
+    assert_eq!(response_count(&out), 2, "{out}");
+    assert!(out.contains("Connection: keep-alive\r\n"), "{out}");
+}
+
+#[test]
+fn unknown_connection_token_falls_back_to_version_default() {
+    let out = roundtrip(
+        b"GET /healthz HTTP/1.1\r\nConnection: upgrade\r\n\r\n\
+          GET /hhi HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(response_count(&out), 2, "HTTP/1.1 default is keep-alive: {out}");
+}
+
+#[test]
+fn good_then_bad_answers_the_good_request_first() {
+    // The valid request is served before the framing error closes the
+    // connection; the trailing valid request is never reached.
+    let out = roundtrip(
+        b"GET /healthz HTTP/1.1\r\n\r\nBAD\r\n\r\nGET /hhi HTTP/1.1\r\n\r\n",
+    );
+    assert_eq!(response_count(&out), 2, "{out}");
+    let ok = out.find("HTTP/1.1 200 OK").expect("good request served");
+    let bad = out.find("HTTP/1.1 400 Bad Request").expect("error answered");
+    assert!(ok < bad, "{out}");
+    assert!(out.contains("Connection: close\r\n"), "the framing error closes: {out}");
+}
+
+#[test]
+fn matching_if_none_match_is_304_with_the_same_etag() {
+    let full = roundtrip(b"GET /hhi HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let etag = first_etag(&full);
+    let wire =
+        format!("GET /hhi HTTP/1.1\r\nIf-None-Match: {etag}\r\nConnection: close\r\n\r\n");
+    let out = roundtrip(wire.as_bytes());
+    assert!(out.starts_with("HTTP/1.1 304 Not Modified"), "{out}");
+    assert_eq!(first_etag(&out), etag, "304 revalidates the same ETag");
+}
+
+#[test]
+fn a_304_has_no_body_and_zero_content_length() {
+    let full = roundtrip(b"GET /countries HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let etag = first_etag(&full);
+    let wire = format!(
+        "GET /countries HTTP/1.1\r\nIf-None-Match: {etag}\r\nConnection: close\r\n\r\n"
+    );
+    let out = roundtrip(wire.as_bytes());
+    let (head, body) = out.split_once("\r\n\r\n").expect("head/body split");
+    assert!(head.contains("Content-Length: 0"), "{out}");
+    assert!(body.is_empty(), "304 carries no body: {out:?}");
+}
+
+#[test]
+fn stale_if_none_match_serves_the_full_body() {
+    let out = roundtrip(
+        b"GET /hhi HTTP/1.1\r\nIf-None-Match: \"0000000000000000\"\r\nConnection: close\r\n\r\n",
+    );
+    assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+    let (_, body) = out.split_once("\r\n\r\n").unwrap();
+    assert!(!body.is_empty(), "{out}");
+}
+
+#[test]
+fn garbage_if_none_match_serves_the_full_body() {
+    for garbage in ["not-even-quoted", "\"", ",,,", "W/", "\u{1F980}"] {
+        let wire = format!(
+            "GET /hhi HTTP/1.1\r\nIf-None-Match: {garbage}\r\nConnection: close\r\n\r\n"
+        );
+        let out = roundtrip(wire.as_bytes());
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "garbage {garbage:?}: {out}");
+    }
+}
+
+#[test]
+fn wildcard_if_none_match_is_304() {
+    let out = roundtrip(b"GET /hhi HTTP/1.1\r\nIf-None-Match: *\r\nConnection: close\r\n\r\n");
+    assert!(out.starts_with("HTTP/1.1 304 Not Modified"), "{out}");
+}
+
+#[test]
+fn if_none_match_lists_and_weak_validators_match() {
+    let full = roundtrip(b"GET /providers HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let etag = first_etag(&full);
+    for header in
+        [format!("\"miss\", {etag}, \"other\""), format!("W/{etag}"), format!("  {etag}  ")]
+    {
+        let wire = format!(
+            "GET /providers HTTP/1.1\r\nIf-None-Match: {header}\r\nConnection: close\r\n\r\n"
+        );
+        let out = roundtrip(wire.as_bytes());
+        assert!(out.starts_with("HTTP/1.1 304"), "header {header:?}: {out}");
+    }
+}
+
+#[test]
+fn every_data_route_carries_a_stable_etag_but_metrics_does_not() {
+    for route in ["/healthz", "/countries", "/flows", "/providers", "/hhi"] {
+        let wire = format!("GET {route} HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let a = first_etag(&roundtrip(wire.as_bytes()));
+        let b = first_etag(&roundtrip(wire.as_bytes()));
+        assert_eq!(a, b, "{route} ETag is deterministic");
+        assert!(a.starts_with('"') && a.ends_with('"'), "{route}: quoted validator {a}");
+    }
+    let metrics = roundtrip(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let (head, _) = metrics.split_once("\r\n\r\n").unwrap();
+    assert!(!head.contains("ETag:"), "/metrics mutates per request: {head}");
+}
+
+#[test]
+fn shed_connections_get_a_503_with_retry_after_on_the_wire() {
+    /// A connection that never produces a request: it holds its pool
+    /// slot until the idle deadline.
+    struct Stuck(Arc<Mutex<Vec<u8>>>);
+    impl Read for Stuck {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::ErrorKind::WouldBlock.into())
+        }
+    }
+    impl Write for Stuck {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let state = astate();
+    let before = state.shed_count();
+    let policy =
+        ConnPolicy { idle_timeout: Duration::from_millis(50), ..ConnPolicy::default() };
+    let pool = Pool::start_with(Arc::clone(&state), 1, PoolConfig { policy, max_conns: 1 });
+    let stuck_out = Arc::new(Mutex::new(Vec::new()));
+    assert!(pool.submit(Box::new(Stuck(Arc::clone(&stuck_out)))));
+    // The slot is taken synchronously, so the next submission sheds.
+    let (conn, rx) = MemConn::scripted(&b"GET /healthz HTTP/1.1\r\n\r\n"[..]);
+    assert!(pool.submit(Box::new(conn)), "shed connections are still handled");
+    let out = String::from_utf8(rx.recv().unwrap()).unwrap();
+    assert!(out.starts_with("HTTP/1.1 503 Service Unavailable"), "{out}");
+    assert!(out.contains("Retry-After: 1\r\n"), "{out}");
+    assert!(out.contains("Connection: close\r\n"), "{out}");
+    assert!(out.contains("server overloaded, retry shortly"), "{out}");
+    assert_eq!(state.shed_count(), before + 1);
+    pool.shutdown();
+    assert!(stuck_out.lock().unwrap().is_empty(), "idle eviction closes silently");
+}
+
+#[test]
+fn idle_timeout_evicts_a_half_request_with_400_on_the_wire() {
+    let clock = Arc::new(FakeClock::new());
+    let policy =
+        ConnPolicy { idle_timeout: Duration::from_millis(200), ..ConnPolicy::default() };
+    let mut el = EventLoop::new(
+        astate(),
+        Box::new(FakeReadiness::always()),
+        Arc::clone(&clock) as Arc<dyn govhost_serve::Clock>,
+        policy,
+        Arc::new(AtomicBool::new(false)),
+    );
+    let conn = Trickle::new(b"GET /hhi HTTP/1.1\r\nHos", 64);
+    // Trickle EOFs after its input; wrap so the loop sees WouldBlock
+    // instead (the peer is just slow, not gone).
+    struct NoEof(Trickle, Arc<Mutex<Vec<u8>>>);
+    impl Read for NoEof {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.0.read(buf) {
+                Ok(0) => Err(std::io::ErrorKind::WouldBlock.into()),
+                other => other,
+            }
+        }
+    }
+    impl Write for NoEof {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.1.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let out = Arc::new(Mutex::new(Vec::new()));
+    el.register(Box::new(NoEof(conn, Arc::clone(&out))), None);
+    el.turn(Some(Duration::from_millis(1))).unwrap();
+    assert_eq!(el.len(), 1, "partial request keeps the connection before the deadline");
+    clock.advance(Duration::from_millis(500));
+    el.turn(Some(Duration::from_millis(1))).unwrap();
+    assert!(el.is_empty(), "the idle deadline evicts");
+    let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+    assert!(text.starts_with("HTTP/1.1 400 Bad Request"), "{text}");
+    assert!(text.contains("read timeout"), "{text}");
+    assert!(text.contains("Connection: close\r\n"), "{text}");
+}
+
+#[test]
+fn max_requests_per_conn_closes_after_the_cap() {
+    let policy = ConnPolicy { max_requests_per_conn: 3, ..ConnPolicy::default() };
+    let mut wire = Vec::new();
+    for _ in 0..5 {
+        wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+    }
+    let mut conn = MemConn::new(wire);
+    serve_connection_with(state(), &mut conn, &policy, || false).unwrap();
+    let out = String::from_utf8_lossy(conn.output()).into_owned();
+    assert_eq!(response_count(&out), 3, "requests beyond the cap are not served: {out}");
+    assert_eq!(out.matches("Connection: keep-alive\r\n").count(), 2, "{out}");
+    assert_eq!(out.matches("Connection: close\r\n").count(), 1, "{out}");
+}
+
+#[test]
+fn blocking_loop_and_event_loop_emit_identical_bytes() {
+    let wire = b"GET /countries HTTP/1.1\r\n\r\n\
+                 GET /nope HTTP/1.1\r\n\r\n\
+                 GET /hhi HTTP/1.1\r\nConnection: close\r\n\r\n";
+    let state = astate();
+    let mut blocking = MemConn::new(&wire[..]);
+    serve_connection(&state, &mut blocking, &Limits::default(), || false).unwrap();
+
+    let mut el = EventLoop::new(
+        Arc::clone(&state),
+        Box::new(FakeReadiness::always()),
+        Arc::new(FakeClock::new()),
+        ConnPolicy::default(),
+        Arc::new(AtomicBool::new(false)),
+    );
+    let (conn, rx) = MemConn::scripted(&wire[..]);
+    el.register(Box::new(conn), None);
+    while !el.is_empty() {
+        el.turn(Some(Duration::from_millis(1))).unwrap();
+    }
+    let evented = rx.recv().unwrap();
+    assert_eq!(blocking.output(), &evented[..], "two schedulers, one wire format");
 }

@@ -8,10 +8,15 @@
 use govhost_core::prelude::*;
 use govhost_harness::{gens, prop_assert, prop_assert_eq, Config, Gen};
 use govhost_obs::TimeMode;
-use govhost_serve::{serve_connection, Limits, MemConn, ServeState};
+use govhost_serve::{
+    serve_connection, ConnPolicy, EventLoop, FakeClock, FakeReadiness, Limits, MemConn,
+    ServeState,
+};
 use govhost_worldgen::prelude::*;
 use std::io::{Read, Write};
-use std::sync::OnceLock;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 const REGRESSIONS: &str = "tests/regressions/prop_http.txt";
 
@@ -26,6 +31,16 @@ fn state() -> &'static ServeState {
         let dataset = GovDataset::build(&world, &BuildOptions::default());
         ServeState::with_mode(&dataset, TimeMode::Deterministic)
     })
+}
+
+/// Shared `Arc` state for the event-loop properties.
+fn astate() -> Arc<ServeState> {
+    static STATE: OnceLock<Arc<ServeState>> = OnceLock::new();
+    Arc::clone(STATE.get_or_init(|| {
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        Arc::new(ServeState::with_mode(&dataset, TimeMode::Deterministic))
+    }))
 }
 
 /// A [`Connection`](govhost_serve::Connection) that yields its input at
@@ -170,4 +185,138 @@ fn response_bytes_do_not_depend_on_read_chunking() {
         );
         Ok(())
     });
+}
+
+// ---- event-loop properties ----
+
+/// A [`Trickle`] whose output lands in a shared buffer, so the bytes
+/// survive the [`EventLoop`] consuming (and dropping) the connection.
+struct LoopTrickle {
+    inner: Trickle,
+    out: Arc<Mutex<Vec<u8>>>,
+}
+
+impl LoopTrickle {
+    fn new(data: Vec<u8>, step: usize) -> (LoopTrickle, Arc<Mutex<Vec<u8>>>) {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        (LoopTrickle { inner: Trickle::new(data, step), out: Arc::clone(&out) }, out)
+    }
+}
+
+impl Read for LoopTrickle {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Write for LoopTrickle {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.out.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Run `bytes` through a fresh deterministic event loop, trickling at
+/// most `step` bytes per read, and return everything the server wrote.
+fn event_loop_serve(bytes: Vec<u8>, step: usize) -> Result<Vec<u8>, String> {
+    let mut el = EventLoop::new(
+        astate(),
+        Box::new(FakeReadiness::always()),
+        Arc::new(FakeClock::new()),
+        ConnPolicy::default(),
+        Arc::new(AtomicBool::new(false)),
+    );
+    let (conn, out) = LoopTrickle::new(bytes, step);
+    el.register(Box::new(conn), None);
+    let mut turns = 0usize;
+    while !el.is_empty() {
+        el.turn(Some(Duration::from_millis(1))).map_err(|e| format!("turn errored: {e}"))?;
+        turns += 1;
+        if turns > 10_000 {
+            return Err("event loop did not converge".to_string());
+        }
+    }
+    let out = out.lock().unwrap().clone();
+    Ok(out)
+}
+
+#[test]
+fn event_loop_never_panics_on_arbitrary_bytes() {
+    let inputs = arb_bytes().zip(gens::usize_range(1, 9));
+    cfg("event_loop_never_panics_on_arbitrary_bytes").run(&inputs, |(bytes, chunk)| {
+        let out = event_loop_serve(bytes.clone(), *chunk)?;
+        prop_assert!(
+            out.is_empty() || out.starts_with(b"HTTP/1.1 "),
+            "output must start with a status line"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn event_loop_bytes_match_the_blocking_loop() {
+    let inputs = arb_paths().zip(gens::usize_range(1, 9));
+    cfg("event_loop_bytes_match_the_blocking_loop").run(&inputs, |(paths, chunk)| {
+        let bytes = pipeline_bytes(paths);
+        let mut blocking = MemConn::new(bytes.clone());
+        serve_connection(state(), &mut blocking, &Limits::default(), || false)
+            .map_err(|e| format!("in-memory transport errored: {e}"))?;
+        let evented = event_loop_serve(bytes, *chunk)?;
+        prop_assert_eq!(
+            blocking.output(),
+            &evented[..],
+            "the readiness loop and the blocking loop share one wire format"
+        );
+        Ok(())
+    });
+}
+
+/// Drop the `Connection:` response header, the one line that
+/// legitimately depends on how requests were packed into connections
+/// (each connection's final response closes; earlier ones keep alive).
+fn strip_connection_lines(out: &[u8]) -> String {
+    String::from_utf8_lossy(out)
+        .replace("Connection: keep-alive\r\n", "")
+        .replace("Connection: close\r\n", "")
+}
+
+#[test]
+fn response_bytes_do_not_depend_on_connection_packing() {
+    // `splits[i]` opens a new connection before request `i + 1`.
+    let inputs = arb_paths()
+        .zip(gens::vec(gens::bool_any(), 5, 5))
+        .zip(gens::usize_range(1, 9));
+    cfg("response_bytes_do_not_depend_on_connection_packing").run(
+        &inputs,
+        |((paths, splits), chunk)| {
+            let mut one_conn = MemConn::new(pipeline_bytes(paths));
+            serve_connection(state(), &mut one_conn, &Limits::default(), || false)
+                .map_err(|e| format!("in-memory transport errored: {e}"))?;
+
+            let mut groups: Vec<Vec<&str>> = vec![vec![paths[0]]];
+            for (i, path) in paths.iter().enumerate().skip(1) {
+                if splits[(i - 1) % splits.len()] {
+                    groups.push(Vec::new());
+                }
+                groups.last_mut().expect("non-empty").push(path);
+            }
+            let mut packed = Vec::new();
+            for group in &groups {
+                let mut conn = Trickle::new(pipeline_bytes(group), *chunk);
+                serve_connection(state(), &mut conn, &Limits::default(), || false)
+                    .map_err(|e| format!("in-memory transport errored: {e}"))?;
+                packed.extend_from_slice(&conn.out);
+            }
+            prop_assert_eq!(
+                strip_connection_lines(one_conn.output()),
+                strip_connection_lines(&packed),
+                "packing requests into connections must not change response bytes"
+            );
+            Ok(())
+        },
+    );
 }

@@ -45,7 +45,9 @@ fn usage() {
            har      --country CC --out DIR          export one country's crawl as HAR JSON\n\
            zone     --host HOSTNAME                 print a hostname's zone as a master file\n\
            serve    --scale S --addr HOST:PORT      build the dataset and serve JSON queries\n\
-                    [--threads N]                   (worker count; GOVHOST_SERVE_THREADS)"
+                    [--threads N]                   (worker count; GOVHOST_SERVE_THREADS)\n\
+                    [--max-conns N]                 (in-flight cap before 503 shedding)\n\
+                    [--idle-timeout-ms N]           (idle keep-alive eviction deadline)"
     );
 }
 
@@ -59,6 +61,8 @@ struct Flags {
     steps: Vec<f64>,
     addr: String,
     threads: usize,
+    max_conns: usize,
+    idle_timeout_ms: u64,
 }
 
 impl Flags {
@@ -73,6 +77,8 @@ impl Flags {
             steps: vec![0.0, 0.15, 0.3],
             addr: "127.0.0.1:8080".to_string(),
             threads: 0,
+            max_conns: 0,
+            idle_timeout_ms: 0,
         };
         let mut i = 0;
         while i < args.len() {
@@ -95,6 +101,14 @@ impl Flags {
                 "--addr" => f.addr = value.clone(),
                 "--threads" => {
                     f.threads = value.parse().unwrap_or_else(|_| usage_die("bad --threads"))
+                }
+                "--max-conns" => {
+                    f.max_conns =
+                        value.parse().unwrap_or_else(|_| usage_die("bad --max-conns"))
+                }
+                "--idle-timeout-ms" => {
+                    f.idle_timeout_ms =
+                        value.parse().unwrap_or_else(|_| usage_die("bad --idle-timeout-ms"))
                 }
                 other => usage_die(&format!("unknown flag {other}")),
             }
@@ -250,10 +264,21 @@ fn cmd_serve(flags: &Flags) {
     let state = std::sync::Arc::new(ServeState::new(&dataset));
     let threads =
         if flags.threads > 0 { flags.threads } else { resolve_serve_threads() };
-    let config = ServerConfig { threads, ..ServerConfig::default() };
+    let mut config = ServerConfig { threads, ..ServerConfig::default() };
+    if flags.max_conns > 0 {
+        config.max_conns = flags.max_conns;
+    }
+    if flags.idle_timeout_ms > 0 {
+        config.idle_timeout = std::time::Duration::from_millis(flags.idle_timeout_ms);
+    }
+    let (max_conns, idle) = (config.max_conns, config.idle_timeout);
     let server = Server::bind(state, flags.addr.as_str(), config)
         .unwrap_or_else(|e| die(&format!("bind {}: {e}", flags.addr)));
-    println!("serving on http://{} with {threads} workers", server.local_addr());
+    println!(
+        "serving on http://{} with {threads} workers (max-conns {max_conns}, idle-timeout {:?})",
+        server.local_addr(),
+        idle
+    );
     println!("routes: {}", ROUTES.join(" "));
     println!("press Ctrl-C to stop");
     // Serve until the process is killed; the acceptor and workers run

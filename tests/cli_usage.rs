@@ -47,6 +47,8 @@ fn malformed_flag_values_are_usage_errors() {
     assert_usage_error(&govhost(&["dataset", "--seed", "1.5"]), "bad --seed");
     assert_usage_error(&govhost(&["trends", "--steps", "0.1,x"]), "bad --steps");
     assert_usage_error(&govhost(&["serve", "--threads", "many"]), "bad --threads");
+    assert_usage_error(&govhost(&["serve", "--max-conns", "lots"]), "bad --max-conns");
+    assert_usage_error(&govhost(&["serve", "--idle-timeout-ms", "-3"]), "bad --idle-timeout-ms");
 }
 
 #[test]

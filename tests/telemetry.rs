@@ -50,6 +50,38 @@ fn telemetry_exports_are_stable_across_runs() {
     assert_eq!(x1, x2);
 }
 
+/// The serving tier's own telemetry obeys the same contract: a fixed
+/// request sequence answered through 1, 2, and 4 event-loop workers
+/// yields a byte-identical deterministic `/metrics` exposition (the
+/// `_ns` series are zeroed; counters and byte histograms are pure
+/// functions of the sequence).
+#[test]
+fn serve_telemetry_is_byte_identical_across_worker_counts() {
+    use govhost::serve::{Limits, MemConn, Pool, ServeState};
+    use std::sync::Arc;
+    let world = World::generate(&GenParams::tiny());
+    let dataset = GovDataset::build(&world, &BuildOptions::default());
+    let snapshot_at = |workers: usize| -> String {
+        let state = Arc::new(ServeState::with_mode(&dataset, TimeMode::Deterministic));
+        let pool = Pool::start(Arc::clone(&state), workers, Limits::default());
+        for route in ["/healthz", "/countries", "/hhi", "/nope"] {
+            let raw = format!("GET {route} HTTP/1.1\r\nConnection: close\r\n\r\n");
+            let (conn, rx) = MemConn::scripted(raw.into_bytes());
+            assert!(pool.submit(Box::new(conn)), "pool accepts while running");
+            rx.recv().expect("connection was served");
+        }
+        pool.shutdown();
+        metrics_text(&state.telemetry_snapshot(), TimeMode::Deterministic)
+    };
+    let base = snapshot_at(1);
+    for workers in [2, 4] {
+        let got = snapshot_at(workers);
+        assert_eq!(base, got, "serve telemetry differs at workers={workers}");
+    }
+    assert!(base.contains("http_requests{route=\"/hhi\"} 1"), "{base}");
+    assert!(base.contains("http_shed 0"), "{base}");
+}
+
 /// The capture actually contains the pipeline: the documented span names
 /// and counter series all appear, with counts consistent with the
 /// dataset they describe.
