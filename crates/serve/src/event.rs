@@ -27,6 +27,14 @@
 //! connection whose peer reads slowly (its outbound queue is full past
 //! [`ConnPolicy::max_pending_out`]) simply stops being polled for
 //! reads — it cannot stall any other connection's responses.
+//!
+//! "Activity" for the idle deadline means progress in *either*
+//! direction: reads refresh it, and so does every successful write, so
+//! a peer steadily draining a large response is never mistaken for an
+//! idle one. The same window doubles as a **drain deadline** for
+//! closing connections — a peer that takes its final response and then
+//! never reads a byte is abandoned after one idle window instead of
+//! pinning its slot (and the pool's shared in-flight count) forever.
 
 use crate::http::{HttpError, RequestParser};
 use crate::router::{Bytes, ServeState};
@@ -51,9 +59,11 @@ pub struct ConnPolicy {
     /// Most requests served on one keep-alive connection; the final
     /// response closes with `Connection: close`.
     pub max_requests_per_conn: usize,
-    /// A connection with no byte activity for this long is evicted: a
-    /// half-received request is answered `400` first, a quiet
-    /// keep-alive connection is closed silently.
+    /// A connection with no byte activity (in either direction) for
+    /// this long is evicted: a half-received request is answered `400`
+    /// first, a quiet keep-alive connection is closed silently, and a
+    /// closing connection whose peer stopped draining its final
+    /// response is abandoned.
     pub idle_timeout: Duration,
     /// Backpressure bound: once this many response bytes are queued on
     /// a connection, the loop stops reading (and parsing) from it until
@@ -191,9 +201,40 @@ mod sys {
     pub const POLLHUP: i16 = 0x010;
     pub const POLLNVAL: i16 = 0x020;
 
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_KEEPALIVE: i32 = 9;
+
     extern "C" {
         pub fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
+        pub fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
     }
+}
+
+/// Best-effort `SO_KEEPALIVE` on an accepted socket: a peer that
+/// vanished without FIN/RST is eventually noticed by the kernel's
+/// probes instead of holding the descriptor open indefinitely. The
+/// drain deadline in [`EventLoop::turn`] already bounds how long such a
+/// peer can pin its slot; this lets the kernel reclaim the socket too.
+pub(crate) fn enable_tcp_keepalive(fd: i32) {
+    #[cfg(target_os = "linux")]
+    unsafe {
+        let on: core::ffi::c_int = 1;
+        let _ = sys::setsockopt(
+            fd,
+            sys::SOL_SOCKET,
+            sys::SO_KEEPALIVE,
+            (&on as *const core::ffi::c_int).cast(),
+            core::mem::size_of::<core::ffi::c_int>() as u32,
+        );
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = fd;
 }
 
 /// Production readiness over `poll(2)`.
@@ -376,9 +417,11 @@ impl OutQueue {
     }
 
     /// Write as much as the transport accepts right now, vectored over
-    /// up to eight segments per call. `WouldBlock` returns `Ok` with
-    /// the remainder queued; other errors surface.
-    pub(crate) fn flush<C: Connection + ?Sized>(&mut self, conn: &mut C) -> std::io::Result<()> {
+    /// up to eight segments per call, returning how many bytes moved.
+    /// `WouldBlock` returns `Ok` with the remainder queued; other
+    /// errors surface.
+    pub(crate) fn flush<C: Connection + ?Sized>(&mut self, conn: &mut C) -> std::io::Result<usize> {
+        let mut written = 0usize;
         while !self.segs.is_empty() {
             let slices: Vec<IoSlice<'_>> = self
                 .segs
@@ -397,13 +440,16 @@ impl OutQueue {
                         "connection accepted no bytes",
                     ))
                 }
-                Ok(n) => self.consume(n),
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Ok(n) => {
+                    self.consume(n);
+                    written += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(written),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
         }
-        Ok(())
+        Ok(written)
     }
 
     fn consume(&mut self, mut n: usize) {
@@ -443,14 +489,23 @@ impl ConnSlot {
         self.io_error || (self.closing && self.out.is_empty())
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self, now: u64) {
         if self.io_error || self.out.is_empty() {
             return;
         }
-        if self.out.flush(&mut *self.conn).is_err() {
-            // Nobody left to answer: the peer disconnected mid-write.
-            self.io_error = true;
-            self.closing = true;
+        match self.out.flush(&mut *self.conn) {
+            Ok(written) => {
+                if written > 0 {
+                    // Write progress is activity: a peer steadily
+                    // draining a large response is alive, not idle.
+                    self.last_activity_ns = now;
+                }
+            }
+            Err(_) => {
+                // Nobody left to answer: the peer disconnected mid-write.
+                self.io_error = true;
+                self.closing = true;
+            }
         }
     }
 }
@@ -576,7 +631,7 @@ impl EventLoop {
             let Some(slot) = self.conns.get_mut(event.index) else { continue };
             report.events += 1;
             if event.writable {
-                slot.flush();
+                slot.flush(now);
             }
             if event.readable || event.hangup {
                 Self::pump(&self.state, &self.policy, &self.draining, slot, now);
@@ -586,10 +641,10 @@ impl EventLoop {
         // Opportunistic pass: flush whatever the peers will take, then
         // serve any requests that were parked behind backpressure.
         for slot in &mut self.conns {
-            slot.flush();
+            slot.flush(now);
             if !slot.closing && slot.out.byte_len() < self.policy.max_pending_out {
                 Self::drain_requests(&self.state, &self.policy, &self.draining, slot);
-                slot.flush();
+                slot.flush(now);
             }
         }
         let now = self.clock.now_ns();
@@ -598,14 +653,14 @@ impl EventLoop {
         Ok(report)
     }
 
-    /// The poll timeout: the nearest idle deadline, capped by
-    /// `max_wait`.
+    /// The poll timeout: the nearest idle (or closing-drain) deadline,
+    /// capped by `max_wait`.
     fn next_deadline(&self, now: u64, max_wait: Option<Duration>) -> Option<Duration> {
         let idle_ns = u64::try_from(self.policy.idle_timeout.as_nanos()).unwrap_or(u64::MAX);
         let nearest = self
             .conns
             .iter()
-            .filter(|c| !c.closing)
+            .filter(|c| !c.closing || !c.out.is_empty())
             .map(|c| c.last_activity_ns.saturating_add(idle_ns))
             .min()
             .map(|deadline| Duration::from_nanos(deadline.saturating_sub(now)));
@@ -705,25 +760,33 @@ impl EventLoop {
 
     /// Close connections whose idle deadline passed: half-received
     /// requests are answered `400 read timeout` first, quiet keep-alive
-    /// connections close silently.
+    /// connections close silently. Closing connections get the same
+    /// window as a drain deadline — a peer that has not taken a byte of
+    /// its final response for a whole idle window is abandoned, so a
+    /// never-reading (or silently vanished) peer cannot pin its slot
+    /// and the pool's shared in-flight count forever.
     fn evict_idle(&mut self, now: u64) {
         let idle_ns = u64::try_from(self.policy.idle_timeout.as_nanos()).unwrap_or(u64::MAX);
         for slot in &mut self.conns {
-            if slot.closing {
+            if slot.io_error || now.saturating_sub(slot.last_activity_ns) < idle_ns {
                 continue;
             }
-            if now.saturating_sub(slot.last_activity_ns) >= idle_ns {
-                if slot.parser.has_partial() {
-                    let error = HttpError::BadRequest("read timeout");
-                    let response = self.state.respond(Err(&error));
-                    slot.out.push(response.segments(false));
-                }
-                slot.closing = true;
-                slot.read_closed = true;
+            if slot.closing {
+                slot.io_error = true;
+                continue;
             }
+            if slot.parser.has_partial() {
+                let error = HttpError::BadRequest("read timeout");
+                let response = self.state.respond(Err(&error));
+                slot.out.push(response.segments(false));
+            }
+            slot.closing = true;
+            slot.read_closed = true;
+            // The close answer gets its own full window to drain.
+            slot.last_activity_ns = now;
         }
         for slot in &mut self.conns {
-            slot.flush();
+            slot.flush(now);
         }
         self.conns.retain(|c| !c.finished());
     }
@@ -905,6 +968,131 @@ mod tests {
         }
         let out = rx.recv().expect("served and dropped");
         assert!(out.starts_with(b"HTTP/1.1 200 OK"));
+    }
+
+    /// A transport whose peer never reads: every write would block.
+    struct NeverDrains {
+        chunks: VecDeque<Vec<u8>>,
+    }
+
+    impl Read for NeverDrains {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.chunks.pop_front() {
+                Some(chunk) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        self.chunks.push_front(chunk[n..].to_vec());
+                    }
+                    Ok(n)
+                }
+                None => Err(std::io::ErrorKind::WouldBlock.into()),
+            }
+        }
+    }
+
+    impl Write for NeverDrains {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::ErrorKind::WouldBlock.into())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stuck_closing_connection_is_reaped_at_the_drain_deadline() {
+        let clock = Arc::new(FakeClock::new());
+        let policy = ConnPolicy { idle_timeout: Duration::from_secs(1), ..ConnPolicy::default() };
+        let mut el = evloop(FakeReadiness::always(), Arc::clone(&clock), policy);
+        let conn = NeverDrains {
+            chunks: [b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec()].into(),
+        };
+        el.register(Box::new(conn), None);
+        el.turn(Some(Duration::from_millis(1))).unwrap();
+        assert_eq!(el.len(), 1, "response queued, peer yet to drain");
+        clock.advance(Duration::from_millis(900));
+        el.turn(Some(Duration::from_millis(1))).unwrap();
+        assert_eq!(el.len(), 1, "still inside the drain window");
+        clock.advance(Duration::from_secs(2));
+        el.turn(Some(Duration::from_millis(1))).unwrap();
+        assert!(el.is_empty(), "an undrained closing connection is abandoned");
+    }
+
+    /// A transport that drains slowly but steadily: every other write
+    /// call accepts up to eight bytes, the rest would block.
+    struct Drip {
+        chunks: VecDeque<Vec<u8>>,
+        out: Arc<Mutex<Vec<u8>>>,
+        writes: usize,
+    }
+
+    impl Read for Drip {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.chunks.pop_front() {
+                Some(chunk) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        self.chunks.push_front(chunk[n..].to_vec());
+                    }
+                    Ok(n)
+                }
+                None => Err(std::io::ErrorKind::WouldBlock.into()),
+            }
+        }
+    }
+
+    impl Write for Drip {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.writes += 1;
+            if self.writes.is_multiple_of(2) {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(8);
+            self.out.lock().unwrap().extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn steady_write_progress_defers_idle_eviction() {
+        let st = state();
+        let expected = st.index().countries_slab().ok().encode(true);
+        let clock = Arc::new(FakeClock::new());
+        let policy = ConnPolicy { idle_timeout: Duration::from_secs(1), ..ConnPolicy::default() };
+        let mut el = EventLoop::new(
+            Arc::clone(&st),
+            Box::new(FakeReadiness::always()),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            policy,
+            Arc::new(AtomicBool::new(false)),
+        );
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let conn = Drip {
+            chunks: [b"GET /countries HTTP/1.1\r\n\r\n".to_vec()].into(),
+            out: Arc::clone(&out),
+            writes: 0,
+        };
+        el.register(Box::new(conn), None);
+        let mut turns = 0usize;
+        while out.lock().unwrap().len() < expected.len() {
+            // Three quarters of the idle window pass between each drip
+            // of progress: without write-side activity refresh the
+            // connection would be evicted mid-response.
+            clock.advance(Duration::from_millis(750));
+            el.turn(Some(Duration::from_millis(1))).unwrap();
+            assert_eq!(el.len(), 1, "write progress keeps the connection alive");
+            turns += 1;
+            assert!(turns < 10_000, "response never finished draining");
+        }
+        assert_eq!(*out.lock().unwrap(), expected, "the full keep-alive response arrived");
+        assert!(turns > 2, "the drain really did outlive a naive idle deadline");
     }
 
     #[test]

@@ -77,7 +77,7 @@ impl RouteSlab {
             status: 200,
             reason: "OK",
             content_type: "application/json",
-            content_length: body.len(),
+            content_length: Some(body.len()),
             etag: Some(&etag),
             allow_get: false,
             retry_after: false,
@@ -88,11 +88,13 @@ impl RouteSlab {
             Bytes::from(head.into_bytes()),
             Bytes::Shared(body),
         );
+        // No Content-Length on the 304: it would have to describe the
+        // 200 representation (RFC 9110 §8.6), not the empty payload.
         let head = render_head(&HeadSpec {
             status: 304,
             reason: "Not Modified",
             content_type: "application/json",
-            content_length: 0,
+            content_length: None,
             etag: Some(&etag),
             allow_get: false,
             retry_after: false,
@@ -489,7 +491,7 @@ mod tests {
         assert!(ok.contains(&etag_line), "{ok}");
         assert!(nm.contains(&etag_line), "{nm}");
         assert!(nm.starts_with("HTTP/1.1 304 Not Modified"), "{nm}");
-        assert!(nm.contains("Content-Length: 0\r\n"), "{nm}");
+        assert!(!nm.contains("Content-Length:"), "no Content-Length on a 304: {nm}");
         assert!(nm.ends_with("\r\n\r\n"), "304 body is empty: {nm}");
     }
 

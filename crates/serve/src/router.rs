@@ -95,7 +95,11 @@ pub(crate) struct HeadSpec<'a> {
     pub status: u16,
     pub reason: &'static str,
     pub content_type: &'a str,
-    pub content_length: usize,
+    /// `Content-Length` to declare; `None` omits the header entirely.
+    /// `304`s omit it: per RFC 9110 §8.6 a Content-Length there would
+    /// describe the `200` representation, and a literal `0` misleads
+    /// caches that update stored metadata from `304` headers.
+    pub content_length: Option<usize>,
     /// Emitted as an `ETag` header when present.
     pub etag: Option<&'a str>,
     /// Whether to advertise `Allow: GET` (405 responses).
@@ -110,9 +114,12 @@ pub(crate) struct HeadSpec<'a> {
 /// `Date` header: responses must be byte-stable across runs.
 pub(crate) fn render_head(spec: &HeadSpec<'_>) -> String {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nServer: govhost-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
-        spec.status, spec.reason, spec.content_type, spec.content_length
+        "HTTP/1.1 {} {}\r\nServer: govhost-serve\r\nContent-Type: {}\r\n",
+        spec.status, spec.reason, spec.content_type
     );
+    if let Some(length) = spec.content_length {
+        head.push_str(&format!("Content-Length: {length}\r\n"));
+    }
     if let Some(etag) = spec.etag {
         head.push_str("ETag: ");
         head.push_str(etag);
@@ -150,7 +157,7 @@ impl Response {
     /// Render a dynamic response (errors, `/metrics`): the head is
     /// built here, the body is the given bytes.
     pub(crate) fn dynamic(spec: &HeadSpec<'_>, body: Vec<u8>) -> Response {
-        debug_assert_eq!(spec.content_length, body.len());
+        debug_assert_eq!(spec.content_length, Some(body.len()));
         Response {
             status: spec.status,
             reason: spec.reason,
@@ -173,7 +180,7 @@ impl Response {
                 status: err.status(),
                 reason: err.reason(),
                 content_type: "application/json",
-                content_length: body.len(),
+                content_length: Some(body.len()),
                 etag: None,
                 allow_get: matches!(err, HttpError::MethodNotAllowed),
                 retry_after: matches!(err, HttpError::Overloaded),
@@ -384,7 +391,7 @@ impl ServeState {
                         status: 200,
                         reason: "OK",
                         content_type: "text/plain; charset=utf-8",
-                        content_length: body.len(),
+                        content_length: Some(body.len()),
                         etag: None,
                         allow_get: false,
                         retry_after: false,

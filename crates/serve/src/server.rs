@@ -13,8 +13,11 @@
 //! slow connection never pins the thread), and a per-worker wake pipe
 //! lets the acceptor interrupt a sleeping poll when new work arrives.
 //! Admission control happens before the queue: past
-//! [`PoolConfig::max_conns`] in-flight connections the pool sheds with
-//! a canned `503 Retry-After` instead of queueing unboundedly.
+//! [`PoolConfig::max_conns`] in-flight connections the acceptor sheds
+//! with a canned `503 Retry-After` instead of queueing unboundedly —
+//! written while the socket is still in blocking mode (bounded by a
+//! short write timeout), so the 503 actually reaches the peer under
+//! the very overload that triggers it.
 //!
 //! Shutdown is graceful: the drain flag stops keep-alive after the
 //! in-flight request, queued connections are still served, quiet
@@ -23,7 +26,7 @@
 
 use crate::event::{ConnPolicy, EventLoop, PollReadiness, SysClock};
 use crate::http::{HttpError, Limits, RequestParser};
-use crate::router::ServeState;
+use crate::router::{Response, ServeState};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -41,6 +44,11 @@ impl<T: Read + Write + Send> Connection for T {}
 /// How long an event-loop worker sleeps in `poll(2)` with no readiness:
 /// the fallback intake latency when the wake pipe is unavailable.
 const WORKER_TICK: Duration = Duration::from_millis(25);
+
+/// Write-timeout bound on the acceptor's blocking shed write: a shed
+/// peer that refuses to read its `503` cannot hold the accept loop for
+/// longer than this.
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(100);
 
 /// Serve one connection to completion on the calling thread: parse
 /// requests (pipelining included), answer each through `state`, and
@@ -238,21 +246,31 @@ impl Pool {
         self.submit_with_fd(conn, None)
     }
 
+    /// Whether a new submission would be shed right now.
+    pub fn is_saturated(&self) -> bool {
+        self.active.load(Ordering::SeqCst) >= self.max_conns
+    }
+
+    /// Write the canned, accounted `503 Retry-After` shed response to a
+    /// connection that will not be served. Best effort — the peer may
+    /// already be gone — but a transiently full non-blocking socket is
+    /// retried briefly instead of truncating the 503 mid-header.
+    pub fn shed(&self, conn: &mut dyn Write) {
+        write_shed(conn, &self.state.shed());
+    }
+
     /// Queue a connection together with its raw descriptor so the
     /// worker's readiness loop can poll it. Past
     /// [`PoolConfig::max_conns`] in-flight connections the submission
     /// is shed — answered directly with the canned `503 Retry-After`
     /// and counted in `/metrics` — which still returns `true`: the
-    /// connection was handled, just not served.
+    /// connection was handled, just not served. (The acceptor sheds
+    /// before switching sockets non-blocking; this in-submit path is
+    /// the backstop for the race between that check and the queue.)
     pub fn submit_with_fd(&self, mut conn: BoxConn, fd: Option<i32>) -> bool {
         let Some(senders) = &self.senders else { return false };
-        if self.active.load(Ordering::SeqCst) >= self.max_conns {
-            let response = self.state.shed();
-            for seg in response.segments(false) {
-                if conn.write_all(seg.as_slice()).is_err() {
-                    break; // best effort: the peer may already be gone
-                }
-            }
+        if self.is_saturated() {
+            self.shed(&mut *conn);
             return true;
         }
         self.active.fetch_add(1, Ordering::SeqCst);
@@ -295,6 +313,35 @@ impl Drop for Pool {
             let _ = worker.join();
         }
     }
+}
+
+/// Write every segment of a shed `response`, tolerating partial writes
+/// and retrying a transiently full socket a handful of times (1 ms
+/// apart) — under overload, a bare connection close where the client
+/// expected `503 Retry-After` would defeat the point of shedding. Any
+/// persistent error gives up: the peer is gone or not reading.
+fn write_shed(conn: &mut dyn Write, response: &Response) {
+    const WOULD_BLOCK_RETRIES: u32 = 20;
+    let mut retries = 0u32;
+    for seg in response.segments(false) {
+        let mut buf = seg.as_slice();
+        while !buf.is_empty() {
+            match conn.write(buf) {
+                Ok(0) => return,
+                Ok(n) => buf = &buf[n..],
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        && retries < WOULD_BLOCK_RETRIES =>
+                {
+                    retries += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => return,
+            }
+        }
+    }
+    let _ = conn.flush();
 }
 
 /// One event-loop worker: adopt submitted connections, spin
@@ -427,8 +474,18 @@ impl Server {
                         if stop.load(Ordering::SeqCst) {
                             break;
                         }
-                        let Ok(stream) = stream else { continue };
+                        let Ok(mut stream) = stream else { continue };
                         let _ = stream.set_nodelay(true);
+                        if pool.is_saturated() {
+                            // Shed while the socket still blocks, so
+                            // the 503 is not truncated by WouldBlock on
+                            // a full buffer — the exact condition
+                            // shedding exists for. The write timeout
+                            // bounds a peer that never reads.
+                            let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+                            pool.shed(&mut stream);
+                            continue;
+                        }
                         // The readiness loop owns scheduling; the
                         // socket itself must never block a worker.
                         if stream.set_nonblocking(true).is_err() {
@@ -437,7 +494,9 @@ impl Server {
                         #[cfg(unix)]
                         let fd = {
                             use std::os::fd::AsRawFd;
-                            Some(stream.as_raw_fd())
+                            let fd = stream.as_raw_fd();
+                            crate::event::enable_tcp_keepalive(fd);
+                            Some(fd)
                         };
                         #[cfg(not(unix))]
                         let fd = None;

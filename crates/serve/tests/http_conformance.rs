@@ -377,7 +377,7 @@ fn matching_if_none_match_is_304_with_the_same_etag() {
 }
 
 #[test]
-fn a_304_has_no_body_and_zero_content_length() {
+fn a_304_has_no_body_and_no_content_length() {
     let full = roundtrip(b"GET /countries HTTP/1.1\r\nConnection: close\r\n\r\n");
     let etag = first_etag(&full);
     let wire = format!(
@@ -385,7 +385,9 @@ fn a_304_has_no_body_and_zero_content_length() {
     );
     let out = roundtrip(wire.as_bytes());
     let (head, body) = out.split_once("\r\n\r\n").expect("head/body split");
-    assert!(head.contains("Content-Length: 0"), "{out}");
+    // RFC 9110 §8.6: a Content-Length on a 304 would describe the 200
+    // representation, so the header is omitted entirely.
+    assert!(!head.contains("Content-Length:"), "{out}");
     assert!(body.is_empty(), "304 carries no body: {out:?}");
 }
 
@@ -529,6 +531,68 @@ fn idle_timeout_evicts_a_half_request_with_400_on_the_wire() {
     assert!(text.starts_with("HTTP/1.1 400 Bad Request"), "{text}");
     assert!(text.contains("read timeout"), "{text}");
     assert!(text.contains("Connection: close\r\n"), "{text}");
+}
+
+/// A peer that sends its final request and then never reads a byte of
+/// the response — a deliberate slow-reader, or a client whose network
+/// silently dropped.
+struct NeverReads {
+    input: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for NeverReads {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.input.len() {
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        let n = buf.len().min(self.input.len() - self.pos);
+        buf[..n].copy_from_slice(&self.input[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for NeverReads {
+    fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+        Err(std::io::ErrorKind::WouldBlock.into())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The drain deadline: a closing connection whose peer never takes its
+/// final response is abandoned after one idle window instead of
+/// pinning its event-loop slot forever (which would permanently eat
+/// into `max_conns` and turn the server into a 503 generator).
+#[test]
+fn a_closing_peer_that_never_reads_is_abandoned_at_the_drain_deadline() {
+    let clock = Arc::new(FakeClock::new());
+    let policy =
+        ConnPolicy { idle_timeout: Duration::from_millis(200), ..ConnPolicy::default() };
+    let mut el = EventLoop::new(
+        astate(),
+        Box::new(FakeReadiness::always()),
+        Arc::clone(&clock) as Arc<dyn govhost_serve::Clock>,
+        policy,
+        Arc::new(AtomicBool::new(false)),
+    );
+    el.register(
+        Box::new(NeverReads {
+            input: b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+            pos: 0,
+        }),
+        None,
+    );
+    el.turn(Some(Duration::from_millis(1))).unwrap();
+    assert_eq!(el.len(), 1, "the queued final response holds the slot for now");
+    clock.advance(Duration::from_millis(150));
+    el.turn(Some(Duration::from_millis(1))).unwrap();
+    assert_eq!(el.len(), 1, "still inside the drain window");
+    clock.advance(Duration::from_millis(150));
+    el.turn(Some(Duration::from_millis(1))).unwrap();
+    assert!(el.is_empty(), "the drain deadline reaps the stuck connection");
 }
 
 #[test]

@@ -112,7 +112,10 @@ fn responses_are_byte_identical_across_thread_counts() {
         text.lines().find_map(|l| l.strip_prefix("ETag: ").map(str::to_string)).unwrap()
     };
     assert_eq!(etag_of(&full), etag_of(&revalidated));
-    assert!(revalidated.contains("Content-Length: 0\r\n"), "{revalidated}");
+    assert!(
+        !revalidated.contains("Content-Length:"),
+        "a 304 omits Content-Length: {revalidated}"
+    );
     let metrics = String::from_utf8_lossy(baseline.last().expect("metrics response"));
     assert!(metrics.contains("http_requests{route=\"/hhi\"} 2"), "{metrics}");
     assert!(metrics.contains("http_requests{route=\"other\"} 1"), "{metrics}");
@@ -249,5 +252,45 @@ fn loopback_smoke_answers_real_sockets() {
     assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
     assert!(text.contains("Connection: keep-alive"), "{text}");
     assert!(text.ends_with('}') || text.ends_with(']'), "JSON body last: {text}");
+    server.shutdown();
+}
+
+/// Overload shedding on the real TCP path: with `max_conns: 1` and the
+/// single slot held by an idle connection, the next connect must read a
+/// complete `503 Retry-After` — the acceptor writes it before the
+/// socket is switched non-blocking, so a full buffer cannot silently
+/// truncate it. Skips cleanly where sockets are unavailable.
+#[test]
+fn loopback_shed_delivers_a_complete_503() {
+    let world = World::generate(&GenParams::tiny());
+    let dataset = GovDataset::build(&world, &BuildOptions::default());
+    let state = Arc::new(ServeState::with_mode(&dataset, TimeMode::Deterministic));
+    let config = ServerConfig { threads: 1, max_conns: 1, ..ServerConfig::default() };
+    let server = match Server::bind(state, "127.0.0.1:0", config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("skipping loopback shed test: cannot bind a loopback socket ({e})");
+            return;
+        }
+    };
+    let holder = match std::net::TcpStream::connect(server.local_addr()) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("skipping loopback shed test: cannot connect over loopback ({e})");
+            server.shutdown();
+            return;
+        }
+    };
+    // Give the acceptor a beat to claim the only slot for `holder`.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut shed = std::net::TcpStream::connect(server.local_addr()).expect("second connect");
+    let mut raw = Vec::new();
+    shed.read_to_end(&mut raw).expect("read the shed response");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 503 Service Unavailable"), "{text}");
+    assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+    assert!(text.contains("Connection: close\r\n"), "{text}");
+    assert!(text.ends_with('}'), "complete JSON body delivered: {text}");
+    drop(holder);
     server.shutdown();
 }
