@@ -39,14 +39,17 @@ cargo test -q --offline --release --test telemetry
 cargo test -q --offline -p govhost-obs --test prop_obs
 
 # And the serving contract: the event-loop + readiness unit tests in
-# the serve crate, HTTP conformance (keep-alive, ETag/304, idle
-# eviction, 503 shedding) + the parser/packing fuzz properties,
-# byte-identical responses and telemetry across worker counts (plus the
-# slow-reader fairness pin and the real-socket smoke), and the CLI
-# usage-error contract.
+# the serve crate, HTTP conformance (keep-alive, ETag/304, HEAD,
+# percent-decoding, typed query 400s, idle eviction, 503 shedding) +
+# the parser/packing/query fuzz properties, the parameterized query
+# engine (canonicalization, result-cache accounting, identical-input
+# hot swap), byte-identical responses and telemetry across worker
+# counts (plus the slow-reader fairness pin and the real-socket
+# smoke), and the CLI usage-error contract.
 echo "==> serve suites"
 cargo test -q --offline -p govhost-serve
 cargo test -q --offline -p govhost-serve --test http_conformance --test prop_http
+cargo test -q --offline -p govhost-serve --test query_engine
 cargo test -q --offline --test serve_http --test cli_usage
 
 if [ "$run_bench" = 1 ]; then

@@ -149,6 +149,44 @@ fn main() {
         black_box(conn.output().len());
     });
 
+    // ---- the parameterized-query mix: cache-hot vs cache-cold ----
+    //
+    // The same query mix runs against a warmed result cache (every
+    // request a hit: zero-copy slab reuse) and against a
+    // cache-disabled state (every request re-runs parse → plan →
+    // execute → render). The responses must agree byte-for-byte — the
+    // cache is pure memoization — so the two series isolate its win.
+    let mix = [
+        "/flows?limit=25",
+        "/flows?sort=share&min_share=0.01",
+        "/providers?sort=asn&limit=20",
+        "/countries?sort=hhi&limit=20",
+    ];
+    let roundtrip = |state: &ServeState, target: &str| -> Vec<u8> {
+        let raw = format!("GET {target} HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let mut conn = MemConn::new(raw.into_bytes());
+        serve_connection(state, &mut conn, &Limits::default(), || false).expect("serve");
+        conn.output().to_vec()
+    };
+    let cold_state = Arc::new(ServeState::with_config(&dataset, TimeMode::Deterministic, 0));
+    for target in mix {
+        let hot = roundtrip(&state, target); // warms the cache on first touch
+        let cold = roundtrip(&cold_state, target);
+        assert!(hot.starts_with(b"HTTP/1.1 200 OK"), "query mix answers 200: {target}");
+        assert_eq!(hot, cold, "cache hit and uncached render agree byte-for-byte: {target}");
+    }
+    assert!(cold_state.result_cache().is_empty(), "capacity 0 disables caching");
+    b.bench("serve/query_mix_cache_hot", || {
+        for target in mix {
+            black_box(roundtrip(&state, target).len());
+        }
+    });
+    b.bench("serve/query_mix_cache_cold", || {
+        for target in mix {
+            black_box(roundtrip(&cold_state, target).len());
+        }
+    });
+
     // ---- the sustained keep-alive run ----
     //
     // `clients` threads, each serving `conns_per_client` sequential

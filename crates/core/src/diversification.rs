@@ -72,6 +72,16 @@ impl DiversificationAnalysis {
         DiversificationAnalysis { per_country }
     }
 
+    /// Per-country concentrations in deterministic country-code order —
+    /// the filterable view exports and the serve layer iterate (the
+    /// backing `HashMap` iterates in arbitrary order).
+    pub fn sorted(&self) -> Vec<(CountryCode, CountryConcentration)> {
+        let mut out: Vec<(CountryCode, CountryConcentration)> =
+            self.per_country.iter().map(|(c, v)| (*c, *v)).collect();
+        out.sort_by_key(|&(c, _)| c);
+        out
+    }
+
     /// HHI distributions per dominant category: `(category, urls summary,
     /// bytes summary)` — the boxplot rows of Fig. 11. Categories with no
     /// countries are omitted.

@@ -49,9 +49,14 @@ pub enum HttpError {
     /// `400`: malformed request line, malformed or conflicting headers,
     /// truncated or oversized body, unsupported transfer coding.
     BadRequest(&'static str),
+    /// `400` with a dynamic detail naming the offending query
+    /// parameter (e.g. `unknown parameter "verbose"`). Kept separate
+    /// from [`HttpError::BadRequest`] so parse-layer rejections stay
+    /// `&'static str` while the query engine can name what it saw.
+    InvalidQuery(String),
     /// `404`: the router knows no such path (or no such country code).
     NotFound,
-    /// `405`: the router serves `GET` only.
+    /// `405`: the router serves `GET` and `HEAD` only.
     MethodNotAllowed,
     /// `414`: the request line exceeds [`Limits::max_request_line`].
     UriTooLong,
@@ -68,7 +73,7 @@ impl HttpError {
     /// The HTTP status code of this rejection.
     pub fn status(&self) -> u16 {
         match self {
-            HttpError::BadRequest(_) => 400,
+            HttpError::BadRequest(_) | HttpError::InvalidQuery(_) => 400,
             HttpError::NotFound => 404,
             HttpError::MethodNotAllowed => 405,
             HttpError::UriTooLong => 414,
@@ -80,7 +85,7 @@ impl HttpError {
     /// The canonical reason phrase for [`HttpError::status`].
     pub fn reason(&self) -> &'static str {
         match self {
-            HttpError::BadRequest(_) => "Bad Request",
+            HttpError::BadRequest(_) | HttpError::InvalidQuery(_) => "Bad Request",
             HttpError::NotFound => "Not Found",
             HttpError::MethodNotAllowed => "Method Not Allowed",
             HttpError::UriTooLong => "URI Too Long",
@@ -90,11 +95,12 @@ impl HttpError {
     }
 
     /// A short machine-stable detail string for the response body.
-    pub fn detail(&self) -> &'static str {
+    pub fn detail(&self) -> &str {
         match self {
             HttpError::BadRequest(d) | HttpError::HeaderFieldsTooLarge(d) => d,
+            HttpError::InvalidQuery(d) => d,
             HttpError::NotFound => "no such route",
-            HttpError::MethodNotAllowed => "only GET is served",
+            HttpError::MethodNotAllowed => "only GET and HEAD are served",
             HttpError::UriTooLong => "request line too long",
             HttpError::Overloaded => "server overloaded, retry shortly",
         }
@@ -123,7 +129,8 @@ pub enum Version {
 pub struct Request {
     /// The method token, verbatim (`GET`, `POST`, ...).
     pub method: String,
-    /// The raw origin-form target, including any query string.
+    /// The raw origin-form target, including any query string,
+    /// exactly as it appeared on the wire (no decoding).
     pub target: String,
     /// The HTTP version.
     pub version: Version,
@@ -132,15 +139,24 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The `Content-Length` body (empty when none was declared).
     pub body: Vec<u8>,
+    /// The percent-decoded path portion of `target` (before any `?`).
+    path: String,
+    /// The raw query string after the first `?`, if present. Stays
+    /// undecoded here: the query engine decodes each component
+    /// separately so `%26` inside a value does not become a separator.
+    query: Option<String>,
 }
 
 impl Request {
-    /// The target path without the query string.
+    /// The percent-decoded target path, without the query string.
     pub fn path(&self) -> &str {
-        match self.target.find('?') {
-            Some(q) => &self.target[..q],
-            None => &self.target,
-        }
+        &self.path
+    }
+
+    /// The raw (undecoded) query string after the first `?`, if the
+    /// target carried one. `Some("")` means a bare trailing `?`.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
     }
 
     /// The first header with this (case-insensitive) name.
@@ -247,8 +263,48 @@ impl RequestParser {
         }
         let body = self.buf[head_end + 4..total].to_vec();
         self.buf.drain(..total);
-        Ok(Some(Request { method, target, version, headers, body }))
+        let (path, query) = match target.find('?') {
+            Some(q) => (&target[..q], Some(target[q + 1..].to_string())),
+            None => (target.as_str(), None),
+        };
+        let path = percent_decode(path)
+            .map_err(HttpError::BadRequest)?;
+        Ok(Some(Request { method, target, version, headers, body, path, query }))
     }
+}
+
+/// Strictly percent-decode one target component.
+///
+/// Rejections (all `400`): a `%` not followed by two hex digits, a
+/// decoded control byte (anything below 0x20, or 0x7f) — those can
+/// smuggle CRLF or NUL past the request-line checks — and byte
+/// sequences that do not decode to UTF-8. Unreserved bytes pass
+/// through unchanged; this is a decoder, not a normalizer.
+pub fn percent_decode(raw: &str) -> Result<String, &'static str> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'%' {
+            let (Some(&hi), Some(&lo)) = (bytes.get(i + 1), bytes.get(i + 2)) else {
+                return Err("truncated percent-escape");
+            };
+            let (Some(hi), Some(lo)) = ((hi as char).to_digit(16), (lo as char).to_digit(16))
+            else {
+                return Err("non-hex percent-escape");
+            };
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    if out.iter().any(|&b| b < 0x20 || b == 0x7f) {
+        return Err("percent-escape decodes to a control byte");
+    }
+    String::from_utf8(out).map_err(|_| "percent-escapes decode to invalid UTF-8")
 }
 
 /// Parse `METHOD SP target SP HTTP/1.x` (single spaces, no extras).
@@ -417,6 +473,48 @@ mod tests {
                 String::from_utf8_lossy(bad)
             );
         }
+    }
+
+    #[test]
+    fn path_is_percent_decoded_and_query_kept_raw() {
+        let req = parse_one(b"GET /country/%55%53?x=%311 HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.path(), "/country/US");
+        assert_eq!(req.query(), Some("x=%311"), "query components stay undecoded");
+        assert_eq!(req.target, "/country/%55%53?x=%311", "wire target is verbatim");
+
+        let req = parse_one(b"GET /hhi? HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.query(), Some(""), "bare trailing '?' is an empty query");
+        let req = parse_one(b"GET /hhi HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.query(), None);
+    }
+
+    #[test]
+    fn hostile_percent_escapes_in_the_path_are_rejected() {
+        for bad in [
+            &b"GET /x% HTTP/1.1\r\n\r\n"[..],     // truncated escape
+            b"GET /x%2 HTTP/1.1\r\n\r\n",         // truncated escape
+            b"GET /x%zz HTTP/1.1\r\n\r\n",        // non-hex
+            b"GET /x%00 HTTP/1.1\r\n\r\n",        // NUL
+            b"GET /x%0d%0a HTTP/1.1\r\n\r\n",     // CRLF smuggling
+            b"GET /x%7f HTTP/1.1\r\n\r\n",        // DEL
+            b"GET /x%ff HTTP/1.1\r\n\r\n",        // invalid UTF-8
+        ] {
+            assert!(
+                matches!(parse_one(bad), Err(HttpError::BadRequest(_))),
+                "expected 400 for {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+        // But escapes in the query do not fail at parse time: the query
+        // engine owns per-component decoding.
+        let req = parse_one(b"GET /hhi?x=% HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.query(), Some("x=%"));
+    }
+
+    #[test]
+    fn percent_decode_accepts_multibyte_utf8() {
+        assert_eq!(percent_decode("%C3%A9tat").unwrap(), "état");
+        assert_eq!(percent_decode("plain-safe_~").unwrap(), "plain-safe_~");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 /// A finite float renders via Rust's shortest-roundtrip `Display`
 /// (deterministic); `NaN`/infinity render as `null`.
-fn jf(v: f64) -> String {
+pub(crate) fn jf(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -34,7 +34,7 @@ fn jf(v: f64) -> String {
 }
 
 /// A quoted, escaped JSON string literal.
-fn js(s: &str) -> String {
+pub(crate) fn js(s: &str) -> String {
     format!("\"{}\"", escape_json(s))
 }
 
@@ -69,8 +69,9 @@ pub struct RouteSlab {
 }
 
 impl RouteSlab {
-    /// Render the slabs for a JSON body.
-    fn json(body: String) -> RouteSlab {
+    /// Render the slabs for a JSON body. Also used by the query engine
+    /// to give each cached parameterized result its own head + ETag.
+    pub(crate) fn json(body: String) -> RouteSlab {
         let etag = etag_of(body.as_bytes());
         let body: Arc<[u8]> = Arc::from(body.into_bytes());
         let head = render_head(&HeadSpec {
@@ -130,7 +131,8 @@ impl RouteSlab {
     }
 }
 
-/// Precomputed response slabs for every route `govhost-serve` answers.
+/// Precomputed response slabs for every route `govhost-serve` answers,
+/// plus the row tables the parameterized query engine scans.
 #[derive(Debug, Clone)]
 pub struct QueryIndex {
     healthz: RouteSlab,
@@ -139,6 +141,7 @@ pub struct QueryIndex {
     flows: RouteSlab,
     providers: RouteSlab,
     hhi: RouteSlab,
+    tables: crate::query::QueryTables,
 }
 
 impl QueryIndex {
@@ -224,9 +227,7 @@ impl QueryIndex {
         providers_body.push_str("]}");
 
         let mut hhi = String::from("{\"count\":");
-        let mut concentrations: Vec<(&CountryCode, _)> =
-            diversification.per_country.iter().collect();
-        concentrations.sort_by_key(|(c, _)| **c);
+        let concentrations = diversification.sorted();
         let _ = write!(hhi, "{},\"countries\":[", concentrations.len());
         for (i, (code, conc)) in concentrations.iter().enumerate() {
             if i > 0 {
@@ -244,6 +245,9 @@ impl QueryIndex {
         }
         hhi.push_str("]}");
 
+        let tables =
+            crate::query::QueryTables::build(dataset, &cross, &providers, &diversification);
+
         QueryIndex {
             healthz: RouteSlab::json(healthz),
             countries: RouteSlab::json(countries),
@@ -251,7 +255,13 @@ impl QueryIndex {
             flows: RouteSlab::json(flows),
             providers: RouteSlab::json(providers_body),
             hhi: RouteSlab::json(hhi),
+            tables,
         }
+    }
+
+    /// The row tables behind the parameterized routes.
+    pub(crate) fn tables(&self) -> &crate::query::QueryTables {
+        &self.tables
     }
 
     /// The `/healthz` body.

@@ -12,12 +12,22 @@
 //! | Route | Body |
 //! |---|---|
 //! | `/healthz` | dataset dimensions + liveness |
-//! | `/countries` | per-country crawl statistics |
+//! | `/countries` | per-country crawl statistics (filter/sort/paginate) |
 //! | `/country/{iso}` | one country: hosting mix, domestic split, concentration, outflows |
-//! | `/flows` | the full cross-border flow matrices (registration + served) |
-//! | `/providers` | provider footprints (Fig. 10) |
+//! | `/flows` | cross-border flows: full matrices, or filter/sort/paginate via parameters |
+//! | `/providers` | provider footprints (Fig. 10; filter/sort/paginate) |
 //! | `/hhi` | per-country provider concentration |
 //! | `/metrics` | text exposition of the `govhost-obs` registry |
+//!
+//! `GET` and `HEAD` are served everywhere (`HEAD` answers the `GET`
+//! headers with zero body bytes); paths are strictly percent-decoded
+//! before routing. Parameterized routes go through [`RouteQuery`] —
+//! parse, validate (typed `400`s naming the offending parameter),
+//! canonicalize, execute — and land in a bounded deterministic
+//! [`ResultCache`] whose entries carry their own head slab and ETag.
+//! Fixed routes reject every query parameter with the same typed
+//! `400`. The served [`QueryIndex`] is hot-swappable through
+//! [`ServeState::swap_index`], which atomically invalidates the cache.
 //!
 //! ## Architecture
 //!
@@ -64,6 +74,7 @@
 pub mod event;
 pub mod http;
 pub mod index;
+pub mod query;
 pub mod router;
 pub mod server;
 
@@ -71,8 +82,9 @@ pub use event::{
     Clock, ConnPolicy, EventLoop, FakeClock, FakeReadiness, PollReadiness, PollSource, Readiness,
     ReadyEvent, SysClock, TurnReport,
 };
-pub use http::{HttpError, Limits, Request, RequestParser, Version};
+pub use http::{percent_decode, HttpError, Limits, Request, RequestParser, Version};
 pub use index::{etag_of, QueryIndex, RouteSlab};
+pub use query::{IndexHandle, ResultCache, RouteQuery, DEFAULT_RESULT_CACHE};
 pub use router::{if_none_match, route_label, Bytes, Response, ServeState, ROUTES};
 pub use server::{
     serve_connection, serve_connection_with, Connection, MemConn, Pool, PoolConfig, Server,

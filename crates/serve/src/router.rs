@@ -26,6 +26,7 @@
 
 use crate::http::{HttpError, Request};
 use crate::index::{QueryIndex, RouteSlab};
+use crate::query::{IndexHandle, ResultCache, RouteQuery, DEFAULT_RESULT_CACHE};
 use govhost_core::prelude::*;
 use govhost_obs::export::{metrics_text, trace_level, TimeMode};
 use govhost_obs::{Labels, Telemetry};
@@ -102,7 +103,7 @@ pub(crate) struct HeadSpec<'a> {
     pub content_length: Option<usize>,
     /// Emitted as an `ETag` header when present.
     pub etag: Option<&'a str>,
-    /// Whether to advertise `Allow: GET` (405 responses).
+    /// Whether to advertise `Allow: GET, HEAD` (405 responses).
     pub allow_get: bool,
     /// Whether to advertise `Retry-After: 1` (503 shed responses).
     pub retry_after: bool,
@@ -126,7 +127,7 @@ pub(crate) fn render_head(spec: &HeadSpec<'_>) -> String {
         head.push_str("\r\n");
     }
     if spec.allow_get {
-        head.push_str("Allow: GET\r\n");
+        head.push_str("Allow: GET, HEAD\r\n");
     }
     if spec.retry_after {
         head.push_str("Retry-After: 1\r\n");
@@ -194,6 +195,15 @@ impl Response {
         self.body.as_slice()
     }
 
+    /// Strip the body for a `HEAD` answer. The head slab is untouched,
+    /// so `Content-Length` and `ETag` still describe the `GET`
+    /// representation — exactly what RFC 9110 §9.3.2 requires — while
+    /// zero body bytes go on the wire.
+    pub(crate) fn into_head_only(mut self) -> Response {
+        self.body = Bytes::Static(b"");
+        self
+    }
+
     /// The three wire segments of this response — header slab,
     /// `Connection:` fragment, body slab — ready for a vectored write.
     /// No byte is copied: the slabs are shared and the fragment is
@@ -241,11 +251,14 @@ pub fn if_none_match(header: &str, etag: &str) -> bool {
     })
 }
 
-/// Everything a worker needs to answer requests: immutable index plus
-/// the telemetry accounting.
+/// Everything a worker needs to answer requests: the hot-swappable
+/// index handle, the bounded result cache for parameterized queries,
+/// and the telemetry accounting.
 #[derive(Debug)]
 pub struct ServeState {
-    index: QueryIndex,
+    index: IndexHandle,
+    /// Rendered parameterized results, keyed by canonical query.
+    cache: ResultCache,
     /// The dataset's build capture plus the index-build capture —
     /// the baseline `/metrics` starts from.
     base: Telemetry,
@@ -266,9 +279,26 @@ impl ServeState {
         ServeState::with_mode(dataset, trace_level().time_mode())
     }
 
+    /// Like [`ServeState::new`] but with an explicit result-cache
+    /// capacity (the CLI's `--query-cache`; zero disables caching).
+    pub fn with_cache_capacity(dataset: &GovDataset, cache_capacity: usize) -> ServeState {
+        ServeState::with_config(dataset, trace_level().time_mode(), cache_capacity)
+    }
+
     /// Build with an explicit `/metrics` time mode (tests pin the
-    /// deterministic one regardless of environment).
+    /// deterministic one regardless of environment) and the default
+    /// result-cache capacity.
     pub fn with_mode(dataset: &GovDataset, mode: TimeMode) -> ServeState {
+        ServeState::with_config(dataset, mode, DEFAULT_RESULT_CACHE)
+    }
+
+    /// Build with an explicit time mode and result-cache capacity
+    /// (`--query-cache` on the CLI; zero disables caching).
+    pub fn with_config(
+        dataset: &GovDataset,
+        mode: TimeMode,
+        cache_capacity: usize,
+    ) -> ServeState {
         let (index, build_capture) = govhost_obs::collect(|| {
             let _span = govhost_obs::span!("serve.index");
             let index = QueryIndex::build(dataset);
@@ -278,11 +308,18 @@ impl ServeState {
         let mut base = dataset.telemetry.clone();
         base.merge(&build_capture);
         let mut requests = Telemetry::new();
-        // Declare the shed counter up front so `/metrics` always shows
-        // it — a zero there is a meaningful signal, not a missing series.
+        // Declare the shed and cache counters up front so `/metrics`
+        // always shows them — a zero there is a meaningful signal, not
+        // a missing series.
         requests.registry.declare_counter("http.shed", Labels::empty());
+        for outcome in ["hit", "miss", "eviction"] {
+            requests
+                .registry
+                .declare_counter("http.query_cache", Labels::new(&[("outcome", outcome)]));
+        }
         ServeState {
-            index,
+            index: IndexHandle::new(index),
+            cache: ResultCache::new(cache_capacity),
             base,
             requests: Mutex::new(requests),
             overloaded: Response::from_error(&HttpError::Overloaded),
@@ -295,9 +332,24 @@ impl ServeState {
         self.mode
     }
 
-    /// The precomputed query index.
-    pub fn index(&self) -> &QueryIndex {
-        &self.index
+    /// A snapshot of the currently-served query index (an `Arc` bump;
+    /// a concurrent [`ServeState::swap_index`] does not disturb it).
+    pub fn index(&self) -> Arc<QueryIndex> {
+        self.index.load()
+    }
+
+    /// The parameterized-query result cache.
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Hot-swap the served index with zero downtime: in-flight requests
+    /// finish against the index they snapshotted, new requests see
+    /// `next`, and the result cache is atomically invalidated (its
+    /// epoch bump also drops in-flight renders against the old index).
+    pub fn swap_index(&self, next: QueryIndex) {
+        self.index.swap(next);
+        self.cache.invalidate();
     }
 
     /// A merged snapshot of build-time and request-time telemetry.
@@ -311,7 +363,9 @@ impl ServeState {
     /// Account one shed connection and hand back the canned
     /// `503 Retry-After` response to write before hanging up. The shed
     /// count lands in `/metrics` as `http_shed` plus a `5xx` response
-    /// under the reserved `shed` route label.
+    /// under the reserved `shed` route label, and the response-byte /
+    /// latency histograms observe the shed like any other response —
+    /// they must not undercount exactly when the server is overloaded.
     pub fn shed(&self) -> Response {
         let mut t = self.requests.lock().expect("telemetry lock");
         t.registry.add_counter("http.shed", Labels::empty(), 1);
@@ -320,6 +374,15 @@ impl ServeState {
             Labels::new(&[("route", "shed"), ("class", "5xx")]),
             1,
         );
+        let labels = Labels::new(&[("route", "shed")]);
+        t.registry.observe(
+            "http.response_bytes",
+            labels.clone(),
+            self.overloaded.body().len() as u64,
+        );
+        // The canned 503 is prebuilt, so its serving latency is the
+        // write itself; observe zero rather than invent a number.
+        t.registry.observe("http.latency_ns", labels, 0);
         self.overloaded.clone()
     }
 
@@ -342,9 +405,13 @@ impl ServeState {
         }
         let response = match parsed {
             Err(err) => Response::from_error(err),
-            Ok(req) if req.method != "GET" => {
+            Ok(req) if req.method != "GET" && req.method != "HEAD" => {
                 Response::from_error(&HttpError::MethodNotAllowed)
             }
+            // HEAD runs the full GET pipeline (routing, conditionals,
+            // accounting), then drops the body: the head slab already
+            // describes the 200 representation (RFC 9110 §9.3.2).
+            Ok(req) if req.method == "HEAD" => self.handle(req).into_head_only(),
             Ok(req) => self.handle(req),
         };
         let latency_ns = start.elapsed().as_nanos() as u64;
@@ -375,14 +442,27 @@ impl ServeState {
         }
     }
 
-    /// Dispatch a `GET` against the index.
+    /// Dispatch a `GET` (or `HEAD`, body-stripped by the caller)
+    /// against the index.
     fn handle(&self, req: &Request) -> Response {
-        match req.path() {
-            "/healthz" => self.conditional(req, self.index.healthz_slab()),
-            "/countries" => self.conditional(req, self.index.countries_slab()),
-            "/flows" => self.conditional(req, self.index.flows_slab()),
-            "/providers" => self.conditional(req, self.index.providers_slab()),
-            "/hhi" => self.conditional(req, self.index.hhi_slab()),
+        let path = req.path();
+        // The three parameterized routes go through the query engine
+        // whenever the query string carries parameters.
+        if matches!(path, "/flows" | "/providers" | "/countries") {
+            return self.parameterized(req);
+        }
+        // Fixed routes take no parameters: anything in the query string
+        // is a typed 400 naming the parameter, never a silent alias
+        // onto the cached representation.
+        if let Some(raw) = req.query() {
+            if let Err(err) = crate::query::reject_params(raw) {
+                return Response::from_error(&err);
+            }
+        }
+        let index = self.index.load();
+        match path {
+            "/healthz" => self.conditional(req, index.healthz_slab()),
+            "/hhi" => self.conditional(req, index.hhi_slab()),
             "/metrics" => {
                 let body =
                     metrics_text(&self.telemetry_snapshot(), self.mode).into_bytes();
@@ -402,13 +482,56 @@ impl ServeState {
             p => {
                 if let Some(iso) = p.strip_prefix("/country/") {
                     let upper = iso.to_ascii_uppercase();
-                    if let Some(slab) = self.index.country_slab(&upper) {
+                    if let Some(slab) = index.country_slab(&upper) {
                         return self.conditional(req, slab);
                     }
                 }
                 Response::from_error(&HttpError::NotFound)
             }
         }
+    }
+
+    /// Serve one of `/flows`, `/providers`, `/countries`: the
+    /// precomputed base slab when the query string is empty (the PR-6
+    /// bodies, byte-identical), otherwise parse → cache probe →
+    /// execute → insert.
+    fn parameterized(&self, req: &Request) -> Response {
+        let path = req.path();
+        let raw = req.query().unwrap_or("");
+        if raw.split('&').all(str::is_empty) {
+            let index = self.index.load();
+            let slab = match path {
+                "/flows" => index.flows_slab(),
+                "/providers" => index.providers_slab(),
+                _ => index.countries_slab(),
+            };
+            return self.conditional(req, slab);
+        }
+        let query = match RouteQuery::parse(path, raw) {
+            Ok(query) => query,
+            Err(err) => return Response::from_error(&err),
+        };
+        let key = query.cache_key();
+        // Epoch before index load: a swap between the two bumps the
+        // epoch, so this render cannot repopulate the cache with bytes
+        // from the displaced index.
+        let epoch = self.cache.epoch();
+        if let Some(slab) = self.cache.get(&key) {
+            self.count_cache_outcome("hit");
+            return self.conditional(req, &slab);
+        }
+        self.count_cache_outcome("miss");
+        let index = self.index.load();
+        let slab = Arc::new(RouteSlab::json(query.execute(&index)));
+        if self.cache.insert(key, slab.clone(), epoch) {
+            self.count_cache_outcome("eviction");
+        }
+        self.conditional(req, &slab)
+    }
+
+    fn count_cache_outcome(&self, outcome: &str) {
+        let mut t = self.requests.lock().expect("telemetry lock");
+        t.registry.add_counter("http.query_cache", Labels::new(&[("outcome", outcome)]), 1);
     }
 }
 
@@ -462,8 +585,91 @@ mod tests {
         let resp = state.respond(Ok(&req));
         assert_eq!(resp.status, 405);
         let encoded = String::from_utf8(resp.encode(false)).unwrap();
-        assert!(encoded.contains("Allow: GET\r\n"));
+        assert!(encoded.contains("Allow: GET, HEAD\r\n"));
         assert!(encoded.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn head_serves_the_get_head_slab_with_no_body() {
+        let state = state();
+        let get_resp = get(&state, "/hhi");
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(b"HEAD /hhi HTTP/1.1\r\n\r\n");
+        let req = parser.next_request().unwrap().unwrap();
+        let head_resp = state.respond(Ok(&req));
+        assert_eq!(head_resp.status, 200);
+        assert!(head_resp.body().is_empty(), "HEAD sends zero body bytes");
+        let get_encoded = get_resp.encode(true);
+        let head_encoded = head_resp.encode(true);
+        let get_head = &get_encoded[..get_encoded.len() - get_resp.body().len()];
+        assert_eq!(
+            head_encoded, get_head,
+            "HEAD headers are byte-identical to GET's, Content-Length included"
+        );
+    }
+
+    #[test]
+    fn query_strings_on_fixed_routes_are_typed_400s() {
+        let state = state();
+        let resp = get(&state, "/hhi?verbose=1");
+        assert_eq!(resp.status, 400);
+        let body = String::from_utf8(resp.body().to_vec()).unwrap();
+        assert!(body.contains("verbose"), "names the parameter: {body}");
+        // A bare '?' carries no parameters and serves the base slab.
+        assert_eq!(get(&state, "/hhi?").status, 200);
+        assert_eq!(get(&state, "/metrics?x=1").status, 400);
+    }
+
+    #[test]
+    fn parameterized_queries_hit_the_cache_and_count_outcomes() {
+        let state = state();
+        let miss = get(&state, "/flows?sort=share&limit=5");
+        let hit = get(&state, "/flows?limit=5&sort=share");
+        assert_eq!(miss.status, 200);
+        assert_eq!(
+            miss.encode(true),
+            hit.encode(true),
+            "hit and miss are byte-identical for one canonical query"
+        );
+        let snap = state.telemetry_snapshot();
+        assert_eq!(
+            snap.registry.counter_filtered("http.query_cache", &[("outcome", "miss")]),
+            1
+        );
+        assert_eq!(
+            snap.registry.counter_filtered("http.query_cache", &[("outcome", "hit")]),
+            1
+        );
+        assert_eq!(state.result_cache().len(), 1);
+    }
+
+    #[test]
+    fn metrics_declares_cache_counters_at_zero() {
+        let state = state();
+        let metrics = String::from_utf8(get(&state, "/metrics").body().to_vec()).unwrap();
+        for outcome in ["hit", "miss", "eviction"] {
+            assert!(
+                metrics.contains(&format!("http_query_cache{{outcome=\"{outcome}\"}} 0")),
+                "{outcome} declared at zero: {metrics}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_invalidates_the_result_cache() {
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        let state = ServeState::with_mode(&dataset, TimeMode::Deterministic);
+        let before = get(&state, "/providers?sort=asn");
+        assert_eq!(state.result_cache().len(), 1);
+        state.swap_index(QueryIndex::build(&dataset));
+        assert!(state.result_cache().is_empty(), "swap clears cached results");
+        let after = get(&state, "/providers?sort=asn");
+        assert_eq!(
+            before.encode(true),
+            after.encode(true),
+            "identical-input swap leaves response bytes unchanged"
+        );
     }
 
     #[test]

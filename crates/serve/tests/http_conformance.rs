@@ -211,12 +211,122 @@ fn declared_body_over_the_limit_is_400() {
 fn non_get_methods_are_405_with_allow() {
     for raw in [
         &b"POST /hhi HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"[..],
-        b"HEAD /hhi HTTP/1.1\r\n\r\n",
+        b"PUT /hhi HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
         b"DELETE /hhi HTTP/1.1\r\n\r\n",
     ] {
         let out = roundtrip(raw);
         assert!(out.starts_with("HTTP/1.1 405 Method Not Allowed"), "{out}");
-        assert!(out.contains("Allow: GET\r\n"), "{out}");
+        assert!(out.contains("Allow: GET, HEAD\r\n"), "{out}");
+        assert!(out.contains("only GET and HEAD are served"), "{out}");
+    }
+}
+
+// ---- HEAD support (RFC 9110 §9.1 makes GET and HEAD mandatory) ----
+
+#[test]
+fn head_answers_with_the_get_head_slab_and_zero_body() {
+    for route in ["/healthz", "/countries", "/flows", "/providers", "/hhi"] {
+        let get_out =
+            roundtrip(format!("GET {route} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes());
+        let head_out =
+            roundtrip(format!("HEAD {route} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes());
+        let (get_head, get_body) = get_out.split_once("\r\n\r\n").expect("head/body split");
+        let (head_head, head_body) = head_out.split_once("\r\n\r\n").expect("head/body split");
+        assert!(head_body.is_empty(), "{route}: HEAD puts zero body bytes on the wire");
+        assert_eq!(
+            head_head, get_head,
+            "{route}: HEAD headers match GET's byte-for-byte"
+        );
+        // In particular Content-Length still describes the 200
+        // representation that GET would have sent.
+        let declared: usize = head_head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length on HEAD")
+            .parse()
+            .unwrap();
+        assert_eq!(declared, get_body.len(), "{route}");
+    }
+}
+
+#[test]
+fn head_supports_conditionals_errors_and_parameterized_queries() {
+    // HEAD /metrics: 200, no body (the head-compare is skipped — the
+    // telemetry body mutates between requests).
+    let out = roundtrip(b"HEAD /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let (head, body) = out.split_once("\r\n\r\n").unwrap();
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{out}");
+    assert!(body.is_empty(), "{out}");
+    // HEAD on an unknown route is a bodyless 404.
+    let out = roundtrip(b"HEAD /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let (head, body) = out.split_once("\r\n\r\n").unwrap();
+    assert!(head.starts_with("HTTP/1.1 404 Not Found"), "{out}");
+    assert!(body.is_empty(), "{out}");
+    // HEAD honours If-None-Match like GET.
+    let etag = first_etag(&roundtrip(b"GET /hhi HTTP/1.1\r\nConnection: close\r\n\r\n"));
+    let out = roundtrip(
+        format!("HEAD /hhi HTTP/1.1\r\nIf-None-Match: {etag}\r\nConnection: close\r\n\r\n")
+            .as_bytes(),
+    );
+    assert!(out.starts_with("HTTP/1.1 304 Not Modified"), "{out}");
+    // HEAD runs the query engine too.
+    let get_out =
+        roundtrip(b"GET /flows?limit=3 HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let head_out =
+        roundtrip(b"HEAD /flows?limit=3 HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let (get_head, _) = get_out.split_once("\r\n\r\n").unwrap();
+    let (head_head, head_body) = head_out.split_once("\r\n\r\n").unwrap();
+    assert_eq!(get_head, head_head, "parameterized HEAD matches GET headers");
+    assert!(head_body.is_empty());
+}
+
+// ---- percent-decoding (strict, before route dispatch) ----
+
+#[test]
+fn percent_encoded_paths_decode_before_dispatch() {
+    let world = World::generate(&GenParams::tiny());
+    let dataset = GovDataset::build(&world, &BuildOptions::default());
+    let code = dataset.countries()[0];
+    let plain = roundtrip(
+        format!("GET /country/{code} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes(),
+    );
+    assert!(plain.starts_with("HTTP/1.1 200 OK"), "{plain}");
+    // Fully percent-encoded (e.g. /country/%55%53 for US) must reach
+    // the same resource with the same ETag.
+    let encoded: String = code.as_str().bytes().map(|b| format!("%{b:02X}")).collect();
+    let out = roundtrip(
+        format!("GET /country/{encoded} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes(),
+    );
+    assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+    assert_eq!(first_etag(&out), first_etag(&plain), "one resource, one ETag");
+    // Lowercase hex digits decode too.
+    let lower: String = code.as_str().bytes().map(|b| format!("%{b:02x}")).collect();
+    let out = roundtrip(
+        format!("GET /country/{lower} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes(),
+    );
+    assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+}
+
+#[test]
+fn hostile_percent_encodings_are_400_and_close() {
+    for bad in [
+        &b"GET /x% HTTP/1.1\r\n\r\n"[..],      // bare %
+        b"GET /x%2 HTTP/1.1\r\n\r\n",          // truncated escape
+        b"GET /x%zz HTTP/1.1\r\n\r\n",         // non-hex digits
+        b"GET /x%00 HTTP/1.1\r\n\r\n",         // NUL
+        b"GET /x%0d%0aSet-Cookie: HTTP/1.1\r\n\r\n", // CRLF smuggling
+        b"GET /x%7F HTTP/1.1\r\n\r\n",         // DEL
+        b"GET /x%FF HTTP/1.1\r\n\r\n",         // invalid UTF-8
+        b"GET /%80%80 HTTP/1.1\r\n\r\n",       // bare continuation bytes
+    ] {
+        let out = roundtrip(bad);
+        assert!(
+            out.starts_with("HTTP/1.1 400 Bad Request"),
+            "expected 400 for {:?}, got: {out}",
+            String::from_utf8_lossy(bad)
+        );
+        assert!(out.contains("Connection: close\r\n"), "parse errors close: {out}");
+        assert_eq!(response_count(&out), 1);
     }
 }
 
@@ -264,9 +374,58 @@ fn http10_closes_by_default_and_ignores_later_requests() {
 }
 
 #[test]
-fn query_strings_are_ignored_by_routing() {
-    let out = roundtrip(b"GET /hhi?verbose=1&x=%20 HTTP/1.1\r\nConnection: close\r\n\r\n");
+fn query_strings_on_fixed_routes_are_typed_400s_not_aliases() {
+    // Pre-PR-7 the query string was silently stripped, so /hhi?verbose=1
+    // aliased /hhi (same ETag, surprise cache hits). Now fixed routes
+    // reject parameters with a typed 400 naming the offender...
+    for (wire, param) in [
+        (&b"GET /hhi?verbose=1&x=%20 HTTP/1.1\r\n\r\n"[..], "verbose"),
+        (b"GET /healthz?x HTTP/1.1\r\n\r\n", "x"),
+        (b"GET /metrics?token=abc HTTP/1.1\r\n\r\n", "token"),
+        (b"GET /country/ZZ?full=1 HTTP/1.1\r\n\r\n", "full"),
+    ] {
+        let out = roundtrip(wire);
+        assert!(out.starts_with("HTTP/1.1 400 Bad Request"), "{out}");
+        assert!(out.contains(&format!("\\\"{param}\\\"")), "names the parameter: {out}");
+        // A query 400 is a routing answer, not a parse failure: the
+        // connection stays usable.
+        assert!(!out.contains("Connection: close\r\n"), "{out}");
+    }
+    // ...while a bare "?" (empty query) still serves the route.
+    let out = roundtrip(b"GET /hhi? HTTP/1.1\r\nConnection: close\r\n\r\n");
     assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+    assert_eq!(
+        first_etag(&out),
+        first_etag(&roundtrip(b"GET /hhi HTTP/1.1\r\nConnection: close\r\n\r\n")),
+        "empty query is the same resource"
+    );
+}
+
+#[test]
+fn parameterized_variants_carry_distinct_etags() {
+    let base = roundtrip(b"GET /flows HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let one = roundtrip(b"GET /flows?limit=1 HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let two = roundtrip(b"GET /flows?limit=2 HTTP/1.1\r\nConnection: close\r\n\r\n");
+    for out in [&base, &one, &two] {
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+    }
+    let (e_base, e_one, e_two) = (first_etag(&base), first_etag(&one), first_etag(&two));
+    assert_ne!(e_base, e_one, "query variants are distinct representations");
+    assert_ne!(e_one, e_two);
+    assert_ne!(e_base, e_two);
+    // Equivalent spellings canonicalize to one representation: the ETag
+    // is stable across parameter order and a repeat (cache-hit) fetch.
+    let spelled =
+        roundtrip(b"GET /flows?offset=0&limit=1 HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(first_etag(&spelled), e_one, "canonicalization unifies spellings");
+    let again = roundtrip(b"GET /flows?limit=1 HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(again, one, "cache hit is byte-identical to the miss");
+    // And If-None-Match revalidates the parameterized representation.
+    let cond = roundtrip(
+        format!("GET /flows?limit=1 HTTP/1.1\r\nIf-None-Match: {e_one}\r\nConnection: close\r\n\r\n")
+            .as_bytes(),
+    );
+    assert!(cond.starts_with("HTTP/1.1 304 Not Modified"), "{cond}");
 }
 
 #[test]

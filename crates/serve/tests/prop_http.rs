@@ -99,9 +99,51 @@ fn arb_paths() -> Gen<Vec<&'static str>> {
         "/providers",
         "/hhi",
         "/country/ZZ",
+        "/country/%5A%5A",
         "/nope",
+        "/flows?limit=2",
+        "/flows?sort=share&min_share=0.1",
+        "/providers?sort=asn",
+        "/countries?sort=hhi",
+        "/hhi?x=1",
     ]);
     gens::vec(route, 1, 6)
+}
+
+/// Query-string fragments biased toward the engine's grammar, salted
+/// with hostile percent-escapes and separator abuse.
+fn arb_query() -> Gen<String> {
+    let frag = gens::select(vec![
+        "limit=1",
+        "limit=500",
+        "limit=junk",
+        "limit=999999999999999999999",
+        "offset=3",
+        "sort=share",
+        "sort=hhi",
+        "from=EU",
+        "from=*",
+        "to=%55%53",
+        "category=3p_global",
+        "category=",
+        "min_share=0.5",
+        "min_share=nan",
+        "region=na",
+        "country=us",
+        "min_countries=2",
+        "lens=registration",
+        "x=1",
+        "limit",
+        "=",
+        "%",
+        "%2",
+        "%zz",
+        "a=%00",
+        "a=%ff",
+        "a%3db",
+        "&",
+    ]);
+    gens::vec(frag, 0, 4).map(|v| v.join("&"))
 }
 
 fn pipeline_bytes(paths: &[&str]) -> Vec<u8> {
@@ -182,6 +224,63 @@ fn response_bytes_do_not_depend_on_read_chunking() {
             whole.output(),
             &trickled.out[..],
             "framing of reads must not change the response bytes"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn arbitrary_query_strings_never_panic_and_answer_200_or_400() {
+    let route = gens::select(vec!["/flows", "/providers", "/countries", "/hhi", "/healthz"]);
+    let inputs = route.zip(arb_query()).zip(gens::usize_range(1, 9));
+    cfg("arbitrary_query_strings_never_panic_and_answer_200_or_400").run(
+        &inputs,
+        |((route, query), chunk)| {
+            let wire =
+                format!("GET {route}?{query} HTTP/1.1\r\nConnection: close\r\n\r\n").into_bytes();
+            let mut conn = Trickle::new(wire, *chunk);
+            serve_connection(state(), &mut conn, &Limits::default(), || false)
+                .map_err(|e| format!("in-memory transport errored: {e}"))?;
+            let out = String::from_utf8_lossy(&conn.out).into_owned();
+            prop_assert!(
+                out.starts_with("HTTP/1.1 200 OK") || out.starts_with("HTTP/1.1 400 Bad Request"),
+                "a query is answered 200 or a typed 400, never anything else"
+            );
+            prop_assert_eq!(
+                out.matches("\r\nServer: govhost-serve\r\n").count(),
+                1,
+                "exactly one response"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn arbitrary_percent_escapes_in_paths_never_panic() {
+    let seg = gens::select(vec![
+        "%55%53", "%2e%2e", "%2F", "%", "%2", "%zz", "%00", "%ff", "%C3%A9", "%0d%0a", "%7f",
+        "US", "a",
+    ]);
+    let inputs = gens::vec(seg, 1, 4).zip(gens::usize_range(1, 9));
+    cfg("arbitrary_percent_escapes_in_paths_never_panic").run(&inputs, |(segs, chunk)| {
+        let path: String = segs.concat();
+        let wire =
+            format!("GET /country/{path} HTTP/1.1\r\nConnection: close\r\n\r\n").into_bytes();
+        let mut conn = Trickle::new(wire, *chunk);
+        serve_connection(state(), &mut conn, &Limits::default(), || false)
+            .map_err(|e| format!("in-memory transport errored: {e}"))?;
+        let out = String::from_utf8_lossy(&conn.out).into_owned();
+        prop_assert!(
+            out.starts_with("HTTP/1.1 200 OK")
+                || out.starts_with("HTTP/1.1 400 Bad Request")
+                || out.starts_with("HTTP/1.1 404 Not Found"),
+            "percent-laden paths resolve, reject, or miss — never crash"
+        );
+        prop_assert_eq!(
+            out.matches("\r\nServer: govhost-serve\r\n").count(),
+            1,
+            "exactly one response"
         );
         Ok(())
     });

@@ -47,7 +47,8 @@ fn usage() {
            serve    --scale S --addr HOST:PORT      build the dataset and serve JSON queries\n\
                     [--threads N]                   (worker count; GOVHOST_SERVE_THREADS)\n\
                     [--max-conns N]                 (in-flight cap before 503 shedding)\n\
-                    [--idle-timeout-ms N]           (idle keep-alive eviction deadline)"
+                    [--idle-timeout-ms N]           (idle keep-alive eviction deadline)\n\
+                    [--query-cache N]               (parameterized result-cache entries; 0 disables)"
     );
 }
 
@@ -63,6 +64,7 @@ struct Flags {
     threads: usize,
     max_conns: usize,
     idle_timeout_ms: u64,
+    query_cache: usize,
 }
 
 impl Flags {
@@ -79,6 +81,7 @@ impl Flags {
             threads: 0,
             max_conns: 0,
             idle_timeout_ms: 0,
+            query_cache: govhost::serve::DEFAULT_RESULT_CACHE,
         };
         let mut i = 0;
         while i < args.len() {
@@ -109,6 +112,10 @@ impl Flags {
                 "--idle-timeout-ms" => {
                     f.idle_timeout_ms =
                         value.parse().unwrap_or_else(|_| usage_die("bad --idle-timeout-ms"))
+                }
+                "--query-cache" => {
+                    f.query_cache =
+                        value.parse().unwrap_or_else(|_| usage_die("bad --query-cache"))
                 }
                 other => usage_die(&format!("unknown flag {other}")),
             }
@@ -261,7 +268,8 @@ fn cmd_serve(flags: &Flags) {
     let world = World::generate(&params(flags));
     let (dataset, _report) = GovDataset::try_build(&world, &BuildOptions::default())
         .unwrap_or_else(|e| die(&e.to_string()));
-    let state = std::sync::Arc::new(ServeState::new(&dataset));
+    let state =
+        std::sync::Arc::new(ServeState::with_cache_capacity(&dataset, flags.query_cache));
     let threads =
         if flags.threads > 0 { flags.threads } else { resolve_serve_threads() };
     let mut config = ServerConfig { threads, ..ServerConfig::default() };

@@ -49,6 +49,7 @@ fn malformed_flag_values_are_usage_errors() {
     assert_usage_error(&govhost(&["serve", "--threads", "many"]), "bad --threads");
     assert_usage_error(&govhost(&["serve", "--max-conns", "lots"]), "bad --max-conns");
     assert_usage_error(&govhost(&["serve", "--idle-timeout-ms", "-3"]), "bad --idle-timeout-ms");
+    assert_usage_error(&govhost(&["serve", "--query-cache", "big"]), "bad --query-cache");
 }
 
 #[test]

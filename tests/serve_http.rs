@@ -48,6 +48,19 @@ fn request_sequence(dataset: &GovDataset, state: &ServeState) -> Vec<(String, Ve
         format!("GET /hhi HTTP/1.1\r\nIf-None-Match: {etag}\r\nConnection: close\r\n\r\n")
             .into_bytes(),
     ));
+    // HEAD, parameterized queries (a miss, then its hit — duplicates
+    // are safe here because the sequence is served serially), and a
+    // typed query 400.
+    wires.push((
+        "HEAD /hhi".to_string(),
+        b"HEAD /hhi HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+    ));
+    for label in ["/flows?limit=5", "/flows?limit=5", "/flows?bogus=1"] {
+        wires.push((
+            label.to_string(),
+            format!("GET {label} HTTP/1.1\r\nConnection: close\r\n\r\n").into_bytes(),
+        ));
+    }
     wires.push((
         "/metrics".to_string(),
         b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
@@ -98,11 +111,16 @@ fn responses_are_byte_identical_across_thread_counts() {
         let expected = match label.as_str() {
             "/nope" => "HTTP/1.1 404",
             "/hhi revalidation" => "HTTP/1.1 304",
+            "/flows?bogus=1" => "HTTP/1.1 400",
             _ => "HTTP/1.1 200",
         };
         assert!(text.starts_with(expected), "{label}: {text}");
-        if label != "/nope" && label != "/metrics" {
+        if !matches!(label.as_str(), "/nope" | "/metrics" | "/flows?bogus=1") {
             assert!(text.contains("\r\nETag: \""), "{label} carries an ETag: {text}");
+        }
+        if label == "HEAD /hhi" {
+            let (_, body) = text.split_once("\r\n\r\n").expect("head/body split");
+            assert!(body.is_empty(), "HEAD puts zero body bytes on the wire: {text}");
         }
     }
     // The 304 revalidation answered with the same ETag and no body.
@@ -117,9 +135,14 @@ fn responses_are_byte_identical_across_thread_counts() {
         "a 304 omits Content-Length: {revalidated}"
     );
     let metrics = String::from_utf8_lossy(baseline.last().expect("metrics response"));
-    assert!(metrics.contains("http_requests{route=\"/hhi\"} 2"), "{metrics}");
+    assert!(metrics.contains("http_requests{route=\"/hhi\"} 3"), "{metrics}");
+    assert!(metrics.contains("http_requests{route=\"/flows\"} 4"), "{metrics}");
     assert!(metrics.contains("http_requests{route=\"other\"} 1"), "{metrics}");
     assert!(metrics.contains("http_responses{class=\"3xx\",route=\"/hhi\"} 1"), "{metrics}");
+    assert!(metrics.contains("http_responses{class=\"4xx\",route=\"/flows\"} 1"), "{metrics}");
+    assert!(metrics.contains("http_query_cache{outcome=\"miss\"} 1"), "{metrics}");
+    assert!(metrics.contains("http_query_cache{outcome=\"hit\"} 1"), "{metrics}");
+    assert!(metrics.contains("http_query_cache{outcome=\"eviction\"} 0"), "{metrics}");
     assert!(metrics.contains("http_shed 0"), "{metrics}");
     assert!(metrics.contains("# TYPE http_latency_ns histogram"), "{metrics}");
 }
