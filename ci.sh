@@ -38,6 +38,27 @@ echo "==> telemetry suites"
 cargo test -q --offline --release --test telemetry
 cargo test -q --offline -p govhost-obs --test prop_obs
 
+# The interned-build determinism pin runs at full paper scale (scale 1,
+# ~1M URLs) across 1/2/4/8 work-stealing threads, so it is #[ignore]d in
+# the debug pass above and exercised here in release, together with the
+# interner-vs-reference-model property suite.
+echo "==> interned build suites"
+cargo test -q --offline --release --test interning -- --include-ignored
+cargo test -q --offline -p govhost-core --test prop_table
+
+# Hygiene gate for the interned path: the build and table modules must
+# obtain every hostname from the interner — parsing one from a raw
+# string there reintroduces the per-row allocations the columnar
+# representation removed. (Test modules are stripped before grepping.)
+echo "==> interned-path hygiene gate"
+for f in crates/core/src/dataset.rs crates/core/src/table.rs; do
+    if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
+        | grep -nE 'parse::<Hostname>|Hostname::from_str|: *Hostname *=.*\.parse\('; then
+        echo "raw hostname construction in $f — route it through the interner" >&2
+        exit 1
+    fi
+done
+
 # And the serving contract: the event-loop + readiness unit tests in
 # the serve crate, HTTP conformance (keep-alive, ETag/304, HEAD,
 # percent-decoding, typed query 400s, idle eviction, 503 shedding) +

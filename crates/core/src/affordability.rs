@@ -89,13 +89,13 @@ impl AffordabilityAnalysis {
     /// URLs by hostname (the HAR already collapsed pages to URLs).
     pub fn compute(dataset: &GovDataset) -> AffordabilityAnalysis {
         // bytes per hostname, then median per country.
-        let mut host_bytes: HashMap<u32, f64> = HashMap::new();
-        for url in &dataset.urls {
+        let mut host_bytes: HashMap<govhost_types::HostId, f64> = HashMap::new();
+        for url in dataset.urls.iter() {
             *host_bytes.entry(url.host).or_default() += url.bytes as f64;
         }
         let mut per_country_sizes: HashMap<CountryCode, Vec<f64>> = HashMap::new();
-        for (idx, bytes) in &host_bytes {
-            let host = &dataset.hosts[*idx as usize];
+        for (id, bytes) in &host_bytes {
+            let host = dataset.host(*id);
             per_country_sizes.entry(host.country).or_default().push(*bytes);
         }
         let mut per_country = HashMap::new();

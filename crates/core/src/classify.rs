@@ -54,8 +54,14 @@ pub fn matches_gov_tld(host: &Hostname) -> bool {
     n >= 2 && labels[n - 1].len() == 2 && GOV_TLD_TOKENS.contains(&labels[n - 2])
 }
 
-/// The assembled §3.3 classifier for one country.
-pub struct Classifier<'a> {
+/// The country's seed material for §3.3 classification: seed hostnames,
+/// their registrable domains, and landing-certificate SANs.
+///
+/// This is the immutable, shareable half of the classifier — the
+/// streaming build constructs one per country and consults it directly
+/// (memoizing per chunk in its hostname interner); [`Classifier`] wraps
+/// it with a per-instance cache for callers that classify ad hoc.
+pub struct SeedSets {
     /// Seed hostnames from the §3.1 landing list.
     seeds: HashSet<Hostname>,
     /// Registrable domains of the seeds (a page on `portal.gov.br` matches
@@ -63,6 +69,58 @@ pub struct Classifier<'a> {
     seed_domains: HashSet<Hostname>,
     /// SANs collected from landing-page certificates.
     san_hosts: HashSet<Hostname>,
+}
+
+impl SeedSets {
+    /// Build the seed sets from the country's seed hostnames and its
+    /// landing certificates.
+    pub fn new<'c>(
+        seeds: impl IntoIterator<Item = Hostname>,
+        landing_certs: impl IntoIterator<Item = &'c TlsCert>,
+    ) -> Self {
+        let seeds: HashSet<Hostname> = seeds.into_iter().collect();
+        let seed_domains = seeds.iter().map(Hostname::registrable_domain).collect();
+        let mut san_hosts = HashSet::new();
+        for cert in landing_certs {
+            for san in &cert.sans {
+                san_hosts.insert(san.clone());
+            }
+        }
+        Self { seeds, seed_domains, san_hosts }
+    }
+
+    /// Classify a hostname against the Table 1 rules; `None` means
+    /// non-government (discarded). Not memoized — callers on hot paths
+    /// key the result by interned hostname id.
+    pub fn classify(&self, host: &Hostname, search: &SearchIndex) -> Option<ClassificationMethod> {
+        if matches_gov_tld(host) {
+            return Some(ClassificationMethod::GovTld);
+        }
+        if self.seeds.contains(host) || self.seed_domains.contains(&host.registrable_domain()) {
+            return Some(ClassificationMethod::DomainMatch);
+        }
+        if self.san_hosts.contains(host) && self.verify_san(host, search) {
+            return Some(ClassificationMethod::San);
+        }
+        None
+    }
+
+    /// "Manual verification" of a SAN hit: search the owner label and
+    /// check the evidence connects it to the state (§3.3: hostnames that
+    /// cannot be verified are discarded).
+    fn verify_san(&self, host: &Hostname, search: &SearchIndex) -> bool {
+        let owner = host.labels().next().unwrap_or_default();
+        search
+            .search(owner)
+            .iter()
+            .any(|r| r.indicates_government() || crate::fold::ascii_contains_ci(&r.snippet, "official"))
+    }
+}
+
+/// The assembled §3.3 classifier for one country: [`SeedSets`] plus the
+/// verification oracle and a memoization cache.
+pub struct Classifier<'a> {
+    seeds: SeedSets,
     /// The verification oracle for SAN hits.
     search: &'a SearchIndex,
     cache: HashMap<Hostname, Option<ClassificationMethod>>,
@@ -76,15 +134,7 @@ impl<'a> Classifier<'a> {
         landing_certs: impl IntoIterator<Item = &'a TlsCert>,
         search: &'a SearchIndex,
     ) -> Self {
-        let seeds: HashSet<Hostname> = seeds.into_iter().collect();
-        let seed_domains = seeds.iter().map(Hostname::registrable_domain).collect();
-        let mut san_hosts = HashSet::new();
-        for cert in landing_certs {
-            for san in &cert.sans {
-                san_hosts.insert(san.clone());
-            }
-        }
-        Self { seeds, seed_domains, san_hosts, search, cache: HashMap::new() }
+        Self { seeds: SeedSets::new(seeds, landing_certs), search, cache: HashMap::new() }
     }
 
     /// Classify a hostname; `None` means non-government (discarded).
@@ -94,33 +144,9 @@ impl<'a> Classifier<'a> {
         if let Some(cached) = self.cache.get(host) {
             return *cached;
         }
-        let result = self.classify_uncached(host);
+        let result = self.seeds.classify(host, self.search);
         self.cache.insert(host.clone(), result);
         result
-    }
-
-    fn classify_uncached(&self, host: &Hostname) -> Option<ClassificationMethod> {
-        if matches_gov_tld(host) {
-            return Some(ClassificationMethod::GovTld);
-        }
-        if self.seeds.contains(host) || self.seed_domains.contains(&host.registrable_domain()) {
-            return Some(ClassificationMethod::DomainMatch);
-        }
-        if self.san_hosts.contains(host) && self.verify_san(host) {
-            return Some(ClassificationMethod::San);
-        }
-        None
-    }
-
-    /// "Manual verification" of a SAN hit: search the owner label and
-    /// check the evidence connects it to the state (§3.3: hostnames that
-    /// cannot be verified are discarded).
-    fn verify_san(&self, host: &Hostname) -> bool {
-        let owner = host.labels().next().unwrap_or_default();
-        self.search
-            .search(owner)
-            .iter()
-            .any(|r| r.indicates_government() || r.snippet.to_lowercase().contains("official"))
     }
 
     /// Number of memoized hostnames (diagnostics).

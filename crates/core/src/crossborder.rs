@@ -215,8 +215,10 @@ fn region_of(country: CountryCode) -> Option<Region> {
 mod tests {
     use super::*;
     use crate::classify::ClassificationMethod;
-    use crate::dataset::{HostRecord, UrlRecord};
-    use govhost_types::{cc, ProviderCategory};
+    use crate::dataset::HostRecord;
+    use crate::table::UrlTable;
+    use govhost_types::url::Scheme;
+    use govhost_types::{cc, HostId, HostInterner, ProviderCategory};
 
     fn dataset() -> GovDataset {
         let mk_host = |name: &str,
@@ -251,17 +253,16 @@ mod tests {
             // FR host domestic.
             mk_host("a.gouv.fr", cc!("FR"), cc!("FR"), cc!("FR")),
         ];
-        let urls = (0..hosts.len())
-            .map(|i| UrlRecord {
-                url: format!("https://{}/x", hosts[i].hostname).parse().unwrap(),
-                host: i as u32,
-                bytes: 10,
-            })
-            .collect();
+        let mut host_ids = HostInterner::new();
+        let mut urls = UrlTable::new();
+        for (i, h) in hosts.iter().enumerate() {
+            host_ids.intern(&h.hostname);
+            urls.push(Scheme::Https, HostId::new(i as u32), "/x", 10);
+        }
         GovDataset {
             hosts,
             urls,
-            host_index: HashMap::new(),
+            host_ids,
             validation: Default::default(),
             method_counts: [8, 0, 0],
             crawl_failures: 0,

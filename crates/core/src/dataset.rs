@@ -10,16 +10,27 @@
 //!
 //! ## Parallelism & determinism
 //!
-//! The per-country stage (crawl → classify → identify) is embarrassingly
-//! parallel — countries share nothing until their partial results are
-//! merged — so [`GovDataset::build`] fans countries out over
-//! [`BuildOptions::threads`] scoped worker threads
-//! ([`govhost_par::parallel_map`]), then merges the partials **in fixed
-//! country order** on the calling thread. Geolocation (§3.5) is fanned
-//! out the same way over address chunks. Because every worker computes a
-//! pure function of the immutable world and the merge order never
-//! depends on scheduling, the dataset — down to `export_csv` bytes — is
-//! identical for every thread count (`tests/determinism.rs` pins this).
+//! Crawling and classification fan out over *(country, landing-chunk)*
+//! jobs on [`BuildOptions::threads`] work-stealing worker threads
+//! ([`govhost_par::parallel_map`]), so one giant country no longer
+//! serializes the build; identification fans out per country, and
+//! geolocation (§3.5) over address chunks. Each job streams crawled
+//! pages straight through classification into a chunk-local interned,
+//! columnar partial (no whole-crawl HAR logs are ever materialized), and
+//! the partials are merged **in fixed job order** on the calling thread.
+//! Because every worker computes a pure function of the immutable world
+//! and the merge order never depends on scheduling, the dataset — down
+//! to `export_csv` bytes — is identical for every thread count
+//! (`tests/determinism.rs` pins this).
+//!
+//! ## Interned representation
+//!
+//! Hostnames are interned into a per-build arena
+//! ([`govhost_types::HostInterner`]) whose dense [`HostId`]s double as
+//! row indices of [`GovDataset::hosts`]; captured URLs live in a
+//! columnar [`UrlTable`] (scheme / host-id / bytes / path-slice columns)
+//! instead of a `Vec` of owned-`String` structs. See `DESIGN.md` for the
+//! memory model.
 //!
 //! ## Telemetry
 //!
@@ -35,14 +46,15 @@
 //! loop's own sums), and [`GovDataset::telemetry`] hands the full tree
 //! to the export layer (`results/trace.json`, `results/metrics.json`).
 
-use crate::classify::{ClassificationMethod, Classifier};
+use crate::classify::{ClassificationMethod, SeedSets};
 use crate::infra::{InfraIdentifier, InfraRecord};
+use crate::table::{UrlInterner, UrlRef, UrlTable};
 use govhost_geoloc::pipeline::{GeoTask, GeolocationPipeline, PipelineConfig, ValidationStats};
 use govhost_types::{
-    Asn, CountryCode, Hostname, PipelineError, PipelineStage, ProviderCategory, Region, Url,
+    Asn, CountryCode, HostId, HostInterner, Hostname, PipelineError, PipelineStage,
+    ProviderCategory, Region, Url,
 };
-use govhost_web::crawler::{CrawlOutcome, Crawler, FailureCauses};
-use govhost_worldgen::countries::CountryRow;
+use govhost_web::crawler::{Crawler, FailureCauses};
 use govhost_worldgen::World;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
@@ -293,17 +305,6 @@ pub struct HostRecord {
     pub geo_excluded: bool,
 }
 
-/// One captured government URL.
-#[derive(Debug, Clone)]
-pub struct UrlRecord {
-    /// The URL.
-    pub url: Url,
-    /// Index into [`GovDataset::hosts`].
-    pub host: u32,
-    /// Transfer size.
-    pub bytes: u64,
-}
-
 /// Per-country collection statistics (Table 8 recomputed).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CountryStats {
@@ -343,12 +344,13 @@ pub struct DatasetSummary {
 /// The assembled dataset.
 #[derive(Debug, Clone)]
 pub struct GovDataset {
-    /// Per-hostname infrastructure records.
+    /// Per-hostname infrastructure records, in [`HostId`] order.
     pub hosts: Vec<HostRecord>,
-    /// Every captured government URL.
-    pub urls: Vec<UrlRecord>,
-    /// Hostname → index into `hosts`.
-    pub host_index: HashMap<Hostname, u32>,
+    /// Every captured government URL, columnar, host-ids interned.
+    pub urls: UrlTable,
+    /// The build's hostname arena: hostname ↔ [`HostId`] (= row index
+    /// into [`GovDataset::hosts`]).
+    pub host_ids: HostInterner,
     /// Geolocation validation statistics (Table 4).
     pub validation: ValidationStats,
     /// URL counts per §3.3 method `[GovTld, DomainMatch, San]` (§4.2).
@@ -369,39 +371,13 @@ pub struct GovDataset {
     pub telemetry: govhost_obs::Telemetry,
 }
 
-/// One government URL surfaced by a country's crawl, before the
-/// cross-country merge.
-struct CountryEntry {
-    url: Url,
-    method: ClassificationMethod,
-    bytes: u64,
-}
-
-/// Everything one country contributes, computed independently of every
-/// other country so the per-country stage can fan out.
-struct CountryPartial {
-    code: CountryCode,
-    stats: CountryStats,
-    crawl_failures: u32,
-    /// Unique government URLs in crawl order.
-    entries: Vec<CountryEntry>,
-    /// §3.4 identification for every distinct government hostname this
-    /// country surfaced, resolved from *this* country's vantage. The
-    /// merge uses the entry from whichever country surfaces a hostname
-    /// first (in fixed country order), which is exactly the record the
-    /// sequential pipeline would have produced.
-    infra: HashMap<Hostname, Option<InfraRecord>>,
-    failure_causes: FailureCauses,
-    resolution_failures: u64,
-}
-
 /// What [`GovDataset::build_traced`] hands back to `try_build`: the
 /// merged dataset pieces plus the merge loop's own tallies, kept solely
 /// to cross-check the registry-derived [`BuildReport`].
 struct TracedBuild {
     hosts: Vec<HostRecord>,
-    urls: Vec<UrlRecord>,
-    host_index: HashMap<Hostname, u32>,
+    urls: UrlTable,
+    host_ids: HostInterner,
     validation: ValidationStats,
     method_counts: [u64; 3],
     crawl_failures: u32,
@@ -411,123 +387,201 @@ struct TracedBuild {
     quarantined: Vec<QuarantineEntry>,
 }
 
-/// The §3.2–§3.4 per-country stage: crawl every landing page, classify
-/// the captured URLs, identify the infrastructure behind each government
-/// hostname. Pure in `(world, options, row)` — scheduling cannot change
-/// its output.
+/// Landing pages per crawl/classify job. Small enough that a country
+/// with many landing pages splits into several stealable jobs; large
+/// enough that the per-job interning overhead stays negligible.
+const LANDING_CHUNK: usize = 8;
+
+/// Pages streamed per `crawl` span before a `classify` span processes
+/// them — bounds the number of in-flight page borrows without paying a
+/// span per page.
+const CRAWL_BATCH: usize = 64;
+
+/// Per-country context shared by that country's chunk jobs: vantage,
+/// landing slice, and the §3.3 seed material (built once per country).
+struct CountryCtx<'w> {
+    code: CountryCode,
+    vantage: CountryCode,
+    landing: &'w [Url],
+    seeds: SeedSets,
+}
+
+/// One `(country, landing-chunk)` job for the crawl/classify fan-out.
+struct ChunkJob {
+    /// Index into the prepared `Vec<CountryCtx>`.
+    ctx: usize,
+    /// Landing-page range of this chunk.
+    start: usize,
+    end: usize,
+}
+
+/// What one chunk job produces: a chunk-local interned, columnar view of
+/// every *unique* URL its crawls examined. Host ids are local to the
+/// chunk's own arena (`host_names` order); the merge remaps them.
+struct ChunkPartial {
+    /// Chunk-local hostname arena, in first-seen order.
+    host_names: Vec<Hostname>,
+    /// §3.3 verdict per chunk-local host id (classification is a pure
+    /// function of the hostname, so computing it at intern time memoizes
+    /// it for every later URL on the same host).
+    verdicts: Vec<Option<ClassificationMethod>>,
+    /// Unique examined URLs in crawl order, host column chunk-local.
+    rows: UrlTable,
+    crawl_failures: u32,
+    failure_causes: FailureCauses,
+}
+
+/// The §3.2–§3.3 streaming stage for one landing chunk: crawl each
+/// landing page breadth-first, stream batches of pages straight through
+/// classification into the chunk's interners. Pure in
+/// `(world, options, ctx, range)` — scheduling cannot change its output.
 ///
 /// A landing page that cannot be fetched is a crawl-stage fault
 /// ([`PipelineError::Crawl`]): the site would contribute nothing, so the
 /// country's result is unusable. Deeper dead links stay non-fatal and
-/// are only counted. Resolution faults are likewise absorbed per-host
-/// (the record stays, unresolved) and counted.
-fn try_build_country(
+/// are only counted.
+fn stream_chunk(
     world: &World,
     options: &BuildOptions,
-    row: &CountryRow,
-) -> Result<Option<CountryPartial>, PipelineError> {
-    let code = row.cc();
-    let landing = world.landing(code);
-    if landing.is_empty() {
-        return Ok(None); // Korea's empty row
-    }
-    let vantage = world.vantage(code);
-    let _country = govhost_obs::span_labeled("country", &[("country", code.as_str())]);
-
-    // §3.2: breadth-first crawl of each landing page, in landing order.
-    let mut outcomes: Vec<CrawlOutcome> = Vec::with_capacity(landing.len());
-    let mut failure_causes = FailureCauses::default();
-    {
-        let _crawl = govhost_obs::span!("crawl");
-        for u in landing.iter() {
-            let mut outcome = options.crawler.crawl(&world.corpus, u, Some(vantage.country));
-            if let Some(err) = outcome.landing_error.take() {
-                return Err(err);
-            }
-            failure_causes.merge(outcome.failure_causes);
-            outcomes.push(outcome);
-        }
-        let pages: u64 = outcomes.iter().map(|o| o.pages_visited as u64).sum();
-        govhost_obs::counter_add("crawl.pages", &[("country", code.as_str())], pages);
-    }
-
-    // §3.3: classify every unique captured URL.
-    let _classify = govhost_obs::span!("classify");
-    let seed_hosts: Vec<Hostname> = landing.iter().map(|u| u.hostname().clone()).collect();
-    let landing_certs: Vec<&govhost_web::cert::TlsCert> =
-        seed_hosts.iter().filter_map(|h| world.corpus.certificate(h)).collect();
-    let mut classifier = Classifier::new(seed_hosts, landing_certs, &world.search);
-
-    let mut stats = CountryStats { landing: landing.len() as u32, ..Default::default() };
+    ctx: &CountryCtx<'_>,
+    start: usize,
+    end: usize,
+) -> Result<ChunkPartial, PipelineError> {
+    let mut hosts = HostInterner::new();
+    let mut verdicts: Vec<Option<ClassificationMethod>> = Vec::new();
+    let mut rows = UrlInterner::new();
+    let mut pages = 0u64;
     let mut crawl_failures = 0u32;
-    let mut entries: Vec<CountryEntry> = Vec::new();
-    let mut seen_urls: HashSet<Url> = HashSet::new();
-    let mut country_hosts: HashSet<Hostname> = HashSet::new();
-    let mut examined = 0u64;
-    for outcome in &outcomes {
-        crawl_failures += outcome.log.failures;
-        for entry in &outcome.log.entries {
-            if !seen_urls.insert(entry.url.clone()) {
-                continue;
-            }
-            examined += 1;
-            let host = entry.url.hostname();
-            let Some(method) = classifier.classify(host) else {
-                continue; // non-government URL, discarded
-            };
-            country_hosts.insert(host.clone());
-            stats.urls += 1;
-            stats.bytes += entry.bytes;
-            entries.push(CountryEntry { url: entry.url.clone(), method, bytes: entry.bytes });
-        }
-    }
-    stats.hostnames = country_hosts.len() as u32;
-    govhost_obs::counter_add("classify.urls_examined", &[("country", code.as_str())], examined);
-    drop(_classify);
+    let mut failure_causes = FailureCauses::default();
 
-    // §3.4: resolve + WHOIS every distinct government hostname from the
-    // domestic vantage. Hostnames another country also surfaces are
-    // identified once per country; the merge keeps the first country's
-    // record (same as the sequential pipeline).
-    let _identify = govhost_obs::span!("identify");
-    let mut identifier =
-        InfraIdentifier::new(&world.resolver, &world.registry, &world.peeringdb, &world.search);
-    let mut infra: HashMap<Hostname, Option<InfraRecord>> = HashMap::new();
-    let mut resolution_failures = 0u64;
-    for entry in &entries {
-        let host = entry.url.hostname();
-        if !infra.contains_key(host) {
+    let mut examine = |url: &Url, bytes: u64| {
+        let (hid, new_host) = hosts.intern(url.hostname());
+        if new_host {
+            verdicts.push(ctx.seeds.classify(url.hostname(), &world.search));
+        }
+        rows.intern(url.scheme(), hid, url.path(), bytes);
+    };
+
+    for landing_url in &ctx.landing[start..end] {
+        let mut session =
+            options.crawler.session(&world.corpus, landing_url, Some(ctx.vantage));
+        loop {
+            let batch = {
+                let _crawl = govhost_obs::span!("crawl");
+                let mut batch = Vec::with_capacity(CRAWL_BATCH);
+                while batch.len() < CRAWL_BATCH {
+                    match session.next_page() {
+                        Some(visit) => batch.push(visit),
+                        None => break,
+                    }
+                }
+                batch
+            };
+            if batch.is_empty() {
+                break;
+            }
+            let _classify = govhost_obs::span!("classify");
+            for visit in &batch {
+                examine(&visit.url, visit.page.html_bytes);
+                for res in &visit.page.resources {
+                    examine(&res.url, res.bytes);
+                }
+            }
+        }
+        if let Some(err) = session.take_landing_error() {
+            return Err(err);
+        }
+        pages += session.pages_visited() as u64;
+        crawl_failures += session.failures();
+        failure_causes.merge(session.failure_causes());
+    }
+    govhost_obs::counter_add("crawl.pages", &[("country", ctx.code.as_str())], pages);
+
+    let host_names: Vec<Hostname> = hosts.iter().map(|(_, name)| name.clone()).collect();
+    Ok(ChunkPartial { host_names, verdicts, rows: rows.into_table(), crawl_failures, failure_causes })
+}
+
+/// One country's chunk partials merged into the global tables, plus what
+/// phase 2 (identify) and the telemetry assembly need.
+struct CountryMerged {
+    code: CountryCode,
+    vantage: CountryCode,
+    stats: CountryStats,
+    crawl_failures: u32,
+    failure_causes: FailureCauses,
+    /// Unique URLs this country's crawls examined (the
+    /// `classify.urls_examined` counter).
+    examined: u64,
+    /// Host records first surfaced by this country (the `analyze.hosts`
+    /// counter).
+    new_hosts: u64,
+    /// Every distinct government hostname this country surfaced, as
+    /// global ids in first-occurrence order — the §3.4 work list,
+    /// including hostnames first surfaced by an earlier country (each
+    /// country identifies from its own vantage, as the sequential
+    /// pipeline did).
+    gov_list: Vec<HostId>,
+    /// The chunk jobs' telemetry shards, in chunk order.
+    shards: Vec<govhost_obs::Telemetry>,
+}
+
+/// What one country's §3.4 identify job produces.
+struct IdentifyPartial {
+    /// `(global host id, identification)` in `gov_list` order.
+    records: Vec<(HostId, Option<InfraRecord>)>,
+    resolution_failures: u64,
+    shard: govhost_obs::Telemetry,
+}
+
+/// The §3.4 stage for one country: resolve + WHOIS every distinct
+/// government hostname from the domestic vantage, in first-occurrence
+/// order. Resolution faults are absorbed per-host (the record stays,
+/// unresolved) and counted.
+fn identify_country(
+    world: &World,
+    code: CountryCode,
+    vantage: CountryCode,
+    gov_hosts: &[(HostId, Hostname)],
+) -> IdentifyPartial {
+    let ((records, resolution_failures), shard) = govhost_obs::collect(|| {
+        let _identify = govhost_obs::span!("identify");
+        let mut identifier = InfraIdentifier::new(
+            &world.resolver,
+            &world.registry,
+            &world.peeringdb,
+            &world.search,
+        );
+        let mut records: Vec<(HostId, Option<InfraRecord>)> =
+            Vec::with_capacity(gov_hosts.len());
+        let mut resolution_failures = 0u64;
+        for (gid, host) in gov_hosts {
             // A resolution fault (NXDOMAIN, broken zone) keeps the host
             // record — unresolved — and is counted for the BuildReport,
             // instead of being silently conflated with "no record".
-            let record = match identifier.identify(host, vantage.country) {
+            let record = match identifier.identify(host, vantage) {
                 Ok(record) => record,
                 Err(_) => {
                     resolution_failures += 1;
                     None
                 }
             };
-            infra.insert(host.clone(), record);
+            records.push((*gid, record));
         }
-    }
-    govhost_obs::counter_add("identify.hosts", &[("country", code.as_str())], infra.len() as u64);
-    if resolution_failures > 0 {
         govhost_obs::counter_add(
-            "identify.resolution_failures",
+            "identify.hosts",
             &[("country", code.as_str())],
-            resolution_failures,
+            gov_hosts.len() as u64,
         );
-    }
-
-    Ok(Some(CountryPartial {
-        code,
-        stats,
-        crawl_failures,
-        entries,
-        infra,
-        failure_causes,
-        resolution_failures,
-    }))
+        if resolution_failures > 0 {
+            govhost_obs::counter_add(
+                "identify.resolution_failures",
+                &[("country", code.as_str())],
+                resolution_failures,
+            );
+        }
+        (records, resolution_failures)
+    });
+    IdentifyPartial { records, resolution_failures, shard }
 }
 
 impl GovDataset {
@@ -626,7 +680,7 @@ impl GovDataset {
         let dataset = GovDataset {
             hosts: traced.hosts,
             urls: traced.urls,
-            host_index: traced.host_index,
+            host_ids: traced.host_ids,
             validation: traced.validation,
             method_counts: traced.method_counts,
             crawl_failures: traced.crawl_failures,
@@ -642,80 +696,143 @@ impl GovDataset {
     fn build_traced(world: &World, options: &BuildOptions) -> Result<TracedBuild, BuildError> {
         let _build = govhost_obs::span!("build");
 
-        // Stage 1 (parallel): per-country crawl → classify → identify.
-        // Each job collects its telemetry into a private shard that rides
-        // back with the partial; a faulted or empty country's shard is
-        // dropped with its result, so the capture only ever describes
-        // work that contributed to the dataset.
-        let rows: Vec<&CountryRow> = world.studied_countries().iter().collect();
+        // Prep: per contributing country, the shared crawl/classify
+        // context; then the (country, landing-chunk) job list in fixed
+        // nested order.
+        let mut ctxs: Vec<CountryCtx<'_>> = Vec::new();
+        for row in world.studied_countries() {
+            let code = row.cc();
+            let landing = world.landing(code);
+            if landing.is_empty() {
+                continue; // Korea's empty row: nothing to contribute
+            }
+            let seed_hosts: Vec<Hostname> =
+                landing.iter().map(|u| u.hostname().clone()).collect();
+            let landing_certs: Vec<&govhost_web::cert::TlsCert> =
+                seed_hosts.iter().filter_map(|h| world.corpus.certificate(h)).collect();
+            let seeds = SeedSets::new(seed_hosts, landing_certs);
+            ctxs.push(CountryCtx { code, vantage: world.vantage(code).country, landing, seeds });
+        }
+        let mut jobs: Vec<ChunkJob> = Vec::new();
+        for (ci, ctx) in ctxs.iter().enumerate() {
+            let mut start = 0;
+            while start < ctx.landing.len() {
+                let end = (start + LANDING_CHUNK).min(ctx.landing.len());
+                jobs.push(ChunkJob { ctx: ci, start, end });
+                start = end;
+            }
+        }
+
+        // Phase 1 (parallel, work-stealing): stream-crawl and classify
+        // every chunk. Each job collects its telemetry into a private
+        // shard that rides back with the partial; a faulted country's
+        // shards are dropped with its result, so the capture only ever
+        // describes work that contributed to the dataset.
         let results = govhost_par::try_parallel_map(
-            &rows,
+            &jobs,
             options.threads,
-            |row| format!("country {}", row.code),
-            |_, row| {
+            |job| {
+                format!("country {} landing {}..{}", ctxs[job.ctx].code, job.start, job.end)
+            },
+            |_, job| {
+                let ctx = &ctxs[job.ctx];
                 let (result, shard) =
-                    govhost_obs::collect(|| try_build_country(world, options, row));
-                result.map(|partial| partial.map(|p| (p, shard)))
+                    govhost_obs::collect(|| stream_chunk(world, options, ctx, job.start, job.end));
+                result.map(|partial| (partial, shard))
             },
         );
 
-        // Stage 2 (sequential): merge partials in country order, applying
-        // the failure policy to faulted countries. Shards are grafted
-        // below the `build` span in the same fixed order (the merge
-        // algebra is order-blind anyway — `govhost-obs` property tests).
-        let build_ctx = govhost_obs::context();
-        let mut quarantined: Vec<QuarantineEntry> = Vec::new();
-        let mut partials: Vec<CountryPartial> = Vec::with_capacity(rows.len());
-        for result in results {
+        // Group chunk results per country, in fixed job order. A country
+        // fails as a whole, named by its earliest faulting chunk — which
+        // holds the earliest faulting landing page, exactly the error the
+        // sequential per-country loop would have surfaced.
+        let mut chunks: Vec<Vec<(ChunkPartial, govhost_obs::Telemetry)>> =
+            (0..ctxs.len()).map(|_| Vec::new()).collect();
+        let mut faults: Vec<Option<PipelineError>> = (0..ctxs.len()).map(|_| None).collect();
+        for (job, result) in jobs.iter().zip(results) {
             match result {
-                Ok(Some((partial, shard))) => {
-                    govhost_obs::absorb(shard, &build_ctx);
-                    partials.push(partial);
-                }
-                Ok(None) => {} // Korea's empty row: nothing to contribute
-                Err(job) => {
-                    let country = rows[job.job].cc();
-                    match options.policy {
-                        FailurePolicy::Abort => {
-                            return Err(BuildError { country, error: job.error })
-                        }
-                        FailurePolicy::Quarantine => quarantined.push(QuarantineEntry {
-                            country,
-                            stage: job.error.stage(),
-                            cause: job.error.to_string(),
-                        }),
+                Ok(pair) => chunks[job.ctx].push(pair),
+                Err(e) => {
+                    if faults[job.ctx].is_none() {
+                        faults[job.ctx] = Some(e.error);
                     }
                 }
             }
         }
 
-        let _analyze = govhost_obs::span!("analyze");
+        // Merge (sequential, fixed country order): remap chunk-local host
+        // ids to country-local then global ids, dedup URLs cross-chunk
+        // (first sighting wins, in crawl order), and append government
+        // rows to the global columnar table.
+        let mut quarantined: Vec<QuarantineEntry> = Vec::new();
         let mut hosts: Vec<HostRecord> = Vec::new();
-        let mut host_index: HashMap<Hostname, u32> = HashMap::new();
-        let mut urls: Vec<UrlRecord> = Vec::new();
+        let mut host_ids = HostInterner::new();
+        let mut urls = UrlTable::new();
         let mut method_counts = [0u64; 3];
-        let mut crawl_failures = 0u32;
-        let mut failure_causes = FailureCauses::default();
-        let mut resolution_failures = 0u64;
-        let mut per_country: HashMap<CountryCode, CountryStats> = HashMap::new();
-        for partial in partials {
-            let code = partial.code;
-            crawl_failures += partial.crawl_failures;
-            failure_causes.merge(partial.failure_causes);
-            resolution_failures += partial.resolution_failures;
-            per_country.insert(code, partial.stats);
+        let mut merged: Vec<CountryMerged> = Vec::with_capacity(ctxs.len());
+        for (ci, ctx) in ctxs.iter().enumerate() {
+            if let Some(error) = faults[ci].take() {
+                match options.policy {
+                    FailurePolicy::Abort => {
+                        return Err(BuildError { country: ctx.code, error })
+                    }
+                    FailurePolicy::Quarantine => {
+                        quarantined.push(QuarantineEntry {
+                            country: ctx.code,
+                            stage: error.stage(),
+                            cause: error.to_string(),
+                        });
+                        continue;
+                    }
+                }
+            }
+            let code = ctx.code;
+            let mut country_hosts = HostInterner::new();
+            let mut country_verdicts: Vec<Option<ClassificationMethod>> = Vec::new();
+            let mut country_rows = UrlInterner::new();
+            let mut gov_seen: Vec<bool> = Vec::new();
+            let mut gov_list: Vec<HostId> = Vec::new();
+            let mut stats =
+                CountryStats { landing: ctx.landing.len() as u32, ..Default::default() };
+            let mut crawl_failures = 0u32;
+            let mut failure_causes = FailureCauses::default();
             let mut new_hosts = 0u64;
-            for entry in partial.entries {
-                let host = entry.url.hostname();
-                let idx = match host_index.get(host) {
-                    Some(i) => *i,
-                    None => {
-                        let i = hosts.len() as u32;
-                        host_index.insert(host.clone(), i);
-                        let mut record = HostRecord {
-                            hostname: host.clone(),
+            let country_chunks = std::mem::take(&mut chunks[ci]);
+            let mut shards = Vec::with_capacity(country_chunks.len());
+            for (chunk, shard) in country_chunks {
+                shards.push(shard);
+                crawl_failures += chunk.crawl_failures;
+                failure_causes.merge(chunk.failure_causes);
+                let map: Vec<HostId> = chunk
+                    .host_names
+                    .iter()
+                    .zip(&chunk.verdicts)
+                    .map(|(name, verdict)| {
+                        let (chid, new) = country_hosts.intern(name);
+                        if new {
+                            country_verdicts.push(*verdict);
+                            gov_seen.push(false);
+                        }
+                        chid
+                    })
+                    .collect();
+                for row in chunk.rows.iter() {
+                    let chid = map[row.host.index()];
+                    let (_, first_sighting) =
+                        country_rows.intern(row.scheme, chid, row.path, row.bytes);
+                    if !first_sighting {
+                        continue;
+                    }
+                    let Some(method) = country_verdicts[chid.index()] else {
+                        continue; // non-government URL, discarded
+                    };
+                    let name = country_hosts.resolve(chid);
+                    let (gid, new_global) = host_ids.intern(name);
+                    if new_global {
+                        hosts.push(HostRecord {
+                            hostname: name.clone(),
                             country: code,
-                            method: entry.method,
+                            method,
                             ip: None,
                             asn: None,
                             org: None,
@@ -725,35 +842,111 @@ impl GovDataset {
                             server_country: None,
                             anycast: false,
                             geo_excluded: false,
-                        };
-                        if let Some(Some(infra)) = partial.infra.get(host) {
-                            record.ip = Some(infra.ip);
-                            record.asn = Some(infra.asn);
-                            record.org = Some(infra.org.clone());
-                            record.registration = Some(infra.registration);
-                            record.state_operated = infra.state_operated.is_some();
-                        }
-                        hosts.push(record);
+                        });
                         new_hosts += 1;
-                        i
                     }
-                };
-                let midx = match entry.method {
-                    ClassificationMethod::GovTld => 0,
-                    ClassificationMethod::DomainMatch => 1,
-                    ClassificationMethod::San => 2,
-                };
-                method_counts[midx] += 1;
-                urls.push(UrlRecord { url: entry.url, host: idx, bytes: entry.bytes });
+                    if !gov_seen[chid.index()] {
+                        gov_seen[chid.index()] = true;
+                        gov_list.push(gid);
+                    }
+                    stats.urls += 1;
+                    stats.bytes += row.bytes;
+                    let midx = match method {
+                        ClassificationMethod::GovTld => 0,
+                        ClassificationMethod::DomainMatch => 1,
+                        ClassificationMethod::San => 2,
+                    };
+                    method_counts[midx] += 1;
+                    urls.push(row.scheme, gid, row.path, row.bytes);
+                }
             }
+            stats.hostnames = gov_list.len() as u32;
+            merged.push(CountryMerged {
+                code,
+                vantage: ctx.vantage,
+                stats,
+                crawl_failures,
+                failure_causes,
+                examined: country_rows.len() as u64,
+                new_hosts,
+                gov_list,
+                shards,
+            });
+        }
+
+        // Phase 2 (parallel): §3.4 identification, one job per
+        // contributing country. Every country identifies every distinct
+        // government hostname it surfaced from its own vantage — exactly
+        // the work the sequential pipeline did — and the records are
+        // applied below to the hosts each country owns.
+        type IdentifyJob = (CountryCode, CountryCode, Vec<(HostId, Hostname)>);
+        let identify_jobs: Vec<IdentifyJob> = merged
+            .iter()
+            .map(|m| {
+                let list = m
+                    .gov_list
+                    .iter()
+                    .map(|&gid| (gid, hosts[gid.index()].hostname.clone()))
+                    .collect();
+                (m.code, m.vantage, list)
+            })
+            .collect();
+        let identified: Vec<IdentifyPartial> = govhost_par::parallel_map(
+            &identify_jobs,
+            options.threads,
+            |(code, _, _)| format!("identify {code}"),
+            |_, (code, vantage, list)| identify_country(world, *code, *vantage, list),
+        );
+
+        // Assembly (sequential, fixed country order): graft each
+        // country's telemetry shards below one `country` span, emit the
+        // merge-side counters, and fill infrastructure into the host
+        // records the country owns (the first surfacing country wins,
+        // same as the sequential pipeline).
+        let mut crawl_failures = 0u32;
+        let mut failure_causes = FailureCauses::default();
+        let mut resolution_failures = 0u64;
+        let mut per_country: HashMap<CountryCode, CountryStats> = HashMap::new();
+        for (m, identify) in merged.into_iter().zip(identified) {
+            let code = m.code;
+            let _country = govhost_obs::span_labeled("country", &[("country", code.as_str())]);
+            let country_ctx = govhost_obs::context();
+            for shard in m.shards {
+                govhost_obs::absorb(shard, &country_ctx);
+            }
+            govhost_obs::absorb(identify.shard, &country_ctx);
+            govhost_obs::counter_add(
+                "classify.urls_examined",
+                &[("country", code.as_str())],
+                m.examined,
+            );
             // Host records are attributed to the first country that
             // surfaces them (fixed country order), and so is the counter.
-            govhost_obs::counter_add("analyze.hosts", &[("country", code.as_str())], new_hosts);
+            govhost_obs::counter_add("analyze.hosts", &[("country", code.as_str())], m.new_hosts);
+            crawl_failures += m.crawl_failures;
+            failure_causes.merge(m.failure_causes);
+            resolution_failures += identify.resolution_failures;
+            per_country.insert(code, m.stats);
+            for (gid, record) in identify.records {
+                let host = &mut hosts[gid.index()];
+                if host.country != code {
+                    continue;
+                }
+                if let Some(infra) = record {
+                    host.ip = Some(infra.ip);
+                    host.asn = Some(infra.asn);
+                    host.org = Some(infra.org);
+                    host.registration = Some(infra.registration);
+                    host.state_operated = infra.state_operated.is_some();
+                }
+            }
         }
 
         // Cross-country pass: provider footprints → §5.1 categories.
-        assign_categories(&mut hosts);
-        drop(_analyze);
+        {
+            let _analyze = govhost_obs::span!("analyze");
+            assign_categories(&mut hosts);
+        }
 
         // §3.5 (parallel): validate every (address, serving country) pair.
         let validation = {
@@ -764,7 +957,7 @@ impl GovDataset {
         Ok(TracedBuild {
             hosts,
             urls,
-            host_index,
+            host_ids,
             validation,
             method_counts,
             crawl_failures,
@@ -806,16 +999,31 @@ impl GovDataset {
     }
 
     /// Iterate URLs joined with their host records.
-    pub fn url_views(&self) -> impl Iterator<Item = (&UrlRecord, &HostRecord)> {
-        self.urls.iter().map(move |u| (u, &self.hosts[u.host as usize]))
+    pub fn url_views(&self) -> impl Iterator<Item = (UrlRef<'_>, &HostRecord)> {
+        self.urls.iter().map(move |u| (u, &self.hosts[u.host.index()]))
     }
 
     /// URLs of one country, joined.
     pub fn country_urls(
         &self,
         country: CountryCode,
-    ) -> impl Iterator<Item = (&UrlRecord, &HostRecord)> {
+    ) -> impl Iterator<Item = (UrlRef<'_>, &HostRecord)> {
         self.url_views().filter(move |(_, h)| h.country == country)
+    }
+
+    /// The id of a hostname in this build's arena, if it is a recorded
+    /// government hostname.
+    pub fn host_id(&self, name: &Hostname) -> Option<HostId> {
+        self.host_ids.get(name)
+    }
+
+    /// The host record behind an id.
+    ///
+    /// # Panics
+    ///
+    /// If `id` did not come from this dataset's arena.
+    pub fn host(&self, id: HostId) -> &HostRecord {
+        &self.hosts[id.index()]
     }
 
     /// One country's crawl statistics, if it appears in the dataset (the
@@ -928,10 +1136,13 @@ mod tests {
     #[test]
     fn every_url_points_at_valid_host() {
         let ds = dataset();
-        for u in &ds.urls {
-            assert!((u.host as usize) < ds.hosts.len());
-            let h = &ds.hosts[u.host as usize];
-            assert_eq!(u.url.hostname(), &h.hostname);
+        assert_eq!(ds.host_ids.len(), ds.hosts.len(), "arena rows = host records");
+        for u in ds.urls.iter() {
+            assert!(u.host.index() < ds.hosts.len());
+            let h = &ds.hosts[u.host.index()];
+            assert_eq!(ds.host_ids.resolve(u.host), &h.hostname);
+            assert_eq!(ds.host_id(&h.hostname), Some(u.host));
+            assert!(u.path.starts_with('/'));
         }
     }
 

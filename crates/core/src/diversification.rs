@@ -129,9 +129,11 @@ impl DiversificationAnalysis {
 mod tests {
     use super::*;
     use crate::classify::ClassificationMethod;
-    use crate::dataset::{HostRecord, UrlRecord};
+    use crate::dataset::HostRecord;
     use crate::hosting::HostingAnalysis;
-    use govhost_types::cc;
+    use crate::table::UrlTable;
+    use govhost_types::url::Scheme;
+    use govhost_types::{cc, HostId, HostInterner};
 
     /// UY: every URL on one government AS (HHI 1). AR: URLs spread over
     /// four provider ASes (HHI 0.25).
@@ -161,25 +163,21 @@ mod tests {
                 ProviderCategory::ThirdPartyGlobal,
             ));
         }
-        let mut urls = Vec::new();
-        for n in 0..4 {
-            urls.push(UrlRecord {
-                url: format!("https://a.gub.uy/r{n}").parse().unwrap(),
-                host: 0,
-                bytes: 100,
-            });
+        let mut host_ids = HostInterner::new();
+        for h in &hosts {
+            host_ids.intern(&h.hostname);
         }
-        for (i, host) in (1..=4).enumerate() {
-            urls.push(UrlRecord {
-                url: format!("https://h{i}.gob.ar/r").parse().unwrap(),
-                host: host as u32,
-                bytes: 100,
-            });
+        let mut urls = UrlTable::new();
+        for n in 0..4 {
+            urls.push(Scheme::Https, HostId::new(0), &format!("/r{n}"), 100);
+        }
+        for host in 1..=4 {
+            urls.push(Scheme::Https, HostId::new(host), "/r", 100);
         }
         GovDataset {
             hosts,
             urls,
-            host_index: HashMap::new(),
+            host_ids,
             validation: Default::default(),
             method_counts: [8, 0, 0],
             crawl_failures: 0,

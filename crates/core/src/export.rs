@@ -13,10 +13,13 @@
 //! organisation name with an embedded newline survives the round trip.
 
 use crate::classify::ClassificationMethod;
-use crate::dataset::{BuildReport, GovDataset, HostRecord, QuarantineEntry, UrlRecord};
+use crate::dataset::{BuildReport, GovDataset, HostRecord, QuarantineEntry};
+use crate::table::UrlTable;
 use govhost_geoloc::pipeline::ValidationStats;
 use govhost_report::{read_records, Csv};
-use govhost_types::{Asn, CountryCode, Hostname, PipelineStage, ProviderCategory, Url};
+use govhost_types::{
+    Asn, CountryCode, HostInterner, Hostname, PipelineStage, ProviderCategory, Url,
+};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -118,12 +121,9 @@ pub fn export_csv_full(dataset: &GovDataset, report: Option<&BuildReport>) -> Da
     }
     let mut urls = Csv::new();
     urls.row(["url", "hostname", "bytes"]);
-    for u in &dataset.urls {
-        urls.row([
-            u.url.to_string(),
-            dataset.hosts[u.host as usize].hostname.to_string(),
-            u.bytes.to_string(),
-        ]);
+    for u in dataset.urls.iter() {
+        let hostname = &dataset.hosts[u.host.index()].hostname;
+        urls.row([u.render(hostname), hostname.to_string(), u.bytes.to_string()]);
     }
     let mut meta = Csv::new();
     meta.row(["crawl_failures".to_string(), dataset.crawl_failures.to_string()]);
@@ -191,7 +191,7 @@ pub fn import_csv(csv: &DatasetCsv) -> Result<GovDataset, ImportError> {
 /// section is absent).
 pub fn import_csv_full(csv: &DatasetCsv) -> Result<(GovDataset, BuildReport), ImportError> {
     let mut hosts: Vec<HostRecord> = Vec::new();
-    let mut host_index: HashMap<Hostname, u32> = HashMap::new();
+    let mut host_ids = HostInterner::new();
     let host_records = read_records(&csv.hosts);
     if host_records.first().map(Vec::as_slice).is_none_or(|h| h != HOST_HEADER) {
         return Err(import_err(1, "unexpected hosts header"));
@@ -246,11 +246,14 @@ pub fn import_csv_full(csv: &DatasetCsv) -> Result<(GovDataset, BuildReport), Im
             anycast: f[10] == "true",
             geo_excluded: f[11] == "true",
         };
-        host_index.insert(hostname, hosts.len() as u32);
+        let (_, first_sighting) = host_ids.intern(&hostname);
+        if !first_sighting {
+            return Err(import_err(row, format!("duplicate hostname {hostname}")));
+        }
         hosts.push(record);
     }
 
-    let mut urls: Vec<UrlRecord> = Vec::new();
+    let mut urls = UrlTable::new();
     let mut method_counts = [0u64; 3];
     let mut per_country: HashMap<CountryCode, crate::dataset::CountryStats> = HashMap::new();
     for (idx, f) in read_records(&csv.urls).iter().enumerate().skip(1) {
@@ -264,10 +267,16 @@ pub fn import_csv_full(csv: &DatasetCsv) -> Result<(GovDataset, BuildReport), Im
             f[1].parse().map_err(|_| import_err(row, format!("bad hostname {:?}", f[1])))?;
         let bytes: u64 =
             f[2].parse().map_err(|_| import_err(row, format!("bad bytes {:?}", f[2])))?;
-        let host = *host_index
+        if url.hostname() != &hostname {
+            return Err(import_err(
+                row,
+                format!("url host {} does not match hostname column {hostname}", url.hostname()),
+            ));
+        }
+        let host = host_ids
             .get(&hostname)
             .ok_or_else(|| import_err(row, format!("unknown hostname {hostname}")))?;
-        let record = &hosts[host as usize];
+        let record = &hosts[host.index()];
         let midx = match record.method {
             ClassificationMethod::GovTld => 0,
             ClassificationMethod::DomainMatch => 1,
@@ -277,7 +286,7 @@ pub fn import_csv_full(csv: &DatasetCsv) -> Result<(GovDataset, BuildReport), Im
         let stats = per_country.entry(record.country).or_default();
         stats.urls += 1;
         stats.bytes += bytes;
-        urls.push(UrlRecord { url, host, bytes });
+        urls.push(url.scheme(), host, url.path(), bytes);
     }
     // Hostname counts per country.
     for h in &hosts {
@@ -289,7 +298,7 @@ pub fn import_csv_full(csv: &DatasetCsv) -> Result<(GovDataset, BuildReport), Im
     let dataset = GovDataset {
         hosts,
         urls,
-        host_index,
+        host_ids,
         validation,
         method_counts,
         crawl_failures,
@@ -300,8 +309,25 @@ pub fn import_csv_full(csv: &DatasetCsv) -> Result<(GovDataset, BuildReport), Im
     Ok((dataset, report))
 }
 
+/// A `u64` metadata value narrowed to `u32`, erroring — with the field's
+/// name — instead of silently wrapping on hostile input.
+fn meta_u32(value: u64, row: usize, name: &str) -> Result<u32, ImportError> {
+    value
+        .try_into()
+        .map_err(|_| import_err(row, format!("{name} out of range for u32: {value}")))
+}
+
+/// Same as [`meta_u32`] for `usize` targets.
+fn meta_usize(value: u64, row: usize, name: &str) -> Result<usize, ImportError> {
+    value
+        .try_into()
+        .map_err(|_| import_err(row, format!("{name} out of range for usize: {value}")))
+}
+
 /// Parse the key-first metadata rows. Unknown keys are ignored (forward
-/// compatibility); an empty document yields all-zero counters.
+/// compatibility); an empty document yields all-zero counters. Every
+/// narrowing conversion is checked — a value too large for its counter
+/// is an [`ImportError`] naming the field, never a silent wrap.
 fn parse_meta(meta: &str) -> Result<(u32, ValidationStats, BuildReport), ImportError> {
     let mut crawl_failures = 0u32;
     let mut validation = ValidationStats::default();
@@ -318,26 +344,31 @@ fn parse_meta(meta: &str) -> Result<(u32, ValidationStats, BuildReport), ImportE
             s.parse().map_err(|_| import_err(row, format!("bad metadata number {s:?}")))
         };
         match field(0)? {
-            "crawl_failures" => crawl_failures = num(1)? as u32,
+            "crawl_failures" => crawl_failures = meta_u32(num(1)?, row, "crawl_failures")?,
             "validation_unicast" => {
                 for (slot, i) in validation.unicast.iter_mut().zip(1..) {
-                    *slot = num(i)? as usize;
+                    *slot = meta_usize(num(i)?, row, "validation_unicast")?;
                 }
             }
             "validation_anycast" => {
                 for (slot, i) in validation.anycast.iter_mut().zip(1..) {
-                    *slot = num(i)? as usize;
+                    *slot = meta_usize(num(i)?, row, "validation_anycast")?;
                 }
             }
-            "validation_conflicts" => validation.conflicts = num(1)? as usize,
+            "validation_conflicts" => {
+                validation.conflicts = meta_usize(num(1)?, row, "validation_conflicts")?
+            }
             "crawl_causes" => {
-                report.crawl_failures.geo_blocked = num(1)? as u32;
-                report.crawl_failures.not_found = num(2)? as u32;
-                report.crawl_failures.unknown_host = num(3)? as u32;
+                report.crawl_failures.geo_blocked =
+                    meta_u32(num(1)?, row, "crawl_causes.geo_blocked")?;
+                report.crawl_failures.not_found =
+                    meta_u32(num(2)?, row, "crawl_causes.not_found")?;
+                report.crawl_failures.unknown_host =
+                    meta_u32(num(3)?, row, "crawl_causes.unknown_host")?;
             }
             "resolution_failures" => report.resolution_failures = num(1)?,
-            "geo_excluded" => report.geo_excluded = num(1)? as usize,
-            "geo_conflicts" => report.geo_conflicts = num(1)? as usize,
+            "geo_excluded" => report.geo_excluded = meta_usize(num(1)?, row, "geo_excluded")?,
+            "geo_conflicts" => report.geo_conflicts = meta_usize(num(1)?, row, "geo_conflicts")?,
             "quarantined" => {
                 let cc = field(1)?;
                 let country: CountryCode =

@@ -1,0 +1,73 @@
+//! Allocation-free ASCII case folding for hot-path text matching.
+//!
+//! Classification and infrastructure matching compare crawl text against
+//! lowercase ASCII keyword lists. `str::to_lowercase()` allocates a fresh
+//! `String` per comparison *and* applies full Unicode folding, which is
+//! both slower and semantically wrong here: U+212A KELVIN SIGN lowercases
+//! to `k`, so `"\u{212A}elvin"` would match the keyword `"kelvin"` even
+//! though no ASCII-intended matcher should accept it. The helpers below
+//! scan byte windows with [`str::eq_ignore_ascii_case`] instead — zero
+//! allocation, and non-ASCII bytes never fold.
+
+/// Case-insensitive ASCII substring search: does `haystack` contain
+/// `needle` under ASCII-only folding?
+///
+/// `needle` is expected to be lowercase ASCII (the keyword tables are);
+/// matching is byte-windowed so multi-byte UTF-8 sequences in `haystack`
+/// can never fold into ASCII letters.
+pub fn ascii_contains_ci(haystack: &str, needle: &str) -> bool {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() {
+        return true;
+    }
+    if n.len() > h.len() {
+        return false;
+    }
+    h.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
+}
+
+/// Does `haystack` contain any of the `needles` (ASCII case-insensitive)?
+pub fn ascii_contains_any_ci(haystack: &str, needles: &[&str]) -> bool {
+    needles.iter().any(|n| ascii_contains_ci(haystack, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_ascii_case_only() {
+        assert!(ascii_contains_ci("The GOVERNMENT of X", "government"));
+        assert!(ascii_contains_ci("Ministerio del Interior", "ministerio"));
+        assert!(ascii_contains_ci("x", ""));
+        assert!(!ascii_contains_ci("", "x"));
+        assert!(!ascii_contains_ci("short", "much longer needle"));
+    }
+
+    #[test]
+    // The disallowed method IS the subject here: the test demonstrates
+    // the Unicode-folding behavior the crate-wide ban exists to prevent.
+    #[allow(clippy::disallowed_methods)]
+    fn kelvin_sign_does_not_fold_to_k() {
+        // U+212A KELVIN SIGN lowercases to 'k' under Unicode folding;
+        // ASCII folding must reject it.
+        assert!("\u{212A}elvin".to_lowercase().contains("kelvin"), "Unicode folds");
+        assert!(!ascii_contains_ci("\u{212A}elvin", "kelvin"), "ASCII must not");
+        assert!(ascii_contains_ci("Kelvin", "kelvin"));
+    }
+
+    #[test]
+    fn multibyte_haystacks_never_match_ascii_needles_spuriously() {
+        // The byte-window scan walks through UTF-8 continuation bytes;
+        // none of them compare equal to ASCII letters.
+        assert!(!ascii_contains_ci("ſtate", "state")); // U+017F LONG S
+        assert!(ascii_contains_ci("état official", "official"));
+    }
+
+    #[test]
+    fn any_variant_scans_the_keyword_table() {
+        assert!(ascii_contains_any_ci("Federal Data Office", &["ministry", "federal"]));
+        assert!(!ascii_contains_any_ci("HostCo Ltd.", &["ministry", "federal"]));
+    }
+}

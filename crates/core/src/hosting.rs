@@ -150,8 +150,10 @@ impl HostingAnalysis {
 mod tests {
     use super::*;
     use crate::classify::ClassificationMethod;
-    use crate::dataset::{HostRecord, UrlRecord};
-    use govhost_types::cc;
+    use crate::dataset::HostRecord;
+    use crate::table::UrlTable;
+    use govhost_types::url::Scheme;
+    use govhost_types::{cc, HostId, HostInterner};
 
     fn mini_dataset() -> GovDataset {
         // Two countries; AR global-heavy, UY government-heavy.
@@ -174,28 +176,26 @@ mod tests {
             mk_host("b.gob.ar", cc!("AR"), ProviderCategory::GovtSoe),
             mk_host("c.gub.uy", cc!("UY"), ProviderCategory::GovtSoe),
         ];
-        let mk_url = |host: u32, n: u32, bytes: u64| UrlRecord {
-            url: format!("https://{}/r{}", hosts[host as usize].hostname, n).parse().unwrap(),
-            host,
-            bytes,
-        };
-        let urls = vec![
-            // AR: 3 URLs global (100 bytes each), 1 URL govt (50 bytes).
-            mk_url(0, 0, 100),
-            mk_url(0, 1, 100),
-            mk_url(0, 2, 100),
-            mk_url(1, 3, 50),
-            // UY: 2 URLs govt.
-            mk_url(2, 4, 500),
-            mk_url(2, 5, 500),
-        ];
+        let mut host_ids = HostInterner::new();
+        for h in &hosts {
+            host_ids.intern(&h.hostname);
+        }
+        let mut urls = UrlTable::new();
+        // AR: 3 URLs global (100 bytes each), 1 URL govt (50 bytes).
+        urls.push(Scheme::Https, HostId::new(0), "/r0", 100);
+        urls.push(Scheme::Https, HostId::new(0), "/r1", 100);
+        urls.push(Scheme::Https, HostId::new(0), "/r2", 100);
+        urls.push(Scheme::Https, HostId::new(1), "/r3", 50);
+        // UY: 2 URLs govt.
+        urls.push(Scheme::Https, HostId::new(2), "/r4", 500);
+        urls.push(Scheme::Https, HostId::new(2), "/r5", 500);
         let mut per_country = HashMap::new();
         per_country.insert(cc!("AR"), Default::default());
         per_country.insert(cc!("UY"), Default::default());
         GovDataset {
             hosts,
             urls,
-            host_index: HashMap::new(),
+            host_ids,
             validation: Default::default(),
             method_counts: [6, 0, 0],
             crawl_failures: 0,

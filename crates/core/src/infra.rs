@@ -135,9 +135,9 @@ impl<'a> InfraIdentifier<'a> {
                 return Some(GovEvidence::PeeringDb);
             }
         }
-        // Evidence 2: WHOIS text.
-        let org_lower = whois.org_name.to_lowercase();
-        if ORG_KEYWORDS.iter().any(|k| org_lower.contains(k)) {
+        // Evidence 2: WHOIS text (ASCII fold only — Unicode folding would
+        // let lookalikes such as U+212A KELVIN SIGN match ASCII keywords).
+        if crate::fold::ascii_contains_any_ci(&whois.org_name, ORG_KEYWORDS) {
             return Some(GovEvidence::Whois);
         }
         if let Some(domain) = whois.abuse_domain() {
@@ -332,6 +332,27 @@ mod tests {
         let f = fixture();
         let mut id = InfraIdentifier::new(&f.resolver, &f.registry, &f.peeringdb, &f.search);
         assert!(id.identify_ip("203.0.113.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn org_keywords_fold_ascii_case_only() {
+        let f = fixture();
+        let mut id = InfraIdentifier::new(&f.resolver, &f.registry, &f.peeringdb, &f.search);
+        let record = |asn: u32, org: &str| WhoisRecord {
+            netname: "TESTNET".into(),
+            org_name: org.into(),
+            country: cc!("AR"),
+            origin: Asn(asn),
+            abuse_mailbox: "abuse@example.com".into(),
+        };
+        // Mixed ASCII case still matches the lowercase keyword table.
+        assert_eq!(
+            id.classify_as(&record(64900, "MINISTERIO del Interior")),
+            Some(GovEvidence::Whois)
+        );
+        // Unicode lookalike letters never fold into ASCII keyword matches:
+        // 'ſ' (U+017F LONG S) is not an ASCII 's'.
+        assert_eq!(id.classify_as(&record(64901, "Miniſterio del Interior")), None);
     }
 
     #[test]

@@ -28,20 +28,22 @@ pub mod dataset;
 pub mod diversification;
 pub mod explain;
 pub mod export;
+pub mod fold;
 pub mod hosting;
 pub mod infra;
 pub mod location;
 pub mod providers;
 pub mod similarity;
+pub mod table;
 pub mod topsites;
 pub mod trends;
 
 pub use affordability::AffordabilityAnalysis;
-pub use classify::{ClassificationMethod, Classifier};
+pub use classify::{ClassificationMethod, Classifier, SeedSets};
 pub use crossborder::CrossBorderAnalysis;
 pub use dataset::{
     BuildError, BuildOptions, BuildReport, FailurePolicy, GovDataset, HostRecord, QuarantineEntry,
-    StageStat, StageTimings, UrlRecord,
+    StageStat, StageTimings,
 };
 pub use diversification::DiversificationAnalysis;
 pub use explain::ExplanatoryModel;
@@ -51,6 +53,7 @@ pub use infra::{GovEvidence, InfraIdentifier};
 pub use location::LocationAnalysis;
 pub use providers::ProviderAnalysis;
 pub use similarity::SimilarityAnalysis;
+pub use table::{UrlInterner, UrlRef, UrlTable};
 pub use topsites::TopsiteAnalysis;
 pub use trends::{SnapshotMetrics, TrendAnalysis};
 

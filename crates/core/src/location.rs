@@ -97,8 +97,10 @@ impl LocationAnalysis {
 mod tests {
     use super::*;
     use crate::classify::ClassificationMethod;
-    use crate::dataset::{HostRecord, UrlRecord};
-    use govhost_types::{cc, ProviderCategory};
+    use crate::dataset::HostRecord;
+    use crate::table::UrlTable;
+    use govhost_types::url::Scheme;
+    use govhost_types::{cc, HostId, HostInterner, ProviderCategory};
 
     fn dataset() -> GovDataset {
         let mk_host = |name: &str,
@@ -126,17 +128,16 @@ mod tests {
             // MX host excluded by geolocation: counts for WHOIS only.
             mk_host("c.gob.mx", cc!("MX"), Some(cc!("US")), None),
         ];
-        let urls = (0..3)
-            .map(|i| UrlRecord {
-                url: format!("https://{}/x", hosts[i].hostname).parse().unwrap(),
-                host: i as u32,
-                bytes: 10,
-            })
-            .collect();
+        let mut host_ids = HostInterner::new();
+        let mut urls = UrlTable::new();
+        for (i, h) in hosts.iter().enumerate() {
+            host_ids.intern(&h.hostname);
+            urls.push(Scheme::Https, HostId::new(i as u32), "/x", 10);
+        }
         GovDataset {
             hosts,
             urls,
-            host_index: HashMap::new(),
+            host_ids,
             validation: Default::default(),
             method_counts: [3, 0, 0],
             crawl_failures: 0,

@@ -113,8 +113,10 @@ impl ProviderAnalysis {
 mod tests {
     use super::*;
     use crate::classify::ClassificationMethod;
-    use crate::dataset::{HostRecord, UrlRecord};
-    use govhost_types::cc;
+    use crate::dataset::HostRecord;
+    use crate::table::UrlTable;
+    use govhost_types::url::Scheme;
+    use govhost_types::{cc, HostId, HostInterner};
 
     fn dataset() -> GovDataset {
         let mk_host = |name: &str, country: CountryCode, asn: u32, cat: ProviderCategory| {
@@ -139,21 +141,19 @@ mod tests {
             mk_host("c.gov.br", cc!("BR"), 16509, ProviderCategory::ThirdPartyGlobal),
             mk_host("d.gov.br", cc!("BR"), 64500, ProviderCategory::GovtSoe),
         ];
-        let mk_url = |host: u32, n: u32, bytes: u64| UrlRecord {
-            url: format!("https://{}/r{n}", hosts[host as usize].hostname).parse().unwrap(),
-            host,
-            bytes,
-        };
-        let urls = vec![
-            mk_url(0, 0, 100), // AR on Cloudflare
-            mk_url(1, 1, 300), // BR on Cloudflare
-            mk_url(2, 2, 100), // BR on Amazon
-            mk_url(3, 3, 600), // BR on government
-        ];
+        let mut host_ids = HostInterner::new();
+        for h in &hosts {
+            host_ids.intern(&h.hostname);
+        }
+        let mut urls = UrlTable::new();
+        urls.push(Scheme::Https, HostId::new(0), "/r0", 100); // AR on Cloudflare
+        urls.push(Scheme::Https, HostId::new(1), "/r1", 300); // BR on Cloudflare
+        urls.push(Scheme::Https, HostId::new(2), "/r2", 100); // BR on Amazon
+        urls.push(Scheme::Https, HostId::new(3), "/r3", 600); // BR on government
         GovDataset {
             hosts,
             urls,
-            host_index: HashMap::new(),
+            host_ids,
             validation: Default::default(),
             method_counts: [4, 0, 0],
             crawl_failures: 0,

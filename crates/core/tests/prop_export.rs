@@ -4,9 +4,9 @@
 //! the in-repo harness.
 
 use govhost_core::classify::ClassificationMethod;
-use govhost_core::{export_csv, import_csv, GovDataset, HostRecord};
+use govhost_core::{export_csv, import_csv, GovDataset, HostRecord, UrlTable};
 use govhost_harness::{gens, prop_assert_eq, Config, Gen};
-use govhost_types::{Asn, CountryCode, Hostname, ProviderCategory};
+use govhost_types::{Asn, CountryCode, HostInterner, Hostname, ProviderCategory};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -86,12 +86,14 @@ fn dataset_of(rows: &[(String, Option<String>, u64)]) -> GovDataset {
         .enumerate()
         .map(|(i, (label, org, bits))| decode_host(i, label, org.clone(), *bits))
         .collect();
-    let host_index: HashMap<Hostname, u32> =
-        hosts.iter().enumerate().map(|(i, h)| (h.hostname.clone(), i as u32)).collect();
+    let mut host_ids = HostInterner::new();
+    for h in &hosts {
+        host_ids.intern(&h.hostname);
+    }
     GovDataset {
         hosts,
-        urls: Vec::new(),
-        host_index,
+        urls: UrlTable::new(),
+        host_ids,
         validation: Default::default(),
         method_counts: [0; 3],
         crawl_failures: rows[0].2 as u32 & 0xFFFF,
@@ -122,6 +124,62 @@ fn export_import_round_trips_arbitrary_host_fields() {
             prop_assert_eq!(b.geo_excluded, a.geo_excluded);
         }
         prop_assert_eq!(loaded.crawl_failures, ds.crawl_failures);
+        Ok(())
+    });
+}
+
+/// Hostile metadata: any value that does not fit the target counter must
+/// be a typed import error naming the field — never a silent wrap (the
+/// old `as u32` import truncated `u32::MAX + 1` to `0`).
+#[test]
+fn export_metadata_overflow_is_rejected_with_field_name() {
+    use govhost_core::export_csv_full;
+    use govhost_core::import_csv_full;
+
+    let base = export_csv(&dataset_of(&[("a".to_string(), None, 0)]));
+    let attempt = |meta: &str| {
+        let csv = govhost_core::DatasetCsv { meta: meta.to_string(), ..base.clone() };
+        import_csv_full(&csv)
+    };
+
+    let overflow = (u32::MAX as u64) + 1;
+    let e = attempt(&format!("crawl_failures,{overflow}\n")).unwrap_err();
+    assert!(
+        e.to_string().contains("crawl_failures out of range for u32"),
+        "error must name the field: {e}"
+    );
+    let e = attempt(&format!("crawl_causes,0,{overflow},0\n")).unwrap_err();
+    assert!(e.to_string().contains("crawl_causes.not_found out of range"), "{e}");
+    let e = attempt(&format!("crawl_causes,{overflow},0,0\n")).unwrap_err();
+    assert!(e.to_string().contains("crawl_causes.geo_blocked out of range"), "{e}");
+    // Values beyond u64 fail at the number parse, also with row context.
+    let e = attempt("geo_excluded,18446744073709551616\n").unwrap_err();
+    assert!(e.to_string().contains("bad metadata number"), "{e}");
+    // The boundary value itself still imports.
+    let (ds, _) = attempt(&format!("crawl_failures,{}\n", u32::MAX)).expect("u32::MAX fits");
+    assert_eq!(ds.crawl_failures, u32::MAX);
+
+    // A full export with its report still round-trips after the fix.
+    let real = dataset_of(&[("b".to_string(), None, 7)]);
+    let csv = export_csv_full(&real, None);
+    assert!(import_csv_full(&csv).is_ok());
+}
+
+/// Property form: every u32-targeted metadata field rejects every
+/// overflowing value, at any magnitude above the boundary.
+#[test]
+fn export_metadata_overflow_rejected_for_arbitrary_values() {
+    use govhost_core::import_csv_full;
+    let base = export_csv(&dataset_of(&[("c".to_string(), None, 1)]));
+    let overflowing = gens::u64_any().map(|v| (v | (1u64 << 32)).max((u32::MAX as u64) + 1));
+    cfg("export_metadata_overflow_rejected_for_arbitrary_values").run(&overflowing, |v| {
+        let meta = format!("crawl_failures,{v}\n");
+        let csv = govhost_core::DatasetCsv { meta, ..base.clone() };
+        let e = import_csv_full(&csv).map(|_| ()).expect_err("overflow must not import");
+        prop_assert_eq!(e.row, 1);
+        if !e.message.contains("crawl_failures out of range for u32") {
+            return Err(format!("error must name the field, got: {}", e.message));
+        }
         Ok(())
     });
 }

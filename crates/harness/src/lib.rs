@@ -33,6 +33,7 @@
 pub mod bench;
 pub mod check;
 pub mod gen;
+pub mod mem;
 pub mod regress;
 pub mod source;
 

@@ -4,9 +4,19 @@
 //! The workspace's parallelism primitives. Every fan-out in the pipeline
 //! — the per-country crawl, the dataset build, batch geolocation — uses
 //! the same pattern: `std::thread::scope` workers pulling job indices off
-//! a shared atomic counter, sending index-tagged results back over a
+//! a work-stealing deque set, sending index-tagged results back over a
 //! channel, and the caller reassembling them in input order so parallel
 //! and sequential runs produce identical output.
+//!
+//! Scheduling is work-stealing: jobs are dealt round-robin across one
+//! deque per worker, each worker drains its own deque from the front,
+//! and a worker that runs dry steals from the *back* of a victim's
+//! deque. When job sizes are skewed — one giant country next to sixty
+//! small ones — the workers that finish early take over the long tail
+//! instead of idling, so a single oversized job no longer serializes
+//! the batch. Scheduling never changes *what* is computed: results are
+//! reassembled by job index, and the determinism suites pin the output
+//! byte-for-byte across thread counts.
 //!
 //! [`parallel_map`] packages that pattern once, together with the panic
 //! handling the ad-hoc copies lacked: a worker panic is caught per job,
@@ -19,8 +29,9 @@
 //! decided: `GOVHOST_THREADS` when set (for CI reproducibility), else
 //! [`std::thread::available_parallelism`], clamped to a sane range.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Mutex};
 
 /// Hard ceiling on worker threads; protects against a runaway
@@ -66,6 +77,46 @@ struct CapturedPanic {
     payload: Box<dyn std::any::Any + Send + 'static>,
 }
 
+/// The work-stealing job queues: one deque per worker, jobs dealt
+/// round-robin at construction (worker `w` owns jobs `w`, `w + n`,
+/// `w + 2n`, ...). Owners pop from the front of their own deque;
+/// thieves pop from the back of a victim's, so an owner and a thief
+/// contend on opposite ends and the lowest-index jobs are executed by
+/// their owner whenever it is making progress at all.
+struct StealQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueues {
+    /// Deal `jobs` job indices round-robin across `workers` deques.
+    fn deal(workers: usize, jobs: usize) -> StealQueues {
+        let per_worker = jobs.div_ceil(workers.max(1));
+        let mut queues: Vec<VecDeque<usize>> =
+            (0..workers).map(|_| VecDeque::with_capacity(per_worker)).collect();
+        for job in 0..jobs {
+            queues[job % workers].push_back(job);
+        }
+        StealQueues { queues: queues.into_iter().map(Mutex::new).collect() }
+    }
+
+    /// The next job for worker `me`: its own front, else a steal from
+    /// the back of the first non-empty victim (scanned in ring order).
+    /// `None` means every deque is empty and the batch is drained.
+    fn next(&self, me: usize) -> Option<usize> {
+        if let Some(job) = self.queues[me].lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for step in 1..n {
+            let victim = (me + step) % n;
+            if let Some(job) = self.queues[victim].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
 /// Render a panic payload the way the default panic hook would.
 fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -106,35 +157,34 @@ where
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
 
-    let next_job = AtomicUsize::new(0);
+    let queues = StealQueues::deal(threads, items.len());
     let panics: Mutex<Vec<CapturedPanic>> = Mutex::new(Vec::new());
     let (res_tx, res_rx) = mpsc::channel::<(usize, R)>();
 
     let mut results: Vec<Option<R>> = std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let next_job = &next_job;
+        for me in 0..threads {
+            let queues = &queues;
             let panics = &panics;
             let f = &f;
             let res_tx = res_tx.clone();
-            scope.spawn(move || loop {
-                let i = next_job.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
-                    Ok(result) => {
-                        // The receiver outlives the scope; a send can only
-                        // fail after a collector bug, in which case the
-                        // panic bookkeeping below still reports cleanly.
-                        if res_tx.send((i, result)).is_err() {
+            scope.spawn(move || {
+                while let Some(i) = queues.next(me) {
+                    match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                        Ok(result) => {
+                            // The receiver outlives the scope; a send can
+                            // only fail after a collector bug, in which
+                            // case the panic bookkeeping below still
+                            // reports cleanly.
+                            if res_tx.send((i, result)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(payload) => {
+                            panics.lock().unwrap().push(CapturedPanic { job: i, payload });
+                            // Abandon remaining jobs: the batch is failing
+                            // and the first panic is what gets reported.
                             break;
                         }
-                    }
-                    Err(payload) => {
-                        panics.lock().unwrap().push(CapturedPanic { job: i, payload });
-                        // Abandon remaining jobs: the batch is failing and
-                        // the first panic is what gets reported.
-                        break;
                     }
                 }
             });
@@ -311,10 +361,46 @@ mod tests {
         }));
         let msg = payload_message(caught.expect_err("panics propagate").as_ref());
         // Every odd job on every worker may panic; the report must still
-        // be the smallest failing index actually captured. With 8 workers
-        // each panicking on its very first odd job, job 1 is always among
-        // them (worker chunks start at 0..8).
+        // be the smallest failing index actually captured. Round-robin
+        // dealing gives every deque jobs of one parity, so job 1 — the
+        // front of an odd deque — is always popped by whoever processes
+        // that deque, panics there, and is captured.
         assert!(msg.contains("job1)"), "deterministic first-failure report, got: {msg}");
+    }
+
+    /// The work-stealing motivation: one job 100× larger than the rest
+    /// (the "one giant country" case) must neither stall the batch nor
+    /// perturb the output — every job completes and results stay in
+    /// input order for every thread count.
+    #[test]
+    fn skewed_job_sizes_preserve_input_order() {
+        // Job 0 is ~100× the others; busy-work keeps the skew real
+        // without sleeping.
+        let weights: Vec<u64> = std::iter::once(400_000).chain((1..64).map(|_| 4_000)).collect();
+        let work = |w: &u64| -> u64 {
+            let mut acc = 0u64;
+            for i in 0..*w {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let expect: Vec<u64> = weights.iter().map(work).collect();
+        for threads in [2, 4, 8] {
+            let got = parallel_map(&weights, threads, |w| w.to_string(), |_, w| work(w));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    /// Stealing drains a deque whose owner is stuck on a long job: with
+    /// two workers and every even job dealt to worker 0, a giant job 0
+    /// leaves the rest of deque 0 to be stolen by worker 1 — the batch
+    /// still completes with every result in place.
+    #[test]
+    fn long_job_does_not_strand_its_deque() {
+        let weights: Vec<u64> = std::iter::once(2_000_000).chain((1..32).map(|_| 1)).collect();
+        let got = parallel_map(&weights, 2, |w| w.to_string(), |i, w| (i as u64) + *w);
+        let expect: Vec<u64> = weights.iter().enumerate().map(|(i, w)| i as u64 + *w).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -480,10 +480,20 @@ impl ServeState {
                 )
             }
             p => {
+                // Country codes are exactly two ASCII letters, so the
+                // case fold happens in a stack buffer — no per-request
+                // allocation, and multibyte lookalikes (U+212A KELVIN
+                // SIGN folds to 'k' under Unicode rules) can never
+                // match because only ASCII bytes are folded.
                 if let Some(iso) = p.strip_prefix("/country/") {
-                    let upper = iso.to_ascii_uppercase();
-                    if let Some(slab) = index.country_slab(&upper) {
-                        return self.conditional(req, slab);
+                    if let &[a, b] = iso.as_bytes() {
+                        let upper = [a.to_ascii_uppercase(), b.to_ascii_uppercase()];
+                        if let Some(slab) = std::str::from_utf8(&upper)
+                            .ok()
+                            .and_then(|code| index.country_slab(code))
+                        {
+                            return self.conditional(req, slab);
+                        }
                     }
                 }
                 Response::from_error(&HttpError::NotFound)
@@ -569,11 +579,28 @@ mod tests {
         let world = World::generate(&GenParams::tiny());
         let dataset = GovDataset::build(&world, &BuildOptions::default());
         let code = dataset.countries()[0];
-        let lower = code.as_str().to_lowercase();
+        let lower = code.as_str().to_ascii_lowercase();
         assert_eq!(get(&state, &format!("/country/{code}")).status, 200);
         assert_eq!(get(&state, &format!("/country/{lower}")).status, 200);
         assert_eq!(get(&state, "/country/ZZ").status, 404);
         assert_eq!(get(&state, "/nope").status, 404);
+        // ASCII-only folding: Unicode lookalikes that case-fold into an
+        // ASCII letter (U+212A KELVIN SIGN → 'k', U+017F LONG S → 's')
+        // must stay 404 for every served country code.
+        for code in dataset.countries() {
+            let folded: String = code
+                .as_str()
+                .chars()
+                .map(|c| match c {
+                    'K' => '\u{212A}',
+                    'S' => '\u{017F}',
+                    c => c,
+                })
+                .collect();
+            if folded.as_str() != code.as_str() {
+                assert_eq!(get(&state, &format!("/country/{folded}")).status, 404, "{code}");
+            }
+        }
     }
 
     #[test]

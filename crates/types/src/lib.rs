@@ -13,6 +13,7 @@ pub mod category;
 pub mod country;
 pub mod error;
 pub mod host;
+pub mod id;
 pub mod indices;
 pub mod ip;
 pub mod pipeline;
@@ -23,6 +24,7 @@ pub use category::{OrgKind, ProviderCategory, TopsiteCategory};
 pub use country::CountryCode;
 pub use error::ParseError;
 pub use host::Hostname;
+pub use id::{HostId, HostInterner, UrlId};
 pub use indices::CountryIndices;
 pub use ip::{Asn, IpPrefix};
 pub use pipeline::{PipelineError, PipelineStage};
@@ -35,6 +37,7 @@ pub mod prelude {
     pub use crate::country::CountryCode;
     pub use crate::error::ParseError;
     pub use crate::host::Hostname;
+    pub use crate::id::{HostId, HostInterner, UrlId};
     pub use crate::indices::CountryIndices;
     pub use crate::ip::{Asn, IpPrefix};
     pub use crate::pipeline::{PipelineError, PipelineStage};

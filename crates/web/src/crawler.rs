@@ -6,15 +6,26 @@
 //! government domain — deliberately so; filtering non-government URLs back
 //! out is the classification step's job (§3.3), not the crawler's.
 //!
+//! Two consumption styles share one traversal:
+//!
+//! - [`CrawlSession`] is the streaming interface: [`CrawlSession::next_page`]
+//!   yields rendered pages one at a time (borrowing their resources from
+//!   the corpus), so a caller can classify each page as it is produced and
+//!   never materialize a whole crawl. The dataset build uses this path —
+//!   at scale, the materialized HAR logs were the dominant allocation.
+//! - [`Crawler::crawl`] drains a session into a [`CrawlOutcome`] with a
+//!   full [`HarLog`] for callers that want the classic materialized form.
+//!
 //! [`crawl_sites_parallel`] fans a batch of landing pages out over worker
-//! threads (`govhost_par::parallel_map`: `std::thread::scope` pulling job
-//! indices off a shared atomic counter); results are returned in input
-//! order, so parallel and sequential runs produce identical output. A
-//! panic inside one crawl is reported once, tagged with the landing URL
-//! that failed, instead of cascading into unrelated channel panics.
+//! threads (`govhost_par::parallel_map` and its work-stealing deques);
+//! results are returned in input order, so parallel and sequential runs
+//! produce identical output. A panic inside one crawl is reported once,
+//! tagged with the landing URL that failed, instead of cascading into
+//! unrelated channel panics.
 
 use crate::corpus::{FetchError, WebCorpus};
 use crate::har::{HarEntry, HarLog};
+use crate::page::Page;
 use crate::resource::ContentType;
 use govhost_types::{CountryCode, PipelineError, Url};
 use std::collections::{HashSet, VecDeque};
@@ -93,13 +104,160 @@ pub struct CrawlOutcome {
     pub landing_error: Option<PipelineError>,
 }
 
+/// One page yielded by [`CrawlSession::next_page`]: the rendered
+/// document plus a borrow of its corpus record (resources, sizes).
+#[derive(Debug)]
+pub struct CrawledPage<'a> {
+    /// The page's URL (BFS traversal order).
+    pub url: Url,
+    /// Link depth below the landing page.
+    pub depth: u32,
+    /// The rendered page: `html_bytes`, `resources` — borrowed straight
+    /// from the corpus, nothing is copied per page.
+    pub page: &'a Page,
+}
+
+/// An in-progress breadth-first crawl that yields pages one at a time.
+///
+/// The streaming counterpart of [`Crawler::crawl`]: same traversal,
+/// same telemetry, but the caller consumes each rendered page as it is
+/// produced instead of receiving a materialized [`HarLog`] at the end.
+/// Failure accounting ([`CrawlSession::failures`],
+/// [`CrawlSession::failure_causes`], the landing-page fault) accumulates
+/// on the session and is read off after the final page.
+pub struct CrawlSession<'a> {
+    crawler: Crawler,
+    corpus: &'a WebCorpus,
+    vantage: Option<CountryCode>,
+    queue: VecDeque<(Url, u32)>,
+    visited: HashSet<Url>,
+    pages_visited: usize,
+    truncated: bool,
+    failures: u32,
+    failure_causes: FailureCauses,
+    landing_error: Option<PipelineError>,
+}
+
+impl<'a> CrawlSession<'a> {
+    /// The next successfully rendered page in BFS order, or `None` when
+    /// the crawl is exhausted (or the page cap truncated it).
+    ///
+    /// Fetch failures are absorbed into the session's counters exactly
+    /// as [`Crawler::crawl`] counts them; a failed *landing* fetch is
+    /// additionally recorded as [`CrawlSession::take_landing_error`].
+    pub fn next_page(&mut self) -> Option<CrawledPage<'a>> {
+        while let Some((url, depth)) = self.queue.pop_front() {
+            if self.pages_visited >= self.crawler.max_pages {
+                self.truncated = true;
+                govhost_obs::counter_add("crawl.truncated", &[], 1);
+                self.queue.clear();
+                return None;
+            }
+            let fetched = {
+                let _fetch = govhost_obs::span!("fetch");
+                self.corpus.fetch(&url, self.vantage)
+            };
+            let page = match fetched {
+                Ok(p) => p,
+                Err(e) => {
+                    self.failures += 1;
+                    self.failure_causes.bump(&e);
+                    govhost_obs::counter_add(
+                        "crawl.fetch_failures",
+                        &[("cause", failure_label(&e))],
+                        1,
+                    );
+                    if depth == 0 {
+                        self.landing_error =
+                            Some(PipelineError::Crawl { url, cause: e.to_string() });
+                    }
+                    continue;
+                }
+            };
+            self.pages_visited += 1;
+            govhost_obs::observe("crawl.page_bytes", &[], page.html_bytes);
+            {
+                let _har = govhost_obs::span!("har");
+                govhost_obs::counter_add(
+                    "crawl.har_entries",
+                    &[],
+                    1 + page.resources.len() as u64,
+                );
+                if depth < self.crawler.max_depth {
+                    for link in &page.links {
+                        if !self.visited.contains(link) {
+                            self.visited.insert(link.clone());
+                            self.queue.push_back((link.clone(), depth + 1));
+                        }
+                    }
+                }
+            }
+            return Some(CrawledPage { url, depth, page });
+        }
+        None
+    }
+
+    /// Pages successfully rendered so far.
+    pub fn pages_visited(&self) -> usize {
+        self.pages_visited
+    }
+
+    /// Whether the page cap stopped the crawl early.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Fetch failures so far (every cause).
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Fetch failures broken down by cause.
+    pub fn failure_causes(&self) -> FailureCauses {
+        self.failure_causes
+    }
+
+    /// Take the landing-page fault, if the landing fetch itself failed.
+    pub fn take_landing_error(&mut self) -> Option<PipelineError> {
+        self.landing_error.take()
+    }
+}
+
 impl Crawler {
     /// A crawler bounded at `max_depth` with the default page cap.
     pub fn with_depth(max_depth: u32) -> Self {
         Self { max_depth, ..Self::default() }
     }
 
-    /// Breadth-first crawl of `landing` as seen from `vantage`.
+    /// Start a streaming breadth-first crawl of `landing` as seen from
+    /// `vantage`. See [`CrawlSession`].
+    pub fn session<'a>(
+        &self,
+        corpus: &'a WebCorpus,
+        landing: &Url,
+        vantage: Option<CountryCode>,
+    ) -> CrawlSession<'a> {
+        let mut queue = VecDeque::new();
+        queue.push_back((landing.clone(), 0));
+        let mut visited = HashSet::new();
+        visited.insert(landing.clone());
+        CrawlSession {
+            crawler: *self,
+            corpus,
+            vantage,
+            queue,
+            visited,
+            pages_visited: 0,
+            truncated: false,
+            failures: 0,
+            failure_causes: FailureCauses::default(),
+            landing_error: None,
+        }
+    }
+
+    /// Breadth-first crawl of `landing` as seen from `vantage`,
+    /// materialized: drains a [`CrawlSession`] into a [`CrawlOutcome`]
+    /// with a full [`HarLog`].
     ///
     /// Telemetry (aggregated under the caller's open span): a `fetch`
     /// span per page request and a `har` span per rendered page (HAR
@@ -113,66 +271,32 @@ impl Crawler {
         landing: &Url,
         vantage: Option<CountryCode>,
     ) -> CrawlOutcome {
-        let mut outcome = CrawlOutcome::default();
-        let mut visited: HashSet<Url> = HashSet::new();
-        let mut queue: VecDeque<(Url, u32)> = VecDeque::new();
-        queue.push_back((landing.clone(), 0));
-        visited.insert(landing.clone());
-
-        while let Some((url, depth)) = queue.pop_front() {
-            if outcome.pages_visited >= self.max_pages {
-                outcome.truncated = true;
-                govhost_obs::counter_add("crawl.truncated", &[], 1);
-                break;
-            }
-            let fetched = {
-                let _fetch = govhost_obs::span!("fetch");
-                corpus.fetch(&url, vantage)
-            };
-            let page = match fetched {
-                Ok(p) => p,
-                Err(e) => {
-                    outcome.log.record_failure();
-                    outcome.failure_causes.bump(&e);
-                    govhost_obs::counter_add(
-                        "crawl.fetch_failures",
-                        &[("cause", failure_label(&e))],
-                        1,
-                    );
-                    if depth == 0 {
-                        outcome.landing_error =
-                            Some(PipelineError::Crawl { url, cause: e.to_string() });
-                    }
-                    continue;
-                }
-            };
-            outcome.pages_visited += 1;
-            govhost_obs::observe("crawl.page_bytes", &[], page.html_bytes);
-            let _har = govhost_obs::span!("har");
-            outcome.log.push(HarEntry {
-                url: url.clone(),
-                bytes: page.html_bytes,
+        let mut session = self.session(corpus, landing, vantage);
+        let mut log = HarLog::default();
+        while let Some(visit) = session.next_page() {
+            log.push(HarEntry {
+                url: visit.url.clone(),
+                bytes: visit.page.html_bytes,
                 content_type: ContentType::Html,
-                depth,
+                depth: visit.depth,
             });
-            for res in &page.resources {
-                outcome.log.push(HarEntry {
+            for res in &visit.page.resources {
+                log.push(HarEntry {
                     url: res.url.clone(),
                     bytes: res.bytes,
                     content_type: res.content_type,
-                    depth,
+                    depth: visit.depth,
                 });
             }
-            govhost_obs::counter_add("crawl.har_entries", &[], 1 + page.resources.len() as u64);
-            if depth < self.max_depth {
-                for link in &page.links {
-                    if visited.insert(link.clone()) {
-                        queue.push_back((link.clone(), depth + 1));
-                    }
-                }
-            }
         }
-        outcome
+        log.failures = session.failures;
+        CrawlOutcome {
+            log,
+            pages_visited: session.pages_visited,
+            truncated: session.truncated,
+            failure_causes: session.failure_causes,
+            landing_error: session.landing_error,
+        }
     }
 }
 
@@ -367,6 +491,65 @@ mod tests {
             assert_eq!(s.log.entries, p.log.entries);
             assert_eq!(s.log.failures, p.log.failures);
         }
+    }
+
+    /// The streaming session and the materialized crawl are the same
+    /// traversal: page-for-page, entry-for-entry, counter-for-counter.
+    #[test]
+    fn session_streams_exactly_what_crawl_materializes() {
+        let corpus = chain_corpus();
+        let crawler = Crawler::default();
+        let landing: Url = "https://a.gov/p0".parse().unwrap();
+        let out = crawler.crawl(&corpus, &landing, None);
+
+        let mut session = crawler.session(&corpus, &landing, None);
+        let mut streamed: Vec<HarEntry> = Vec::new();
+        while let Some(visit) = session.next_page() {
+            streamed.push(HarEntry {
+                url: visit.url.clone(),
+                bytes: visit.page.html_bytes,
+                content_type: ContentType::Html,
+                depth: visit.depth,
+            });
+            for res in &visit.page.resources {
+                streamed.push(HarEntry {
+                    url: res.url.clone(),
+                    bytes: res.bytes,
+                    content_type: res.content_type,
+                    depth: visit.depth,
+                });
+            }
+        }
+        assert_eq!(streamed, out.log.entries);
+        assert_eq!(session.pages_visited(), out.pages_visited);
+        assert_eq!(session.failures(), out.log.failures);
+        assert_eq!(session.failure_causes(), out.failure_causes);
+        assert!(!session.truncated());
+    }
+
+    #[test]
+    fn session_reports_landing_error_and_truncation() {
+        let corpus = chain_corpus();
+        let mut session = Crawler::default().session(
+            &corpus,
+            &"https://blocked.gob.mx/".parse().unwrap(),
+            Some(cc!("US")),
+        );
+        assert!(session.next_page().is_none());
+        assert_eq!(session.failures(), 1);
+        let err = session.take_landing_error().expect("landing fetch failed");
+        assert_eq!(err.stage(), govhost_types::PipelineStage::Crawl);
+        assert!(session.take_landing_error().is_none(), "take consumes the fault");
+
+        let capped = Crawler { max_depth: 7, max_pages: 3 };
+        let mut session =
+            capped.session(&corpus, &"https://a.gov/p0".parse().unwrap(), None);
+        let mut pages = 0;
+        while session.next_page().is_some() {
+            pages += 1;
+        }
+        assert_eq!(pages, 3);
+        assert!(session.truncated());
     }
 
     #[test]

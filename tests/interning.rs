@@ -1,0 +1,52 @@
+//! Determinism contract of the interned, work-stealing build at full
+//! paper scale: every observable byte of the dataset — the columnar URL
+//! table, the CSV export, and the deterministic telemetry documents —
+//! must be identical for 1, 2, 4, and 8 worker threads. The
+//! work-stealing deque makes scheduling *maximally* nondeterministic, so
+//! bit-identity here proves the merge path, not the scheduler, decides
+//! every output byte.
+//!
+//! The scale-1 world takes minutes to build in debug mode, so the test
+//! is `#[ignore]`d by default; `ci.sh` runs it in release with
+//! `--include-ignored`.
+
+use govhost::obs::export::{metrics_json, trace_json, TimeMode};
+use govhost::prelude::*;
+
+#[test]
+#[ignore = "scale-1 world: run in release via ci.sh"]
+fn interned_build_is_bit_identical_across_thread_counts_at_scale_1() {
+    let world = World::generate(&GenParams { scale: 1.0, ..GenParams::default() });
+    let base = GovDataset::build(&world, &BuildOptions { threads: 1, ..Default::default() });
+    assert!(base.urls.len() > 500_000, "scale 1 approximates the paper's ~1M URLs");
+    let base_csv = export_csv(&base);
+    let base_metrics = metrics_json(&base.telemetry);
+    let base_trace = trace_json(&base.telemetry, TimeMode::Deterministic);
+
+    for threads in [2usize, 4, 8] {
+        let ds = GovDataset::build(&world, &BuildOptions { threads, ..Default::default() });
+        // The columnar table itself: row order, interned ids, path bytes.
+        assert_eq!(ds.urls, base.urls, "URL table differs at threads={threads}");
+        // Host arena order via the records and the id round trip.
+        assert_eq!(ds.hosts.len(), base.hosts.len(), "threads={threads}");
+        for (a, b) in base.hosts.iter().zip(&ds.hosts) {
+            assert_eq!(a.hostname, b.hostname, "host arena order at threads={threads}");
+        }
+        // Every exported byte.
+        let csv = export_csv(&ds);
+        assert_eq!(csv.hosts, base_csv.hosts, "hosts.csv differs at threads={threads}");
+        assert_eq!(csv.urls, base_csv.urls, "urls.csv differs at threads={threads}");
+        assert_eq!(csv.meta, base_csv.meta, "meta.csv differs at threads={threads}");
+        // And the telemetry documents, stolen work included.
+        assert_eq!(
+            metrics_json(&ds.telemetry),
+            base_metrics,
+            "metrics.json differs at threads={threads}"
+        );
+        assert_eq!(
+            trace_json(&ds.telemetry, TimeMode::Deterministic),
+            base_trace,
+            "trace.json differs at threads={threads}"
+        );
+    }
+}

@@ -19,7 +19,7 @@ fn classification_finds_nearly_all_government_hostnames() {
     let mut found = 0;
     let mut missed = Vec::new();
     for host in world.truth.hosts.keys() {
-        if dataset.host_index.contains_key(host) {
+        if dataset.host_id(host).is_some() {
             found += 1;
         } else {
             missed.push(host.clone());
@@ -123,8 +123,8 @@ fn san_only_hosts_recovered_via_san_method() {
             continue;
         }
         san_truth += 1;
-        if let Some(idx) = dataset.host_index.get(host) {
-            let rec = &dataset.hosts[*idx as usize];
+        if let Some(id) = dataset.host_id(host) {
+            let rec = dataset.host(id);
             assert_eq!(
                 rec.method,
                 govhost::core::classify::ClassificationMethod::San,
@@ -145,8 +145,8 @@ fn france_new_caledonia_case_recovered() {
     let (world, dataset) = build();
     let gouv_nc: Hostname = "gouv.nc".parse().unwrap();
     assert!(world.truth.host(&gouv_nc).is_some());
-    let idx = dataset.host_index[&gouv_nc];
-    let rec = &dataset.hosts[idx as usize];
+    let id = dataset.host_id(&gouv_nc).expect("gouv.nc classified");
+    let rec = dataset.host(id);
     assert_eq!(rec.country.as_str(), "FR", "collected through France's crawl");
     assert_eq!(rec.category, Some(ProviderCategory::GovtSoe), "OPT is state-owned");
     assert_eq!(rec.registration.map(|c| c.to_string()).as_deref(), Some("NC"));
