@@ -18,7 +18,8 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # The rustdoc pass is part of tier-1: missing or broken documentation on
 # public items fails the build (missing_docs is deny in govhost-types,
-# govhost-par and govhost-obs; broken intra-doc links everywhere).
+# govhost-par, govhost-obs, govhost-worldgen and govhost-serve; broken
+# intra-doc links everywhere).
 echo "==> cargo doc --no-deps --offline --workspace (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
@@ -45,6 +46,14 @@ cargo test -q --offline -p govhost-obs --test prop_obs
 echo "==> interned build suites"
 cargo test -q --offline --release --test interning -- --include-ignored
 cargo test -q --offline -p govhost-core --test prop_table
+
+# Longitudinal determinism: same-seed ticks are bit-identical, the
+# evolved timeline does not depend on the build thread count, and the
+# incremental dirty-set rebuild exports the same bytes as a full build.
+# The scale-0.3 pins are #[ignore]d in the debug pass and run here in
+# release.
+echo "==> evolve suites"
+cargo test -q --offline --release --test evolve -- --include-ignored
 
 # Hygiene gate for the interned path: the build and table modules must
 # obtain every hostname from the interner — parsing one from a raw

@@ -20,7 +20,7 @@ use govhost_harness::mem;
 use govhost_types::{CountryCode, Hostname, Url};
 use govhost_web::cert::TlsCert;
 use govhost_web::Crawler;
-use govhost_worldgen::{GenParams, World};
+use govhost_worldgen::{default_systems, run_year, GenParams, World};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -194,6 +194,44 @@ fn main() {
                 value as f64,
                 Some(h.count()),
             );
+        }
+    }
+
+    // ---- Longitudinal ticks: after each yearly tick, the dirty-set
+    // incremental rebuild faces off against a full from-scratch build
+    // of the same evolved world. The export bytes must match — the
+    // wall-time ratio is the whole point of the incremental path. The
+    // item count on each entry is the tick's dirty-country count.
+    {
+        let params = if b.smoke() {
+            GenParams::tiny()
+        } else {
+            GenParams { scale: 0.3, ..Default::default() }
+        };
+        let mut world = World::generate(&params);
+        let options = BuildOptions::default();
+        let (_, _, mut cache) =
+            GovDataset::build_cached(&world, &options).expect("seed build succeeds");
+        let systems = default_systems();
+        for year in 1..=3u32 {
+            let report = run_year(&mut world, year, &systems);
+            let dirty = report.dirty.len() as u64;
+            let start = Instant::now();
+            let (incremental, _) =
+                GovDataset::rebuild_incremental(&world, &options, &mut cache, &report.dirty)
+                    .expect("incremental rebuild succeeds");
+            b.record(
+                &format!("pipeline/evolve/tick_{year}/incremental"),
+                start.elapsed(),
+                Some(dirty),
+            );
+            let start = Instant::now();
+            let full = GovDataset::build(&world, &options);
+            b.record(&format!("pipeline/evolve/tick_{year}/full"), start.elapsed(), Some(dirty));
+            let inc_csv = export_csv(&incremental);
+            let full_csv = export_csv(&full);
+            assert_eq!(inc_csv.hosts, full_csv.hosts, "tick {year}: incremental != full");
+            assert_eq!(inc_csv.urls, full_csv.urls, "tick {year}: incremental != full");
         }
     }
 

@@ -501,28 +501,82 @@ fn stream_chunk(
     Ok(ChunkPartial { host_names, verdicts, rows: rows.into_table(), crawl_failures, failure_causes })
 }
 
-/// One country's chunk partials merged into the global tables, plus what
-/// phase 2 (identify) and the telemetry assembly need.
-struct CountryMerged {
+/// One contributing country's partial build state: everything the
+/// per-country phases (§3.2–§3.4) produce for it, *before* any global
+/// interning. Entries are pure functions of `(world, options, country)`,
+/// so replaying a set of them in fixed country order reconstructs the
+/// global tables byte-for-byte — the seam that makes
+/// [`GovDataset::rebuild_incremental`] exact.
+#[derive(Debug, Clone)]
+struct CountryEntry {
     code: CountryCode,
-    vantage: CountryCode,
-    stats: CountryStats,
-    crawl_failures: u32,
-    failure_causes: FailureCauses,
-    /// Unique URLs this country's crawls examined (the
+    /// Landing URLs crawled (the fixed Table 8 denominator).
+    landing: u32,
+    /// Every distinct government hostname this country surfaced, interned
+    /// in first-government-row crawl order — the same order the global
+    /// merge first sees them in, which is what keeps replay exact.
+    gov: HostInterner,
+    /// §3.3 verdict per hostname, aligned with `gov`.
+    gov_methods: Vec<ClassificationMethod>,
+    /// Government URL rows in first-sighting crawl order; the host column
+    /// holds `gov`-local ids.
+    rows: UrlTable,
+    /// Unique URLs examined, government or not (the
     /// `classify.urls_examined` counter).
     examined: u64,
-    /// Host records first surfaced by this country (the `analyze.hosts`
-    /// counter).
-    new_hosts: u64,
-    /// Every distinct government hostname this country surfaced, as
-    /// global ids in first-occurrence order — the §3.4 work list,
-    /// including hostnames first surfaced by an earlier country (each
-    /// country identifies from its own vantage, as the sequential
-    /// pipeline did).
-    gov_list: Vec<HostId>,
-    /// The chunk jobs' telemetry shards, in chunk order.
-    shards: Vec<govhost_obs::Telemetry>,
+    crawl_failures: u32,
+    failure_causes: FailureCauses,
+    /// §3.4 identification per hostname, aligned with `gov`. Valid for as
+    /// long as the country's DNS surface is unchanged — exactly the
+    /// contract a tick's dirty-set tracks.
+    identify: Vec<Option<InfraRecord>>,
+    resolution_failures: u64,
+}
+
+/// Telemetry shards a freshly computed country carries into assembly:
+/// its chunk-job shards (in chunk order) plus the identify-job shard.
+type CountryShards = (Vec<govhost_obs::Telemetry>, govhost_obs::Telemetry);
+
+/// A freshly computed [`CountryEntry`] plus its telemetry shards (the
+/// shards are consumed by the assembly and never cached).
+struct CountryWork {
+    entry: CountryEntry,
+    shards: CountryShards,
+}
+
+/// What the assembly replay produces from a set of entries.
+struct Assembled {
+    hosts: Vec<HostRecord>,
+    urls: UrlTable,
+    host_ids: HostInterner,
+    validation: ValidationStats,
+    method_counts: [u64; 3],
+    crawl_failures: u32,
+    failure_causes: FailureCauses,
+    resolution_failures: u64,
+    per_country: HashMap<CountryCode, CountryStats>,
+}
+
+/// Per-country build state retained by [`GovDataset::build_cached`] so a
+/// later [`GovDataset::rebuild_incremental`] can replay clean countries
+/// instead of re-crawling them.
+///
+/// The cache holds one entry per contributing country, in
+/// fixed studied-country order, plus the quarantine record of the build
+/// that produced it. It is only meaningful against the same world
+/// lineage it was built from: after a tick, the entries of countries in
+/// the tick's dirty set are stale and must be recomputed.
+#[derive(Debug, Default)]
+pub struct BuildCache {
+    entries: Vec<CountryEntry>,
+    quarantined: Vec<QuarantineEntry>,
+}
+
+impl BuildCache {
+    /// Countries with a cached entry, in fixed country order.
+    pub fn countries(&self) -> Vec<CountryCode> {
+        self.entries.iter().map(|e| e.code).collect()
+    }
 }
 
 /// What one country's §3.4 identify job produces.
@@ -622,7 +676,139 @@ impl GovDataset {
     ) -> Result<(GovDataset, BuildReport), BuildError> {
         let (result, telemetry) = govhost_obs::collect(|| Self::build_traced(world, options));
         let traced = result?;
+        Ok(Self::finish_checked(traced, telemetry))
+    }
 
+    /// [`Self::try_build`] that additionally returns the [`BuildCache`]
+    /// needed for [`Self::rebuild_incremental`].
+    ///
+    /// The dataset and report are bit-identical to what `try_build`
+    /// produces for the same world and options; the cache is the same
+    /// per-country state the build computed anyway, retained instead of
+    /// dropped.
+    pub fn build_cached(
+        world: &World,
+        options: &BuildOptions,
+    ) -> Result<(GovDataset, BuildReport, BuildCache), BuildError> {
+        let (result, telemetry) =
+            govhost_obs::collect(|| Self::build_traced_keep(world, options));
+        let (traced, entries) = result?;
+        let quarantined = traced.quarantined.clone();
+        let (dataset, report) = Self::finish_checked(traced, telemetry);
+        Ok((dataset, report, BuildCache { entries, quarantined }))
+    }
+
+    /// Rebuild after a world mutation, recomputing only `dirty` countries.
+    ///
+    /// `cache` must come from [`Self::build_cached`] (or a previous
+    /// incremental rebuild) against the same world lineage, and `dirty`
+    /// must cover every country whose observable surfaces changed since —
+    /// a tick's `TickReport::dirty` is exactly that set. Clean countries
+    /// are *replayed* from their cached entries; dirty ones re-run the
+    /// full per-country fan-out (crawl → classify → identify). The global
+    /// merge, §5.1 category assignment and §3.5 geolocation always run in
+    /// full, so the resulting dataset — down to `export_csv` bytes — is
+    /// identical to a from-scratch [`Self::try_build`] against the
+    /// mutated world (`tests/evolve.rs` pins this).
+    ///
+    /// Telemetry is the one documented divergence: spans and counters are
+    /// only emitted for the countries that actually recomputed, so
+    /// [`GovDataset::timings`] and [`GovDataset::telemetry`] describe the
+    /// incremental work, not a full build — which is also why this path
+    /// derives its [`BuildReport`] from the merge sums instead of the
+    /// registry cross-checks `try_build` uses.
+    ///
+    /// On success the cache is updated in place to describe the rebuilt
+    /// dataset; on error it is left untouched.
+    pub fn rebuild_incremental(
+        world: &World,
+        options: &BuildOptions,
+        cache: &mut BuildCache,
+        dirty: &std::collections::BTreeSet<CountryCode>,
+    ) -> Result<(GovDataset, BuildReport), BuildError> {
+        let (result, telemetry) = govhost_obs::collect(|| -> Result<_, BuildError> {
+            let _build = govhost_obs::span!("build");
+            // Recompute set: the dirty countries, plus any contributing
+            // country the cache has no record of (neither an entry nor a
+            // quarantine) — defensive completeness for caches built
+            // against older worlds.
+            let cached: HashSet<CountryCode> = cache.entries.iter().map(|e| e.code).collect();
+            let skipped: HashSet<CountryCode> =
+                cache.quarantined.iter().map(|q| q.country).collect();
+            let mut recompute: std::collections::BTreeSet<CountryCode> = dirty.clone();
+            for row in world.studied_countries() {
+                let code = row.cc();
+                if !world.landing(code).is_empty()
+                    && !cached.contains(&code)
+                    && !skipped.contains(&code)
+                {
+                    recompute.insert(code);
+                }
+            }
+            let (works, new_quarantines) =
+                Self::compute_countries(world, options, Some(&recompute))?;
+            // Splice: fresh entries replace stale ones, everything else
+            // replays from cache, in fixed studied-country order.
+            let mut fresh: HashMap<CountryCode, CountryWork> =
+                works.into_iter().map(|w| (w.entry.code, w)).collect();
+            let mut old: HashMap<CountryCode, CountryEntry> =
+                std::mem::take(&mut cache.entries).into_iter().map(|e| (e.code, e)).collect();
+            let mut entries: Vec<CountryEntry> = Vec::new();
+            let mut shards: Vec<Option<CountryShards>> = Vec::new();
+            let mut quarantined: Vec<QuarantineEntry> = Vec::new();
+            for row in world.studied_countries() {
+                let code = row.cc();
+                if recompute.contains(&code) {
+                    if let Some(work) = fresh.remove(&code) {
+                        entries.push(work.entry);
+                        shards.push(Some(work.shards));
+                    } else if let Some(q) =
+                        new_quarantines.iter().find(|q| q.country == code)
+                    {
+                        quarantined.push(q.clone());
+                    }
+                } else if let Some(entry) = old.remove(&code) {
+                    entries.push(entry);
+                    shards.push(None);
+                } else if let Some(q) = cache.quarantined.iter().find(|q| q.country == code) {
+                    quarantined.push(q.clone());
+                }
+            }
+            let asm = Self::assemble(world, options, &entries, shards);
+            cache.entries = entries;
+            cache.quarantined = quarantined.clone();
+            Ok((asm, quarantined))
+        });
+        let (asm, quarantined) = result?;
+        let report = BuildReport {
+            quarantined,
+            crawl_failures: asm.failure_causes,
+            resolution_failures: asm.resolution_failures,
+            geo_excluded: asm.validation.unicast[2] + asm.validation.anycast[2],
+            geo_conflicts: asm.validation.conflicts,
+        };
+        let timings = StageTimings::from_telemetry(&telemetry);
+        let dataset = GovDataset {
+            hosts: asm.hosts,
+            urls: asm.urls,
+            host_ids: asm.host_ids,
+            validation: asm.validation,
+            method_counts: asm.method_counts,
+            crawl_failures: asm.crawl_failures,
+            per_country: asm.per_country,
+            timings,
+            telemetry,
+        };
+        Ok((dataset, report))
+    }
+
+    /// The post-build half of [`Self::try_build`]: project the report
+    /// from the telemetry registry and cross-check it against the merge
+    /// loop's own sums.
+    fn finish_checked(
+        traced: TracedBuild,
+        telemetry: govhost_obs::Telemetry,
+    ) -> (GovDataset, BuildReport) {
         // The telemetry capture is the single source of truth for the
         // instrumentation view: both the stage table and the report
         // counters are projections of the registry. The merge loop's own
@@ -688,20 +874,64 @@ impl GovDataset {
             timings,
             telemetry,
         };
-        Ok((dataset, report))
+        (dataset, report)
     }
 
     /// The traced build body: runs inside the [`govhost_obs::collect`]
     /// scope opened by [`Self::try_build`], under one `build` span.
     fn build_traced(world: &World, options: &BuildOptions) -> Result<TracedBuild, BuildError> {
-        let _build = govhost_obs::span!("build");
+        Self::build_traced_keep(world, options).map(|(traced, _)| traced)
+    }
 
+    /// [`Self::build_traced`], additionally keeping the per-country
+    /// entries so [`Self::build_cached`] can retain them.
+    fn build_traced_keep(
+        world: &World,
+        options: &BuildOptions,
+    ) -> Result<(TracedBuild, Vec<CountryEntry>), BuildError> {
+        let _build = govhost_obs::span!("build");
+        let (works, quarantined) = Self::compute_countries(world, options, None)?;
+        let mut entries = Vec::with_capacity(works.len());
+        let mut shards = Vec::with_capacity(works.len());
+        for work in works {
+            entries.push(work.entry);
+            shards.push(Some(work.shards));
+        }
+        let asm = Self::assemble(world, options, &entries, shards);
+        let traced = TracedBuild {
+            hosts: asm.hosts,
+            urls: asm.urls,
+            host_ids: asm.host_ids,
+            validation: asm.validation,
+            method_counts: asm.method_counts,
+            crawl_failures: asm.crawl_failures,
+            failure_causes: asm.failure_causes,
+            resolution_failures: asm.resolution_failures,
+            per_country: asm.per_country,
+            quarantined,
+        };
+        Ok((traced, entries))
+    }
+
+    /// Phases §3.2–§3.4 for a set of countries: the chunked
+    /// crawl/classify fan-out, the per-country merge into
+    /// [`CountryEntry`]s, and the identify fan-out. `only` restricts the
+    /// work to a subset of countries (the incremental path); `None`
+    /// computes every contributing country.
+    fn compute_countries(
+        world: &World,
+        options: &BuildOptions,
+        only: Option<&std::collections::BTreeSet<CountryCode>>,
+    ) -> Result<(Vec<CountryWork>, Vec<QuarantineEntry>), BuildError> {
         // Prep: per contributing country, the shared crawl/classify
         // context; then the (country, landing-chunk) job list in fixed
         // nested order.
         let mut ctxs: Vec<CountryCtx<'_>> = Vec::new();
         for row in world.studied_countries() {
             let code = row.cc();
+            if only.is_some_and(|set| !set.contains(&code)) {
+                continue; // clean country: replayed from cache instead
+            }
             let landing = world.landing(code);
             if landing.is_empty() {
                 continue; // Korea's empty row: nothing to contribute
@@ -761,15 +991,13 @@ impl GovDataset {
         }
 
         // Merge (sequential, fixed country order): remap chunk-local host
-        // ids to country-local then global ids, dedup URLs cross-chunk
-        // (first sighting wins, in crawl order), and append government
-        // rows to the global columnar table.
+        // ids to country-local ids, dedup URLs cross-chunk (first
+        // sighting wins, in crawl order), and distil each country's
+        // government surface into its own entry. No global state is
+        // touched here — that is the assembly's job — so an entry is a
+        // pure function of the world and one country.
         let mut quarantined: Vec<QuarantineEntry> = Vec::new();
-        let mut hosts: Vec<HostRecord> = Vec::new();
-        let mut host_ids = HostInterner::new();
-        let mut urls = UrlTable::new();
-        let mut method_counts = [0u64; 3];
-        let mut merged: Vec<CountryMerged> = Vec::with_capacity(ctxs.len());
+        let mut works: Vec<CountryWork> = Vec::with_capacity(ctxs.len());
         for (ci, ctx) in ctxs.iter().enumerate() {
             if let Some(error) = faults[ci].take() {
                 match options.policy {
@@ -786,21 +1014,18 @@ impl GovDataset {
                     }
                 }
             }
-            let code = ctx.code;
             let mut country_hosts = HostInterner::new();
             let mut country_verdicts: Vec<Option<ClassificationMethod>> = Vec::new();
             let mut country_rows = UrlInterner::new();
-            let mut gov_seen: Vec<bool> = Vec::new();
-            let mut gov_list: Vec<HostId> = Vec::new();
-            let mut stats =
-                CountryStats { landing: ctx.landing.len() as u32, ..Default::default() };
+            let mut gov = HostInterner::new();
+            let mut gov_methods: Vec<ClassificationMethod> = Vec::new();
+            let mut rows = UrlTable::new();
             let mut crawl_failures = 0u32;
             let mut failure_causes = FailureCauses::default();
-            let mut new_hosts = 0u64;
             let country_chunks = std::mem::take(&mut chunks[ci]);
-            let mut shards = Vec::with_capacity(country_chunks.len());
+            let mut chunk_shards = Vec::with_capacity(country_chunks.len());
             for (chunk, shard) in country_chunks {
-                shards.push(shard);
+                chunk_shards.push(shard);
                 crawl_failures += chunk.crawl_failures;
                 failure_causes.merge(chunk.failure_causes);
                 let map: Vec<HostId> = chunk
@@ -811,7 +1036,6 @@ impl GovDataset {
                         let (chid, new) = country_hosts.intern(name);
                         if new {
                             country_verdicts.push(*verdict);
-                            gov_seen.push(false);
                         }
                         chid
                     })
@@ -826,69 +1050,48 @@ impl GovDataset {
                     let Some(method) = country_verdicts[chid.index()] else {
                         continue; // non-government URL, discarded
                     };
+                    // Government hostnames intern into the entry's own
+                    // arena at their first government row, so the local
+                    // ids run in exactly the order the global merge will
+                    // first see each host — the invariant replay needs.
                     let name = country_hosts.resolve(chid);
-                    let (gid, new_global) = host_ids.intern(name);
-                    if new_global {
-                        hosts.push(HostRecord {
-                            hostname: name.clone(),
-                            country: code,
-                            method,
-                            ip: None,
-                            asn: None,
-                            org: None,
-                            registration: None,
-                            state_operated: false,
-                            category: None,
-                            server_country: None,
-                            anycast: false,
-                            geo_excluded: false,
-                        });
-                        new_hosts += 1;
+                    let (lid, new_gov) = gov.intern(name);
+                    if new_gov {
+                        gov_methods.push(method);
                     }
-                    if !gov_seen[chid.index()] {
-                        gov_seen[chid.index()] = true;
-                        gov_list.push(gid);
-                    }
-                    stats.urls += 1;
-                    stats.bytes += row.bytes;
-                    let midx = match method {
-                        ClassificationMethod::GovTld => 0,
-                        ClassificationMethod::DomainMatch => 1,
-                        ClassificationMethod::San => 2,
-                    };
-                    method_counts[midx] += 1;
-                    urls.push(row.scheme, gid, row.path, row.bytes);
+                    rows.push(row.scheme, lid, row.path, row.bytes);
                 }
             }
-            stats.hostnames = gov_list.len() as u32;
-            merged.push(CountryMerged {
-                code,
-                vantage: ctx.vantage,
-                stats,
-                crawl_failures,
-                failure_causes,
-                examined: country_rows.len() as u64,
-                new_hosts,
-                gov_list,
-                shards,
+            let examined = country_rows.len() as u64;
+            works.push(CountryWork {
+                entry: CountryEntry {
+                    code: ctx.code,
+                    landing: ctx.landing.len() as u32,
+                    gov,
+                    gov_methods,
+                    rows,
+                    examined,
+                    crawl_failures,
+                    failure_causes,
+                    identify: Vec::new(),
+                    resolution_failures: 0,
+                },
+                shards: (chunk_shards, govhost_obs::Telemetry::default()),
             });
         }
 
         // Phase 2 (parallel): §3.4 identification, one job per
         // contributing country. Every country identifies every distinct
         // government hostname it surfaced from its own vantage — exactly
-        // the work the sequential pipeline did — and the records are
-        // applied below to the hosts each country owns.
+        // the work the sequential pipeline did — and the records ride in
+        // the entry, aligned with its `gov` arena.
         type IdentifyJob = (CountryCode, CountryCode, Vec<(HostId, Hostname)>);
-        let identify_jobs: Vec<IdentifyJob> = merged
+        let identify_jobs: Vec<IdentifyJob> = works
             .iter()
-            .map(|m| {
-                let list = m
-                    .gov_list
-                    .iter()
-                    .map(|&gid| (gid, hosts[gid.index()].hostname.clone()))
-                    .collect();
-                (m.code, m.vantage, list)
+            .map(|w| {
+                let list =
+                    w.entry.gov.iter().map(|(lid, name)| (lid, name.clone())).collect();
+                (w.entry.code, world.vantage(w.entry.code).country, list)
             })
             .collect();
         let identified: Vec<IdentifyPartial> = govhost_par::parallel_map(
@@ -897,45 +1100,126 @@ impl GovDataset {
             |(code, _, _)| format!("identify {code}"),
             |_, (code, vantage, list)| identify_country(world, *code, *vantage, list),
         );
+        for (work, partial) in works.iter_mut().zip(identified) {
+            work.entry.identify =
+                partial.records.into_iter().map(|(_, record)| record).collect();
+            work.entry.resolution_failures = partial.resolution_failures;
+            work.shards.1 = partial.shard;
+        }
+        Ok((works, quarantined))
+    }
 
-        // Assembly (sequential, fixed country order): graft each
-        // country's telemetry shards below one `country` span, emit the
-        // merge-side counters, and fill infrastructure into the host
-        // records the country owns (the first surfacing country wins,
-        // same as the sequential pipeline).
+    /// Assembly: replay entries in fixed country order into the global
+    /// tables, then run the cross-country passes (§5.1 categories, §3.5
+    /// geolocation) over the merged whole.
+    ///
+    /// `shards` is parallel to `entries`: `Some` for freshly computed
+    /// countries — their telemetry shards are grafted below a `country`
+    /// span and the merge-side counters are emitted — and `None` for
+    /// countries replayed from cache, which emit no telemetry because no
+    /// measurement work happened.
+    fn assemble(
+        world: &World,
+        options: &BuildOptions,
+        entries: &[CountryEntry],
+        shards: Vec<Option<CountryShards>>,
+    ) -> Assembled {
+        let mut hosts: Vec<HostRecord> = Vec::new();
+        let mut host_ids = HostInterner::new();
+        let mut urls = UrlTable::new();
+        let mut method_counts = [0u64; 3];
         let mut crawl_failures = 0u32;
         let mut failure_causes = FailureCauses::default();
         let mut resolution_failures = 0u64;
         let mut per_country: HashMap<CountryCode, CountryStats> = HashMap::new();
-        for (m, identify) in merged.into_iter().zip(identified) {
-            let code = m.code;
-            let _country = govhost_obs::span_labeled("country", &[("country", code.as_str())]);
-            let country_ctx = govhost_obs::context();
-            for shard in m.shards {
-                govhost_obs::absorb(shard, &country_ctx);
+        for (entry, shard) in entries.iter().zip(shards) {
+            let code = entry.code;
+            let _country = shard.is_some().then(|| {
+                govhost_obs::span_labeled("country", &[("country", code.as_str())])
+            });
+            if let Some((chunk_shards, identify_shard)) = shard {
+                let country_ctx = govhost_obs::context();
+                for s in chunk_shards {
+                    govhost_obs::absorb(s, &country_ctx);
+                }
+                govhost_obs::absorb(identify_shard, &country_ctx);
+                govhost_obs::counter_add(
+                    "classify.urls_examined",
+                    &[("country", code.as_str())],
+                    entry.examined,
+                );
+                // Host records are attributed to the first country that
+                // surfaces them (fixed country order), and so is the
+                // counter.
+                let new_hosts = entry
+                    .gov
+                    .iter()
+                    .filter(|(_, name)| host_ids.get(name).is_none())
+                    .count() as u64;
+                govhost_obs::counter_add(
+                    "analyze.hosts",
+                    &[("country", code.as_str())],
+                    new_hosts,
+                );
             }
-            govhost_obs::absorb(identify.shard, &country_ctx);
-            govhost_obs::counter_add(
-                "classify.urls_examined",
-                &[("country", code.as_str())],
-                m.examined,
-            );
-            // Host records are attributed to the first country that
-            // surfaces them (fixed country order), and so is the counter.
-            govhost_obs::counter_add("analyze.hosts", &[("country", code.as_str())], m.new_hosts);
-            crawl_failures += m.crawl_failures;
-            failure_causes.merge(m.failure_causes);
-            resolution_failures += identify.resolution_failures;
-            per_country.insert(code, m.stats);
-            for (gid, record) in identify.records {
-                let host = &mut hosts[gid.index()];
+            // Replay the global merge: intern this country's government
+            // hostnames (the first surfacing country wins the record),
+            // then append its URL rows. Both orders equal the original
+            // crawl-order merge, so the global tables come out
+            // byte-identical whether the entry is fresh or cached.
+            let mut gids: Vec<HostId> = Vec::with_capacity(entry.gov.len());
+            for (lid, name) in entry.gov.iter() {
+                let (gid, new_global) = host_ids.intern(name);
+                if new_global {
+                    hosts.push(HostRecord {
+                        hostname: name.clone(),
+                        country: code,
+                        method: entry.gov_methods[lid.index()],
+                        ip: None,
+                        asn: None,
+                        org: None,
+                        registration: None,
+                        state_operated: false,
+                        category: None,
+                        server_country: None,
+                        anycast: false,
+                        geo_excluded: false,
+                    });
+                }
+                gids.push(gid);
+            }
+            let mut stats = CountryStats {
+                landing: entry.landing,
+                hostnames: entry.gov.len() as u32,
+                ..Default::default()
+            };
+            for row in entry.rows.iter() {
+                stats.urls += 1;
+                stats.bytes += row.bytes;
+                let midx = match entry.gov_methods[row.host.index()] {
+                    ClassificationMethod::GovTld => 0,
+                    ClassificationMethod::DomainMatch => 1,
+                    ClassificationMethod::San => 2,
+                };
+                method_counts[midx] += 1;
+                urls.push(row.scheme, gids[row.host.index()], row.path, row.bytes);
+            }
+            crawl_failures += entry.crawl_failures;
+            failure_causes.merge(entry.failure_causes);
+            resolution_failures += entry.resolution_failures;
+            per_country.insert(code, stats);
+            // Fill infrastructure into the host records this country
+            // owns (the first surfacing country, same as the sequential
+            // pipeline).
+            for (lid, record) in entry.identify.iter().enumerate() {
+                let host = &mut hosts[gids[lid].index()];
                 if host.country != code {
                     continue;
                 }
                 if let Some(infra) = record {
                     host.ip = Some(infra.ip);
                     host.asn = Some(infra.asn);
-                    host.org = Some(infra.org);
+                    host.org = Some(infra.org.clone());
                     host.registration = Some(infra.registration);
                     host.state_operated = infra.state_operated.is_some();
                 }
@@ -954,7 +1238,7 @@ impl GovDataset {
             geolocate(world, &mut hosts, options)
         };
 
-        Ok(TracedBuild {
+        Assembled {
             hosts,
             urls,
             host_ids,
@@ -964,9 +1248,9 @@ impl GovDataset {
             failure_causes,
             resolution_failures,
             per_country,
-            quarantined,
-        })
+        }
     }
+
 
     /// Table 3 summary.
     pub fn summary(&self) -> DatasetSummary {

@@ -126,8 +126,14 @@ impl HostingAnalysis {
         if n == 0 {
             return CategoryShares::default();
         }
+        // Fold in sorted country order: HashMap iteration order would
+        // otherwise vary the float summation order and flip last-ULP
+        // bits between two computes over equal datasets.
+        let mut codes: Vec<CountryCode> = self.per_country.keys().copied().collect();
+        codes.sort_unstable();
         let mut out = CategoryShares::default();
-        for shares in self.per_country.values() {
+        for code in codes {
+            let shares = &self.per_country[&code];
             for i in 0..4 {
                 out.urls[i] += shares.urls[i] / n as f64;
                 out.bytes[i] += shares.bytes[i] / n as f64;

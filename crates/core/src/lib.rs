@@ -26,6 +26,7 @@ pub mod classify;
 pub mod crossborder;
 pub mod dataset;
 pub mod diversification;
+pub mod evolve;
 pub mod explain;
 pub mod export;
 pub mod fold;
@@ -42,10 +43,14 @@ pub use affordability::AffordabilityAnalysis;
 pub use classify::{ClassificationMethod, Classifier, SeedSets};
 pub use crossborder::CrossBorderAnalysis;
 pub use dataset::{
-    BuildError, BuildOptions, BuildReport, FailurePolicy, GovDataset, HostRecord, QuarantineEntry,
-    StageStat, StageTimings,
+    BuildCache, BuildError, BuildOptions, BuildReport, FailurePolicy, GovDataset, HostRecord,
+    QuarantineEntry, StageStat, StageTimings,
 };
 pub use diversification::DiversificationAnalysis;
+pub use evolve::{
+    evolve, evolve_with_systems, CountryYear, EvolveOutcome, ProviderYear, TickSummary, Timeline,
+    YearMetrics,
+};
 pub use explain::ExplanatoryModel;
 pub use export::{export_csv, export_csv_full, import_csv, import_csv_full, DatasetCsv};
 pub use hosting::{CategoryShares, HostingAnalysis};

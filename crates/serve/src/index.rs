@@ -142,11 +142,24 @@ pub struct QueryIndex {
     providers: RouteSlab,
     hhi: RouteSlab,
     tables: crate::query::QueryTables,
+    timeline: crate::history::TimelineIndex,
 }
 
 impl QueryIndex {
-    /// Run the core analyses over `dataset` and render every body.
+    /// Run the core analyses over `dataset` and render every body. The
+    /// history routes get a single-year timeline
+    /// ([`Timeline::snapshot`](govhost_core::evolve::Timeline::snapshot))
+    /// — use [`QueryIndex::with_timeline`] after an evolution run.
     pub fn build(dataset: &GovDataset) -> QueryIndex {
+        Self::with_timeline(dataset, &govhost_core::evolve::Timeline::snapshot(dataset))
+    }
+
+    /// Like [`QueryIndex::build`], but serving history routes from an
+    /// evolved multi-year timeline.
+    pub fn with_timeline(
+        dataset: &GovDataset,
+        timeline: &govhost_core::evolve::Timeline,
+    ) -> QueryIndex {
         let hosting = HostingAnalysis::compute(dataset);
         let location = LocationAnalysis::compute(dataset);
         let cross = CrossBorderAnalysis::compute(dataset);
@@ -256,12 +269,18 @@ impl QueryIndex {
             providers: RouteSlab::json(providers_body),
             hhi: RouteSlab::json(hhi),
             tables,
+            timeline: crate::history::TimelineIndex::build(timeline),
         }
     }
 
     /// The row tables behind the parameterized routes.
     pub(crate) fn tables(&self) -> &crate::query::QueryTables {
         &self.tables
+    }
+
+    /// The per-year series behind the history routes.
+    pub fn timeline(&self) -> &crate::history::TimelineIndex {
+        &self.timeline
     }
 
     /// The `/healthz` body.

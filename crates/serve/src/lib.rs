@@ -14,9 +14,12 @@
 //! | `/healthz` | dataset dimensions + liveness |
 //! | `/countries` | per-country crawl statistics (filter/sort/paginate) |
 //! | `/country/{iso}` | one country: hosting mix, domestic split, concentration, outflows |
+//! | `/country/{iso}/history` | one country's per-year timeline (window/paginate) |
 //! | `/flows` | cross-border flows: full matrices, or filter/sort/paginate via parameters |
 //! | `/providers` | provider footprints (Fig. 10; filter/sort/paginate) |
+//! | `/providers/{name}/history` | one provider's per-year footprint, by AS number or org name |
 //! | `/hhi` | per-country provider concentration |
+//! | `/hhi/history` | the global concentration series across simulated years |
 //! | `/metrics` | text exposition of the `govhost-obs` registry |
 //!
 //! `GET` and `HEAD` are served everywhere (`HEAD` answers the `GET`
@@ -72,6 +75,7 @@
 //! ```
 
 pub mod event;
+pub mod history;
 pub mod http;
 pub mod index;
 pub mod query;
@@ -82,9 +86,10 @@ pub use event::{
     Clock, ConnPolicy, EventLoop, FakeClock, FakeReadiness, PollReadiness, PollSource, Readiness,
     ReadyEvent, SysClock, TurnReport,
 };
+pub use history::TimelineIndex;
 pub use http::{percent_decode, HttpError, Limits, Request, RequestParser, Version};
 pub use index::{etag_of, QueryIndex, RouteSlab};
-pub use query::{IndexHandle, ResultCache, RouteQuery, DEFAULT_RESULT_CACHE};
+pub use query::{HistoryParams, IndexHandle, ResultCache, RouteQuery, DEFAULT_RESULT_CACHE};
 pub use router::{if_none_match, route_label, Bytes, Response, ServeState, ROUTES};
 pub use server::{
     serve_connection, serve_connection_with, Connection, MemConn, Pool, PoolConfig, Server,

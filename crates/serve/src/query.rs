@@ -465,6 +465,81 @@ fn parse_category(slot: &Slot<'_>) -> Result<Option<ProviderCategory>, HttpError
         })
 }
 
+/// Validated parameters of the three history routes
+/// (`/hhi/history`, `/country/{iso}/history`,
+/// `/providers/{name}/history`): an inclusive year window plus
+/// pagination. Parsing follows the same strict grammar as
+/// [`RouteQuery`] — unknown or duplicate parameters and malformed
+/// values are typed `400`s naming the offender.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryParams {
+    /// First year included (`None` = from year 0).
+    from: Option<u32>,
+    /// Last year included (`None` = through the latest year).
+    to: Option<u32>,
+    limit: usize,
+    offset: usize,
+}
+
+impl HistoryParams {
+    /// Parse and validate a history route's raw query string.
+    pub fn parse(raw: &str) -> Result<HistoryParams, HttpError> {
+        let pairs = parse_pairs(raw)?;
+        let mut from = Slot::new("from");
+        let mut to = Slot::new("to");
+        let mut limit = Slot::new("limit");
+        let mut offset = Slot::new("offset");
+        for (key, value) in &pairs {
+            assign(&mut [&mut from, &mut to, &mut limit, &mut offset], key, value)?;
+        }
+        let parse_year = |slot: &Slot<'_>| -> Result<Option<u32>, HttpError> {
+            match slot.value {
+                None | Some("*") => Ok(None),
+                Some(raw) => raw.parse::<u32>().map(Some).map_err(|_| {
+                    bad(format!(
+                        "invalid value \"{}\" for parameter \"{}\": expected \"*\" or a non-negative year",
+                        echo(raw),
+                        slot.name
+                    ))
+                }),
+            }
+        };
+        Ok(HistoryParams {
+            from: parse_year(&from)?,
+            to: parse_year(&to)?,
+            limit: parse_limit(&limit)?,
+            offset: parse_offset(&offset)?,
+        })
+    }
+
+    /// Whether `year` falls inside the requested window.
+    pub(crate) fn contains_year(&self, year: u32) -> bool {
+        self.from.is_none_or(|f| year >= f) && self.to.is_none_or(|t| year <= t)
+    }
+
+    /// The page size in effect.
+    pub(crate) fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// The page offset in effect.
+    pub(crate) fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The canonical query string (alphabetical parameters, defaults
+    /// filled in, `*` for an open window end) — the cache-key suffix.
+    pub fn canonical(&self) -> String {
+        format!(
+            "from={}&limit={}&offset={}&to={}",
+            self.from.map_or("*".to_string(), |v| v.to_string()),
+            self.limit,
+            self.offset,
+            self.to.map_or("*".to_string(), |v| v.to_string()),
+        )
+    }
+}
+
 impl RouteQuery {
     /// Parse and validate the raw query string of one parameterized
     /// route. `route` must be one of `/flows`, `/providers`,
@@ -714,7 +789,7 @@ impl RouteQuery {
 }
 
 /// Render the shared response envelope around pre-rendered rows.
-fn envelope(
+pub(crate) fn envelope(
     route: &str,
     canonical: &str,
     total: usize,
@@ -739,7 +814,7 @@ fn envelope(
 }
 
 /// Slice one page out of the matched rows.
-fn page<T>(rows: &[T], offset: usize, limit: usize) -> &[T] {
+pub(crate) fn page<T>(rows: &[T], offset: usize, limit: usize) -> &[T] {
     let start = offset.min(rows.len());
     let end = (start + limit).min(rows.len());
     &rows[start..end]

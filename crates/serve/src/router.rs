@@ -27,6 +27,7 @@
 use crate::http::{HttpError, Request};
 use crate::index::{QueryIndex, RouteSlab};
 use crate::query::{IndexHandle, ResultCache, RouteQuery, DEFAULT_RESULT_CACHE};
+use govhost_core::evolve::Timeline;
 use govhost_core::prelude::*;
 use govhost_obs::export::{metrics_text, trace_level, TimeMode};
 use govhost_obs::{Labels, Telemetry};
@@ -35,8 +36,18 @@ use std::time::Instant;
 
 /// The route patterns the server exposes, used verbatim as the `route`
 /// label on every HTTP metric (bounded cardinality by construction).
-pub const ROUTES: [&str; 7] =
-    ["/healthz", "/countries", "/country/{iso}", "/flows", "/providers", "/hhi", "/metrics"];
+pub const ROUTES: [&str; 10] = [
+    "/healthz",
+    "/countries",
+    "/country/{iso}",
+    "/country/{iso}/history",
+    "/flows",
+    "/providers",
+    "/providers/{name}/history",
+    "/hhi",
+    "/hhi/history",
+    "/metrics",
+];
 
 /// An immutable byte payload that can be handed around without copying:
 /// either a `'static` fragment (the canned `Connection:` lines) or a
@@ -235,10 +246,45 @@ pub fn route_label(path: &str) -> &'static str {
         "/flows" => "/flows",
         "/providers" => "/providers",
         "/hhi" => "/hhi",
+        "/hhi/history" => "/hhi/history",
         "/metrics" => "/metrics",
+        p if strip_history(p, "/country/").is_some() => "/country/{iso}/history",
+        p if strip_history(p, "/providers/").is_some() => "/providers/{name}/history",
         p if p.starts_with("/country/") => "/country/{iso}",
         _ => "other",
     }
+}
+
+/// The `{segment}` of `<prefix>{segment}/history`, when `path` has that
+/// shape with a non-empty segment.
+fn strip_history<'a>(path: &'a str, prefix: &str) -> Option<&'a str> {
+    let segment = path.strip_prefix(prefix)?.strip_suffix("/history")?;
+    if segment.is_empty() {
+        None
+    } else {
+        Some(segment)
+    }
+}
+
+/// Which history series a path addresses.
+enum HistoryTarget<'a> {
+    Hhi,
+    Country(&'a str),
+    Provider(&'a str),
+}
+
+/// Recognize the three history routes.
+fn history_target(path: &str) -> Option<HistoryTarget<'_>> {
+    if path == "/hhi/history" {
+        return Some(HistoryTarget::Hhi);
+    }
+    if let Some(iso) = strip_history(path, "/country/") {
+        return Some(HistoryTarget::Country(iso));
+    }
+    if let Some(name) = strip_history(path, "/providers/") {
+        return Some(HistoryTarget::Provider(name));
+    }
+    None
 }
 
 /// Whether an `If-None-Match` header value matches `etag`: the
@@ -299,9 +345,50 @@ impl ServeState {
         mode: TimeMode,
         cache_capacity: usize,
     ) -> ServeState {
+        Self::assemble(dataset, None, mode, cache_capacity)
+    }
+
+    /// Build with an evolved multi-year [`Timeline`] behind the history
+    /// routes (the CLI's `serve --years N` path), with the default
+    /// result-cache capacity.
+    pub fn with_timeline(dataset: &GovDataset, timeline: &Timeline, mode: TimeMode) -> ServeState {
+        Self::assemble(dataset, Some(timeline), mode, DEFAULT_RESULT_CACHE)
+    }
+
+    /// Like [`ServeState::with_timeline`] but with the time mode taken
+    /// from the environment and an explicit result-cache capacity (the
+    /// CLI's `serve --years N` path).
+    pub fn with_timeline_cache_capacity(
+        dataset: &GovDataset,
+        timeline: &Timeline,
+        cache_capacity: usize,
+    ) -> ServeState {
+        Self::assemble(dataset, Some(timeline), trace_level().time_mode(), cache_capacity)
+    }
+
+    /// [`ServeState::with_timeline`] with an explicit result-cache
+    /// capacity.
+    pub fn with_timeline_config(
+        dataset: &GovDataset,
+        timeline: &Timeline,
+        mode: TimeMode,
+        cache_capacity: usize,
+    ) -> ServeState {
+        Self::assemble(dataset, Some(timeline), mode, cache_capacity)
+    }
+
+    fn assemble(
+        dataset: &GovDataset,
+        timeline: Option<&Timeline>,
+        mode: TimeMode,
+        cache_capacity: usize,
+    ) -> ServeState {
         let (index, build_capture) = govhost_obs::collect(|| {
             let _span = govhost_obs::span!("serve.index");
-            let index = QueryIndex::build(dataset);
+            let index = match timeline {
+                Some(timeline) => QueryIndex::with_timeline(dataset, timeline),
+                None => QueryIndex::build(dataset),
+            };
             govhost_obs::counter_add("serve.index.countries", &[], index.country_count() as u64);
             index
         });
@@ -446,6 +533,12 @@ impl ServeState {
     /// against the index.
     fn handle(&self, req: &Request) -> Response {
         let path = req.path();
+        // History routes resolve against the timeline series (and take
+        // their own parameter grammar), so they dispatch first — before
+        // the `/country/{iso}` suffix rules could swallow the path.
+        if let Some(target) = history_target(path) {
+            return self.history(req, target);
+        }
         // The three parameterized routes go through the query engine
         // whenever the query string carries parameters.
         if matches!(path, "/flows" | "/providers" | "/countries") {
@@ -533,6 +626,66 @@ impl ServeState {
         self.count_cache_outcome("miss");
         let index = self.index.load();
         let slab = Arc::new(RouteSlab::json(query.execute(&index)));
+        if self.cache.insert(key, slab.clone(), epoch) {
+            self.count_cache_outcome("eviction");
+        }
+        self.conditional(req, &slab)
+    }
+
+    /// Serve one history route: parameterless requests answer the
+    /// precomputed full-series slab; a parameterized request parses
+    /// (typed `400`s *before* target resolution, so a bad query never
+    /// masquerades as a missing target), resolves the series (`404`
+    /// when the country or provider is unknown), and goes through the
+    /// result cache exactly like [`ServeState::parameterized`] — epoch
+    /// read before the index load, so a concurrent swap drops the
+    /// stale insert.
+    fn history(&self, req: &Request, target: HistoryTarget<'_>) -> Response {
+        let raw = req.query().unwrap_or("");
+        let params = if raw.split('&').all(str::is_empty) {
+            None
+        } else {
+            match crate::query::HistoryParams::parse(raw) {
+                Ok(params) => Some(params),
+                Err(err) => return Response::from_error(&err),
+            }
+        };
+        let epoch = self.cache.epoch();
+        let index = self.index.load();
+        let timeline = index.timeline();
+        let (route, series) = match target {
+            HistoryTarget::Hhi => ("/hhi/history".to_string(), timeline.hhi()),
+            HistoryTarget::Country(iso) => {
+                // The same allocation-free ASCII fold as `/country/{iso}`.
+                let resolved = match iso.as_bytes() {
+                    &[a, b] => {
+                        let upper = [a.to_ascii_uppercase(), b.to_ascii_uppercase()];
+                        std::str::from_utf8(&upper)
+                            .ok()
+                            .and_then(|code| timeline.country(code).map(|s| (code.to_string(), s)))
+                    }
+                    _ => None,
+                };
+                match resolved {
+                    Some((code, series)) => (format!("/country/{code}/history"), series),
+                    None => return Response::from_error(&HttpError::NotFound),
+                }
+            }
+            HistoryTarget::Provider(name) => match timeline.provider(name) {
+                Some((asn, p)) => (format!("/providers/AS{asn}/history"), &p.series),
+                None => return Response::from_error(&HttpError::NotFound),
+            },
+        };
+        let Some(params) = params else {
+            return self.conditional(req, &series.slab);
+        };
+        let key = format!("{}?{}", route, params.canonical());
+        if let Some(slab) = self.cache.get(&key) {
+            self.count_cache_outcome("hit");
+            return self.conditional(req, &slab);
+        }
+        self.count_cache_outcome("miss");
+        let slab = Arc::new(RouteSlab::json(series.execute(&route, &params)));
         if self.cache.insert(key, slab.clone(), epoch) {
             self.count_cache_outcome("eviction");
         }
@@ -785,6 +938,71 @@ mod tests {
             1
         );
         assert_eq!(snap.registry.counter_total("http.latency_ns"), 0, "latency is a histogram");
+    }
+
+    #[test]
+    fn history_routes_answer_with_etag_slabs_and_use_the_cache() {
+        let state = state();
+        // Parameterless: the precomputed slab, ETag included, 304-able.
+        let full = get(&state, "/hhi/history");
+        assert_eq!(full.status, 200);
+        let encoded = String::from_utf8(full.encode(false)).unwrap();
+        let etag = encoded
+            .lines()
+            .find_map(|l| l.strip_prefix("ETag: "))
+            .expect("history slabs carry an ETag")
+            .to_string();
+        let raw = format!("GET /hhi/history HTTP/1.1\r\nIf-None-Match: {etag}\r\n\r\n");
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(raw.as_bytes());
+        let req = parser.next_request().unwrap().unwrap();
+        assert_eq!(state.respond(Ok(&req)).status, 304);
+        // Parameterized: lands in the result cache like /flows does.
+        let miss = get(&state, "/hhi/history?from=0&limit=10");
+        let hit = get(&state, "/hhi/history?limit=10&from=0");
+        assert_eq!(miss.status, 200);
+        assert_eq!(miss.encode(true), hit.encode(true), "one canonical query, one entry");
+        assert_eq!(state.result_cache().len(), 1);
+    }
+
+    #[test]
+    fn history_targets_resolve_fold_and_404() {
+        let state = state();
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        let code = dataset.countries()[0];
+        let lower = code.as_str().to_ascii_lowercase();
+        assert_eq!(get(&state, &format!("/country/{code}/history")).status, 200);
+        assert_eq!(get(&state, &format!("/country/{lower}/history")).status, 200);
+        assert_eq!(get(&state, "/country/ZZ/history").status, 404);
+        assert_eq!(get(&state, "/providers/AS13335/history").status, 200);
+        assert_eq!(get(&state, "/providers/13335/history").status, 200);
+        assert_eq!(get(&state, "/providers/AS99999/history").status, 404);
+        assert_eq!(get(&state, "/providers/Nobody%20Inc./history").status, 404);
+        // By org name, case-folded, percent-encoded on the wire.
+        let body = String::from_utf8(get(&state, "/providers/AS13335/history").body().to_vec())
+            .unwrap();
+        assert!(body.contains("\"org\":\"Cloudflare, Inc.\""), "{body}");
+        assert_eq!(get(&state, "/providers/cloudflare,%20inc./history").status, 200);
+    }
+
+    #[test]
+    fn history_validates_before_resolving_and_labels_routes() {
+        let state = state();
+        // 400 before 404: a bad parameter on an unknown target is a 400.
+        let resp = get(&state, "/country/ZZ/history?from=x");
+        assert_eq!(resp.status, 400);
+        let body = String::from_utf8(resp.body().to_vec()).unwrap();
+        assert!(body.contains("parameter \\\"from\\\""), "names the parameter: {body}");
+        assert_eq!(get(&state, "/hhi/history?verbose=1").status, 400);
+        assert_eq!(route_label("/hhi/history"), "/hhi/history");
+        assert_eq!(route_label("/country/US/history"), "/country/{iso}/history");
+        assert_eq!(route_label("/providers/AS13335/history"), "/providers/{name}/history");
+        assert_eq!(route_label("/country//history"), "/country/{iso}");
+        assert_eq!(route_label("/providers//history"), "other");
+        for route in ROUTES {
+            assert!(!route.is_empty());
+        }
     }
 
     #[test]

@@ -176,6 +176,60 @@ fn identical_input_swap_leaves_every_route_byte_identical() {
     }
 }
 
+/// The history-route request mix: every history route, parameterless
+/// (precomputed slab) and parameterized (result-cache path).
+fn history_mix(dataset: &GovDataset) -> Vec<String> {
+    let country = dataset.countries()[0];
+    vec![
+        "/hhi/history".to_string(),
+        format!("/country/{country}/history"),
+        "/providers/AS13335/history".to_string(),
+        "/hhi/history?from=1&to=3".to_string(),
+        format!("/country/{country}/history?limit=2&offset=1"),
+        "/providers/13335/history?from=0".to_string(),
+    ]
+}
+
+#[test]
+fn history_routes_are_byte_identical_across_worker_counts() {
+    let mut world = World::generate(&GenParams::tiny());
+    let outcome = govhost_core::evolve::evolve_with_systems(
+        &mut world,
+        3,
+        &BuildOptions::default(),
+        &govhost_worldgen::default_systems(),
+    )
+    .expect("tiny world evolves");
+    let targets = history_mix(&outcome.dataset);
+    let mut base: Option<Vec<Vec<u8>>> = None;
+    for threads in [1usize, 2, 4] {
+        let state = Arc::new(ServeState::with_timeline_config(
+            &outcome.dataset,
+            &outcome.timeline,
+            TimeMode::Deterministic,
+            govhost_serve::DEFAULT_RESULT_CACHE,
+        ));
+        let responses = pool_responses(&state, &targets, threads);
+        for (target, out) in targets.iter().zip(&responses) {
+            let text = String::from_utf8_lossy(out);
+            assert!(text.starts_with("HTTP/1.1 200 OK"), "workers={threads} {target}: {text}");
+            // Every history response revalidates: panics if no ETag.
+            etag_of(&text);
+        }
+        // The three parameterized requests land in the shared result
+        // cache; the parameterless ones answer from precomputed slabs.
+        assert_eq!(state.result_cache().len(), 3, "workers={threads}");
+        match &base {
+            None => base = Some(responses),
+            Some(base) => {
+                for ((target, b), r) in targets.iter().zip(base).zip(&responses) {
+                    assert_eq!(b, r, "workers={threads}: {target} bytes drifted");
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn a_swap_reaches_new_requests_while_old_snapshots_stand() {
     let (dataset, state) = fresh_state();

@@ -21,6 +21,12 @@ impl Asn {
     }
 }
 
+impl From<u32> for Asn {
+    fn from(value: u32) -> Self {
+        Asn(value)
+    }
+}
+
 impl fmt::Display for Asn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "AS{}", self.0)

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # govhost-worldgen
 //!
 //! The deterministic synthetic world generator. It embeds the paper's
@@ -31,6 +31,7 @@ pub mod generate;
 pub mod params;
 pub mod profiles;
 pub mod providers;
+pub mod tick;
 pub mod truth;
 pub mod world;
 
@@ -39,6 +40,9 @@ pub use countries::{CountryRow, COUNTRIES, HOST_ONLY_COUNTRIES};
 pub use params::GenParams;
 pub use profiles::{DominantCategory, HostingProfile, TldStyle};
 pub use providers::{GlobalProvider, GLOBAL_PROVIDERS};
+pub use tick::{
+    default_systems, run_year, systems_from_env, TickOutcome, TickReport, TickSystem, TICKS_ENV,
+};
 pub use truth::GroundTruth;
 pub use world::World;
 

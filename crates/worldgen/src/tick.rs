@@ -1,0 +1,594 @@
+//! Deterministic yearly evolution of a generated world.
+//!
+//! The paper is a single 2024 snapshot; this module lets a [`World`]
+//! advance through simulated years so the longitudinal questions (how do
+//! concentration, HHI and provider footprints drift as agencies migrate?)
+//! become measurable. Each concern is a [`TickSystem`] — provider
+//! entry/exit, agency migration to hyperscalers, data-localization policy
+//! adoption, anycast footprint growth — and a year advances by running
+//! every system once, in a fixed order, each with its own seeded
+//! [`DetRng`] stream.
+//!
+//! # Determinism laws
+//!
+//! * **Same-seed timeline identity.** A system's random stream is keyed
+//!   only by `(world seed, system name, year)`, and all world scans run in
+//!   fixed orders (hostnames sorted, countries in [`COUNTRIES`] order,
+//!   providers in [`GLOBAL_PROVIDERS`] order, servers in registry order).
+//!   Two worlds generated from the same [`GenParams`](crate::GenParams)
+//!   therefore produce bit-identical timelines, independent of thread
+//!   count — ticking itself is single-threaded by construction.
+//! * **Bounded blast radius.** Ticks only re-point DNS (replacing a
+//!   hostname's authoritative zone) and update ground truth. They never
+//!   mutate the AS registry, the web corpus, the search index or any
+//!   geolocation surface, so the measurement pipeline's view of a country
+//!   changes **iff** one of that country's hostnames was re-pointed. The
+//!   set of such countries is the tick's *dirty set*, which
+//!   `GovDataset::rebuild_incremental` in govhost-core uses to recompute
+//!   only the affected per-country partials.
+//! * **Resolution stays total.** A re-pointed hostname always receives a
+//!   fresh zone with a valid `A` record, so ticks never introduce
+//!   resolution failures that did not exist at generation time.
+
+use crate::countries::COUNTRIES;
+use crate::providers::{provider_by_asn, GlobalProvider, GLOBAL_PROVIDERS};
+use crate::world::World;
+use govhost_det::DetRng;
+use govhost_dns::{AuthoritativeServer, DnsName, RData, Zone};
+use govhost_netsim::det;
+use govhost_types::{Asn, CountryCode, Hostname, ProviderCategory};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// Environment variable selecting which tick systems run, as a
+/// comma-separated list of system names (see [`default_systems`]).
+/// Unset or empty means all of them.
+pub const TICKS_ENV: &str = "GOVHOST_TICKS";
+
+/// What one system did to the world in one year.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TickOutcome {
+    /// Countries whose hosting surface changed and must be rebuilt.
+    pub dirty: BTreeSet<CountryCode>,
+    /// Human-readable event log, one line per mutation.
+    pub events: Vec<String>,
+}
+
+impl TickOutcome {
+    fn record(&mut self, system: &str, host: &Hostname, country: CountryCode, asn: Asn) {
+        self.dirty.insert(country);
+        self.events.push(format!("{system}: {country} {host} -> {asn}"));
+    }
+}
+
+/// The combined result of running every system for one year.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickReport {
+    /// The simulated year that was applied (1-based; the generated world
+    /// is year 0).
+    pub year: u32,
+    /// Union of every system's dirty set.
+    pub dirty: BTreeSet<CountryCode>,
+    /// Concatenated event logs, in system order.
+    pub events: Vec<String>,
+}
+
+/// One evolutionary concern, advanced a year at a time.
+///
+/// `apply` must be a pure function of `(world, year, rng)`: no ambient
+/// randomness, no iteration over hash maps in storage order. See the
+/// module docs for the determinism laws implementations must uphold.
+pub trait TickSystem {
+    /// Stable identifier; keys the system's random stream and the
+    /// [`TICKS_ENV`] filter.
+    fn name(&self) -> &'static str;
+    /// Advance the world by one year for this concern.
+    fn apply(&self, world: &mut World, year: u32, rng: &mut DetRng) -> TickOutcome;
+}
+
+/// Advance `world` by one simulated year using the given systems.
+///
+/// Each system gets an independent [`DetRng`] keyed by
+/// `(seed, system name, year)`, so inserting or removing a system never
+/// perturbs the streams of the others.
+pub fn run_year(world: &mut World, year: u32, systems: &[Box<dyn TickSystem>]) -> TickReport {
+    let mut report =
+        TickReport { year, dirty: BTreeSet::new(), events: Vec::new() };
+    for system in systems {
+        let key = det::mix(world.params.seed, &[det::hash_str(system.name()), year as u64]);
+        let mut rng = DetRng::new(key);
+        let outcome = system.apply(world, year, &mut rng);
+        report.dirty.extend(outcome.dirty);
+        report.events.extend(outcome.events);
+    }
+    report
+}
+
+/// The standard four systems, in their canonical order.
+pub fn default_systems() -> Vec<Box<dyn TickSystem>> {
+    vec![
+        Box::new(ProviderChurn),
+        Box::new(AgencyMigration),
+        Box::new(DataLocalization),
+        Box::new(AnycastGrowth),
+    ]
+}
+
+/// [`default_systems`] filtered by the [`TICKS_ENV`] variable.
+///
+/// The variable holds a comma-separated allow-list of system names;
+/// unknown names are ignored, and an unset or empty variable selects
+/// every system.
+pub fn systems_from_env() -> Vec<Box<dyn TickSystem>> {
+    let all = default_systems();
+    match std::env::var(TICKS_ENV) {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let wanted: Vec<String> =
+                spec.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+            all.into_iter().filter(|s| wanted.iter().any(|w| w == s.name())).collect()
+        }
+        _ => all,
+    }
+}
+
+/// Government hostnames in a stable order (sorted by name), the only
+/// iteration order tick systems may use over the truth table.
+fn hosts_sorted(world: &World) -> Vec<Hostname> {
+    let mut names: Vec<Hostname> = world.truth.hosts.keys().cloned().collect();
+    names.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+    names
+}
+
+/// Studied countries that have at least one government hostname, in
+/// [`COUNTRIES`] order.
+fn countries_with_hosts(world: &World) -> Vec<CountryCode> {
+    let present: BTreeSet<CountryCode> =
+        world.truth.hosts.values().map(|t| t.country).collect();
+    COUNTRIES.iter().map(|row| row.cc()).filter(|cc| present.contains(cc)).collect()
+}
+
+/// The first server of `asn` in registry order, preferring one with a
+/// site in `prefer`; `want_anycast` filters on the anycast flag when set.
+fn server_of_asn(
+    world: &World,
+    asn: u32,
+    prefer: CountryCode,
+    want_anycast: Option<bool>,
+) -> Option<Ipv4Addr> {
+    let mut fallback = None;
+    for server in world.registry.servers() {
+        if server.asn.value() != asn {
+            continue;
+        }
+        if let Some(flag) = want_anycast {
+            if server.anycast != flag {
+                continue;
+            }
+        }
+        if server.sites.iter().any(|site| site.country == prefer) {
+            return Some(server.ip);
+        }
+        if fallback.is_none() {
+            fallback = Some(server.ip);
+        }
+    }
+    fallback
+}
+
+/// A unicast server physically inside `country`, preferring one run by a
+/// state operator (government or SOE AS).
+fn domestic_server(world: &World, country: CountryCode) -> Option<Ipv4Addr> {
+    let mut fallback = None;
+    for server in world.registry.servers() {
+        if server.anycast || !server.sites.iter().any(|site| site.country == country) {
+            continue;
+        }
+        let state = world
+            .registry
+            .as_record(server.asn)
+            .map(|rec| rec.kind.is_state())
+            .unwrap_or(false);
+        if state {
+            return Some(server.ip);
+        }
+        if fallback.is_none() {
+            fallback = Some(server.ip);
+        }
+    }
+    fallback
+}
+
+/// True provider category of a host in `gov` now served by `asn`,
+/// mirroring the generator's classification: state operators are
+/// Govt&SOE, the Fig. 10 providers are global, and everything else is
+/// local or regional by registration country.
+fn category_for(world: &World, asn: Asn, gov: CountryCode) -> ProviderCategory {
+    match world.registry.as_record(asn) {
+        Some(rec) if rec.kind.is_state() => ProviderCategory::GovtSoe,
+        _ if provider_by_asn(asn.value()).is_some() => ProviderCategory::ThirdPartyGlobal,
+        Some(rec) if rec.registered_in == gov => ProviderCategory::ThirdPartyLocal,
+        _ => ProviderCategory::ThirdPartyRegional,
+    }
+}
+
+/// Re-point `host` at the server holding `ip`: replace its authoritative
+/// zone with a fresh one answering an `A` record, and update ground truth
+/// (ASN, anycast flag, physical location, true category). Returns the
+/// owning country on success.
+fn repoint(world: &mut World, host: &Hostname, ip: Ipv4Addr, year: u32) -> Option<CountryCode> {
+    let gov = world.truth.hosts.get(host)?.country;
+    let (asn, anycast, location) = {
+        let server = world.registry.server_by_ip(ip)?;
+        let domestic = server.sites.iter().find(|site| site.country == gov);
+        let location = domestic.or_else(|| server.sites.first())?.country;
+        (server.asn, server.anycast, location)
+    };
+    let apex = DnsName::from(host);
+    let mut zone = Zone::new(apex.clone());
+    if let (Ok(mname), Ok(rname)) = (apex.child("ns1"), apex.child("hostmaster")) {
+        // Serial advances with the simulated year, as a real operator's
+        // zone would on migration day.
+        zone.add(
+            apex.clone(),
+            RData::Soa { mname: mname.clone(), rname, serial: 2_024_110_401 + year },
+        );
+        zone.add(apex.clone(), RData::Ns(mname));
+    }
+    zone.add(apex.clone(), RData::A(ip));
+    world.resolver.add_server(AuthoritativeServer::new(zone));
+    let category = category_for(world, asn, gov);
+    let truth = world.truth.hosts.get_mut(host)?;
+    truth.asn = asn;
+    truth.anycast = anycast;
+    truth.location = location;
+    truth.category = category;
+    Some(gov)
+}
+
+/// Countries (in [`COUNTRIES`] order) with at least one host on `asn`.
+fn users_of(world: &World, asn: u32) -> Vec<CountryCode> {
+    let using: BTreeSet<CountryCode> = world
+        .truth
+        .hosts
+        .values()
+        .filter(|t| t.asn.value() == asn)
+        .map(|t| t.country)
+        .collect();
+    COUNTRIES.iter().map(|row| row.cc()).filter(|cc| using.contains(cc)).collect()
+}
+
+/// Provider entry and exit (Fig. 10's footprint churn).
+///
+/// Every year one global provider *enters* a new market: the provider is
+/// cycled from [`GLOBAL_PROVIDERS`] and one government not yet using it
+/// moves a domestic host onto it. Every fourth year one provider from the
+/// long tail *exits* a market: a government using it re-homes those hosts
+/// onto domestic state infrastructure.
+pub struct ProviderChurn;
+
+impl TickSystem for ProviderChurn {
+    fn name(&self) -> &'static str {
+        "provider-churn"
+    }
+
+    fn apply(&self, world: &mut World, year: u32, rng: &mut DetRng) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        let entrant: &GlobalProvider =
+            &GLOBAL_PROVIDERS[(year as usize - 1) % GLOBAL_PROVIDERS.len()];
+        let users = users_of(world, entrant.asn);
+        let candidates: Vec<CountryCode> = countries_with_hosts(world)
+            .into_iter()
+            .filter(|cc| !users.contains(cc))
+            .collect();
+        if !candidates.is_empty() {
+            let country = candidates[rng.index(candidates.len())];
+            let hosts = hosts_sorted(world);
+            let mover = hosts.iter().find(|h| {
+                world.truth.hosts.get(h).is_some_and(|t| {
+                    t.country == country
+                        && matches!(
+                            t.category,
+                            ProviderCategory::GovtSoe | ProviderCategory::ThirdPartyLocal
+                        )
+                })
+            });
+            if let Some(host) = mover {
+                let want_anycast = if entrant.anycast { Some(true) } else { None };
+                if let Some(ip) = server_of_asn(world, entrant.asn, country, want_anycast) {
+                    if repoint(world, host, ip, year).is_some() {
+                        out.record(self.name(), host, country, entrant.asn());
+                    }
+                }
+            }
+        }
+        if year.is_multiple_of(4) {
+            let tail_index =
+                GLOBAL_PROVIDERS.len() - 1 - ((year as usize / 4) % GLOBAL_PROVIDERS.len());
+            let leaver = &GLOBAL_PROVIDERS[tail_index];
+            let markets = users_of(world, leaver.asn);
+            if !markets.is_empty() {
+                let country = markets[rng.index(markets.len())];
+                let movers: Vec<Hostname> = hosts_sorted(world)
+                    .into_iter()
+                    .filter(|h| {
+                        world.truth.hosts.get(h).is_some_and(|t| {
+                            t.country == country && t.asn.value() == leaver.asn
+                        })
+                    })
+                    .take(2)
+                    .collect();
+                for host in movers {
+                    if let Some(ip) = domestic_server(world, country) {
+                        let asn = world.registry.server_by_ip(ip).map(|s| s.asn);
+                        if repoint(world, &host, ip, year).is_some() {
+                            if let Some(asn) = asn {
+                                out.record(self.name(), &host, country, asn);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Agency migration to hyperscalers (the §2 consolidation trend).
+///
+/// Each year roughly a quarter of the governments — chosen by a hash of
+/// `(seed, "agency", year, country)`, so membership is stable under
+/// replay — move up to two Govt&SOE hosts onto the most-used global
+/// provider already serving that country (or Cloudflare when none does).
+pub struct AgencyMigration;
+
+impl TickSystem for AgencyMigration {
+    fn name(&self) -> &'static str {
+        "agency-migration"
+    }
+
+    fn apply(&self, world: &mut World, year: u32, _rng: &mut DetRng) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        let seed = world.params.seed;
+        for country in countries_with_hosts(world) {
+            let gate = det::unit(
+                seed,
+                &[det::hash_str("agency"), year as u64, det::hash_str(country.as_str())],
+            );
+            if gate >= 0.25 {
+                continue;
+            }
+            // Destination: the first (most-footprint) Fig. 10 provider
+            // already serving this country, else the headliner.
+            let present = GLOBAL_PROVIDERS
+                .iter()
+                .find(|p| users_of(world, p.asn).contains(&country))
+                .unwrap_or(&GLOBAL_PROVIDERS[0]);
+            let movers: Vec<Hostname> = hosts_sorted(world)
+                .into_iter()
+                .filter(|h| {
+                    world.truth.hosts.get(h).is_some_and(|t| {
+                        t.country == country && t.category == ProviderCategory::GovtSoe
+                    })
+                })
+                .take(2)
+                .collect();
+            let want_anycast = if present.anycast { Some(true) } else { None };
+            for host in movers {
+                if let Some(ip) = server_of_asn(world, present.asn, country, want_anycast) {
+                    if repoint(world, &host, ip, year).is_some() {
+                        out.record(self.name(), &host, country, present.asn());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Data-localization policy adoption (§6's sovereignty lens).
+///
+/// Every third year one government with foreign-located hosts passes a
+/// localization mandate: up to three of those hosts are re-homed onto
+/// unicast servers physically inside the country, preferring state-run
+/// infrastructure.
+pub struct DataLocalization;
+
+impl TickSystem for DataLocalization {
+    fn name(&self) -> &'static str {
+        "data-localization"
+    }
+
+    fn apply(&self, world: &mut World, year: u32, rng: &mut DetRng) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        if !year.is_multiple_of(3) {
+            return out;
+        }
+        let offshore: Vec<CountryCode> = countries_with_hosts(world)
+            .into_iter()
+            .filter(|cc| {
+                world.truth.hosts.values().any(|t| t.country == *cc && t.location != *cc)
+            })
+            .collect();
+        if offshore.is_empty() {
+            return out;
+        }
+        let country = offshore[rng.index(offshore.len())];
+        let movers: Vec<Hostname> = hosts_sorted(world)
+            .into_iter()
+            .filter(|h| {
+                world
+                    .truth
+                    .hosts
+                    .get(h)
+                    .is_some_and(|t| t.country == country && t.location != country)
+            })
+            .take(3)
+            .collect();
+        for host in movers {
+            if let Some(ip) = domestic_server(world, country) {
+                let asn = world.registry.server_by_ip(ip).map(|s| s.asn);
+                if repoint(world, &host, ip, year).is_some() {
+                    if let Some(asn) = asn {
+                        out.record(self.name(), &host, country, asn);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Anycast footprint growth (§5's CDN-fronting trend).
+///
+/// Each year one government whose hosts sit on unicast addresses of an
+/// anycast-capable provider moves up to two of them onto that provider's
+/// anycast fabric, preferring an address with a domestic site.
+pub struct AnycastGrowth;
+
+impl TickSystem for AnycastGrowth {
+    fn name(&self) -> &'static str {
+        "anycast-growth"
+    }
+
+    fn apply(&self, world: &mut World, year: u32, rng: &mut DetRng) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        let eligible = |t: &crate::truth::HostTruth| {
+            !t.anycast
+                && provider_by_asn(t.asn.value()).map(|p| p.anycast).unwrap_or(false)
+        };
+        let candidates: Vec<CountryCode> = countries_with_hosts(world)
+            .into_iter()
+            .filter(|cc| world.truth.hosts.values().any(|t| t.country == *cc && eligible(t)))
+            .collect();
+        if candidates.is_empty() {
+            return out;
+        }
+        let country = candidates[rng.index(candidates.len())];
+        let movers: Vec<(Hostname, u32)> = hosts_sorted(world)
+            .into_iter()
+            .filter_map(|h| {
+                let t = world.truth.hosts.get(&h)?;
+                (t.country == country && eligible(t)).then(|| (h, t.asn.value()))
+            })
+            .take(2)
+            .collect();
+        for (host, asn) in movers {
+            if let Some(ip) = server_of_asn(world, asn, country, Some(true)) {
+                if repoint(world, &host, ip, year).is_some() {
+                    out.record(self.name(), &host, country, Asn::from(asn));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GenParams;
+
+    fn tiny_world() -> World {
+        World::generate(&GenParams::tiny())
+    }
+
+    #[test]
+    fn same_seed_same_timeline() {
+        let mut a = tiny_world();
+        let mut b = tiny_world();
+        let systems = default_systems();
+        for year in 1..=5 {
+            let ra = run_year(&mut a, year, &systems);
+            let rb = run_year(&mut b, year, &systems);
+            assert_eq!(ra, rb, "year {year} diverged");
+        }
+        // The truths evolved identically too.
+        let mut ka: Vec<_> = a.truth.hosts.keys().map(|h| h.as_str().to_string()).collect();
+        let mut kb: Vec<_> = b.truth.hosts.keys().map(|h| h.as_str().to_string()).collect();
+        ka.sort();
+        kb.sort();
+        assert_eq!(ka, kb);
+        for k in &ka {
+            let h: Hostname = k.parse().unwrap();
+            let ta = a.truth.hosts.get(&h).unwrap();
+            let tb = b.truth.hosts.get(&h).unwrap();
+            assert_eq!((ta.asn, ta.anycast, ta.location, ta.category),
+                       (tb.asn, tb.anycast, tb.location, tb.category));
+        }
+    }
+
+    #[test]
+    fn ticks_mark_exactly_the_repointed_countries() {
+        let mut world = tiny_world();
+        let before = world.truth.clone();
+        let report = run_year(&mut world, 1, &default_systems());
+        let mut changed = BTreeSet::new();
+        for (host, truth) in &world.truth.hosts {
+            let old = before.hosts.get(host).expect("ticks never add hosts");
+            if old.asn != truth.asn
+                || old.anycast != truth.anycast
+                || old.location != truth.location
+                || old.category != truth.category
+            {
+                changed.insert(truth.country);
+            }
+        }
+        assert_eq!(changed, report.dirty);
+    }
+
+    #[test]
+    fn repointed_hosts_still_resolve() {
+        let mut world = tiny_world();
+        for year in 1..=3 {
+            run_year(&mut world, year, &default_systems());
+        }
+        for host in hosts_sorted(&world) {
+            let gov = world.truth.hosts[&host].country;
+            let answer = world.resolver.resolve(&DnsName::from(&host), Some(gov));
+            assert!(answer.is_ok(), "{host} stopped resolving after ticks");
+        }
+    }
+
+    #[test]
+    fn env_filter_selects_by_name() {
+        // Avoid mutating the process environment (other tests run in
+        // parallel); exercise the parsing path through default_systems.
+        let names: Vec<&str> = default_systems().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["provider-churn", "agency-migration", "data-localization", "anycast-growth"]
+        );
+    }
+
+    #[test]
+    fn ticks_never_touch_clean_countries_resolution() {
+        let mut world = tiny_world();
+        let systems = default_systems();
+        // Snapshot every host's resolved address, tick, and check that
+        // hosts in clean countries answer exactly as before.
+        let before: Vec<(Hostname, CountryCode, Option<Ipv4Addr>)> = hosts_sorted(&world)
+            .into_iter()
+            .map(|h| {
+                let gov = world.truth.hosts[&h].country;
+                let ip = world
+                    .resolver
+                    .resolve(&DnsName::from(&h), Some(gov))
+                    .ok()
+                    .and_then(|ans| ans.addresses.first().copied());
+                (h, gov, ip)
+            })
+            .collect();
+        let report = run_year(&mut world, 1, &systems);
+        for (host, gov, ip) in before {
+            if report.dirty.contains(&gov) {
+                continue;
+            }
+            let now = world
+                .resolver
+                .resolve(&DnsName::from(&host), Some(gov))
+                .ok()
+                .and_then(|ans| ans.addresses.first().copied());
+            assert_eq!(ip, now, "{host} changed despite {gov} being clean");
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! govhost har --country AR --out ./data           # HAR of one country crawl
 //! govhost zone --host <hostname>                  # dump a zone file
 //! govhost serve --scale 0.1 --addr 127.0.0.1:8080 # HTTP query server
+//! govhost evolve --years 10 --scale 0.05          # yearly ticks + trend table
 //! ```
 
 use govhost::core::export::{export_csv_full, import_csv, DatasetCsv};
@@ -30,6 +31,7 @@ fn main() {
         "har" => cmd_har(&flags),
         "zone" => cmd_zone(&flags),
         "serve" => cmd_serve(&flags),
+        "evolve" => cmd_evolve(&flags),
         "--help" | "-h" | "help" => usage(),
         other => usage_die(&format!("unknown command {other:?}")),
     }
@@ -48,7 +50,10 @@ fn usage() {
                     [--threads N]                   (worker count; GOVHOST_SERVE_THREADS)\n\
                     [--max-conns N]                 (in-flight cap before 503 shedding)\n\
                     [--idle-timeout-ms N]           (idle keep-alive eviction deadline)\n\
-                    [--query-cache N]               (parameterized result-cache entries; 0 disables)"
+                    [--query-cache N]               (parameterized result-cache entries; 0 disables)\n\
+                    [--years N]                     (evolve N yearly ticks; history routes cover them)\n\
+           evolve   --years N --scale S --seed N    tick the world N years and print the trend table\n\
+                                                    (tick roster via GOVHOST_TICKS; default 5 years)"
     );
 }
 
@@ -61,6 +66,7 @@ struct Flags {
     host: String,
     steps: Vec<f64>,
     addr: String,
+    years: u32,
     threads: usize,
     max_conns: usize,
     idle_timeout_ms: u64,
@@ -78,6 +84,7 @@ impl Flags {
             host: String::new(),
             steps: vec![0.0, 0.15, 0.3],
             addr: "127.0.0.1:8080".to_string(),
+            years: 0,
             threads: 0,
             max_conns: 0,
             idle_timeout_ms: 0,
@@ -102,6 +109,9 @@ impl Flags {
                         .collect()
                 }
                 "--addr" => f.addr = value.clone(),
+                "--years" => {
+                    f.years = value.parse().unwrap_or_else(|_| usage_die("bad --years"))
+                }
                 "--threads" => {
                     f.threads = value.parse().unwrap_or_else(|_| usage_die("bad --threads"))
                 }
@@ -265,11 +275,26 @@ fn cmd_har(flags: &Flags) {
 fn cmd_serve(flags: &Flags) {
     use govhost::serve::{resolve_serve_threads, ServeState, Server, ServerConfig, ROUTES};
     eprintln!("generating world (seed {}, scale {})...", flags.seed, flags.scale);
-    let world = World::generate(&params(flags));
-    let (dataset, _report) = GovDataset::try_build(&world, &BuildOptions::default())
-        .unwrap_or_else(|e| die(&e.to_string()));
-    let state =
-        std::sync::Arc::new(ServeState::with_cache_capacity(&dataset, flags.query_cache));
+    let mut world = World::generate(&params(flags));
+    // `--years N` runs the longitudinal ticks up front and serves the
+    // evolved world's final dataset with the full multi-year timeline
+    // behind the history routes; without it those routes answer the
+    // single year-0 snapshot.
+    let state = if flags.years > 0 {
+        eprintln!("evolving {} years...", flags.years);
+        let outcome =
+            govhost::core::evolve::evolve(&mut world, flags.years, &BuildOptions::default())
+                .unwrap_or_else(|e| die(&e.to_string()));
+        std::sync::Arc::new(ServeState::with_timeline_cache_capacity(
+            &outcome.dataset,
+            &outcome.timeline,
+            flags.query_cache,
+        ))
+    } else {
+        let (dataset, _report) = GovDataset::try_build(&world, &BuildOptions::default())
+            .unwrap_or_else(|e| die(&e.to_string()));
+        std::sync::Arc::new(ServeState::with_cache_capacity(&dataset, flags.query_cache))
+    };
     let threads =
         if flags.threads > 0 { flags.threads } else { resolve_serve_threads() };
     let mut config = ServerConfig { threads, ..ServerConfig::default() };
@@ -294,6 +319,41 @@ fn cmd_serve(flags: &Flags) {
     loop {
         std::thread::park();
     }
+}
+
+fn cmd_evolve(flags: &Flags) {
+    let years = if flags.years > 0 { flags.years } else { 5 };
+    eprintln!("generating world (seed {}, scale {})...", flags.seed, flags.scale);
+    let mut world = World::generate(&params(flags));
+    eprintln!("evolving {years} years...");
+    let outcome = govhost::core::evolve::evolve(&mut world, years, &BuildOptions::default())
+        .unwrap_or_else(|e| die(&e.to_string()));
+    println!("year  dirty  events  HHI(urls)  HHI(bytes)  state-led  3P-URLs  rebuild-ms");
+    for y in &outcome.timeline.years {
+        // Year 0 is the pre-tick baseline: no events, no rebuild.
+        let tick = outcome.ticks.iter().find(|t| t.year == y.year);
+        let events = tick.map_or("-".to_string(), |t| t.events.len().to_string());
+        let rebuild = tick
+            .map_or("-".to_string(), |t| format!("{:.1}", t.rebuild.as_secs_f64() * 1000.0));
+        println!(
+            "{:<5} {:<6} {:<7} {:<10.4} {:<11.4} {:<10} {:<8.4} {rebuild}",
+            y.year,
+            y.dirty.len(),
+            events,
+            y.mean_hhi_urls,
+            y.mean_hhi_bytes,
+            y.state_led,
+            y.third_party_urls
+        );
+    }
+    let last = outcome.timeline.latest().expect("timeline has year 0");
+    let first = &outcome.timeline.years[0];
+    println!(
+        "Δ over {years} years: mean HHI(urls) {:+.4}, state-led {:+}, 3P URLs {:+.4}",
+        last.mean_hhi_urls - first.mean_hhi_urls,
+        last.state_led as i64 - first.state_led as i64,
+        last.third_party_urls - first.third_party_urls
+    );
 }
 
 fn cmd_zone(flags: &Flags) {

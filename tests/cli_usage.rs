@@ -50,16 +50,18 @@ fn malformed_flag_values_are_usage_errors() {
     assert_usage_error(&govhost(&["serve", "--max-conns", "lots"]), "bad --max-conns");
     assert_usage_error(&govhost(&["serve", "--idle-timeout-ms", "-3"]), "bad --idle-timeout-ms");
     assert_usage_error(&govhost(&["serve", "--query-cache", "big"]), "bad --query-cache");
+    assert_usage_error(&govhost(&["evolve", "--years", "soon"]), "bad --years");
 }
 
 #[test]
 fn usage_mentions_every_command() {
     let out = govhost(&[]);
     let err = stderr(&out);
-    for command in ["dataset", "analyze", "trends", "har", "zone", "serve"] {
+    for command in ["dataset", "analyze", "trends", "har", "zone", "serve", "evolve"] {
         assert!(err.contains(command), "usage should list {command:?}: {err}");
     }
     assert!(err.contains("--addr"), "serve's address flag is documented: {err}");
+    assert!(err.contains("--years"), "the tick-count flag is documented: {err}");
 }
 
 #[test]
