@@ -18,8 +18,8 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # The rustdoc pass is part of tier-1: missing or broken documentation on
 # public items fails the build (missing_docs is deny in govhost-types,
-# govhost-par, govhost-obs, govhost-worldgen and govhost-serve; broken
-# intra-doc links everywhere).
+# govhost-par, govhost-obs, govhost-worldgen, govhost-scenario and
+# govhost-serve; broken intra-doc links everywhere).
 echo "==> cargo doc --no-deps --offline --workspace (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
@@ -81,6 +81,16 @@ cargo test -q --offline -p govhost-serve
 cargo test -q --offline -p govhost-serve --test http_conformance --test prop_http
 cargo test -q --offline -p govhost-serve --test query_engine
 cargo test -q --offline --test serve_http --test cli_usage
+
+# The what-if engine: the scenario DSL's never-panic fuzz suite, the
+# unit layers of govhost-scenario, and the root determinism pins (empty
+# scenario == baseline bytes, all-zero self-diff with zero insights,
+# the shared-NS cascade acceptance, and /scenario/{name} responses
+# byte-identical across 1/2/4 build threads).
+echo "==> scenario suites"
+cargo test -q --offline -p govhost-scenario
+cargo test -q --offline -p govhost-scenario --test prop_dsl
+cargo test -q --offline --test scenario
 
 if [ "$run_bench" = 1 ]; then
     echo "==> bench smoke (1 iteration each, writes BENCH_*.json)"

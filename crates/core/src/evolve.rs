@@ -21,7 +21,7 @@ use crate::hosting::HostingAnalysis;
 use crate::location::LocationAnalysis;
 use crate::providers::ProviderAnalysis;
 use govhost_types::{CountryCode, ProviderCategory};
-use govhost_worldgen::tick::{self, TickSystem};
+use govhost_worldgen::tick::{self, TickSystem, UnknownTickError};
 use govhost_worldgen::World;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
@@ -180,17 +180,51 @@ pub struct EvolveOutcome {
     pub ticks: Vec<TickSummary>,
 }
 
+/// Why an [`evolve`] run could not complete.
+#[derive(Debug)]
+pub enum EvolveError {
+    /// A yearly (re)build failed.
+    Build(BuildError),
+    /// The `GOVHOST_TICKS` roster named a system that does not exist.
+    Ticks(UnknownTickError),
+}
+
+impl std::fmt::Display for EvolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvolveError::Build(e) => write!(f, "{e}"),
+            EvolveError::Ticks(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvolveError {}
+
+impl From<BuildError> for EvolveError {
+    fn from(e: BuildError) -> Self {
+        EvolveError::Build(e)
+    }
+}
+
+impl From<UnknownTickError> for EvolveError {
+    fn from(e: UnknownTickError) -> Self {
+        EvolveError::Ticks(e)
+    }
+}
+
 /// Evolve `world` through `years` ticks with the standard systems
 /// (filtered by the `GOVHOST_TICKS` environment variable — see
 /// [`govhost_worldgen::tick::systems_from_env`]), rebuilding and
-/// measuring after each.
+/// measuring after each. A `GOVHOST_TICKS` value naming an unknown
+/// system is a typed [`EvolveError::Ticks`], never a silently smaller
+/// roster.
 pub fn evolve(
     world: &mut World,
     years: u32,
     options: &BuildOptions,
-) -> Result<EvolveOutcome, BuildError> {
-    let systems = tick::systems_from_env();
-    evolve_with_systems(world, years, options, &systems)
+) -> Result<EvolveOutcome, EvolveError> {
+    let systems = tick::systems_from_env()?;
+    Ok(evolve_with_systems(world, years, options, &systems)?)
 }
 
 /// [`evolve`] with an explicit system list.

@@ -48,7 +48,8 @@ pub use dataset::{
 };
 pub use diversification::DiversificationAnalysis;
 pub use evolve::{
-    evolve, evolve_with_systems, CountryYear, EvolveOutcome, ProviderYear, TickSummary, Timeline,
+    evolve, evolve_with_systems, CountryYear, EvolveError, EvolveOutcome, ProviderYear,
+    TickSummary, Timeline,
     YearMetrics,
 };
 pub use explain::ExplanatoryModel;

@@ -152,6 +152,31 @@ impl Resolver {
         self.resolve(&DnsName::from(host), vantage)
     }
 
+    /// The authoritative NS set of `name`: the nameserver target names
+    /// its zone declares, in zone order.
+    ///
+    /// This is the dependency edge the shared-NS single-point-of-failure
+    /// analysis walks: a domain whose *entire* NS set lives under one
+    /// operator's namespace goes dark with that operator, even when the
+    /// web servers it points at are run by somebody else. Unlike
+    /// [`Resolver::resolve`] this does not chase CNAME chains — NS
+    /// records describe the queried zone itself.
+    pub fn resolve_ns(&self, name: &DnsName) -> Result<Vec<DnsName>, ResolutionError> {
+        let (_, rdatas) = self.resolve_rtype(name, RecordType::Ns, None)?;
+        let servers: Vec<DnsName> = rdatas
+            .into_iter()
+            .filter_map(|rd| match rd {
+                RData::Ns(target) => Some(target),
+                _ => None,
+            })
+            .collect();
+        if servers.is_empty() {
+            Err(ResolutionError::NoAddresses(name.clone()))
+        } else {
+            Ok(servers)
+        }
+    }
+
     /// Look up the PTR name for an address, if a reverse zone is loaded.
     pub fn resolve_ptr(&self, ip: Ipv4Addr) -> Result<DnsName, ResolutionError> {
         let name = crate::reverse::reverse_name(ip);
@@ -364,6 +389,21 @@ mod tests {
         r.add_server(AuthoritativeServer::new(rev));
         let ptr = r.resolve_ptr(ip("190.210.1.5")).unwrap();
         assert_eq!(ptr, n("srv1.buenosaires.ministerio.gob.ar"));
+    }
+
+    #[test]
+    fn resolve_ns_reports_the_declared_ns_set() {
+        let mut zone = Zone::new(n("ministerio.gob.ar"));
+        zone.add(n("ministerio.gob.ar"), RData::Ns(n("ns1.dns.cloudflare.net")));
+        zone.add(n("ministerio.gob.ar"), RData::Ns(n("ns2.dns.cloudflare.net")));
+        zone.add(n("ministerio.gob.ar"), RData::A(ip("190.210.1.9")));
+        let mut r = Resolver::new();
+        r.add_server(AuthoritativeServer::new(zone));
+        let ns = r.resolve_ns(&n("ministerio.gob.ar")).unwrap();
+        assert_eq!(ns, vec![n("ns1.dns.cloudflare.net"), n("ns2.dns.cloudflare.net")]);
+        // NS names live under the operator apex — the shared-fate edge.
+        assert!(ns.iter().all(|name| name.is_under(&n("cloudflare.net"))));
+        assert!(r.resolve_ns(&n("www.unknown.org")).is_err());
     }
 
     #[test]

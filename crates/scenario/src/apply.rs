@@ -1,0 +1,216 @@
+//! Scenario application: a parsed scenario run against a generated
+//! world as one synthetic tick.
+//!
+//! [`run_scenario`] generates a fresh [`World`] from the given
+//! parameters, builds the *baseline* dataset with
+//! [`GovDataset::build_cached`], applies the scenario's shocks in file
+//! order through [`govhost_worldgen::shock`], then rebuilds exactly the
+//! shocked countries with [`GovDataset::rebuild_incremental`] — the
+//! what-if answer arrives at incremental cost, not full-build cost.
+//! Both datasets (and their [`BuildMetrics`] reductions) are kept, so
+//! the diff, insight and report-card layers never re-run the pipeline.
+//!
+//! Everything downstream of the same `(params, scenario, options)` is
+//! bit-identical at every thread count — the property the root
+//! `tests/scenario.rs` suite pins.
+
+use crate::diff::{diff, BuildMetrics, DiffReport};
+use crate::dsl::{ProviderRef, Scenario, ScenarioFile, Shock};
+use crate::insight::{insights_for, Insight, InsightContext};
+use govhost_core::dataset::{BuildError, BuildOptions, GovDataset};
+use govhost_types::CountryCode;
+use govhost_worldgen::shock::{self, DarkCause, DarkHost, ShockReport};
+use govhost_worldgen::{provider_by_asn, GenParams, GlobalProvider, World, GLOBAL_PROVIDERS};
+use std::collections::BTreeMap;
+
+/// Why a scenario could not be applied.
+#[derive(Debug)]
+pub enum ApplyError {
+    /// An `outage` named a provider outside the Fig. 10 roster.
+    UnknownProvider(ProviderRef),
+    /// The baseline build or the shocked rebuild failed.
+    Build(BuildError),
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::UnknownProvider(r) => {
+                write!(f, "unknown provider {r} (not in the global-provider roster)")
+            }
+            ApplyError::Build(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl From<BuildError> for ApplyError {
+    fn from(e: BuildError) -> Self {
+        ApplyError::Build(e)
+    }
+}
+
+/// Resolve a DSL provider reference against the Fig. 10 roster.
+pub fn resolve_provider(r: &ProviderRef) -> Result<&'static GlobalProvider, ApplyError> {
+    let found = match r {
+        ProviderRef::Asn(asn) => provider_by_asn(*asn),
+        ProviderRef::Org(text) => GLOBAL_PROVIDERS.iter().find(|p| {
+            p.name.eq_ignore_ascii_case(text) || p.org.eq_ignore_ascii_case(text)
+        }),
+    };
+    found.ok_or_else(|| ApplyError::UnknownProvider(r.clone()))
+}
+
+/// One scenario, fully evaluated.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// The scenario's name.
+    pub name: String,
+    /// Every shock's event log, in application order.
+    pub events: Vec<String>,
+    /// Countries the shocks touched, sorted.
+    pub dirty: Vec<CountryCode>,
+    /// Hosts darkened by outage shocks.
+    pub darkened: Vec<DarkHost>,
+    /// Providers taken down, as `(asn, org)` pairs in shock order.
+    pub outages: Vec<(u32, String)>,
+    /// The unshocked dataset.
+    pub baseline: GovDataset,
+    /// The dataset after all shocks.
+    pub shocked: GovDataset,
+    /// The baseline, reduced to comparable metrics.
+    pub baseline_metrics: BuildMetrics,
+    /// The shocked build, reduced to comparable metrics.
+    pub shocked_metrics: BuildMetrics,
+    /// Per-country share of URLs dark *only* through the shared-NS
+    /// cascade (hosted on a healthy network, unreachable because every
+    /// authoritative NS died with the provider), in percent.
+    pub ns_only_percent: BTreeMap<CountryCode, f64>,
+}
+
+impl ScenarioRun {
+    /// Baseline vs shocked, lined up.
+    pub fn diff(&self) -> DiffReport {
+        diff(&self.baseline_metrics, &self.shocked_metrics)
+    }
+
+    /// Ranked, deterministic findings about what the scenario changed.
+    pub fn insights(&self) -> Vec<Insight> {
+        let ctx = InsightContext {
+            outages: self.outages.clone(),
+            ns_only_percent: self.ns_only_percent.clone(),
+        };
+        insights_for(&self.diff(), &ctx)
+    }
+}
+
+/// Evaluate one scenario against a fresh world generated from `params`.
+pub fn run_scenario(
+    params: &GenParams,
+    scenario: &Scenario,
+    options: &BuildOptions,
+) -> Result<ScenarioRun, ApplyError> {
+    // Resolve every provider reference *before* paying for worldgen, so
+    // a typo'd org name fails in microseconds.
+    let mut providers = Vec::new();
+    for s in &scenario.shocks {
+        if let Shock::Outage(r) = s {
+            providers.push(resolve_provider(r)?);
+        }
+    }
+    let outages: Vec<(u32, String)> =
+        providers.iter().map(|p| (p.asn, p.org.to_string())).collect();
+    let mut world = World::generate(params);
+    let (baseline, _report, mut cache) = GovDataset::build_cached(&world, options)?;
+    let mut combined = ShockReport::default();
+    let mut providers = providers.into_iter();
+    for s in &scenario.shocks {
+        let report = match s {
+            Shock::Outage(_) => {
+                let p = providers.next().expect("one resolved provider per outage");
+                shock::provider_outage(&mut world, p)
+            }
+            Shock::Onshore(target) => shock::onshore(&mut world, *target),
+            Shock::Vantage(key) => shock::vantage_shift(&mut world, key),
+        };
+        combined.absorb(report);
+    }
+    let (shocked, _report) =
+        GovDataset::rebuild_incremental(&world, options, &mut cache, &combined.dirty)?;
+    let baseline_metrics = BuildMetrics::measure(&baseline);
+    let shocked_metrics = BuildMetrics::measure(&shocked);
+    let ns_only_percent = ns_only_share(&shocked, &combined.darkened);
+    Ok(ScenarioRun {
+        name: scenario.name.clone(),
+        events: combined.events,
+        dirty: combined.dirty.into_iter().collect(),
+        outages,
+        darkened: combined.darkened,
+        baseline,
+        shocked,
+        baseline_metrics,
+        shocked_metrics,
+        ns_only_percent,
+    })
+}
+
+/// Evaluate every scenario in a file, in declaration order.
+pub fn run_file(
+    params: &GenParams,
+    file: &ScenarioFile,
+    options: &BuildOptions,
+) -> Result<Vec<ScenarioRun>, ApplyError> {
+    file.scenarios.iter().map(|s| run_scenario(params, s, options)).collect()
+}
+
+/// Per-country percentage of URLs whose host went dark *only* through
+/// the shared-NS cascade.
+fn ns_only_share(
+    shocked: &GovDataset,
+    darkened: &[DarkHost],
+) -> BTreeMap<CountryCode, f64> {
+    let ns_only: std::collections::BTreeSet<&str> = darkened
+        .iter()
+        .filter(|d| d.cause == DarkCause::NsOnly)
+        .map(|d| d.host.as_str())
+        .collect();
+    let mut hit: BTreeMap<CountryCode, u64> = BTreeMap::new();
+    let mut total: BTreeMap<CountryCode, u64> = BTreeMap::new();
+    for (_url, host) in shocked.url_views() {
+        *total.entry(host.country).or_default() += 1;
+        if ns_only.contains(host.hostname.as_str()) {
+            *hit.entry(host.country).or_default() += 1;
+        }
+    }
+    total
+        .into_iter()
+        .map(|(cc, n)| {
+            let dark = *hit.get(&cc).unwrap_or(&0);
+            (cc, if n == 0 { 0.0 } else { dark as f64 / n as f64 * 100.0 })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl;
+
+    #[test]
+    fn unknown_provider_fails_before_worldgen() {
+        let file = dsl::parse("scenario s\noutage provider Nonexistent Cloud Ltd\n").unwrap();
+        let err = run_scenario(&GenParams::tiny(), &file.scenarios[0], &BuildOptions::default())
+            .expect_err("unknown provider must fail");
+        assert!(err.to_string().contains("Nonexistent Cloud Ltd"), "{err}");
+    }
+
+    #[test]
+    fn provider_refs_resolve_by_asn_name_and_org() {
+        for spec in ["AS13335", "13335", "Cloudflare", "cloudflare, inc."] {
+            let file = dsl::parse(&format!("scenario s\noutage provider {spec}\n")).unwrap();
+            let Shock::Outage(r) = &file.scenarios[0].shocks[0] else { unreachable!() };
+            assert_eq!(resolve_provider(r).expect(spec).asn, 13335, "{spec}");
+        }
+    }
+}

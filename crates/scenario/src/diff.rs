@@ -1,0 +1,295 @@
+//! The diff engine: reduce any two builds to comparable metric tables
+//! and rank where they disagree.
+//!
+//! [`BuildMetrics::measure`] collapses a [`GovDataset`] into the
+//! headline numbers the paper compares countries by — URL/byte volume,
+//! network concentration (HHI), offshore share — plus the *dark
+//! fraction* this crate adds: the share of government URLs sitting on
+//! hosts that no longer resolve. [`diff`] then lines two measurements
+//! up row by row, computes deltas and declares winners, with a ±1%
+//! dead-band so float noise never flips a verdict. All folds run in
+//! `BTreeMap` (country-code) order, so the same pair of datasets always
+//! yields the byte-identical report.
+
+use govhost_core::diversification::DiversificationAnalysis;
+use govhost_core::hosting::HostingAnalysis;
+use govhost_core::location::LocationAnalysis;
+use govhost_core::dataset::GovDataset;
+use govhost_core::providers::ProviderAnalysis;
+use govhost_types::CountryCode;
+use std::collections::BTreeMap;
+
+/// One country's headline numbers in one build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountryMetrics {
+    /// Government URLs captured.
+    pub urls: u64,
+    /// Government bytes captured.
+    pub bytes: u64,
+    /// Distinct government hostnames.
+    pub hostnames: u32,
+    /// HHI of URLs across serving networks.
+    pub hhi_urls: f64,
+    /// HHI of bytes across serving networks.
+    pub hhi_bytes: f64,
+    /// Share of URLs served from outside the country, in percent, when
+    /// geolocation validated at least one address.
+    pub offshore_percent: Option<f64>,
+    /// Share of URLs on hosts that do not resolve, in percent.
+    pub dark_percent: f64,
+}
+
+/// A whole build reduced to comparable numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildMetrics {
+    /// Per-country metrics in country-code order.
+    pub countries: BTreeMap<CountryCode, CountryMetrics>,
+    /// Global-provider footprints: AS number → governments served.
+    pub providers: BTreeMap<u32, usize>,
+    /// Mean URL-HHI across measured countries.
+    pub mean_hhi_urls: f64,
+    /// Mean byte-HHI across measured countries.
+    pub mean_hhi_bytes: f64,
+    /// Share of all URLs on unresolving hosts, in percent.
+    pub dark_percent: f64,
+}
+
+impl BuildMetrics {
+    /// Measure one built dataset.
+    pub fn measure(dataset: &GovDataset) -> BuildMetrics {
+        let hosting = HostingAnalysis::compute(dataset);
+        let location = LocationAnalysis::compute(dataset);
+        let providers = ProviderAnalysis::compute(dataset);
+        let diversification = DiversificationAnalysis::compute(dataset, &hosting);
+        // Dark URLs: the URL table joined back to host records, counting
+        // those whose host never resolved to an address.
+        let mut dark: BTreeMap<CountryCode, u64> = BTreeMap::new();
+        let mut total: BTreeMap<CountryCode, u64> = BTreeMap::new();
+        for (_url, host) in dataset.url_views() {
+            *total.entry(host.country).or_default() += 1;
+            if host.ip.is_none() {
+                *dark.entry(host.country).or_default() += 1;
+            }
+        }
+        let mut countries = BTreeMap::new();
+        for code in dataset.countries() {
+            let Some(stats) = dataset.country_stats(code) else { continue };
+            let concentration = diversification.per_country.get(&code);
+            let urls = *total.get(&code).unwrap_or(&0);
+            let dark_urls = *dark.get(&code).unwrap_or(&0);
+            countries.insert(
+                code,
+                CountryMetrics {
+                    urls: stats.urls,
+                    bytes: stats.bytes,
+                    hostnames: stats.hostnames,
+                    hhi_urls: concentration.map_or(0.0, |c| c.hhi_urls),
+                    hhi_bytes: concentration.map_or(0.0, |c| c.hhi_bytes),
+                    offshore_percent: location.offshore_percent(code),
+                    dark_percent: percent(dark_urls, urls),
+                },
+            );
+        }
+        let n = countries.len().max(1) as f64;
+        let mean_hhi_urls =
+            countries.values().map(|c: &CountryMetrics| c.hhi_urls).sum::<f64>() / n;
+        let mean_hhi_bytes = countries.values().map(|c| c.hhi_bytes).sum::<f64>() / n;
+        let all_urls: u64 = total.values().sum();
+        let all_dark: u64 = dark.values().sum();
+        BuildMetrics {
+            countries,
+            providers: providers
+                .providers
+                .iter()
+                .map(|p| (p.asn.value(), p.countries.len()))
+                .collect(),
+            mean_hhi_urls,
+            mean_hhi_bytes,
+            dark_percent: percent(all_dark, all_urls),
+        }
+    }
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Which side a metric row favors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Winner {
+    /// Side A (the first build) is better.
+    A,
+    /// Side B (the second build) is better.
+    B,
+    /// Within the ±1% dead-band: no meaningful difference.
+    Tie,
+}
+
+impl Winner {
+    /// Stable single-character label (`a` / `b` / `=`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Winner::A => "a",
+            Winner::B => "b",
+            Winner::Tie => "=",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Metric name (stable, lowercase).
+    pub label: String,
+    /// Side A's value.
+    pub a: f64,
+    /// Side B's value.
+    pub b: f64,
+    /// `b - a`.
+    pub delta: f64,
+    /// Relative difference in percent of A (sign follows `delta`).
+    pub diff_pct: f64,
+    /// Who wins, honoring `lower_is_better`.
+    pub winner: Winner,
+    /// Whether smaller values are better for this metric.
+    pub lower_is_better: bool,
+}
+
+/// All compared metrics for one country.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountryDiff {
+    /// The country.
+    pub country: CountryCode,
+    /// Its metric rows, in a fixed label order.
+    pub rows: Vec<MetricRow>,
+}
+
+/// Two builds, lined up.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Whole-study rows (means, global dark fraction).
+    pub global: Vec<MetricRow>,
+    /// Per-country rows, in country-code order; only countries present
+    /// in both builds are compared.
+    pub countries: Vec<CountryDiff>,
+}
+
+impl DiffReport {
+    /// The comparison row of `country` named `label`, if compared.
+    pub fn country_row(&self, country: CountryCode, label: &str) -> Option<&MetricRow> {
+        self.countries
+            .iter()
+            .find(|c| c.country == country)?
+            .rows
+            .iter()
+            .find(|r| r.label == label)
+    }
+}
+
+/// Relative-difference dead band (percent) inside which a row is a tie.
+const TIE_BAND_PCT: f64 = 1.0;
+
+fn row(label: &str, a: f64, b: f64, lower_is_better: bool) -> MetricRow {
+    let delta = b - a;
+    let diff_pct = if a.abs() > 1e-12 {
+        delta / a.abs() * 100.0
+    } else if b.abs() > 1e-12 {
+        100.0 * delta.signum()
+    } else {
+        0.0
+    };
+    let winner = if diff_pct.abs() <= TIE_BAND_PCT {
+        Winner::Tie
+    } else if (delta < 0.0) == lower_is_better {
+        Winner::B
+    } else {
+        Winner::A
+    };
+    MetricRow { label: label.to_string(), a, b, delta, diff_pct, winner, lower_is_better }
+}
+
+/// Line two measurements up. `diff(x, x)` is all-zero: every delta 0,
+/// every row a tie.
+pub fn diff(a: &BuildMetrics, b: &BuildMetrics) -> DiffReport {
+    let mut report = DiffReport {
+        global: vec![
+            row("mean hhi (urls)", a.mean_hhi_urls, b.mean_hhi_urls, true),
+            row("mean hhi (bytes)", a.mean_hhi_bytes, b.mean_hhi_bytes, true),
+            row("dark urls %", a.dark_percent, b.dark_percent, true),
+            row(
+                "countries measured",
+                a.countries.len() as f64,
+                b.countries.len() as f64,
+                false,
+            ),
+        ],
+        countries: Vec::new(),
+    };
+    for (code, ca) in &a.countries {
+        let Some(cb) = b.countries.get(code) else { continue };
+        let offshore = match (ca.offshore_percent, cb.offshore_percent) {
+            (Some(x), Some(y)) => Some(row("offshore %", x, y, true)),
+            _ => None,
+        };
+        let mut rows = vec![
+            row("urls", ca.urls as f64, cb.urls as f64, false),
+            row("hostnames", ca.hostnames as f64, cb.hostnames as f64, false),
+            row("hhi (urls)", ca.hhi_urls, cb.hhi_urls, true),
+            row("hhi (bytes)", ca.hhi_bytes, cb.hhi_bytes, true),
+            row("dark %", ca.dark_percent, cb.dark_percent, true),
+        ];
+        rows.extend(offshore);
+        report.countries.push(CountryDiff { country: *code, rows });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_diff_is_all_zero_ties() {
+        let m = BuildMetrics {
+            countries: BTreeMap::from([(
+                "NL".parse().unwrap(),
+                CountryMetrics {
+                    urls: 100,
+                    bytes: 5000,
+                    hostnames: 10,
+                    hhi_urls: 0.3,
+                    hhi_bytes: 0.4,
+                    offshore_percent: Some(25.0),
+                    dark_percent: 0.0,
+                },
+            )]),
+            providers: BTreeMap::from([(13335, 3)]),
+            mean_hhi_urls: 0.3,
+            mean_hhi_bytes: 0.4,
+            dark_percent: 0.0,
+        };
+        let d = diff(&m, &m);
+        for r in d.global.iter().chain(d.countries.iter().flat_map(|c| c.rows.iter())) {
+            assert_eq!(r.delta, 0.0, "{}", r.label);
+            assert_eq!(r.diff_pct, 0.0, "{}", r.label);
+            assert_eq!(r.winner, Winner::Tie, "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn winners_honor_direction() {
+        let r = row("hhi", 0.2, 0.4, true);
+        assert_eq!(r.winner, Winner::A, "lower-is-better, A lower");
+        let r = row("urls", 100.0, 140.0, false);
+        assert_eq!(r.winner, Winner::B, "higher-is-better, B higher");
+        let r = row("hhi", 0.400, 0.401, true);
+        assert_eq!(r.winner, Winner::Tie, "inside the dead band");
+        let r = row("dark", 0.0, 12.0, true);
+        assert_eq!(r.winner, Winner::A, "zero baseline, B worse");
+        assert_eq!(r.diff_pct, 100.0);
+    }
+}

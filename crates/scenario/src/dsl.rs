@@ -1,0 +1,328 @@
+//! The scenario DSL: a deterministic, line-oriented language for
+//! declaring counterfactual shocks.
+//!
+//! A scenario file is plain text. Blank lines and `#` comments are
+//! skipped; every other line is one directive:
+//!
+//! ```text
+//! # What if the biggest cloud fails while NL repatriates?
+//! scenario cloud-down
+//!   outage provider AS16509
+//!
+//! scenario sovereignty
+//!   onshore NL
+//!   vantage probe-ams
+//! ```
+//!
+//! * `scenario <name>` opens a named scenario (`[A-Za-z0-9._-]`, at most
+//!   64 chars, unique within the file).
+//! * `outage provider <AS<n> | <n> | org words>` takes a provider down —
+//!   by AS number, or by (case-insensitive) display/organization name.
+//! * `onshore <ISO | *>` forces data localization for one country (two
+//!   ISO letters) or every studied country (`*`).
+//! * `vantage <key>` applies the keyed vantage-disagreement perturbation.
+//!
+//! Parsing is total: any input — hostile, truncated, non-UTF-8-escaped —
+//! yields either a [`ScenarioFile`] or a typed [`ParseError`] carrying
+//! the 1-based line number; it never panics (property-tested in
+//! `tests/prop_dsl.rs`).
+
+use govhost_types::CountryCode;
+
+/// A provider reference in an `outage` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProviderRef {
+    /// By AS number (`AS16509` or bare `16509`).
+    Asn(u32),
+    /// By display or organization name, matched case-insensitively
+    /// against the Fig. 10 roster at apply time.
+    Org(String),
+}
+
+impl std::fmt::Display for ProviderRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProviderRef::Asn(n) => write!(f, "AS{n}"),
+            ProviderRef::Org(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// One shock inside a scenario, applied in file order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shock {
+    /// Take a provider down: tenancies and NS-dependent domains go dark.
+    Outage(ProviderRef),
+    /// Forced data localization for one country, or all (`None`).
+    Onshore(Option<CountryCode>),
+    /// Keyed vantage-disagreement perturbation.
+    Vantage(String),
+}
+
+/// A named scenario: an ordered list of shocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// The scenario's name, unique within its file.
+    pub name: String,
+    /// Shocks in declaration order.
+    pub shocks: Vec<Shock>,
+}
+
+/// A parsed scenario file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScenarioFile {
+    /// Scenarios in declaration order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl ScenarioFile {
+    /// Look up a scenario by name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+/// What went wrong on a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The first word is not a known directive.
+    UnknownDirective(String),
+    /// A shock directive appeared before any `scenario` line.
+    ShockOutsideScenario,
+    /// A directive is missing its argument (named).
+    MissingArgument(&'static str),
+    /// A scenario name uses characters outside `[A-Za-z0-9._-]` or is
+    /// longer than 64 characters.
+    BadScenarioName(String),
+    /// Two scenarios share a name.
+    DuplicateScenario(String),
+    /// An `outage` directive's second word was not `provider`.
+    BadOutageKind(String),
+    /// An `onshore` argument was neither two ISO letters nor `*`.
+    BadCountry(String),
+}
+
+/// A scenario file failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub kind: ParseErrorKind,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::UnknownDirective(word) => write!(
+                f,
+                "unknown directive {word:?} (expected scenario, outage, onshore or vantage)"
+            ),
+            ParseErrorKind::ShockOutsideScenario => {
+                write!(f, "shock directive before any `scenario <name>` line")
+            }
+            ParseErrorKind::MissingArgument(what) => {
+                write!(f, "missing argument: expected {what}")
+            }
+            ParseErrorKind::BadScenarioName(name) => write!(
+                f,
+                "bad scenario name {name:?} (use 1-64 chars of [A-Za-z0-9._-])"
+            ),
+            ParseErrorKind::DuplicateScenario(name) => {
+                write!(f, "duplicate scenario name {name:?}")
+            }
+            ParseErrorKind::BadOutageKind(word) => {
+                write!(f, "unknown outage kind {word:?} (only `outage provider ...` exists)")
+            }
+            ParseErrorKind::BadCountry(token) => {
+                write!(f, "bad country {token:?} (use two ISO letters, or * for all)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, kind: ParseErrorKind) -> ParseError {
+    ParseError { line, kind }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+fn parse_provider_ref(tokens: &[&str]) -> ProviderRef {
+    if let [single] = tokens {
+        let digits = single.strip_prefix("AS").or_else(|| single.strip_prefix("as"));
+        if let Ok(asn) = digits.unwrap_or(single).parse::<u32>() {
+            return ProviderRef::Asn(asn);
+        }
+    }
+    ProviderRef::Org(tokens.join(" "))
+}
+
+/// Parse a scenario file. Total over arbitrary input: every failure is a
+/// typed [`ParseError`] with a 1-based line number.
+pub fn parse(input: &str) -> Result<ScenarioFile, ParseError> {
+    let mut file = ScenarioFile::default();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        let (directive, args) = tokens.split_first().expect("non-empty after trim");
+        match *directive {
+            "scenario" => {
+                let [name] = args else {
+                    return Err(err(line, ParseErrorKind::MissingArgument("a scenario name")));
+                };
+                if !valid_name(name) {
+                    return Err(err(line, ParseErrorKind::BadScenarioName(name.to_string())));
+                }
+                if file.get(name).is_some() {
+                    return Err(err(line, ParseErrorKind::DuplicateScenario(name.to_string())));
+                }
+                file.scenarios.push(Scenario { name: name.to_string(), shocks: Vec::new() });
+            }
+            "outage" => {
+                let Some((kind, rest)) = args.split_first() else {
+                    return Err(err(line, ParseErrorKind::MissingArgument("provider <ref>")));
+                };
+                if *kind != "provider" {
+                    return Err(err(line, ParseErrorKind::BadOutageKind(kind.to_string())));
+                }
+                if rest.is_empty() {
+                    return Err(err(
+                        line,
+                        ParseErrorKind::MissingArgument("a provider (AS number or org name)"),
+                    ));
+                }
+                push_shock(&mut file, line, Shock::Outage(parse_provider_ref(rest)))?;
+            }
+            "onshore" => {
+                let [token] = args else {
+                    return Err(err(
+                        line,
+                        ParseErrorKind::MissingArgument("a country code or *"),
+                    ));
+                };
+                let target = if *token == "*" {
+                    None
+                } else {
+                    Some(
+                        token
+                            .parse::<CountryCode>()
+                            .map_err(|_| err(line, ParseErrorKind::BadCountry(token.to_string())))?,
+                    )
+                };
+                push_shock(&mut file, line, Shock::Onshore(target))?;
+            }
+            "vantage" => {
+                if args.is_empty() {
+                    return Err(err(line, ParseErrorKind::MissingArgument("a vantage key")));
+                }
+                push_shock(&mut file, line, Shock::Vantage(args.join(" ")))?;
+            }
+            other => {
+                return Err(err(line, ParseErrorKind::UnknownDirective(other.to_string())));
+            }
+        }
+    }
+    Ok(file)
+}
+
+fn push_shock(file: &mut ScenarioFile, line: usize, shock: Shock) -> Result<(), ParseError> {
+    match file.scenarios.last_mut() {
+        Some(scenario) => {
+            scenario.shocks.push(shock);
+            Ok(())
+        }
+        None => Err(err(line, ParseErrorKind::ShockOutsideScenario)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_readme_example() {
+        let file = parse(
+            "# comment\nscenario cloud-down\n  outage provider AS16509\n\n\
+             scenario sovereignty\n  onshore NL\n  vantage probe-ams\n",
+        )
+        .expect("example parses");
+        assert_eq!(file.scenarios.len(), 2);
+        assert_eq!(file.scenarios[0].name, "cloud-down");
+        assert_eq!(file.scenarios[0].shocks, vec![Shock::Outage(ProviderRef::Asn(16509))]);
+        let sov = file.get("sovereignty").unwrap();
+        assert_eq!(
+            sov.shocks,
+            vec![
+                Shock::Onshore(Some("NL".parse().unwrap())),
+                Shock::Vantage("probe-ams".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn provider_refs_parse_all_three_spellings() {
+        let file = parse(
+            "scenario s\noutage provider 13335\noutage provider AS13335\n\
+             outage provider Amazon.com, Inc.\n",
+        )
+        .unwrap();
+        assert_eq!(
+            file.scenarios[0].shocks,
+            vec![
+                Shock::Outage(ProviderRef::Asn(13335)),
+                Shock::Outage(ProviderRef::Asn(13335)),
+                Shock::Outage(ProviderRef::Org("Amazon.com, Inc.".to_string())),
+            ]
+        );
+    }
+
+    #[test]
+    fn onshore_star_means_everywhere_and_iso_is_folded() {
+        let file = parse("scenario s\nonshore *\nonshore nl\n").unwrap();
+        assert_eq!(
+            file.scenarios[0].shocks,
+            vec![Shock::Onshore(None), Shock::Onshore(Some("NL".parse().unwrap()))]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("scenario a\nscenario a\n", 2, "duplicate"),
+            ("outage provider AS1\n", 1, "before any"),
+            ("scenario s\nfrobnicate\n", 2, "unknown directive"),
+            ("scenario s\nonshore XYZ\n", 2, "bad country"),
+            ("scenario s\noutage dns foo\n", 2, "unknown outage kind"),
+            ("scenario bad name\n", 1, "missing argument"),
+            ("scenario\n", 1, "missing argument"),
+            ("scenario s\nvantage\n", 2, "missing argument"),
+        ];
+        for (input, line, needle) in cases {
+            let e = parse(input).expect_err(input);
+            assert_eq!(e.line, line, "line for {input:?}");
+            assert!(
+                e.to_string().contains(needle),
+                "{input:?} -> {e} (wanted {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_names_are_validated() {
+        assert!(parse("scenario ok-name_1.2\n").is_ok());
+        assert!(parse(&format!("scenario {}\n", "x".repeat(64))).is_ok());
+        assert!(parse(&format!("scenario {}\n", "x".repeat(65))).is_err());
+        assert!(parse("scenario na/me\n").is_err());
+    }
+}

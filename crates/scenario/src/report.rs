@@ -1,0 +1,174 @@
+//! Per-country report cards: three graded axes and an overall mark.
+//!
+//! Each country is graded A-F on three axes:
+//!
+//! * **concentration** — baseline byte-HHI across serving networks
+//!   (how many eggs, how few baskets);
+//! * **exposure** — baseline offshore URL share (how much of the
+//!   government web lives abroad);
+//! * **resilience** — the share of URLs still reachable after the
+//!   scenario's shocks (graded on the shocked dark fraction).
+//!
+//! The overall grade is the floor of the grade-point mean, so one F
+//! drags a card down the way a real transcript would. Thresholds are
+//! fixed constants; the same run always prints the same card.
+
+use crate::apply::ScenarioRun;
+use govhost_types::CountryCode;
+
+/// A letter grade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Grade {
+    /// Excellent.
+    A,
+    /// Good.
+    B,
+    /// Middling.
+    C,
+    /// Poor.
+    D,
+    /// Failing.
+    F,
+}
+
+impl Grade {
+    /// The letter itself.
+    pub fn letter(&self) -> char {
+        match self {
+            Grade::A => 'A',
+            Grade::B => 'B',
+            Grade::C => 'C',
+            Grade::D => 'D',
+            Grade::F => 'F',
+        }
+    }
+
+    /// Grade points (A=4 .. F=0).
+    pub fn points(&self) -> u32 {
+        match self {
+            Grade::A => 4,
+            Grade::B => 3,
+            Grade::C => 2,
+            Grade::D => 1,
+            Grade::F => 0,
+        }
+    }
+
+    fn from_points(points: u32) -> Grade {
+        match points {
+            4.. => Grade::A,
+            3 => Grade::B,
+            2 => Grade::C,
+            1 => Grade::D,
+            0 => Grade::F,
+        }
+    }
+
+    /// Grade a value against ascending *worse-is-higher* thresholds
+    /// `[a_below, b_below, c_below, d_below]`.
+    fn scale(value: f64, thresholds: [f64; 4]) -> Grade {
+        let [a, b, c, d] = thresholds;
+        if value < a {
+            Grade::A
+        } else if value < b {
+            Grade::B
+        } else if value < c {
+            Grade::C
+        } else if value < d {
+            Grade::D
+        } else {
+            Grade::F
+        }
+    }
+}
+
+impl std::fmt::Display for Grade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// One country's graded card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportCard {
+    /// The country.
+    pub country: CountryCode,
+    /// Baseline network concentration (byte-HHI) grade.
+    pub concentration: Grade,
+    /// Baseline offshore-share grade.
+    pub exposure: Grade,
+    /// Post-shock reachability grade.
+    pub resilience: Grade,
+    /// Floor of the grade-point mean of the three axes.
+    pub overall: Grade,
+    /// Baseline byte-HHI the concentration grade was read from.
+    pub hhi_bytes: f64,
+    /// Baseline offshore URL share, when geolocation validated any
+    /// address (ungraded countries assume the 50% midpoint).
+    pub offshore_percent: Option<f64>,
+    /// Post-shock dark share of URLs, in percent.
+    pub dark_percent: f64,
+    /// Post-shock NS-only dark share of URLs, in percent.
+    pub ns_only_percent: f64,
+}
+
+/// Offshore share assumed for countries geolocation could not grade.
+const UNGRADED_OFFSHORE: f64 = 50.0;
+
+/// Grade every country of a run, in country-code order.
+pub fn report_cards(run: &ScenarioRun) -> Vec<ReportCard> {
+    let mut cards = Vec::new();
+    for (cc, base) in &run.baseline_metrics.countries {
+        let shocked = run.shocked_metrics.countries.get(cc);
+        let dark_percent = shocked.map_or(0.0, |s| s.dark_percent);
+        let concentration = Grade::scale(base.hhi_bytes, [0.15, 0.25, 0.40, 0.60]);
+        let offshore = base.offshore_percent.unwrap_or(UNGRADED_OFFSHORE);
+        let exposure = Grade::scale(offshore, [10.0, 25.0, 50.0, 75.0]);
+        let resilience = Grade::scale(dark_percent, [5.0, 15.0, 30.0, 50.0]);
+        let points =
+            (concentration.points() + exposure.points() + resilience.points()) / 3;
+        cards.push(ReportCard {
+            country: *cc,
+            concentration,
+            exposure,
+            resilience,
+            overall: Grade::from_points(points),
+            hhi_bytes: base.hhi_bytes,
+            offshore_percent: base.offshore_percent,
+            dark_percent,
+            ns_only_percent: run.ns_only_percent.get(cc).copied().unwrap_or(0.0),
+        });
+    }
+    cards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_map_thresholds_to_letters() {
+        assert_eq!(Grade::scale(0.10, [0.15, 0.25, 0.40, 0.60]), Grade::A);
+        assert_eq!(Grade::scale(0.15, [0.15, 0.25, 0.40, 0.60]), Grade::B);
+        assert_eq!(Grade::scale(0.39, [0.15, 0.25, 0.40, 0.60]), Grade::C);
+        assert_eq!(Grade::scale(0.59, [0.15, 0.25, 0.40, 0.60]), Grade::D);
+        assert_eq!(Grade::scale(0.95, [0.15, 0.25, 0.40, 0.60]), Grade::F);
+    }
+
+    #[test]
+    fn overall_is_the_floor_of_the_mean() {
+        // A(4) + A(4) + F(0) = 8/3 -> 2 -> C.
+        let points = (Grade::A.points() + Grade::A.points() + Grade::F.points()) / 3;
+        assert_eq!(Grade::from_points(points), Grade::C);
+        assert_eq!(Grade::from_points(4), Grade::A);
+        assert_eq!(Grade::from_points(0), Grade::F);
+    }
+
+    #[test]
+    fn letters_and_points_round_trip() {
+        for g in [Grade::A, Grade::B, Grade::C, Grade::D, Grade::F] {
+            assert_eq!(Grade::from_points(g.points()), g);
+            assert_eq!(g.to_string().len(), 1);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the scenario DSL parser: total over hostile
+//! input, line numbers always in range, accepted files round-trip
+//! stably. On the in-repo harness.
+
+use govhost_harness::{gens, prop_assert, prop_assert_eq, Config, Gen};
+use govhost_scenario::dsl;
+
+const REGRESSIONS: &str = "tests/regressions/prop_dsl.txt";
+
+fn cfg(name: &str) -> Config {
+    Config::new(name).cases(512).regressions(REGRESSIONS)
+}
+
+/// Arbitrary text: unicode soup, control characters, long lines — the
+/// worst a user can feed the parser.
+fn arb_hostile() -> Gen<String> {
+    gens::one_of(vec![
+        gens::unicode_string(0, 400),
+        // Directive-shaped noise: real keywords with mangled arguments.
+        gens::vec(arb_hostile_line(), 0, 12).map(|lines| lines.join("\n")),
+    ])
+}
+
+fn arb_hostile_line() -> Gen<String> {
+    let keyword = gens::select(vec![
+        "scenario".to_string(),
+        "outage".to_string(),
+        "outage provider".to_string(),
+        "onshore".to_string(),
+        "vantage".to_string(),
+        "#".to_string(),
+        "".to_string(),
+        "\u{202e}scenario".to_string(),
+    ]);
+    keyword
+        .zip(gens::unicode_string(0, 60))
+        .map(|(kw, junk)| format!("{kw} {junk}"))
+}
+
+#[test]
+fn parser_never_panics_on_hostile_input() {
+    cfg("parser_never_panics_on_hostile_input").run(&arb_hostile(), |input| {
+        let _ = dsl::parse(input);
+        Ok(())
+    });
+}
+
+#[test]
+fn error_line_numbers_are_in_range() {
+    cfg("error_line_numbers_are_in_range").run(&arb_hostile(), |input| {
+        if let Err(e) = dsl::parse(input) {
+            let lines = input.lines().count().max(1);
+            prop_assert!(e.line >= 1, "line {} must be 1-based", e.line);
+            prop_assert!(
+                e.line <= lines,
+                "line {} out of range (input has {} lines)",
+                e.line,
+                lines
+            );
+            // The Display form names the line it blames.
+            prop_assert!(e.to_string().starts_with(&format!("line {}:", e.line)));
+        }
+        Ok(())
+    });
+}
+
+/// Well-formed scenario files, generated from the grammar.
+fn arb_valid_file() -> Gen<String> {
+    const NAME: &str = "abcdefghijklmnopqrstuvwxyz0123456789._-";
+    let name = gens::string_of(NAME, 1, 20);
+    let shock = gens::one_of(vec![
+        gens::u64_range(1, 400_000).map(|asn| format!("  outage provider AS{asn}")),
+        gens::select(vec!["NL", "US", "de", "fr", "*"])
+            .map(|cc| format!("  onshore {cc}")),
+        gens::string_of("abcdefgh-", 1, 12).map(|key| format!("  vantage {key}")),
+        gens::unicode_string(0, 30).map(|c| {
+            format!("# {}", c.replace(['\n', '\r'], " "))
+        }),
+    ]);
+    gens::vec(name.zip(gens::vec(shock, 0, 5)), 0, 4).map(|blocks| {
+        let mut names = std::collections::BTreeSet::new();
+        let mut out = String::new();
+        for (i, (name, shocks)) in blocks.into_iter().enumerate() {
+            // Suffix with the block index so names never collide.
+            let unique = format!("{name}.{i}");
+            if !names.insert(unique.clone()) {
+                continue;
+            }
+            out.push_str(&format!("scenario {unique}\n"));
+            for s in shocks {
+                out.push_str(&s);
+                out.push('\n');
+            }
+        }
+        out
+    })
+}
+
+#[test]
+fn valid_files_parse_and_reparse_identically() {
+    cfg("valid_files_parse_and_reparse_identically").run(&arb_valid_file(), |input| {
+        let first = match dsl::parse(input) {
+            Ok(f) => f,
+            Err(e) => return Err(format!("generated file must parse: {e}\n{input}")),
+        };
+        let second = dsl::parse(input).expect("second parse of the same text");
+        prop_assert_eq!(&first, &second);
+        prop_assert!(first.scenarios.len() <= 4);
+        Ok(())
+    });
+}

@@ -20,6 +20,8 @@
 //! | `/providers/{name}/history` | one provider's per-year footprint, by AS number or org name |
 //! | `/hhi` | per-country provider concentration |
 //! | `/hhi/history` | the global concentration series across simulated years |
+//! | `/scenario/{name}` | one what-if scenario: per-country report cards + ranked insights |
+//! | `/scenario/{name}/diff` | the scenario's baseline-vs-shocked metric diff |
 //! | `/metrics` | text exposition of the `govhost-obs` registry |
 //!
 //! `GET` and `HEAD` are served everywhere (`HEAD` answers the `GET`
@@ -80,6 +82,7 @@ pub mod http;
 pub mod index;
 pub mod query;
 pub mod router;
+pub mod scenario;
 pub mod server;
 
 pub use event::{
@@ -91,6 +94,7 @@ pub use http::{percent_decode, HttpError, Limits, Request, RequestParser, Versio
 pub use index::{etag_of, QueryIndex, RouteSlab};
 pub use query::{HistoryParams, IndexHandle, ResultCache, RouteQuery, DEFAULT_RESULT_CACHE};
 pub use router::{if_none_match, route_label, Bytes, Response, ServeState, ROUTES};
+pub use scenario::ScenarioIndex;
 pub use server::{
     serve_connection, serve_connection_with, Connection, MemConn, Pool, PoolConfig, Server,
     ServerConfig,

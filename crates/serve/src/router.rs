@@ -36,7 +36,7 @@ use std::time::Instant;
 
 /// The route patterns the server exposes, used verbatim as the `route`
 /// label on every HTTP metric (bounded cardinality by construction).
-pub const ROUTES: [&str; 10] = [
+pub const ROUTES: [&str; 12] = [
     "/healthz",
     "/countries",
     "/country/{iso}",
@@ -46,6 +46,8 @@ pub const ROUTES: [&str; 10] = [
     "/providers/{name}/history",
     "/hhi",
     "/hhi/history",
+    "/scenario/{name}",
+    "/scenario/{name}/diff",
     "/metrics",
 ];
 
@@ -251,7 +253,24 @@ pub fn route_label(path: &str) -> &'static str {
         p if strip_history(p, "/country/").is_some() => "/country/{iso}/history",
         p if strip_history(p, "/providers/").is_some() => "/providers/{name}/history",
         p if p.starts_with("/country/") => "/country/{iso}",
+        p if matches!(scenario_target(p), Some((_, true))) => "/scenario/{name}/diff",
+        p if scenario_target(p).is_some() => "/scenario/{name}",
         _ => "other",
+    }
+}
+
+/// Recognize `/scenario/{name}` and `/scenario/{name}/diff`, returning
+/// the (non-empty) name and whether the diff view was addressed.
+fn scenario_target(path: &str) -> Option<(&str, bool)> {
+    let rest = path.strip_prefix("/scenario/")?;
+    let (name, diff) = match rest.strip_suffix("/diff") {
+        Some(name) => (name, true),
+        None => (rest, false),
+    };
+    if name.is_empty() {
+        None
+    } else {
+        Some((name, diff))
     }
 }
 
@@ -314,6 +333,8 @@ pub struct ServeState {
     /// The canned 503 sent when a connection is shed (prebuilt once:
     /// shedding must not allocate under load).
     overloaded: Response,
+    /// Prerendered scenario slabs, when `serve --scenario` loaded any.
+    scenarios: Option<Arc<crate::scenario::ScenarioIndex>>,
     mode: TimeMode,
 }
 
@@ -410,8 +431,18 @@ impl ServeState {
             base,
             requests: Mutex::new(requests),
             overloaded: Response::from_error(&HttpError::Overloaded),
+            scenarios: None,
             mode,
         }
+    }
+
+    /// Attach prerendered scenario slabs: `/scenario/{name}` and
+    /// `/scenario/{name}/diff` answer from them. The slabs are shared
+    /// (`Arc`) across every worker, so scenario bytes are pinned no
+    /// matter which worker serves the request.
+    pub fn with_scenarios(mut self, scenarios: crate::scenario::ScenarioIndex) -> ServeState {
+        self.scenarios = Some(Arc::new(scenarios));
+        self
     }
 
     /// The `/metrics` time mode in effect.
@@ -543,6 +574,28 @@ impl ServeState {
         // whenever the query string carries parameters.
         if matches!(path, "/flows" | "/providers" | "/countries") {
             return self.parameterized(req);
+        }
+        // Scenario routes serve prerendered slabs. They take no
+        // parameters, and the typed 400 outranks the 404 (a bad query
+        // on an unknown scenario is still a bad query).
+        if path.starts_with("/scenario/") || path == "/scenario" {
+            if let Some(raw) = req.query() {
+                if let Err(err) = crate::query::reject_params(raw) {
+                    return Response::from_error(&err);
+                }
+            }
+            let slab = scenario_target(path).and_then(|(name, diff)| {
+                let scenarios = self.scenarios.as_ref()?;
+                if diff {
+                    scenarios.diff_slab(name)
+                } else {
+                    scenarios.report_slab(name)
+                }
+            });
+            return match slab {
+                Some(slab) => self.conditional(req, slab),
+                None => Response::from_error(&HttpError::NotFound),
+            };
         }
         // Fixed routes take no parameters: anything in the query string
         // is a typed 400 naming the parameter, never a silent alias
@@ -1003,6 +1056,61 @@ mod tests {
         for route in ROUTES {
             assert!(!route.is_empty());
         }
+    }
+
+    #[test]
+    fn scenario_routes_serve_slabs_400_params_and_404_unknowns() {
+        let world = World::generate(&GenParams::tiny());
+        let dataset = GovDataset::build(&world, &BuildOptions::default());
+        // No scenarios attached: everything under /scenario/ is a 404,
+        // but a bad query is still a 400 (400-before-404).
+        let bare = ServeState::with_mode(&dataset, TimeMode::Deterministic);
+        assert_eq!(get(&bare, "/scenario/quake").status, 404);
+        assert_eq!(get(&bare, "/scenario/quake?x=1").status, 400);
+        let file = govhost_scenario::parse("scenario quake\noutage provider AS13335\n").unwrap();
+        let runs = govhost_scenario::run_file(
+            &GenParams::tiny(),
+            &file,
+            &BuildOptions::default(),
+        )
+        .unwrap();
+        let state = ServeState::with_mode(&dataset, TimeMode::Deterministic)
+            .with_scenarios(crate::scenario::ScenarioIndex::build(&runs));
+        let report = get(&state, "/scenario/quake");
+        assert_eq!(report.status, 200);
+        let body = String::from_utf8(report.body().to_vec()).unwrap();
+        assert!(body.starts_with("{\"scenario\":\"quake\""), "{body}");
+        assert!(body.contains("\"cards\":["), "{body}");
+        let diff = get(&state, "/scenario/quake/diff");
+        assert_eq!(diff.status, 200);
+        let diff_body = String::from_utf8(diff.body().to_vec()).unwrap();
+        assert!(diff_body.contains("\"global\":["), "{diff_body}");
+        // Unknowns, empty names, and parameters.
+        assert_eq!(get(&state, "/scenario/nope").status, 404);
+        assert_eq!(get(&state, "/scenario/nope/diff").status, 404);
+        assert_eq!(get(&state, "/scenario/").status, 404);
+        assert_eq!(get(&state, "/scenario").status, 404);
+        let bad = get(&state, "/scenario/quake?verbose=1");
+        assert_eq!(bad.status, 400);
+        let bad_body = String::from_utf8(bad.body().to_vec()).unwrap();
+        assert!(bad_body.contains("verbose"), "names the parameter: {bad_body}");
+        // Conditional GET against the slab's ETag.
+        let encoded = String::from_utf8(report.encode(false)).unwrap();
+        let etag = encoded
+            .lines()
+            .find_map(|l| l.strip_prefix("ETag: "))
+            .expect("scenario slabs carry an ETag")
+            .to_string();
+        let raw = format!("GET /scenario/quake HTTP/1.1\r\nIf-None-Match: {etag}\r\n\r\n");
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(raw.as_bytes());
+        let req = parser.next_request().unwrap().unwrap();
+        assert_eq!(state.respond(Ok(&req)).status, 304);
+        // Route labels stay bounded.
+        assert_eq!(route_label("/scenario/quake"), "/scenario/{name}");
+        assert_eq!(route_label("/scenario/quake/diff"), "/scenario/{name}/diff");
+        assert_eq!(route_label("/scenario/"), "other");
+        assert_eq!(route_label("/scenario"), "other");
     }
 
     #[test]

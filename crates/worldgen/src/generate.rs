@@ -14,7 +14,7 @@
 use crate::countries::{any_country, CountryRow, COUNTRIES, TOPSITE_COUNTRIES};
 use crate::params::GenParams;
 use crate::profiles::{HostingProfile, TldStyle};
-use crate::providers::{GlobalProvider, GLOBAL_PROVIDERS};
+use crate::providers::GLOBAL_PROVIDERS;
 use crate::truth::{GroundTruth, HostTruth};
 use crate::world::World;
 use govhost_dns::{AuthoritativeServer, DnsName, RData, Resolver, Zone};
@@ -63,6 +63,15 @@ const CONTENT_MIX: &[(ContentType, f64, u64)] = &[
     (ContentType::Json, 0.05, 8_000),
     (ContentType::Other, 0.02, 200_000),
 ];
+
+/// Share of government hostnames whose authoritative DNS is outsourced to
+/// a global managed-DNS operator (NS records under the operator's zone
+/// instead of self-hosted `ns1.<apex>`).
+const MANAGED_DNS_FRACTION: f64 = 0.3;
+
+/// The managed-DNS market, mirroring its real concentration: Cloudflare,
+/// Amazon (Route 53-style) and Microsoft operate the outsourced NS sets.
+const MANAGED_DNS_OPERATORS: [u32; 3] = [13335, 16509, 8075];
 
 struct Generator {
     params: GenParams,
@@ -383,7 +392,7 @@ impl Generator {
 
     fn create_global_providers(&mut self) {
         for p in GLOBAL_PROVIDERS {
-            let slug = provider_slug(p);
+            let slug = p.slug();
             let footprint: Vec<CountryCode> =
                 ["US", "DE", "SG", "BR", "JP", "AU"].iter().map(|c| c.parse().unwrap()).collect();
             self.create_as(
@@ -972,13 +981,41 @@ impl Generator {
     fn wire_hostname(&mut self, plan: &HostPlan) -> Ipv4Addr {
         let apex = DnsName::from(&plan.host);
         let mut zone = Zone::new(apex.clone());
-        // Apex housekeeping records, as real zones carry.
+        // Apex housekeeping records, as real zones carry. A deterministic
+        // fraction of governments outsource their authoritative DNS to a
+        // global managed-DNS operator (the shared-NS dependence of the
+        // authoritative-DNS-resilience literature): their NS set points
+        // into the operator's zone instead of at themselves, so an
+        // operator outage cascades to domains it does not even host.
+        // The gate and operator choice are keyed hashes of the world
+        // seed and hostname — never `self.rng` — so they perturb no
+        // other generated surface, and NS records are invisible to
+        // A-record resolution, so measured bytes are unchanged.
         if let (Ok(mname), Ok(rname)) = (apex.child("ns1"), apex.child("hostmaster")) {
             zone.add(
                 apex.clone(),
                 RData::Soa { mname: mname.clone(), rname, serial: 2_024_110_401 },
             );
-            zone.add(apex.clone(), RData::Ns(mname));
+            let seed = self.params.seed;
+            let host_key = det::hash_str(plan.host.as_str());
+            let managed = det::unit(seed, &[det::hash_str("managed-dns"), host_key])
+                < MANAGED_DNS_FRACTION;
+            let operator = managed.then(|| {
+                let pick = det::mix(seed, &[det::hash_str("managed-dns-op"), host_key]);
+                let asn = MANAGED_DNS_OPERATORS[pick as usize % MANAGED_DNS_OPERATORS.len()];
+                crate::providers::provider_by_asn(asn).expect("static operator ASNs")
+            });
+            match operator {
+                Some(op) => {
+                    let dns_apex = op.zone_apex();
+                    for ns in ["ns1.dns", "ns2.dns"] {
+                        if let Ok(target) = dns_apex.child(ns) {
+                            zone.add(apex.clone(), RData::Ns(target));
+                        }
+                    }
+                }
+                None => zone.add(apex.clone(), RData::Ns(mname)),
+            }
         }
         let provider =
             crate::providers::provider_by_asn(plan.asn.value()).filter(|p| p.anycast);
@@ -1329,10 +1366,6 @@ struct HostPlan {
     weight: f64,
     gov_tld: bool,
     san_only: bool,
-}
-
-fn provider_slug(p: &GlobalProvider) -> String {
-    p.name.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_lowercase()
 }
 
 /// Weighted random pick (deterministic given the RNG state).

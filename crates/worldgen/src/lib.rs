@@ -31,6 +31,7 @@ pub mod generate;
 pub mod params;
 pub mod profiles;
 pub mod providers;
+pub mod shock;
 pub mod tick;
 pub mod truth;
 pub mod world;
@@ -39,9 +40,11 @@ pub use calibration::{CalibrationCheck, CalibrationReport};
 pub use countries::{CountryRow, COUNTRIES, HOST_ONLY_COUNTRIES};
 pub use params::GenParams;
 pub use profiles::{DominantCategory, HostingProfile, TldStyle};
-pub use providers::{GlobalProvider, GLOBAL_PROVIDERS};
+pub use providers::{provider_by_asn, GlobalProvider, GLOBAL_PROVIDERS};
+pub use shock::{DarkCause, DarkHost, ShockReport};
 pub use tick::{
-    default_systems, run_year, systems_from_env, TickOutcome, TickReport, TickSystem, TICKS_ENV,
+    default_systems, run_year, systems_from_env, systems_from_spec, TickOutcome, TickReport,
+    TickSystem, UnknownTickError, TICKS_ENV,
 };
 pub use truth::GroundTruth;
 pub use world::World;

@@ -36,6 +36,21 @@ impl GlobalProvider {
     pub fn cc(&self) -> CountryCode {
         self.registered_in.parse().expect("static codes are valid")
     }
+
+    /// DNS-safe lowercase slug derived from the display name
+    /// (`"Google Cloud"` → `"googlecloud"`). The generator derives the
+    /// provider's infrastructure names from it.
+    pub fn slug(&self) -> String {
+        self.name.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_lowercase()
+    }
+
+    /// The apex of the provider's own DNS zone (`{slug}.net`), where the
+    /// generator parks CDN edge names and managed-DNS server names. A
+    /// name under this apex depends on the provider's infrastructure —
+    /// the shared-fate test a provider outage uses.
+    pub fn zone_apex(&self) -> govhost_dns::DnsName {
+        format!("{}.net", self.slug()).parse().expect("static slugs are valid DNS names")
+    }
 }
 
 /// All 28 global providers, ordered by footprint (Fig. 10's x-axis).

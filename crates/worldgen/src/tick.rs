@@ -114,26 +114,63 @@ pub fn default_systems() -> Vec<Box<dyn TickSystem>> {
     ]
 }
 
-/// [`default_systems`] filtered by the [`TICKS_ENV`] variable.
+/// A tick-roster spec named a system that does not exist.
 ///
-/// The variable holds a comma-separated allow-list of system names;
-/// unknown names are ignored, and an unset or empty variable selects
-/// every system.
-pub fn systems_from_env() -> Vec<Box<dyn TickSystem>> {
+/// Raised by [`systems_from_spec`] (and therefore [`systems_from_env`])
+/// so a typo in `GOVHOST_TICKS` or a scenario file fails loudly instead
+/// of silently running a smaller roster than the one asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTickError {
+    /// The unrecognized token, verbatim.
+    pub token: String,
+    /// Every valid system name, in canonical order.
+    pub roster: Vec<&'static str>,
+}
+
+impl std::fmt::Display for UnknownTickError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown tick system {:?} (valid systems: {})",
+            self.token,
+            self.roster.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownTickError {}
+
+/// [`default_systems`] filtered by a comma-separated allow-list of
+/// system names. An empty or all-whitespace spec selects every system;
+/// a token naming no system is an [`UnknownTickError`] carrying the bad
+/// token and the valid roster.
+pub fn systems_from_spec(spec: &str) -> Result<Vec<Box<dyn TickSystem>>, UnknownTickError> {
     let all = default_systems();
+    let wanted: Vec<&str> =
+        spec.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    if wanted.is_empty() {
+        return Ok(all);
+    }
+    let roster: Vec<&'static str> = all.iter().map(|s| s.name()).collect();
+    if let Some(bad) = wanted.iter().find(|w| !roster.iter().any(|r| r == *w)) {
+        return Err(UnknownTickError { token: (*bad).to_string(), roster });
+    }
+    Ok(all.into_iter().filter(|s| wanted.contains(&s.name())).collect())
+}
+
+/// [`default_systems`] filtered by the [`TICKS_ENV`] variable via
+/// [`systems_from_spec`]. Unset means all systems; an unknown name in
+/// the variable is a typed error, never a silently smaller roster.
+pub fn systems_from_env() -> Result<Vec<Box<dyn TickSystem>>, UnknownTickError> {
     match std::env::var(TICKS_ENV) {
-        Ok(spec) if !spec.trim().is_empty() => {
-            let wanted: Vec<String> =
-                spec.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
-            all.into_iter().filter(|s| wanted.iter().any(|w| w == s.name())).collect()
-        }
-        _ => all,
+        Ok(spec) => systems_from_spec(&spec),
+        Err(_) => Ok(default_systems()),
     }
 }
 
 /// Government hostnames in a stable order (sorted by name), the only
 /// iteration order tick systems may use over the truth table.
-fn hosts_sorted(world: &World) -> Vec<Hostname> {
+pub(crate) fn hosts_sorted(world: &World) -> Vec<Hostname> {
     let mut names: Vec<Hostname> = world.truth.hosts.keys().cloned().collect();
     names.sort_by(|a, b| a.as_str().cmp(b.as_str()));
     names
@@ -141,7 +178,7 @@ fn hosts_sorted(world: &World) -> Vec<Hostname> {
 
 /// Studied countries that have at least one government hostname, in
 /// [`COUNTRIES`] order.
-fn countries_with_hosts(world: &World) -> Vec<CountryCode> {
+pub(crate) fn countries_with_hosts(world: &World) -> Vec<CountryCode> {
     let present: BTreeSet<CountryCode> =
         world.truth.hosts.values().map(|t| t.country).collect();
     COUNTRIES.iter().map(|row| row.cc()).filter(|cc| present.contains(cc)).collect()
@@ -149,7 +186,7 @@ fn countries_with_hosts(world: &World) -> Vec<CountryCode> {
 
 /// The first server of `asn` in registry order, preferring one with a
 /// site in `prefer`; `want_anycast` filters on the anycast flag when set.
-fn server_of_asn(
+pub(crate) fn server_of_asn(
     world: &World,
     asn: u32,
     prefer: CountryCode,
@@ -177,7 +214,7 @@ fn server_of_asn(
 
 /// A unicast server physically inside `country`, preferring one run by a
 /// state operator (government or SOE AS).
-fn domestic_server(world: &World, country: CountryCode) -> Option<Ipv4Addr> {
+pub(crate) fn domestic_server(world: &World, country: CountryCode) -> Option<Ipv4Addr> {
     let mut fallback = None;
     for server in world.registry.servers() {
         if server.anycast || !server.sites.iter().any(|site| site.country == country) {
@@ -215,7 +252,12 @@ fn category_for(world: &World, asn: Asn, gov: CountryCode) -> ProviderCategory {
 /// zone with a fresh one answering an `A` record, and update ground truth
 /// (ASN, anycast flag, physical location, true category). Returns the
 /// owning country on success.
-fn repoint(world: &mut World, host: &Hostname, ip: Ipv4Addr, year: u32) -> Option<CountryCode> {
+pub(crate) fn repoint(
+    world: &mut World,
+    host: &Hostname,
+    ip: Ipv4Addr,
+    year: u32,
+) -> Option<CountryCode> {
     let gov = world.truth.hosts.get(host)?.country;
     let (asn, anycast, location) = {
         let server = world.registry.server_by_ip(ip)?;
@@ -552,12 +594,35 @@ mod tests {
     #[test]
     fn env_filter_selects_by_name() {
         // Avoid mutating the process environment (other tests run in
-        // parallel); exercise the parsing path through default_systems.
+        // parallel); exercise the parsing path through systems_from_spec.
         let names: Vec<&str> = default_systems().iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
             ["provider-churn", "agency-migration", "data-localization", "anycast-growth"]
         );
+        let picked = systems_from_spec(" agency-migration , anycast-growth ").unwrap();
+        let picked: Vec<&str> = picked.iter().map(|s| s.name()).collect();
+        assert_eq!(picked, ["agency-migration", "anycast-growth"]);
+        let all = systems_from_spec("  ").unwrap();
+        assert_eq!(all.len(), default_systems().len());
+    }
+
+    #[test]
+    fn unknown_tick_names_are_typed_errors_naming_token_and_roster() {
+        let err = match systems_from_spec("provider-churn,provider-chrun") {
+            Err(err) => err,
+            Ok(_) => panic!("a typo'd system name must not parse"),
+        };
+        assert_eq!(err.token, "provider-chrun");
+        assert_eq!(
+            err.roster,
+            ["provider-churn", "agency-migration", "data-localization", "anycast-growth"]
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("provider-chrun"), "names the bad token: {msg}");
+        assert!(msg.contains("data-localization"), "names the valid roster: {msg}");
+        // Case matters — names are stable identifiers, not fuzzy matches.
+        assert!(systems_from_spec("Provider-Churn").is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! govhost zone --host <hostname>                  # dump a zone file
 //! govhost serve --scale 0.1 --addr 127.0.0.1:8080 # HTTP query server
 //! govhost evolve --years 10 --scale 0.05          # yearly ticks + trend table
+//! govhost scenario what-if.scn --scale 0.1        # counterfactual report cards
 //! ```
 
 use govhost::core::export::{export_csv_full, import_csv, DatasetCsv};
@@ -23,6 +24,15 @@ fn main() {
     let Some(command) = args.first() else {
         usage_die("missing command");
     };
+    // `scenario` takes its file as a positional argument, before flags.
+    if command == "scenario" {
+        let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            usage_die("scenario needs a file: govhost scenario FILE [flags]");
+        };
+        let flags = Flags::parse(&args[2..]);
+        cmd_scenario(std::path::Path::new(file), &flags);
+        return;
+    }
     let flags = Flags::parse(&args[1..]);
     match command.as_str() {
         "dataset" => cmd_dataset(&flags),
@@ -52,8 +62,10 @@ fn usage() {
                     [--idle-timeout-ms N]           (idle keep-alive eviction deadline)\n\
                     [--query-cache N]               (parameterized result-cache entries; 0 disables)\n\
                     [--years N]                     (evolve N yearly ticks; history routes cover them)\n\
+                    [--scenario FILE]               (evaluate a scenario file; /scenario/.. routes)\n\
            evolve   --years N --scale S --seed N    tick the world N years and print the trend table\n\
-                                                    (tick roster via GOVHOST_TICKS; default 5 years)"
+                                                    (tick roster via GOVHOST_TICKS; default 5 years)\n\
+           scenario FILE --scale S --seed N         evaluate what-if scenarios and print report cards"
     );
 }
 
@@ -71,6 +83,7 @@ struct Flags {
     max_conns: usize,
     idle_timeout_ms: u64,
     query_cache: usize,
+    scenario: PathBuf,
 }
 
 impl Flags {
@@ -89,6 +102,7 @@ impl Flags {
             max_conns: 0,
             idle_timeout_ms: 0,
             query_cache: govhost::serve::DEFAULT_RESULT_CACHE,
+            scenario: PathBuf::new(),
         };
         let mut i = 0;
         while i < args.len() {
@@ -127,6 +141,7 @@ impl Flags {
                     f.query_cache =
                         value.parse().unwrap_or_else(|_| usage_die("bad --query-cache"))
                 }
+                "--scenario" => f.scenario = PathBuf::from(&value),
                 other => usage_die(&format!("unknown flag {other}")),
             }
             i += 2;
@@ -285,16 +300,30 @@ fn cmd_serve(flags: &Flags) {
         let outcome =
             govhost::core::evolve::evolve(&mut world, flags.years, &BuildOptions::default())
                 .unwrap_or_else(|e| die(&e.to_string()));
-        std::sync::Arc::new(ServeState::with_timeline_cache_capacity(
+        ServeState::with_timeline_cache_capacity(
             &outcome.dataset,
             &outcome.timeline,
             flags.query_cache,
-        ))
+        )
     } else {
         let (dataset, _report) = GovDataset::try_build(&world, &BuildOptions::default())
             .unwrap_or_else(|e| die(&e.to_string()));
-        std::sync::Arc::new(ServeState::with_cache_capacity(&dataset, flags.query_cache))
+        ServeState::with_cache_capacity(&dataset, flags.query_cache)
     };
+    // `--scenario FILE` evaluates the what-if file against the same
+    // year-0 parameters and prerenders `/scenario/{name}[/diff]`.
+    let state = if flags.scenario.as_os_str().is_empty() {
+        state
+    } else {
+        let runs = load_scenarios(&flags.scenario, flags);
+        let index = govhost::serve::ScenarioIndex::build(&runs);
+        eprintln!(
+            "scenarios: {}",
+            index.names().collect::<Vec<_>>().join(" ")
+        );
+        state.with_scenarios(index)
+    };
+    let state = std::sync::Arc::new(state);
     let threads =
         if flags.threads > 0 { flags.threads } else { resolve_serve_threads() };
     let mut config = ServerConfig { threads, ..ServerConfig::default() };
@@ -318,6 +347,72 @@ fn cmd_serve(flags: &Flags) {
     // in background threads.
     loop {
         std::thread::park();
+    }
+}
+
+/// Read, parse and evaluate a scenario file; any failure is fatal with
+/// the parser's `line N:` diagnostics passed through verbatim.
+fn load_scenarios(file: &std::path::Path, flags: &Flags) -> Vec<govhost::scenario::ScenarioRun> {
+    let text = std::fs::read_to_string(file)
+        .unwrap_or_else(|e| die(&format!("{}: {e}", file.display())));
+    let parsed = govhost::scenario::parse(&text)
+        .unwrap_or_else(|e| die(&format!("{}: {e}", file.display())));
+    if parsed.scenarios.is_empty() {
+        die(&format!("{}: no scenarios declared", file.display()));
+    }
+    eprintln!(
+        "evaluating {} scenario(s) (seed {}, scale {})...",
+        parsed.scenarios.len(),
+        flags.seed,
+        flags.scale
+    );
+    govhost::scenario::run_file(&params(flags), &parsed, &BuildOptions::default())
+        .unwrap_or_else(|e| die(&e.to_string()))
+}
+
+fn cmd_scenario(file: &std::path::Path, flags: &Flags) {
+    let runs = load_scenarios(file, flags);
+    for run in &runs {
+        println!(
+            "scenario {}: {} events, {} countries touched",
+            run.name,
+            run.events.len(),
+            run.dirty.len()
+        );
+        let mut table = govhost::report::Table::new(vec![
+            "country",
+            "overall",
+            "concentration",
+            "exposure",
+            "resilience",
+            "hhi(bytes)",
+            "offshore%",
+            "dark%",
+            "ns-only%",
+        ]);
+        for c in govhost::scenario::report_cards(run) {
+            table.row(vec![
+                c.country.as_str().to_string(),
+                c.overall.to_string(),
+                c.concentration.to_string(),
+                c.exposure.to_string(),
+                c.resilience.to_string(),
+                format!("{:.3}", c.hhi_bytes),
+                c.offshore_percent.map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+                format!("{:.1}", c.dark_percent),
+                format!("{:.1}", c.ns_only_percent),
+            ]);
+        }
+        print!("{}", table.render());
+        let insights = run.insights();
+        if insights.is_empty() {
+            println!("no measurable change against the baseline");
+        } else {
+            for (i, insight) in insights.iter().enumerate() {
+                println!("{:>3}. {}", i + 1, insight.text);
+            }
+        }
+        println!();
     }
 }
 

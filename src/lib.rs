@@ -35,6 +35,7 @@ pub use govhost_geoloc as geoloc;
 pub use govhost_netsim as netsim;
 pub use govhost_obs as obs;
 pub use govhost_report as report;
+pub use govhost_scenario as scenario;
 pub use govhost_serve as serve;
 pub use govhost_stats as stats;
 pub use govhost_types as types;

@@ -54,10 +54,18 @@ fn malformed_flag_values_are_usage_errors() {
 }
 
 #[test]
+fn scenario_without_a_file_is_a_usage_error() {
+    assert_usage_error(&govhost(&["scenario"]), "scenario needs a file");
+    // A flag where the file should be is the same mistake.
+    assert_usage_error(&govhost(&["scenario", "--scale", "0.1"]), "scenario needs a file");
+}
+
+#[test]
 fn usage_mentions_every_command() {
     let out = govhost(&[]);
     let err = stderr(&out);
-    for command in ["dataset", "analyze", "trends", "har", "zone", "serve", "evolve"] {
+    for command in ["dataset", "analyze", "trends", "har", "zone", "serve", "evolve", "scenario"]
+    {
         assert!(err.contains(command), "usage should list {command:?}: {err}");
     }
     assert!(err.contains("--addr"), "serve's address flag is documented: {err}");
@@ -81,5 +89,12 @@ fn runtime_errors_fail_without_the_usage_dump() {
     assert_eq!(out.status.code(), Some(2));
     let err = stderr(&out);
     assert!(err.contains("zone needs --host"), "{err}");
+    assert!(!err.contains("usage: govhost"), "runtime errors skip the usage dump: {err}");
+    // So is a scenario file that does not exist or does not parse: the
+    // diagnostics pass through, the usage text stays out of the way.
+    let out = govhost(&["scenario", "/no/such/file.scn"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("/no/such/file.scn"), "{err}");
     assert!(!err.contains("usage: govhost"), "runtime errors skip the usage dump: {err}");
 }
